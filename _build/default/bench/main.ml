@@ -1,0 +1,188 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (Sec. V), then runs Bechamel micro-benchmarks of the
+   fitting kernels behind each of them.
+
+   Scale is selected by the BMF_BENCH_SCALE environment variable or a
+   command-line argument: "quick" | "default" | "paper". *)
+
+let scale_of_string = function
+  | "quick" -> Experiments.Config.quick
+  | "default" -> Experiments.Config.default
+  | "paper" -> Experiments.Config.paper
+  | s ->
+      Printf.eprintf "unknown scale %S (want quick|default|paper)\n" s;
+      exit 2
+
+let config () =
+  let from_env = Sys.getenv_opt "BMF_BENCH_SCALE" in
+  let from_argv = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
+  let scale =
+    match (from_argv, from_env) with
+    | Some s, _ -> s
+    | None, Some s -> s
+    | None, None -> "default"
+  in
+  Printf.printf "bench scale: %s\n%!" scale;
+  scale_of_string scale
+
+let progress msg = Printf.eprintf "  .. %s\n%!" msg
+
+let section title =
+  Printf.printf "\n%s\n%s\n%s\n%!" (String.make 72 '=') title
+    (String.make 72 '=')
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let out = f () in
+  Printf.printf "%s\n[%s regenerated in %.1f s]\n%!" out name
+    (Unix.gettimeofday () -. t0);
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the kernels behind each experiment.   *)
+
+let bechamel_tests (cfg : Experiments.Config.t) =
+  let open Bechamel in
+  (* a representative mid-size problem from the RO benchmark *)
+  let ro = Circuit.Ring_oscillator.create ~config:cfg.ro cfg.seed in
+  let tb = Circuit.Ring_oscillator.testbench ro in
+  let metric = Circuit.Ring_oscillator.frequency_index in
+  let prep = Experiments.Runner.prepare cfg tb ~metric in
+  let rng = Stats.Rng.create 99 in
+  let k = 100 in
+  let xs, f =
+    Circuit.Testbench.draw_dataset tb ~stage:Circuit.Stage.Layout ~metric ~rng
+      ~k ()
+  in
+  let g = Polybasis.Basis.design_matrix prep.late_basis xs in
+  let prior = Bmf.Prior.nonzero_mean prep.early in
+  let problem =
+    {
+      Experiments.Methods.g;
+      f;
+      early = prep.early;
+      cv_folds = cfg.cv_folds;
+      omp_max_terms = Experiments.Config.omp_max_terms cfg ~k;
+    }
+  in
+  let simulate_one =
+    let x = Stats.Rng.gaussian_vec rng tb.Circuit.Testbench.layout_dim in
+    fun () ->
+      tb.Circuit.Testbench.simulate ~stage:Circuit.Stage.Layout ~metric
+        ~noise:None x
+  in
+  [
+    (* Tables I-III & V: the two fitters being compared *)
+    Test.make ~name:"tables:omp-fit-k100"
+      (Staged.stage (fun () ->
+           ignore (Experiments.Methods.fit Experiments.Methods.Omp problem)));
+    Test.make ~name:"tables:bmf-ps-fit-k100"
+      (Staged.stage (fun () ->
+           ignore (Experiments.Methods.fit Experiments.Methods.Bmf_ps problem)));
+    (* Tables IV & VI: one "simulation" sample (the dominant real cost) *)
+    Test.make ~name:"cost:simulate-one-sample"
+      (Staged.stage (fun () -> ignore (simulate_one ())));
+    (* Figs 5 & 8: MAP solve, conventional vs fast *)
+    Test.make ~name:"fig5:map-solve-cholesky"
+      (Staged.stage (fun () ->
+           ignore
+             (Bmf.Map_solver.solve ~solver:Bmf.Map_solver.Direct_cholesky ~g
+                ~f ~prior ~hyper:1e-3 ())));
+    Test.make ~name:"fig5:map-solve-fast"
+      (Staged.stage (fun () ->
+           ignore
+             (Bmf.Map_solver.solve ~solver:Bmf.Map_solver.Fast_woodbury ~g ~f
+                ~prior ~hyper:1e-3 ())));
+    (* Figs 4 & 7: histogram construction *)
+    Test.make ~name:"fig4:histogram-3000"
+      (Staged.stage
+         (let data = Stats.Rng.gaussian_vec rng 3000 in
+          fun () -> ignore (Stats.Histogram.build ~bins:24 data)));
+  ]
+
+let run_bechamel tests =
+  let open Bechamel in
+  let open Toolkit in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~stabilize:true ()
+  in
+  let test = Test.make_grouped ~name:"bmf" ~fmt:"%s %s" tests in
+  let raw = Benchmark.all cfg instances test in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  Printf.printf "%-40s %16s\n" "benchmark" "time/run";
+  Hashtbl.iter
+    (fun measure tbl ->
+      if measure = Measure.label Instance.monotonic_clock then
+        Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        |> List.iter (fun (name, ols) ->
+               match Analyze.OLS.estimates ols with
+               | Some [ est ] ->
+                   let value, unit_ =
+                     if est >= 1e9 then (est /. 1e9, "s")
+                     else if est >= 1e6 then (est /. 1e6, "ms")
+                     else if est >= 1e3 then (est /. 1e3, "us")
+                     else (est, "ns")
+                   in
+                   Printf.printf "%-40s %13.2f %s\n" name value unit_
+               | _ -> Printf.printf "%-40s %16s\n" name "n/a"))
+    merged
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let cfg = config () in
+  Format.printf "config: %a@." Experiments.Config.pp cfg;
+
+  section "Figures 1-3: prior illustrations and RO schematic";
+  print_string (Experiments.Figures.fig1 ());
+  print_newline ();
+  print_string (Experiments.Figures.fig2 ());
+  print_newline ();
+  print_string (Experiments.Figures.fig3 cfg);
+
+  section "Figure 4: RO sample histograms";
+  ignore (timed "fig4" (fun () -> Experiments.Figures.fig4 cfg));
+
+  section "Table I: RO power";
+  ignore (timed "table1" (fun () -> Experiments.Tables.table1 ~progress cfg));
+
+  section "Table II: RO phase noise";
+  ignore (timed "table2" (fun () -> Experiments.Tables.table2 ~progress cfg));
+
+  section "Table III: RO frequency";
+  ignore (timed "table3" (fun () -> Experiments.Tables.table3 ~progress cfg));
+
+  section "Figure 5: RO fitting cost (OMP vs BMF-PS direct vs fast)";
+  ignore (timed "fig5" (fun () -> Experiments.Figures.fig5 cfg));
+
+  section "Table IV: RO error and cost";
+  ignore (timed "table4" (fun () -> Experiments.Tables.table4 ~progress cfg));
+
+  section "Figure 6: SRAM read-path schematic";
+  print_string (Experiments.Figures.fig6 cfg);
+
+  section "Figure 7: SRAM read-delay histogram";
+  ignore (timed "fig7" (fun () -> Experiments.Figures.fig7 cfg));
+
+  section "Table V: SRAM read delay";
+  ignore (timed "table5" (fun () -> Experiments.Tables.table5 ~progress cfg));
+
+  section "Figure 8: SRAM fitting cost";
+  ignore (timed "fig8" (fun () -> Experiments.Figures.fig8 cfg));
+
+  section "Table VI: SRAM error and cost";
+  ignore (timed "table6" (fun () -> Experiments.Tables.table6 ~progress cfg));
+
+  section "Bechamel micro-benchmarks (kernels behind each artifact)";
+  run_bechamel (bechamel_tests cfg);
+
+  print_newline ();
+  print_endline "bench: all tables and figures regenerated."

@@ -1,0 +1,242 @@
+(* Command-line driver: regenerate any table or figure of the paper, run
+   the ablation studies, or inspect the benchmark circuits.
+
+     repro table 1..6     a paper table
+     repro fig 1..8       a paper figure
+     repro all            everything, in paper order
+     repro ablation NAME  prior-quality | sampling | missing-prior |
+                          early-fit | solver | all
+     repro info           circuit and configuration summary *)
+
+open Cmdliner
+
+let scale_conv =
+  let parse = function
+    | "quick" -> Ok Experiments.Config.quick
+    | "default" -> Ok Experiments.Config.default
+    | "paper" -> Ok Experiments.Config.paper
+    | s -> Error (`Msg (Printf.sprintf "unknown scale %S" s))
+  in
+  Arg.conv (parse, fun fmt _ -> Format.fprintf fmt "<scale>")
+
+let scale_arg =
+  Arg.(
+    value
+    & opt scale_conv Experiments.Config.default
+    & info [ "scale" ] ~docv:"SCALE"
+        ~doc:"Problem scale: $(b,quick), $(b,default) or $(b,paper).")
+
+let repeats_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "repeats" ] ~docv:"N" ~doc:"Override the number of repeated runs.")
+
+let seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Override the master seed.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print progress to stderr.")
+
+let build_config scale repeats seed =
+  let cfg = match repeats with
+    | Some r -> Experiments.Config.with_repeats scale r
+    | None -> scale
+  in
+  match seed with
+  | Some s -> Experiments.Config.with_seed cfg s
+  | None -> cfg
+
+let progress_of verbose =
+  if verbose then fun msg -> Printf.eprintf "  .. %s\n%!" msg
+  else fun (_ : string) -> ()
+
+let common =
+  Term.(const build_config $ scale_arg $ repeats_arg $ seed_arg)
+
+let table_num =
+  Arg.(
+    required
+    & pos 0 (some int) None
+    & info [] ~docv:"N" ~doc:"Table number, 1-6.")
+
+let csv_arg =
+  Arg.(
+    value & flag
+    & info [ "csv" ]
+        ~doc:
+          "Print machine-readable CSV instead of the formatted table \
+           (accuracy tables 1, 2, 3 and 5 only).")
+
+let run_table cfg verbose csv n =
+  let progress = progress_of verbose in
+  if csv then begin
+    let acc =
+      match n with
+      | 1 ->
+          Experiments.Tables.ro_accuracy ~progress cfg
+            ~metric:Circuit.Ring_oscillator.power_index
+      | 2 ->
+          Experiments.Tables.ro_accuracy ~progress cfg
+            ~metric:Circuit.Ring_oscillator.phase_noise_index
+      | 3 ->
+          Experiments.Tables.ro_accuracy ~progress cfg
+            ~metric:Circuit.Ring_oscillator.frequency_index
+      | 5 -> Experiments.Tables.sram_accuracy ~progress cfg
+      | _ ->
+          prerr_endline "--csv supports accuracy tables 1, 2, 3 and 5";
+          exit 2
+    in
+    print_string (Experiments.Report.accuracy_csv acc)
+  end
+  else begin
+    let render =
+      match n with
+      | 1 -> Experiments.Tables.table1 ~progress
+      | 2 -> Experiments.Tables.table2 ~progress
+      | 3 -> Experiments.Tables.table3 ~progress
+      | 4 -> Experiments.Tables.table4 ~progress
+      | 5 -> Experiments.Tables.table5 ~progress
+      | 6 -> Experiments.Tables.table6 ~progress
+      | _ ->
+          prerr_endline "table number must be 1-6";
+          exit 2
+    in
+    print_string (render cfg)
+  end
+
+let table_cmd =
+  let doc = "Regenerate one of the paper's tables (I-VI)." in
+  Cmd.v
+    (Cmd.info "table" ~doc)
+    Term.(const run_table $ common $ verbose_arg $ csv_arg $ table_num)
+
+let fig_num =
+  Arg.(
+    required
+    & pos 0 (some int) None
+    & info [] ~docv:"N" ~doc:"Figure number, 1-8.")
+
+let run_fig cfg _verbose n =
+  let render =
+    match n with
+    | 1 -> fun _ -> Experiments.Figures.fig1 ()
+    | 2 -> fun _ -> Experiments.Figures.fig2 ()
+    | 3 -> Experiments.Figures.fig3
+    | 4 -> Experiments.Figures.fig4 ?samples:None
+    | 5 -> Experiments.Figures.fig5 ?with_direct:None
+    | 6 -> Experiments.Figures.fig6
+    | 7 -> Experiments.Figures.fig7 ?samples:None
+    | 8 -> Experiments.Figures.fig8
+    | _ ->
+        prerr_endline "figure number must be 1-8";
+        exit 2
+  in
+  print_string (render cfg)
+
+let fig_cmd =
+  let doc = "Regenerate one of the paper's figures (1-8)." in
+  Cmd.v (Cmd.info "fig" ~doc) Term.(const run_fig $ common $ verbose_arg $ fig_num)
+
+let run_all cfg verbose =
+  let progress = progress_of verbose in
+  let banner title =
+    Printf.printf "\n%s\n%s\n%s\n" (String.make 72 '=') title
+      (String.make 72 '=')
+  in
+  banner "Figures 1-4";
+  print_string (Experiments.Figures.fig1 ());
+  print_string (Experiments.Figures.fig2 ());
+  print_string (Experiments.Figures.fig3 cfg);
+  print_string (Experiments.Figures.fig4 cfg);
+  banner "Tables I-IV (ring oscillator)";
+  print_string (Experiments.Tables.table1 ~progress cfg);
+  print_string (Experiments.Tables.table2 ~progress cfg);
+  print_string (Experiments.Tables.table3 ~progress cfg);
+  print_string (Experiments.Figures.fig5 cfg);
+  print_string (Experiments.Tables.table4 ~progress cfg);
+  banner "Figures 6-8 and Tables V-VI (SRAM read path)";
+  print_string (Experiments.Figures.fig6 cfg);
+  print_string (Experiments.Figures.fig7 cfg);
+  print_string (Experiments.Tables.table5 ~progress cfg);
+  print_string (Experiments.Figures.fig8 cfg);
+  print_string (Experiments.Tables.table6 ~progress cfg)
+
+let all_cmd =
+  let doc = "Regenerate every table and figure, in paper order." in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run_all $ common $ verbose_arg)
+
+let ablation_name =
+  Arg.(
+    value
+    & pos 0 string "all"
+    & info [] ~docv:"NAME"
+        ~doc:
+          "prior-quality | sampling | missing-prior | early-fit | \
+           nonlinear | baselines | hyper-selection | solver | all")
+
+let run_ablation cfg verbose name =
+  let progress = progress_of verbose in
+  let render =
+    match name with
+    | "prior-quality" -> Experiments.Ablation.prior_quality ~progress
+    | "sampling" -> Experiments.Ablation.sampling_scheme ~progress
+    | "missing-prior" -> Experiments.Ablation.missing_prior ~progress
+    | "early-fit" -> Experiments.Ablation.early_fit ~progress
+    | "nonlinear" -> Experiments.Ablation.nonlinear_basis ~progress
+    | "baselines" -> Experiments.Ablation.baselines ~progress
+    | "hyper-selection" -> Experiments.Ablation.hyper_selection ~progress
+    | "solver" -> Experiments.Ablation.solver_exactness ~progress
+    | "all" -> Experiments.Ablation.all ~progress
+    | s ->
+        Printf.eprintf "unknown ablation %S\n" s;
+        exit 2
+  in
+  print_string (render cfg)
+
+let ablation_cmd =
+  let doc = "Run an ablation study (DESIGN.md Sec. 6)." in
+  Cmd.v
+    (Cmd.info "ablation" ~doc)
+    Term.(const run_ablation $ common $ verbose_arg $ ablation_name)
+
+let run_info (cfg : Experiments.Config.t) _verbose =
+  Format.printf "configuration: %a@." Experiments.Config.pp cfg;
+  let ro = Circuit.Ring_oscillator.create ~config:cfg.ro cfg.seed in
+  let ro_tb = Circuit.Ring_oscillator.testbench ro in
+  let sram = Circuit.Sram.create ~config:cfg.sram cfg.seed in
+  let sram_tb = Circuit.Sram.testbench sram in
+  let show (tb : Circuit.Testbench.t) =
+    Format.printf "@.%a@." Circuit.Netlist.summary tb.netlist;
+    Format.printf
+      "  variables: %d schematic -> %d post-layout; metrics: %s@."
+      tb.schematic_dim tb.layout_dim
+      (String.concat ", " (Array.to_list tb.metrics));
+    Format.printf "  simulated cost/sample: %.1f s (schematic), %.1f s \
+                   (post-layout)@."
+      (tb.sim_cost_seconds Circuit.Stage.Schematic)
+      (tb.sim_cost_seconds Circuit.Stage.Layout)
+  in
+  let amp = Circuit.Amplifier.create cfg.seed in
+  show ro_tb;
+  show sram_tb;
+  show (Circuit.Amplifier.testbench amp)
+
+let info_cmd =
+  let doc = "Print the benchmark circuits and configuration." in
+  Cmd.v (Cmd.info "info" ~doc) Term.(const run_info $ common $ verbose_arg)
+
+let () =
+  let doc =
+    "Reproduction of 'Bayesian Model Fusion: Large-Scale Performance \
+     Modeling of Analog and Mixed-Signal Circuits by Reusing Early-Stage \
+     Data' (DAC 2013 / TCAD 2016)."
+  in
+  let info = Cmd.info "repro" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ table_cmd; fig_cmd; all_cmd; ablation_cmd; info_cmd ]))

@@ -1,0 +1,1 @@
+examples/nonlinear_modeling.ml: Apps Array Bmf Linalg List Polybasis Printf Regression Stats

@@ -1,0 +1,1 @@
+examples/nonlinear_modeling.mli:

@@ -1,0 +1,1 @@
+examples/opamp_modeling.ml: Array Bmf Circuit Float Linalg List Polybasis Printf Regression Stats

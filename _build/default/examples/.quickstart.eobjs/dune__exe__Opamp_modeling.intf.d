@@ -1,0 +1,1 @@
+examples/opamp_modeling.mli:

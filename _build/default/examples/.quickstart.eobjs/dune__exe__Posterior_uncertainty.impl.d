@@ -1,0 +1,1 @@
+examples/posterior_uncertainty.ml: Array Bmf Float Linalg List Polybasis Printf Stats

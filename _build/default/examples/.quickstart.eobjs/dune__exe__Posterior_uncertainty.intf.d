@@ -1,0 +1,1 @@
+examples/posterior_uncertainty.mli:

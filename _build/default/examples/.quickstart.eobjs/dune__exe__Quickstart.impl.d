@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bmf Linalg Polybasis Printf Regression Stats

@@ -1,0 +1,1 @@
+examples/ro_modeling.ml: Array Bmf Circuit Format Linalg List Polybasis Printf Regression Stats

@@ -1,0 +1,1 @@
+examples/ro_modeling.mli:

@@ -1,0 +1,1 @@
+examples/sram_yield.ml: Apps Array Bmf Circuit Float List Polybasis Printf Regression Stats

@@ -1,0 +1,1 @@
+examples/sram_yield.mli:

@@ -1,0 +1,1 @@
+examples/three_stage.ml: Array Bmf Circuit Linalg Polybasis Printf Regression Stats

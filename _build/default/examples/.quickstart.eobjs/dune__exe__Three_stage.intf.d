@@ -1,0 +1,1 @@
+examples/three_stage.mli:

@@ -1,0 +1,77 @@
+(* Beyond the MAP point estimate: the full Gaussian posterior of
+   eq. 28-29 gives calibrated uncertainty on every coefficient and on
+   every prediction — which is what makes the fused model trustworthy
+   when only a handful of late-stage samples exist.
+
+   Run with: dune exec examples/posterior_uncertainty.exe *)
+
+let () =
+  let rng = Stats.Rng.create 31415 in
+  let r = 40 and k = 25 in
+  let basis = Polybasis.Basis.linear r in
+  let m = Polybasis.Basis.size basis in
+  let truth =
+    Array.init m (fun i -> if i = 0 then 2.0 else 1.0 /. float_of_int (i * i))
+  in
+  let early =
+    Array.map
+      (fun c -> Some (c *. (1. +. (0.2 *. Stats.Rng.gaussian rng))))
+      truth
+  in
+  let sigma_noise = 0.05 in
+  let xs = Stats.Sampling.monte_carlo rng ~k ~r in
+  let g = Polybasis.Basis.design_matrix basis xs in
+  let f =
+    Array.init k (fun i ->
+        Linalg.Vec.dot (Linalg.Mat.row g i) truth
+        +. (sigma_noise *. Stats.Rng.gaussian rng))
+  in
+
+  let prior = Bmf.Prior.nonzero_mean early in
+  let hyper, _ = Bmf.Hyper.select ~rng ~g ~f ~prior () in
+  let post =
+    Bmf.Posterior.compute ~sigma0_sq:(sigma_noise *. sigma_noise) ~g ~f ~prior
+      ~hyper ()
+  in
+  Printf.printf "posterior over %d coefficients from %d samples (hyper %.3g)\n\n"
+    m k hyper;
+
+  (* credible intervals vs truth for the first few coefficients *)
+  print_endline "coefficient   truth     MAP       95% credible interval";
+  let inside = ref 0 in
+  for i = 0 to m - 1 do
+    let lo, hi = Bmf.Posterior.credible_interval post ~index:i ~level:0.95 in
+    if truth.(i) >= lo && truth.(i) <= hi then incr inside;
+    if i < 8 then
+      Printf.printf "  alpha_%-5d %+.4f   %+.4f   [%+.4f, %+.4f]%s\n" i
+        truth.(i) post.mean.(i) lo hi
+        (if truth.(i) >= lo && truth.(i) <= hi then "" else "  <- outside")
+  done;
+  Printf.printf "\n95%% intervals containing the truth: %d / %d (%.1f%%)\n\n"
+    !inside m
+    (100. *. float_of_int !inside /. float_of_int m);
+
+  (* predictive uncertainty at fresh points, checked for calibration *)
+  let n_test = 2000 in
+  let covered = ref 0 in
+  let z95 = Stats.Special.norm_ppf 0.975 in
+  for _ = 1 to n_test do
+    let x = Stats.Rng.gaussian_vec rng r in
+    let row = Polybasis.Basis.eval_row basis x in
+    let mean, std = Bmf.Posterior.predict post row in
+    let actual =
+      Linalg.Vec.dot row truth +. (sigma_noise *. Stats.Rng.gaussian rng)
+    in
+    if Float.abs (actual -. mean) <= z95 *. std then incr covered
+  done;
+  Printf.printf
+    "predictive 95%% intervals covering fresh simulations: %.1f%% of %d\n"
+    (100. *. float_of_int !covered /. float_of_int n_test)
+    n_test;
+
+  (* posterior samples give an ensemble of plausible models *)
+  let draws = List.init 5 (fun _ -> Bmf.Posterior.sample rng post) in
+  print_endline "\nfive posterior draws of alpha_1 (truth, then draws):";
+  Printf.printf "  %.4f |" truth.(1);
+  List.iter (fun d -> Printf.printf " %.4f" d.(1)) draws;
+  print_newline ()

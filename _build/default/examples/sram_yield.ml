@@ -1,0 +1,122 @@
+(* Applications of a fitted performance model (paper Sec. I / II-A):
+   parametric yield estimation and worst-case corner extraction for the
+   SRAM read path.
+
+   A BMF-fitted read-delay model replaces the 349 s/sample transistor-
+   level simulation with a microsecond evaluation, so yield can be
+   estimated from 10^5 model evaluations, and the worst-case corner is
+   read directly off the model gradient.
+
+   Run with: dune exec examples/sram_yield.exe *)
+
+let () =
+  let sram = Circuit.Sram.create 21 in
+  let tb = Circuit.Sram.testbench sram in
+  let metric = Circuit.Sram.read_delay_index in
+  let rng = Stats.Rng.create 2121 in
+
+  (* early-stage model + prior mapping *)
+  let xs_e, f_e =
+    Circuit.Testbench.draw_dataset tb ~stage:Circuit.Stage.Schematic ~metric
+      ~rng ~k:3000 ()
+  in
+  let eb = Circuit.Testbench.schematic_basis tb in
+  let g_e = Polybasis.Basis.design_matrix eb xs_e in
+  let early_coeffs =
+    (Regression.Omp.fit_design ~rng ~g:g_e ~f:f_e
+       (Regression.Omp.Cross_validation { folds = 4; max_terms = 700 }))
+      .coeffs
+  in
+  let late_basis, early =
+    Circuit.Testbench.layout_basis_with_prior tb ~early_coeffs
+  in
+
+  (* post-layout fusion from 100 expensive samples *)
+  let xs_l, f_l =
+    Circuit.Testbench.draw_dataset tb ~stage:Circuit.Stage.Layout ~metric ~rng
+      ~k:100 ()
+  in
+  let model, fitted =
+    Bmf.Fusion.fit ~rng ~early ~basis:late_basis ~xs:xs_l ~f:f_l
+      Bmf.Fusion.Bmf_ps
+  in
+  Printf.printf "read-delay model fused from 100 samples (%s, hyper %.3g)\n"
+    (Bmf.Prior.kind_name fitted.prior_kind)
+    fitted.hyper;
+  let sim_hours =
+    Circuit.Testbench.simulation_hours tb ~stage:Circuit.Stage.Layout
+      ~samples:100
+  in
+  Printf.printf "simulation budget spent: %.1f hours (at 349 s/sample)\n\n"
+    sim_hours;
+
+  (* --- application 1: parametric yield --- *)
+  let n_mc = 100_000 in
+  let r = Polybasis.Basis.dim late_basis in
+  (* analytic moments come straight off the orthonormal coefficients *)
+  let mu = Apps.Moments.mean model and sd = Apps.Moments.std model in
+  Printf.printf "analytic model moments: mean %.2f ps, std %.2f ps\n" mu sd;
+  let spec_ps = mu +. (3. *. sd) in
+  let spec = Apps.Yield.At_most spec_ps in
+  let est = Apps.Yield.estimate ~samples:n_mc ~rng ~spec model in
+  let yield = est.Apps.Yield.yield in
+  Printf.printf "application 1: parametric yield vs spec %.2f ps\n" spec_ps;
+  Printf.printf
+    "  model-based yield from %d Monte Carlo points: %.4f%% (95%% CI \
+     [%.4f%%, %.4f%%])\n"
+    n_mc (100. *. yield)
+    (100. *. fst est.Apps.Yield.ci95)
+    (100. *. snd est.Apps.Yield.ci95);
+  Printf.printf "  Gaussian closed form: %.4f%%\n"
+    (100. *. Apps.Yield.gaussian_approximation ~spec model);
+  Printf.printf
+    "  (the same estimate by transistor-level simulation would cost %.0f \
+     days)\n\n"
+    (Circuit.Testbench.simulation_hours tb ~stage:Circuit.Stage.Layout
+       ~samples:n_mc
+    /. 24.);
+
+  (* validate the tail prediction against the "simulator" on a smaller set *)
+  let n_check = 3000 in
+  let sim_failures = ref 0 in
+  let noise = Stats.Rng.split rng in
+  for _ = 1 to n_check do
+    let x = Stats.Rng.gaussian_vec rng r in
+    let d =
+      tb.Circuit.Testbench.simulate ~stage:Circuit.Stage.Layout ~metric
+        ~noise:(Some noise) x
+    in
+    if d > spec_ps then incr sim_failures
+  done;
+  Printf.printf
+    "  cross-check on %d simulated points: %.4f%% yield (model said %.4f%%)\n\n"
+    n_check
+    (100. *. (1. -. (float_of_int !sim_failures /. float_of_int n_check)))
+    (100. *. yield);
+
+  (* --- application 2: worst-case corner extraction --- *)
+  let result = Apps.Corner.linear ~beta:3. Apps.Corner.Maximize model in
+  let sim_corner =
+    tb.Circuit.Testbench.simulate ~stage:Circuit.Stage.Layout ~metric
+      ~noise:None result.Apps.Corner.corner
+  in
+  Printf.printf "application 2: worst-case corner (3-sigma sphere)\n";
+  Printf.printf "  model-predicted corner delay: %.2f ps\n"
+    result.Apps.Corner.value;
+  Printf.printf "  simulated delay at that corner: %.2f ps\n" sim_corner;
+  let top =
+    List.filteri (fun i _ -> i < 5)
+      (List.sort
+         (fun (_, a) (_, b) -> Float.compare (Float.abs b) (Float.abs a))
+         (Array.to_list
+            (Array.mapi (fun v d -> (v, d)) result.Apps.Corner.corner)))
+  in
+  print_endline "  largest corner components (variable, sigma):";
+  List.iter (fun (v, d) -> Printf.printf "    x%-6d %+.3f\n" v d) top;
+  (* variance attribution: which variables drive the spread? *)
+  let shares = Apps.Moments.variance_share_by_variable model in
+  print_endline "  top variance contributors:";
+  Array.iteri
+    (fun i (v, s) ->
+      if i < 5 then Printf.printf "    x%-6d %5.2f%%\n" v (100. *. s))
+    shares

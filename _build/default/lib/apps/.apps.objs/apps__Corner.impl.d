@@ -1,0 +1,1 @@
+lib/apps/corner.ml: Array Linalg List Polybasis Regression Stats

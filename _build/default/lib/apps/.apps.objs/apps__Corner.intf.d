@@ -1,0 +1,1 @@
+lib/apps/corner.mli: Linalg Regression Stats

@@ -1,0 +1,1 @@
+lib/apps/moments.ml: Array Float List Polybasis Regression

@@ -1,0 +1,1 @@
+lib/apps/moments.mli: Polybasis Regression

@@ -1,0 +1,1 @@
+lib/apps/yield.ml: Array Float Moments Polybasis Regression Stats

@@ -1,0 +1,1 @@
+lib/apps/yield.mli: Regression Stats

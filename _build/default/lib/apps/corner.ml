@@ -1,0 +1,85 @@
+type direction = Maximize | Minimize
+
+type result = { corner : Linalg.Vec.t; value : float; sigma : float }
+
+let linear_coefficients model =
+  let basis = Regression.Model.basis model in
+  let coeffs = Regression.Model.coeffs model in
+  let out = Array.make (Polybasis.Basis.dim basis) 0. in
+  Array.iteri
+    (fun m c ->
+      let term = Polybasis.Basis.term basis m in
+      if Polybasis.Multi_index.total_degree term = 1 then
+        match Polybasis.Multi_index.variables term with
+        | [ v ] -> out.(v) <- out.(v) +. c
+        | _ -> ())
+    coeffs;
+  out
+
+let sign = function Maximize -> 1. | Minimize -> -1.
+
+let linear ?(beta = 3.) direction model =
+  let a = linear_coefficients model in
+  let norm = Linalg.Vec.nrm2 a in
+  if norm = 0. then
+    invalid_arg "Corner.linear: model has no linear part";
+  let corner = Linalg.Vec.scale (sign direction *. beta /. norm) a in
+  { corner; value = Regression.Model.predict model corner; sigma = beta }
+
+let project_to_sphere beta x =
+  let norm = Linalg.Vec.nrm2 x in
+  if norm = 0. then x else Linalg.Vec.scale (beta /. norm) x
+
+let numeric_gradient model x =
+  let r = Array.length x in
+  let h = 1e-5 in
+  Array.init r (fun i ->
+      let xp = Array.copy x and xm = Array.copy x in
+      xp.(i) <- xp.(i) +. h;
+      xm.(i) <- xm.(i) -. h;
+      (Regression.Model.predict model xp -. Regression.Model.predict model xm)
+      /. (2. *. h))
+
+let search ?(beta = 3.) ?(steps = 200) ?(step_size = 0.2) ?(restarts = 4) ~rng
+    direction model =
+  if restarts < 1 then invalid_arg "Corner.search: need at least one restart";
+  let r = Polybasis.Basis.dim (Regression.Model.basis model) in
+  let s = sign direction in
+  let run x0 =
+    let x = ref (project_to_sphere beta x0) in
+    for _ = 1 to steps do
+      let g = numeric_gradient model !x in
+      let candidate =
+        project_to_sphere beta
+          (Linalg.Vec.add !x (Linalg.Vec.scale (s *. step_size) g))
+      in
+      (* accept only improving moves so the ascent cannot diverge *)
+      if
+        s *. Regression.Model.predict model candidate
+        >= s *. Regression.Model.predict model !x
+      then x := candidate
+    done;
+    !x
+  in
+  (* deterministic start along the linear direction when available,
+     plus random restarts *)
+  let starts =
+    let random () = Stats.Rng.gaussian_vec rng r in
+    let linear_start =
+      let a = linear_coefficients model in
+      if Linalg.Vec.nrm2 a > 0. then [ Linalg.Vec.scale s a ] else []
+    in
+    linear_start @ List.init restarts (fun _ -> random ())
+  in
+  let best = ref None in
+  List.iter
+    (fun x0 ->
+      let x = run x0 in
+      let v = Regression.Model.predict model x in
+      match !best with
+      | Some (_, bv) when s *. v <= s *. bv -> ()
+      | _ -> best := Some (x, v))
+    starts;
+  match !best with
+  | Some (corner, value) -> { corner; value; sigma = beta }
+  | None -> assert false

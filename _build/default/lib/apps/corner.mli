@@ -1,0 +1,41 @@
+(** Worst-case corner extraction (the paper's other motivating
+    application, Sec. I / ref [18]).
+
+    A corner is the point on the [beta]-sigma sphere of the process
+    space where the modeled performance is most degraded. For a linear
+    model the corner is closed-form (along the coefficient direction);
+    for general models a projected gradient ascent on the sphere is
+    provided. *)
+
+type direction = Maximize | Minimize
+
+type result = {
+  corner : Linalg.Vec.t;  (** Point on the beta-sigma sphere. *)
+  value : float;  (** Model prediction at the corner. *)
+  sigma : float;  (** The sphere radius actually used. *)
+}
+
+val linear_coefficients : Regression.Model.t -> Linalg.Vec.t
+(** The purely linear part of the model as a vector over the process
+    variables (zero for variables appearing only in higher-order
+    terms). *)
+
+val linear : ?beta:float -> direction -> Regression.Model.t -> result
+(** Closed-form corner of the linear part: [+- beta * a / ||a||]
+    (default [beta = 3]).
+    @raise Invalid_argument if the linear part is identically zero. *)
+
+val search :
+  ?beta:float ->
+  ?steps:int ->
+  ?step_size:float ->
+  ?restarts:int ->
+  rng:Stats.Rng.t ->
+  direction ->
+  Regression.Model.t ->
+  result
+(** Projected gradient ascent on the beta-sigma sphere with numeric
+    (central-difference) gradients and random restarts (defaults: 200
+    steps, step 0.2, 4 restarts). Always returns at least the value of
+    the best restart; for linear models it agrees with {!linear} (tests
+    check this). *)

@@ -1,0 +1,49 @@
+let constant_index model =
+  Polybasis.Basis.index_of_term
+    (Regression.Model.basis model)
+    Polybasis.Multi_index.constant
+
+let mean model =
+  match constant_index model with
+  | Some i -> (Regression.Model.coeffs model).(i)
+  | None -> 0.
+
+let variance model =
+  let coeffs = Regression.Model.coeffs model in
+  let skip = constant_index model in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i c -> if Some i <> skip then acc := !acc +. (c *. c))
+    coeffs;
+  !acc
+
+let std model = sqrt (variance model)
+
+let term_contributions model =
+  let basis = Regression.Model.basis model in
+  let coeffs = Regression.Model.coeffs model in
+  let skip = constant_index model in
+  let entries = ref [] in
+  Array.iteri
+    (fun i c ->
+      if Some i <> skip then
+        entries := (Polybasis.Basis.term basis i, c *. c) :: !entries)
+    coeffs;
+  List.sort (fun (_, a) (_, b) -> Float.compare b a) !entries
+
+let variance_share_by_variable model =
+  let total = variance model in
+  if total <= 0. then [||]
+  else begin
+    let basis = Regression.Model.basis model in
+    let shares = Array.make (Polybasis.Basis.dim basis) 0. in
+    List.iter
+      (fun (term, contribution) ->
+        List.iter
+          (fun v -> shares.(v) <- shares.(v) +. contribution)
+          (Polybasis.Multi_index.variables term))
+      (term_contributions model);
+    let indexed = Array.mapi (fun v s -> (v, s /. total)) shares in
+    Array.sort (fun (_, a) (_, b) -> Float.compare b a) indexed;
+    indexed
+  end

@@ -1,0 +1,31 @@
+(** Analytic statistics of a fitted performance model.
+
+    Because the basis functions are orthonormal under the process
+    distribution (eq. 3), the model's moments are read directly off the
+    coefficients: for [f(x) = sum_m alpha_m g_m(x)] with X ~ N(0, I),
+
+    - E[f(X)] = alpha_0 (the constant term's coefficient), and
+    - Var[f(X)] = sum_{m > 0} alpha_m^2.
+
+    This is one of the classical payoffs of the orthonormal-polynomial
+    formulation: no Monte Carlo needed for mean/variance. *)
+
+val mean : Regression.Model.t -> float
+(** The coefficient of the constant term; [0.] if the basis has no
+    constant term. *)
+
+val variance : Regression.Model.t -> float
+(** Sum of squared non-constant coefficients. *)
+
+val std : Regression.Model.t -> float
+
+val term_contributions : Regression.Model.t -> (Polybasis.Multi_index.t * float) list
+(** Per-term variance contribution [alpha_m^2] (constant excluded), in
+    decreasing order. The contributions sum to {!variance} exactly. *)
+
+val variance_share_by_variable : Regression.Model.t -> (int * float) array
+(** Total-effect variance share per process variable: the summed
+    [alpha_m^2] of every term involving the variable, divided by the
+    total variance (interaction terms count toward each participating
+    variable, so shares can sum to more than 1). Sorted by decreasing
+    share. Returns [[||]] when the model has zero variance. *)

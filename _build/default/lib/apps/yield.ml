@@ -1,0 +1,66 @@
+type spec = At_most of float | At_least of float
+
+let passes spec value =
+  match spec with
+  | At_most bound -> value <= bound
+  | At_least bound -> value >= bound
+
+type estimate = {
+  yield : float;
+  std_error : float;
+  ci95 : float * float;
+  failures : int;
+  samples : int;
+}
+
+(* Wilson score interval: well-behaved even at 0 or n failures. *)
+let wilson ~passes_count ~n =
+  let z = 1.959963984540054 in
+  let nf = float_of_int n in
+  let p = float_of_int passes_count /. nf in
+  let z2 = z *. z in
+  let denom = 1. +. (z2 /. nf) in
+  let center = (p +. (z2 /. (2. *. nf))) /. denom in
+  let half =
+    z /. denom *. sqrt ((p *. (1. -. p) /. nf) +. (z2 /. (4. *. nf *. nf)))
+  in
+  (Float.max 0. (center -. half), Float.min 1. (center +. half))
+
+let estimate ?(samples = 100_000) ~rng ~spec model =
+  if samples <= 0 then invalid_arg "Yield.estimate: samples must be positive";
+  let r = Polybasis.Basis.dim (Regression.Model.basis model) in
+  let failures = ref 0 in
+  for _ = 1 to samples do
+    let x = Stats.Rng.gaussian_vec rng r in
+    if not (passes spec (Regression.Model.predict model x)) then incr failures
+  done;
+  let passes_count = samples - !failures in
+  let nf = float_of_int samples in
+  let yield = float_of_int passes_count /. nf in
+  {
+    yield;
+    std_error = sqrt (Float.max 0. (yield *. (1. -. yield)) /. nf);
+    ci95 = wilson ~passes_count ~n:samples;
+    failures = !failures;
+    samples;
+  }
+
+let spec_for_yield ?(samples = 100_000) ~rng ~target side model =
+  if target <= 0. || target >= 1. then
+    invalid_arg "Yield.spec_for_yield: target must be in (0, 1)";
+  let r = Polybasis.Basis.dim (Regression.Model.basis model) in
+  let values =
+    Array.init samples (fun _ ->
+        Regression.Model.predict model (Stats.Rng.gaussian_vec rng r))
+  in
+  match side with
+  | `Upper -> Stats.Describe.quantile values target
+  | `Lower -> Stats.Describe.quantile values (1. -. target)
+
+let gaussian_approximation ~spec model =
+  let mu = Moments.mean model and sigma = Moments.std model in
+  if sigma = 0. then if passes spec mu then 1. else 0.
+  else
+    match spec with
+    | At_most bound -> Stats.Special.norm_cdf ((bound -. mu) /. sigma)
+    | At_least bound -> Stats.Special.norm_cdf ((mu -. bound) /. sigma)

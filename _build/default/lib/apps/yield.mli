@@ -1,0 +1,41 @@
+(** Parametric yield estimation on a fitted performance model (one of
+    the paper's motivating applications, Sec. I).
+
+    A model evaluation costs microseconds against the hours of a
+    transistor-level simulation, so yield — the probability that the
+    performance meets its spec over the process distribution — can be
+    estimated by plain Monte Carlo on the model. *)
+
+type spec = At_most of float | At_least of float
+(** Pass condition: performance must not exceed (resp. fall below) the
+    bound — e.g. [At_most 220.] for a read-delay spec in ps. *)
+
+val passes : spec -> float -> bool
+
+type estimate = {
+  yield : float;  (** Fraction of passing samples. *)
+  std_error : float;  (** Binomial standard error. *)
+  ci95 : float * float;  (** Wilson 95% confidence interval. *)
+  failures : int;
+  samples : int;
+}
+
+val estimate :
+  ?samples:int -> rng:Stats.Rng.t -> spec:spec -> Regression.Model.t -> estimate
+(** Monte Carlo yield over X ~ N(0, I) (default 100000 samples). *)
+
+val spec_for_yield :
+  ?samples:int ->
+  rng:Stats.Rng.t ->
+  target:float ->
+  [ `Upper | `Lower ] ->
+  Regression.Model.t ->
+  float
+(** The spec bound achieving a target yield: the [target] (resp.
+    [1 - target]) quantile of the model's Monte Carlo distribution for
+    an upper (resp. lower) spec. [target] in (0, 1). *)
+
+val gaussian_approximation : spec:spec -> Regression.Model.t -> float
+(** Closed-form yield assuming the model output is Gaussian with the
+    analytic mean and variance of {!Moments} — exact for linear models,
+    an approximation otherwise. *)

@@ -1,0 +1,1 @@
+lib/circuit/amplifier.ml: Array Bmf Device Float List Netlist Polybasis Printf Process Rc_network Stage Stats Testbench

@@ -1,0 +1,1 @@
+lib/circuit/amplifier.mli: Device Testbench

@@ -1,0 +1,1 @@
+lib/circuit/device.ml: Array Bmf Float List Process Stats

@@ -1,0 +1,1 @@
+lib/circuit/device.mli: Bmf Linalg Process Stats

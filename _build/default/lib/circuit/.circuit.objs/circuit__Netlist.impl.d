@@ -1,0 +1,1 @@
+lib/circuit/netlist.ml: Format Hashtbl List String

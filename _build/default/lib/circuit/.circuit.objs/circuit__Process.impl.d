@@ -1,0 +1,1 @@
+lib/circuit/process.ml: Array

@@ -1,0 +1,1 @@
+lib/circuit/rc_network.ml: Array Float Mna Stats

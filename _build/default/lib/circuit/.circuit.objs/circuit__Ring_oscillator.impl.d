@@ -1,0 +1,1 @@
+lib/circuit/ring_oscillator.ml: Array Bmf Device Float List Netlist Polybasis Printf Process Rc_network Stage Stats Testbench

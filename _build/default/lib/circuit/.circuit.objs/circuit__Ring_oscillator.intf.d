@@ -1,0 +1,1 @@
+lib/circuit/ring_oscillator.mli: Device Testbench

@@ -1,0 +1,1 @@
+lib/circuit/sram.mli: Device Testbench

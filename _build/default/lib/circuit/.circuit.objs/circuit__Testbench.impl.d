@@ -1,0 +1,1 @@
+lib/circuit/testbench.ml: Array Bmf Linalg Netlist Polybasis Stage Stats

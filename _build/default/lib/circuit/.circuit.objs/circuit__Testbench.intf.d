@@ -1,0 +1,1 @@
+lib/circuit/testbench.mli: Bmf Linalg Netlist Polybasis Stage Stats

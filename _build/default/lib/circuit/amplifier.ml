@@ -1,0 +1,228 @@
+type config = {
+  vars_per_device : int;
+  input_pair_fingers : int;
+  interdie : int;
+  compensation_nodes : int;
+  profile : Device.profile;
+  interdie_sigma : float;
+  parasitic_sigma : float;
+  nonlinearity : float;
+  sim_noise : float;
+}
+
+let default_config =
+  {
+    vars_per_device = 14;
+    input_pair_fingers = 2;
+    interdie = 8;
+    compensation_nodes = 4;
+    profile = Device.default_profile;
+    interdie_sigma = 0.008;
+    parasitic_sigma = 0.08;
+    nonlinearity = 1.0;
+    sim_noise = 0.002;
+  }
+
+(* The device roster of a textbook two-stage OTA. *)
+type roster = {
+  m1 : Device.t; (* input pair, + side *)
+  m2 : Device.t; (* input pair, - side *)
+  m3 : Device.t; (* current-mirror load + *)
+  m4 : Device.t; (* current-mirror load - *)
+  m5 : Device.t; (* tail current source *)
+  m6 : Device.t; (* second-stage driver *)
+  m7 : Device.t; (* second-stage current source *)
+}
+
+type t = {
+  cfg : config;
+  roster : roster;
+  comp_tree : Rc_network.t;
+  comp0 : float; (* nominal compensation time constant *)
+  mapping : Bmf.Prior_mapping.t;
+  parasitic_base : int;
+  n_parasitic : int;
+  layout_dim : int;
+  schematic_dim : int;
+  gain0_db : float;
+  ugbw0_mhz : float;
+  offset_sigma_mv : float;
+  netlist : Netlist.t;
+}
+
+let gain_index = 0
+
+let bandwidth_index = 1
+
+let offset_index = 2
+
+let metric_names = [| "gain"; "bandwidth"; "offset" |]
+
+let create ?(config = default_config) seed =
+  let cfg = config in
+  let rng = Stats.Rng.create (seed + 104729) in
+  let process = Process.create ~interdie:cfg.interdie in
+  let interdie_dirs =
+    Array.init cfg.interdie (fun _ ->
+        cfg.interdie_sigma
+        *. (1. +. (0.25 *. Stats.Rng.gaussian rng))
+        *. (if Stats.Rng.bool rng then 1. else -1.))
+  in
+  let interdie_sens scale =
+    Array.to_list
+      (Array.mapi
+         (fun v dir ->
+           (v, dir *. scale *. (1. +. (0.15 *. Stats.Rng.gaussian rng))))
+         interdie_dirs)
+  in
+  let netlist = Netlist.create ~name:"two-stage-opamp" in
+  let dev name fingers ports =
+    let d =
+      Device.make ~rng ~process ~name ~fingers
+        ~vars_per_device:cfg.vars_per_device
+        ~interdie_sens:(interdie_sens 1.0) cfg.profile
+    in
+    Netlist.add netlist
+      {
+        Netlist.ref_name = name;
+        kind = "mos";
+        ports;
+        params = [ ("fingers", float_of_int fingers) ];
+      };
+    d
+  in
+  (* explicit sequencing fixes the variable layout: M1's block first *)
+  let m1 = dev "M1" cfg.input_pair_fingers [ "inp"; "n1" ] in
+  let m2 = dev "M2" cfg.input_pair_fingers [ "inn"; "n2" ] in
+  let m3 = dev "M3" 1 [ "n1" ] in
+  let m4 = dev "M4" 1 [ "n2" ] in
+  let m5 = dev "M5" 1 [ "tail" ] in
+  let m6 = dev "M6" 1 [ "n2"; "out" ] in
+  let m7 = dev "M7" 1 [ "out" ] in
+  let roster = { m1; m2; m3; m4; m5; m6; m7 } in
+  let comp_tree =
+    Rc_network.random_tree rng ~nodes:cfg.compensation_nodes ~r_nominal:400.
+      ~c_nominal:0.8
+  in
+  Netlist.add netlist
+    {
+      Netlist.ref_name = "CC.PAR";
+      kind = "rc-tree";
+      ports = [ "n2"; "out" ];
+      params = [ ("nodes", float_of_int cfg.compensation_nodes) ];
+    };
+  let schematic_dim = Process.total_vars process in
+  let finger_spec = Array.make schematic_dim 1 in
+  Array.iter
+    (fun v -> finger_spec.(v) <- cfg.input_pair_fingers)
+    (Device.vars roster.m1);
+  Array.iter
+    (fun v -> finger_spec.(v) <- cfg.input_pair_fingers)
+    (Device.vars roster.m2);
+  let mapping = Bmf.Prior_mapping.create finger_spec in
+  let parasitic_base = Bmf.Prior_mapping.late_dim mapping in
+  let n_parasitic = 2 * (cfg.compensation_nodes - 1) in
+  {
+    cfg;
+    roster;
+    comp_tree;
+    comp0 = Rc_network.effective_rc comp_tree;
+    mapping;
+    parasitic_base;
+    n_parasitic;
+    layout_dim = parasitic_base + n_parasitic;
+    schematic_dim;
+    gain0_db = 68.;
+    ugbw0_mhz = 140.;
+    offset_sigma_mv = 4.2;
+    netlist;
+  }
+
+let config t = t.cfg
+
+let element_scale sigma v = Float.max 0.2 (1. +. (sigma *. v))
+
+let shift t ~stage d x =
+  match stage with
+  | Stage.Schematic -> Device.schematic_shift d x
+  | Stage.Layout -> Device.layout_shift d t.mapping x
+
+let simulate t ~stage ~metric ~noise x =
+  let expected =
+    match stage with
+    | Stage.Schematic -> t.schematic_dim
+    | Stage.Layout -> t.layout_dim
+  in
+  if Array.length x <> expected then
+    invalid_arg
+      (Printf.sprintf "Amplifier.simulate: expected %d variables, got %d"
+         expected (Array.length x));
+  let cfg = t.cfg in
+  let r = t.roster in
+  let d1 = shift t ~stage r.m1 x
+  and d2 = shift t ~stage r.m2 x
+  and d3 = shift t ~stage r.m3 x
+  and d4 = shift t ~stage r.m4 x
+  and d5 = shift t ~stage r.m5 x
+  and d6 = shift t ~stage r.m6 x
+  and d7 = shift t ~stage r.m7 x in
+  (* first-stage transconductance follows the pair average plus tail *)
+  let gm1 = 1. +. (0.5 *. (d1 +. d2)) +. (0.3 *. d5) in
+  let gm1 = Float.max 0.2 gm1 in
+  (* output conductances degrade gain when devices are fast/leaky *)
+  let go = 1. +. (0.4 *. ((d3 +. d4) /. 2.)) +. (0.5 *. ((d6 +. d7) /. 2.)) in
+  let go = Float.max 0.2 go in
+  (* post-layout compensation network: parasitics move the pole *)
+  let comp_factor =
+    match stage with
+    | Stage.Schematic -> 1.
+    | Stage.Layout ->
+        let r_scale e =
+          element_scale cfg.parasitic_sigma x.(t.parasitic_base + (2 * e))
+        in
+        let c_scale e =
+          element_scale cfg.parasitic_sigma x.(t.parasitic_base + (2 * e) + 1)
+        in
+        (* extraction adds ~12% compensation loading at nominal *)
+        1.12 *. Rc_network.effective_rc ~r_scale ~c_scale t.comp_tree
+        /. t.comp0
+  in
+  let value =
+    if metric = gain_index then
+      (* two gain stages in dB; log of the conductance ratio is the
+         genuine nonlinearity here *)
+      t.gain0_db +. (20. *. log10 (Float.max 0.05 (gm1 /. go)))
+      +. (cfg.nonlinearity *. 1.5 *. (d6 -. d7) *. (d6 -. d7))
+    else if metric = bandwidth_index then
+      t.ugbw0_mhz *. gm1 /. comp_factor
+    else if metric = offset_index then
+      (* eq. 36: offset tracks the input-pair threshold difference, with
+         a small mirror contribution *)
+      t.offset_sigma_mv *. ((d1 -. d2) +. (0.3 *. (d3 -. d4))) /. 0.05
+    else invalid_arg "Amplifier: unknown metric"
+  in
+  match noise with
+  | None -> value
+  | Some rng ->
+      if metric = offset_index then
+        (* offset is zero-mean: additive measurement noise *)
+        value +. (cfg.sim_noise *. t.offset_sigma_mv *. 10. *. Stats.Rng.gaussian rng)
+      else value *. (1. +. (cfg.sim_noise *. Stats.Rng.gaussian rng))
+
+let parasitic_terms t =
+  List.init t.n_parasitic (fun p ->
+      Polybasis.Multi_index.linear (t.parasitic_base + p))
+
+let testbench t =
+  {
+    Testbench.name = "two-stage-opamp";
+    schematic_dim = t.schematic_dim;
+    layout_dim = t.layout_dim;
+    mapping = t.mapping;
+    parasitic_terms = parasitic_terms t;
+    metrics = metric_names;
+    simulate = (fun ~stage ~metric ~noise x -> simulate t ~stage ~metric ~noise x);
+    sim_cost_seconds =
+      (fun stage -> match stage with Stage.Schematic -> 2.1 | Stage.Layout -> 19.4);
+    netlist = t.netlist;
+  }

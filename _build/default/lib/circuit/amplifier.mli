@@ -1,0 +1,49 @@
+(** A two-stage Miller-compensated operational amplifier — a third
+    benchmark beyond the paper's two, showing how to target a new
+    circuit with the same modeling machinery.
+
+    Modeled metrics:
+    - DC gain (dB): transconductance over output conductance per stage,
+      both moved by drive shifts (mildly nonlinear through the log);
+    - unity-gain bandwidth (MHz): [gm1 / (2 pi Cc)], with the
+      compensation capacitor a layout parasitic;
+    - input offset voltage (mV): the classic differential-pair mismatch
+      — exactly the paper's Sec. IV-A illustration (eq. 36-37), with
+      the input pair extracted as multifinger devices post-layout.
+
+    The offset metric makes this the reference testbench for prior
+    mapping: its schematic model is literally
+    [alpha_1 x_1 + alpha_2 x_2 + alpha_3] over the two input devices'
+    threshold variables. *)
+
+type config = {
+  vars_per_device : int;
+  input_pair_fingers : int;  (** Post-layout fingers of the input pair. *)
+  interdie : int;
+  compensation_nodes : int;  (** RC tree of the compensation network. *)
+  profile : Device.profile;
+  interdie_sigma : float;
+  parasitic_sigma : float;
+  nonlinearity : float;
+  sim_noise : float;
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> int -> t
+(** [create seed]: seeded ground truth, as for the other benchmarks. *)
+
+val config : t -> config
+
+val gain_index : int
+(** 0 — DC gain in dB. *)
+
+val bandwidth_index : int
+(** 1 — unity-gain bandwidth in MHz. *)
+
+val offset_index : int
+(** 2 — input offset voltage in mV. *)
+
+val testbench : t -> Testbench.t

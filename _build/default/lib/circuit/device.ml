@@ -1,0 +1,108 @@
+type profile = {
+  mismatch_sigma : float;
+  layout_discrepancy : float;
+  finger_imbalance : float;
+}
+
+let default_profile =
+  { mismatch_sigma = 0.03; layout_discrepancy = 0.12; finger_imbalance = 0.08 }
+
+type t = {
+  name : string;
+  fingers : int;
+  vars : int array;
+  sens_schematic : float array; (* per mismatch var *)
+  sens_layout : float array; (* perturbed at layout *)
+  finger_weights : float array array; (* per var, length fingers, sum w^2 = 1 *)
+  interdie : (int * float * float) array; (* var, schematic sens, layout sens *)
+}
+
+(* Decaying magnitude profile: Vth-like term dominates, a current-factor
+   term at ~40%, then an exponentially decaying tail. Signs random. *)
+let draw_sensitivities rng ~sigma ~count =
+  Array.init count (fun j ->
+      let magnitude =
+        if j = 0 then sigma
+        else if j = 1 then 0.45 *. sigma
+        else 0.22 *. sigma *. exp (-.float_of_int (j - 2) /. 8.)
+      in
+      magnitude *. (1. +. (0.3 *. Stats.Rng.gaussian rng))
+      *. (if Stats.Rng.bool rng then 1. else -1.))
+
+let perturb rng ~discrepancy s =
+  s *. (1. +. (discrepancy *. Stats.Rng.gaussian rng))
+
+let draw_finger_weights rng ~fingers ~imbalance =
+  let raw =
+    Array.init fingers (fun _ ->
+        Float.max 0.1 (1. +. (imbalance *. Stats.Rng.gaussian rng)))
+  in
+  let norm = sqrt (Array.fold_left (fun acc w -> acc +. (w *. w)) 0. raw) in
+  Array.map (fun w -> w /. norm) raw
+
+let make ~rng ~process ~name ~fingers ~vars_per_device ?(interdie_sens = [])
+    profile =
+  if fingers < 1 then invalid_arg "Device.make: fingers must be >= 1";
+  let vars = Process.alloc_device process ~count:vars_per_device in
+  let sens_schematic =
+    draw_sensitivities rng ~sigma:profile.mismatch_sigma ~count:vars_per_device
+  in
+  let sens_layout =
+    Array.map
+      (perturb rng ~discrepancy:profile.layout_discrepancy)
+      sens_schematic
+  in
+  let finger_weights =
+    Array.init vars_per_device (fun _ ->
+        draw_finger_weights rng ~fingers ~imbalance:profile.finger_imbalance)
+  in
+  let interdie =
+    Array.of_list
+      (List.map
+         (fun (v, s) ->
+           (v, s, perturb rng ~discrepancy:profile.layout_discrepancy s))
+         interdie_sens)
+  in
+  { name; fingers; vars; sens_schematic; sens_layout; finger_weights; interdie }
+
+let name t = t.name
+
+let fingers t = t.fingers
+
+let vars t = Array.copy t.vars
+
+let schematic_shift t x =
+  let acc = ref 0. in
+  Array.iteri
+    (fun j v -> acc := !acc +. (t.sens_schematic.(j) *. x.(v)))
+    t.vars;
+  Array.iter (fun (v, s, _) -> acc := !acc +. (s *. x.(v))) t.interdie;
+  !acc
+
+let layout_shift t mapping x =
+  let acc = ref 0. in
+  Array.iteri
+    (fun j v ->
+      (* aggregate the finger variables of schematic variable v *)
+      let w = t.finger_weights.(j) in
+      let agg = ref 0. in
+      for finger = 0 to t.fingers - 1 do
+        agg :=
+          !agg
+          +. (w.(finger) *. x.(Bmf.Prior_mapping.late_var mapping ~sch:v ~finger))
+      done;
+      acc := !acc +. (t.sens_layout.(j) *. !agg))
+    t.vars;
+  Array.iter
+    (fun (v, _, s_lay) ->
+      (* interdie variables have one finger by construction *)
+      acc := !acc +. (s_lay *. x.(Bmf.Prior_mapping.late_var mapping ~sch:v ~finger:0)))
+    t.interdie;
+  !acc
+
+let schematic_coefficients t =
+  let mismatch =
+    Array.to_list (Array.mapi (fun j v -> (v, t.sens_schematic.(j))) t.vars)
+  in
+  let inter = Array.to_list (Array.map (fun (v, s, _) -> (v, s)) t.interdie) in
+  mismatch @ inter

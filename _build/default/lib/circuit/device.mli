@@ -1,0 +1,69 @@
+(** A MOS device in the statistical substrate.
+
+    Each device owns a block of mismatch variables with a decaying
+    sensitivity profile (threshold voltage dominates, then current
+    factor, then a tail of smaller contributors — mimicking the ~40
+    PDK mismatch parameters), plus responses to the shared interdie
+    variables.
+
+    The device exposes its relative "drive shift" — the fractional change
+    of its drive strength — at both stages:
+
+    - schematic: a linear form over the schematic variables;
+    - layout: the same form with each mismatch variable replaced by a
+      weighted combination of its finger variables (weights nominally
+      [1/sqrt W], perturbed by layout-systematic imbalance), with
+      sensitivities themselves perturbed by the layout discrepancy.
+
+    With zero imbalance and zero discrepancy the layout shift's linear
+    coefficients equal the schematic ones split by [1/sqrt W] — exactly
+    the paper's prior-mapping assumption (eq. 47-49); tests verify this. *)
+
+type t
+
+type profile = {
+  mismatch_sigma : float;
+      (** Scale of the dominant (threshold) sensitivity. *)
+  layout_discrepancy : float;
+      (** Relative perturbation of sensitivities at layout (systematic
+          layout effects). *)
+  finger_imbalance : float;
+      (** Relative unevenness of finger weights at layout. *)
+}
+
+val default_profile : profile
+
+val make :
+  rng:Stats.Rng.t ->
+  process:Process.t ->
+  name:string ->
+  fingers:int ->
+  vars_per_device:int ->
+  ?interdie_sens:(int * float) list ->
+  profile ->
+  t
+(** Allocates the device's variables from [process] and draws its
+    sensitivities. [interdie_sens] couples the device to interdie
+    variables (pairs of variable index and schematic sensitivity); the
+    layout sensitivity of interdie terms gets the same discrepancy
+    treatment. *)
+
+val name : t -> string
+
+val fingers : t -> int
+
+val vars : t -> int array
+(** The device's schematic mismatch variable indices. *)
+
+val schematic_shift : t -> Linalg.Vec.t -> float
+(** Relative drive shift at the schematic stage; the argument is the
+    full schematic variable vector. *)
+
+val layout_shift : t -> Bmf.Prior_mapping.t -> Linalg.Vec.t -> float
+(** Relative drive shift at the post-layout stage; the argument is the
+    full layout variable vector (finger-expanded, parasitics may follow
+    and are ignored here). *)
+
+val schematic_coefficients : t -> (int * float) list
+(** The exact linear form of {!schematic_shift}: (variable, coefficient)
+    pairs, used by tests and diagnostics. *)

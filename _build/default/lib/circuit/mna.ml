@@ -1,0 +1,131 @@
+type element =
+  | Resistor of { a : int; b : int; ohms : float }
+  | Conductance of { a : int; b : int; siemens : float }
+  | Current_source of { from_node : int; to_node : int; amps : float }
+  | Voltage_source of { plus : int; minus : int; volts : float }
+
+type circuit = {
+  nodes : int;
+  mutable elements : element list; (* reverse order of addition *)
+  mutable n_vsources : int;
+}
+
+let create ~nodes =
+  if nodes < 1 then invalid_arg "Mna.create: need at least the ground node";
+  { nodes; elements = []; n_vsources = 0 }
+
+let check_node c n =
+  if n < 0 || n >= c.nodes then
+    invalid_arg (Printf.sprintf "Mna: node %d out of range" n)
+
+let add c e =
+  (match e with
+  | Resistor { a; b; ohms } ->
+      check_node c a;
+      check_node c b;
+      if ohms <= 0. then invalid_arg "Mna.add: resistance must be positive"
+  | Conductance { a; b; siemens } ->
+      check_node c a;
+      check_node c b;
+      if siemens <= 0. then invalid_arg "Mna.add: conductance must be positive"
+  | Current_source { from_node; to_node; _ } ->
+      check_node c from_node;
+      check_node c to_node
+  | Voltage_source { plus; minus; _ } ->
+      check_node c plus;
+      check_node c minus;
+      c.n_vsources <- c.n_vsources + 1);
+  c.elements <- e :: c.elements
+
+type solution = { voltages : float array; branch_currents : float array }
+
+(* Unknowns: voltages of nodes 1..n-1, then one branch current per
+   voltage source. Ground row/column eliminated. *)
+let solve c =
+  let n = c.nodes - 1 in
+  let nv = c.n_vsources in
+  let dim = n + nv in
+  if dim = 0 then { voltages = [| 0. |]; branch_currents = [||] }
+  else begin
+    let idx node = node - 1 in
+    let triplets = ref [] and rhs = Array.make dim 0. in
+    let stamp r cl v =
+      triplets := { Linalg.Sparse.row = r; col = cl; value = v } :: !triplets
+    in
+    let vsrc = ref 0 in
+    List.iter
+      (fun e ->
+        match e with
+        | Resistor { a; b; ohms } | Conductance { a; b; siemens = ohms } ->
+            let g =
+              match e with
+              | Resistor _ -> 1. /. ohms
+              | _ -> ohms
+            in
+            if a <> 0 then stamp (idx a) (idx a) g;
+            if b <> 0 then stamp (idx b) (idx b) g;
+            if a <> 0 && b <> 0 then begin
+              stamp (idx a) (idx b) (-.g);
+              stamp (idx b) (idx a) (-.g)
+            end
+        | Current_source { from_node; to_node; amps } ->
+            if from_node <> 0 then rhs.(idx from_node) <- rhs.(idx from_node) -. amps;
+            if to_node <> 0 then rhs.(idx to_node) <- rhs.(idx to_node) +. amps
+        | Voltage_source { plus; minus; volts } ->
+            let row = n + !vsrc in
+            incr vsrc;
+            if plus <> 0 then begin
+              stamp (idx plus) row 1.;
+              stamp row (idx plus) 1.
+            end;
+            if minus <> 0 then begin
+              stamp (idx minus) row (-1.);
+              stamp row (idx minus) (-1.)
+            end;
+            rhs.(row) <- volts)
+      (List.rev c.elements);
+    let a = Linalg.Sparse.of_triplets ~rows:dim ~cols:dim !triplets in
+    let x =
+      try Linalg.Lu.solve_system (Linalg.Sparse.to_dense a) rhs
+      with Linalg.Lu.Singular _ ->
+        failwith "Mna.solve: singular system (floating node?)"
+    in
+    let voltages = Array.make c.nodes 0. in
+    for node = 1 to c.nodes - 1 do
+      voltages.(node) <- x.(idx node)
+    done;
+    { voltages; branch_currents = Array.init nv (fun i -> x.(n + i)) }
+  end
+
+let voltage s node =
+  if node < 0 || node >= Array.length s.voltages then
+    invalid_arg "Mna.voltage: node out of range";
+  s.voltages.(node)
+
+let source_current s i =
+  if i < 0 || i >= Array.length s.branch_currents then
+    invalid_arg "Mna.source_current: index out of range";
+  s.branch_currents.(i)
+
+let resistance_between c a b =
+  check_node c a;
+  check_node c b;
+  if a = b then 0.
+  else begin
+    (* Copy the resistive part only; suppress sources (current sources
+       open, voltage sources shorted — shorting is approximated by a
+       very large conductance). *)
+    let probe = create ~nodes:c.nodes in
+    List.iter
+      (fun e ->
+        match e with
+        | Resistor _ | Conductance _ -> add probe e
+        | Current_source _ -> ()
+        | Voltage_source { plus; minus; _ } ->
+            if plus <> minus then
+              add probe (Conductance { a = plus; b = minus; siemens = 1e9 }))
+      (List.rev c.elements);
+    add probe (Current_source { from_node = b; to_node = a; amps = 1. });
+    let s = solve probe in
+    voltage s a -. voltage s b
+  end

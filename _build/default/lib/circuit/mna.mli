@@ -1,0 +1,43 @@
+(** Modified nodal analysis for linear resistive networks.
+
+    Circuit elements (conductances, current sources, voltage sources) are
+    stamped into a sparse system [G v = i]; node 0 is ground and is
+    eliminated. Voltage sources are handled with the standard MNA branch
+    currents. This solver evaluates the parasitic networks produced by
+    "layout extraction" in the circuit substrate. *)
+
+type element =
+  | Resistor of { a : int; b : int; ohms : float }
+  | Conductance of { a : int; b : int; siemens : float }
+  | Current_source of { from_node : int; to_node : int; amps : float }
+      (** Conventional current flowing from [from_node] to [to_node]. *)
+  | Voltage_source of { plus : int; minus : int; volts : float }
+
+type circuit
+
+val create : nodes:int -> circuit
+(** A circuit with nodes [0 .. nodes - 1]; node 0 is ground.
+    @raise Invalid_argument when [nodes < 1]. *)
+
+val add : circuit -> element -> unit
+(** @raise Invalid_argument on out-of-range nodes or non-positive
+    resistance. *)
+
+type solution
+
+val solve : circuit -> solution
+(** Assembles and solves the MNA system (dense LU for the small systems
+    used here; the assembled matrix is sparse CSR).
+    @raise Failure when the system is singular (e.g. floating nodes). *)
+
+val voltage : solution -> int -> float
+(** Node voltage (ground is 0). *)
+
+val source_current : solution -> int -> float
+(** Branch current through the [n]th voltage source (in order of
+    addition), flowing from [plus] to [minus] through the source. *)
+
+val resistance_between : circuit -> int -> int -> float
+(** Effective (Thevenin) resistance between two nodes of the resistive
+    part of the circuit, by injecting a unit test current. Sources
+    already present are zeroed (ideal sources suppressed). *)

@@ -1,0 +1,50 @@
+type entry = {
+  ref_name : string;
+  kind : string;
+  ports : string list;
+  params : (string * float) list;
+}
+
+type t = { name : string; mutable entries : entry list (* reversed *) }
+
+let create ~name = { name; entries = [] }
+
+let add t e = t.entries <- e :: t.entries
+
+let name t = t.name
+
+let entries t = List.rev t.entries
+
+let count_kind t kind =
+  List.fold_left
+    (fun acc e -> if e.kind = kind then acc + 1 else acc)
+    0 t.entries
+
+let kinds t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let cur = try Hashtbl.find tbl e.kind with Not_found -> 0 in
+      Hashtbl.replace tbl e.kind (cur + 1))
+    t.entries;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let summary fmt t =
+  Format.fprintf fmt "@[<v>netlist %s:" t.name;
+  List.iter
+    (fun (kind, count) -> Format.fprintf fmt "@,  %-24s x%d" kind count)
+    (kinds t);
+  Format.fprintf fmt "@]"
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>* netlist %s" t.name;
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "@,%s %s (%s)" e.ref_name e.kind
+        (String.concat " " e.ports);
+      List.iter
+        (fun (k, v) -> Format.fprintf fmt " %s=%g" k v)
+        e.params)
+    (entries t);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,32 @@
+(** Lightweight structural netlists, used to document the benchmark
+    circuits (the textual counterpart of the paper's Fig. 3 and Fig. 6
+    schematics) and to keep device/component bookkeeping auditable. *)
+
+type entry = {
+  ref_name : string;  (** Instance name, e.g. "INV3.MN". *)
+  kind : string;  (** Component kind, e.g. "nmos", "rc-tree". *)
+  ports : string list;
+  params : (string * float) list;
+}
+
+type t
+
+val create : name:string -> t
+
+val add : t -> entry -> unit
+
+val name : t -> string
+
+val entries : t -> entry list
+(** In order of addition. *)
+
+val count_kind : t -> string -> int
+
+val kinds : t -> (string * int) list
+(** Distinct kinds with their counts, alphabetical. *)
+
+val summary : Format.formatter -> t -> unit
+(** Component-count summary (one line per kind). *)
+
+val pp : Format.formatter -> t -> unit
+(** Full netlist listing. *)

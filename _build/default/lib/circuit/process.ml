@@ -1,0 +1,15 @@
+type t = { interdie : int; mutable next : int }
+
+let create ~interdie =
+  if interdie < 0 then invalid_arg "Process.create: negative interdie count";
+  { interdie; next = interdie }
+
+let interdie_vars t = Array.init t.interdie (fun i -> i)
+
+let alloc_device t ~count =
+  if count <= 0 then invalid_arg "Process.alloc_device: count must be positive";
+  let base = t.next in
+  t.next <- t.next + count;
+  Array.init count (fun i -> base + i)
+
+let total_vars t = t.next

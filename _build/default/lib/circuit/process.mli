@@ -1,0 +1,27 @@
+(** The statistical process model: allocation of independent
+    standard-normal variation variables (paper eq. 1).
+
+    In the real flow the PDK assigns each device ~40 mismatch random
+    variables plus chip-level interdie variables; here a [Process.t]
+    plays that role, handing out contiguous index blocks in the
+    schematic-stage variable space. The layout-stage space is derived
+    from it by [Bmf.Prior_mapping] (finger expansion) plus appended
+    parasitic variables. *)
+
+type t
+
+val create : interdie:int -> t
+(** A fresh variable space whose first [interdie] indices are the shared
+    interdie (die-to-die) variables.
+    @raise Invalid_argument on negative [interdie]. *)
+
+val interdie_vars : t -> int array
+(** Indices of the interdie variables. *)
+
+val alloc_device : t -> count:int -> int array
+(** Allocates [count] fresh mismatch variables for one device and
+    returns their indices.
+    @raise Invalid_argument on non-positive [count]. *)
+
+val total_vars : t -> int
+(** Number of variables allocated so far (the schematic dimension [R]). *)

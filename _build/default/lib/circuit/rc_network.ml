@@ -1,0 +1,120 @@
+type t = {
+  parent : int array; (* parent.(i) is the parent of node i + 1 *)
+  r : float array; (* nominal resistance of edge i (into node i + 1) *)
+  c : float array; (* nominal capacitance at node i + 1 *)
+}
+
+let node_count t = Array.length t.parent + 1
+
+let edge_count t = Array.length t.parent
+
+let random_tree rng ~nodes ~r_nominal ~c_nominal =
+  if nodes < 2 then invalid_arg "Rc_network.random_tree: need >= 2 nodes";
+  let n_edges = nodes - 1 in
+  let parent =
+    Array.init n_edges (fun i ->
+        (* node i+1 attaches to a uniformly random earlier node *)
+        if i = 0 then 0 else Stats.Rng.int rng (i + 1))
+  in
+  let log_uniform nominal =
+    nominal *. exp (Stats.Rng.uniform rng ~lo:(-0.7) ~hi:0.7)
+  in
+  {
+    parent;
+    r = Array.init n_edges (fun _ -> log_uniform r_nominal);
+    c = Array.init n_edges (fun _ -> log_uniform c_nominal);
+  }
+
+let chain ~segments ~r_per_segment ~c_per_segment =
+  if segments < 1 then invalid_arg "Rc_network.chain: need >= 1 segment";
+  if r_per_segment <= 0. || c_per_segment <= 0. then
+    invalid_arg "Rc_network.chain: values must be positive";
+  {
+    parent = Array.init segments (fun i -> i);
+    r = Array.make segments r_per_segment;
+    c = Array.make segments c_per_segment;
+  }
+
+let id_scale (_ : int) = 1.
+
+let total_capacitance ?(c_scale = id_scale) t =
+  let acc = ref 0. in
+  Array.iteri (fun i c -> acc := !acc +. (c *. c_scale i)) t.c;
+  !acc
+
+let path_resistance ?(r_scale = id_scale) t node =
+  if node < 0 || node >= node_count t then
+    invalid_arg "Rc_network.path_resistance: node out of range";
+  let acc = ref 0. in
+  let cur = ref node in
+  while !cur <> 0 do
+    let e = !cur - 1 in
+    acc := !acc +. (t.r.(e) *. r_scale e);
+    cur := t.parent.(e)
+  done;
+  !acc
+
+(* Shared-path resistance between the root-paths of two nodes in a tree:
+   ascend the deeper path until the two meet, accumulating only edges
+   common to both paths. Simpler: R_shared(j, k) = sum of scaled edge
+   resistances on path(0, j) /\ path(0, k); we mark path(0, j) then walk
+   path(0, k). *)
+let shared_resistance ?(r_scale = id_scale) t j k =
+  let on_path = Array.make (node_count t) false in
+  let cur = ref j in
+  while !cur <> 0 do
+    on_path.(!cur) <- true;
+    cur := t.parent.(!cur - 1)
+  done;
+  (* walk up from k to the first marked node = lowest common ancestor,
+     then accumulate from there to the root *)
+  let cur = ref k in
+  while !cur <> 0 && not on_path.(!cur) do
+    cur := t.parent.(!cur - 1)
+  done;
+  let acc = ref 0. in
+  while !cur <> 0 do
+    let e = !cur - 1 in
+    acc := !acc +. (t.r.(e) *. r_scale e);
+    cur := t.parent.(e)
+  done;
+  !acc
+
+let elmore_delay ?(r_scale = id_scale) ?(c_scale = id_scale) t node =
+  if node < 0 || node >= node_count t then
+    invalid_arg "Rc_network.elmore_delay: node out of range";
+  let acc = ref 0. in
+  for k = 1 to node_count t - 1 do
+    let ck = t.c.(k - 1) *. c_scale (k - 1) in
+    acc := !acc +. (ck *. shared_resistance ~r_scale t node k)
+  done;
+  !acc
+
+let worst_elmore ?(r_scale = id_scale) ?(c_scale = id_scale) t =
+  let best = ref 0. in
+  for node = 1 to node_count t - 1 do
+    best := Float.max !best (elmore_delay ~r_scale ~c_scale t node)
+  done;
+  !best
+
+let to_mna ?(r_scale = id_scale) t =
+  let c = Mna.create ~nodes:(node_count t) in
+  Array.iteri
+    (fun e p ->
+      Mna.add c (Mna.Resistor { a = p; b = e + 1; ohms = t.r.(e) *. r_scale e }))
+    t.parent;
+  c
+
+let effective_rc ?(r_scale = id_scale) ?(c_scale = id_scale) t =
+  (* critical sink = largest path resistance *)
+  let sink = ref 1 and best = ref neg_infinity in
+  for node = 1 to node_count t - 1 do
+    let r = path_resistance ~r_scale t node in
+    if r > !best then begin
+      best := r;
+      sink := node
+    end
+  done;
+  let circuit = to_mna ~r_scale t in
+  let r_eff = Mna.resistance_between circuit 0 !sink in
+  r_eff *. total_capacitance ~c_scale t

@@ -1,0 +1,63 @@
+(** Parasitic RC interconnect trees, as produced by layout extraction.
+
+    A network is a rooted tree: node 0 is the driver; every other node
+    hangs off a parent through a parasitic resistance and carries a
+    parasitic capacitance to ground. Element values are perturbed
+    multiplicatively by per-element variation factors at evaluation time,
+    which is how layout-parasitic process variables enter the late-stage
+    performance models.
+
+    Two delay evaluators are provided: the classical Elmore delay (tree
+    recursion, used in the simulation hot path) and an MNA-based
+    effective-RC product ({!Mna} solve); tests check they agree on path
+    resistances. *)
+
+type t
+
+val random_tree :
+  Stats.Rng.t ->
+  nodes:int ->
+  r_nominal:float ->
+  c_nominal:float ->
+  t
+(** A random tree with [nodes] nodes (including the driver), edge
+    resistances around [r_nominal] and node capacitances around
+    [c_nominal] (log-uniform within a factor ~2).
+    @raise Invalid_argument when [nodes < 2]. *)
+
+val chain :
+  segments:int -> r_per_segment:float -> c_per_segment:float -> t
+(** A uniform RC ladder — the classical bitline/wire model. *)
+
+val node_count : t -> int
+
+val edge_count : t -> int
+(** Always [node_count - 1]. *)
+
+val total_capacitance : ?c_scale:(int -> float) -> t -> float
+(** Sum of (scaled) node capacitances; [c_scale i] multiplies the
+    capacitance at node [i + 1] (default all 1). *)
+
+val elmore_delay :
+  ?r_scale:(int -> float) ->
+  ?c_scale:(int -> float) ->
+  t ->
+  int ->
+  float
+(** Elmore delay from the driver to a node: [sum_k C_k * R_shared(k)].
+    [r_scale e] multiplies edge [e]'s resistance. *)
+
+val worst_elmore : ?r_scale:(int -> float) -> ?c_scale:(int -> float) -> t -> float
+(** Largest Elmore delay over all nodes (the critical sink). *)
+
+val effective_rc :
+  ?r_scale:(int -> float) -> ?c_scale:(int -> float) -> t -> float
+(** MNA-evaluated effective resistance from the driver to the critical
+    sink, times total capacitance — a single-pole surrogate of the
+    interconnect delay. *)
+
+val path_resistance : ?r_scale:(int -> float) -> t -> int -> float
+(** Sum of (scaled) edge resistances from the driver to a node. *)
+
+val to_mna : ?r_scale:(int -> float) -> t -> Mna.circuit
+(** The resistive skeleton as an MNA circuit (capacitors omitted — DC). *)

@@ -1,0 +1,330 @@
+type config = {
+  stages : int;
+  vars_per_device : int;
+  fingers : int;
+  interdie : int;
+  parasitic_nodes : int;
+  profile : Device.profile;
+  interdie_sigma : float;
+  parasitic_sigma : float;
+  parasitic_delay_fraction : float;
+  nonlinearity : float;
+  sim_noise : float;
+  vdd : float;
+  nominal_stage_delay_ps : float;
+}
+
+let default_config =
+  {
+    stages = 11;
+    vars_per_device = 18;
+    fingers = 2;
+    interdie = 12;
+    parasitic_nodes = 5;
+    profile = Device.default_profile;
+    interdie_sigma = 0.005;
+    parasitic_sigma = 0.08;
+    parasitic_delay_fraction = 0.18;
+    nonlinearity = 1.0;
+    sim_noise = 0.002;
+    vdd = 0.9;
+    nominal_stage_delay_ps = 8.0;
+  }
+
+let paper_scale_config =
+  {
+    default_config with
+    stages = 35;
+    vars_per_device = 48;
+    interdie = 20;
+    parasitic_nodes = 9;
+  }
+
+type stage_data = {
+  nmos : Device.t;
+  pmos : Device.t;
+  tau0 : float; (* nominal schematic delay, ps *)
+  c0 : float; (* nominal switched capacitance, fF *)
+  tree : Rc_network.t;
+  elmore0 : float; (* nominal Elmore delay of the tree *)
+  noise0 : float; (* nominal phase-noise contribution *)
+}
+
+type t = {
+  cfg : config;
+  stage_data : stage_data array;
+  mapping : Bmf.Prior_mapping.t;
+  parasitic_base : int; (* first parasitic variable index (layout space) *)
+  parasitic_per_stage : int;
+  layout_dim : int;
+  schematic_dim : int;
+  leak_frac : float; (* leakage share of nominal power *)
+  leak_sigma : float;
+  pn0_db : float;
+  pn_noise_db : float;
+  netlist : Netlist.t;
+}
+
+let power_index = 0
+
+let phase_noise_index = 1
+
+let frequency_index = 2
+
+let metric_names = [| "power"; "phase_noise"; "frequency" |]
+
+(* Interdie coupling: each interdie variable has a global "direction"
+   shared by all devices (with small per-device scatter), so these few
+   variables carry large model coefficients — like real D2D variation. *)
+let draw_interdie_directions rng ~interdie ~sigma =
+  Array.init interdie (fun _ ->
+      sigma
+      *. (1. +. (0.25 *. Stats.Rng.gaussian rng))
+      *. (if Stats.Rng.bool rng then 1. else -1.))
+
+let create ?(config = default_config) seed =
+  let cfg = config in
+  if cfg.stages < 3 || cfg.stages mod 2 = 0 then
+    invalid_arg "Ring_oscillator.create: stages must be odd and >= 3";
+  let rng = Stats.Rng.create seed in
+  let process = Process.create ~interdie:cfg.interdie in
+  let interdie_dirs =
+    draw_interdie_directions rng ~interdie:cfg.interdie ~sigma:cfg.interdie_sigma
+  in
+  let netlist = Netlist.create ~name:"ring-oscillator" in
+  let interdie_sens dev_scale =
+    Array.to_list
+      (Array.mapi
+         (fun v dir ->
+           (v, dir *. dev_scale *. (1. +. (0.15 *. Stats.Rng.gaussian rng))))
+         interdie_dirs)
+  in
+  let stage_data =
+    Array.init cfg.stages (fun i ->
+        let nmos =
+          Device.make ~rng ~process
+            ~name:(Printf.sprintf "INV%d.MN" i)
+            ~fingers:cfg.fingers ~vars_per_device:cfg.vars_per_device
+            ~interdie_sens:(interdie_sens 1.0) cfg.profile
+        in
+        let pmos =
+          Device.make ~rng ~process
+            ~name:(Printf.sprintf "INV%d.MP" i)
+            ~fingers:cfg.fingers ~vars_per_device:cfg.vars_per_device
+            ~interdie_sens:(interdie_sens 0.8) cfg.profile
+        in
+        let tau0 =
+          cfg.nominal_stage_delay_ps *. (1. +. (0.08 *. Stats.Rng.gaussian rng))
+        in
+        let c0 = 1.8 *. (1. +. (0.08 *. Stats.Rng.gaussian rng)) in
+        let tree =
+          Rc_network.random_tree rng ~nodes:cfg.parasitic_nodes
+            ~r_nominal:120. ~c_nominal:0.35
+        in
+        let elmore0 = Rc_network.worst_elmore tree in
+        let noise0 = 1. +. (0.1 *. Stats.Rng.gaussian rng) in
+        Netlist.add netlist
+          {
+            Netlist.ref_name = Device.name nmos;
+            kind = "nmos";
+            ports = [ Printf.sprintf "n%d" i; Printf.sprintf "n%d" ((i + 1) mod cfg.stages) ];
+            params = [ ("fingers", float_of_int cfg.fingers) ];
+          };
+        Netlist.add netlist
+          {
+            Netlist.ref_name = Device.name pmos;
+            kind = "pmos";
+            ports = [ Printf.sprintf "n%d" i; Printf.sprintf "n%d" ((i + 1) mod cfg.stages) ];
+            params = [ ("fingers", float_of_int cfg.fingers) ];
+          };
+        Netlist.add netlist
+          {
+            Netlist.ref_name = Printf.sprintf "INV%d.PAR" i;
+            kind = "rc-tree";
+            ports = [ Printf.sprintf "n%d" ((i + 1) mod cfg.stages) ];
+            params =
+              [
+                ("nodes", float_of_int cfg.parasitic_nodes);
+                ("elmore_ps", elmore0 /. 1000.);
+              ];
+          };
+        { nmos; pmos; tau0; c0; tree; elmore0; noise0 })
+  in
+  let schematic_dim = Process.total_vars process in
+  (* finger expansion: interdie variables keep one finger, device
+     mismatch variables get cfg.fingers each *)
+  let finger_spec = Array.make schematic_dim cfg.fingers in
+  for v = 0 to cfg.interdie - 1 do
+    finger_spec.(v) <- 1
+  done;
+  let mapping = Bmf.Prior_mapping.create finger_spec in
+  let parasitic_base = Bmf.Prior_mapping.late_dim mapping in
+  let parasitic_per_stage = 2 * (cfg.parasitic_nodes - 1) in
+  let layout_dim = parasitic_base + (cfg.stages * parasitic_per_stage) in
+  {
+    cfg;
+    stage_data;
+    mapping;
+    parasitic_base;
+    parasitic_per_stage;
+    layout_dim;
+    schematic_dim;
+    leak_frac = 0.12;
+    leak_sigma = 0.10;
+    pn0_db = -92.;
+    pn_noise_db = 0.03;
+    netlist;
+  }
+
+let config t = t.cfg
+
+(* Parasitic variable index for stage i: slot [0, parasitic_per_stage). *)
+let pvar t i slot = t.parasitic_base + (i * t.parasitic_per_stage) + slot
+
+(* Clamped multiplicative element move: keeps RC values physical even at
+   extreme sigma. *)
+let element_scale sigma v = Float.max 0.2 (1. +. (sigma *. v))
+
+(* Core behavioral evaluation: per-stage delay, switched cap, leakage
+   drive and noise, then the three metrics. *)
+type operating_point = {
+  freq_ghz : float;
+  cap_total : float;
+  leak_z : float; (* standard-normal-ish leakage driver *)
+  noise_sum : float;
+}
+
+let evaluate t ~stage x =
+  let cfg = t.cfg in
+  let n = cfg.stages in
+  let total_delay = ref 0. in
+  let cap_total = ref 0. in
+  let leak_z = ref 0. in
+  let noise_sum = ref 0. in
+  for i = 0 to n - 1 do
+    let sd = t.stage_data.(i) in
+    let d =
+      match stage with
+      | Stage.Schematic ->
+          0.5
+          *. (Device.schematic_shift sd.nmos x
+             +. Device.schematic_shift sd.pmos x)
+      | Stage.Layout ->
+          0.5
+          *. (Device.layout_shift sd.nmos t.mapping x
+             +. Device.layout_shift sd.pmos t.mapping x)
+    in
+    (* gate delay: faster devices (d > 0) shorten the stage *)
+    let gate_delay =
+      sd.tau0 *. (1. -. d +. (cfg.nonlinearity *. 0.5 *. d *. d))
+    in
+    let wire_delay, par_cap_shift =
+      match stage with
+      | Stage.Schematic -> (0., 0.)
+      | Stage.Layout ->
+          let r_scale e =
+            element_scale cfg.parasitic_sigma x.(pvar t i (2 * e))
+          in
+          let c_scale e =
+            element_scale cfg.parasitic_sigma x.(pvar t i ((2 * e) + 1))
+          in
+          let elm = Rc_network.elmore_delay ~r_scale ~c_scale sd.tree
+              (Rc_network.node_count sd.tree - 1)
+          in
+          let elm = Float.max (0.05 *. sd.elmore0) elm in
+          let cap =
+            Rc_network.total_capacitance ~c_scale sd.tree
+            /. Rc_network.total_capacitance sd.tree
+          in
+          ( cfg.parasitic_delay_fraction *. sd.tau0 *. (elm /. sd.elmore0),
+            cap -. 1. )
+    in
+    total_delay := !total_delay +. gate_delay +. wire_delay;
+    let cap_shift = (0.3 *. d) +. (0.4 *. par_cap_shift) in
+    cap_total := !cap_total +. (sd.c0 *. (1. +. cap_shift));
+    (* threshold-voltage-like mismatch drives leakage: use each device's
+       dominant variable through its shift (d is a fine proxy) *)
+    leak_z := !leak_z +. d;
+    noise_sum :=
+      !noise_sum +. (sd.noise0 *. (1. -. (0.8 *. d) +. (0.3 *. par_cap_shift)))
+  done;
+  let freq_ghz = 1000. /. (2. *. !total_delay) in
+  {
+    freq_ghz;
+    cap_total = !cap_total;
+    (* normalize the summed drive shifts to a roughly standard-normal
+       leakage driver (per-stage shift std is ~0.03) *)
+    leak_z = !leak_z /. (0.03 *. sqrt (float_of_int n));
+    noise_sum = !noise_sum;
+  }
+
+let metric_value t ~stage op metric =
+  let cfg = t.cfg in
+  if metric = frequency_index then op.freq_ghz
+  else if metric = power_index then begin
+    (* dynamic CV^2 f (fF * V^2 * GHz = uW) plus leakage *)
+    let dynamic = op.cap_total *. cfg.vdd *. cfg.vdd *. op.freq_ghz in
+    let nominal_dynamic =
+      (* reference: cap at nominal, freq at nominal *)
+      let c0 = Array.fold_left (fun acc sd -> acc +. sd.c0) 0. t.stage_data in
+      let tau0 =
+        Array.fold_left (fun acc sd -> acc +. sd.tau0) 0. t.stage_data
+      in
+      let tau0 =
+        match stage with
+        | Stage.Schematic -> tau0
+        | Stage.Layout -> tau0 *. (1. +. cfg.parasitic_delay_fraction)
+      in
+      c0 *. cfg.vdd *. cfg.vdd *. (1000. /. (2. *. tau0))
+    in
+    let leak =
+      t.leak_frac *. nominal_dynamic *. exp (t.leak_sigma *. op.leak_z)
+    in
+    (dynamic +. leak) /. 1000. (* mW *)
+  end
+  else if metric = phase_noise_index then begin
+    let n0 = Array.fold_left (fun acc sd -> acc +. sd.noise0) 0. t.stage_data in
+    t.pn0_db
+    +. (10. *. log10 (Float.max 1e-6 (op.noise_sum /. n0)))
+    -. (20. *. log10 (op.freq_ghz /. 10.))
+  end
+  else invalid_arg "Ring_oscillator: unknown metric"
+
+let simulate t ~stage ~metric ~noise x =
+  let expected = match stage with
+    | Stage.Schematic -> t.schematic_dim
+    | Stage.Layout -> t.layout_dim
+  in
+  if Array.length x <> expected then
+    invalid_arg
+      (Printf.sprintf "Ring_oscillator.simulate: expected %d variables, got %d"
+         expected (Array.length x));
+  let op = evaluate t ~stage x in
+  let value = metric_value t ~stage op metric in
+  match noise with
+  | None -> value
+  | Some rng ->
+      if metric = phase_noise_index then
+        (* measurement-like additive noise on the dB scale *)
+        value +. (t.pn_noise_db *. Stats.Rng.gaussian rng)
+      else value *. (1. +. (t.cfg.sim_noise *. Stats.Rng.gaussian rng))
+
+let parasitic_terms t =
+  List.init
+    (t.layout_dim - t.parasitic_base)
+    (fun p -> Polybasis.Multi_index.linear (t.parasitic_base + p))
+
+let testbench t =
+  {
+    Testbench.name = "ring-oscillator";
+    schematic_dim = t.schematic_dim;
+    layout_dim = t.layout_dim;
+    mapping = t.mapping;
+    parasitic_terms = parasitic_terms t;
+    metrics = metric_names;
+    simulate = (fun ~stage ~metric ~noise x -> simulate t ~stage ~metric ~noise x);
+    sim_cost_seconds =
+      (fun stage ->
+        match stage with Stage.Schematic -> 5.6 | Stage.Layout -> 50.3);
+    netlist = t.netlist;
+  }

@@ -1,0 +1,68 @@
+(** The ring-oscillator benchmark circuit (paper Sec. V-A, Fig. 3).
+
+    A chain of [stages] CMOS inverters with per-stage parasitic RC trees
+    at the post-layout stage. Three performance metrics are modeled, in
+    the paper's order: power (mW), phase noise (dBc/Hz) and oscillation
+    frequency (GHz).
+
+    The behavioral model (see DESIGN.md Sec. 4 for the substitution
+    argument) is built at [create] time from seeded random sensitivities:
+
+    - every inverter has an NMOS and a PMOS device whose drive shifts
+      are linear forms over their mismatch variables plus the interdie
+      variables ({!Device});
+    - stage delay is [tau0 * (1 - d + nl d^2)] plus, post-layout, an
+      interconnect term proportional to the Elmore delay of the stage's
+      extracted RC tree, whose element values move with the parasitic
+      variables ({!Rc_network});
+    - frequency is [1 / (2 sum delay)]; power combines dynamic
+      [C V^2 f] and a lognormal-ish leakage term; phase noise
+      aggregates per-stage noise in the log domain.
+
+    The response is therefore nearly linear over the +-3 sigma variation
+    range with mild structured nonlinearity — the regime the paper's
+    linear late-stage models operate in. *)
+
+type config = {
+  stages : int;  (** Number of inverters (odd). *)
+  vars_per_device : int;
+  fingers : int;  (** Fingers per device at the post-layout stage. *)
+  interdie : int;  (** Shared die-to-die variables. *)
+  parasitic_nodes : int;  (** Nodes of each stage's parasitic RC tree. *)
+  profile : Device.profile;
+  interdie_sigma : float;  (** Scale of interdie sensitivities. *)
+  parasitic_sigma : float;  (** Relative RC element move per sigma. *)
+  parasitic_delay_fraction : float;
+      (** Interconnect share of the nominal post-layout stage delay. *)
+  nonlinearity : float;  (** Multiplier on the quadratic delay term. *)
+  sim_noise : float;  (** Relative simulation noise per sample. *)
+  vdd : float;
+  nominal_stage_delay_ps : float;
+}
+
+val default_config : config
+(** ~900 post-layout variables; tuned so experiments run in seconds. *)
+
+val paper_scale_config : config
+(** ~7200 post-layout variables, matching the paper's 7177. *)
+
+type t
+
+val create : ?config:config -> int -> t
+(** [create seed] builds the circuit and draws its ground-truth
+    sensitivities; equal seeds give identical circuits. *)
+
+val config : t -> config
+
+val power_index : int
+(** 0 — Table I's metric. *)
+
+val phase_noise_index : int
+(** 1 — Table II's metric. *)
+
+val frequency_index : int
+(** 2 — Table III's metric. *)
+
+val testbench : t -> Testbench.t
+(** Package for the experiment harness; simulation costs are calibrated
+    to the paper's Table IV (50.3 s per post-layout sample). *)

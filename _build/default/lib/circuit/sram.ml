@@ -1,0 +1,306 @@
+type config = {
+  cells : int;
+  vars_per_cell : int;
+  sa_devices : int;
+  wl_devices : int;
+  vars_per_periph_device : int;
+  periph_fingers : int;
+  interdie : int;
+  bitline_segments : int;
+  cell_profile : Device.profile;
+  periph_profile : Device.profile;
+  interdie_sigma : float;
+  leak_coupling : float;
+  parasitic_sigma : float;
+  nonlinearity : float;
+  sim_noise : float;
+}
+
+let default_config =
+  {
+    cells = 160;
+    vars_per_cell = 12;
+    sa_devices = 6;
+    wl_devices = 4;
+    vars_per_periph_device = 16;
+    periph_fingers = 2;
+    interdie = 12;
+    bitline_segments = 16;
+    cell_profile =
+      {
+        Device.mismatch_sigma = 0.035;
+        layout_discrepancy = 0.12;
+        finger_imbalance = 0.;
+      };
+    periph_profile = Device.default_profile;
+    interdie_sigma = 0.01;
+    leak_coupling = 0.04;
+    parasitic_sigma = 0.08;
+    nonlinearity = 1.0;
+    sim_noise = 0.003;
+  }
+
+let paper_scale_config =
+  {
+    default_config with
+    cells = 1280;
+    vars_per_cell = 48;
+    vars_per_periph_device = 40;
+    interdie = 20;
+    bitline_segments = 64;
+  }
+
+type t = {
+  cfg : config;
+  cells : Device.t array; (* index 0 is the accessed cell *)
+  sa : Device.t array;
+  wl : Device.t array;
+  bitline : Rc_network.t;
+  mapping : Bmf.Prior_mapping.t;
+  parasitic_base : int;
+  n_parasitic : int;
+  layout_dim : int;
+  schematic_dim : int;
+  (* nominal timing decomposition, ps *)
+  t_wl0 : float;
+  t_bl0 : float;
+  t_sa0 : float;
+  layout_cbl_growth : float; (* extracted bitline cap vs schematic estimate *)
+  sa_offset_gain : float;
+  netlist : Netlist.t;
+}
+
+let read_delay_index = 0
+
+let metric_names = [| "read_delay" |]
+
+let draw_interdie_directions rng ~interdie ~sigma =
+  Array.init interdie (fun _ ->
+      sigma
+      *. (1. +. (0.25 *. Stats.Rng.gaussian rng))
+      *. (if Stats.Rng.bool rng then 1. else -1.))
+
+let create ?(config = default_config) seed =
+  let cfg = config in
+  if cfg.cells < 2 then invalid_arg "Sram.create: need at least 2 cells";
+  let rng = Stats.Rng.create (seed + 7919) in
+  let process = Process.create ~interdie:cfg.interdie in
+  let interdie_dirs =
+    draw_interdie_directions rng ~interdie:cfg.interdie ~sigma:cfg.interdie_sigma
+  in
+  let interdie_sens dev_scale =
+    Array.to_list
+      (Array.mapi
+         (fun v dir ->
+           (v, dir *. dev_scale *. (1. +. (0.15 *. Stats.Rng.gaussian rng))))
+         interdie_dirs)
+  in
+  let netlist = Netlist.create ~name:"sram-read-path" in
+  let cells =
+    Array.init cfg.cells (fun c ->
+        let d =
+          Device.make ~rng ~process
+            ~name:(Printf.sprintf "CELL%d" c)
+            ~fingers:1 ~vars_per_device:cfg.vars_per_cell
+            ~interdie_sens:(interdie_sens 0.8) cfg.cell_profile
+        in
+        Netlist.add netlist
+          {
+            Netlist.ref_name = Device.name d;
+            kind = "sram-cell";
+            ports = [ "bl"; Printf.sprintf "wl%d" c ];
+            params = [];
+          };
+        d)
+  in
+  let wl =
+    Array.init cfg.wl_devices (fun i ->
+        let d =
+          Device.make ~rng ~process
+            ~name:(Printf.sprintf "WLDRV.M%d" i)
+            ~fingers:cfg.periph_fingers
+            ~vars_per_device:cfg.vars_per_periph_device
+            ~interdie_sens:(interdie_sens 1.0) cfg.periph_profile
+        in
+        Netlist.add netlist
+          {
+            Netlist.ref_name = Device.name d;
+            kind = "wl-driver-mos";
+            ports = [ "wl0" ];
+            params = [ ("fingers", float_of_int cfg.periph_fingers) ];
+          };
+        d)
+  in
+  let sa =
+    Array.init cfg.sa_devices (fun i ->
+        let d =
+          Device.make ~rng ~process
+            ~name:(Printf.sprintf "SA.M%d" i)
+            ~fingers:cfg.periph_fingers
+            ~vars_per_device:cfg.vars_per_periph_device
+            ~interdie_sens:(interdie_sens 1.0) cfg.periph_profile
+        in
+        Netlist.add netlist
+          {
+            Netlist.ref_name = Device.name d;
+            kind = "sense-amp-mos";
+            ports = [ "bl"; "out" ];
+            params = [ ("fingers", float_of_int cfg.periph_fingers) ];
+          };
+        d)
+  in
+  let bitline =
+    Rc_network.chain ~segments:cfg.bitline_segments ~r_per_segment:45.
+      ~c_per_segment:1.1
+  in
+  Netlist.add netlist
+    {
+      Netlist.ref_name = "BL.PAR";
+      kind = "rc-chain";
+      ports = [ "bl" ];
+      params = [ ("segments", float_of_int cfg.bitline_segments) ];
+    };
+  let schematic_dim = Process.total_vars process in
+  let finger_spec = Array.make schematic_dim 1 in
+  Array.iter
+    (fun d ->
+      Array.iter (fun v -> finger_spec.(v) <- cfg.periph_fingers) (Device.vars d))
+    wl;
+  Array.iter
+    (fun d ->
+      Array.iter (fun v -> finger_spec.(v) <- cfg.periph_fingers) (Device.vars d))
+    sa;
+  let mapping = Bmf.Prior_mapping.create finger_spec in
+  let parasitic_base = Bmf.Prior_mapping.late_dim mapping in
+  (* parasitic variables: 2 per bitline segment (R and C), plus 6 for the
+     wordline wire *)
+  let n_parasitic = (2 * cfg.bitline_segments) + 6 in
+  {
+    cfg;
+    cells;
+    sa;
+    wl;
+    bitline;
+    mapping;
+    parasitic_base;
+    n_parasitic;
+    layout_dim = parasitic_base + n_parasitic;
+    schematic_dim;
+    t_wl0 = 28.;
+    t_bl0 = 95.;
+    t_sa0 = 42.;
+    layout_cbl_growth = 1.28;
+    sa_offset_gain = 14.;
+    netlist;
+  }
+
+let config t = t.cfg
+
+let pvar t slot = t.parasitic_base + slot
+
+let element_scale sigma v = Float.max 0.2 (1. +. (sigma *. v))
+
+let shift t ~stage d x =
+  match stage with
+  | Stage.Schematic -> Device.schematic_shift d x
+  | Stage.Layout -> Device.layout_shift d t.mapping x
+
+let mean_shift t ~stage devices x =
+  let acc = ref 0. in
+  Array.iter (fun d -> acc := !acc +. shift t ~stage d x) devices;
+  !acc /. float_of_int (Array.length devices)
+
+let simulate t ~stage ~metric ~noise x =
+  if metric <> read_delay_index then invalid_arg "Sram: unknown metric";
+  let expected =
+    match stage with
+    | Stage.Schematic -> t.schematic_dim
+    | Stage.Layout -> t.layout_dim
+  in
+  if Array.length x <> expected then
+    invalid_arg
+      (Printf.sprintf "Sram.simulate: expected %d variables, got %d" expected
+         (Array.length x));
+  let cfg = t.cfg in
+  let nl = cfg.nonlinearity in
+  (* wordline: driver drive plus post-layout wire parasitics *)
+  let d_wl = mean_shift t ~stage t.wl x in
+  let wl_par =
+    match stage with
+    | Stage.Schematic -> 0.
+    | Stage.Layout ->
+        let acc = ref 0. in
+        for s = 0 to 5 do
+          acc := !acc +. x.(pvar t ((2 * cfg.bitline_segments) + s))
+        done;
+        cfg.parasitic_sigma *. 0.4 *. !acc
+  in
+  let t_wl =
+    t.t_wl0 *. (1. -. d_wl +. (nl *. 0.5 *. d_wl *. d_wl)) *. (1. +. wl_par)
+  in
+  (* bitline: accessed cell current against leakage of the others *)
+  let d_cell = shift t ~stage t.cells.(0) x in
+  let leak = ref 0. in
+  for c = 1 to cfg.cells - 1 do
+    leak := !leak +. shift t ~stage t.cells.(c) x
+  done;
+  let d_current =
+    d_cell -. (cfg.leak_coupling *. !leak /. float_of_int (cfg.cells - 1) *. 8.)
+  in
+  (* guard the denominator: a dead cell cannot give negative current *)
+  let current_factor = Float.max 0.2 (1. +. d_current) in
+  let cbl_factor, t_rc =
+    match stage with
+    | Stage.Schematic -> (1., 0.)
+    | Stage.Layout ->
+        let r_scale e = element_scale cfg.parasitic_sigma x.(pvar t (2 * e)) in
+        let c_scale e =
+          element_scale cfg.parasitic_sigma x.(pvar t ((2 * e) + 1))
+        in
+        let ctot = Rc_network.total_capacitance ~c_scale t.bitline in
+        let c0 = Rc_network.total_capacitance t.bitline in
+        (* distributed-RC settling term via the MNA effective resistance *)
+        let rc = Rc_network.effective_rc ~r_scale ~c_scale t.bitline in
+        let rc0 = Rc_network.effective_rc t.bitline in
+        (t.layout_cbl_growth *. (ctot /. c0), 0.06 *. t.t_bl0 *. (rc /. rc0))
+  in
+  let t_bl = (t.t_bl0 *. cbl_factor /. current_factor) +. t_rc in
+  (* sense amplifier: mean drive speeds it up; a signed offset between
+     the differential halves adds resolve time *)
+  let d_sa = mean_shift t ~stage t.sa x in
+  let offset =
+    let acc = ref 0. in
+    Array.iteri
+      (fun i d ->
+        let sign = if i mod 2 = 0 then 1. else -1. in
+        acc := !acc +. (sign *. shift t ~stage d x))
+      t.sa;
+    !acc /. float_of_int (Array.length t.sa)
+  in
+  let t_sa =
+    t.t_sa0 *. (1. -. d_sa +. (nl *. 0.5 *. d_sa *. d_sa))
+    +. (t.sa_offset_gain *. offset)
+  in
+  let delay = t_wl +. t_bl +. t_sa in
+  match noise with
+  | None -> delay
+  | Some rng -> delay *. (1. +. (cfg.sim_noise *. Stats.Rng.gaussian rng))
+
+let parasitic_terms t =
+  List.init t.n_parasitic (fun p ->
+      Polybasis.Multi_index.linear (t.parasitic_base + p))
+
+let testbench t =
+  {
+    Testbench.name = "sram-read-path";
+    schematic_dim = t.schematic_dim;
+    layout_dim = t.layout_dim;
+    mapping = t.mapping;
+    parasitic_terms = parasitic_terms t;
+    metrics = metric_names;
+    simulate = (fun ~stage ~metric ~noise x -> simulate t ~stage ~metric ~noise x);
+    sim_cost_seconds =
+      (fun stage ->
+        match stage with Stage.Schematic -> 34.9 | Stage.Layout -> 348.9);
+    netlist = t.netlist;
+  }

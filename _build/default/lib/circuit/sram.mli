@@ -1,0 +1,64 @@
+(** The SRAM read-path benchmark circuit (paper Sec. V-B, Fig. 6).
+
+    A column of bit cells on a shared bitline, a wordline driver, and a
+    sense amplifier; the modeled performance is the read delay from the
+    wordline rising to the sense-amplifier output. This is the paper's
+    high-dimensional case: the variable count is dominated by the many
+    bit cells, almost all of which only perturb the delay through tiny
+    leakage contributions — producing the long tail of near-zero model
+    coefficients that sparse methods and BMF both exploit.
+
+    Behavioral model (see DESIGN.md Sec. 4):
+    - wordline delay: driver drive shift, plus wordline-wire parasitics
+      post-layout;
+    - bitline discharge: [C_bl dV / I_cell], with the accessed cell's
+      drive in the denominator (mild 1/(1+d) nonlinearity) and every
+      unaccessed cell leaking a small fraction of the read current; the
+      distributed bitline RC adds an {!Mna}-evaluated effective-RC term
+      post-layout;
+    - sense delay: amplifier devices' mean drive plus a signed offset
+      term.
+
+    Peripheral devices (driver, sense amp) are multifinger post-layout;
+    bit cells are minimum-size single-finger devices. *)
+
+type config = {
+  cells : int;  (** Bit cells on the column. *)
+  vars_per_cell : int;
+  sa_devices : int;  (** Devices in the sense amplifier. *)
+  wl_devices : int;  (** Devices in the wordline driver. *)
+  vars_per_periph_device : int;
+  periph_fingers : int;  (** Post-layout fingers of peripheral devices. *)
+  interdie : int;
+  bitline_segments : int;  (** RC-ladder segments of the bitline. *)
+  cell_profile : Device.profile;
+  periph_profile : Device.profile;
+  interdie_sigma : float;
+  leak_coupling : float;
+      (** Aggregate leakage sensitivity of unaccessed cells, as a
+          fraction of the read current per unit aggregate shift. *)
+  parasitic_sigma : float;
+  nonlinearity : float;
+  sim_noise : float;
+}
+
+val default_config : config
+(** ~2300 post-layout variables (the "large" benchmark at default
+    scale). *)
+
+val paper_scale_config : config
+(** ~66000 post-layout variables, matching the paper's 66117. *)
+
+type t
+
+val create : ?config:config -> int -> t
+(** [create seed]: seeded ground-truth construction. *)
+
+val config : t -> config
+
+val read_delay_index : int
+(** 0 — Table V's metric. *)
+
+val testbench : t -> Testbench.t
+(** Simulation costs calibrated to the paper's Table VI (349 s per
+    post-layout sample). *)

@@ -1,0 +1,5 @@
+type t = Schematic | Layout
+
+let name = function Schematic -> "schematic" | Layout -> "post-layout"
+
+let all = [ Schematic; Layout ]

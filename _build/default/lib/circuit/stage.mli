@@ -1,0 +1,8 @@
+(** Design stages of the AMS flow (paper Sec. I): the early stage is the
+    schematic design, the late stage is the post-layout extraction. *)
+
+type t = Schematic | Layout
+
+val name : t -> string
+
+val all : t list

@@ -1,0 +1,50 @@
+type t = {
+  name : string;
+  schematic_dim : int;
+  layout_dim : int;
+  mapping : Bmf.Prior_mapping.t;
+  parasitic_terms : Polybasis.Multi_index.t list;
+  metrics : string array;
+  simulate :
+    stage:Stage.t ->
+    metric:int ->
+    noise:Stats.Rng.t option ->
+    Linalg.Vec.t ->
+    float;
+  sim_cost_seconds : Stage.t -> float;
+  netlist : Netlist.t;
+}
+
+let dim t = function
+  | Stage.Schematic -> t.schematic_dim
+  | Stage.Layout -> t.layout_dim
+
+let metric_index t name =
+  let found = ref None in
+  Array.iteri (fun i m -> if m = name && !found = None then found := Some i) t.metrics;
+  match !found with Some i -> i | None -> raise Not_found
+
+let schematic_basis t = Polybasis.Basis.linear t.schematic_dim
+
+let layout_basis_with_prior t ~early_coeffs =
+  let mapped =
+    Bmf.Prior_mapping.map_model t.mapping
+      ~early_basis:(schematic_basis t) ~early_coeffs
+  in
+  Bmf.Prior_mapping.append_missing mapped t.parasitic_terms
+
+let draw_dataset t ~stage ~metric ~rng ~k ?(scheme = Stats.Sampling.Monte_carlo)
+    ?(noisy = true) () =
+  if metric < 0 || metric >= Array.length t.metrics then
+    invalid_arg "Testbench.draw_dataset: metric out of range";
+  let r = dim t stage in
+  let xs = Stats.Sampling.draw scheme rng ~k ~r in
+  let noise = if noisy then Some (Stats.Rng.split rng) else None in
+  let f =
+    Array.init k (fun i ->
+        t.simulate ~stage ~metric ~noise (Linalg.Mat.row xs i))
+  in
+  (xs, f)
+
+let simulation_hours t ~stage ~samples =
+  t.sim_cost_seconds stage *. float_of_int samples /. 3600.

@@ -1,0 +1,61 @@
+(** A benchmark circuit packaged for the performance-modeling
+    experiments: its two variable spaces, the finger mapping between
+    them, the simulator, and the (simulated) per-sample simulation cost.
+
+    The layout variable layout is fixed by convention: indices
+    [0 .. Prior_mapping.late_dim mapping - 1] are the finger-expanded
+    device/interdie variables, followed by the parasitic variables in
+    the order of [parasitic_terms]. *)
+
+type t = {
+  name : string;
+  schematic_dim : int;
+  layout_dim : int;
+  mapping : Bmf.Prior_mapping.t;
+  parasitic_terms : Polybasis.Multi_index.t list;
+      (** Late-stage-only (missing-prior) linear terms, over layout
+          variable indices. *)
+  metrics : string array;
+  simulate :
+    stage:Stage.t ->
+    metric:int ->
+    noise:Stats.Rng.t option ->
+    Linalg.Vec.t ->
+    float;
+      (** Deterministic when [noise] is [None]. *)
+  sim_cost_seconds : Stage.t -> float;
+      (** Declared transistor-level simulation cost per sample (see
+          DESIGN.md: simulated, calibrated to the paper's totals). *)
+  netlist : Netlist.t;
+}
+
+val dim : t -> Stage.t -> int
+
+val metric_index : t -> string -> int
+(** @raise Not_found for unknown metric names. *)
+
+val schematic_basis : t -> Polybasis.Basis.t
+(** The linear schematic-stage basis [1; x_1; ...; x_R]. *)
+
+val layout_basis_with_prior :
+  t -> early_coeffs:Linalg.Vec.t -> Polybasis.Basis.t * float option array
+(** Applies prior mapping (Sec. IV-A) to a fitted schematic model and
+    appends the parasitic missing-prior terms (Sec. IV-B). The returned
+    basis spans the layout variable space. *)
+
+val draw_dataset :
+  t ->
+  stage:Stage.t ->
+  metric:int ->
+  rng:Stats.Rng.t ->
+  k:int ->
+  ?scheme:Stats.Sampling.scheme ->
+  ?noisy:bool ->
+  unit ->
+  Linalg.Mat.t * Linalg.Vec.t
+(** [k] Monte Carlo "simulations": the sample matrix and the simulated
+    performance values. [noisy] (default true) adds simulation noise
+    from a stream split off [rng]. *)
+
+val simulation_hours : t -> stage:Stage.t -> samples:int -> float
+(** Declared simulation cost of a sample set, in hours. *)

@@ -1,0 +1,1 @@
+lib/core/fusion.ml: Array Hyper Linalg List Map_solver Polybasis Prior Regression

@@ -1,0 +1,1 @@
+lib/core/fusion.mli: Hyper Linalg Map_solver Polybasis Prior Regression Stats

@@ -1,0 +1,1 @@
+lib/core/hyper.ml: Array Float Linalg List Map_solver Prior Stats Stdlib

@@ -1,0 +1,1 @@
+lib/core/hyper.mli: Linalg Map_solver Prior Stats

@@ -1,0 +1,1 @@
+lib/core/map_solver.mli: Linalg Prior

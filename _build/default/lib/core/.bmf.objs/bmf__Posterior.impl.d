@@ -1,0 +1,1 @@
+lib/core/posterior.ml: Array Float Linalg Map_solver Prior Stats Stdlib

@@ -1,0 +1,1 @@
+lib/core/posterior.mli: Linalg Prior Stats

@@ -1,0 +1,1 @@
+lib/core/prior.ml: Array Float Linalg List Option

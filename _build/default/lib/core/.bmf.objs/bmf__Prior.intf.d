@@ -1,0 +1,1 @@
+lib/core/prior.mli: Linalg

@@ -1,0 +1,1 @@
+lib/core/prior_mapping.ml: Array List Polybasis Printf

@@ -1,0 +1,71 @@
+type method_ = Bmf_zm | Bmf_nzm | Bmf_ps
+
+let method_name = function
+  | Bmf_zm -> "BMF-ZM"
+  | Bmf_nzm -> "BMF-NZM"
+  | Bmf_ps -> "BMF-PS"
+
+type config = {
+  solver : Map_solver.solver option;
+  cv_folds : int;
+  candidates : Hyper.grid option;
+}
+
+let default_config = { solver = None; cv_folds = 4; candidates = None }
+
+type fitted = {
+  coeffs : Linalg.Vec.t;
+  prior_kind : Prior.kind;
+  hyper : float;
+  cv_error : float;
+}
+
+let select_for_prior ?rng ~config ~g ~f prior =
+  let hyper, cv_error =
+    Hyper.select ?rng ?solver:config.solver ~folds:config.cv_folds
+      ?candidates:config.candidates ~g ~f ~prior ()
+  in
+  (prior, hyper, cv_error)
+
+let fit_design ?rng ?(config = default_config) ~early ~g ~f method_ =
+  if Array.length early <> Linalg.Mat.cols g then
+    invalid_arg "Fusion.fit_design: early coefficient length mismatch";
+  let choices =
+    match method_ with
+    | Bmf_zm -> [ Prior.zero_mean early ]
+    | Bmf_nzm -> [ Prior.nonzero_mean early ]
+    | Bmf_ps -> [ Prior.zero_mean early; Prior.nonzero_mean early ]
+  in
+  let scored =
+    List.map (select_for_prior ?rng ~config ~g ~f) choices
+  in
+  let prior, hyper, cv_error =
+    match scored with
+    | [] -> assert false
+    | first :: rest ->
+        List.fold_left
+          (fun ((_, _, be) as best) ((_, _, e) as cur) ->
+            if e < be then cur else best)
+          first rest
+  in
+  let coeffs =
+    Map_solver.solve ?solver:config.solver ~g ~f ~prior ~hyper ()
+  in
+  { coeffs; prior_kind = prior.Prior.kind; hyper; cv_error }
+
+let chain ?rng ?config ~early stages method_ =
+  if stages = [] then invalid_arg "Fusion.chain: no stages";
+  let _, fits =
+    List.fold_left
+      (fun (early, acc) (g, f) ->
+        let fitted = fit_design ?rng ?config ~early ~g ~f method_ in
+        let next = Array.map (fun c -> Some c) fitted.coeffs in
+        (next, fitted :: acc))
+      (early, []) stages
+  in
+  List.rev fits
+
+let fit ?rng ?config ~early ~basis ~xs ~f method_ =
+  let g = Polybasis.Basis.design_matrix basis xs in
+  let fitted = fit_design ?rng ?config ~early ~g ~f method_ in
+  (Regression.Model.create basis fitted.coeffs, fitted)

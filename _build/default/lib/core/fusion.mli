@@ -1,0 +1,72 @@
+(** Bayesian model fusion, end to end (Algorithm 1 of the paper).
+
+    Given the early-stage coefficients (already mapped onto the late-stage
+    basis, with [None] marking missing priors) and [K] late-stage samples,
+    [fit_design]:
+
+    + builds the requested prior(s) (Sec. III-A, IV-A, IV-B);
+    + selects the hyper-parameter — and for [Bmf_ps] also the prior
+      family — by N-fold cross-validation (Sec. IV-D);
+    + solves the MAP estimation with the fast solver (Sec. IV-C).
+
+    [Bmf_zm] and [Bmf_nzm] fix the prior family, matching the paper's
+    BMF-ZM / BMF-NZM columns; [Bmf_ps] is the full method with prior
+    selection (BMF-PS). *)
+
+type method_ = Bmf_zm | Bmf_nzm | Bmf_ps
+
+val method_name : method_ -> string
+
+type config = {
+  solver : Map_solver.solver option;
+      (** [None] picks the fast solver when K < M. *)
+  cv_folds : int;  (** Folds for hyper/prior selection (default 4). *)
+  candidates : Hyper.grid option;  (** [None] = data-scaled auto grid. *)
+}
+
+val default_config : config
+
+type fitted = {
+  coeffs : Linalg.Vec.t;
+  prior_kind : Prior.kind;  (** The family actually used. *)
+  hyper : float;  (** The selected hyper-parameter value. *)
+  cv_error : float;  (** Cross-validation error of the selection. *)
+}
+
+val fit_design :
+  ?rng:Stats.Rng.t ->
+  ?config:config ->
+  early:float option array ->
+  g:Linalg.Mat.t ->
+  f:Linalg.Vec.t ->
+  method_ ->
+  fitted
+(** [early] must have length [cols g].
+    @raise Invalid_argument on dimension mismatches. *)
+
+val fit :
+  ?rng:Stats.Rng.t ->
+  ?config:config ->
+  early:float option array ->
+  basis:Polybasis.Basis.t ->
+  xs:Linalg.Mat.t ->
+  f:Linalg.Vec.t ->
+  method_ ->
+  Regression.Model.t * fitted
+(** Convenience wrapper producing a predictable [Model.t]. *)
+
+val chain :
+  ?rng:Stats.Rng.t ->
+  ?config:config ->
+  early:float option array ->
+  (Linalg.Mat.t * Linalg.Vec.t) list ->
+  method_ ->
+  fitted list
+(** Multi-stage fusion across the full design flow (the paper's Sec. I
+    names three core stages: schematic, layout, manufacturing/test).
+    Each (design matrix, responses) pair is fused with the previous
+    stage's fitted coefficients as its prior — the first with [early].
+    All stages must share one basis (same column count). Returns the
+    per-stage fits, last = final.
+    @raise Invalid_argument on an empty stage list or mismatched
+    dimensions. *)

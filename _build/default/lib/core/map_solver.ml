@@ -1,0 +1,71 @@
+type solver = Direct_cholesky | Fast_woodbury
+
+let solver_name = function
+  | Direct_cholesky -> "cholesky"
+  | Fast_woodbury -> "fast-woodbury"
+
+let check ~g ~f ~weights ~means ~hyper =
+  let k, m = Linalg.Mat.dims g in
+  if Array.length f <> k then invalid_arg "Map_solver: sample count mismatch";
+  if Array.length weights <> m then
+    invalid_arg "Map_solver: weight length mismatch";
+  if Array.length means <> m then invalid_arg "Map_solver: mean length mismatch";
+  if hyper <= 0. || not (Float.is_finite hyper) then
+    invalid_arg "Map_solver: hyper must be positive and finite";
+  Array.iter
+    (fun w ->
+      if w <= 0. || not (Float.is_finite w) then
+        invalid_arg "Map_solver: weights must be positive and finite")
+    weights
+
+(* Residual of the prior mean: f - G mu. Skipped when mu = 0. *)
+let prior_residual ~g ~f ~means =
+  if Array.for_all (fun x -> x = 0.) means then f
+  else Linalg.Vec.sub f (Linalg.Mat.gemv g means)
+
+(* Direct path (eq. 28-35): the M x M system, solved in the prior-scaled
+   basis alpha = mu + S gamma with S = diag(w^-1/2):
+     (S G^T G S + t I) gamma = S G^T (f - G mu).
+   Mathematically identical to (G^T G + t W) beta = G^T (f - G mu) but
+   with a condition number independent of the weight spread. *)
+let solve_direct ~g ~f ~weights ~means ~hyper =
+  let m = Linalg.Mat.cols g in
+  let r = prior_residual ~g ~f ~means in
+  let s = Array.map (fun w -> 1. /. sqrt w) weights in
+  let gs = Linalg.Mat.mul_cols g s in
+  let gram = Linalg.Mat.gram gs in
+  let shifted = Linalg.Mat.add_diag gram (Array.make m hyper) in
+  let rhs = Linalg.Mat.gemv_t gs r in
+  let gamma = Linalg.Cholesky.solve_system shifted rhs in
+  Array.init m (fun i -> means.(i) +. (s.(i) *. gamma.(i)))
+
+(* Fast path (eq. 53-58): the paper's low-rank identity, in the stable
+   dual form
+     alpha = mu + W^-1 G^T (t I + G W^-1 G^T)^-1 (f - G mu)
+   with a single K x K Cholesky solve. Exact — tests assert agreement
+   with the direct path to roundoff. *)
+let solve_fast ~g ~f ~weights ~means ~hyper =
+  let k, m = Linalg.Mat.dims g in
+  let r = prior_residual ~g ~f ~means in
+  let w_inv = Array.map (fun w -> 1. /. w) weights in
+  let core = Linalg.Mat.weighted_outer_gram g w_inv in
+  let shifted = Linalg.Mat.add_diag core (Array.make k hyper) in
+  let v = Linalg.Cholesky.solve_system shifted r in
+  let gtv = Linalg.Mat.gemv_t g v in
+  Array.init m (fun i -> means.(i) +. (w_inv.(i) *. gtv.(i)))
+
+let solve_raw ~solver ~g ~f ~weights ~means ~hyper =
+  check ~g ~f ~weights ~means ~hyper;
+  match solver with
+  | Direct_cholesky -> solve_direct ~g ~f ~weights ~means ~hyper
+  | Fast_woodbury -> solve_fast ~g ~f ~weights ~means ~hyper
+
+let solve ?solver ~g ~f ~prior ~hyper () =
+  let k, m = Linalg.Mat.dims g in
+  let solver =
+    match solver with
+    | Some s -> s
+    | None -> if k < m then Fast_woodbury else Direct_cholesky
+  in
+  solve_raw ~solver ~g ~f ~weights:prior.Prior.weights
+    ~means:prior.Prior.means ~hyper

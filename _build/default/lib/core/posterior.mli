@@ -1,0 +1,47 @@
+(** The full Gaussian posterior over late-stage coefficients
+    (eq. 28-29 / 31-32), beyond the MAP point estimate.
+
+    The posterior is [N(mu_L, Sigma_L)] with
+
+    [Sigma_L = sigma_0^2 (G^T G + t diag w)^-1]
+
+    where [t] is the prior hyper-parameter. (The paper's eq. 31 writes the
+    nonzero-mean covariance without the [sigma_0^2] factor because only
+    the mean is needed there; we keep the factor so that predictive
+    variances are calibrated.) When [sigma_0^2] is not supplied it is
+    estimated from the MAP residual, [||f - G mu_L||^2 / K].
+
+    The explicit covariance is an M x M object: intended for moderate M
+    (diagnostics, credible intervals, posterior sampling in the
+    examples), not for the 10^4-variable substrates. *)
+
+type t = {
+  mean : Linalg.Vec.t;
+  covariance : Linalg.Mat.t;
+  sigma0_sq : float;  (** Noise variance used to scale the covariance. *)
+}
+
+val compute :
+  ?sigma0_sq:float ->
+  g:Linalg.Mat.t ->
+  f:Linalg.Vec.t ->
+  prior:Prior.t ->
+  hyper:float ->
+  unit ->
+  t
+(** Mean and full covariance by the direct (Cholesky) path. *)
+
+val marginal_std : t -> Linalg.Vec.t
+(** Per-coefficient posterior standard deviations. *)
+
+val credible_interval : t -> index:int -> level:float -> float * float
+(** Central credible interval for one coefficient; [level] in (0, 1),
+    e.g. 0.95. *)
+
+val sample : Stats.Rng.t -> t -> Linalg.Vec.t
+(** One draw from the posterior (via Cholesky of the covariance). *)
+
+val predict : t -> Linalg.Vec.t -> float * float
+(** [predict p g_row] is the predictive mean and standard deviation of
+    the performance at a point whose basis-function row is [g_row];
+    includes the observation noise [sigma_0^2]. *)

@@ -1,0 +1,89 @@
+type kind = Zero_mean | Nonzero_mean
+
+type t = {
+  kind : kind;
+  means : Linalg.Vec.t;
+  weights : Linalg.Vec.t;
+  informed : bool array;
+}
+
+let kind_name = function Zero_mean -> "BMF-ZM" | Nonzero_mean -> "BMF-NZM"
+
+(* Effective magnitude of each informed early coefficient, floored so a
+   literal zero yields a very tight but non-degenerate prior. *)
+let effective_magnitudes ~mag_floor_rel early =
+  let max_mag =
+    Array.fold_left
+      (fun acc e ->
+        match e with Some v -> Float.max acc (Float.abs v) | None -> acc)
+      0. early
+  in
+  let floor_mag = if max_mag > 0. then mag_floor_rel *. max_mag else 1. in
+  Array.map
+    (function
+      | Some v -> Some (Float.max (Float.abs v) floor_mag)
+      | None -> None)
+    early
+
+(* The weight standing in for "infinite variance" on missing priors:
+   much smaller than the informed weights (prior std 100x the median
+   coefficient scale — effectively flat), but bounded so the MAP system
+   keeps a workable condition number (see .mli). *)
+let uninformed_weight informed_weights =
+  let positives = List.filter (fun w -> w > 0.) informed_weights in
+  match positives with
+  | [] -> 1e-4
+  | ws ->
+      let sorted = Array.of_list ws in
+      Array.sort Float.compare sorted;
+      let median = sorted.(Array.length sorted / 2) in
+      1e-4 *. median
+
+let build kind ?(mag_floor_rel = 1e-4) early =
+  let m = Array.length early in
+  if m = 0 then invalid_arg "Prior: empty coefficient array";
+  let mags = effective_magnitudes ~mag_floor_rel early in
+  let informed_weights =
+    Array.to_list mags
+    |> List.filter_map (Option.map (fun mag -> 1. /. (mag *. mag)))
+  in
+  let w0 = uninformed_weight informed_weights in
+  let weights =
+    Array.map
+      (function Some mag -> 1. /. (mag *. mag) | None -> w0)
+      mags
+  in
+  let means =
+    match kind with
+    | Zero_mean -> Array.make m 0.
+    | Nonzero_mean ->
+        Array.map (function Some v -> v | None -> 0.) early
+  in
+  let informed = Array.map Option.is_some early in
+  { kind; means; weights; informed }
+
+let zero_mean ?mag_floor_rel early = build Zero_mean ?mag_floor_rel early
+
+let nonzero_mean ?mag_floor_rel early = build Nonzero_mean ?mag_floor_rel early
+
+let make kind early = build kind early
+
+let size t = Array.length t.weights
+
+let log_pdf t ~hyper alpha =
+  if Array.length alpha <> size t then
+    invalid_arg "Prior.log_pdf: length mismatch";
+  let lambda2 = match t.kind with Zero_mean -> 1. | Nonzero_mean -> hyper in
+  if lambda2 <= 0. then invalid_arg "Prior.log_pdf: hyper must be positive";
+  let acc = ref 0. in
+  for i = 0 to size t - 1 do
+    if t.informed.(i) then begin
+      let variance = lambda2 /. t.weights.(i) in
+      let d = alpha.(i) -. t.means.(i) in
+      acc :=
+        !acc
+        -. (0.5 *. d *. d /. variance)
+        -. (0.5 *. log (2. *. Float.pi *. variance))
+    end
+  done;
+  !acc

@@ -1,0 +1,59 @@
+(** Prior distributions over late-stage model coefficients (paper
+    Sec. III-A and IV-B).
+
+    Each coefficient's prior is a Gaussian built from the early-stage
+    coefficient [alpha_E,m]:
+
+    - zero-mean (eq. 12, 16-17): [N(0, alpha_E,m^2)];
+    - nonzero-mean (eq. 19-20): [N(alpha_E,m, lambda^2 alpha_E,m^2)].
+
+    Coefficients whose early-stage information is missing (late-stage-only
+    basis functions, Sec. IV-B, eq. 50-51) get an effectively flat prior.
+
+    Internally a prior is reduced to the pair (mean, weight) per
+    coefficient, with [weight = 1 / variance_scale] where
+    [variance_scale = alpha_E,m^2]; the hyper-parameter ([sigma_0^2] or
+    [eta]) multiplies the weights uniformly at solve time, so it is not
+    stored here.
+
+    Numerical conventions (documented deviations from the idealized
+    paper formulas):
+    - [|alpha_E,m|] is floored at [mag_floor_rel * max_m |alpha_E,m|]
+      (default 1e-4) so an exactly-zero early coefficient yields a very
+      tight — not degenerate — prior;
+    - a missing prior uses a weight of [1e-4 * median informed weight]
+      (prior std 100x the median coefficient scale: effectively flat)
+      instead of exactly zero, keeping the MAP system positive definite
+      and its condition number workable in double precision. *)
+
+type kind = Zero_mean | Nonzero_mean
+
+type t = private {
+  kind : kind;
+  means : Linalg.Vec.t;  (** Prior mean per coefficient. *)
+  weights : Linalg.Vec.t;  (** Inverse variance-scale per coefficient. *)
+  informed : bool array;  (** [false] where the prior was missing. *)
+}
+
+val zero_mean : ?mag_floor_rel:float -> float option array -> t
+(** [zero_mean early] builds the eq. 12-17 prior. [None] entries are
+    missing priors ([sigma_m = +inf], eq. 50).
+    @raise Invalid_argument on an empty array. *)
+
+val nonzero_mean : ?mag_floor_rel:float -> float option array -> t
+(** [nonzero_mean early] builds the eq. 19-20 prior. [None] entries are
+    missing priors ([alpha_E,m = +inf], eq. 51). *)
+
+val make : kind -> float option array -> t
+(** Dispatches on [kind]. *)
+
+val size : t -> int
+
+val kind_name : kind -> string
+(** ["BMF-ZM"] or ["BMF-NZM"], the paper's labels. *)
+
+val log_pdf : t -> hyper:float -> Linalg.Vec.t -> float
+(** Log prior density of a coefficient vector, up to the additive
+    constant contributed by missing-prior coordinates. For the zero-mean
+    prior [hyper] is ignored (the variances are fully determined by
+    eq. 16); for the nonzero-mean prior [hyper] is [lambda^2]. *)

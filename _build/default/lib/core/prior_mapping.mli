@@ -1,0 +1,64 @@
+(** Prior mapping across design stages (paper Sec. IV-A).
+
+    At the post-layout stage every schematic device may be extracted as
+    multiple fingers: schematic variable [x_r] becomes [W_r] independent
+    late-stage variables [x_{r,1} .. x_{r,W_r}]. Each schematic basis
+    function [g_m] therefore maps to a group of [T_m] late-stage basis
+    functions, and the early coefficient splits as
+
+    [beta_{E,m,t} = alpha_{E,m} / sqrt(T_m)]   (eq. 49)
+
+    which conserves the contributed performance variance (eq. 45-46)
+    under the equal-finger-impact assumption (eq. 47).
+
+    For a product term the group is the cartesian product of the finger
+    choices of each variable, so [T_m] is the product of the finger
+    counts — the natural generalization of the paper's linear case. *)
+
+type t
+(** A finger specification: how many late-stage variables each schematic
+    variable expands to. *)
+
+val create : int array -> t
+(** [create fingers] with [fingers.(r) >= 1] for every schematic
+    variable [r].
+    @raise Invalid_argument otherwise. *)
+
+val identity : int -> t
+(** No multifinger extraction: every device keeps one finger. *)
+
+val early_dim : t -> int
+
+val late_dim : t -> int
+(** Total number of late-stage variables, [sum_r W_r]. *)
+
+val fingers : t -> int -> int
+(** Finger count of schematic variable [r]. *)
+
+val late_var : t -> sch:int -> finger:int -> int
+(** Index of late-stage variable (r, t); fingers are 0-based.
+    @raise Invalid_argument when out of range. *)
+
+val schematic_of_late : t -> int -> int * int
+(** Inverse of {!late_var}: (schematic variable, finger). *)
+
+val map_term : t -> Polybasis.Multi_index.t -> Polybasis.Multi_index.t list
+(** The late-stage group of one schematic term, in deterministic order;
+    the constant maps to itself. *)
+
+val map_model :
+  t ->
+  early_basis:Polybasis.Basis.t ->
+  early_coeffs:Linalg.Vec.t ->
+  Polybasis.Basis.t * float option array
+(** The late-stage basis (groups concatenated in early-term order) and
+    the mapped prior coefficients, every entry [Some (alpha / sqrt T)].
+    Feed the result to [Fusion.fit_design] via {!append_missing} if the
+    late stage also has parasitic-only terms. *)
+
+val append_missing :
+  Polybasis.Basis.t * float option array ->
+  Polybasis.Multi_index.t list ->
+  Polybasis.Basis.t * float option array
+(** Adds late-stage-only basis functions with missing priors
+    (Sec. IV-B); positions of existing terms are unchanged. *)

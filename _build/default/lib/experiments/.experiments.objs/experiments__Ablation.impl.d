@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Bmf Buffer Circuit Config Float Linalg List Methods Polybasis Printf Regression Runner Stats Stdlib String

@@ -1,0 +1,1 @@
+lib/experiments/ascii_plot.ml: Array Buffer Float List Printf Stats Stdlib String

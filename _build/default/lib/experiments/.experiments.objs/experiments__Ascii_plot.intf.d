@@ -1,0 +1,1 @@
+lib/experiments/ascii_plot.mli: Stats

@@ -1,0 +1,1 @@
+lib/experiments/config.ml: Circuit Format List Stdlib String

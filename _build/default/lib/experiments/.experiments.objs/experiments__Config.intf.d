@@ -1,0 +1,1 @@
+lib/experiments/config.mli: Circuit Format

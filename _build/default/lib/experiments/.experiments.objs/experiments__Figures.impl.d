@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Array Ascii_plot Buffer Circuit Config Format List Printf Report Runner Stats

@@ -1,0 +1,1 @@
+lib/experiments/methods.ml: Array Bmf Linalg Printf Regression String Unix

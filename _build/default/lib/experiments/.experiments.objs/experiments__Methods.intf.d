@@ -1,0 +1,1 @@
+lib/experiments/methods.mli: Linalg Stats

@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Array Buffer Float Format List Methods Printf Runner String

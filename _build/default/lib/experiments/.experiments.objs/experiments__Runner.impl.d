@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Array Bmf Circuit Config Float Linalg List Methods Polybasis Printf Regression Stats Stdlib Unix

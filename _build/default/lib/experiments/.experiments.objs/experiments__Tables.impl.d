@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Buffer Circuit Config Format List Report Runner Stdlib

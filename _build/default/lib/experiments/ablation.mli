@@ -1,0 +1,44 @@
+(** Ablation studies of the design choices DESIGN.md calls out; each
+    returns a rendered report. All run on the ring-oscillator benchmark
+    at the configured scale. *)
+
+val prior_quality : ?progress:(string -> unit) -> Config.t -> string
+(** Degrades the early/late agreement (the layout discrepancy of the
+    device sensitivities) and tracks BMF-PS against OMP at the smallest
+    sample size: BMF's advantage should shrink gracefully as the prior
+    gets stale. *)
+
+val sampling_scheme : ?progress:(string -> unit) -> Config.t -> string
+(** Monte Carlo vs Latin hypercube training samples, for OMP and
+    BMF-PS. *)
+
+val missing_prior : ?progress:(string -> unit) -> Config.t -> string
+(** Blanks a growing fraction of the early coefficients (as if those
+    basis functions were late-stage-only) and tracks the BMF-PS error:
+    the cost of missing prior knowledge (Sec. IV-B). *)
+
+val early_fit : ?progress:(string -> unit) -> Config.t -> string
+(** Early-stage model fitted by OMP (the paper's choice) vs least
+    squares, and the downstream effect on BMF-PS. *)
+
+val nonlinear_basis : ?progress:(string -> unit) -> Config.t -> string
+(** Exercises BMF with second-order orthonormal bases (the paper's
+    closing remark in Sec. V): a synthetic response with genuine
+    quadratic content, fitted with a diagonal-quadratic Hermite basis
+    versus a linear one. *)
+
+val baselines : ?progress:(string -> unit) -> Config.t -> string
+(** Widens the method comparison beyond the paper's four columns with
+    ridge and lasso baselines (RO frequency, smallest K). *)
+
+val hyper_selection : ?progress:(string -> unit) -> Config.t -> string
+(** Compares the paper's N-fold cross-validation against closed-form
+    marginal-likelihood (evidence) maximization for choosing the
+    hyper-parameter — an empirical-Bayes extension. *)
+
+val solver_exactness : ?progress:(string -> unit) -> Config.t -> string
+(** Verifies on live data that the fast solver (eq. 53-58) returns the
+    direct solver's answer to roundoff, across priors and
+    hyper-parameters. *)
+
+val all : ?progress:(string -> unit) -> Config.t -> string

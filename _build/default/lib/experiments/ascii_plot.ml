@@ -1,0 +1,122 @@
+let histogram ?(width = 50) ?title ?(unit_label = "") h =
+  let buf = Buffer.create 1024 in
+  (match title with
+  | Some t -> Buffer.add_string buf (t ^ "\n")
+  | None -> ());
+  let counts = h.Stats.Histogram.counts in
+  let edges = Stats.Histogram.bin_edges h in
+  let cmax = Array.fold_left Stdlib.max 1 counts in
+  Array.iteri
+    (fun i c ->
+      let bar = c * width / cmax in
+      Buffer.add_string buf
+        (Printf.sprintf "  [%12.5g, %12.5g) |%s%s %d\n" edges.(i)
+           edges.(i + 1) (String.make bar '#')
+           (String.make (width - bar) ' ')
+           c))
+    counts;
+  Buffer.add_string buf
+    (Printf.sprintf "  n=%d%s underflow=%d overflow=%d\n"
+       h.Stats.Histogram.total
+       (if unit_label = "" then "" else " (" ^ unit_label ^ ")")
+       h.Stats.Histogram.underflow h.Stats.Histogram.overflow);
+  Buffer.contents buf
+
+type series = { label : string; points : (float * float) list }
+
+let markers = [| '*'; 'o'; '+'; 'x'; '@'; '%' |]
+
+let xy ?(width = 64) ?(height = 20) ?(log_y = false) ?title ?(x_label = "x")
+    ?(y_label = "y") series_list =
+  let transform y = if log_y then log10 y else y in
+  let points =
+    List.concat_map
+      (fun s ->
+        List.filter_map
+          (fun (x, y) ->
+            if log_y && y <= 0. then None else Some (x, transform y))
+          s.points)
+      series_list
+  in
+  match points with
+  | [] -> "(no data)\n"
+  | (x0, y0) :: _ ->
+      let xmin = ref x0 and xmax = ref x0 and ymin = ref y0 and ymax = ref y0 in
+      List.iter
+        (fun (x, y) ->
+          if x < !xmin then xmin := x;
+          if x > !xmax then xmax := x;
+          if y < !ymin then ymin := y;
+          if y > !ymax then ymax := y)
+        points;
+      let xspan = Float.max 1e-12 (!xmax -. !xmin) in
+      let yspan = Float.max 1e-12 (!ymax -. !ymin) in
+      let grid = Array.make_matrix height width ' ' in
+      List.iteri
+        (fun si s ->
+          let marker = markers.(si mod Array.length markers) in
+          let usable =
+            List.filter (fun (_, y) -> (not log_y) || y > 0.) s.points
+          in
+          List.iter
+            (fun (x, y) ->
+              let y = transform y in
+              let col =
+                int_of_float ((x -. !xmin) /. xspan *. float_of_int (width - 1))
+              in
+              let row =
+                height - 1
+                - int_of_float
+                    ((y -. !ymin) /. yspan *. float_of_int (height - 1))
+              in
+              if row >= 0 && row < height && col >= 0 && col < width then
+                grid.(row).(col) <- marker)
+            usable)
+        series_list;
+      let buf = Buffer.create 4096 in
+      (match title with
+      | Some t -> Buffer.add_string buf (t ^ "\n")
+      | None -> ());
+      let y_of_row row =
+        !ymin +. (yspan *. float_of_int (height - 1 - row) /. float_of_int (height - 1))
+      in
+      Array.iteri
+        (fun row line ->
+          let yv = y_of_row row in
+          let yv = if log_y then 10. ** yv else yv in
+          Buffer.add_string buf (Printf.sprintf "%12.4g |" yv);
+          Array.iter (Buffer.add_char buf) line;
+          Buffer.add_char buf '\n')
+        grid;
+      Buffer.add_string buf (String.make 13 ' ');
+      Buffer.add_char buf '+';
+      Buffer.add_string buf (String.make width '-');
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf
+        (Printf.sprintf "%14s%-10.4g%*s%10.4g\n" "" !xmin (width - 18) "" !xmax);
+      Buffer.add_string buf
+        (Printf.sprintf "  x: %s, y: %s%s\n" x_label y_label
+           (if log_y then " (log scale)" else ""));
+      List.iteri
+        (fun si s ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %c = %s\n" markers.(si mod Array.length markers) s.label))
+        series_list;
+      Buffer.contents buf
+
+let curve ?width ?height ?title ?(samples = 120) ~lo ~hi fns =
+  let series_list =
+    List.map
+      (fun (label, f) ->
+        {
+          label;
+          points =
+            List.init samples (fun i ->
+                let x =
+                  lo +. ((hi -. lo) *. float_of_int i /. float_of_int (samples - 1))
+                in
+                (x, f x));
+        })
+      fns
+  in
+  xy ?width ?height ?title ~x_label:"x" ~y_label:"f(x)" series_list

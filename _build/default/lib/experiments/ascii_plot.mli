@@ -1,0 +1,33 @@
+(** Terminal rendering of the paper's figures: histograms, x/y series
+    and function curves, drawn on a character grid. *)
+
+val histogram :
+  ?width:int -> ?title:string -> ?unit_label:string -> Stats.Histogram.t -> string
+(** Horizontal-bar histogram, one row per bin ([width] characters for
+    the largest bin, default 50). *)
+
+type series = { label : string; points : (float * float) list }
+
+val xy :
+  ?width:int ->
+  ?height:int ->
+  ?log_y:bool ->
+  ?title:string ->
+  ?x_label:string ->
+  ?y_label:string ->
+  series list ->
+  string
+(** Scatter plot of several series on one grid (markers [*], [o], [+],
+    [x], ...). [log_y] plots the y axis in log10 (non-positive values
+    are dropped). *)
+
+val curve :
+  ?width:int ->
+  ?height:int ->
+  ?title:string ->
+  ?samples:int ->
+  lo:float ->
+  hi:float ->
+  (string * (float -> float)) list ->
+  string
+(** Function plot over [lo, hi] (default 120 samples per curve). *)

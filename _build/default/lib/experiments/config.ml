@@ -1,0 +1,60 @@
+type t = {
+  seed : int;
+  repeats : int;
+  sample_sizes : int list;
+  test_samples : int;
+  early_samples : int;
+  cv_folds : int;
+  omp_max_terms_fraction : float;
+  ro : Circuit.Ring_oscillator.config;
+  sram : Circuit.Sram.config;
+}
+
+let default =
+  {
+    seed = 20130602;
+    (* DAC 2013 *)
+    repeats = 3;
+    sample_sizes = [ 100; 200; 300; 400; 500; 600; 700; 800; 900 ];
+    test_samples = 300;
+    early_samples = 3000;
+    cv_folds = 4;
+    omp_max_terms_fraction = 0.4;
+    ro = Circuit.Ring_oscillator.default_config;
+    sram = Circuit.Sram.default_config;
+  }
+
+let quick =
+  {
+    default with
+    repeats = 2;
+    sample_sizes = [ 100; 300; 900 ];
+    test_samples = 200;
+    early_samples = 1500;
+    ro = { Circuit.Ring_oscillator.default_config with stages = 7 };
+    sram = { Circuit.Sram.default_config with cells = 60 };
+  }
+
+let paper =
+  {
+    default with
+    repeats = 50;
+    ro = Circuit.Ring_oscillator.paper_scale_config;
+    sram = Circuit.Sram.paper_scale_config;
+  }
+
+let with_repeats t repeats =
+  if repeats < 1 then invalid_arg "Config.with_repeats: need at least 1";
+  { t with repeats }
+
+let with_seed t seed = { t with seed }
+
+let omp_max_terms t ~k =
+  Stdlib.max 5 (int_of_float (t.omp_max_terms_fraction *. float_of_int k))
+
+let pp fmt t =
+  Format.fprintf fmt
+    "seed=%d repeats=%d sizes=[%s] test=%d early=%d cv_folds=%d" t.seed
+    t.repeats
+    (String.concat "," (List.map string_of_int t.sample_sizes))
+    t.test_samples t.early_samples t.cv_folds

@@ -1,0 +1,38 @@
+(** Experiment configuration: problem sizes, repeat counts and method
+    settings for regenerating the paper's tables and figures.
+
+    The paper's exact protocol (Sec. V): schematic model from 3000 MC
+    samples; post-layout training sets of 100..900 samples; 300-sample
+    test sets; errors averaged over 50 repeated runs. [default] keeps
+    that protocol at reduced circuit scale and 3 repeats so the whole
+    suite runs in minutes; [quick] shrinks further for smoke runs;
+    [paper] restores 50 repeats and the full sample sweep (slow). *)
+
+type t = {
+  seed : int;  (** Master seed; every result is a pure function of it. *)
+  repeats : int;  (** Paper: 50. *)
+  sample_sizes : int list;  (** Paper: 100, 200, ..., 900. *)
+  test_samples : int;  (** Paper: 300. *)
+  early_samples : int;  (** Paper: 3000. *)
+  cv_folds : int;  (** Folds for all cross-validation. *)
+  omp_max_terms_fraction : float;
+      (** OMP's CV search caps the support at this fraction of the
+          training-set size. *)
+  ro : Circuit.Ring_oscillator.config;
+  sram : Circuit.Sram.config;
+}
+
+val default : t
+
+val quick : t
+
+val paper : t
+
+val with_repeats : t -> int -> t
+
+val with_seed : t -> int -> t
+
+val omp_max_terms : t -> k:int -> int
+(** The OMP support cap for a training set of size [k] (at least 5). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,143 @@
+let fig1 () =
+  let pdf sigma x = Stats.Special.norm_pdf (x /. sigma) /. sigma in
+  "Fig. 1 — zero-mean prior distributions (eq. 12): sigma_m = |alpha_E,m|\n"
+  ^ Ascii_plot.curve ~lo:(-3.) ~hi:3.
+      ~title:"pdf(alpha_L,m), sigma_1 = 0.25 (peaked) vs sigma_2 = 1.0 (wide)"
+      [
+        ("alpha_L,1 ~ N(0, 0.25^2)", pdf 0.25);
+        ("alpha_L,2 ~ N(0, 1.0^2)", pdf 1.0);
+      ]
+
+let fig2 () =
+  let pdf mu sigma x = Stats.Special.norm_pdf ((x -. mu) /. sigma) /. sigma in
+  "Fig. 2 — nonzero-mean prior distributions (eq. 19): N(alpha_E,m, \
+   lambda^2 alpha_E,m^2), lambda = 0.4\n"
+  ^ Ascii_plot.curve ~lo:(-1.) ~hi:4.
+      ~title:"pdf(alpha_L,m) for alpha_E,1 = 0.4 (small) vs alpha_E,2 = 2.0 (large)"
+      [
+        ("alpha_L,1 ~ N(0.4, 0.16^2)", pdf 0.4 (0.4 *. 0.4));
+        ("alpha_L,2 ~ N(2.0, 0.80^2)", pdf 2.0 (0.4 *. 2.0));
+      ]
+
+let netlist_summary tb header =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (header ^ "\n");
+  let fmt = Format.formatter_of_buffer buf in
+  Circuit.Netlist.summary fmt tb.Circuit.Testbench.netlist;
+  Format.pp_print_newline fmt ();
+  Format.fprintf fmt
+    "variation variables: %d (schematic) -> %d (post-layout)@."
+    tb.Circuit.Testbench.schematic_dim tb.Circuit.Testbench.layout_dim;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let fig3 (cfg : Config.t) =
+  let ro = Circuit.Ring_oscillator.create ~config:cfg.Config.ro cfg.seed in
+  netlist_summary
+    (Circuit.Ring_oscillator.testbench ro)
+    "Fig. 3 — ring oscillator (32 nm SOI in the paper; behavioral here)"
+
+let fig6 (cfg : Config.t) =
+  let sram = Circuit.Sram.create ~config:cfg.Config.sram cfg.seed in
+  netlist_summary (Circuit.Sram.testbench sram)
+    "Fig. 6 — SRAM read path (wordline driver, 1-column cell array, sense amp)"
+
+let metric_histogram tb ~metric ~samples ~seed ~unit_label =
+  let rng = Stats.Rng.create (seed + 101 + metric) in
+  let _, f =
+    Circuit.Testbench.draw_dataset tb ~stage:Circuit.Stage.Layout ~metric ~rng
+      ~k:samples ()
+  in
+  let h = Stats.Histogram.build ~bins:24 f in
+  Ascii_plot.histogram ~unit_label
+    ~title:
+      (Printf.sprintf "%s (%d post-layout MC samples)"
+         tb.Circuit.Testbench.metrics.(metric) samples)
+    h
+
+let fig4 ?(samples = 3000) (cfg : Config.t) =
+  let ro = Circuit.Ring_oscillator.create ~config:cfg.Config.ro cfg.seed in
+  let tb = Circuit.Ring_oscillator.testbench ro in
+  "Fig. 4 — histograms of post-layout RO simulation samples\n"
+  ^ metric_histogram tb ~metric:Circuit.Ring_oscillator.power_index ~samples
+      ~seed:cfg.seed ~unit_label:"mW"
+  ^ "\n"
+  ^ metric_histogram tb ~metric:Circuit.Ring_oscillator.phase_noise_index
+      ~samples ~seed:cfg.seed ~unit_label:"dBc/Hz"
+  ^ "\n"
+  ^ metric_histogram tb ~metric:Circuit.Ring_oscillator.frequency_index
+      ~samples ~seed:cfg.seed ~unit_label:"GHz"
+
+let fig7 ?(samples = 3000) (cfg : Config.t) =
+  let sram = Circuit.Sram.create ~config:cfg.Config.sram cfg.seed in
+  let tb = Circuit.Sram.testbench sram in
+  "Fig. 7 — histogram of post-layout SRAM read-delay samples\n"
+  ^ metric_histogram tb ~metric:Circuit.Sram.read_delay_index ~samples
+      ~seed:cfg.seed ~unit_label:"ps"
+
+let timing_figure ~title ~with_direct cfg prep =
+  let timings = Runner.solver_timings ~with_direct cfg prep in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (title ^ "\n");
+  let series =
+    [
+      {
+        Ascii_plot.label = "OMP";
+        points =
+          List.map
+            (fun (t : Runner.solver_timing) ->
+              (float_of_int t.samples, t.omp_seconds))
+            timings;
+      };
+      {
+        Ascii_plot.label = "BMF-PS (fast solver)";
+        points =
+          List.map
+            (fun (t : Runner.solver_timing) ->
+              (float_of_int t.samples, t.bmf_fast_seconds))
+            timings;
+      };
+    ]
+    @
+    if with_direct then
+      [
+        {
+          Ascii_plot.label = "BMF-PS (conventional Cholesky)";
+          points =
+            List.map
+              (fun (t : Runner.solver_timing) ->
+                (float_of_int t.samples, t.bmf_direct_seconds))
+              timings;
+        };
+      ]
+    else []
+  in
+  Buffer.add_string buf
+    (Ascii_plot.xy ~log_y:true ~x_label:"training samples"
+       ~y_label:"fitting cost (s)" series);
+  let fmt = Format.formatter_of_buffer buf in
+  Report.solver_table fmt timings;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let fig5 ?(with_direct = true) (cfg : Config.t) =
+  let ro = Circuit.Ring_oscillator.create ~config:cfg.Config.ro cfg.seed in
+  let tb = Circuit.Ring_oscillator.testbench ro in
+  let prep =
+    Runner.prepare cfg tb ~metric:Circuit.Ring_oscillator.frequency_index
+  in
+  timing_figure
+    ~title:
+      "Fig. 5 — fitting cost vs training samples (RO; one metric shown, the \
+       cost is metric-independent)"
+    ~with_direct cfg prep
+
+let fig8 (cfg : Config.t) =
+  let sram = Circuit.Sram.create ~config:cfg.Config.sram cfg.seed in
+  let tb = Circuit.Sram.testbench sram in
+  let prep = Runner.prepare cfg tb ~metric:Circuit.Sram.read_delay_index in
+  timing_figure
+    ~title:
+      "Fig. 8 — fitting cost vs training samples (SRAM; conventional solver \
+       infeasible at this scale, as in the paper)"
+    ~with_direct:false cfg prep

@@ -1,0 +1,36 @@
+(** Regeneration of every figure in the paper, rendered as text.
+
+    Fig. 1/2 are the prior-distribution illustrations; Fig. 3/6 the
+    benchmark schematics (as netlist summaries); Fig. 4/7 the Monte
+    Carlo sample histograms; Fig. 5/8 the fitting-cost comparisons. *)
+
+val fig1 : unit -> string
+(** Zero-mean priors for two coefficients with small / large
+    [sigma_m = |alpha_E,m|] (paper Fig. 1). *)
+
+val fig2 : unit -> string
+(** Nonzero-mean priors for a small and a large early coefficient
+    (paper Fig. 2). *)
+
+val fig3 : Config.t -> string
+(** Ring-oscillator circuit summary (paper Fig. 3). *)
+
+val fig4 : ?samples:int -> Config.t -> string
+(** Histograms of post-layout RO power / phase noise / frequency
+    (paper Fig. 4(a-c); default 3000 Monte Carlo samples). *)
+
+val fig5 : ?with_direct:bool -> Config.t -> string
+(** Fitting cost vs training samples for the RO: OMP, BMF-PS with the
+    conventional solver, BMF-PS with the fast solver (paper
+    Fig. 5). *)
+
+val fig6 : Config.t -> string
+(** SRAM read-path circuit summary (paper Fig. 6). *)
+
+val fig7 : ?samples:int -> Config.t -> string
+(** Histogram of SRAM read delay (paper Fig. 7). *)
+
+val fig8 : Config.t -> string
+(** Fitting cost vs training samples for the SRAM: OMP and BMF-PS
+    (fast solver); the conventional solver is skipped as in the paper
+    ("computationally infeasible"). *)

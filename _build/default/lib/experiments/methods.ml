@@ -1,0 +1,77 @@
+type t = Omp | Bmf_zm | Bmf_nzm | Bmf_ps | Ridge_cv | Lasso
+
+let paper_methods = [ Omp; Bmf_zm; Bmf_nzm; Bmf_ps ]
+
+let name = function
+  | Omp -> "OMP"
+  | Bmf_zm -> "BMF-ZM"
+  | Bmf_nzm -> "BMF-NZM"
+  | Bmf_ps -> "BMF-PS"
+  | Ridge_cv -> "Ridge"
+  | Lasso -> "Lasso"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "omp" -> Omp
+  | "bmf-zm" | "zm" -> Bmf_zm
+  | "bmf-nzm" | "nzm" -> Bmf_nzm
+  | "bmf-ps" | "ps" | "bmf" -> Bmf_ps
+  | "ridge" -> Ridge_cv
+  | "lasso" -> Lasso
+  | _ -> invalid_arg (Printf.sprintf "Methods.of_name: unknown method %S" s)
+
+type problem = {
+  g : Linalg.Mat.t;
+  f : Linalg.Vec.t;
+  early : float option array;
+  cv_folds : int;
+  omp_max_terms : int;
+}
+
+let bmf_config p =
+  {
+    Bmf.Fusion.default_config with
+    cv_folds = p.cv_folds;
+  }
+
+let fit ?rng method_ p =
+  match method_ with
+  | Omp ->
+      let result =
+        Regression.Omp.fit_design ?rng ~g:p.g ~f:p.f
+          (Regression.Omp.Cross_validation
+             { folds = p.cv_folds; max_terms = p.omp_max_terms })
+      in
+      result.Regression.Omp.coeffs
+  | Bmf_zm | Bmf_nzm | Bmf_ps ->
+      let m =
+        match method_ with
+        | Bmf_zm -> Bmf.Fusion.Bmf_zm
+        | Bmf_nzm -> Bmf.Fusion.Bmf_nzm
+        | _ -> Bmf.Fusion.Bmf_ps
+      in
+      let fitted =
+        Bmf.Fusion.fit_design ?rng ~config:(bmf_config p) ~early:p.early
+          ~g:p.g ~f:p.f m
+      in
+      fitted.Bmf.Fusion.coeffs
+  | Ridge_cv ->
+      (* center the response so the L2 penalty does not fight the
+         intercept; every basis in this harness has the constant term in
+         column 0, which absorbs the mean back *)
+      let mu = Linalg.Vec.mean p.f in
+      let centered = Array.map (fun v -> v -. mu) p.f in
+      let coeffs, _ =
+        Regression.Ridge.fit_cv ?rng ~folds:p.cv_folds ~g:p.g ~f:centered ()
+      in
+      coeffs.(0) <- coeffs.(0) +. mu;
+      coeffs
+  | Lasso ->
+      let lmax = Regression.Lasso.lambda_max ~g:p.g ~f:p.f in
+      let opts = Regression.Lasso.default_options ~lambda:(0.01 *. lmax) in
+      (Regression.Lasso.fit_design opts ~g:p.g ~f:p.f).Regression.Lasso.coeffs
+
+let fit_timed ?rng method_ p =
+  let t0 = Unix.gettimeofday () in
+  let coeffs = fit ?rng method_ p in
+  (coeffs, Unix.gettimeofday () -. t0)

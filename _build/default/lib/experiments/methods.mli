@@ -1,0 +1,34 @@
+(** The four performance-modeling methods compared in every table
+    (paper Sec. V): OMP, BMF-ZM, BMF-NZM and BMF-PS — plus extras used
+    by the ablation studies. *)
+
+type t =
+  | Omp  (** Sparse regression on late-stage data alone (ref [13]). *)
+  | Bmf_zm
+  | Bmf_nzm
+  | Bmf_ps
+  | Ridge_cv  (** L2 baseline (ablation only). *)
+  | Lasso  (** L1 baseline (ablation only). *)
+
+val paper_methods : t list
+(** The four columns of Tables I-III and V, in the paper's order. *)
+
+val name : t -> string
+
+val of_name : string -> t
+(** @raise Invalid_argument for unknown names. *)
+
+type problem = {
+  g : Linalg.Mat.t;  (** Late-stage design matrix (train). *)
+  f : Linalg.Vec.t;  (** Late-stage responses (train). *)
+  early : float option array;
+      (** Mapped early coefficients ([None] = missing prior). *)
+  cv_folds : int;
+  omp_max_terms : int;
+}
+
+val fit : ?rng:Stats.Rng.t -> t -> problem -> Linalg.Vec.t
+(** Fitted late-stage coefficients, length [cols g]. *)
+
+val fit_timed : ?rng:Stats.Rng.t -> t -> problem -> Linalg.Vec.t * float
+(** Also returns the wall-clock fitting time in seconds. *)

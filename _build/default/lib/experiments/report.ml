@@ -1,0 +1,102 @@
+let rule fmt title =
+  let bar = String.make 72 '=' in
+  Format.fprintf fmt "%s@.%s@.%s@." bar title bar
+
+let accuracy_table fmt (a : Runner.accuracy) =
+  Format.fprintf fmt "Relative modeling error (%%) of %s for %s — %d repeat%s@."
+    a.metric a.circuit a.repeats
+    (if a.repeats = 1 then "" else "s");
+  Format.fprintf fmt "%-10s" "samples";
+  List.iter
+    (fun m -> Format.fprintf fmt "%18s" (Methods.name m))
+    a.methods;
+  Format.fprintf fmt "@.";
+  List.iteri
+    (fun ki k ->
+      Format.fprintf fmt "%-10d" k;
+      List.iteri
+        (fun mi _ ->
+          let c = a.cells.(ki).(mi) in
+          if a.repeats > 1 then
+            Format.fprintf fmt "%11.4f (%4.2f)" c.Runner.mean_pct
+              c.Runner.std_pct
+          else Format.fprintf fmt "%18.4f" c.Runner.mean_pct)
+        a.methods;
+      Format.fprintf fmt "@.")
+    a.sample_sizes
+
+let accuracy_csv (a : Runner.accuracy) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "circuit,metric,samples,method,mean_pct,std_pct\n";
+  List.iteri
+    (fun ki k ->
+      List.iteri
+        (fun mi m ->
+          let c = a.cells.(ki).(mi) in
+          Buffer.add_string buf
+            (Printf.sprintf "%s,%s,%d,%s,%.6f,%.6f\n" a.circuit a.metric k
+               (Methods.name m) c.Runner.mean_pct c.Runner.std_pct))
+        a.methods)
+    a.sample_sizes;
+  Buffer.contents buf
+
+let cost_table fmt ~circuit entries =
+  Format.fprintf fmt "Relative modeling error and cost for %s@." circuit;
+  Format.fprintf fmt "%-34s" "";
+  List.iter
+    (fun (e : Runner.cost_entry) ->
+      Format.fprintf fmt "%20s" (Methods.name e.method_))
+    entries;
+  Format.fprintf fmt "@.";
+  Format.fprintf fmt "%-34s" "# of post-layout training samples";
+  List.iter
+    (fun (e : Runner.cost_entry) -> Format.fprintf fmt "%20d" e.samples)
+    entries;
+  Format.fprintf fmt "@.";
+  (match entries with
+  | [] -> ()
+  | first :: _ ->
+      List.iter
+        (fun (metric, _) ->
+          Format.fprintf fmt "%-34s" ("Modeling error for " ^ metric);
+          List.iter
+            (fun (e : Runner.cost_entry) ->
+              let v = List.assoc metric e.errors_pct in
+              Format.fprintf fmt "%19.4f%%" v)
+            entries;
+          Format.fprintf fmt "@.")
+        first.errors_pct);
+  Format.fprintf fmt "%-34s" "Simulation cost (Hour)";
+  List.iter
+    (fun (e : Runner.cost_entry) -> Format.fprintf fmt "%20.2f" e.sim_hours)
+    entries;
+  Format.fprintf fmt "@.";
+  Format.fprintf fmt "%-34s" "Fitting cost (Second)";
+  List.iter
+    (fun (e : Runner.cost_entry) -> Format.fprintf fmt "%20.2f" e.fit_seconds)
+    entries;
+  Format.fprintf fmt "@.";
+  Format.fprintf fmt "%-34s" "Total modeling cost (Hour)";
+  List.iter
+    (fun (e : Runner.cost_entry) -> Format.fprintf fmt "%20.2f" e.total_hours)
+    entries;
+  Format.fprintf fmt "@.";
+  (match entries with
+  | [ omp; bmf ] when omp.Runner.total_hours > 0. && bmf.Runner.total_hours > 0.
+    ->
+      Format.fprintf fmt "%-34s%20s%19.1fx@." "Speedup over OMP" ""
+        (omp.Runner.total_hours /. bmf.Runner.total_hours)
+  | _ -> ())
+
+let solver_table fmt timings =
+  Format.fprintf fmt "%-10s%18s%24s%22s%12s@." "samples" "OMP (s)"
+    "BMF-PS Cholesky (s)" "BMF-PS fast (s)" "speedup";
+  List.iter
+    (fun (t : Runner.solver_timing) ->
+      let speedup =
+        if Float.is_nan t.bmf_direct_seconds then nan
+        else t.bmf_direct_seconds /. t.bmf_fast_seconds
+      in
+      Format.fprintf fmt "%-10d%18.4f%24.4f%22.4f%11.1fx@." t.samples
+        t.omp_seconds t.bmf_direct_seconds t.bmf_fast_seconds speedup)
+    timings

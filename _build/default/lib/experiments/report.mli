@@ -1,0 +1,23 @@
+(** Rendering of experiment results in the paper's table layouts. *)
+
+val accuracy_table : Format.formatter -> Runner.accuracy -> unit
+(** The Tables I-III / V layout: one row per training-set size, one
+    column per method, mean relative error in percent (std in
+    parentheses when more than one repeat ran). *)
+
+val accuracy_csv : Runner.accuracy -> string
+(** Machine-readable form: header row then
+    [samples,method,mean_pct,std_pct] rows. *)
+
+val cost_table :
+  Format.formatter -> circuit:string -> Runner.cost_entry list -> unit
+(** The Tables IV / VI layout: per-method sample counts, per-metric
+    errors, simulation / fitting / total cost. *)
+
+val solver_table : Format.formatter -> Runner.solver_timing list -> unit
+(** Numeric companion of Fig. 5 / Fig. 8: fitting seconds per method and
+    training-set size, with the speedup of the fast solver over the
+    conventional one. *)
+
+val rule : Format.formatter -> string -> unit
+(** A titled horizontal separator. *)

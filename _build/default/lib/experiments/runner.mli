@@ -1,0 +1,92 @@
+(** The experiment engine: prepares the two-stage modeling problem for a
+    benchmark circuit and runs the paper's comparisons.
+
+    Protocol per (circuit, metric), following Sec. V:
+    + draw [early_samples] schematic Monte Carlo samples and fit the
+      early-stage model — with OMP (as in the paper) or least squares;
+    + map its coefficients onto the layout basis (prior mapping +
+      missing priors);
+    + per repeat: draw a fresh training pool and test set post-layout,
+      fit every method at every training-set size (nested prefixes of
+      the pool), and record eq. 59 test errors;
+    + report mean and standard deviation over repeats.
+
+    Everything is deterministic in [Config.seed]. *)
+
+type early_fit = Omp_early | Least_squares_early
+
+type prepared = {
+  tb : Circuit.Testbench.t;
+  metric : int;
+  late_basis : Polybasis.Basis.t;
+  early : float option array;
+  early_error_pct : float;
+      (** Test error of the early-stage model on held-out schematic
+          samples (context for the prior quality). *)
+  early_terms : int;  (** Nonzero coefficients of the early model. *)
+}
+
+val prepare :
+  ?early_fit:early_fit -> Config.t -> Circuit.Testbench.t -> metric:int -> prepared
+(** Builds the prior. Default [early_fit] is [Omp_early] (the paper's
+    choice). *)
+
+type cell = { mean_pct : float; std_pct : float }
+
+type accuracy = {
+  circuit : string;
+  metric : string;
+  sample_sizes : int list;
+  methods : Methods.t list;
+  cells : cell array array;  (** [row = sample size][col = method]. *)
+  repeats : int;
+}
+
+val accuracy :
+  ?progress:(string -> unit) ->
+  ?methods:Methods.t list ->
+  Config.t ->
+  prepared ->
+  accuracy
+(** The Tables I-III / V experiment. [methods] defaults to the paper's
+    four. [progress] receives one line per (repeat, size). *)
+
+type cost_entry = {
+  method_ : Methods.t;
+  samples : int;
+  errors_pct : (string * float) list;  (** Per metric name. *)
+  sim_hours : float;  (** Declared simulation cost (DESIGN.md Sec. 4). *)
+  fit_seconds : float;  (** Measured wall-clock fitting time. *)
+  total_hours : float;
+}
+
+val cost_comparison :
+  ?progress:(string -> unit) ->
+  Config.t ->
+  Circuit.Testbench.t ->
+  metrics:int list ->
+  omp_samples:int ->
+  bmf_samples:int ->
+  cost_entry list
+(** The Tables IV / VI experiment: OMP at its required sample count
+    versus BMF-PS at its reduced one; fitting cost is summed over
+    [metrics]. *)
+
+type solver_timing = {
+  samples : int;
+  omp_seconds : float;
+  bmf_direct_seconds : float;
+  bmf_fast_seconds : float;
+}
+
+val solver_timings :
+  ?progress:(string -> unit) ->
+  ?with_direct:bool ->
+  Config.t ->
+  prepared ->
+  solver_timing list
+(** The Fig. 5 / Fig. 8 experiment: fitting cost versus training-set
+    size for OMP, BMF-PS with the conventional Cholesky solver, and
+    BMF-PS with the fast solver. [with_direct] = false skips the
+    Cholesky column (paper Fig. 8: "computationally infeasible" at SRAM
+    scale); its entries are then [nan]. *)

@@ -1,0 +1,80 @@
+let nothing (_ : string) = ()
+
+let ro_accuracy ?(progress = nothing) (cfg : Config.t) ~metric =
+  let ro = Circuit.Ring_oscillator.create ~config:cfg.Config.ro cfg.seed in
+  let tb = Circuit.Ring_oscillator.testbench ro in
+  let prep = Runner.prepare cfg tb ~metric in
+  Runner.accuracy ~progress cfg prep
+
+let sram_accuracy ?(progress = nothing) (cfg : Config.t) =
+  let sram = Circuit.Sram.create ~config:cfg.Config.sram cfg.seed in
+  let tb = Circuit.Sram.testbench sram in
+  let prep = Runner.prepare cfg tb ~metric:Circuit.Sram.read_delay_index in
+  Runner.accuracy ~progress cfg prep
+
+let render_accuracy header acc =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (header ^ "\n");
+  let fmt = Format.formatter_of_buffer buf in
+  Report.accuracy_table fmt acc;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let table1 ?progress cfg =
+  render_accuracy "Table I"
+    (ro_accuracy ?progress cfg ~metric:Circuit.Ring_oscillator.power_index)
+
+let table2 ?progress cfg =
+  render_accuracy "Table II"
+    (ro_accuracy ?progress cfg
+       ~metric:Circuit.Ring_oscillator.phase_noise_index)
+
+let table3 ?progress cfg =
+  render_accuracy "Table III"
+    (ro_accuracy ?progress cfg
+       ~metric:Circuit.Ring_oscillator.frequency_index)
+
+let render_cost header ~circuit entries =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (header ^ "\n");
+  let fmt = Format.formatter_of_buffer buf in
+  Report.cost_table fmt ~circuit entries;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let sample_extremes (cfg : Config.t) =
+  let sizes = cfg.Config.sample_sizes in
+  ( List.fold_left Stdlib.max 1 sizes,
+    List.fold_left Stdlib.min max_int sizes )
+
+let table4 ?(progress = nothing) (cfg : Config.t) =
+  let ro = Circuit.Ring_oscillator.create ~config:cfg.Config.ro cfg.seed in
+  let tb = Circuit.Ring_oscillator.testbench ro in
+  let omp_samples, bmf_samples = sample_extremes cfg in
+  let entries =
+    Runner.cost_comparison ~progress cfg tb
+      ~metrics:
+        [
+          Circuit.Ring_oscillator.power_index;
+          Circuit.Ring_oscillator.phase_noise_index;
+          Circuit.Ring_oscillator.frequency_index;
+        ]
+      ~omp_samples ~bmf_samples
+  in
+  render_cost "Table IV" ~circuit:"RO" entries
+
+let table5 ?progress cfg =
+  render_accuracy "Table V" (sram_accuracy ?progress cfg)
+
+let table6 ?(progress = nothing) (cfg : Config.t) =
+  let sram = Circuit.Sram.create ~config:cfg.Config.sram cfg.seed in
+  let tb = Circuit.Sram.testbench sram in
+  let omp_samples, bmf_samples = sample_extremes cfg in
+  (* paper: OMP needs 400 samples to reach BMF-PS's accuracy at 100 *)
+  let omp_samples = Stdlib.min omp_samples 400 in
+  let entries =
+    Runner.cost_comparison ~progress cfg tb
+      ~metrics:[ Circuit.Sram.read_delay_index ]
+      ~omp_samples ~bmf_samples
+  in
+  render_cost "Table VI" ~circuit:"SRAM read path" entries

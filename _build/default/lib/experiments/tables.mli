@@ -1,0 +1,31 @@
+(** One entry point per table of the paper's evaluation section; each
+    returns the rendered table (and is also what [bench/main.ml] and
+    [bin/repro.ml] run). *)
+
+val table1 : ?progress:(string -> unit) -> Config.t -> string
+(** Table I — relative modeling error of RO power. *)
+
+val table2 : ?progress:(string -> unit) -> Config.t -> string
+(** Table II — relative modeling error of RO phase noise. *)
+
+val table3 : ?progress:(string -> unit) -> Config.t -> string
+(** Table III — relative modeling error of RO frequency. *)
+
+val table4 : ?progress:(string -> unit) -> Config.t -> string
+(** Table IV — error and cost, OMP at the largest sample count vs
+    BMF-PS at the smallest (paper: 900 vs 100). *)
+
+val table5 : ?progress:(string -> unit) -> Config.t -> string
+(** Table V — relative modeling error of SRAM read delay. *)
+
+val table6 : ?progress:(string -> unit) -> Config.t -> string
+(** Table VI — error and cost for the SRAM read path (paper: OMP at
+    400 samples vs BMF-PS at 100). *)
+
+val ro_accuracy :
+  ?progress:(string -> unit) -> Config.t -> metric:int -> Runner.accuracy
+(** The raw experiment behind Tables I-III (exposed for the bench and
+    for CSV export). *)
+
+val sram_accuracy : ?progress:(string -> unit) -> Config.t -> Runner.accuracy
+(** The raw experiment behind Table V. *)

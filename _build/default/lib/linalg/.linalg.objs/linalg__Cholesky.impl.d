@@ -1,0 +1,1 @@
+lib/linalg/cholesky.ml: Array Float Mat

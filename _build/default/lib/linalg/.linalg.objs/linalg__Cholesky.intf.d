@@ -1,0 +1,1 @@
+lib/linalg/cholesky.mli: Mat Vec

@@ -1,0 +1,1 @@
+lib/linalg/conj_grad.ml: Array Float Sparse Vec

@@ -1,0 +1,1 @@
+lib/linalg/conj_grad.mli: Sparse Vec

@@ -1,0 +1,1 @@
+lib/linalg/eigen_sym.ml: Array Float Mat Vec

@@ -1,0 +1,1 @@
+lib/linalg/eigen_sym.mli: Mat Vec

@@ -1,0 +1,1 @@
+lib/linalg/sparse.ml: Array Float List Mat Printf

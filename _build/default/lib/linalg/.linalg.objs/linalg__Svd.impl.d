@@ -1,0 +1,1 @@
+lib/linalg/svd.ml: Array Float Mat Vec

@@ -1,0 +1,1 @@
+lib/linalg/vec.ml: Array Float Format Printf Stdlib

@@ -1,0 +1,1 @@
+lib/linalg/woodbury.ml: Array Cholesky Float List Mat Printf Vec

@@ -1,0 +1,1 @@
+lib/linalg/woodbury.mli: Mat Vec

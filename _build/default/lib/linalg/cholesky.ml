@@ -1,0 +1,84 @@
+exception Not_positive_definite of int
+
+type t = { l : Mat.t }
+
+(* Row-oriented (Cholesky-Crout) factorization: for each row i we compute
+   l_ij for j < i, then the diagonal pivot. Inner products walk rows of l,
+   which are contiguous in the row-major layout, so we index the flat data
+   array directly. *)
+let factorize a =
+  let n, c = Mat.dims a in
+  if n <> c then invalid_arg "Cholesky.factorize: not square";
+  let l = Mat.create n n in
+  let ld = (l : Mat.t).data and ad = (a : Mat.t).data in
+  for i = 0 to n - 1 do
+    let ibase = i * n in
+    for j = 0 to i - 1 do
+      let jbase = j * n in
+      let acc = ref (Array.unsafe_get ad (ibase + j)) in
+      for k = 0 to j - 1 do
+        acc :=
+          !acc
+          -. Array.unsafe_get ld (ibase + k) *. Array.unsafe_get ld (jbase + k)
+      done;
+      Array.unsafe_set ld (ibase + j)
+        (!acc /. Array.unsafe_get ld (jbase + j))
+    done;
+    let acc = ref (Array.unsafe_get ad (ibase + i)) in
+    for k = 0 to i - 1 do
+      let v = Array.unsafe_get ld (ibase + k) in
+      acc := !acc -. (v *. v)
+    done;
+    if !acc <= 0. || not (Float.is_finite !acc) then
+      raise (Not_positive_definite i);
+    Array.unsafe_set ld (ibase + i) (sqrt !acc)
+  done;
+  { l }
+
+let factor f = Mat.copy f.l
+
+let solve f b =
+  let n = Mat.rows f.l in
+  if Array.length b <> n then invalid_arg "Cholesky.solve: length mismatch";
+  let ld = (f.l : Mat.t).data in
+  (* forward: l y = b *)
+  let y = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let ibase = i * n in
+    let acc = ref (Array.unsafe_get b i) in
+    for k = 0 to i - 1 do
+      acc := !acc -. (Array.unsafe_get ld (ibase + k) *. Array.unsafe_get y k)
+    done;
+    Array.unsafe_set y i (!acc /. Array.unsafe_get ld (ibase + i))
+  done;
+  (* backward: l^T x = y *)
+  let x = Array.make n 0. in
+  for i = n - 1 downto 0 do
+    let acc = ref (Array.unsafe_get y i) in
+    for k = i + 1 to n - 1 do
+      acc := !acc -. (Array.unsafe_get ld ((k * n) + i) *. Array.unsafe_get x k)
+    done;
+    Array.unsafe_set x i (!acc /. Array.unsafe_get ld ((i * n) + i))
+  done;
+  x
+
+let solve_mat f b =
+  let n = Mat.rows f.l in
+  if Mat.rows b <> n then invalid_arg "Cholesky.solve_mat: dimension mismatch";
+  let x = Mat.create n (Mat.cols b) in
+  for j = 0 to Mat.cols b - 1 do
+    Mat.set_col x j (solve f (Mat.col b j))
+  done;
+  x
+
+let inverse f = solve_mat f (Mat.identity (Mat.rows f.l))
+
+let log_det f =
+  let n = Mat.rows f.l in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. log (Mat.get f.l i i)
+  done;
+  2. *. !acc
+
+let solve_system a b = solve (factorize a) b

@@ -1,0 +1,34 @@
+(** Cholesky factorization of symmetric positive-definite matrices.
+
+    This is the "conventional solver" the paper's fast solver is benchmarked
+    against (Sec. IV-C, refs to Golub & Van Loan). *)
+
+exception Not_positive_definite of int
+(** Raised with the offending pivot index when a non-positive pivot is
+    encountered. *)
+
+type t
+(** A computed factorization [a = l * l^T]. *)
+
+val factorize : Mat.t -> t
+(** Factorizes a symmetric positive-definite matrix. Only the lower triangle
+    (including the diagonal) of the input is read.
+    @raise Not_positive_definite if a pivot is [<= 0] or not finite. *)
+
+val factor : t -> Mat.t
+(** The lower-triangular factor [l]. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** [solve f b] solves [a * x = b] by forward and back substitution. *)
+
+val solve_mat : t -> Mat.t -> Mat.t
+(** Column-wise {!solve}: solves [a * x = b] for a matrix right-hand side. *)
+
+val inverse : t -> Mat.t
+(** Explicit inverse of [a] (used only in tests and small problems). *)
+
+val log_det : t -> float
+(** Log-determinant of [a], i.e. [2 * sum (log l_ii)]. *)
+
+val solve_system : Mat.t -> Vec.t -> Vec.t
+(** One-shot convenience: factorize then solve. *)

@@ -1,0 +1,55 @@
+type result = {
+  solution : Vec.t;
+  iterations : int;
+  residual_norm : float;
+  converged : bool;
+}
+
+let solve ?max_iter ?(tol = 1e-10) ?(precondition = true) a b =
+  let n, c = Sparse.dims a in
+  if n <> c then invalid_arg "Conj_grad.solve: not square";
+  if Array.length b <> n then invalid_arg "Conj_grad.solve: length mismatch";
+  let max_iter = match max_iter with Some m -> m | None -> 4 * n in
+  let d = Sparse.diag a in
+  let use_precond =
+    precondition && Array.for_all (fun x -> x > 0. && Float.is_finite x) d
+  in
+  let apply_m_inv r =
+    if use_precond then Vec.map2 (fun ri di -> ri /. di) r d else Vec.copy r
+  in
+  let x = Array.make n 0. in
+  let r = Vec.copy b in
+  let z = apply_m_inv r in
+  let p = Vec.copy z in
+  let rz = ref (Vec.dot r z) in
+  let bnorm = Float.max 1e-300 (Vec.nrm2 b) in
+  let iterations = ref 0 in
+  let rnorm = ref (Vec.nrm2 r) in
+  while !rnorm > tol *. bnorm && !iterations < max_iter do
+    incr iterations;
+    let ap = Sparse.mv a p in
+    let pap = Vec.dot p ap in
+    if pap <= 0. then
+      (* Not SPD along this direction; bail out and report non-convergence
+         through the residual. *)
+      iterations := max_iter
+    else begin
+      let alpha = !rz /. pap in
+      Vec.axpy alpha p x;
+      Vec.axpy (-.alpha) ap r;
+      let z = apply_m_inv r in
+      let rz_new = Vec.dot r z in
+      let beta = rz_new /. !rz in
+      rz := rz_new;
+      for i = 0 to n - 1 do
+        p.(i) <- z.(i) +. (beta *. p.(i))
+      done;
+      rnorm := Vec.nrm2 r
+    end
+  done;
+  {
+    solution = x;
+    iterations = !iterations;
+    residual_norm = !rnorm;
+    converged = !rnorm <= tol *. bnorm;
+  }

@@ -1,0 +1,25 @@
+(** Conjugate-gradient solver for sparse symmetric positive-definite
+    systems, with optional Jacobi (diagonal) preconditioning.
+
+    Used to solve the MNA conductance systems of parasitic RC networks in
+    the circuit substrate. *)
+
+type result = {
+  solution : Vec.t;
+  iterations : int;
+  residual_norm : float;
+  converged : bool;
+}
+
+val solve :
+  ?max_iter:int ->
+  ?tol:float ->
+  ?precondition:bool ->
+  Sparse.t ->
+  Vec.t ->
+  result
+(** [solve a b] iterates until [||a x - b|| <= tol * ||b||] (default
+    [tol = 1e-10]) or [max_iter] (default [4 * n]) iterations. [precondition]
+    (default [true]) enables Jacobi preconditioning; it requires a strictly
+    positive diagonal and falls back to the unpreconditioned iteration
+    otherwise. *)

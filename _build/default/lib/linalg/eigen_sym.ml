@@ -1,0 +1,84 @@
+type t = { values : Vec.t; vectors : Mat.t }
+
+let off_diag_norm a =
+  let n = Mat.rows a in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let v = Mat.get a i j in
+      acc := !acc +. (2. *. v *. v)
+    done
+  done;
+  sqrt !acc
+
+let decompose ?(max_sweeps = 50) ?(tol = 1e-12) a0 =
+  let n, c = Mat.dims a0 in
+  if n <> c then invalid_arg "Eigen_sym.decompose: not square";
+  if not (Mat.is_symmetric ~tol:1e-8 a0) then
+    invalid_arg "Eigen_sym.decompose: not symmetric";
+  let a = Mat.copy a0 in
+  let v = Mat.identity n in
+  let anorm = Float.max 1e-300 (Mat.frobenius a) in
+  let sweeps = ref 0 in
+  while off_diag_norm a > tol *. anorm && !sweeps < max_sweeps do
+    incr sweeps;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        let apq = Mat.get a p q in
+        if Float.abs apq > 1e-300 then begin
+          let app = Mat.get a p p and aqq = Mat.get a q q in
+          let theta = (aqq -. app) /. (2. *. apq) in
+          let t =
+            let s = if theta >= 0. then 1. else -1. in
+            s /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.))
+          in
+          let cs = 1. /. sqrt ((t *. t) +. 1.) in
+          let sn = t *. cs in
+          (* Rotate rows/columns p and q of a. *)
+          for k = 0 to n - 1 do
+            let akp = Mat.get a k p and akq = Mat.get a k q in
+            Mat.set a k p ((cs *. akp) -. (sn *. akq));
+            Mat.set a k q ((sn *. akp) +. (cs *. akq))
+          done;
+          for k = 0 to n - 1 do
+            let apk = Mat.get a p k and aqk = Mat.get a q k in
+            Mat.set a p k ((cs *. apk) -. (sn *. aqk));
+            Mat.set a q k ((sn *. apk) +. (cs *. aqk))
+          done;
+          (* Accumulate the rotation into the eigenvector matrix. *)
+          for k = 0 to n - 1 do
+            let vkp = Mat.get v k p and vkq = Mat.get v k q in
+            Mat.set v k p ((cs *. vkp) -. (sn *. vkq));
+            Mat.set v k q ((sn *. vkp) +. (cs *. vkq))
+          done
+        end
+      done
+    done
+  done;
+  (* Sort ascending by eigenvalue, permuting eigenvector columns. *)
+  let order = Array.init n (fun i -> i) in
+  let values = Mat.diag a in
+  Array.sort (fun i j -> Float.compare values.(i) values.(j)) order;
+  let sorted_values = Array.map (fun i -> values.(i)) order in
+  let sorted_vectors =
+    Mat.init n n (fun i j -> Mat.get v i order.(j))
+  in
+  { values = sorted_values; vectors = sorted_vectors }
+
+let reconstruct { values; vectors } =
+  let n = Array.length values in
+  let scaled = Mat.mul_cols vectors values in
+  Mat.gemm scaled (Mat.transpose vectors)
+  |> fun m -> Mat.init n n (fun i j -> Mat.get m i j)
+
+let condition_number { values; _ } =
+  let n = Array.length values in
+  if n = 0 then invalid_arg "Eigen_sym.condition_number: empty";
+  let amin = ref infinity and amax = ref 0. in
+  Array.iter
+    (fun v ->
+      let a = Float.abs v in
+      if a < !amin then amin := a;
+      if a > !amax then amax := a)
+    values;
+  if !amin = 0. then infinity else !amax /. !amin

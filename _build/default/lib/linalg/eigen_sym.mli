@@ -1,0 +1,21 @@
+(** Symmetric eigendecomposition by the cyclic Jacobi method.
+
+    Used for posterior-covariance analysis (credible regions) and for
+    condition-number diagnostics in tests. Intended for moderate sizes. *)
+
+type t = { values : Vec.t; vectors : Mat.t }
+(** Eigenvalues in ascending order; [vectors] holds the corresponding
+    orthonormal eigenvectors as columns. *)
+
+val decompose : ?max_sweeps:int -> ?tol:float -> Mat.t -> t
+(** [decompose a] diagonalizes symmetric [a]. [tol] (default [1e-12])
+    bounds the final off-diagonal Frobenius mass relative to the matrix
+    norm; [max_sweeps] defaults to 50.
+    @raise Invalid_argument if [a] is not square or not symmetric. *)
+
+val reconstruct : t -> Mat.t
+(** [v * diag(values) * v^T]; inverse of {!decompose} up to roundoff. *)
+
+val condition_number : t -> float
+(** Ratio of extreme absolute eigenvalues; [infinity] when the smallest
+    is zero. *)

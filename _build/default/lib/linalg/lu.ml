@@ -1,0 +1,88 @@
+exception Singular of int
+
+type t = { lu : Mat.t; perm : int array; sign : float }
+
+(* Doolittle with partial pivoting; l (unit diagonal) and u share [lu]. *)
+let factorize a =
+  let n, c = Mat.dims a in
+  if n <> c then invalid_arg "Lu.factorize: not square";
+  let lu = Mat.copy a in
+  let d = (lu : Mat.t).data in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1. in
+  for k = 0 to n - 1 do
+    (* pivot search in column k *)
+    let piv = ref k and pmax = ref (Float.abs (Array.unsafe_get d ((k * n) + k))) in
+    for i = k + 1 to n - 1 do
+      let v = Float.abs (Array.unsafe_get d ((i * n) + k)) in
+      if v > !pmax then begin
+        piv := i;
+        pmax := v
+      end
+    done;
+    if !pmax = 0. || not (Float.is_finite !pmax) then raise (Singular k);
+    if !piv <> k then begin
+      Mat.swap_rows lu k !piv;
+      let t = perm.(k) in
+      perm.(k) <- perm.(!piv);
+      perm.(!piv) <- t;
+      sign := -. !sign
+    end;
+    let pivot = Array.unsafe_get d ((k * n) + k) in
+    for i = k + 1 to n - 1 do
+      let f = Array.unsafe_get d ((i * n) + k) /. pivot in
+      Array.unsafe_set d ((i * n) + k) f;
+      if f <> 0. then
+        for j = k + 1 to n - 1 do
+          Array.unsafe_set d ((i * n) + j)
+            (Array.unsafe_get d ((i * n) + j)
+            -. (f *. Array.unsafe_get d ((k * n) + j)))
+        done
+    done
+  done;
+  { lu; perm; sign = !sign }
+
+let solve f b =
+  let n = Mat.rows f.lu in
+  if Array.length b <> n then invalid_arg "Lu.solve: length mismatch";
+  let d = (f.lu : Mat.t).data in
+  (* forward with permutation: l y = p b *)
+  let y = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let acc = ref b.(f.perm.(i)) in
+    for k = 0 to i - 1 do
+      acc := !acc -. (Array.unsafe_get d ((i * n) + k) *. y.(k))
+    done;
+    y.(i) <- !acc
+  done;
+  (* backward: u x = y *)
+  let x = Array.make n 0. in
+  for i = n - 1 downto 0 do
+    let acc = ref y.(i) in
+    for k = i + 1 to n - 1 do
+      acc := !acc -. (Array.unsafe_get d ((i * n) + k) *. x.(k))
+    done;
+    x.(i) <- !acc /. Array.unsafe_get d ((i * n) + i)
+  done;
+  x
+
+let solve_mat f b =
+  let n = Mat.rows f.lu in
+  if Mat.rows b <> n then invalid_arg "Lu.solve_mat: dimension mismatch";
+  let x = Mat.create n (Mat.cols b) in
+  for j = 0 to Mat.cols b - 1 do
+    Mat.set_col x j (solve f (Mat.col b j))
+  done;
+  x
+
+let inverse f = solve_mat f (Mat.identity (Mat.rows f.lu))
+
+let det f =
+  let n = Mat.rows f.lu in
+  let acc = ref f.sign in
+  for i = 0 to n - 1 do
+    acc := !acc *. Mat.get f.lu i i
+  done;
+  !acc
+
+let solve_system a b = solve (factorize a) b

@@ -1,0 +1,26 @@
+(** LU factorization with partial pivoting, for general square systems.
+
+    Used for the MNA solves of small parasitic networks in the circuit
+    substrate and as a reference solver in tests. *)
+
+exception Singular of int
+(** Raised with the offending column when no usable pivot exists. *)
+
+type t
+(** A factorization [p * a = l * u] with a permutation [p]. *)
+
+val factorize : Mat.t -> t
+(** @raise Singular when the matrix is numerically singular. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** [solve f b] solves [a * x = b]. *)
+
+val solve_mat : t -> Mat.t -> Mat.t
+
+val inverse : t -> Mat.t
+
+val det : t -> float
+(** Determinant of [a] (sign includes the permutation parity). *)
+
+val solve_system : Mat.t -> Vec.t -> Vec.t
+(** One-shot convenience: factorize then solve. *)

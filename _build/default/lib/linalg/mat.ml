@@ -1,0 +1,304 @@
+type t = { rows : int; cols : int; data : float array }
+
+let check_dims r c =
+  if r < 0 || c < 0 then invalid_arg "Mat: negative dimension"
+
+let create r c =
+  check_dims r c;
+  { rows = r; cols = c; data = Array.make (r * c) 0. }
+
+let init r c f =
+  check_dims r c;
+  let data = Array.make (r * c) 0. in
+  for i = 0 to r - 1 do
+    let base = i * c in
+    for j = 0 to c - 1 do
+      Array.unsafe_set data (base + j) (f i j)
+    done
+  done;
+  { rows = r; cols = c; data }
+
+let make r c v =
+  check_dims r c;
+  { rows = r; cols = c; data = Array.make (r * c) v }
+
+let identity n = init n n (fun i j -> if i = j then 1. else 0.)
+
+let of_arrays rows_arr =
+  let r = Array.length rows_arr in
+  if r = 0 then { rows = 0; cols = 0; data = [||] }
+  else begin
+    let c = Array.length rows_arr.(0) in
+    Array.iter
+      (fun row ->
+        if Array.length row <> c then
+          invalid_arg "Mat.of_arrays: ragged rows")
+      rows_arr;
+    init r c (fun i j -> rows_arr.(i).(j))
+  end
+
+let to_arrays a =
+  Array.init a.rows (fun i -> Array.sub a.data (i * a.cols) a.cols)
+
+let of_rows rows_list = of_arrays (Array.of_list rows_list)
+
+let copy a = { a with data = Array.copy a.data }
+
+let dims a = (a.rows, a.cols)
+
+let rows a = a.rows
+
+let cols a = a.cols
+
+let get a i j =
+  if i < 0 || i >= a.rows || j < 0 || j >= a.cols then
+    invalid_arg "Mat.get: index out of bounds";
+  Array.unsafe_get a.data ((i * a.cols) + j)
+
+let set a i j v =
+  if i < 0 || i >= a.rows || j < 0 || j >= a.cols then
+    invalid_arg "Mat.set: index out of bounds";
+  Array.unsafe_set a.data ((i * a.cols) + j) v
+
+let row a i =
+  if i < 0 || i >= a.rows then invalid_arg "Mat.row: index out of bounds";
+  Array.sub a.data (i * a.cols) a.cols
+
+let col a j =
+  if j < 0 || j >= a.cols then invalid_arg "Mat.col: index out of bounds";
+  Array.init a.rows (fun i -> Array.unsafe_get a.data ((i * a.cols) + j))
+
+let set_row a i v =
+  if i < 0 || i >= a.rows then invalid_arg "Mat.set_row: index out of bounds";
+  if Array.length v <> a.cols then invalid_arg "Mat.set_row: length mismatch";
+  Array.blit v 0 a.data (i * a.cols) a.cols
+
+let set_col a j v =
+  if j < 0 || j >= a.cols then invalid_arg "Mat.set_col: index out of bounds";
+  if Array.length v <> a.rows then invalid_arg "Mat.set_col: length mismatch";
+  for i = 0 to a.rows - 1 do
+    Array.unsafe_set a.data ((i * a.cols) + j) (Array.unsafe_get v i)
+  done
+
+let transpose a =
+  let b = create a.cols a.rows in
+  for i = 0 to a.rows - 1 do
+    let base = i * a.cols in
+    for j = 0 to a.cols - 1 do
+      Array.unsafe_set b.data ((j * b.cols) + i)
+        (Array.unsafe_get a.data (base + j))
+    done
+  done;
+  b
+
+let check_same name a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg
+      (Printf.sprintf "Mat.%s: dimension mismatch (%dx%d vs %dx%d)" name
+         a.rows a.cols b.rows b.cols)
+
+let add a b =
+  check_same "add" a b;
+  { a with data = Vec.add a.data b.data }
+
+let sub a b =
+  check_same "sub" a b;
+  { a with data = Vec.sub a.data b.data }
+
+let scale s a = { a with data = Vec.scale s a.data }
+
+let add_diag a d =
+  if a.rows <> a.cols then invalid_arg "Mat.add_diag: not square";
+  if Array.length d <> a.rows then invalid_arg "Mat.add_diag: length mismatch";
+  let b = copy a in
+  for i = 0 to a.rows - 1 do
+    let k = (i * a.cols) + i in
+    Array.unsafe_set b.data k (Array.unsafe_get b.data k +. d.(i))
+  done;
+  b
+
+let diag a =
+  if a.rows <> a.cols then invalid_arg "Mat.diag: not square";
+  Array.init a.rows (fun i -> Array.unsafe_get a.data ((i * a.cols) + i))
+
+let of_diag d =
+  let n = Array.length d in
+  init n n (fun i j -> if i = j then d.(i) else 0.)
+
+let gemv a x =
+  if Array.length x <> a.cols then invalid_arg "Mat.gemv: length mismatch";
+  let y = Array.make a.rows 0. in
+  let data = a.data and c = a.cols in
+  for i = 0 to a.rows - 1 do
+    let base = i * c in
+    let acc = ref 0. in
+    for j = 0 to c - 1 do
+      acc := !acc +. (Array.unsafe_get data (base + j) *. Array.unsafe_get x j)
+    done;
+    Array.unsafe_set y i !acc
+  done;
+  y
+
+let gemv_t a x =
+  if Array.length x <> a.rows then invalid_arg "Mat.gemv_t: length mismatch";
+  let y = Array.make a.cols 0. in
+  let data = a.data and c = a.cols in
+  for i = 0 to a.rows - 1 do
+    let xi = Array.unsafe_get x i in
+    if xi <> 0. then begin
+      let base = i * c in
+      for j = 0 to c - 1 do
+        Array.unsafe_set y j
+          (Array.unsafe_get y j +. (xi *. Array.unsafe_get data (base + j)))
+      done
+    end
+  done;
+  y
+
+(* ikj loop order: the inner loop walks both [b] and [c] rows contiguously. *)
+let gemm a b =
+  if a.cols <> b.rows then
+    invalid_arg
+      (Printf.sprintf "Mat.gemm: dimension mismatch (%dx%d * %dx%d)" a.rows
+         a.cols b.rows b.cols);
+  let c = create a.rows b.cols in
+  let n = b.cols in
+  for i = 0 to a.rows - 1 do
+    let abase = i * a.cols and cbase = i * n in
+    for k = 0 to a.cols - 1 do
+      let aik = Array.unsafe_get a.data (abase + k) in
+      if aik <> 0. then begin
+        let bbase = k * n in
+        for j = 0 to n - 1 do
+          Array.unsafe_set c.data (cbase + j)
+            (Array.unsafe_get c.data (cbase + j)
+            +. (aik *. Array.unsafe_get b.data (bbase + j)))
+        done
+      end
+    done
+  done;
+  c
+
+let sym_mirror_upper a =
+  if a.rows <> a.cols then invalid_arg "Mat.sym_mirror_upper: not square";
+  let n = a.rows in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      Array.unsafe_set a.data ((j * n) + i)
+        (Array.unsafe_get a.data ((i * n) + j))
+    done
+  done
+
+(* a^T a via accumulated rank-1 updates of the rows: upper triangle only,
+   then mirrored. Every access is contiguous in the row. *)
+let weighted_gram a w =
+  if Array.length w <> a.rows then
+    invalid_arg "Mat.weighted_gram: weight length mismatch";
+  let m = a.cols in
+  let c = create m m in
+  for k = 0 to a.rows - 1 do
+    let base = k * m in
+    let wk = Array.unsafe_get w k in
+    if wk <> 0. then
+      for i = 0 to m - 1 do
+        let v = wk *. Array.unsafe_get a.data (base + i) in
+        if v <> 0. then begin
+          let cbase = i * m in
+          for j = i to m - 1 do
+            Array.unsafe_set c.data (cbase + j)
+              (Array.unsafe_get c.data (cbase + j)
+              +. (v *. Array.unsafe_get a.data (base + j)))
+          done
+        end
+      done
+  done;
+  sym_mirror_upper c;
+  c
+
+let gram a = weighted_gram a (Array.make a.rows 1.)
+
+(* a diag(w) a^T: rows are contiguous so the triple loop is fully
+   sequential; upper triangle then mirror. *)
+let weighted_outer_gram a w =
+  if Array.length w <> a.cols then
+    invalid_arg "Mat.weighted_outer_gram: weight length mismatch";
+  let k = a.rows and m = a.cols in
+  let c = create k k in
+  for i = 0 to k - 1 do
+    let ibase = i * m in
+    for j = i to k - 1 do
+      let jbase = j * m in
+      let acc = ref 0. in
+      for t = 0 to m - 1 do
+        acc :=
+          !acc
+          +. Array.unsafe_get a.data (ibase + t)
+             *. Array.unsafe_get w t
+             *. Array.unsafe_get a.data (jbase + t)
+      done;
+      Array.unsafe_set c.data ((i * k) + j) !acc
+    done
+  done;
+  sym_mirror_upper c;
+  c
+
+let outer_gram a = weighted_outer_gram a (Array.make a.cols 1.)
+
+let mul_cols a w =
+  if Array.length w <> a.cols then
+    invalid_arg "Mat.mul_cols: weight length mismatch";
+  let b = copy a in
+  for i = 0 to a.rows - 1 do
+    let base = i * a.cols in
+    for j = 0 to a.cols - 1 do
+      Array.unsafe_set b.data (base + j)
+        (Array.unsafe_get b.data (base + j) *. Array.unsafe_get w j)
+    done
+  done;
+  b
+
+let frobenius a = Vec.nrm2 a.data
+
+let approx_equal ?(tol = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols && Vec.approx_equal ~tol a.data b.data
+
+let is_symmetric ?(tol = 1e-9) a =
+  a.rows = a.cols
+  &&
+  let ok = ref true in
+  for i = 0 to a.rows - 1 do
+    for j = i + 1 to a.cols - 1 do
+      let x = get a i j and y = get a j i in
+      let scale = Float.max 1. (Float.max (Float.abs x) (Float.abs y)) in
+      if Float.abs (x -. y) > tol *. scale then ok := false
+    done
+  done;
+  !ok
+
+let swap_rows a i j =
+  if i < 0 || i >= a.rows || j < 0 || j >= a.rows then
+    invalid_arg "Mat.swap_rows: index out of bounds";
+  if i <> j then begin
+    let c = a.cols in
+    for t = 0 to c - 1 do
+      let x = Array.unsafe_get a.data ((i * c) + t) in
+      Array.unsafe_set a.data ((i * c) + t)
+        (Array.unsafe_get a.data ((j * c) + t));
+      Array.unsafe_set a.data ((j * c) + t) x
+    done
+  end
+
+let map f a = { a with data = Array.map f a.data }
+
+let pp fmt a =
+  Format.fprintf fmt "@[<v>matrix %dx%d" a.rows a.cols;
+  let rmax = Stdlib.min a.rows 6 and cmax = Stdlib.min a.cols 6 in
+  for i = 0 to rmax - 1 do
+    Format.fprintf fmt "@,| ";
+    for j = 0 to cmax - 1 do
+      Format.fprintf fmt "%10.4g " (get a i j)
+    done;
+    if a.cols > cmax then Format.fprintf fmt "..."
+  done;
+  if a.rows > rmax then Format.fprintf fmt "@,| ...";
+  Format.fprintf fmt "@]"

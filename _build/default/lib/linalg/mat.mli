@@ -1,0 +1,106 @@
+(** Dense row-major matrices of unboxed floats.
+
+    The representation is a flat [float array] of length [rows * cols];
+    entry (i, j) lives at index [i * cols + j]. Rows are therefore
+    contiguous, and all hot kernels below iterate row-wise. *)
+
+type t = private { rows : int; cols : int; data : float array }
+
+val create : int -> int -> t
+(** [create r c] is the [r] x [c] zero matrix. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+(** [init r c f] has entry [f i j] at (i, j). *)
+
+val make : int -> int -> float -> t
+
+val identity : int -> t
+
+val of_arrays : float array array -> t
+(** Builds from an array of rows; all rows must have equal length. *)
+
+val to_arrays : t -> float array array
+
+val of_rows : Vec.t list -> t
+
+val copy : t -> t
+
+val dims : t -> int * int
+
+val rows : t -> int
+
+val cols : t -> int
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+val row : t -> int -> Vec.t
+(** Copy of row [i]. *)
+
+val col : t -> int -> Vec.t
+(** Copy of column [j]. *)
+
+val set_row : t -> int -> Vec.t -> unit
+
+val set_col : t -> int -> Vec.t -> unit
+
+val transpose : t -> t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val add_diag : t -> Vec.t -> t
+(** [add_diag a d] adds [d] to the main diagonal of square [a] (fresh). *)
+
+val diag : t -> Vec.t
+(** Main diagonal of a square matrix. *)
+
+val of_diag : Vec.t -> t
+(** Square matrix with the given diagonal and zeros elsewhere. *)
+
+val gemv : t -> Vec.t -> Vec.t
+(** [gemv a x] is [a * x]. *)
+
+val gemv_t : t -> Vec.t -> Vec.t
+(** [gemv_t a x] is [a^T * x], computed without materializing [a^T]. *)
+
+val gemm : t -> t -> t
+(** [gemm a b] is [a * b], cache-blocked (ikj loop order). *)
+
+val gram : t -> t
+(** [gram a] is [a^T * a] ([cols] x [cols]), symmetric, built from rank-1
+    row updates so access stays contiguous. *)
+
+val weighted_gram : t -> Vec.t -> t
+(** [weighted_gram a w] is [a^T * diag(w) * a]. *)
+
+val outer_gram : t -> t
+(** [outer_gram a] is [a * a^T] ([rows] x [rows]). *)
+
+val weighted_outer_gram : t -> Vec.t -> t
+(** [weighted_outer_gram a w] is [a * diag(w) * a^T]; the kernel at the
+    heart of the Sherman-Morrison-Woodbury fast solver (eq. 55/58). *)
+
+val mul_cols : t -> Vec.t -> t
+(** [mul_cols a w] scales column [j] of [a] by [w.(j)] (fresh matrix),
+    i.e. [a * diag(w)]. *)
+
+val sym_mirror_upper : t -> unit
+(** Copies the strict upper triangle onto the lower one in place. *)
+
+val frobenius : t -> float
+
+val approx_equal : ?tol:float -> t -> t -> bool
+
+val is_symmetric : ?tol:float -> t -> bool
+
+val swap_rows : t -> int -> int -> unit
+
+val map : (float -> float) -> t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Prints a small corner of the matrix with its dimensions. *)

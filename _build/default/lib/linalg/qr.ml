@@ -1,0 +1,138 @@
+exception Rank_deficient of int
+
+(* Compact Householder storage: the strict lower triangle of [h] plus
+   [betas] hold the reflectors v (with v.(k) = 1 implicit); the upper
+   triangle of [h] holds r. *)
+type t = { h : Mat.t; betas : float array; m : int; n : int }
+
+let factorize a =
+  let m, n = Mat.dims a in
+  if m < n then invalid_arg "Qr.factorize: need rows >= cols";
+  let h = Mat.copy a in
+  let d = (h : Mat.t).data in
+  let betas = Array.make n 0. in
+  let v = Array.make m 0. in
+  for k = 0 to n - 1 do
+    (* Build the Householder vector for column k below the diagonal. *)
+    let alpha = ref 0. in
+    for i = k to m - 1 do
+      let x = Array.unsafe_get d ((i * n) + k) in
+      alpha := !alpha +. (x *. x)
+    done;
+    let alpha = sqrt !alpha in
+    let x0 = Array.unsafe_get d ((k * n) + k) in
+    if alpha = 0. then betas.(k) <- 0.
+    else begin
+      let alpha = if x0 > 0. then -.alpha else alpha in
+      v.(k) <- x0 -. alpha;
+      for i = k + 1 to m - 1 do
+        v.(i) <- Array.unsafe_get d ((i * n) + k)
+      done;
+      let vnorm2 = ref 0. in
+      for i = k to m - 1 do
+        vnorm2 := !vnorm2 +. (v.(i) *. v.(i))
+      done;
+      if !vnorm2 = 0. then betas.(k) <- 0.
+      else begin
+        let beta = 2. /. !vnorm2 in
+        betas.(k) <- beta;
+        (* Apply the reflector to the remaining columns k..n-1. *)
+        for j = k to n - 1 do
+          let s = ref 0. in
+          for i = k to m - 1 do
+            s := !s +. (v.(i) *. Array.unsafe_get d ((i * n) + j))
+          done;
+          let s = beta *. !s in
+          for i = k to m - 1 do
+            Array.unsafe_set d ((i * n) + j)
+              (Array.unsafe_get d ((i * n) + j) -. (s *. v.(i)))
+          done
+        done;
+        (* r_kk now holds alpha; store the reflector below the diagonal,
+           normalized so that its first entry is 1. *)
+        Mat.set h k k alpha;
+        let v0 = v.(k) in
+        if v0 <> 0. then begin
+          for i = k + 1 to m - 1 do
+            Array.unsafe_set d ((i * n) + k) (v.(i) /. v0)
+          done;
+          betas.(k) <- beta *. v0 *. v0
+        end
+      end
+    end
+  done;
+  { h; betas; m; n }
+
+let r f =
+  Mat.init f.n f.n (fun i j -> if j >= i then Mat.get f.h i j else 0.)
+
+let apply_qt f b =
+  if Array.length b <> f.m then invalid_arg "Qr.apply_qt: length mismatch";
+  let d = (f.h : Mat.t).data and n = f.n in
+  let y = Array.copy b in
+  for k = 0 to f.n - 1 do
+    let beta = f.betas.(k) in
+    if beta <> 0. then begin
+      (* v has implicit 1 at position k. *)
+      let s = ref y.(k) in
+      for i = k + 1 to f.m - 1 do
+        s := !s +. (Array.unsafe_get d ((i * n) + k) *. y.(i))
+      done;
+      let s = beta *. !s in
+      y.(k) <- y.(k) -. s;
+      for i = k + 1 to f.m - 1 do
+        y.(i) <- y.(i) -. (s *. Array.unsafe_get d ((i * n) + k))
+      done
+    end
+  done;
+  y
+
+let q_thin f =
+  (* Apply the reflectors in reverse to the first n columns of the
+     identity. *)
+  let q = Mat.create f.m f.n in
+  for j = 0 to f.n - 1 do
+    let e = Array.make f.m 0. in
+    e.(j) <- 1.;
+    let d = (f.h : Mat.t).data and n = f.n in
+    for k = f.n - 1 downto 0 do
+      let beta = f.betas.(k) in
+      if beta <> 0. then begin
+        let s = ref e.(k) in
+        for i = k + 1 to f.m - 1 do
+          s := !s +. (Array.unsafe_get d ((i * n) + k) *. e.(i))
+        done;
+        let s = beta *. !s in
+        e.(k) <- e.(k) -. s;
+        for i = k + 1 to f.m - 1 do
+          e.(i) <- e.(i) -. (s *. Array.unsafe_get d ((i * n) + k))
+        done
+      end
+    done;
+    Mat.set_col q j e
+  done;
+  q
+
+let solve_ls f b =
+  let y = apply_qt f b in
+  let x = Array.make f.n 0. in
+  for i = f.n - 1 downto 0 do
+    let acc = ref y.(i) in
+    for k = i + 1 to f.n - 1 do
+      acc := !acc -. (Mat.get f.h i k *. x.(k))
+    done;
+    let rii = Mat.get f.h i i in
+    if Float.abs rii < 1e-300 then raise (Rank_deficient i);
+    x.(i) <- !acc /. rii
+  done;
+  x
+
+let least_squares a b = solve_ls (factorize a) b
+
+let residual_norm f b =
+  let y = apply_qt f b in
+  let acc = ref 0. in
+  for i = f.n to f.m - 1 do
+    acc := !acc +. (y.(i) *. y.(i))
+  done;
+  sqrt !acc

@@ -1,0 +1,36 @@
+(** QR factorization by Householder reflections, and least-squares solves.
+
+    This is the workhorse behind ordinary least-squares fitting (Sec. II-B
+    of the paper) and the small dense solves inside OMP. *)
+
+exception Rank_deficient of int
+(** Raised with the offending column when a zero pivot appears during the
+    least-squares back substitution. *)
+
+type t
+(** A factorization [a = q * r] of an [m] x [n] matrix with [m >= n],
+    stored in compact Householder form. *)
+
+val factorize : Mat.t -> t
+(** Factorizes a matrix with at least as many rows as columns.
+    @raise Invalid_argument when [rows < cols]. *)
+
+val r : t -> Mat.t
+(** The upper-triangular [n] x [n] factor. *)
+
+val q_thin : t -> Mat.t
+(** The thin orthonormal factor ([m] x [n]). *)
+
+val apply_qt : t -> Vec.t -> Vec.t
+(** [apply_qt f b] is [q^T * b] (length [m]), without forming [q]. *)
+
+val solve_ls : t -> Vec.t -> Vec.t
+(** Least-squares solution of [a * x ~= b].
+    @raise Rank_deficient on numerically rank-deficient [a]. *)
+
+val least_squares : Mat.t -> Vec.t -> Vec.t
+(** One-shot convenience: factorize then {!solve_ls}. *)
+
+val residual_norm : t -> Vec.t -> float
+(** Norm of the least-squares residual [||a x - b||_2], read off the tail
+    of [q^T b] without computing [x]. *)

@@ -1,0 +1,91 @@
+type t = { u : Mat.t; s : Vec.t; v : Mat.t }
+
+(* One-sided Jacobi: orthogonalize the columns of a working copy of [a]
+   by plane rotations, accumulating them into [v]. On convergence the
+   columns of the work matrix are u_i * s_i. *)
+let decompose ?(max_sweeps = 60) ?(tol = 1e-12) a =
+  let m, n = Mat.dims a in
+  if m < n then invalid_arg "Svd.decompose: need rows >= cols";
+  let w = Mat.copy a in
+  let v = Mat.identity n in
+  let col_dot i j =
+    let acc = ref 0. in
+    for k = 0 to m - 1 do
+      acc := !acc +. (Mat.get w k i *. Mat.get w k j)
+    done;
+    !acc
+  in
+  let rotate_cols mat p q c s =
+    let rows = Mat.rows mat in
+    for k = 0 to rows - 1 do
+      let xp = Mat.get mat k p and xq = Mat.get mat k q in
+      Mat.set mat k p ((c *. xp) -. (s *. xq));
+      Mat.set mat k q ((s *. xp) +. (c *. xq))
+    done
+  in
+  let converged = ref false and sweeps = ref 0 in
+  while (not !converged) && !sweeps < max_sweeps do
+    incr sweeps;
+    converged := true;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        let app = col_dot p p and aqq = col_dot q q and apq = col_dot p q in
+        if Float.abs apq > tol *. sqrt (app *. aqq) +. 1e-300 then begin
+          converged := false;
+          let theta = (aqq -. app) /. (2. *. apq) in
+          let t =
+            let sign = if theta >= 0. then 1. else -1. in
+            sign /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.))
+          in
+          let c = 1. /. sqrt ((t *. t) +. 1.) in
+          let s = t *. c in
+          rotate_cols w p q c s;
+          rotate_cols v p q c s
+        end
+      done
+    done
+  done;
+  (* extract singular values and normalize columns into u *)
+  let s = Array.init n (fun j -> Vec.nrm2 (Mat.col w j)) in
+  (* sort descending, permuting u and v columns *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> Float.compare s.(j) s.(i)) order;
+  let sorted_s = Array.map (fun i -> s.(i)) order in
+  let u = Mat.create m n in
+  let v_sorted = Mat.create n n in
+  Array.iteri
+    (fun dst src ->
+      let col = Mat.col w src in
+      let norm = s.(src) in
+      let col =
+        if norm > 0. then Vec.scale (1. /. norm) col else Vec.create m
+      in
+      Mat.set_col u dst col;
+      Mat.set_col v_sorted dst (Mat.col v src))
+    order;
+  { u; s = sorted_s; v = v_sorted }
+
+let reconstruct { u; s; v } =
+  Mat.gemm (Mat.mul_cols u s) (Mat.transpose v)
+
+let rank ?(tol = 1e-10) { s; _ } =
+  if Array.length s = 0 then 0
+  else begin
+    let smax = s.(0) in
+    Array.fold_left (fun acc x -> if x > tol *. smax then acc + 1 else acc) 0 s
+  end
+
+let condition_number { s; _ } =
+  let n = Array.length s in
+  if n = 0 then invalid_arg "Svd.condition_number: empty";
+  if s.(n - 1) = 0. then infinity else s.(0) /. s.(n - 1)
+
+let pseudo_inverse ?(tol = 1e-10) { u; s; v } =
+  let smax = if Array.length s = 0 then 0. else s.(0) in
+  let s_inv =
+    Array.map (fun x -> if x > tol *. smax then 1. /. x else 0.) s
+  in
+  Mat.gemm (Mat.mul_cols v s_inv) (Mat.transpose u)
+
+let solve_min_norm ?tol f b =
+  Mat.gemv (pseudo_inverse ?tol f) b

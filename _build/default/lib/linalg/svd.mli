@@ -1,0 +1,30 @@
+(** Singular value decomposition by the one-sided Jacobi method.
+
+    Produces [a = u * diag(s) * v^T] with orthonormal [u] (thin, m x n),
+    orthonormal [v] (n x n) and non-negative singular values in
+    descending order. Used for rank/conditioning diagnostics of design
+    matrices and for minimum-norm least squares. Intended for m >= n. *)
+
+type t = { u : Mat.t; s : Vec.t; v : Mat.t }
+
+val decompose : ?max_sweeps:int -> ?tol:float -> Mat.t -> t
+(** [decompose a] for [a] with at least as many rows as columns
+    (transpose first otherwise). [tol] (default [1e-12]) is the relative
+    off-orthogonality threshold; [max_sweeps] defaults to 60.
+    @raise Invalid_argument when [rows < cols]. *)
+
+val reconstruct : t -> Mat.t
+(** [u * diag(s) * v^T]. *)
+
+val rank : ?tol:float -> t -> int
+(** Number of singular values above [tol * s_max] (default [1e-10]). *)
+
+val condition_number : t -> float
+(** [s_max / s_min]; [infinity] when [s_min = 0]. *)
+
+val pseudo_inverse : ?tol:float -> t -> Mat.t
+(** Moore-Penrose inverse ([n] x [m]); singular values below
+    [tol * s_max] are treated as zero. *)
+
+val solve_min_norm : ?tol:float -> t -> Vec.t -> Vec.t
+(** Minimum-norm least-squares solution of [a x ~= b]. *)

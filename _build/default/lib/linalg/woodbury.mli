@@ -1,0 +1,32 @@
+(** Sherman-Morrison-Woodbury solves for diagonal-plus-low-rank systems.
+
+    Solves [(diag d + scale * g^T g) x = b] where [g] is [k] x [m] with
+    [k << m], using only a [k] x [k] Cholesky factorization:
+
+    [(D + s G^T G)^-1 = D^-1 - D^-1 G^T (s^-1 I + G D^-1 G^T)^-1 G D^-1].
+
+    This is the paper's "fast solver" (Sec. IV-C, eq. 53-58): exact, no
+    approximation, with cost O(k^2 m + k^3) instead of O(m^3). *)
+
+type t
+(** A reusable factorization for a fixed [(d, g, scale)] triple. *)
+
+val factorize : d:Vec.t -> g:Mat.t -> scale:float -> t
+(** Prepares solves of [(diag d + scale * g^T g) x = b].
+    Requirements: [d] has length [cols g], every [d.(i) > 0], and
+    [scale > 0]; violations raise [Invalid_argument]. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** [solve f b] returns the exact solution [x] (length [cols g]). *)
+
+val solve_many : t -> Vec.t list -> Vec.t list
+(** Shares the small factorization across several right-hand sides. *)
+
+val dim : t -> int
+(** Size [m] of the full system. *)
+
+val rank : t -> int
+(** Rank [k] of the low-rank update (number of rows of [g]). *)
+
+val solve_system : d:Vec.t -> g:Mat.t -> scale:float -> Vec.t -> Vec.t
+(** One-shot convenience: factorize then solve. *)

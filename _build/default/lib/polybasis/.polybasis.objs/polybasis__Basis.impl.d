@@ -1,0 +1,1 @@
+lib/polybasis/basis.ml: Array Hashtbl Hermite Linalg List Multi_index Stdlib

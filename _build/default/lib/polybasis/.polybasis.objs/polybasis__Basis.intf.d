@@ -1,0 +1,1 @@
+lib/polybasis/basis.mli: Linalg Multi_index

@@ -1,0 +1,1 @@
+lib/polybasis/hermite.ml: Array

@@ -1,0 +1,1 @@
+lib/polybasis/multi_index.mli: Format

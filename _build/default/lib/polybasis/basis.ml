@@ -1,0 +1,138 @@
+type t = {
+  dim : int;
+  terms : Multi_index.t array;
+  max_degree : int; (* largest single-variable degree across terms *)
+}
+
+let max_single_degree terms =
+  Array.fold_left
+    (fun acc term ->
+      Array.fold_left (fun acc (_, d) -> Stdlib.max acc d) acc term)
+    0 terms
+
+let of_terms ~dim terms_list =
+  let terms = Array.of_list terms_list in
+  Array.iter
+    (fun term ->
+      if Multi_index.max_variable term >= dim then
+        invalid_arg "Basis.of_terms: term references variable out of range")
+    terms;
+  let seen = Hashtbl.create (Array.length terms) in
+  Array.iter
+    (fun term ->
+      let key = Array.to_list term in
+      if Hashtbl.mem seen key then
+        invalid_arg "Basis.of_terms: duplicate term";
+      Hashtbl.add seen key ())
+    terms;
+  { dim; terms; max_degree = max_single_degree terms }
+
+let linear r =
+  of_terms ~dim:r
+    (Multi_index.constant :: List.init r (fun i -> Multi_index.linear i))
+
+let quadratic_diagonal r =
+  of_terms ~dim:r
+    (Multi_index.constant
+    :: (List.init r (fun i -> Multi_index.linear i)
+       @ List.init r (fun i -> Multi_index.pure i 2)))
+
+let total_degree ~r ~d = of_terms ~dim:r (Multi_index.all_up_to_degree ~r ~d)
+
+let dim b = b.dim
+
+let size b = Array.length b.terms
+
+let term b m =
+  if m < 0 || m >= Array.length b.terms then
+    invalid_arg "Basis.term: index out of range";
+  b.terms.(m)
+
+let terms b = Array.copy b.terms
+
+let index_of_term b t =
+  let found = ref None in
+  Array.iteri
+    (fun i term ->
+      if !found = None && Multi_index.equal term t then found := Some i)
+    b.terms;
+  !found
+
+let eval_term_on term x =
+  let acc = ref 1. in
+  Array.iter
+    (fun (v, d) -> acc := !acc *. Hermite.normalized d x.(v))
+    term;
+  !acc
+
+let eval_term b m x =
+  if Array.length x <> b.dim then invalid_arg "Basis.eval_term: bad point";
+  eval_term_on (term b m) x
+
+(* Evaluating a row: precompute normalized Hermite values for every
+   variable up to the max degree only when degree > 1; for the common
+   linear case we avoid all the machinery. *)
+let eval_row b x =
+  if Array.length x <> b.dim then invalid_arg "Basis.eval_row: bad point";
+  if b.max_degree <= 1 then
+    Array.map
+      (fun term ->
+        match Array.length term with
+        | 0 -> 1.
+        | _ ->
+            let acc = ref 1. in
+            Array.iter (fun (v, _) -> acc := !acc *. x.(v)) term;
+            !acc)
+      b.terms
+  else begin
+    (* cache per-variable Hermite columns lazily *)
+    let cache = Hashtbl.create 64 in
+    let herm v =
+      match Hashtbl.find_opt cache v with
+      | Some arr -> arr
+      | None ->
+          let arr = Hermite.normalized_upto b.max_degree x.(v) in
+          Hashtbl.add cache v arr;
+          arr
+    in
+    Array.map
+      (fun term ->
+        let acc = ref 1. in
+        Array.iter (fun (v, d) -> acc := !acc *. (herm v).(d)) term;
+        !acc)
+      b.terms
+  end
+
+let design_matrix b xs =
+  let k, r = Linalg.Mat.dims xs in
+  if r <> b.dim then invalid_arg "Basis.design_matrix: dimension mismatch";
+  let m = size b in
+  let g = Linalg.Mat.create k m in
+  for i = 0 to k - 1 do
+    Linalg.Mat.set_row g i (eval_row b (Linalg.Mat.row xs i))
+  done;
+  g
+
+let predict b ~coeffs x =
+  if Array.length coeffs <> size b then
+    invalid_arg "Basis.predict: coefficient length mismatch";
+  Linalg.Vec.dot coeffs (eval_row b x)
+
+let predict_many b ~coeffs xs =
+  let k = Linalg.Mat.rows xs in
+  Array.init k (fun i -> predict b ~coeffs (Linalg.Mat.row xs i))
+
+let extend b new_terms =
+  let existing = Array.to_list b.terms in
+  List.iter
+    (fun t ->
+      if List.exists (Multi_index.equal t) existing then
+        invalid_arg "Basis.extend: term already present")
+    new_terms;
+  let all = existing @ new_terms in
+  let dim =
+    List.fold_left
+      (fun acc t -> Stdlib.max acc (Multi_index.max_variable t + 1))
+      b.dim all
+  in
+  of_terms ~dim all

@@ -1,0 +1,40 @@
+let probabilists n x =
+  if n < 0 then invalid_arg "Hermite.probabilists: negative degree";
+  if n = 0 then 1.
+  else begin
+    let prev = ref 1. and cur = ref x in
+    for k = 1 to n - 1 do
+      let next = (x *. !cur) -. (float_of_int k *. !prev) in
+      prev := !cur;
+      cur := next
+    done;
+    !cur
+  end
+
+let log_factorial n =
+  if n < 0 then invalid_arg "Hermite.log_factorial: negative argument";
+  let acc = ref 0. in
+  for k = 2 to n do
+    acc := !acc +. log (float_of_int k)
+  done;
+  !acc
+
+let normalized n x = probabilists n x *. exp (-0.5 *. log_factorial n)
+
+let normalized_upto d x =
+  if d < 0 then invalid_arg "Hermite.normalized_upto: negative degree";
+  let out = Array.make (d + 1) 1. in
+  if d >= 1 then begin
+    (* carry He_k and the normalization sqrt(k!) together *)
+    let prev = ref 1. and cur = ref x in
+    let log_fact = ref 0. in
+    out.(1) <- x;
+    for k = 1 to d - 1 do
+      let next = (x *. !cur) -. (float_of_int k *. !prev) in
+      prev := !cur;
+      cur := next;
+      log_fact := !log_fact +. log (float_of_int (k + 1));
+      out.(k + 1) <- next *. exp (-0.5 *. !log_fact)
+    done
+  end;
+  out

@@ -1,0 +1,23 @@
+(** Probabilists' Hermite polynomials He_n, and their orthonormal
+    normalization with respect to the standard normal weight.
+
+    These are the paper's orthonormal basis functions (eq. 3-5): the
+    normalized polynomial [normalized n x = He_n(x) / sqrt(n!)] satisfies
+    E[g_i(X) g_j(X)] = delta_ij for X ~ N(0, 1). In particular
+    [normalized 0 x = 1], [normalized 1 x = x],
+    [normalized 2 x = (x^2 - 1) / sqrt 2] — exactly eq. 4. *)
+
+val probabilists : int -> float -> float
+(** [probabilists n x] is He_n(x) via the stable three-term recurrence
+    He_{n+1} = x He_n - n He_{n-1}.
+    @raise Invalid_argument for negative [n]. *)
+
+val normalized : int -> float -> float
+(** [normalized n x] is [He_n(x) / sqrt(n!)]. *)
+
+val normalized_upto : int -> float -> float array
+(** [normalized_upto d x] is [| g_0 x; ...; g_d x |] computed in one
+    recurrence sweep (cheaper than [d] separate calls). *)
+
+val log_factorial : int -> float
+(** [log n!], exact for the small degrees used here. *)

@@ -1,0 +1,1 @@
+lib/regression/lasso.ml: Array Float Linalg Model Polybasis

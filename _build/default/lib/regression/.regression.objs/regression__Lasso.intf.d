@@ -1,0 +1,1 @@
+lib/regression/lasso.mli: Linalg Model Polybasis

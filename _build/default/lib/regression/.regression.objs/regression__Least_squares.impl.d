@@ -1,0 +1,1 @@
+lib/regression/least_squares.ml: Array Linalg Model Polybasis Printf

@@ -1,0 +1,1 @@
+lib/regression/least_squares.mli: Linalg Model Polybasis

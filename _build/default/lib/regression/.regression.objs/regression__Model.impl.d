@@ -1,0 +1,1 @@
+lib/regression/model.ml: Array Float Linalg Polybasis Stats Stdlib

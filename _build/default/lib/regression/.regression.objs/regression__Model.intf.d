@@ -1,0 +1,1 @@
+lib/regression/model.mli: Linalg Polybasis

@@ -1,0 +1,1 @@
+lib/regression/omp.ml: Array Float Linalg List Model Polybasis Stats Stdlib

@@ -1,0 +1,1 @@
+lib/regression/omp.mli: Linalg Model Polybasis Stats

@@ -1,0 +1,1 @@
+lib/regression/ridge.ml: Array Linalg Model Polybasis Stats Stdlib

@@ -1,0 +1,1 @@
+lib/regression/ridge.mli: Linalg Model Polybasis Stats

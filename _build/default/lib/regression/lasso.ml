@@ -1,0 +1,68 @@
+type options = {
+  lambda : float;
+  l1_ratio : float;
+  max_sweeps : int;
+  tol : float;
+}
+
+let default_options ~lambda = { lambda; l1_ratio = 1.; max_sweeps = 1000; tol = 1e-8 }
+
+type result = { coeffs : Linalg.Vec.t; sweeps : int; converged : bool }
+
+let soft_threshold z gamma =
+  if z > gamma then z -. gamma
+  else if z < -.gamma then z +. gamma
+  else 0.
+
+let lambda_max ~g ~f =
+  let k = Linalg.Mat.rows g in
+  if Array.length f <> k then invalid_arg "Lasso.lambda_max: length mismatch";
+  Linalg.Vec.norm_inf (Linalg.Mat.gemv_t g f) /. float_of_int k
+
+(* Cyclic coordinate descent with a maintained residual. For coordinate j:
+   rho = g_j^T r / K + (g_j^T g_j / K) a_j, then
+   a_j <- soft(rho, lambda l1) / (g_j^T g_j / K + lambda (1 - l1)). *)
+let fit_design opts ~g ~f =
+  if opts.lambda <= 0. then invalid_arg "Lasso.fit_design: lambda must be > 0";
+  if opts.l1_ratio < 0. || opts.l1_ratio > 1. then
+    invalid_arg "Lasso.fit_design: l1_ratio outside [0, 1]";
+  let k, m = Linalg.Mat.dims g in
+  if Array.length f <> k then invalid_arg "Lasso.fit_design: length mismatch";
+  let kf = float_of_int k in
+  (* cache columns and their squared norms *)
+  let cols = Array.init m (fun j -> Linalg.Mat.col g j) in
+  let col_sq = Array.map (fun c -> Linalg.Vec.dot c c /. kf) cols in
+  let a = Array.make m 0. in
+  let r = Array.copy f in
+  let l1 = opts.lambda *. opts.l1_ratio in
+  let l2 = opts.lambda *. (1. -. opts.l1_ratio) in
+  let sweeps = ref 0 and converged = ref false in
+  while (not !converged) && !sweeps < opts.max_sweeps do
+    incr sweeps;
+    let max_move = ref 0. in
+    for j = 0 to m - 1 do
+      if col_sq.(j) > 0. then begin
+        let cj = cols.(j) in
+        let old = a.(j) in
+        let rho = (Linalg.Vec.dot cj r /. kf) +. (col_sq.(j) *. old) in
+        let fresh = soft_threshold rho l1 /. (col_sq.(j) +. l2) in
+        if fresh <> old then begin
+          let delta = fresh -. old in
+          (* r <- r - delta * g_j *)
+          for i = 0 to k - 1 do
+            Array.unsafe_set r i
+              (Array.unsafe_get r i -. (delta *. Array.unsafe_get cj i))
+          done;
+          a.(j) <- fresh;
+          let move = Float.abs delta *. sqrt col_sq.(j) in
+          if move > !max_move then max_move := move
+        end
+      end
+    done;
+    if !max_move < opts.tol then converged := true
+  done;
+  { coeffs = a; sweeps = !sweeps; converged = !converged }
+
+let fit opts ~basis ~xs ~f =
+  let g = Polybasis.Basis.design_matrix basis xs in
+  Model.create basis (fit_design opts ~g ~f).coeffs

@@ -1,0 +1,37 @@
+(** Lasso and elastic-net regression by cyclic coordinate descent —
+    the other family of sparse-regression baselines the paper cites
+    (refs [15], elastic net).
+
+    Minimizes
+    [1/(2K) ||f - G a||_2^2 + lambda * (l1_ratio ||a||_1
+     + (1 - l1_ratio)/2 ||a||_2^2)]. *)
+
+type options = {
+  lambda : float;  (** Overall regularization strength, [> 0]. *)
+  l1_ratio : float;  (** 1 = pure lasso, 0 = pure ridge; in [0, 1]. *)
+  max_sweeps : int;  (** Full coordinate sweeps (default 1000). *)
+  tol : float;  (** Stop when the largest coefficient move in a sweep is
+                    below [tol] (default 1e-8). *)
+}
+
+val default_options : lambda:float -> options
+(** Pure lasso ([l1_ratio = 1]) with default iteration controls. *)
+
+type result = {
+  coeffs : Linalg.Vec.t;
+  sweeps : int;
+  converged : bool;
+}
+
+val fit_design : options -> g:Linalg.Mat.t -> f:Linalg.Vec.t -> result
+
+val fit :
+  options ->
+  basis:Polybasis.Basis.t ->
+  xs:Linalg.Mat.t ->
+  f:Linalg.Vec.t ->
+  Model.t
+
+val lambda_max : g:Linalg.Mat.t -> f:Linalg.Vec.t -> float
+(** Smallest lambda for which the pure-lasso solution is identically zero
+    ([||G^T f||_inf / K]); the natural top of a regularization path. *)

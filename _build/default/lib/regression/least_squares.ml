@@ -1,0 +1,14 @@
+let fit_design ~g ~f =
+  let k, m = Linalg.Mat.dims g in
+  if Array.length f <> k then
+    invalid_arg "Least_squares.fit_design: sample count mismatch";
+  if k < m then
+    invalid_arg
+      (Printf.sprintf
+         "Least_squares.fit_design: underdetermined (%d samples, %d bases)" k
+         m);
+  Linalg.Qr.least_squares g f
+
+let fit ~basis ~xs ~f =
+  let g = Polybasis.Basis.design_matrix basis xs in
+  Model.create basis (fit_design ~g ~f)

@@ -1,0 +1,15 @@
+(** Ordinary least-squares fitting (paper Sec. II-B).
+
+    Solves the overdetermined system [G alpha = f] of eq. 6 in the
+    2-norm. Requires at least as many samples as basis functions; this is
+    precisely the cost blow-up that motivates sparse regression and BMF. *)
+
+val fit_design : g:Linalg.Mat.t -> f:Linalg.Vec.t -> Linalg.Vec.t
+(** Coefficients minimizing [||g x - f||_2], via Householder QR.
+    @raise Invalid_argument when [rows g < cols g] (underdetermined) or
+    lengths mismatch.
+    @raise Linalg.Qr.Rank_deficient on numerically collinear columns. *)
+
+val fit :
+  basis:Polybasis.Basis.t -> xs:Linalg.Mat.t -> f:Linalg.Vec.t -> Model.t
+(** Builds the design matrix for [basis] on [xs] and fits. *)

@@ -1,0 +1,31 @@
+type t = { basis : Polybasis.Basis.t; coeffs : Linalg.Vec.t }
+
+let create basis coeffs =
+  if Array.length coeffs <> Polybasis.Basis.size basis then
+    invalid_arg "Model.create: coefficient length mismatch";
+  { basis; coeffs }
+
+let predict t x = Polybasis.Basis.predict t.basis ~coeffs:t.coeffs x
+
+let predict_many t xs = Polybasis.Basis.predict_many t.basis ~coeffs:t.coeffs xs
+
+let coeffs t = t.coeffs
+
+let basis t = t.basis
+
+let num_terms t = Array.length t.coeffs
+
+let sparsity ?(tol = 1e-12) t =
+  Array.fold_left
+    (fun acc c -> if Float.abs c > tol then acc + 1 else acc)
+    0 t.coeffs
+
+let dominant_terms ?(count = 10) t =
+  let indexed = Array.mapi (fun i c -> (i, c)) t.coeffs in
+  Array.sort
+    (fun (_, a) (_, b) -> Float.compare (Float.abs b) (Float.abs a))
+    indexed;
+  Array.to_list (Array.sub indexed 0 (Stdlib.min count (Array.length indexed)))
+
+let relative_test_error t ~xs ~f =
+  Stats.Metrics.relative_error ~predicted:(predict_many t xs) ~actual:f

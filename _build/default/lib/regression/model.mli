@@ -1,0 +1,31 @@
+(** A fitted performance model: a basis plus its coefficient vector
+    (paper eq. 2). Produced by every fitting method in this library and
+    by [Bmf]. *)
+
+type t = { basis : Polybasis.Basis.t; coeffs : Linalg.Vec.t }
+
+val create : Polybasis.Basis.t -> Linalg.Vec.t -> t
+(** @raise Invalid_argument when the coefficient length differs from the
+    basis size. *)
+
+val predict : t -> Linalg.Vec.t -> float
+(** Model value at one point of the variation space. *)
+
+val predict_many : t -> Linalg.Mat.t -> Linalg.Vec.t
+(** Model values at each row of a sample matrix. *)
+
+val coeffs : t -> Linalg.Vec.t
+
+val basis : t -> Polybasis.Basis.t
+
+val num_terms : t -> int
+
+val sparsity : ?tol:float -> t -> int
+(** Number of coefficients with magnitude [> tol] (default [1e-12]). *)
+
+val dominant_terms : ?count:int -> t -> (int * float) list
+(** The [count] (default 10) coefficients of largest magnitude, as
+    (basis index, value) pairs in decreasing magnitude. *)
+
+val relative_test_error : t -> xs:Linalg.Mat.t -> f:Linalg.Vec.t -> float
+(** Eq. 59 evaluated on a held-out test set. *)

@@ -1,0 +1,36 @@
+(** Orthogonal matching pursuit (paper Sec. II-C, ref [13]) — the sparse
+    regression baseline BMF is compared against in every table.
+
+    At each step OMP selects the basis function most correlated with the
+    current residual, then re-solves least squares on the selected set.
+    The implementation keeps an incremental Cholesky factorization of the
+    support Gram matrix, so step [s] costs O(K M + K s + s^2) instead of a
+    full refit. *)
+
+type stop =
+  | Max_terms of int  (** Select exactly this many terms (or fewer if the
+                          residual vanishes first). *)
+  | Residual of float
+      (** Stop when [||r||_2 <= tol * ||f||_2]; capped at [K - 1] terms. *)
+  | Cross_validation of { folds : int; max_terms : int }
+      (** Choose the number of terms minimizing N-fold CV error (paper's
+          recommended practice), then refit on all data. *)
+
+type result = {
+  coeffs : Linalg.Vec.t;  (** Dense length-[M] vector, zeros off support. *)
+  support : int array;  (** Selected basis indices, in selection order. *)
+  residual_norm : float;
+  iterations : int;
+}
+
+val fit_design :
+  ?rng:Stats.Rng.t -> g:Linalg.Mat.t -> f:Linalg.Vec.t -> stop -> result
+(** [rng] shuffles the cross-validation folds (ignored otherwise). *)
+
+val fit :
+  ?rng:Stats.Rng.t ->
+  basis:Polybasis.Basis.t ->
+  xs:Linalg.Mat.t ->
+  f:Linalg.Vec.t ->
+  stop ->
+  Model.t

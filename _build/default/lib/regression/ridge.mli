@@ -1,0 +1,29 @@
+(** Ridge (L2-regularized) regression.
+
+    Solves [(G^T G + lambda I) alpha = G^T f]. When there are fewer
+    samples than bases the solve goes through the Sherman-Morrison-Woodbury
+    identity, so high-dimensional fits stay cheap — the same trick as the
+    paper's fast solver. Ridge is also exactly BMF-ZM with a flat prior,
+    which the tests exploit as a consistency check. *)
+
+val fit_design :
+  lambda:float -> g:Linalg.Mat.t -> f:Linalg.Vec.t -> Linalg.Vec.t
+(** @raise Invalid_argument unless [lambda > 0]. *)
+
+val fit :
+  lambda:float ->
+  basis:Polybasis.Basis.t ->
+  xs:Linalg.Mat.t ->
+  f:Linalg.Vec.t ->
+  Model.t
+
+val fit_cv :
+  ?rng:Stats.Rng.t ->
+  ?lambdas:float list ->
+  ?folds:int ->
+  g:Linalg.Mat.t ->
+  f:Linalg.Vec.t ->
+  unit ->
+  Linalg.Vec.t * float
+(** Cross-validated lambda over a log grid (default 1e-6 .. 1e3); returns
+    the refit coefficients and the chosen lambda. *)

@@ -1,0 +1,1 @@
+lib/stats/crossval.ml: Array List Rng

@@ -1,0 +1,1 @@
+lib/stats/describe.ml: Array Float Format Linalg Stdlib

@@ -1,0 +1,1 @@
+lib/stats/describe.mli: Format Linalg

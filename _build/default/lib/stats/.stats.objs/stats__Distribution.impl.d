@@ -1,0 +1,1 @@
+lib/stats/distribution.ml: Float Rng Special

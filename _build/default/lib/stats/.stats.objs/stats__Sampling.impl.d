@@ -1,0 +1,1 @@
+lib/stats/sampling.ml: Array Float Linalg Rng Special Stdlib

@@ -1,0 +1,1 @@
+lib/stats/sampling.mli: Linalg Rng

@@ -1,0 +1,1 @@
+lib/stats/special.ml: Array Float

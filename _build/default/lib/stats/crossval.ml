@@ -1,0 +1,54 @@
+type fold = { train : int array; test : int array }
+
+let folds ?shuffle ~n ~size () =
+  if n < 2 then invalid_arg "Crossval.folds: need at least 2 folds";
+  if n > size then invalid_arg "Crossval.folds: more folds than data points";
+  let order =
+    match shuffle with
+    | Some rng -> Rng.permutation rng size
+    | None -> Array.init size (fun i -> i)
+  in
+  (* Fold f gets indices at positions f, f + n, f + 2n, ... of the order,
+     which yields test sizes differing by at most one. *)
+  let build f =
+    let test = ref [] and train = ref [] in
+    for pos = size - 1 downto 0 do
+      if pos mod n = f then test := order.(pos) :: !test
+      else train := order.(pos) :: !train
+    done;
+    { train = Array.of_list !train; test = Array.of_list !test }
+  in
+  List.init n build
+
+let score ?shuffle ~n ~size run =
+  let fs = folds ?shuffle ~n ~size () in
+  let total =
+    List.fold_left
+      (fun acc { train; test } -> acc +. run ~train ~test)
+      0. fs
+  in
+  total /. float_of_int n
+
+let select ?shuffle ~n ~size ~candidates run =
+  match candidates with
+  | [] -> invalid_arg "Crossval.select: no candidates"
+  | first :: rest ->
+      let fs = folds ?shuffle ~n ~size () in
+      let evaluate c =
+        let total =
+          List.fold_left
+            (fun acc { train; test } -> acc +. run c ~train ~test)
+            0. fs
+        in
+        total /. float_of_int n
+      in
+      let best = ref first and best_score = ref (evaluate first) in
+      List.iter
+        (fun c ->
+          let s = evaluate c in
+          if s < !best_score then begin
+            best := c;
+            best_score := s
+          end)
+        rest;
+      (!best, !best_score)

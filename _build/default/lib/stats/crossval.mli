@@ -1,0 +1,34 @@
+(** N-fold cross-validation (paper Sec. IV-D).
+
+    The data set is partitioned into [n] non-overlapping groups; each run
+    trains on [n - 1] groups and scores on the held-out one, and the final
+    score is the average of the [n] runs. *)
+
+type fold = { train : int array; test : int array }
+(** Index sets into the original data set; disjoint, and together they
+    cover [0 .. size - 1]. *)
+
+val folds : ?shuffle:Rng.t -> n:int -> size:int -> unit -> fold list
+(** [folds ~n ~size ()] partitions [0 .. size - 1] into [n] folds whose
+    test groups differ in size by at most one. With [shuffle] the indices
+    are permuted first (recommended).
+    @raise Invalid_argument unless [2 <= n <= size]. *)
+
+val score :
+  ?shuffle:Rng.t ->
+  n:int ->
+  size:int ->
+  (train:int array -> test:int array -> float) ->
+  float
+(** [score ~n ~size run] averages [run] over the folds. *)
+
+val select :
+  ?shuffle:Rng.t ->
+  n:int ->
+  size:int ->
+  candidates:'a list ->
+  ('a -> train:int array -> test:int array -> float) ->
+  'a * float
+(** Evaluates every candidate on the same folds and returns the one with
+    the smallest average score (ties keep the earliest candidate).
+    @raise Invalid_argument on an empty candidate list. *)

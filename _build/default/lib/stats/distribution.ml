@@ -1,0 +1,74 @@
+type t =
+  | Gaussian of { mu : float; sigma : float }
+  | Lognormal of { mu : float; sigma : float }
+  | Uniform of { lo : float; hi : float }
+
+let gaussian ~mu ~sigma =
+  if sigma <= 0. then invalid_arg "Distribution.gaussian: sigma must be > 0";
+  Gaussian { mu; sigma }
+
+let lognormal ~mu ~sigma =
+  if sigma <= 0. then invalid_arg "Distribution.lognormal: sigma must be > 0";
+  Lognormal { mu; sigma }
+
+let uniform ~lo ~hi =
+  if lo >= hi then invalid_arg "Distribution.uniform: need lo < hi";
+  Uniform { lo; hi }
+
+let standard_normal = Gaussian { mu = 0.; sigma = 1. }
+
+let pdf d x =
+  match d with
+  | Gaussian { mu; sigma } -> Special.norm_pdf ((x -. mu) /. sigma) /. sigma
+  | Lognormal { mu; sigma } ->
+      if x <= 0. then 0.
+      else Special.norm_pdf ((log x -. mu) /. sigma) /. (sigma *. x)
+  | Uniform { lo; hi } ->
+      if x < lo || x > hi then 0. else 1. /. (hi -. lo)
+
+let log_pdf d x =
+  match d with
+  | Gaussian { mu; sigma } ->
+      let z = (x -. mu) /. sigma in
+      (-0.5 *. z *. z) -. log sigma -. (0.5 *. log (2. *. Float.pi))
+  | Lognormal _ | Uniform _ ->
+      let p = pdf d x in
+      if p = 0. then neg_infinity else log p
+
+let cdf d x =
+  match d with
+  | Gaussian { mu; sigma } -> Special.norm_cdf ((x -. mu) /. sigma)
+  | Lognormal { mu; sigma } ->
+      if x <= 0. then 0. else Special.norm_cdf ((log x -. mu) /. sigma)
+  | Uniform { lo; hi } ->
+      if x <= lo then 0. else if x >= hi then 1. else (x -. lo) /. (hi -. lo)
+
+let quantile d p =
+  if p <= 0. || p >= 1. then
+    invalid_arg "Distribution.quantile: p must be in (0, 1)";
+  match d with
+  | Gaussian { mu; sigma } -> mu +. (sigma *. Special.norm_ppf p)
+  | Lognormal { mu; sigma } -> exp (mu +. (sigma *. Special.norm_ppf p))
+  | Uniform { lo; hi } -> lo +. (p *. (hi -. lo))
+
+let sample d rng =
+  match d with
+  | Gaussian { mu; sigma } -> mu +. (sigma *. Rng.gaussian rng)
+  | Lognormal { mu; sigma } -> exp (mu +. (sigma *. Rng.gaussian rng))
+  | Uniform { lo; hi } -> Rng.uniform rng ~lo ~hi
+
+let mean = function
+  | Gaussian { mu; _ } -> mu
+  | Lognormal { mu; sigma } -> exp (mu +. (sigma *. sigma /. 2.))
+  | Uniform { lo; hi } -> (lo +. hi) /. 2.
+
+let variance = function
+  | Gaussian { sigma; _ } -> sigma *. sigma
+  | Lognormal { mu; sigma } ->
+      let s2 = sigma *. sigma in
+      (exp s2 -. 1.) *. exp ((2. *. mu) +. s2)
+  | Uniform { lo; hi } ->
+      let w = hi -. lo in
+      w *. w /. 12.
+
+let std d = sqrt (variance d)

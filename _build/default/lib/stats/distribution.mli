@@ -1,0 +1,38 @@
+(** Univariate probability distributions with a uniform interface:
+    density, cumulative distribution, quantile, and sampling.
+
+    The paper's priors and likelihoods are all Gaussian; the lognormal and
+    uniform cases appear in the circuit substrate (parasitic magnitudes,
+    hyper-parameter grids). *)
+
+type t =
+  | Gaussian of { mu : float; sigma : float }  (** [sigma > 0]. *)
+  | Lognormal of { mu : float; sigma : float }
+      (** [exp] of a Gaussian; support (0, inf). *)
+  | Uniform of { lo : float; hi : float }  (** [lo < hi]. *)
+
+val gaussian : mu:float -> sigma:float -> t
+(** @raise Invalid_argument unless [sigma > 0]. *)
+
+val lognormal : mu:float -> sigma:float -> t
+
+val uniform : lo:float -> hi:float -> t
+
+val standard_normal : t
+
+val pdf : t -> float -> float
+
+val log_pdf : t -> float -> float
+
+val cdf : t -> float -> float
+
+val quantile : t -> float -> float
+(** Inverse CDF; argument in (0, 1). *)
+
+val sample : t -> Rng.t -> float
+
+val mean : t -> float
+
+val variance : t -> float
+
+val std : t -> float

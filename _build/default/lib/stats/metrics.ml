@@ -1,0 +1,31 @@
+let relative_error ~predicted ~actual = Linalg.Vec.rel_error predicted actual
+
+let relative_error_percent ~predicted ~actual =
+  100. *. relative_error ~predicted ~actual
+
+let rmse ~predicted ~actual =
+  let n = Array.length actual in
+  if n = 0 then invalid_arg "Metrics.rmse: empty vectors";
+  Linalg.Vec.dist2 predicted actual /. sqrt (float_of_int n)
+
+let mae ~predicted ~actual =
+  let n = Array.length actual in
+  if n = 0 then invalid_arg "Metrics.mae: empty vectors";
+  Linalg.Vec.norm1 (Linalg.Vec.sub predicted actual) /. float_of_int n
+
+let r_squared ~predicted ~actual =
+  let n = Array.length actual in
+  if n = 0 then invalid_arg "Metrics.r_squared: empty vectors";
+  let m = Linalg.Vec.mean actual in
+  let ss_res = ref 0. and ss_tot = ref 0. in
+  for i = 0 to n - 1 do
+    let r = actual.(i) -. predicted.(i) in
+    let t = actual.(i) -. m in
+    ss_res := !ss_res +. (r *. r);
+    ss_tot := !ss_tot +. (t *. t)
+  done;
+  if !ss_tot = 0. then if !ss_res = 0. then 1. else neg_infinity
+  else 1. -. (!ss_res /. !ss_tot)
+
+let max_abs_error ~predicted ~actual =
+  Linalg.Vec.norm_inf (Linalg.Vec.sub predicted actual)

@@ -1,0 +1,19 @@
+(** Model-accuracy metrics. [relative_error] is exactly the paper's
+    eq. 59 and is the number reported in Tables I-III and V. *)
+
+val relative_error : predicted:Linalg.Vec.t -> actual:Linalg.Vec.t -> float
+(** [||predicted - actual||_2 / ||actual||_2]. *)
+
+val relative_error_percent :
+  predicted:Linalg.Vec.t -> actual:Linalg.Vec.t -> float
+(** {!relative_error} scaled by 100, as printed in the paper's tables. *)
+
+val rmse : predicted:Linalg.Vec.t -> actual:Linalg.Vec.t -> float
+
+val mae : predicted:Linalg.Vec.t -> actual:Linalg.Vec.t -> float
+
+val r_squared : predicted:Linalg.Vec.t -> actual:Linalg.Vec.t -> float
+(** Coefficient of determination; can be negative for models worse than
+    the mean predictor. *)
+
+val max_abs_error : predicted:Linalg.Vec.t -> actual:Linalg.Vec.t -> float

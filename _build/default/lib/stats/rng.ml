@@ -1,0 +1,107 @@
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+  mutable cached_gaussian : float;
+  mutable has_cached : bool;
+}
+
+(* splitmix64: used only to expand seeds into xoshiro state. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3; cached_gaussian = 0.; has_cached = false }
+
+let copy t = { t with s0 = t.s0 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* xoshiro256++ *)
+let int64 t =
+  let open Int64 in
+  let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let float t =
+  (* Top 53 bits scaled to [0, 1). *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let uniform t ~lo ~hi = lo +. ((hi -. lo) *. float t)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on the low bits to avoid modulo bias. *)
+  let rec draw () =
+    let raw = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+    let v = raw mod n in
+    if raw - v > max_int - n then draw () else v
+  in
+  draw ()
+
+let split t =
+  let state = ref (int64 t) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3; cached_gaussian = 0.; has_cached = false }
+
+let gaussian t =
+  if t.has_cached then begin
+    t.has_cached <- false;
+    t.cached_gaussian
+  end
+  else begin
+    (* Marsaglia polar method. *)
+    let rec draw () =
+      let u = (2. *. float t) -. 1. in
+      let v = (2. *. float t) -. 1. in
+      let s = (u *. u) +. (v *. v) in
+      if s >= 1. || s = 0. then draw ()
+      else begin
+        let m = sqrt (-2. *. log s /. s) in
+        t.cached_gaussian <- v *. m;
+        t.has_cached <- true;
+        u *. m
+      end
+    in
+    draw ()
+  end
+
+let gaussian_vec t n = Array.init n (fun _ -> gaussian t)
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let x = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- x
+  done
+
+let permutation t n =
+  let arr = Array.init n (fun i -> i) in
+  shuffle t arr;
+  arr

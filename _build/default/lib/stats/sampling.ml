@@ -1,0 +1,90 @@
+type scheme = Monte_carlo | Latin_hypercube | Halton
+
+let monte_carlo rng ~k ~r =
+  Linalg.Mat.init k r (fun _ _ -> Rng.gaussian rng)
+
+(* For each column: permute the k strata, then draw uniformly inside each
+   stratum and map through the standard-normal quantile. *)
+let latin_hypercube rng ~k ~r =
+  if k <= 0 then invalid_arg "Sampling.latin_hypercube: k must be positive";
+  let m = Linalg.Mat.create k r in
+  let kf = float_of_int k in
+  for j = 0 to r - 1 do
+    let strata = Rng.permutation rng k in
+    for i = 0 to k - 1 do
+      let u = (float_of_int strata.(i) +. Rng.float rng) /. kf in
+      (* Clamp away from 0/1 so the quantile stays finite. *)
+      let u = Float.max 1e-12 (Float.min (1. -. 1e-12) u) in
+      Linalg.Mat.set m i j (Special.norm_ppf u)
+    done
+  done;
+  m
+
+(* Simple sieve, doubling the bound until enough primes appear. *)
+let nth_primes n =
+  if n <= 0 then [||]
+  else begin
+    let rec with_bound bound =
+      let sieve = Array.make (bound + 1) true in
+      sieve.(0) <- false;
+      if bound >= 1 then sieve.(1) <- false;
+      let i = ref 2 in
+      while !i * !i <= bound do
+        if sieve.(!i) then begin
+          let j = ref (!i * !i) in
+          while !j <= bound do
+            sieve.(!j) <- false;
+            j := !j + !i
+          done
+        end;
+        incr i
+      done;
+      let primes = ref [] and count = ref 0 in
+      for v = bound downto 2 do
+        if sieve.(v) then begin
+          primes := v :: !primes;
+          incr count
+        end
+      done;
+      if !count >= n then Array.sub (Array.of_list !primes) 0 n
+      else with_bound (bound * 2)
+    in
+    with_bound (Stdlib.max 64 (n * 20))
+  end
+
+let radical_inverse ~base index =
+  let fb = 1. /. float_of_int base in
+  let rec go index f acc =
+    if index = 0 then acc
+    else
+      go (index / base) (f *. fb)
+        (acc +. (float_of_int (index mod base) *. f))
+  in
+  go index fb 0.
+
+let halton rng ~k ~r =
+  if k <= 0 then invalid_arg "Sampling.halton: k must be positive";
+  let primes = nth_primes r in
+  (* random shift per dimension decorrelates repeated draws *)
+  let shifts = Array.init r (fun _ -> Rng.float rng) in
+  let m = Linalg.Mat.create k r in
+  for i = 0 to k - 1 do
+    for j = 0 to r - 1 do
+      let u = radical_inverse ~base:primes.(j) (i + 1) +. shifts.(j) in
+      let u = u -. Float.of_int (int_of_float u) in
+      let u = Float.max 1e-12 (Float.min (1. -. 1e-12) u) in
+      Linalg.Mat.set m i j (Special.norm_ppf u)
+    done
+  done;
+  m
+
+let draw scheme rng ~k ~r =
+  match scheme with
+  | Monte_carlo -> monte_carlo rng ~k ~r
+  | Latin_hypercube -> latin_hypercube rng ~k ~r
+  | Halton -> halton rng ~k ~r
+
+let scheme_name = function
+  | Monte_carlo -> "monte-carlo"
+  | Latin_hypercube -> "latin-hypercube"
+  | Halton -> "halton"

@@ -1,0 +1,33 @@
+(** Experiment-design sampling of the variation space.
+
+    Each scheme produces a [k] x [r] matrix whose rows are sampling points
+    of the [r] standard-normal process variables [x] (paper eq. 1). The
+    paper uses plain Monte Carlo; Latin hypercube is provided for the
+    sampling-scheme ablation in DESIGN.md Sec. 6. *)
+
+type scheme =
+  | Monte_carlo  (** i.i.d. standard-normal rows. *)
+  | Latin_hypercube
+      (** Stratified: each variable's [k] draws occupy distinct
+          equal-probability strata, mapped through the normal quantile. *)
+  | Halton
+      (** Quasi-random: the Halton sequence (radical inverse in the
+          first [r] primes, randomly shifted), mapped through the normal
+          quantile. Low-discrepancy in moderate dimension; in very high
+          dimension the usual Halton correlations apply — provided for
+          the sampling-scheme ablation. *)
+
+val draw : scheme -> Rng.t -> k:int -> r:int -> Linalg.Mat.t
+(** [draw scheme rng ~k ~r] is the [k] x [r] sample matrix. *)
+
+val monte_carlo : Rng.t -> k:int -> r:int -> Linalg.Mat.t
+
+val latin_hypercube : Rng.t -> k:int -> r:int -> Linalg.Mat.t
+
+val halton : Rng.t -> k:int -> r:int -> Linalg.Mat.t
+(** The [rng] only draws the random (Cranley-Patterson) shift. *)
+
+val nth_primes : int -> int array
+(** The first [n] primes (exposed for tests). *)
+
+val scheme_name : scheme -> string

@@ -1,0 +1,139 @@
+let sqrt_2pi = sqrt (2. *. Float.pi)
+
+let norm_pdf x = exp (-0.5 *. x *. x) /. sqrt_2pi
+
+(* erf(x) = 2/sqrt(pi) * sum_{n>=0} (-1)^n x^(2n+1) / (n! (2n+1)),
+   used for |x| < 2 where it converges quickly and without cancellation
+   trouble at double precision. *)
+let erf_series x =
+  let x2 = x *. x in
+  let term = ref x and acc = ref x and n = ref 0 in
+  let continue = ref true in
+  while !continue do
+    incr n;
+    let nf = float_of_int !n in
+    term := !term *. -.x2 /. nf;
+    let contrib = !term /. ((2. *. nf) +. 1.) in
+    acc := !acc +. contrib;
+    if Float.abs contrib < 1e-17 *. Float.abs !acc || !n > 200 then
+      continue := false
+  done;
+  2. /. sqrt Float.pi *. !acc
+
+(* erfc(x) = Q(1/2, x^2) for x >= 0, where Q is the regularized upper
+   incomplete gamma function, evaluated by the modified Lentz continued
+   fraction (Numerical Recipes "gcf" scheme). Accurate in the far tail. *)
+let erfc_cf x =
+  let a = 0.5 and xx = x *. x in
+  let fpmin = 1e-300 and eps = 1e-16 in
+  let b = ref (xx +. 1. -. a) in
+  let c = ref (1. /. fpmin) in
+  let d = ref (1. /. !b) in
+  let h = ref !d in
+  let i = ref 1 and converged = ref false in
+  while (not !converged) && !i <= 300 do
+    let fi = float_of_int !i in
+    let an = -.fi *. (fi -. a) in
+    b := !b +. 2.;
+    d := (an *. !d) +. !b;
+    if Float.abs !d < fpmin then d := fpmin;
+    c := !b +. (an /. !c);
+    if Float.abs !c < fpmin then c := fpmin;
+    d := 1. /. !d;
+    let del = !d *. !c in
+    h := !h *. del;
+    if Float.abs (del -. 1.) < eps then converged := true;
+    incr i
+  done;
+  (* Q(a, xx) = exp(-xx + a ln xx - lgamma(a)) * h; lgamma(1/2) = ln sqrt(pi),
+     so the prefactor reduces to exp(-x^2) * x / sqrt(pi). *)
+  exp (-.xx) *. x /. sqrt Float.pi *. !h
+
+let rec erfc x =
+  if x < 0. then 2. -. erfc (-.x)
+  else if x < 2. then 1. -. erf_series x
+  else erfc_cf x
+
+let erf x =
+  if Float.abs x < 2. then erf_series x
+  else if x > 0. then 1. -. erfc x
+  else -1. +. erfc (-.x)
+
+let norm_cdf x = 0.5 *. erfc (-.x /. sqrt 2.)
+
+(* Lanczos approximation, g = 7, n = 9 coefficients. *)
+let lanczos_coefficients =
+  [|
+    0.99999999999980993;
+    676.5203681218851;
+    -1259.1392167224028;
+    771.32342877765313;
+    -176.61502916214059;
+    12.507343278686905;
+    -0.13857109526572012;
+    9.9843695780195716e-6;
+    1.5056327351493116e-7;
+  |]
+
+let rec log_gamma x =
+  if x <= 0. then invalid_arg "Special.log_gamma: requires x > 0";
+  if x < 0.5 then
+    (* reflection: gamma(x) gamma(1-x) = pi / sin(pi x) *)
+    log (Float.pi /. sin (Float.pi *. x)) -. log_gamma (1. -. x)
+  else begin
+    let x = x -. 1. in
+    let a = ref lanczos_coefficients.(0) in
+    let t = x +. 7.5 in
+    for i = 1 to 8 do
+      a := !a +. (lanczos_coefficients.(i) /. (x +. float_of_int i))
+    done;
+    (0.5 *. log (2. *. Float.pi)) +. ((x +. 0.5) *. log t) -. t +. log !a
+  end
+
+(* Acklam's rational approximation to the normal quantile, then one step of
+   Halley's method to polish to near machine precision. *)
+let norm_ppf p =
+  if p <= 0. then neg_infinity
+  else if p >= 1. then infinity
+  else begin
+    let a =
+      [| -3.969683028665376e+01; 2.209460984245205e+02;
+         -2.759285104469687e+02; 1.383577518672690e+02;
+         -3.066479806614716e+01; 2.506628277459239e+00 |]
+    and b =
+      [| -5.447609879822406e+01; 1.615858368580409e+02;
+         -1.556989798598866e+02; 6.680131188771972e+01;
+         -1.328068155288572e+01 |]
+    and c =
+      [| -7.784894002430293e-03; -3.223964580411365e-01;
+         -2.400758277161838e+00; -2.549732539343734e+00;
+         4.374664141464968e+00; 2.938163982698783e+00 |]
+    and d =
+      [| 7.784695709041462e-03; 3.224671290700398e-01;
+         2.445134137142996e+00; 3.754408661907416e+00 |]
+    in
+    let p_low = 0.02425 in
+    let x =
+      if p < p_low then begin
+        let q = sqrt (-2. *. log p) in
+        ((((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q +. c.(5))
+        /. (((((d.(0) *. q) +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.)
+      end
+      else if p <= 1. -. p_low then begin
+        let q = p -. 0.5 in
+        let r = q *. q in
+        ((((((a.(0) *. r) +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4)) *. r +. a.(5))
+        *. q
+        /. ((((((b.(0) *. r) +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4)) *. r +. 1.)
+      end
+      else begin
+        let q = sqrt (-2. *. log (1. -. p)) in
+        -.((((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q +. c.(5))
+        /. (((((d.(0) *. q) +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.)
+      end
+    in
+    (* One Halley refinement step. *)
+    let e = norm_cdf x -. p in
+    let u = e *. sqrt_2pi *. exp (x *. x /. 2.) in
+    x -. (u /. (1. +. (x *. u /. 2.)))
+  end

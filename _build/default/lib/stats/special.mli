@@ -1,0 +1,24 @@
+(** Special functions needed by the Gaussian machinery, implemented from
+    scratch (no external numerics are available offline). *)
+
+val erf : float -> float
+(** Error function, via Abramowitz-Stegun 7.1.26-style rational
+    approximation refined with a series/continued-fraction split;
+    absolute error below 1e-12 on the real line. *)
+
+val erfc : float -> float
+(** Complementary error function, accurate in the tails. *)
+
+val log_gamma : float -> float
+(** Natural log of the gamma function (Lanczos approximation), for
+    positive arguments. *)
+
+val norm_cdf : float -> float
+(** Standard normal CDF. *)
+
+val norm_pdf : float -> float
+(** Standard normal density. *)
+
+val norm_ppf : float -> float
+(** Inverse of {!norm_cdf} (Acklam's algorithm polished with one Halley
+    step); domain (0, 1), returns +-infinity at the endpoints. *)

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Array Bmf Float Linalg List Polybasis Regression Stats

@@ -1,0 +1,1 @@
+test/test_bmf.ml: Alcotest Array Bmf Float Fun Gen Linalg List Polybasis Printf QCheck QCheck_alcotest Regression Stats Test

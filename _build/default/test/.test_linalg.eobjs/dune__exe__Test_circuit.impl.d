@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Bmf Circuit Float Format Linalg List Polybasis Printf Regression Stats Str

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Circuit Experiments Float Format Linalg List Polybasis Stats Str String

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Cholesky Conj_grad Eigen_sym Float Format Gen Linalg List Lu Mat QCheck QCheck_alcotest Qr Sparse Stats Str String Svd Test Vec Woodbury

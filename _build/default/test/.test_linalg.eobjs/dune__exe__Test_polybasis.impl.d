@@ -1,0 +1,1 @@
+test/test_polybasis.ml: Alcotest Array Basis Float Format Gen Hermite Linalg List Multi_index Polybasis Printf QCheck QCheck_alcotest Stats Test

@@ -1,0 +1,1 @@
+test/test_regression.ml: Alcotest Array Float Gen Linalg List Polybasis QCheck QCheck_alcotest Regression Stats Test

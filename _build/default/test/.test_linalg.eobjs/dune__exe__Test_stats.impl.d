@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Crossval Describe Distribution Float Fun Gen Histogram Linalg List Metrics QCheck QCheck_alcotest Rng Sampling Special Stats Test

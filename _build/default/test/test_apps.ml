@@ -1,0 +1,260 @@
+(* Unit tests for the model-application layer: analytic moments, yield
+   estimation, and worst-case corner extraction. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let check_bool = Alcotest.(check bool)
+
+let rng = Stats.Rng.create 909
+
+(* ------------------------------------------------------------------ *)
+(* Moments *)
+
+let linear_model coeffs =
+  Regression.Model.create (Polybasis.Basis.linear (Array.length coeffs - 1)) coeffs
+
+let test_moments_linear () =
+  let model = linear_model [| 5.; 3.; -4. |] in
+  check_float "mean = constant" 5. (Apps.Moments.mean model);
+  check_float "variance = sum sq" 25. (Apps.Moments.variance model);
+  check_float "std" 5. (Apps.Moments.std model)
+
+let test_moments_match_monte_carlo () =
+  let basis = Polybasis.Basis.quadratic_diagonal 4 in
+  let m = Polybasis.Basis.size basis in
+  let coeffs = Array.init m (fun i -> 0.5 /. float_of_int (i + 1)) in
+  let model = Regression.Model.create basis coeffs in
+  let n = 200000 in
+  let values =
+    Array.init n (fun _ ->
+        Regression.Model.predict model (Stats.Rng.gaussian_vec rng 4))
+  in
+  check_bool "mean matches MC" true
+    (Float.abs (Stats.Describe.mean values -. Apps.Moments.mean model) < 0.01);
+  check_bool "std matches MC" true
+    (Float.abs (Stats.Describe.std values -. Apps.Moments.std model) < 0.01)
+
+let test_moments_contributions_sum () =
+  let model = linear_model [| 1.; 2.; 3.; 4. |] in
+  let contributions = Apps.Moments.term_contributions model in
+  Alcotest.(check int) "non-constant terms" 3 (List.length contributions);
+  let total = List.fold_left (fun acc (_, c) -> acc +. c) 0. contributions in
+  check_float "sum to variance" (Apps.Moments.variance model) total;
+  (* decreasing order *)
+  (match contributions with
+  | (_, a) :: (_, b) :: _ -> check_bool "sorted" true (a >= b)
+  | _ -> Alcotest.fail "expected contributions")
+
+let test_moments_variance_share () =
+  let model = linear_model [| 0.; 3.; 4. |] in
+  let shares = Apps.Moments.variance_share_by_variable model in
+  Alcotest.(check int) "two variables" 2 (Array.length shares);
+  (* x1 has coefficient 4 -> share 16/25 *)
+  let v, s = shares.(0) in
+  Alcotest.(check int) "dominant variable" 1 v;
+  check_float "dominant share" (16. /. 25.) s;
+  let total = Array.fold_left (fun acc (_, s) -> acc +. s) 0. shares in
+  check_float "linear shares sum to 1" 1. total
+
+let test_moments_zero_variance () =
+  let model = linear_model [| 2.; 0.; 0. |] in
+  Alcotest.(check int) "empty shares" 0
+    (Array.length (Apps.Moments.variance_share_by_variable model))
+
+(* ------------------------------------------------------------------ *)
+(* Yield *)
+
+let test_yield_closed_form_linear () =
+  (* f = 1 + 2 x: P(f <= 3) = Phi(1) *)
+  let model = linear_model [| 1.; 2. |] in
+  let est =
+    Apps.Yield.estimate ~samples:200000 ~rng ~spec:(Apps.Yield.At_most 3.) model
+  in
+  let expected = Stats.Special.norm_cdf 1. in
+  check_bool "matches Phi(1)" true (Float.abs (est.yield -. expected) < 0.005);
+  let lo, hi = est.ci95 in
+  check_bool "ci contains truth" true (lo <= expected && expected <= hi);
+  check_bool "std error sane" true (est.std_error < 0.002);
+  (* Gaussian approximation is exact for a linear model *)
+  Alcotest.(check (float 1e-12)) "gaussian approx" expected
+    (Apps.Yield.gaussian_approximation ~spec:(Apps.Yield.At_most 3.) model)
+
+let test_yield_at_least () =
+  let model = linear_model [| 0.; 1. |] in
+  let est =
+    Apps.Yield.estimate ~samples:100000 ~rng ~spec:(Apps.Yield.At_least 0.) model
+  in
+  check_bool "symmetric spec" true (Float.abs (est.yield -. 0.5) < 0.01)
+
+let test_yield_extremes () =
+  let model = linear_model [| 0.; 1. |] in
+  let est =
+    Apps.Yield.estimate ~samples:2000 ~rng ~spec:(Apps.Yield.At_most 100.) model
+  in
+  check_float "always passes" 1. est.yield;
+  let lo, hi = est.ci95 in
+  Alcotest.(check bool) "wilson lower" true (lo > 0.99);
+  Alcotest.(check (float 1e-9)) "wilson upper" 1. hi
+
+let test_yield_spec_for_target () =
+  let model = linear_model [| 10.; 2. |] in
+  let spec = Apps.Yield.spec_for_yield ~samples:100000 ~rng ~target:0.9 `Upper model in
+  (* 0.9 quantile of N(10, 4): 10 + 2 * 1.2816 *)
+  check_bool "quantile" true
+    (Float.abs (spec -. (10. +. (2. *. 1.2815515655446004))) < 0.05);
+  Alcotest.check_raises "target range"
+    (Invalid_argument "Yield.spec_for_yield: target must be in (0, 1)")
+    (fun () ->
+      ignore (Apps.Yield.spec_for_yield ~rng ~target:1.5 `Upper model))
+
+let test_yield_passes () =
+  check_bool "at most passes" true (Apps.Yield.passes (Apps.Yield.At_most 2.) 1.5);
+  check_bool "at most fails" false (Apps.Yield.passes (Apps.Yield.At_most 2.) 2.5);
+  check_bool "at least" true (Apps.Yield.passes (Apps.Yield.At_least 2.) 2.)
+
+
+let test_yield_estimate_validation () =
+  let model = linear_model [| 0.; 1. |] in
+  Alcotest.check_raises "samples"
+    (Invalid_argument "Yield.estimate: samples must be positive") (fun () ->
+      ignore
+        (Apps.Yield.estimate ~samples:0 ~rng ~spec:(Apps.Yield.At_most 0.) model))
+
+let test_gaussian_approx_degenerate () =
+  (* constant-only model: yield is 0 or 1 depending on the spec *)
+  let model = linear_model [| 3.; 0. |] in
+  check_float "passes" 1.
+    (Apps.Yield.gaussian_approximation ~spec:(Apps.Yield.At_most 5.) model);
+  check_float "fails" 0.
+    (Apps.Yield.gaussian_approximation ~spec:(Apps.Yield.At_most 2.) model)
+
+(* ------------------------------------------------------------------ *)
+(* Corner *)
+
+let test_corner_linear_closed_form () =
+  let model = linear_model [| 1.; 3.; 4. |] in
+  let result = Apps.Corner.linear ~beta:3. Apps.Corner.Maximize model in
+  (* direction (3,4)/5, radius 3 *)
+  check_bool "corner point" true
+    (Linalg.Vec.approx_equal ~tol:1e-9 result.corner [| 1.8; 2.4 |]);
+  check_float "value = mu + 3 sigma" (1. +. (3. *. 5.)) result.value;
+  let mini = Apps.Corner.linear ~beta:3. Apps.Corner.Minimize model in
+  check_float "min value" (1. -. 15.) mini.value
+
+let test_corner_linear_coefficients_extraction () =
+  let basis = Polybasis.Basis.quadratic_diagonal 3 in
+  let coeffs = Array.make (Polybasis.Basis.size basis) 0. in
+  coeffs.(0) <- 1.;
+  coeffs.(2) <- 5.;
+  (* x1 linear *)
+  coeffs.(4) <- 9.;
+  (* quadratic term: must not leak into the linear part *)
+  let model = Regression.Model.create basis coeffs in
+  Alcotest.(check (array (float 1e-12))) "linear part" [| 0.; 5.; 0. |]
+    (Apps.Corner.linear_coefficients model)
+
+let test_corner_search_matches_linear () =
+  let model = linear_model [| 0.; 1.; 2.; -2. |] in
+  let exact = Apps.Corner.linear ~beta:3. Apps.Corner.Maximize model in
+  let found = Apps.Corner.search ~beta:3. ~rng Apps.Corner.Maximize model in
+  check_bool "value close" true
+    (Float.abs (found.value -. exact.value) /. exact.value < 0.01)
+
+let test_corner_search_on_sphere () =
+  let model = linear_model [| 0.; 1.; 1. |] in
+  let result = Apps.Corner.search ~beta:2.5 ~rng Apps.Corner.Maximize model in
+  Alcotest.(check (float 1e-6)) "on sphere" 2.5 (Linalg.Vec.nrm2 result.corner)
+
+let test_corner_search_handles_nonlinear () =
+  (* pure quadratic bowl: max on the sphere is beta^2-ish along any axis;
+     just require the search to find something at least as good as a
+     random probe *)
+  let basis = Polybasis.Basis.quadratic_diagonal 2 in
+  let coeffs = Array.make (Polybasis.Basis.size basis) 0. in
+  coeffs.(3) <- 1.;
+  (* g2(x0) *)
+  let model = Regression.Model.create basis coeffs in
+  let result = Apps.Corner.search ~beta:3. ~rng Apps.Corner.Maximize model in
+  (* best on sphere: all radius in x0 -> g2(3) = (9-1)/sqrt2 *)
+  check_bool "near optimum" true
+    (result.value > 0.9 *. ((9. -. 1.) /. sqrt 2.))
+
+let test_corner_no_linear_part_rejected () =
+  let basis = Polybasis.Basis.quadratic_diagonal 2 in
+  let coeffs = Array.make (Polybasis.Basis.size basis) 0. in
+  coeffs.(3) <- 1.;
+  let model = Regression.Model.create basis coeffs in
+  Alcotest.check_raises "no linear part"
+    (Invalid_argument "Corner.linear: model has no linear part") (fun () ->
+      ignore (Apps.Corner.linear Apps.Corner.Maximize model))
+
+(* ------------------------------------------------------------------ *)
+(* Integration: BMF model -> applications *)
+
+let test_apps_on_fused_model () =
+  (* fuse a model, then check its applications are self-consistent *)
+  let r = 60 and k = 50 in
+  let basis = Polybasis.Basis.linear r in
+  let m = Polybasis.Basis.size basis in
+  let truth = Array.init m (fun i -> if i = 0 then 10. else 1. /. float_of_int (i + 3)) in
+  let early = Array.map (fun c -> Some (c *. 1.05)) truth in
+  let xs = Stats.Sampling.monte_carlo rng ~k ~r in
+  let g = Polybasis.Basis.design_matrix basis xs in
+  let f = Array.init k (fun i -> Linalg.Vec.dot (Linalg.Mat.row g i) truth) in
+  let model, _ = Bmf.Fusion.fit ~rng ~early ~basis ~xs ~f Bmf.Fusion.Bmf_ps in
+  (* spec at the Gaussian 3-sigma point: yield should be ~99.85% *)
+  let spec =
+    Apps.Yield.At_most (Apps.Moments.mean model +. (3. *. Apps.Moments.std model))
+  in
+  let est = Apps.Yield.estimate ~samples:50000 ~rng ~spec model in
+  check_bool "about 99.87%" true (Float.abs (est.yield -. 0.99865) < 0.003);
+  (* corner prediction equals mean + 3 sigma of the linear model *)
+  let corner = Apps.Corner.linear ~beta:3. Apps.Corner.Maximize model in
+  check_bool "corner = mu + 3 sigma" true
+    (Float.abs
+       (corner.value
+       -. (Apps.Moments.mean model +. (3. *. Apps.Moments.std model)))
+    /. corner.value
+    < 1e-6)
+
+let () =
+  Alcotest.run "apps"
+    [
+      ( "moments",
+        [
+          Alcotest.test_case "linear" `Quick test_moments_linear;
+          Alcotest.test_case "matches MC" `Slow test_moments_match_monte_carlo;
+          Alcotest.test_case "contributions" `Quick
+            test_moments_contributions_sum;
+          Alcotest.test_case "variance shares" `Quick
+            test_moments_variance_share;
+          Alcotest.test_case "zero variance" `Quick test_moments_zero_variance;
+        ] );
+      ( "yield",
+        [
+          Alcotest.test_case "closed form" `Quick test_yield_closed_form_linear;
+          Alcotest.test_case "at least" `Quick test_yield_at_least;
+          Alcotest.test_case "extremes" `Quick test_yield_extremes;
+          Alcotest.test_case "spec for target" `Quick test_yield_spec_for_target;
+          Alcotest.test_case "passes" `Quick test_yield_passes;
+          Alcotest.test_case "validation" `Quick test_yield_estimate_validation;
+          Alcotest.test_case "degenerate gaussian" `Quick
+            test_gaussian_approx_degenerate;
+        ] );
+      ( "corner",
+        [
+          Alcotest.test_case "linear closed form" `Quick
+            test_corner_linear_closed_form;
+          Alcotest.test_case "coefficient extraction" `Quick
+            test_corner_linear_coefficients_extraction;
+          Alcotest.test_case "search = linear" `Quick
+            test_corner_search_matches_linear;
+          Alcotest.test_case "on sphere" `Quick test_corner_search_on_sphere;
+          Alcotest.test_case "nonlinear" `Quick
+            test_corner_search_handles_nonlinear;
+          Alcotest.test_case "no linear part" `Quick
+            test_corner_no_linear_part_rejected;
+        ] );
+      ( "integration",
+        [ Alcotest.test_case "fused model" `Quick test_apps_on_fused_model ] );
+    ]

@@ -1,0 +1,815 @@
+(* Unit tests for the circuit substrate: MNA, RC networks, process/
+   device models, netlists, and the two benchmark circuits. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Mna *)
+
+let test_mna_voltage_divider () =
+  (* 10V source over two 1k resistors: midpoint at 5V *)
+  let c = Circuit.Mna.create ~nodes:3 in
+  Circuit.Mna.add c (Circuit.Mna.Voltage_source { plus = 1; minus = 0; volts = 10. });
+  Circuit.Mna.add c (Circuit.Mna.Resistor { a = 1; b = 2; ohms = 1000. });
+  Circuit.Mna.add c (Circuit.Mna.Resistor { a = 2; b = 0; ohms = 1000. });
+  let s = Circuit.Mna.solve c in
+  check_float "midpoint" 5. (Circuit.Mna.voltage s 2);
+  check_float "top" 10. (Circuit.Mna.voltage s 1);
+  (* source current: 10V / 2k = 5 mA flowing out of + through circuit *)
+  Alcotest.(check (float 1e-9)) "branch current" (-0.005)
+    (Circuit.Mna.source_current s 0)
+
+let test_mna_current_source () =
+  (* 1A into a 2-ohm resistor to ground: 2V *)
+  let c = Circuit.Mna.create ~nodes:2 in
+  Circuit.Mna.add c
+    (Circuit.Mna.Current_source { from_node = 0; to_node = 1; amps = 1. });
+  Circuit.Mna.add c (Circuit.Mna.Resistor { a = 1; b = 0; ohms = 2. });
+  let s = Circuit.Mna.solve c in
+  check_float "ohm's law" 2. (Circuit.Mna.voltage s 1)
+
+let test_mna_parallel_resistors () =
+  let c = Circuit.Mna.create ~nodes:2 in
+  Circuit.Mna.add c
+    (Circuit.Mna.Current_source { from_node = 0; to_node = 1; amps = 3. });
+  Circuit.Mna.add c (Circuit.Mna.Resistor { a = 1; b = 0; ohms = 6. });
+  Circuit.Mna.add c (Circuit.Mna.Resistor { a = 1; b = 0; ohms = 3. });
+  let s = Circuit.Mna.solve c in
+  (* parallel 6 || 3 = 2 ohm, so 6V *)
+  check_float "parallel" 6. (Circuit.Mna.voltage s 1)
+
+let test_mna_resistance_between () =
+  let c = Circuit.Mna.create ~nodes:3 in
+  Circuit.Mna.add c (Circuit.Mna.Resistor { a = 0; b = 1; ohms = 100. });
+  Circuit.Mna.add c (Circuit.Mna.Resistor { a = 1; b = 2; ohms = 50. });
+  Alcotest.(check (float 1e-6)) "series" 150.
+    (Circuit.Mna.resistance_between c 0 2);
+  Alcotest.(check (float 1e-6)) "self" 0. (Circuit.Mna.resistance_between c 1 1)
+
+let test_mna_kcl_conservation () =
+  (* net current out of every non-source node is zero *)
+  let rng = Stats.Rng.create 4 in
+  let c = Circuit.Mna.create ~nodes:5 in
+  for a = 0 to 4 do
+    for b = a + 1 to 4 do
+      Circuit.Mna.add c
+        (Circuit.Mna.Resistor
+           { a; b; ohms = 10. +. (90. *. Stats.Rng.float rng) })
+    done
+  done;
+  Circuit.Mna.add c
+    (Circuit.Mna.Current_source { from_node = 0; to_node = 3; amps = 2. });
+  let s = Circuit.Mna.solve c in
+  (* check KCL at node 1 (no source attached): sum of currents = 0 *)
+  let v n = Circuit.Mna.voltage s n in
+  (* reconstruct currents through the resistors built above *)
+  let total = ref 0. in
+  let rng = Stats.Rng.create 4 in
+  for a = 0 to 4 do
+    for b = a + 1 to 4 do
+      let ohms = 10. +. (90. *. Stats.Rng.float rng) in
+      if a = 1 then total := !total +. ((v 1 -. v b) /. ohms)
+      else if b = 1 then total := !total +. ((v 1 -. v a) /. ohms)
+    done
+  done;
+  Alcotest.(check (float 1e-9)) "KCL at node 1" 0. !total
+
+let test_mna_validation () =
+  let c = Circuit.Mna.create ~nodes:2 in
+  Alcotest.check_raises "node range" (Invalid_argument "Mna: node 5 out of range")
+    (fun () ->
+      Circuit.Mna.add c (Circuit.Mna.Resistor { a = 0; b = 5; ohms = 1. }));
+  Alcotest.check_raises "bad resistance"
+    (Invalid_argument "Mna.add: resistance must be positive") (fun () ->
+      Circuit.Mna.add c (Circuit.Mna.Resistor { a = 0; b = 1; ohms = 0. }))
+
+let test_mna_floating_node_fails () =
+  let c = Circuit.Mna.create ~nodes:3 in
+  Circuit.Mna.add c (Circuit.Mna.Resistor { a = 0; b = 1; ohms = 1. });
+  (* node 2 floats *)
+  check_bool "fails" true
+    (try
+       ignore (Circuit.Mna.solve c);
+       false
+     with Failure _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Rc_network *)
+
+let test_rc_chain_structure () =
+  let t = Circuit.Rc_network.chain ~segments:4 ~r_per_segment:10. ~c_per_segment:2. in
+  check_int "nodes" 5 (Circuit.Rc_network.node_count t);
+  check_int "edges" 4 (Circuit.Rc_network.edge_count t);
+  check_float "total cap" 8. (Circuit.Rc_network.total_capacitance t);
+  check_float "path to end" 40. (Circuit.Rc_network.path_resistance t 4)
+
+let test_rc_chain_elmore_closed_form () =
+  (* uniform ladder: elmore at node n = sum_k C r min(n,k)... for the
+     far end with equal R, C: sum_{k=1..n} C * (R * k) = R C n(n+1)/2 *)
+  let n = 5 in
+  let t = Circuit.Rc_network.chain ~segments:n ~r_per_segment:2. ~c_per_segment:3. in
+  let expected = 2. *. 3. *. float_of_int (n * (n + 1) / 2) in
+  check_float "ladder elmore" expected (Circuit.Rc_network.elmore_delay t n)
+
+let test_rc_elmore_monotone_along_chain () =
+  let t = Circuit.Rc_network.chain ~segments:6 ~r_per_segment:1. ~c_per_segment:1. in
+  for node = 1 to 5 do
+    check_bool "monotone" true
+      (Circuit.Rc_network.elmore_delay t node
+      < Circuit.Rc_network.elmore_delay t (node + 1))
+  done;
+  check_float "worst is far end"
+    (Circuit.Rc_network.elmore_delay t 6)
+    (Circuit.Rc_network.worst_elmore t)
+
+let test_rc_scaling_hooks () =
+  let t = Circuit.Rc_network.chain ~segments:3 ~r_per_segment:1. ~c_per_segment:1. in
+  let doubled = Circuit.Rc_network.elmore_delay ~r_scale:(fun _ -> 2.) t 3 in
+  check_float "r scale doubles" (2. *. Circuit.Rc_network.elmore_delay t 3) doubled;
+  let cap = Circuit.Rc_network.total_capacitance ~c_scale:(fun _ -> 0.5) t in
+  check_float "c scale halves" 1.5 cap
+
+let test_rc_mna_path_resistance_agrees () =
+  (* in a tree, MNA effective resistance = path resistance *)
+  let rng = Stats.Rng.create 6 in
+  let t = Circuit.Rc_network.random_tree rng ~nodes:9 ~r_nominal:100. ~c_nominal:1. in
+  let circuit = Circuit.Rc_network.to_mna t in
+  for node = 1 to 8 do
+    let path = Circuit.Rc_network.path_resistance t node in
+    let eff = Circuit.Mna.resistance_between circuit 0 node in
+    check_bool "tree resistance" true (Float.abs (path -. eff) /. path < 1e-6)
+  done
+
+let test_rc_effective_rc_positive_and_scales () =
+  let rng = Stats.Rng.create 8 in
+  let t = Circuit.Rc_network.random_tree rng ~nodes:6 ~r_nominal:50. ~c_nominal:0.5 in
+  let base = Circuit.Rc_network.effective_rc t in
+  check_bool "positive" true (base > 0.);
+  let bigger = Circuit.Rc_network.effective_rc ~c_scale:(fun _ -> 2.) t in
+  Alcotest.(check (float 1e-6)) "cap doubling doubles rc" (2. *. base) bigger
+
+let test_rc_validation () =
+  Alcotest.check_raises "tiny tree"
+    (Invalid_argument "Rc_network.random_tree: need >= 2 nodes") (fun () ->
+      ignore
+        (Circuit.Rc_network.random_tree (Stats.Rng.create 0) ~nodes:1
+           ~r_nominal:1. ~c_nominal:1.))
+
+(* ------------------------------------------------------------------ *)
+(* Process / Device *)
+
+let test_process_allocation () =
+  let p = Circuit.Process.create ~interdie:3 in
+  check_int "initial" 3 (Circuit.Process.total_vars p);
+  Alcotest.(check (array int)) "interdie" [| 0; 1; 2 |]
+    (Circuit.Process.interdie_vars p);
+  let a = Circuit.Process.alloc_device p ~count:4 in
+  Alcotest.(check (array int)) "first block" [| 3; 4; 5; 6 |] a;
+  let b = Circuit.Process.alloc_device p ~count:2 in
+  Alcotest.(check (array int)) "second block" [| 7; 8 |] b;
+  check_int "total" 9 (Circuit.Process.total_vars p)
+
+let test_device_schematic_shift_linear () =
+  let rng = Stats.Rng.create 10 in
+  let p = Circuit.Process.create ~interdie:1 in
+  let d =
+    Circuit.Device.make ~rng ~process:p ~name:"M1" ~fingers:1
+      ~vars_per_device:4
+      ~interdie_sens:[ (0, 0.01) ]
+      Circuit.Device.default_profile
+  in
+  let n = Circuit.Process.total_vars p in
+  (* shift is exactly the linear form given by schematic_coefficients *)
+  let x = Stats.Rng.gaussian_vec rng n in
+  let expected =
+    List.fold_left
+      (fun acc (v, s) -> acc +. (s *. x.(v)))
+      0.
+      (Circuit.Device.schematic_coefficients d)
+  in
+  Alcotest.(check (float 1e-12)) "linear form" expected
+    (Circuit.Device.schematic_shift d x);
+  check_float "zero at nominal" 0.
+    (Circuit.Device.schematic_shift d (Array.make n 0.))
+
+let test_device_layout_variance_preserved () =
+  (* with no discrepancy and no imbalance, the layout shift over the
+     finger-expanded standard normals has the same variance as the
+     schematic shift: check via the exact coefficient algebra on a
+     probe basis *)
+  let rng = Stats.Rng.create 11 in
+  let p = Circuit.Process.create ~interdie:0 in
+  let profile =
+    { Circuit.Device.mismatch_sigma = 0.05;
+      layout_discrepancy = 0.;
+      finger_imbalance = 0. }
+  in
+  let fingers = 3 in
+  let d =
+    Circuit.Device.make ~rng ~process:p ~name:"M" ~fingers ~vars_per_device:5
+      profile
+  in
+  let n_sch = Circuit.Process.total_vars p in
+  let spec = Array.make n_sch fingers in
+  let pm = Bmf.Prior_mapping.create spec in
+  let n_lay = Bmf.Prior_mapping.late_dim pm in
+  (* probe each layout variable: coefficient = sens / sqrt(fingers) *)
+  let coeffs = Circuit.Device.schematic_coefficients d in
+  Array.iteri
+    (fun _ _ -> ())
+    (Circuit.Device.vars d);
+  List.iter
+    (fun (v, s) ->
+      for finger = 0 to fingers - 1 do
+        let probe = Array.make n_lay 0. in
+        probe.(Bmf.Prior_mapping.late_var pm ~sch:v ~finger) <- 1.;
+        Alcotest.(check (float 1e-12))
+          "per-finger coefficient = s/sqrt(w)"
+          (s /. sqrt (float_of_int fingers))
+          (Circuit.Device.layout_shift d pm probe)
+      done)
+    coeffs
+
+let test_device_layout_discrepancy_changes_coeffs () =
+  let rng = Stats.Rng.create 12 in
+  let p = Circuit.Process.create ~interdie:0 in
+  let profile =
+    { Circuit.Device.mismatch_sigma = 0.05;
+      layout_discrepancy = 0.5;
+      finger_imbalance = 0. }
+  in
+  let d =
+    Circuit.Device.make ~rng ~process:p ~name:"M" ~fingers:1 ~vars_per_device:3
+      profile
+  in
+  let pm = Bmf.Prior_mapping.identity (Circuit.Process.total_vars p) in
+  let probe = [| 1.; 0.; 0. |] in
+  let sch = Circuit.Device.schematic_shift d probe in
+  let lay = Circuit.Device.layout_shift d pm probe in
+  check_bool "perturbed" true (Float.abs (sch -. lay) > 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Netlist *)
+
+let test_netlist_counts () =
+  let n = Circuit.Netlist.create ~name:"test" in
+  Circuit.Netlist.add n
+    { Circuit.Netlist.ref_name = "M1"; kind = "nmos"; ports = []; params = [] };
+  Circuit.Netlist.add n
+    { Circuit.Netlist.ref_name = "M2"; kind = "nmos"; ports = []; params = [] };
+  Circuit.Netlist.add n
+    { Circuit.Netlist.ref_name = "R1"; kind = "res"; ports = []; params = [] };
+  check_int "nmos" 2 (Circuit.Netlist.count_kind n "nmos");
+  check_int "res" 1 (Circuit.Netlist.count_kind n "res");
+  check_int "absent" 0 (Circuit.Netlist.count_kind n "pmos");
+  Alcotest.(check (list (pair string int))) "kinds" [ ("nmos", 2); ("res", 1) ]
+    (Circuit.Netlist.kinds n);
+  check_int "entries ordered" 3 (List.length (Circuit.Netlist.entries n))
+
+(* ------------------------------------------------------------------ *)
+(* Ring oscillator *)
+
+let small_ro_config =
+  { Circuit.Ring_oscillator.default_config with stages = 5; vars_per_device = 6 }
+
+let test_ro_dimensions () =
+  let ro = Circuit.Ring_oscillator.create ~config:small_ro_config 1 in
+  let tb = Circuit.Ring_oscillator.testbench ro in
+  let cfg = small_ro_config in
+  let expected_sch = cfg.interdie + (cfg.stages * 2 * cfg.vars_per_device) in
+  check_int "schematic dim" expected_sch tb.Circuit.Testbench.schematic_dim;
+  let expected_lay =
+    cfg.interdie
+    + (cfg.stages * 2 * cfg.vars_per_device * cfg.fingers)
+    + (cfg.stages * 2 * (cfg.parasitic_nodes - 1))
+  in
+  check_int "layout dim" expected_lay tb.Circuit.Testbench.layout_dim;
+  check_int "metrics" 3 (Array.length tb.metrics)
+
+let test_ro_deterministic () =
+  let ro1 = Circuit.Ring_oscillator.create ~config:small_ro_config 5 in
+  let ro2 = Circuit.Ring_oscillator.create ~config:small_ro_config 5 in
+  let tb1 = Circuit.Ring_oscillator.testbench ro1 in
+  let tb2 = Circuit.Ring_oscillator.testbench ro2 in
+  let x = Stats.Rng.gaussian_vec (Stats.Rng.create 1) tb1.Circuit.Testbench.layout_dim in
+  List.iter
+    (fun metric ->
+      check_float "same circuit"
+        (tb1.simulate ~stage:Circuit.Stage.Layout ~metric ~noise:None x)
+        (tb2.simulate ~stage:Circuit.Stage.Layout ~metric ~noise:None x))
+    [ 0; 1; 2 ]
+
+let test_ro_sensible_nominal_values () =
+  let ro = Circuit.Ring_oscillator.create ~config:small_ro_config 2 in
+  let tb = Circuit.Ring_oscillator.testbench ro in
+  let x0 = Array.make tb.Circuit.Testbench.layout_dim 0. in
+  let freq =
+    tb.simulate ~stage:Circuit.Stage.Layout
+      ~metric:Circuit.Ring_oscillator.frequency_index ~noise:None x0
+  in
+  check_bool "GHz range" true (freq > 1. && freq < 50.);
+  let power =
+    tb.simulate ~stage:Circuit.Stage.Layout
+      ~metric:Circuit.Ring_oscillator.power_index ~noise:None x0
+  in
+  check_bool "mW range" true (power > 0.001 && power < 10.);
+  let pn =
+    tb.simulate ~stage:Circuit.Stage.Layout
+      ~metric:Circuit.Ring_oscillator.phase_noise_index ~noise:None x0
+  in
+  check_bool "dBc range" true (pn < -60. && pn > -120.)
+
+let test_ro_layout_slower_than_schematic () =
+  (* parasitics slow the ring: post-layout frequency < schematic *)
+  let ro = Circuit.Ring_oscillator.create ~config:small_ro_config 3 in
+  let tb = Circuit.Ring_oscillator.testbench ro in
+  let sch =
+    tb.simulate ~stage:Circuit.Stage.Schematic
+      ~metric:Circuit.Ring_oscillator.frequency_index ~noise:None
+      (Array.make tb.Circuit.Testbench.schematic_dim 0.)
+  in
+  let lay =
+    tb.simulate ~stage:Circuit.Stage.Layout
+      ~metric:Circuit.Ring_oscillator.frequency_index ~noise:None
+      (Array.make tb.Circuit.Testbench.layout_dim 0.)
+  in
+  check_bool "slower" true (lay < sch)
+
+let test_ro_faster_devices_raise_frequency () =
+  (* a uniform positive drive shift must raise frequency: push the first
+     (threshold) variable of every device *)
+  let ro = Circuit.Ring_oscillator.create ~config:small_ro_config 4 in
+  let tb = Circuit.Ring_oscillator.testbench ro in
+  let metric = Circuit.Ring_oscillator.frequency_index in
+  let x0 = Array.make tb.Circuit.Testbench.schematic_dim 0. in
+  let f0 = tb.simulate ~stage:Circuit.Stage.Schematic ~metric ~noise:None x0 in
+  (* the response is smooth and near-linear; an average over random draws
+     of +-delta must stay near f0 (sanity of scale) *)
+  let rng = Stats.Rng.create 14 in
+  let deviations = ref 0. in
+  for _ = 1 to 50 do
+    let x = Stats.Rng.gaussian_vec rng tb.schematic_dim in
+    let f = tb.simulate ~stage:Circuit.Stage.Schematic ~metric ~noise:None x in
+    deviations := !deviations +. Float.abs (f -. f0)
+  done;
+  let mean_dev = !deviations /. 50. in
+  check_bool "variation is a few percent" true
+    (mean_dev > 0.001 *. f0 && mean_dev < 0.2 *. f0)
+
+let test_ro_noise_is_optional_and_small () =
+  let ro = Circuit.Ring_oscillator.create ~config:small_ro_config 6 in
+  let tb = Circuit.Ring_oscillator.testbench ro in
+  let metric = Circuit.Ring_oscillator.frequency_index in
+  let x = Array.make tb.Circuit.Testbench.layout_dim 0. in
+  let clean = tb.simulate ~stage:Circuit.Stage.Layout ~metric ~noise:None x in
+  let clean2 = tb.simulate ~stage:Circuit.Stage.Layout ~metric ~noise:None x in
+  check_float "deterministic without noise" clean clean2;
+  let noisy =
+    tb.simulate ~stage:Circuit.Stage.Layout ~metric
+      ~noise:(Some (Stats.Rng.create 3))
+      x
+  in
+  check_bool "noise moves value slightly" true
+    (noisy <> clean && Float.abs (noisy -. clean) /. clean < 0.05)
+
+let test_ro_wrong_dimension_rejected () =
+  let ro = Circuit.Ring_oscillator.create ~config:small_ro_config 7 in
+  let tb = Circuit.Ring_oscillator.testbench ro in
+  check_bool "raises" true
+    (try
+       ignore
+         (tb.simulate ~stage:Circuit.Stage.Layout ~metric:0 ~noise:None
+            (Array.make 3 0.));
+       false
+     with Invalid_argument _ -> true)
+
+let test_ro_parasitic_terms_cover_tail () =
+  let ro = Circuit.Ring_oscillator.create ~config:small_ro_config 8 in
+  let tb = Circuit.Ring_oscillator.testbench ro in
+  let n_par = List.length tb.Circuit.Testbench.parasitic_terms in
+  check_int "parasitic count"
+    (small_ro_config.stages * 2 * (small_ro_config.parasitic_nodes - 1))
+    n_par;
+  (* every parasitic term is linear in a distinct tail variable *)
+  let vars =
+    List.map
+      (fun t ->
+        match Polybasis.Multi_index.variables t with
+        | [ v ] -> v
+        | _ -> Alcotest.fail "parasitic term not linear")
+      tb.parasitic_terms
+  in
+  let sorted = List.sort_uniq compare vars in
+  check_int "distinct" n_par (List.length sorted);
+  check_bool "tail range" true
+    (List.for_all
+       (fun v ->
+         v >= Bmf.Prior_mapping.late_dim tb.mapping
+         && v < tb.layout_dim)
+       vars)
+
+(* ------------------------------------------------------------------ *)
+(* SRAM *)
+
+let small_sram_config =
+  { Circuit.Sram.default_config with cells = 12; vars_per_cell = 4 }
+
+let test_sram_dimensions () =
+  let sram = Circuit.Sram.create ~config:small_sram_config 1 in
+  let tb = Circuit.Sram.testbench sram in
+  let cfg = small_sram_config in
+  let expected_sch =
+    cfg.interdie
+    + (cfg.cells * cfg.vars_per_cell)
+    + ((cfg.sa_devices + cfg.wl_devices) * cfg.vars_per_periph_device)
+  in
+  check_int "schematic dim" expected_sch tb.Circuit.Testbench.schematic_dim;
+  check_int "one metric" 1 (Array.length tb.metrics);
+  Alcotest.(check string) "metric name" "read_delay" tb.metrics.(0)
+
+let test_sram_nominal_delay_positive () =
+  let sram = Circuit.Sram.create ~config:small_sram_config 2 in
+  let tb = Circuit.Sram.testbench sram in
+  let d =
+    tb.simulate ~stage:Circuit.Stage.Layout ~metric:0 ~noise:None
+      (Array.make tb.Circuit.Testbench.layout_dim 0.)
+  in
+  check_bool "positive ps" true (d > 10. && d < 1000.)
+
+let test_sram_layout_slower () =
+  let sram = Circuit.Sram.create ~config:small_sram_config 3 in
+  let tb = Circuit.Sram.testbench sram in
+  let sch =
+    tb.simulate ~stage:Circuit.Stage.Schematic ~metric:0 ~noise:None
+      (Array.make tb.Circuit.Testbench.schematic_dim 0.)
+  in
+  let lay =
+    tb.simulate ~stage:Circuit.Stage.Layout ~metric:0 ~noise:None
+      (Array.make tb.Circuit.Testbench.layout_dim 0.)
+  in
+  check_bool "extraction adds delay" true (lay > sch)
+
+let test_sram_accessed_cell_dominates () =
+  (* perturbing the accessed cell moves the delay far more than
+     perturbing a random unaccessed cell by the same amount *)
+  let sram = Circuit.Sram.create ~config:small_sram_config 4 in
+  let tb = Circuit.Sram.testbench sram in
+  let n = tb.Circuit.Testbench.schematic_dim in
+  let base = Array.make n 0. in
+  let d0 = tb.simulate ~stage:Circuit.Stage.Schematic ~metric:0 ~noise:None base in
+  (* cell 0's variables start right after the interdie block *)
+  let cell0_var = small_sram_config.interdie in
+  let cell5_var =
+    small_sram_config.interdie + (5 * small_sram_config.vars_per_cell)
+  in
+  let probe var =
+    let x = Array.make n 0. in
+    x.(var) <- 1.;
+    Float.abs (tb.simulate ~stage:Circuit.Stage.Schematic ~metric:0 ~noise:None x -. d0)
+  in
+  check_bool "accessed >> unaccessed" true
+    (probe cell0_var > 5. *. probe cell5_var)
+
+let test_sram_cost_model () =
+  let sram = Circuit.Sram.create ~config:small_sram_config 5 in
+  let tb = Circuit.Sram.testbench sram in
+  Alcotest.(check (float 1e-6)) "table VI simulation cost" 38.77
+    (Float.round
+       (Circuit.Testbench.simulation_hours tb ~stage:Circuit.Stage.Layout
+          ~samples:400
+       *. 100.)
+    /. 100.)
+
+
+
+let test_mna_index_errors () =
+  let c = Circuit.Mna.create ~nodes:2 in
+  Circuit.Mna.add c
+    (Circuit.Mna.Current_source { from_node = 0; to_node = 1; amps = 1. });
+  Circuit.Mna.add c (Circuit.Mna.Resistor { a = 0; b = 1; ohms = 1. });
+  let s = Circuit.Mna.solve c in
+  Alcotest.check_raises "voltage range"
+    (Invalid_argument "Mna.voltage: node out of range") (fun () ->
+      ignore (Circuit.Mna.voltage s 9));
+  Alcotest.check_raises "current range"
+    (Invalid_argument "Mna.source_current: index out of range") (fun () ->
+      ignore (Circuit.Mna.source_current s 0))
+
+let test_rc_chain_validation () =
+  Alcotest.check_raises "segments"
+    (Invalid_argument "Rc_network.chain: need >= 1 segment") (fun () ->
+      ignore (Circuit.Rc_network.chain ~segments:0 ~r_per_segment:1. ~c_per_segment:1.));
+  Alcotest.check_raises "values"
+    (Invalid_argument "Rc_network.chain: values must be positive") (fun () ->
+      ignore (Circuit.Rc_network.chain ~segments:2 ~r_per_segment:0. ~c_per_segment:1.))
+
+let test_netlist_pp_smoke () =
+  let n = Circuit.Netlist.create ~name:"x" in
+  Circuit.Netlist.add n
+    { Circuit.Netlist.ref_name = "M1"; kind = "nmos"; ports = [ "a"; "b" ];
+      params = [ ("w", 2.) ] };
+  let s = Format.asprintf "%a" Circuit.Netlist.pp n in
+  check_bool "mentions instance" true
+    (try ignore (Str.search_forward (Str.regexp_string "M1") s 0); true
+     with Not_found -> false);
+  let s2 = Format.asprintf "%a" Circuit.Netlist.summary n in
+  check_bool "summary counts" true
+    (try ignore (Str.search_forward (Str.regexp_string "x1") s2 0); true
+     with Not_found -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Amplifier *)
+
+let small_amp_config =
+  { Circuit.Amplifier.default_config with vars_per_device = 8; interdie = 4 }
+
+let test_amp_dimensions () =
+  let amp = Circuit.Amplifier.create ~config:small_amp_config 1 in
+  let tb = Circuit.Amplifier.testbench amp in
+  let cfg = small_amp_config in
+  (* 7 devices *)
+  check_int "schematic dim"
+    (cfg.interdie + (7 * cfg.vars_per_device))
+    tb.Circuit.Testbench.schematic_dim;
+  (* only the input pair is multifinger *)
+  check_int "layout dim"
+    (cfg.interdie
+    + (7 * cfg.vars_per_device)
+    + (2 * cfg.vars_per_device * (cfg.input_pair_fingers - 1))
+    + (2 * (cfg.compensation_nodes - 1)))
+    tb.layout_dim;
+  check_int "metrics" 3 (Array.length tb.metrics)
+
+let test_amp_nominal_values () =
+  let amp = Circuit.Amplifier.create ~config:small_amp_config 2 in
+  let tb = Circuit.Amplifier.testbench amp in
+  let x0 = Array.make tb.Circuit.Testbench.layout_dim 0. in
+  let gain =
+    tb.simulate ~stage:Circuit.Stage.Layout
+      ~metric:Circuit.Amplifier.gain_index ~noise:None x0
+  in
+  check_bool "gain dB plausible" true (gain > 40. && gain < 90.);
+  let bw =
+    tb.simulate ~stage:Circuit.Stage.Layout
+      ~metric:Circuit.Amplifier.bandwidth_index ~noise:None x0
+  in
+  check_bool "bandwidth MHz plausible" true (bw > 10. && bw < 1000.);
+  let offset =
+    tb.simulate ~stage:Circuit.Stage.Layout
+      ~metric:Circuit.Amplifier.offset_index ~noise:None x0
+  in
+  Alcotest.(check (float 1e-9)) "offset zero at nominal" 0. offset
+
+let test_amp_offset_is_pair_difference () =
+  (* eq. 36 structure: the offset responds antisymmetrically to the two
+     input devices' dominant variables *)
+  let amp = Circuit.Amplifier.create ~config:small_amp_config 3 in
+  let tb = Circuit.Amplifier.testbench amp in
+  let n = tb.Circuit.Testbench.schematic_dim in
+  let m1_var = small_amp_config.interdie in
+  let m2_var = small_amp_config.interdie + small_amp_config.vars_per_device in
+  let probe var =
+    let x = Array.make n 0. in
+    x.(var) <- 1.;
+    tb.simulate ~stage:Circuit.Stage.Schematic
+      ~metric:Circuit.Amplifier.offset_index ~noise:None x
+  in
+  let o1 = probe m1_var and o2 = probe m2_var in
+  check_bool "pair moves offset" true
+    (Float.abs o1 > 0.01 && Float.abs o2 > 0.01)
+
+let test_amp_layout_bandwidth_lower () =
+  (* compensation extraction adds loading, slowing the amp at nominal *)
+  let amp = Circuit.Amplifier.create ~config:small_amp_config 4 in
+  let tb = Circuit.Amplifier.testbench amp in
+  let bw_sch =
+    tb.simulate ~stage:Circuit.Stage.Schematic
+      ~metric:Circuit.Amplifier.bandwidth_index ~noise:None
+      (Array.make tb.Circuit.Testbench.schematic_dim 0.)
+  in
+  let bw_lay =
+    tb.simulate ~stage:Circuit.Stage.Layout
+      ~metric:Circuit.Amplifier.bandwidth_index ~noise:None
+      (Array.make tb.Circuit.Testbench.layout_dim 0.)
+  in
+  check_bool "layout slower" true (bw_lay < bw_sch)
+
+let test_amp_bmf_pipeline () =
+  (* the full fusion pipeline works on the third circuit too *)
+  let amp = Circuit.Amplifier.create ~config:small_amp_config 5 in
+  let tb = Circuit.Amplifier.testbench amp in
+  let metric = Circuit.Amplifier.offset_index in
+  let rng = Stats.Rng.create 5 in
+  let xs_e, f_e =
+    Circuit.Testbench.draw_dataset tb ~stage:Circuit.Stage.Schematic ~metric
+      ~rng ~k:400 ()
+  in
+  let eb = Circuit.Testbench.schematic_basis tb in
+  let g_e = Polybasis.Basis.design_matrix eb xs_e in
+  let early_coeffs = Regression.Least_squares.fit_design ~g:g_e ~f:f_e in
+  let lb, early = Circuit.Testbench.layout_basis_with_prior tb ~early_coeffs in
+  let xs, f =
+    Circuit.Testbench.draw_dataset tb ~stage:Circuit.Stage.Layout ~metric ~rng
+      ~k:40 ()
+  in
+  let g = Polybasis.Basis.design_matrix lb xs in
+  let ps = Bmf.Fusion.fit_design ~rng ~early ~g ~f Bmf.Fusion.Bmf_ps in
+  let xs_t, f_t =
+    Circuit.Testbench.draw_dataset tb ~stage:Circuit.Stage.Layout ~metric ~rng
+      ~k:150 ()
+  in
+  let g_t = Polybasis.Basis.design_matrix lb xs_t in
+  (* offset is zero-mean, so eq. 59 relative error is tougher; just ask
+     for most of the variance *)
+  check_bool "fits offset" true
+    (Linalg.Vec.rel_error (Linalg.Mat.gemv g_t ps.coeffs) f_t < 0.35)
+
+(* ------------------------------------------------------------------ *)
+(* Testbench glue *)
+
+let test_testbench_dataset_shapes () =
+  let ro = Circuit.Ring_oscillator.create ~config:small_ro_config 9 in
+  let tb = Circuit.Ring_oscillator.testbench ro in
+  let rng = Stats.Rng.create 5 in
+  let xs, f =
+    Circuit.Testbench.draw_dataset tb ~stage:Circuit.Stage.Layout ~metric:0
+      ~rng ~k:17 ()
+  in
+  Alcotest.(check (pair int int)) "xs shape"
+    (17, tb.Circuit.Testbench.layout_dim)
+    (Linalg.Mat.dims xs);
+  check_int "f length" 17 (Array.length f)
+
+let test_testbench_dataset_noise_flag () =
+  let ro = Circuit.Ring_oscillator.create ~config:small_ro_config 9 in
+  let tb = Circuit.Ring_oscillator.testbench ro in
+  let draw noisy =
+    let rng = Stats.Rng.create 5 in
+    Circuit.Testbench.draw_dataset tb ~stage:Circuit.Stage.Layout ~metric:0
+      ~rng ~k:5 ~noisy ()
+  in
+  let _, f_clean = draw false in
+  let _, f_noisy = draw true in
+  (* same samples (same rng), so differences are pure noise *)
+  check_bool "noise changes values" true (not (f_clean = f_noisy))
+
+let test_testbench_metric_index () =
+  let ro = Circuit.Ring_oscillator.create ~config:small_ro_config 9 in
+  let tb = Circuit.Ring_oscillator.testbench ro in
+  check_int "frequency" 2 (Circuit.Testbench.metric_index tb "frequency");
+  check_bool "unknown raises" true
+    (try
+       ignore (Circuit.Testbench.metric_index tb "zap");
+       false
+     with Not_found -> true)
+
+let test_testbench_layout_prior_shapes () =
+  let ro = Circuit.Ring_oscillator.create ~config:small_ro_config 9 in
+  let tb = Circuit.Ring_oscillator.testbench ro in
+  let m_sch = tb.Circuit.Testbench.schematic_dim + 1 in
+  let early_coeffs = Array.make m_sch 1. in
+  let basis, early = Circuit.Testbench.layout_basis_with_prior tb ~early_coeffs in
+  check_int "basis spans layout space" tb.layout_dim (Polybasis.Basis.dim basis);
+  check_int "aligned" (Polybasis.Basis.size basis) (Array.length early);
+  let missing = Array.fold_left (fun a e -> if e = None then a + 1 else a) 0 early in
+  check_int "missing = parasitics" (List.length tb.parasitic_terms) missing
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: the paper's pipeline beats OMP on the real substrate *)
+
+let test_end_to_end_bmf_beats_omp () =
+  let ro = Circuit.Ring_oscillator.create ~config:small_ro_config 33 in
+  let tb = Circuit.Ring_oscillator.testbench ro in
+  let metric = Circuit.Ring_oscillator.frequency_index in
+  let rng = Stats.Rng.create 33 in
+  let xs_e, f_e =
+    Circuit.Testbench.draw_dataset tb ~stage:Circuit.Stage.Schematic ~metric
+      ~rng ~k:1200 ()
+  in
+  let eb = Circuit.Testbench.schematic_basis tb in
+  let g_e = Polybasis.Basis.design_matrix eb xs_e in
+  let early_coeffs = Regression.Least_squares.fit_design ~g:g_e ~f:f_e in
+  let lb, early = Circuit.Testbench.layout_basis_with_prior tb ~early_coeffs in
+  let xs, f =
+    Circuit.Testbench.draw_dataset tb ~stage:Circuit.Stage.Layout ~metric ~rng
+      ~k:80 ()
+  in
+  let g = Polybasis.Basis.design_matrix lb xs in
+  let xs_t, f_t =
+    Circuit.Testbench.draw_dataset tb ~stage:Circuit.Stage.Layout ~metric ~rng
+      ~k:200 ()
+  in
+  let g_t = Polybasis.Basis.design_matrix lb xs_t in
+  let ps = Bmf.Fusion.fit_design ~rng ~early ~g ~f Bmf.Fusion.Bmf_ps in
+  let omp =
+    Regression.Omp.fit_design ~rng ~g ~f
+      (Regression.Omp.Cross_validation { folds = 4; max_terms = 30 })
+  in
+  let e c = Linalg.Vec.rel_error (Linalg.Mat.gemv g_t c) f_t in
+  check_bool
+    (Printf.sprintf "bmf %.4f < omp %.4f" (e ps.coeffs) (e omp.coeffs))
+    true
+    (e ps.coeffs < e omp.coeffs)
+
+let () =
+  Alcotest.run "circuit"
+    [
+      ( "mna",
+        [
+          Alcotest.test_case "voltage divider" `Quick test_mna_voltage_divider;
+          Alcotest.test_case "current source" `Quick test_mna_current_source;
+          Alcotest.test_case "parallel" `Quick test_mna_parallel_resistors;
+          Alcotest.test_case "resistance between" `Quick
+            test_mna_resistance_between;
+          Alcotest.test_case "KCL" `Quick test_mna_kcl_conservation;
+          Alcotest.test_case "validation" `Quick test_mna_validation;
+          Alcotest.test_case "floating node" `Quick test_mna_floating_node_fails;
+        ] );
+      ( "rc_network",
+        [
+          Alcotest.test_case "chain structure" `Quick test_rc_chain_structure;
+          Alcotest.test_case "ladder elmore" `Quick
+            test_rc_chain_elmore_closed_form;
+          Alcotest.test_case "elmore monotone" `Quick
+            test_rc_elmore_monotone_along_chain;
+          Alcotest.test_case "scaling hooks" `Quick test_rc_scaling_hooks;
+          Alcotest.test_case "mna agrees" `Quick
+            test_rc_mna_path_resistance_agrees;
+          Alcotest.test_case "effective rc" `Quick
+            test_rc_effective_rc_positive_and_scales;
+          Alcotest.test_case "validation" `Quick test_rc_validation;
+        ] );
+      ( "process_device",
+        [
+          Alcotest.test_case "allocation" `Quick test_process_allocation;
+          Alcotest.test_case "schematic shift" `Quick
+            test_device_schematic_shift_linear;
+          Alcotest.test_case "layout variance" `Quick
+            test_device_layout_variance_preserved;
+          Alcotest.test_case "layout discrepancy" `Quick
+            test_device_layout_discrepancy_changes_coeffs;
+        ] );
+      ( "netlist",
+        [
+          Alcotest.test_case "counts" `Quick test_netlist_counts;
+          Alcotest.test_case "pp" `Quick test_netlist_pp_smoke;
+        ] );
+      ( "error_paths",
+        [
+          Alcotest.test_case "mna indices" `Quick test_mna_index_errors;
+          Alcotest.test_case "rc chain" `Quick test_rc_chain_validation;
+        ] );
+      ( "ring_oscillator",
+        [
+          Alcotest.test_case "dimensions" `Quick test_ro_dimensions;
+          Alcotest.test_case "deterministic" `Quick test_ro_deterministic;
+          Alcotest.test_case "nominal values" `Quick
+            test_ro_sensible_nominal_values;
+          Alcotest.test_case "layout slower" `Quick
+            test_ro_layout_slower_than_schematic;
+          Alcotest.test_case "variation scale" `Quick
+            test_ro_faster_devices_raise_frequency;
+          Alcotest.test_case "noise optional" `Quick
+            test_ro_noise_is_optional_and_small;
+          Alcotest.test_case "dimension check" `Quick
+            test_ro_wrong_dimension_rejected;
+          Alcotest.test_case "parasitic terms" `Quick
+            test_ro_parasitic_terms_cover_tail;
+        ] );
+      ( "sram",
+        [
+          Alcotest.test_case "dimensions" `Quick test_sram_dimensions;
+          Alcotest.test_case "nominal delay" `Quick
+            test_sram_nominal_delay_positive;
+          Alcotest.test_case "layout slower" `Quick test_sram_layout_slower;
+          Alcotest.test_case "accessed cell dominates" `Quick
+            test_sram_accessed_cell_dominates;
+          Alcotest.test_case "cost model" `Quick test_sram_cost_model;
+        ] );
+      ( "amplifier",
+        [
+          Alcotest.test_case "dimensions" `Quick test_amp_dimensions;
+          Alcotest.test_case "nominal values" `Quick test_amp_nominal_values;
+          Alcotest.test_case "offset pair" `Quick
+            test_amp_offset_is_pair_difference;
+          Alcotest.test_case "layout slower" `Quick
+            test_amp_layout_bandwidth_lower;
+          Alcotest.test_case "bmf pipeline" `Quick test_amp_bmf_pipeline;
+        ] );
+      ( "testbench",
+        [
+          Alcotest.test_case "dataset shapes" `Quick test_testbench_dataset_shapes;
+          Alcotest.test_case "noise flag" `Quick test_testbench_dataset_noise_flag;
+          Alcotest.test_case "metric index" `Quick test_testbench_metric_index;
+          Alcotest.test_case "layout prior shapes" `Quick
+            test_testbench_layout_prior_shapes;
+        ] );
+      ( "end_to_end",
+        [
+          Alcotest.test_case "bmf beats omp" `Slow test_end_to_end_bmf_beats_omp;
+        ] );
+    ]

@@ -1,0 +1,392 @@
+(* Unit tests for the experiment harness: configuration, methods,
+   runner, reporting, plotting, tables and ablations (at tiny scale). *)
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* A tiny configuration so harness tests stay fast. *)
+let tiny : Experiments.Config.t =
+  {
+    Experiments.Config.seed = 7;
+    repeats = 1;
+    sample_sizes = [ 40; 80 ];
+    test_samples = 60;
+    early_samples = 400;
+    cv_folds = 3;
+    omp_max_terms_fraction = 0.4;
+    ro =
+      {
+        Circuit.Ring_oscillator.default_config with
+        stages = 5;
+        vars_per_device = 6;
+        interdie = 6;
+      };
+    sram = { Circuit.Sram.default_config with cells = 10; vars_per_cell = 4 };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Config *)
+
+let test_config_presets () =
+  check_int "paper repeats" 50 Experiments.Config.paper.repeats;
+  check_int "paper sweep" 9 (List.length Experiments.Config.paper.sample_sizes);
+  check_bool "quick smaller" true
+    (Experiments.Config.quick.early_samples
+    < Experiments.Config.default.early_samples)
+
+let test_config_overrides () =
+  let c = Experiments.Config.with_repeats Experiments.Config.default 11 in
+  check_int "repeats" 11 c.repeats;
+  let c = Experiments.Config.with_seed c 99 in
+  check_int "seed" 99 c.seed;
+  Alcotest.check_raises "bad repeats"
+    (Invalid_argument "Config.with_repeats: need at least 1") (fun () ->
+      ignore (Experiments.Config.with_repeats Experiments.Config.default 0))
+
+let test_config_omp_cap () =
+  check_int "fraction" 40
+    (Experiments.Config.omp_max_terms Experiments.Config.default ~k:100);
+  check_int "floor" 5
+    (Experiments.Config.omp_max_terms Experiments.Config.default ~k:3)
+
+(* ------------------------------------------------------------------ *)
+(* Methods *)
+
+let test_methods_names_roundtrip () =
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        "roundtrip" true
+        (Experiments.Methods.of_name (Experiments.Methods.name m) = m))
+    Experiments.Methods.paper_methods;
+  check_bool "case insensitive" true
+    (Experiments.Methods.of_name "bmf-ps" = Experiments.Methods.Bmf_ps);
+  Alcotest.check_raises "unknown"
+    (Invalid_argument "Methods.of_name: unknown method \"nope\"") (fun () ->
+      ignore (Experiments.Methods.of_name "nope"))
+
+let make_problem () =
+  let rng = Stats.Rng.create 55 in
+  let r = 30 and k = 25 in
+  let basis = Polybasis.Basis.linear r in
+  let m = Polybasis.Basis.size basis in
+  let truth = Array.init m (fun i -> 1. /. float_of_int (i + 1)) in
+  let xs = Stats.Sampling.monte_carlo rng ~k ~r in
+  let g = Polybasis.Basis.design_matrix basis xs in
+  let f = Array.init k (fun i -> Linalg.Vec.dot (Linalg.Mat.row g i) truth) in
+  let early = Array.map (fun c -> Some c) truth in
+  {
+    Experiments.Methods.g;
+    f;
+    early;
+    cv_folds = 3;
+    omp_max_terms = 10;
+  }
+
+let test_methods_all_fit () =
+  let p = make_problem () in
+  List.iter
+    (fun m ->
+      let coeffs = Experiments.Methods.fit m p in
+      check_int
+        (Experiments.Methods.name m)
+        31 (Array.length coeffs))
+    [
+      Experiments.Methods.Omp;
+      Experiments.Methods.Bmf_zm;
+      Experiments.Methods.Bmf_nzm;
+      Experiments.Methods.Bmf_ps;
+      Experiments.Methods.Ridge_cv;
+      Experiments.Methods.Lasso;
+    ]
+
+let test_methods_fit_timed () =
+  let p = make_problem () in
+  let coeffs, seconds = Experiments.Methods.fit_timed Experiments.Methods.Omp p in
+  check_int "coeffs" 31 (Array.length coeffs);
+  check_bool "nonnegative time" true (seconds >= 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Runner *)
+
+let ro_tb () =
+  Circuit.Ring_oscillator.testbench
+    (Circuit.Ring_oscillator.create ~config:tiny.ro tiny.seed)
+
+let test_runner_prepare () =
+  let tb = ro_tb () in
+  let prep =
+    Experiments.Runner.prepare tiny tb
+      ~metric:Circuit.Ring_oscillator.frequency_index
+  in
+  check_int "prior aligned"
+    (Polybasis.Basis.size prep.late_basis)
+    (Array.length prep.early);
+  check_bool "early model decent" true (prep.early_error_pct < 5.);
+  check_bool "terms recorded" true (prep.early_terms > 0)
+
+let test_runner_prepare_ls_variant () =
+  let tb = ro_tb () in
+  let prep =
+    Experiments.Runner.prepare ~early_fit:Experiments.Runner.Least_squares_early
+      tiny tb ~metric:0
+  in
+  (* least squares keeps every coefficient *)
+  check_int "dense early model"
+    (tb.Circuit.Testbench.schematic_dim + 1)
+    prep.early_terms
+
+let test_runner_accuracy_structure () =
+  let tb = ro_tb () in
+  let prep = Experiments.Runner.prepare tiny tb ~metric:2 in
+  let acc = Experiments.Runner.accuracy tiny prep in
+  check_int "rows" 2 (Array.length acc.cells);
+  check_int "cols" 4 (Array.length acc.cells.(0));
+  Alcotest.(check string) "circuit" "ring-oscillator" acc.circuit;
+  Alcotest.(check string) "metric" "frequency" acc.metric;
+  Array.iter
+    (Array.iter (fun (c : Experiments.Runner.cell) ->
+         check_bool "errors positive and sane" true
+           (c.mean_pct > 0. && c.mean_pct < 100.)))
+    acc.cells;
+  (* BMF-PS at the largest K should beat OMP at the smallest *)
+  let omp_small = acc.cells.(0).(0).mean_pct in
+  let ps_large = acc.cells.(1).(3).mean_pct in
+  check_bool "learning happens" true (ps_large < omp_small)
+
+let test_runner_accuracy_deterministic () =
+  let tb = ro_tb () in
+  let prep = Experiments.Runner.prepare tiny tb ~metric:2 in
+  let a1 = Experiments.Runner.accuracy tiny prep in
+  let a2 = Experiments.Runner.accuracy tiny prep in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j (c : Experiments.Runner.cell) ->
+          check_float "same mean" c.mean_pct a2.cells.(i).(j).mean_pct)
+        row)
+    a1.cells
+
+let test_runner_cost_comparison () =
+  let tb = ro_tb () in
+  let entries =
+    Experiments.Runner.cost_comparison tiny tb ~metrics:[ 2 ] ~omp_samples:80
+      ~bmf_samples:40
+  in
+  match entries with
+  | [ omp; bmf ] ->
+      check_int "omp samples" 80 omp.samples;
+      check_int "bmf samples" 40 bmf.samples;
+      check_bool "sim cost scales with samples" true
+        (omp.sim_hours = 2. *. bmf.sim_hours);
+      check_bool "total includes fitting" true
+        (omp.total_hours >= omp.sim_hours);
+      check_int "errors per metric" 1 (List.length omp.errors_pct)
+  | _ -> Alcotest.fail "expected two entries"
+
+let test_runner_solver_timings () =
+  let tb = ro_tb () in
+  let prep = Experiments.Runner.prepare tiny tb ~metric:2 in
+  let timings = Experiments.Runner.solver_timings ~with_direct:true tiny prep in
+  check_int "one per K" 2 (List.length timings);
+  List.iter
+    (fun (t : Experiments.Runner.solver_timing) ->
+      check_bool "positive" true
+        (t.omp_seconds > 0. && t.bmf_fast_seconds > 0.
+        && t.bmf_direct_seconds > 0.))
+    timings;
+  let no_direct =
+    Experiments.Runner.solver_timings ~with_direct:false tiny prep
+  in
+  List.iter
+    (fun (t : Experiments.Runner.solver_timing) ->
+      check_bool "nan direct" true (Float.is_nan t.bmf_direct_seconds))
+    no_direct
+
+(* ------------------------------------------------------------------ *)
+(* Report / Ascii_plot *)
+
+let test_report_accuracy_table_renders () =
+  let tb = ro_tb () in
+  let prep = Experiments.Runner.prepare tiny tb ~metric:2 in
+  let acc = Experiments.Runner.accuracy tiny prep in
+  let s = Format.asprintf "%a" Experiments.Report.accuracy_table acc in
+  check_bool "mentions methods" true
+    (List.for_all
+       (fun m ->
+         let sub = Experiments.Methods.name m in
+         let re = Str.regexp_string sub in
+         (try ignore (Str.search_forward re s 0); true with Not_found -> false))
+       acc.methods)
+
+let test_report_accuracy_csv () =
+  let tb = ro_tb () in
+  let prep = Experiments.Runner.prepare tiny tb ~metric:2 in
+  let acc = Experiments.Runner.accuracy tiny prep in
+  let csv = Experiments.Report.accuracy_csv acc in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  (* header + sizes x methods rows *)
+  check_int "rows" (1 + (2 * 4)) (List.length lines);
+  check_bool "header" true
+    (String.length (List.hd lines) > 0
+    && String.sub (List.hd lines) 0 7 = "circuit")
+
+let test_ascii_histogram () =
+  let h = Stats.Histogram.build ~bins:5 [| 1.; 2.; 2.; 3.; 4.; 5. |] in
+  let s = Experiments.Ascii_plot.histogram ~title:"t" h in
+  check_bool "has title" true (String.length s > 0 && s.[0] = 't');
+  check_bool "has bars" true (String.contains s '#')
+
+let test_ascii_xy () =
+  let s =
+    Experiments.Ascii_plot.xy
+      [
+        { Experiments.Ascii_plot.label = "a"; points = [ (1., 1.); (2., 4.) ] };
+        { Experiments.Ascii_plot.label = "b"; points = [ (1., 2.); (2., 3.) ] };
+      ]
+  in
+  check_bool "marker a" true (String.contains s '*');
+  check_bool "marker b" true (String.contains s 'o');
+  check_bool "legend" true (String.contains s 'a')
+
+let test_ascii_xy_log_drops_nonpositive () =
+  let s =
+    Experiments.Ascii_plot.xy ~log_y:true
+      [
+        {
+          Experiments.Ascii_plot.label = "a";
+          points = [ (1., 0.); (2., 10.); (3., 100.) ];
+        };
+      ]
+  in
+  check_bool "renders" true (String.length s > 0)
+
+let test_ascii_xy_empty () =
+  Alcotest.(check string) "no data" "(no data)\n" (Experiments.Ascii_plot.xy [])
+
+(* ------------------------------------------------------------------ *)
+(* Figures / Tables at tiny scale *)
+
+let test_figures_static () =
+  check_bool "fig1 mentions sigma" true
+    (String.length (Experiments.Figures.fig1 ()) > 100);
+  check_bool "fig2 mentions lambda" true
+    (String.length (Experiments.Figures.fig2 ()) > 100);
+  check_bool "fig3 netlist" true
+    (String.length (Experiments.Figures.fig3 tiny) > 50);
+  check_bool "fig6 netlist" true
+    (String.length (Experiments.Figures.fig6 tiny) > 50)
+
+let test_figures_histograms () =
+  let s = Experiments.Figures.fig4 ~samples:300 tiny in
+  check_bool "three histograms" true (String.length s > 400);
+  let s7 = Experiments.Figures.fig7 ~samples:300 tiny in
+  check_bool "one histogram" true (String.length s7 > 100)
+
+let test_table_renders () =
+  let s = Experiments.Tables.table3 tiny in
+  check_bool "has header" true
+    (try
+       ignore (Str.search_forward (Str.regexp_string "Table III") s 0);
+       true
+     with Not_found -> false);
+  check_bool "has OMP column" true
+    (try
+       ignore (Str.search_forward (Str.regexp_string "OMP") s 0);
+       true
+     with Not_found -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations at tiny scale *)
+
+let test_ablation_solver_exactness () =
+  let s = Experiments.Ablation.solver_exactness tiny in
+  check_bool "reports exactness" true
+    (try
+       ignore (Str.search_forward (Str.regexp_string "exact to roundoff") s 0);
+       true
+     with Not_found -> false)
+
+let test_ablation_nonlinear () =
+  let s = Experiments.Ablation.nonlinear_basis tiny in
+  check_bool "quadratic line" true
+    (try
+       ignore (Str.search_forward (Str.regexp_string "quadratic basis") s 0);
+       true
+     with Not_found -> false)
+
+let test_ablation_baselines () =
+  let s = Experiments.Ablation.baselines tiny in
+  check_bool "has ridge and lasso" true
+    (try
+       ignore (Str.search_forward (Str.regexp_string "Ridge") s 0);
+       ignore (Str.search_forward (Str.regexp_string "Lasso") s 0);
+       true
+     with Not_found -> false)
+
+let test_ablation_early_fit () =
+  let s = Experiments.Ablation.early_fit tiny in
+  check_bool "compares both" true
+    (try
+       ignore (Str.search_forward (Str.regexp_string "least squares") s 0);
+       ignore (Str.search_forward (Str.regexp_string "OMP") s 0);
+       true
+     with Not_found -> false)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "presets" `Quick test_config_presets;
+          Alcotest.test_case "overrides" `Quick test_config_overrides;
+          Alcotest.test_case "omp cap" `Quick test_config_omp_cap;
+        ] );
+      ( "methods",
+        [
+          Alcotest.test_case "names" `Quick test_methods_names_roundtrip;
+          Alcotest.test_case "all fit" `Quick test_methods_all_fit;
+          Alcotest.test_case "timed" `Quick test_methods_fit_timed;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "prepare" `Quick test_runner_prepare;
+          Alcotest.test_case "prepare LS" `Quick test_runner_prepare_ls_variant;
+          Alcotest.test_case "accuracy structure" `Slow
+            test_runner_accuracy_structure;
+          Alcotest.test_case "deterministic" `Slow
+            test_runner_accuracy_deterministic;
+          Alcotest.test_case "cost comparison" `Slow test_runner_cost_comparison;
+          Alcotest.test_case "solver timings" `Slow test_runner_solver_timings;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "accuracy table" `Slow
+            test_report_accuracy_table_renders;
+          Alcotest.test_case "csv" `Slow test_report_accuracy_csv;
+        ] );
+      ( "ascii_plot",
+        [
+          Alcotest.test_case "histogram" `Quick test_ascii_histogram;
+          Alcotest.test_case "xy" `Quick test_ascii_xy;
+          Alcotest.test_case "log scale" `Quick test_ascii_xy_log_drops_nonpositive;
+          Alcotest.test_case "empty" `Quick test_ascii_xy_empty;
+        ] );
+      ( "figures_tables",
+        [
+          Alcotest.test_case "static figures" `Quick test_figures_static;
+          Alcotest.test_case "histogram figures" `Slow test_figures_histograms;
+          Alcotest.test_case "table renders" `Slow test_table_renders;
+        ] );
+      ( "ablation",
+        [
+          Alcotest.test_case "solver exactness" `Slow
+            test_ablation_solver_exactness;
+          Alcotest.test_case "early fit" `Slow test_ablation_early_fit;
+          Alcotest.test_case "nonlinear" `Slow test_ablation_nonlinear;
+          Alcotest.test_case "baselines" `Slow test_ablation_baselines;
+        ] );
+    ]
