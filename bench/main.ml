@@ -5,12 +5,12 @@
    Scale is selected by the BMF_BENCH_SCALE environment variable or a
    command-line argument: "quick" | "default" | "paper". *)
 
-let scale_of_string = function
-  | "quick" -> Experiments.Config.quick
-  | "default" -> Experiments.Config.default
-  | "paper" -> Experiments.Config.paper
-  | s ->
-      Printf.eprintf "unknown scale %S (want quick|default|paper)\n" s;
+let scale_of_string s =
+  match Experiments.Config.of_scale_name s with
+  | Some cfg -> cfg
+  | None ->
+      Printf.eprintf "unknown scale %S (want %s)\n" s
+        (String.concat "|" Experiments.Config.scale_names);
       exit 2
 
 let config () =
@@ -100,6 +100,92 @@ let bechamel_tests (cfg : Experiments.Config.t) =
           fun () -> ignore (Stats.Histogram.build ~bins:24 data)));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Serving subsystem: online updates vs cold refit.                   *)
+
+(* One fitted RO model plus a stream of fresh samples; used both by the
+   wall-clock sweep over K and by the Bechamel entries below. *)
+let serving_fixture (cfg : Experiments.Config.t) ~k ~k_new =
+  let ro = Circuit.Ring_oscillator.create ~config:cfg.ro cfg.seed in
+  let tb = Circuit.Ring_oscillator.testbench ro in
+  let metric = Circuit.Ring_oscillator.frequency_index in
+  let prep = Experiments.Runner.prepare cfg tb ~metric in
+  let rng = Stats.Rng.create (1000 + k) in
+  let xs, f =
+    Circuit.Testbench.draw_dataset tb ~stage:Circuit.Stage.Layout ~metric ~rng
+      ~k ()
+  in
+  let g = Polybasis.Basis.design_matrix prep.late_basis xs in
+  let prior = Bmf.Prior.nonzero_mean prep.early in
+  let hyper = 1e-3 in
+  let meta =
+    {
+      Serving.Artifact.circuit = "ro";
+      metric = "frequency";
+      scale = "bench";
+      seed = cfg.seed;
+    }
+  in
+  let artifact =
+    Serving.Artifact.of_fit ~meta ~basis:prep.late_basis ~prior ~hyper ~g ~f ()
+  in
+  let xs_new, f_new =
+    Circuit.Testbench.draw_dataset tb ~stage:Circuit.Stage.Layout ~metric ~rng
+      ~k:k_new ()
+  in
+  let g_new = Polybasis.Basis.design_matrix prep.late_basis xs_new in
+  let m = Polybasis.Basis.size prep.late_basis in
+  let g_full =
+    Linalg.Mat.init (k + k_new) m (fun i j ->
+        if i < k then Linalg.Mat.get g i j
+        else Linalg.Mat.get g_new (i - k) j)
+  in
+  let f_full = Array.append f f_new in
+  let incremental () =
+    let upd = Serving.Incremental.of_artifact artifact in
+    Serving.Incremental.add_batch upd ~xs:xs_new ~f:f_new;
+    Serving.Incremental.coeffs upd
+  in
+  let refit () =
+    Bmf.Map_solver.solve ~solver:Bmf.Map_solver.Fast_woodbury ~g:g_full
+      ~f:f_full ~prior ~hyper ()
+  in
+  (incremental, refit)
+
+let serving_table (cfg : Experiments.Config.t) =
+  let k_new = 10 in
+  let best f =
+    let reps = 3 in
+    let t = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      t := Float.min !t (Unix.gettimeofday () -. t0)
+    done;
+    !t
+  in
+  Printf.printf
+    "folding K' = %d new samples into a fitted RO frequency model\n\n" k_new;
+  Printf.printf "%8s %18s %14s %10s\n" "K" "incremental (ms)" "refit (ms)"
+    "speedup";
+  List.iter
+    (fun k ->
+      let incremental, refit = serving_fixture cfg ~k ~k_new in
+      let ti = best incremental and tr = best refit in
+      Printf.printf "%8d %18.2f %14.2f %9.1fx\n" k (1e3 *. ti) (1e3 *. tr)
+        (tr /. Float.max 1e-9 ti))
+    [ 50; 100; 200; 400 ]
+
+let serving_bechamel_tests (cfg : Experiments.Config.t) =
+  let open Bechamel in
+  let incremental, refit = serving_fixture cfg ~k:100 ~k_new:10 in
+  [
+    Test.make ~name:"serving:incremental-update-k100"
+      (Staged.stage (fun () -> ignore (incremental ())));
+    Test.make ~name:"serving:full-refit-k110"
+      (Staged.stage (fun () -> ignore (refit ())));
+  ]
+
 let run_bechamel tests =
   let open Bechamel in
   let open Toolkit in
@@ -181,8 +267,11 @@ let () =
   section "Table VI: SRAM error and cost";
   ignore (timed "table6" (fun () -> Experiments.Tables.table6 ~progress cfg));
 
+  section "Serving: incremental update vs full refit (wall clock)";
+  ignore (timed "serving" (fun () -> serving_table cfg; ""));
+
   section "Bechamel micro-benchmarks (kernels behind each artifact)";
-  run_bechamel (bechamel_tests cfg);
+  run_bechamel (bechamel_tests cfg @ serving_bechamel_tests cfg);
 
   print_newline ();
   print_endline "bench: all tables and figures regenerated."

@@ -1,28 +1,36 @@
 (* Command-line driver: regenerate any table or figure of the paper, run
-   the ablation studies, or inspect the benchmark circuits.
+   the ablation studies, inspect the benchmark circuits, or operate the
+   model-serving registry.
 
      repro table 1..6     a paper table
      repro fig 1..8       a paper figure
      repro all            everything, in paper order
      repro ablation NAME  prior-quality | sampling | missing-prior |
                           early-fit | solver | all
-     repro info           circuit and configuration summary *)
+     repro info           circuit and configuration summary
+     repro fit            fit a model and persist it as an artifact
+     repro predict        serve predictions from a stored artifact
+     repro update         fold new samples in without a full refit
+     repro models         list and verify the artifact registry *)
 
 open Cmdliner
 
 let scale_conv =
-  let parse = function
-    | "quick" -> Ok Experiments.Config.quick
-    | "default" -> Ok Experiments.Config.default
-    | "paper" -> Ok Experiments.Config.paper
-    | s -> Error (`Msg (Printf.sprintf "unknown scale %S" s))
+  let parse s =
+    match Experiments.Config.of_scale_name s with
+    | Some cfg -> Ok (s, cfg)
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown scale %S (want %s)" s
+               (String.concat "|" Experiments.Config.scale_names)))
   in
-  Arg.conv (parse, fun fmt _ -> Format.fprintf fmt "<scale>")
+  Arg.conv (parse, fun fmt (name, _) -> Format.pp_print_string fmt name)
 
 let scale_arg =
   Arg.(
     value
-    & opt scale_conv Experiments.Config.default
+    & opt scale_conv ("default", Experiments.Config.default)
     & info [ "scale" ] ~docv:"SCALE"
         ~doc:"Problem scale: $(b,quick), $(b,default) or $(b,paper).")
 
@@ -41,21 +49,25 @@ let seed_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print progress to stderr.")
 
-let build_config scale repeats seed =
+let build_config (scale_name, scale) repeats seed =
   let cfg = match repeats with
     | Some r -> Experiments.Config.with_repeats scale r
     | None -> scale
   in
-  match seed with
-  | Some s -> Experiments.Config.with_seed cfg s
-  | None -> cfg
+  let cfg = match seed with
+    | Some s -> Experiments.Config.with_seed cfg s
+    | None -> cfg
+  in
+  (scale_name, cfg)
 
 let progress_of verbose =
   if verbose then fun msg -> Printf.eprintf "  .. %s\n%!" msg
   else fun (_ : string) -> ()
 
-let common =
+let common_named =
   Term.(const build_config $ scale_arg $ repeats_arg $ seed_arg)
+
+let common = Term.(const snd $ common_named)
 
 let table_num =
   Arg.(
@@ -229,6 +241,304 @@ let info_cmd =
   let doc = "Print the benchmark circuits and configuration." in
   Cmd.v (Cmd.info "info" ~doc) Term.(const run_info $ common $ verbose_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Model serving: fit / predict / update / models over the artifact
+   registry (lib/serving). *)
+
+let circuit_arg =
+  Arg.(
+    value
+    & opt string "ro"
+    & info [ "circuit" ] ~docv:"NAME"
+        ~doc:"Benchmark circuit: $(b,ro), $(b,sram) or $(b,amp).")
+
+let metric_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metric" ] ~docv:"NAME"
+        ~doc:"Performance metric name (default: the circuit's first).")
+
+let dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dir" ] ~docv:"DIR"
+        ~doc:
+          "Model registry directory (default: \\$BMF_MODEL_DIR or \
+           $(b,models)).")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Store the artifact as JSON instead of the compact binary.")
+
+let testbench_of (cfg : Experiments.Config.t) name =
+  match name with
+  | "ro" ->
+      Circuit.Ring_oscillator.testbench
+        (Circuit.Ring_oscillator.create ~config:cfg.ro cfg.seed)
+  | "sram" ->
+      Circuit.Sram.testbench (Circuit.Sram.create ~config:cfg.sram cfg.seed)
+  | "amp" | "opamp" ->
+      Circuit.Amplifier.testbench (Circuit.Amplifier.create cfg.seed)
+  | s ->
+      Printf.eprintf "unknown circuit %S (want ro|sram|amp)\n" s;
+      exit 2
+
+let resolve_metric (tb : Circuit.Testbench.t) = function
+  | None -> 0
+  | Some name -> (
+      try Circuit.Testbench.metric_index tb name
+      with Not_found ->
+        Printf.eprintf "unknown metric %S for %s (have: %s)\n" name tb.name
+          (String.concat ", " (Array.to_list tb.metrics));
+        exit 2)
+
+let root_of dir =
+  match dir with Some d -> d | None -> Serving.Store.default_root ()
+
+(* Deterministic verification queries, a pure function of the artifact
+   key: `fit` prints them right after saving and `predict` recomputes
+   them from the loaded artifact, so matching fingerprints prove the
+   round-trip is exact. *)
+let query_count = 64
+
+let query_points (a : Serving.Artifact.t) =
+  let dim = a.basis_dim in
+  let rng = Stats.Rng.create (a.meta.seed + 8191) in
+  Linalg.Mat.of_rows
+    (List.init query_count (fun _ -> Stats.Rng.gaussian_vec rng dim))
+
+let print_predictions ?(show = 5) a =
+  let pred = Serving.Predictor.of_artifact a in
+  let means, stds = Serving.Predictor.predict_with_std pred (query_points a) in
+  Printf.printf "verification queries (seed %d):\n" (a.meta.seed + 8191);
+  for i = 0 to Stdlib.min show query_count - 1 do
+    Printf.printf "  q%-2d  %+.10g  (+/- %.4g)\n" i means.(i) stds.(i)
+  done;
+  Printf.printf "prediction fingerprint (%d queries): %s\n" query_count
+    (Serving.Artifact.fingerprint means)
+
+let describe (a : Serving.Artifact.t) =
+  Printf.sprintf "%s/%s scale=%s seed=%d K=%d M=%d rev=%d %s hyper=%.3g"
+    a.meta.circuit a.meta.metric a.meta.scale a.meta.seed
+    (Serving.Artifact.num_samples a)
+    (Serving.Artifact.num_terms a)
+    a.rev
+    (Serving.Artifact.method_name a)
+    a.hyper
+
+let fit_samples_arg =
+  Arg.(
+    value
+    & opt int 100
+    & info [ "k"; "samples" ] ~docv:"K"
+        ~doc:"Number of late-stage training samples.")
+
+let run_fit (scale_name, (cfg : Experiments.Config.t)) verbose circuit
+    metric_opt k dir json =
+  let progress = progress_of verbose in
+  let tb = testbench_of cfg circuit in
+  let metric = resolve_metric tb metric_opt in
+  progress "fitting early-stage model (prior)";
+  let prep = Experiments.Runner.prepare cfg tb ~metric in
+  let rng = Stats.Rng.create (cfg.seed + 211 + (metric * 613)) in
+  let xs, f =
+    Circuit.Testbench.draw_dataset tb ~stage:Circuit.Stage.Layout ~metric ~rng
+      ~k ()
+  in
+  let g = Polybasis.Basis.design_matrix prep.late_basis xs in
+  progress (Printf.sprintf "fusing %d late-stage samples (BMF-PS)" k);
+  let config = { Bmf.Fusion.default_config with cv_folds = cfg.cv_folds } in
+  let fitted =
+    Bmf.Fusion.fit_design ~rng ~config ~early:prep.early ~g ~f
+      Bmf.Fusion.Bmf_ps
+  in
+  let meta =
+    {
+      Serving.Artifact.circuit;
+      metric = tb.metrics.(metric);
+      scale = scale_name;
+      seed = cfg.seed;
+    }
+  in
+  let artifact =
+    Serving.Artifact.of_fit ~meta ~basis:prep.late_basis ~prior:fitted.prior
+      ~hyper:fitted.hyper ~cv_error:fitted.cv_error ~g ~f ()
+  in
+  let format = if json then Serving.Artifact.Json else Serving.Artifact.Binary in
+  let file = Serving.Store.save ~format ~root:(root_of dir) artifact in
+  Printf.printf "saved %s\n  %s\n" file (describe artifact);
+  print_predictions artifact
+
+let fit_cmd =
+  let doc = "Fit a BMF-PS model and persist it as a serving artifact." in
+  Cmd.v (Cmd.info "fit" ~doc)
+    Term.(
+      const run_fit $ common_named $ verbose_arg $ circuit_arg $ metric_arg
+      $ fit_samples_arg $ dir_arg $ json_arg)
+
+let run_predict (scale_name, (cfg : Experiments.Config.t)) _verbose circuit
+    metric_opt dir =
+  let tb = testbench_of cfg circuit in
+  let metric = resolve_metric tb metric_opt in
+  let meta =
+    {
+      Serving.Artifact.circuit;
+      metric = tb.metrics.(metric);
+      scale = scale_name;
+      seed = cfg.seed;
+    }
+  in
+  match Serving.Store.load ~root:(root_of dir) meta with
+  | Error e ->
+      Printf.eprintf "%s\n(fit one first: repro fit --circuit %s --scale %s)\n"
+        e circuit scale_name;
+      exit 1
+  | Ok artifact ->
+      Printf.printf "loaded %s\n" (describe artifact);
+      print_predictions artifact
+
+let predict_cmd =
+  let doc =
+    "Serve predictions from a stored artifact. Prints the same \
+     deterministic verification queries as $(b,repro fit), so matching \
+     fingerprints prove the persisted model reproduces the in-process \
+     one exactly."
+  in
+  Cmd.v (Cmd.info "predict" ~doc)
+    Term.(
+      const run_predict $ common_named $ verbose_arg $ circuit_arg
+      $ metric_arg $ dir_arg)
+
+let update_samples_arg =
+  Arg.(
+    value
+    & opt int 25
+    & info [ "k"; "samples" ] ~docv:"K'"
+        ~doc:"Number of new late-stage samples to fold in.")
+
+let no_check_arg =
+  Arg.(
+    value & flag
+    & info [ "no-check" ]
+        ~doc:"Skip the cold-refit cross-check (and its timing).")
+
+let run_update (scale_name, (cfg : Experiments.Config.t)) verbose circuit
+    metric_opt k_new dir no_check =
+  let progress = progress_of verbose in
+  let tb = testbench_of cfg circuit in
+  let metric = resolve_metric tb metric_opt in
+  let meta =
+    {
+      Serving.Artifact.circuit;
+      metric = tb.metrics.(metric);
+      scale = scale_name;
+      seed = cfg.seed;
+    }
+  in
+  let root = root_of dir in
+  match Serving.Store.load ~root meta with
+  | Error e ->
+      Printf.eprintf "%s\n(fit one first: repro fit --circuit %s --scale %s)\n"
+        e circuit scale_name;
+      exit 1
+  | Ok artifact ->
+      let k0 = Serving.Artifact.num_samples artifact in
+      Printf.printf "loaded %s\n" (describe artifact);
+      (* fresh samples: the stream advances with the stored revision, so
+         successive updates fold in genuinely new data *)
+      let rng =
+        Stats.Rng.create (cfg.seed + 1511 + (metric * 97) + (artifact.rev * 7919))
+      in
+      let xs, f =
+        Circuit.Testbench.draw_dataset tb ~stage:Circuit.Stage.Layout ~metric
+          ~rng ~k:k_new ()
+      in
+      progress (Printf.sprintf "folding in %d new samples" k_new);
+      let upd = Serving.Incremental.of_artifact artifact in
+      let t0 = Unix.gettimeofday () in
+      Serving.Incremental.add_batch upd ~xs ~f;
+      let coeffs = Serving.Incremental.coeffs upd in
+      let incremental_s = Unix.gettimeofday () -. t0 in
+      Printf.printf
+        "incremental update: K %d -> %d in %.4f s (rank-1 bordering, no M x \
+         M solve)\n"
+        k0 (k0 + k_new) incremental_s;
+      if not no_check then begin
+        let m = Serving.Artifact.num_terms artifact in
+        let t1 = Unix.gettimeofday () in
+        let g_new = Polybasis.Basis.design_matrix (Serving.Artifact.basis artifact) xs in
+        let g_full =
+          Linalg.Mat.init (k0 + k_new) m (fun i j ->
+              if i < k0 then Linalg.Mat.get artifact.g i j
+              else Linalg.Mat.get g_new (i - k0) j)
+        in
+        let f_full = Array.append artifact.f f in
+        let cold =
+          Bmf.Map_solver.solve ~solver:Bmf.Map_solver.Fast_woodbury ~g:g_full
+            ~f:f_full ~prior:artifact.prior ~hyper:artifact.hyper ()
+        in
+        let refit_s = Unix.gettimeofday () -. t1 in
+        let max_diff =
+          Linalg.Vec.norm_inf (Linalg.Vec.sub coeffs cold)
+        in
+        Printf.printf
+          "cold refit on %d samples: %.4f s  (speedup %.1fx)\n\
+           max |incremental - refit| coefficient error: %.3g\n"
+          (k0 + k_new) refit_s
+          (refit_s /. Float.max 1e-9 incremental_s)
+          max_diff;
+        if max_diff > 1e-8 then begin
+          Printf.eprintf "update check FAILED (tolerance 1e-8)\n";
+          exit 1
+        end
+      end;
+      let updated = Serving.Incremental.to_artifact upd in
+      let format =
+        match Serving.Store.find ~root meta with
+        | Some file when Filename.check_suffix file ".json" ->
+            Serving.Artifact.Json
+        | _ -> Serving.Artifact.Binary
+      in
+      let file = Serving.Store.save ~format ~root updated in
+      Printf.printf "saved %s\n  %s\n" file (describe updated);
+      print_predictions updated
+
+let update_cmd =
+  let doc =
+    "Fold newly arrived late-stage samples into a stored model via exact \
+     rank-1 Sherman-Morrison/bordering updates of its K x K posterior \
+     core — no full refit, verified against one."
+  in
+  Cmd.v (Cmd.info "update" ~doc)
+    Term.(
+      const run_update $ common_named $ verbose_arg $ circuit_arg $ metric_arg
+      $ update_samples_arg $ dir_arg $ no_check_arg)
+
+let run_models dir =
+  let root = root_of dir in
+  match Serving.Store.list ~root with
+  | [] -> Printf.printf "no artifacts under %s\n" root
+  | entries ->
+      Printf.printf "artifacts under %s:\n" root;
+      List.iter
+        (fun (e : Serving.Store.entry) ->
+          match e.status with
+          | Ok a ->
+              Printf.printf "  %-48s ok       %s\n" (Filename.basename e.file)
+                (describe a)
+          | Error msg ->
+              Printf.printf "  %-48s CORRUPT  %s\n" (Filename.basename e.file)
+                msg)
+        entries
+
+let models_cmd =
+  let doc = "List the artifact registry and verify every checksum." in
+  Cmd.v (Cmd.info "models" ~doc) Term.(const run_models $ dir_arg)
+
 let () =
   let doc =
     "Reproduction of 'Bayesian Model Fusion: Large-Scale Performance \
@@ -239,4 +549,14 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ table_cmd; fig_cmd; all_cmd; ablation_cmd; info_cmd ]))
+          [
+            table_cmd;
+            fig_cmd;
+            all_cmd;
+            ablation_cmd;
+            info_cmd;
+            fit_cmd;
+            predict_cmd;
+            update_cmd;
+            models_cmd;
+          ]))

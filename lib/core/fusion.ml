@@ -15,6 +15,7 @@ let default_config = { solver = None; cv_folds = 4; candidates = None }
 
 type fitted = {
   coeffs : Linalg.Vec.t;
+  prior : Prior.t;
   prior_kind : Prior.kind;
   hyper : float;
   cv_error : float;
@@ -51,7 +52,7 @@ let fit_design ?rng ?(config = default_config) ~early ~g ~f method_ =
   let coeffs =
     Map_solver.solve ?solver:config.solver ~g ~f ~prior ~hyper ()
   in
-  { coeffs; prior_kind = prior.Prior.kind; hyper; cv_error }
+  { coeffs; prior; prior_kind = prior.Prior.kind; hyper; cv_error }
 
 let chain ?rng ?config ~early stages method_ =
   if stages = [] then invalid_arg "Fusion.chain: no stages";

@@ -28,6 +28,9 @@ val default_config : config
 
 type fitted = {
   coeffs : Linalg.Vec.t;
+  prior : Prior.t;
+      (** The selected prior itself — needed to persist the fit (model
+          artifacts) or continue it (incremental updates). *)
   prior_kind : Prior.kind;  (** The family actually used. *)
   hyper : float;  (** The selected hyper-parameter value. *)
   cv_error : float;  (** Cross-validation error of the selection. *)

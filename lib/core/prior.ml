@@ -70,6 +70,24 @@ let make kind early = build kind early
 
 let size t = Array.length t.weights
 
+let of_raw ~kind ~means ~weights ~informed =
+  let m = Array.length weights in
+  if m = 0 then invalid_arg "Prior.of_raw: empty weight array";
+  if Array.length means <> m || Array.length informed <> m then
+    invalid_arg "Prior.of_raw: length mismatch";
+  Array.iter
+    (fun w ->
+      if w <= 0. || not (Float.is_finite w) then
+        invalid_arg "Prior.of_raw: weights must be positive and finite")
+    weights;
+  Array.iter
+    (fun mu ->
+      if not (Float.is_finite mu) then
+        invalid_arg "Prior.of_raw: means must be finite")
+    means;
+  { kind; means = Array.copy means; weights = Array.copy weights;
+    informed = Array.copy informed }
+
 let log_pdf t ~hyper alpha =
   if Array.length alpha <> size t then
     invalid_arg "Prior.log_pdf: length mismatch";

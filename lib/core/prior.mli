@@ -47,6 +47,19 @@ val nonzero_mean : ?mag_floor_rel:float -> float option array -> t
 val make : kind -> float option array -> t
 (** Dispatches on [kind]. *)
 
+val of_raw :
+  kind:kind ->
+  means:Linalg.Vec.t ->
+  weights:Linalg.Vec.t ->
+  informed:bool array ->
+  t
+(** Rebuilds a prior from its stored representation (arrays are copied).
+    Intended for deserialization of fitted-model artifacts; fresh priors
+    should use {!zero_mean} / {!nonzero_mean}, which derive the weights
+    from early coefficients.
+    @raise Invalid_argument on empty or mismatched arrays, non-positive
+    or non-finite weights, or non-finite means. *)
+
 val size : t -> int
 
 val kind_name : kind -> string

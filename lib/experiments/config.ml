@@ -43,6 +43,12 @@ let paper =
     sram = Circuit.Sram.paper_scale_config;
   }
 
+let scales = [ ("quick", quick); ("default", default); ("paper", paper) ]
+
+let scale_names = List.map fst scales
+
+let of_scale_name name = List.assoc_opt name scales
+
 let with_repeats t repeats =
   if repeats < 1 then invalid_arg "Config.with_repeats: need at least 1";
   { t with repeats }

@@ -28,6 +28,13 @@ val quick : t
 
 val paper : t
 
+val scale_names : string list
+(** The canonical scale names, ["quick"; "default"; "paper"]. *)
+
+val of_scale_name : string -> t option
+(** Looks a configuration up by scale name — the single selection point
+    shared by the CLI and the benchmark harness. *)
+
 val with_repeats : t -> int -> t
 
 val with_seed : t -> int -> t

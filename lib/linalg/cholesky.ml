@@ -37,6 +37,20 @@ let factorize a =
 
 let factor f = Mat.copy f.l
 
+let of_factor l =
+  let n, c = Mat.dims l in
+  if n <> c then invalid_arg "Cholesky.of_factor: not square";
+  let copy = Mat.copy l in
+  for i = 0 to n - 1 do
+    let d = Mat.get copy i i in
+    if d <= 0. || not (Float.is_finite d) then
+      invalid_arg "Cholesky.of_factor: non-positive diagonal";
+    for j = i + 1 to n - 1 do
+      Mat.set copy i j 0.
+    done
+  done;
+  { l = copy }
+
 let solve f b =
   let n = Mat.rows f.l in
   if Array.length b <> n then invalid_arg "Cholesky.solve: length mismatch";

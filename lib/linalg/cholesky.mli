@@ -18,6 +18,13 @@ val factorize : Mat.t -> t
 val factor : t -> Mat.t
 (** The lower-triangular factor [l]. *)
 
+val of_factor : Mat.t -> t
+(** [of_factor l] wraps an existing lower-triangular factor as the
+    factorization of [l * l^T] (the strict upper triangle is ignored).
+    Used to resume solves from a factor restored from disk.
+    @raise Invalid_argument if [l] is not square or a diagonal entry is
+    not strictly positive and finite. *)
+
 val solve : t -> Vec.t -> Vec.t
 (** [solve f b] solves [a * x = b] by forward and back substitution. *)
 

@@ -113,6 +113,62 @@ let design_matrix b xs =
   done;
   g
 
+(* Batch evaluation that amortizes the Hermite recurrences: the per-
+   variable tables are computed once for the whole sample block instead
+   of once per row (eval_row re-derives them behind a hashtable on every
+   call). Values are identical to [design_matrix] — the same recurrence
+   runs in the same order — only the bookkeeping differs. *)
+let design_matrix_blocked b xs =
+  let k, r = Linalg.Mat.dims xs in
+  if r <> b.dim then
+    invalid_arg "Basis.design_matrix_blocked: dimension mismatch";
+  let m = size b in
+  let g = Linalg.Mat.create k m in
+  if b.max_degree <= 1 then
+    for i = 0 to k - 1 do
+      for j = 0 to m - 1 do
+        let term = b.terms.(j) in
+        let acc = ref 1. in
+        Array.iter (fun (v, _) -> acc := !acc *. Linalg.Mat.get xs i v) term;
+        Linalg.Mat.set g i j !acc
+      done
+    done
+  else begin
+    (* highest degree needed per variable, across all terms *)
+    let need = Array.make b.dim 0 in
+    Array.iter
+      (fun term ->
+        Array.iter (fun (v, d) -> need.(v) <- Stdlib.max need.(v) d) term)
+      b.terms;
+    (* Hermite tables for variables used beyond degree 1; degree-1-only
+       variables read the sample matrix directly *)
+    let tables =
+      Array.init b.dim (fun v ->
+          if need.(v) >= 2 then
+            Some
+              (Array.init k (fun i ->
+                   Hermite.normalized_upto need.(v) (Linalg.Mat.get xs i v)))
+          else None)
+    in
+    for i = 0 to k - 1 do
+      for j = 0 to m - 1 do
+        let term = b.terms.(j) in
+        let acc = ref 1. in
+        Array.iter
+          (fun (v, d) ->
+            let value =
+              match tables.(v) with
+              | Some rows -> rows.(i).(d)
+              | None -> Linalg.Mat.get xs i v
+            in
+            acc := !acc *. value)
+          term;
+        Linalg.Mat.set g i j !acc
+      done
+    done
+  end;
+  g
+
 let predict b ~coeffs x =
   if Array.length coeffs <> size b then
     invalid_arg "Basis.predict: coefficient length mismatch";

@@ -47,6 +47,12 @@ val design_matrix : t -> Linalg.Mat.t -> Linalg.Mat.t
 (** [design_matrix b xs] maps a [k] x [r] sample matrix to the [k] x [M]
     matrix [G] with [G_km = g_m(x^(k))] (eq. 9). *)
 
+val design_matrix_blocked : t -> Linalg.Mat.t -> Linalg.Mat.t
+(** Same result as {!design_matrix}, computed with the Hermite
+    recurrences amortized across the whole sample block instead of
+    re-derived per row. Preferred on the batch-serving path where one
+    basis is evaluated on many query points at once. *)
+
 val predict : t -> coeffs:Linalg.Vec.t -> Linalg.Vec.t -> float
 (** [predict b ~coeffs x = sum_m coeffs.(m) * g_m(x)] (eq. 2). *)
 

@@ -1,0 +1,170 @@
+(* The Woodbury core C = hyper I + G W^-1 G^T is the only dense object
+   whose factorization the MAP solve needs (Map_solver's fast path,
+   eq. 53-58). Appending a late-stage sample grows C by one bordering
+   row/column, and a Cholesky factor extends under bordering in O(K^2):
+
+     C' = [ C  c ]      L' = [ L      0 ]    with  L l = c
+          [ c^T d ]          [ l^T  sqrt(d - l.l) ]
+
+   so folding K' new samples into a fitted model costs
+   O(K' (KM + K^2)) — versus O(K^2 M + K^3) for a cold refit — and
+   never touches an M x M system. The result is exact: the same C gives
+   the same posterior, so coefficients match a cold refit to roundoff
+   (test-enforced at 1e-8). *)
+
+type t = {
+  meta : Artifact.meta;
+  rev : int;
+  cv_error : float;
+  basis : Polybasis.Basis.t;
+  prior : Bmf.Prior.t;
+  hyper : float;
+  w_inv : Linalg.Vec.t;
+  mutable k : int;
+  mutable rows : float array array;  (* basis rows, length m each *)
+  mutable f : float array;  (* observed responses *)
+  mutable resid : float array;  (* f_i - g_i . mu *)
+  mutable lrows : float array array;  (* ragged Cholesky rows, row i: i+1 *)
+}
+
+let num_samples t = t.k
+
+let num_terms t = Bmf.Prior.size t.prior
+
+let of_artifact (a : Artifact.t) =
+  let k = Artifact.num_samples a in
+  let means = a.Artifact.prior.Bmf.Prior.means in
+  let rows = Array.init k (fun i -> Linalg.Mat.row a.Artifact.g i) in
+  let resid =
+    Array.init k (fun i -> a.Artifact.f.(i) -. Linalg.Vec.dot rows.(i) means)
+  in
+  {
+    meta = a.Artifact.meta;
+    rev = a.Artifact.rev;
+    cv_error = a.Artifact.cv_error;
+    basis = Artifact.basis a;
+    prior = a.Artifact.prior;
+    hyper = a.Artifact.hyper;
+    w_inv = Array.map (fun w -> 1. /. w) a.Artifact.prior.Bmf.Prior.weights;
+    k;
+    rows;
+    f = Linalg.Vec.copy a.Artifact.f;
+    resid;
+    lrows = Array.init k (fun i -> Array.init (i + 1) (Linalg.Mat.get a.Artifact.chol i));
+  }
+
+let grow arr len filler =
+  if Array.length arr > len then arr
+  else begin
+    let bigger = Array.make (Stdlib.max 8 (2 * (len + 1))) filler in
+    Array.blit arr 0 bigger 0 (Array.length arr);
+    bigger
+  end
+
+let add_row t ~row ~value =
+  let m = num_terms t in
+  if Array.length row <> m then
+    invalid_arg "Incremental.add_row: basis row length mismatch";
+  let k = t.k in
+  (* new bordering column of C: c_i = g_i . (W^-1 row), d = row . (W^-1 row) + hyper *)
+  let h = Linalg.Vec.mul t.w_inv row in
+  let c = Array.init k (fun i -> Linalg.Vec.dot t.rows.(i) h) in
+  let diag = Linalg.Vec.dot row h +. t.hyper in
+  (* forward solve L l = c against the ragged rows *)
+  let l = Array.make (k + 1) 0. in
+  for i = 0 to k - 1 do
+    let li = t.lrows.(i) in
+    let acc = ref c.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (li.(j) *. l.(j))
+    done;
+    l.(i) <- !acc /. li.(i)
+  done;
+  let d_sq = ref diag in
+  for i = 0 to k - 1 do
+    d_sq := !d_sq -. (l.(i) *. l.(i))
+  done;
+  let d_sq = !d_sq in
+  if d_sq <= 0. || not (Float.is_finite d_sq) then
+    failwith "Incremental.add_row: update lost positive definiteness";
+  l.(k) <- sqrt d_sq;
+  t.rows <- grow t.rows k [||];
+  t.f <- grow t.f k 0.;
+  t.resid <- grow t.resid k 0.;
+  t.lrows <- grow t.lrows k [||];
+  t.rows.(k) <- Linalg.Vec.copy row;
+  t.f.(k) <- value;
+  t.resid.(k) <- value -. Linalg.Vec.dot row t.prior.Bmf.Prior.means;
+  t.lrows.(k) <- l;
+  t.k <- k + 1
+
+let add_point t ~x ~value =
+  add_row t ~row:(Polybasis.Basis.eval_row t.basis x) ~value
+
+let add_batch t ~xs ~f =
+  let n = Linalg.Mat.rows xs in
+  if Array.length f <> n then
+    invalid_arg "Incremental.add_batch: sample count mismatch";
+  let gq = Polybasis.Basis.design_matrix_blocked t.basis xs in
+  for i = 0 to n - 1 do
+    add_row t ~row:(Linalg.Mat.row gq i) ~value:f.(i)
+  done
+
+(* Solve C v = resid through the ragged factor, then map back to the
+   coefficient space: alpha = mu + W^-1 G^T v. *)
+let coeffs t =
+  let k = t.k and m = num_terms t in
+  let y = Array.make k 0. in
+  for i = 0 to k - 1 do
+    let li = t.lrows.(i) in
+    let acc = ref t.resid.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (li.(j) *. y.(j))
+    done;
+    y.(i) <- !acc /. li.(i)
+  done;
+  let v = Array.make k 0. in
+  for i = k - 1 downto 0 do
+    let acc = ref y.(i) in
+    for j = i + 1 to k - 1 do
+      acc := !acc -. (t.lrows.(j).(i) *. v.(j))
+    done;
+    v.(i) <- !acc /. t.lrows.(i).(i)
+  done;
+  let gtv = Array.make m 0. in
+  for i = 0 to k - 1 do
+    Linalg.Vec.axpy v.(i) t.rows.(i) gtv
+  done;
+  let means = t.prior.Bmf.Prior.means in
+  Array.init m (fun j -> means.(j) +. (t.w_inv.(j) *. gtv.(j)))
+
+let to_artifact t =
+  let k = t.k and m = num_terms t in
+  let g = Linalg.Mat.init k m (fun i j -> t.rows.(i).(j)) in
+  let f = Array.sub t.f 0 k in
+  let chol = Linalg.Mat.create k k in
+  for i = 0 to k - 1 do
+    for j = 0 to i do
+      Linalg.Mat.set chol i j t.lrows.(i).(j)
+    done
+  done;
+  let coeffs = coeffs t in
+  let resid = Linalg.Vec.sub f (Linalg.Mat.gemv g coeffs) in
+  let sigma0_sq =
+    Float.max 1e-300
+      (Linalg.Vec.dot resid resid /. float_of_int (Stdlib.max 1 k))
+  in
+  {
+    Artifact.meta = t.meta;
+    rev = t.rev + 1;
+    hyper = t.hyper;
+    cv_error = t.cv_error;
+    sigma0_sq;
+    basis_dim = Polybasis.Basis.dim t.basis;
+    terms = Polybasis.Basis.terms t.basis;
+    prior = t.prior;
+    coeffs;
+    g;
+    f;
+    chol;
+  }

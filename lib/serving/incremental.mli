@@ -1,0 +1,47 @@
+(** Online posterior updates: fold newly arrived late-stage samples
+    into a fitted model without a full refit.
+
+    The MAP solve only ever factorizes the K x K Woodbury core
+    [C = hyper I + G W^-1 G^T] (Map_solver's fast path, eq. 53-58).
+    Appending a sample borders C by one row/column, and the stored
+    Cholesky factor extends under bordering in O(K^2) (one forward
+    substitution plus a rank-1 diagonal correction) — so K' new samples
+    cost O(K' (KM + K^2)) against O(K^2 M + K^3) for a cold refit, and
+    the M x M system is never touched. The update is exact: refreshed
+    coefficients match a cold refit on the union of the samples to
+    roundoff (test-enforced at 1e-8).
+
+    The prior and hyper-parameter are carried over from the artifact;
+    re-selecting them (cross-validation over the enlarged sample set)
+    requires a full refit by construction. *)
+
+type t
+
+val of_artifact : Artifact.t -> t
+(** Resumes the posterior state stored in an artifact. *)
+
+val num_samples : t -> int
+(** Current K (grows with every added sample). *)
+
+val num_terms : t -> int
+
+val add_row : t -> row:Linalg.Vec.t -> value:float -> unit
+(** Folds in one sample given its evaluated basis row (length M).
+    @raise Invalid_argument on a length mismatch.
+    @raise Failure if the bordered core loses positive definiteness
+    (numerically degenerate sample). *)
+
+val add_point : t -> x:Linalg.Vec.t -> value:float -> unit
+(** Folds in one sample given the raw variation-space point. *)
+
+val add_batch : t -> xs:Linalg.Mat.t -> f:Linalg.Vec.t -> unit
+(** Folds in a batch (rows of [xs], responses [f]), amortizing basis
+    evaluation across the batch. *)
+
+val coeffs : t -> Linalg.Vec.t
+(** Refreshed MAP coefficients over all samples seen so far, at
+    O(K^2 + KM) from the maintained factor. *)
+
+val to_artifact : t -> Artifact.t
+(** Snapshots the updated posterior as a new artifact (revision +1),
+    ready to be saved back to the {!Store}. *)

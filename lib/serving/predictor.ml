@@ -1,0 +1,67 @@
+type t = {
+  basis : Polybasis.Basis.t;
+  coeffs : Linalg.Vec.t;
+  w_inv : Linalg.Vec.t;
+  hyper : float;
+  sigma0_sq : float;
+  g : Linalg.Mat.t;
+  chol : Linalg.Cholesky.t;
+}
+
+let of_artifact (a : Artifact.t) =
+  {
+    basis = Artifact.basis a;
+    coeffs = a.Artifact.coeffs;
+    w_inv = Array.map (fun w -> 1. /. w) a.Artifact.prior.Bmf.Prior.weights;
+    hyper = a.Artifact.hyper;
+    sigma0_sq = a.Artifact.sigma0_sq;
+    g = a.Artifact.g;
+    chol = Linalg.Cholesky.of_factor a.Artifact.chol;
+  }
+
+let basis t = t.basis
+
+let predict_row t row =
+  if Array.length row <> Array.length t.coeffs then
+    invalid_arg "Predictor.predict_row: basis row length mismatch";
+  Linalg.Vec.dot row t.coeffs
+
+let predict_point t x = predict_row t (Polybasis.Basis.eval_row t.basis x)
+
+let predict t xs =
+  let gq = Polybasis.Basis.design_matrix_blocked t.basis xs in
+  Linalg.Mat.gemv gq t.coeffs
+
+(* Predictive variance from the stored posterior core, in the dual form
+   that never touches the M x M covariance:
+
+     Sigma = sigma0^2 (G^T G + hyper W)^-1
+           = (sigma0^2 / hyper) [W^-1 - W^-1 G^T C^-1 G W^-1]
+
+   with C = hyper I + G W^-1 G^T, whose Cholesky factor the artifact
+   stores. Per query: h = W^-1 g0, u = G h, then
+   var = sigma0^2/hyper (g0.h - u^T C^-1 u) + sigma0^2, at
+   O(KM + K^2) instead of O(M^2). Exactly [Posterior.predict] in exact
+   arithmetic. *)
+let variance_row t row =
+  let h = Linalg.Vec.mul t.w_inv row in
+  let q = Linalg.Vec.dot row h in
+  let u = Linalg.Mat.gemv t.g h in
+  let v = Linalg.Cholesky.solve t.chol u in
+  let var =
+    (t.sigma0_sq /. t.hyper *. (q -. Linalg.Vec.dot u v)) +. t.sigma0_sq
+  in
+  Float.max 0. var
+
+let predict_with_std t xs =
+  let gq = Polybasis.Basis.design_matrix_blocked t.basis xs in
+  let means = Linalg.Mat.gemv gq t.coeffs in
+  let k = Linalg.Mat.rows gq in
+  let stds =
+    Array.init k (fun i -> sqrt (variance_row t (Linalg.Mat.row gq i)))
+  in
+  (means, stds)
+
+let predict_point_with_std t x =
+  let row = Polybasis.Basis.eval_row t.basis x in
+  (predict_row t row, sqrt (variance_row t row))

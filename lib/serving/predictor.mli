@@ -1,0 +1,33 @@
+(** Batch prediction against a loaded model artifact.
+
+    The serving hot path: basis evaluation is amortized across the
+    whole query batch ({!Polybasis.Basis.design_matrix_blocked}), the
+    mean is one [gemv] against the stored coefficients, and predictive
+    variance comes from the stored K x K posterior core at
+    O(KM + K^2) per query — the M x M covariance of [Bmf.Posterior] is
+    never formed. *)
+
+type t
+
+val of_artifact : Artifact.t -> t
+(** Pre-computes the serving state (basis, inverse prior weights,
+    Cholesky handle on the stored posterior core). *)
+
+val basis : t -> Polybasis.Basis.t
+
+val predict : t -> Linalg.Mat.t -> Linalg.Vec.t
+(** Predicted means for every row of a query-point matrix
+    (rows = points in the variation space, dimension {!basis} dim). *)
+
+val predict_with_std : t -> Linalg.Mat.t -> Linalg.Vec.t * Linalg.Vec.t
+(** Means and predictive standard deviations (includes the observation
+    noise [sigma0_sq], matching [Bmf.Posterior.predict]). *)
+
+val predict_point : t -> Linalg.Vec.t -> float
+(** Single-point convenience. *)
+
+val predict_point_with_std : t -> Linalg.Vec.t -> float * float
+
+val predict_row : t -> Linalg.Vec.t -> float
+(** Prediction from an already-evaluated basis row (length M).
+    @raise Invalid_argument on a length mismatch. *)

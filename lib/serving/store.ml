@@ -1,0 +1,77 @@
+let default_root () =
+  match Sys.getenv_opt "BMF_MODEL_DIR" with Some d -> d | None -> "models"
+
+let sanitize s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '-' -> c
+      | _ -> '_')
+    s
+
+let extension = function Artifact.Json -> ".bmfa.json" | Artifact.Binary -> ".bmfa"
+
+let filename (meta : Artifact.meta) format =
+  Printf.sprintf "%s__%s__%s__s%d%s" (sanitize meta.circuit)
+    (sanitize meta.metric) (sanitize meta.scale) meta.seed (extension format)
+
+let path ~root meta format = Filename.concat root (filename meta format)
+
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let save ?(format = Artifact.Binary) ~root artifact =
+  mkdir_p root;
+  let file = path ~root artifact.Artifact.meta format in
+  (* drop a stale copy in the other format so a key never resolves to an
+     outdated revision *)
+  let other =
+    path ~root artifact.Artifact.meta
+      (match format with Artifact.Json -> Artifact.Binary | Artifact.Binary -> Artifact.Json)
+  in
+  if Sys.file_exists other then Sys.remove other;
+  Artifact.save ~format file artifact;
+  file
+
+let find ~root meta =
+  List.find_opt Sys.file_exists
+    [ path ~root meta Artifact.Binary; path ~root meta Artifact.Json ]
+
+let load ~root meta =
+  match find ~root meta with
+  | Some file -> Artifact.load file
+  | None ->
+      Error
+        (Printf.sprintf
+           "store: no artifact for %s/%s scale=%s seed=%d under %s"
+           meta.Artifact.circuit meta.Artifact.metric meta.Artifact.scale
+           meta.Artifact.seed root)
+
+type entry = {
+  file : string;
+  format : Artifact.format;
+  status : (Artifact.t, string) result;
+}
+
+let list ~root =
+  if not (Sys.file_exists root && Sys.is_directory root) then []
+  else
+    Sys.readdir root |> Array.to_list |> List.sort String.compare
+    |> List.filter_map (fun name ->
+           let format =
+             if Filename.check_suffix name ".bmfa.json" then Some Artifact.Json
+             else if Filename.check_suffix name ".bmfa" then Some Artifact.Binary
+             else None
+           in
+           Option.map
+             (fun format ->
+               let file = Filename.concat root name in
+               { file; format; status = Artifact.load file })
+             format)
+
+let verify ~root meta =
+  match load ~root meta with Ok _ -> Ok () | Error e -> Error e

@@ -1,0 +1,35 @@
+(** On-disk model registry: fitted-model artifacts keyed by
+    (circuit, metric, scale, seed) — {!Artifact.meta} — in a flat
+    directory with self-describing filenames like
+    [ro__frequency__default__s20130602.bmfa]. One key holds at most one
+    artifact; saving replaces any stale copy in the other codec. *)
+
+val default_root : unit -> string
+(** [$BMF_MODEL_DIR] when set, else ["models"]. *)
+
+val filename : Artifact.meta -> Artifact.format -> string
+(** The registry filename for a key (components sanitized). *)
+
+val save : ?format:Artifact.format -> root:string -> Artifact.t -> string
+(** Persists an artifact under its own key, creating [root] as needed
+    (default format [Binary]); returns the file path written. *)
+
+val find : root:string -> Artifact.meta -> string option
+(** The stored file for a key, if present (binary preferred). *)
+
+val load : root:string -> Artifact.meta -> (Artifact.t, string) result
+(** Loads and checksum-verifies the artifact for a key. *)
+
+type entry = {
+  file : string;
+  format : Artifact.format;
+  status : (Artifact.t, string) result;
+      (** [Error] = unreadable or corrupt (checksum mismatch). *)
+}
+
+val list : root:string -> entry list
+(** Every artifact file in the registry, loaded and verified, sorted by
+    filename. An empty or missing root yields []. *)
+
+val verify : root:string -> Artifact.meta -> (unit, string) result
+(** Checksum verification of one key's stored artifact. *)

@@ -1,0 +1,386 @@
+(* Tests for the serving subsystem: artifact codecs and checksums, the
+   on-disk store, the batch predictor, and exact incremental updates. *)
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_string = Alcotest.(check string)
+
+let rng = Stats.Rng.create 20130613
+
+(* A small fitted problem with a nonzero-mean prior, the serving
+   subsystem's natural input. *)
+type synth = {
+  basis : Polybasis.Basis.t;
+  prior : Bmf.Prior.t;
+  hyper : float;
+  g : Linalg.Mat.t;
+  f : Linalg.Vec.t;
+  truth : Linalg.Vec.t;
+}
+
+let make_synth ?(k = 40) ?(r = 25) ?(noise = 0.01) () =
+  let basis = Polybasis.Basis.linear r in
+  let m = Polybasis.Basis.size basis in
+  let truth =
+    Array.init m (fun i -> if i = 0 then 3. else 1. /. float_of_int (i + 1))
+  in
+  let early =
+    Array.map
+      (fun c -> Some (c *. (1. +. (0.15 *. Stats.Rng.gaussian rng))))
+      truth
+  in
+  let xs = Stats.Sampling.monte_carlo rng ~k ~r in
+  let g = Polybasis.Basis.design_matrix basis xs in
+  let f =
+    Array.init k (fun i ->
+        Linalg.Vec.dot (Linalg.Mat.row g i) truth
+        +. (noise *. Stats.Rng.gaussian rng))
+  in
+  let prior = Bmf.Prior.nonzero_mean early in
+  let hyper, _ = Bmf.Hyper.select ~rng ~g ~f ~prior () in
+  { basis; prior; hyper; g; f; truth }
+
+let meta =
+  { Serving.Artifact.circuit = "test"; metric = "m"; scale = "quick"; seed = 7 }
+
+let artifact_of (s : synth) =
+  Serving.Artifact.of_fit ~meta ~basis:s.basis ~prior:s.prior ~hyper:s.hyper
+    ~g:s.g ~f:s.f ()
+
+let queries (s : synth) n =
+  let r = Polybasis.Basis.dim s.basis in
+  Linalg.Mat.of_rows (List.init n (fun _ -> Stats.Rng.gaussian_vec rng r))
+
+(* ------------------------------------------------------------------ *)
+(* Artifact codecs                                                     *)
+
+let test_of_fit_matches_solver () =
+  let s = make_synth () in
+  let a = artifact_of s in
+  let direct =
+    Bmf.Map_solver.solve ~solver:Bmf.Map_solver.Fast_woodbury ~g:s.g ~f:s.f
+      ~prior:s.prior ~hyper:s.hyper ()
+  in
+  check_bool "coeffs bit-identical to Map_solver fast path" true
+    (Array.for_all2 (fun a b -> Float.equal a b) a.coeffs direct)
+
+let roundtrip format () =
+  let s = make_synth () in
+  let a = artifact_of s in
+  let encoded = Serving.Artifact.to_string format a in
+  let b =
+    match Serving.Artifact.of_string encoded with
+    | Ok b -> b
+    | Error e -> Alcotest.failf "decode failed: %s" e
+  in
+  check_int "rev" a.rev b.rev;
+  check_string "metric" a.meta.metric b.meta.metric;
+  check_bool "hyper" true (Float.equal a.hyper b.hyper);
+  check_bool "sigma0_sq" true (Float.equal a.sigma0_sq b.sigma0_sq);
+  check_bool "coeffs bit-identical" true
+    (Array.for_all2 Float.equal a.coeffs b.coeffs);
+  (* the serving contract: a loaded artifact predicts bit-identically *)
+  let q = queries s 64 in
+  let pa = Serving.Predictor.predict (Serving.Predictor.of_artifact a) q in
+  let pb = Serving.Predictor.predict (Serving.Predictor.of_artifact b) q in
+  check_string "prediction fingerprint" (Serving.Artifact.fingerprint pa)
+    (Serving.Artifact.fingerprint pb)
+
+let test_roundtrip_json = roundtrip Serving.Artifact.Json
+
+let test_roundtrip_binary = roundtrip Serving.Artifact.Binary
+
+let test_binary_corruption_detected () =
+  let s = make_synth ~k:20 ~r:10 () in
+  let a = artifact_of s in
+  let encoded = Serving.Artifact.to_string Serving.Artifact.Binary a in
+  (* flip one payload byte past the 16-byte magic+checksum header *)
+  let buf = Bytes.of_string encoded in
+  let pos = 16 + (Bytes.length buf / 3) in
+  Bytes.set buf pos (Char.chr (Char.code (Bytes.get buf pos) lxor 0x40));
+  (match Serving.Artifact.of_string (Bytes.to_string buf) with
+  | Ok _ -> Alcotest.fail "corrupt binary artifact accepted"
+  | Error _ -> ());
+  (* truncation must be rejected too, not crash *)
+  match
+    Serving.Artifact.of_string (String.sub encoded 0 (String.length encoded / 2))
+  with
+  | Ok _ -> Alcotest.fail "truncated binary artifact accepted"
+  | Error _ -> ()
+
+let test_json_corruption_detected () =
+  let s = make_synth ~k:20 ~r:10 () in
+  let a = artifact_of s in
+  let encoded = Serving.Artifact.to_string Serving.Artifact.Json a in
+  (* alter a payload value the checksum must cover: bump the seed digit
+     (a 17th-mantissa-digit flip could round back to the same double
+     and so legitimately re-verify) *)
+  let tag = "\"seed\":" in
+  let pos = Str.search_forward (Str.regexp_string tag) encoded 0 in
+  let pos = pos + String.length tag in
+  let buf = Bytes.of_string encoded in
+  check_string "seed digit" "7" (String.make 1 (Bytes.get buf pos));
+  Bytes.set buf pos '8';
+  match Serving.Artifact.of_string (Bytes.to_string buf) with
+  | Ok _ -> Alcotest.fail "corrupt JSON artifact accepted"
+  | Error e ->
+      check_bool "mentions checksum" true
+        (Str.string_match (Str.regexp ".*checksum.*") e 0)
+
+(* ------------------------------------------------------------------ *)
+(* Store                                                               *)
+
+let with_temp_root f =
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bmf-store-test-%d" (Unix.getpid ()))
+  in
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  if Sys.file_exists root then rm root;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists root then rm root)
+    (fun () -> f root)
+
+let test_store_save_load_list () =
+  with_temp_root @@ fun root ->
+  let s = make_synth ~k:20 ~r:10 () in
+  let a = artifact_of s in
+  (match Serving.Store.load ~root meta with
+  | Ok _ -> Alcotest.fail "load from empty store succeeded"
+  | Error _ -> ());
+  let file = Serving.Store.save ~root a in
+  check_bool "file exists" true (Sys.file_exists file);
+  (match Serving.Store.load ~root meta with
+  | Error e -> Alcotest.failf "load failed: %s" e
+  | Ok b ->
+      check_bool "coeffs survive" true
+        (Array.for_all2 Float.equal a.coeffs b.coeffs));
+  check_bool "verify ok" true
+    (Result.is_ok (Serving.Store.verify ~root meta));
+  (* saving as JSON replaces the stale binary copy: still one entry *)
+  let file_json = Serving.Store.save ~format:Serving.Artifact.Json ~root a in
+  check_bool "json file exists" true (Sys.file_exists file_json);
+  check_bool "binary copy removed" false (Sys.file_exists file);
+  let entries = Serving.Store.list ~root in
+  check_int "one entry" 1 (List.length entries);
+  check_bool "entry ok" true
+    (List.for_all
+       (fun (e : Serving.Store.entry) -> Result.is_ok e.status)
+       entries)
+
+let test_store_detects_tampering () =
+  with_temp_root @@ fun root ->
+  let s = make_synth ~k:20 ~r:10 () in
+  let a = artifact_of s in
+  let file = Serving.Store.save ~root a in
+  let ic = open_in_bin file in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  let buf = Bytes.of_string content in
+  Bytes.set buf (len - 5) (Char.chr (Char.code (Bytes.get buf (len - 5)) lxor 1));
+  let oc = open_out_bin file in
+  output_bytes oc buf;
+  close_out oc;
+  (match Serving.Store.verify ~root meta with
+  | Ok () -> Alcotest.fail "tampered artifact verified"
+  | Error _ -> ());
+  match Serving.Store.list ~root with
+  | [ e ] -> check_bool "listed as corrupt" true (Result.is_error e.status)
+  | es -> Alcotest.failf "expected 1 entry, got %d" (List.length es)
+
+(* ------------------------------------------------------------------ *)
+(* Predictor                                                           *)
+
+let test_blocked_design_matrix_matches () =
+  List.iter
+    (fun basis ->
+      let r = Polybasis.Basis.dim basis in
+      let xs = Stats.Sampling.monte_carlo rng ~k:17 ~r in
+      let direct = Polybasis.Basis.design_matrix basis xs in
+      let blocked = Polybasis.Basis.design_matrix_blocked basis xs in
+      check_int "rows" (Linalg.Mat.rows direct) (Linalg.Mat.rows blocked);
+      for i = 0 to Linalg.Mat.rows direct - 1 do
+        check_bool "row bit-identical" true
+          (Array.for_all2 Float.equal (Linalg.Mat.row direct i)
+             (Linalg.Mat.row blocked i))
+      done)
+    [
+      Polybasis.Basis.linear 12;
+      Polybasis.Basis.quadratic_diagonal 8;
+      Polybasis.Basis.total_degree ~r:4 ~d:5;
+    ]
+
+let test_predictor_mean_matches_basis () =
+  let s = make_synth () in
+  let a = artifact_of s in
+  let p = Serving.Predictor.of_artifact a in
+  let q = queries s 11 in
+  let means = Serving.Predictor.predict p q in
+  for i = 0 to 10 do
+    let expected =
+      Polybasis.Basis.predict s.basis ~coeffs:a.coeffs (Linalg.Mat.row q i)
+    in
+    Alcotest.(check (float 1e-12)) "mean" expected means.(i)
+  done
+
+let test_predictor_variance_matches_posterior () =
+  let s = make_synth ~k:30 ~r:15 () in
+  let a = artifact_of s in
+  let p = Serving.Predictor.of_artifact a in
+  let post =
+    Bmf.Posterior.compute ~sigma0_sq:a.sigma0_sq ~g:s.g ~f:s.f ~prior:s.prior
+      ~hyper:s.hyper ()
+  in
+  let q = queries s 9 in
+  for i = 0 to 8 do
+    let x = Linalg.Mat.row q i in
+    let row = Polybasis.Basis.eval_row s.basis x in
+    let mean_post, std_post = Bmf.Posterior.predict post row in
+    let mean_srv, std_srv = Serving.Predictor.predict_point_with_std p x in
+    check_bool "mean close" true (Float.abs (mean_srv -. mean_post) < 1e-8);
+    check_bool "std close" true
+      (Float.abs (std_srv -. std_post) < 1e-6 *. Float.max 1. std_post)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Incremental updates                                                 *)
+
+let test_incremental_matches_cold_refit () =
+  let s = make_synth ~k:60 ~r:30 () in
+  let a = artifact_of s in
+  let k_new = 25 in
+  let r = Polybasis.Basis.dim s.basis in
+  let xs_new = Stats.Sampling.monte_carlo rng ~k:k_new ~r in
+  let g_new = Polybasis.Basis.design_matrix s.basis xs_new in
+  let f_new =
+    Array.init k_new (fun i ->
+        Linalg.Vec.dot (Linalg.Mat.row g_new i) s.truth
+        +. (0.01 *. Stats.Rng.gaussian rng))
+  in
+  let upd = Serving.Incremental.of_artifact a in
+  Serving.Incremental.add_batch upd ~xs:xs_new ~f:f_new;
+  check_int "sample count" (60 + k_new) (Serving.Incremental.num_samples upd);
+  let incremental = Serving.Incremental.coeffs upd in
+  let m = Polybasis.Basis.size s.basis in
+  let g_full =
+    Linalg.Mat.init (60 + k_new) m (fun i j ->
+        if i < 60 then Linalg.Mat.get s.g i j
+        else Linalg.Mat.get g_new (i - 60) j)
+  in
+  let f_full = Array.append s.f f_new in
+  let cold =
+    Bmf.Map_solver.solve ~solver:Bmf.Map_solver.Fast_woodbury ~g:g_full
+      ~f:f_full ~prior:s.prior ~hyper:s.hyper ()
+  in
+  let err = Linalg.Vec.norm_inf (Linalg.Vec.sub incremental cold) in
+  check_bool
+    (Printf.sprintf "incremental = cold refit (err %.3g)" err)
+    true (err <= 1e-8)
+
+let test_incremental_single_points () =
+  let s = make_synth ~k:20 ~r:10 () in
+  let a = artifact_of s in
+  let upd = Serving.Incremental.of_artifact a in
+  let r = Polybasis.Basis.dim s.basis in
+  for _ = 1 to 5 do
+    let x = Stats.Rng.gaussian_vec rng r in
+    let value = Linalg.Vec.dot (Polybasis.Basis.eval_row s.basis x) s.truth in
+    Serving.Incremental.add_point upd ~x ~value
+  done;
+  check_int "count" 25 (Serving.Incremental.num_samples upd);
+  (* no-new-data coeffs must equal the stored fit exactly *)
+  let fresh = Serving.Incremental.of_artifact a in
+  let replay = Serving.Incremental.coeffs fresh in
+  let err = Linalg.Vec.norm_inf (Linalg.Vec.sub replay a.coeffs) in
+  check_bool "replayed coeffs match stored" true (err <= 1e-10)
+
+let test_incremental_to_artifact_roundtrip () =
+  with_temp_root @@ fun root ->
+  let s = make_synth ~k:30 ~r:15 () in
+  let a = artifact_of s in
+  ignore (Serving.Store.save ~root a);
+  let r = Polybasis.Basis.dim s.basis in
+  let xs_new = Stats.Sampling.monte_carlo rng ~k:10 ~r in
+  let f_new =
+    Array.init 10 (fun i ->
+        Linalg.Vec.dot
+          (Polybasis.Basis.eval_row s.basis (Linalg.Mat.row xs_new i))
+          s.truth)
+  in
+  let upd = Serving.Incremental.of_artifact a in
+  Serving.Incremental.add_batch upd ~xs:xs_new ~f:f_new;
+  let updated = Serving.Incremental.to_artifact upd in
+  check_int "revision bumped" (a.rev + 1) updated.rev;
+  check_int "samples" 40 (Serving.Artifact.num_samples updated);
+  ignore (Serving.Store.save ~root updated);
+  match Serving.Store.load ~root meta with
+  | Error e -> Alcotest.failf "reload failed: %s" e
+  | Ok b ->
+      check_int "stored revision" updated.rev b.rev;
+      (* the reloaded updater continues from the updated posterior:
+         coeffs replay exactly *)
+      let replay = Serving.Incremental.coeffs (Serving.Incremental.of_artifact b) in
+      let err =
+        Linalg.Vec.norm_inf (Linalg.Vec.sub replay updated.coeffs)
+      in
+      check_bool "updated posterior survives store" true (err <= 1e-10)
+
+let test_incremental_rejects_bad_rows () =
+  let s = make_synth ~k:20 ~r:10 () in
+  let upd = Serving.Incremental.of_artifact (artifact_of s) in
+  check_bool "length mismatch rejected" true
+    (try
+       Serving.Incremental.add_row upd ~row:[| 1.; 2. |] ~value:0.;
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "serving"
+    [
+      ( "artifact",
+        [
+          Alcotest.test_case "of_fit = solver" `Quick
+            test_of_fit_matches_solver;
+          Alcotest.test_case "json round-trip" `Quick test_roundtrip_json;
+          Alcotest.test_case "binary round-trip" `Quick test_roundtrip_binary;
+          Alcotest.test_case "binary corruption" `Quick
+            test_binary_corruption_detected;
+          Alcotest.test_case "json corruption" `Quick
+            test_json_corruption_detected;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "save/load/list" `Quick test_store_save_load_list;
+          Alcotest.test_case "tamper detection" `Quick
+            test_store_detects_tampering;
+        ] );
+      ( "predictor",
+        [
+          Alcotest.test_case "blocked design matrix" `Quick
+            test_blocked_design_matrix_matches;
+          Alcotest.test_case "means" `Quick test_predictor_mean_matches_basis;
+          Alcotest.test_case "variance = posterior" `Quick
+            test_predictor_variance_matches_posterior;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "matches cold refit" `Quick
+            test_incremental_matches_cold_refit;
+          Alcotest.test_case "single points" `Quick
+            test_incremental_single_points;
+          Alcotest.test_case "store round-trip" `Quick
+            test_incremental_to_artifact_roundtrip;
+          Alcotest.test_case "rejects bad rows" `Quick
+            test_incremental_rejects_bad_rows;
+        ] );
+    ]
