@@ -3,7 +3,12 @@
    fitting kernels behind each of them.
 
    Scale is selected by the BMF_BENCH_SCALE environment variable or a
-   command-line argument: "quick" | "default" | "paper". *)
+   command-line argument: "quick" | "default" | "paper".
+
+   Besides the human-readable report, the run ends by writing a
+   machine-readable summary — section wall-clock timings, Bechamel
+   per-run estimates and the full metrics registry — as JSON to
+   $BMF_BENCH_JSON (default "bench-summary.json"). *)
 
 let scale_of_string s =
   match Experiments.Config.of_scale_name s with
@@ -12,6 +17,8 @@ let scale_of_string s =
       Printf.eprintf "unknown scale %S (want %s)\n" s
         (String.concat "|" Experiments.Config.scale_names);
       exit 2
+
+let scale_name = ref "default"
 
 let config () =
   let from_env = Sys.getenv_opt "BMF_BENCH_SCALE" in
@@ -22,6 +29,7 @@ let config () =
     | None, Some s -> s
     | None, None -> "default"
   in
+  scale_name := scale;
   Printf.printf "bench scale: %s\n%!" scale;
   scale_of_string scale
 
@@ -31,11 +39,15 @@ let section title =
   Printf.printf "\n%s\n%s\n%s\n%!" (String.make 72 '=') title
     (String.make 72 '=')
 
+(* (section name, wall-clock seconds), accumulated for the summary. *)
+let section_timings : (string * float) list ref = ref []
+
 let timed name f =
   let t0 = Unix.gettimeofday () in
   let out = f () in
-  Printf.printf "%s\n[%s regenerated in %.1f s]\n%!" out name
-    (Unix.gettimeofday () -. t0);
+  let seconds = Unix.gettimeofday () -. t0 in
+  section_timings := (name, seconds) :: !section_timings;
+  Printf.printf "%s\n[%s regenerated in %.1f s]\n%!" out name seconds;
   out
 
 (* ------------------------------------------------------------------ *)
@@ -202,6 +214,7 @@ let run_bechamel tests =
     List.map (fun instance -> Analyze.all ols instance raw) instances
   in
   let merged = Analyze.merge ols instances results in
+  let estimates = ref [] in
   Printf.printf "%-40s %16s\n" "benchmark" "time/run";
   Hashtbl.iter
     (fun measure tbl ->
@@ -211,6 +224,7 @@ let run_bechamel tests =
         |> List.iter (fun (name, ols) ->
                match Analyze.OLS.estimates ols with
                | Some [ est ] ->
+                   estimates := (name, est) :: !estimates;
                    let value, unit_ =
                      if est >= 1e9 then (est /. 1e9, "s")
                      else if est >= 1e6 then (est /. 1e6, "ms")
@@ -219,12 +233,78 @@ let run_bechamel tests =
                    in
                    Printf.printf "%-40s %13.2f %s\n" name value unit_
                | _ -> Printf.printf "%-40s %16s\n" name "n/a"))
-    merged
+    merged;
+  List.rev !estimates
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable summary: BENCH_SUMMARY line + JSON file.          *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let summary_json ~total_seconds ~microbench =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"bench\":\"bmf\",\"scale\":\"%s\",\"total_seconds\":%.3f"
+       (json_escape !scale_name) total_seconds);
+  Buffer.add_string buf ",\"sections\":[";
+  List.iteri
+    (fun i (name, seconds) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"name\":\"%s\",\"seconds\":%.6f}" (json_escape name)
+           seconds))
+    (List.rev !section_timings);
+  Buffer.add_string buf "],\"microbench_ns_per_run\":[";
+  List.iteri
+    (fun i (name, ns) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"name\":\"%s\",\"ns\":%.3f}" (json_escape name) ns))
+    microbench;
+  (* the metrics registry as recorded over the whole run (collection is
+     enabled for the duration of main); Metrics.to_json is already a
+     JSON document, spliced in verbatim *)
+  Buffer.add_string buf "],\"metrics\":";
+  Buffer.add_string buf (Obs.Metrics.to_json ());
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let write_summary ~total_seconds ~microbench =
+  let path =
+    match Sys.getenv_opt "BMF_BENCH_JSON" with
+    | Some p -> p
+    | None -> "bench-summary.json"
+  in
+  let json = summary_json ~total_seconds ~microbench in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc json;
+      output_char oc '\n');
+  Printf.printf "BENCH_SUMMARY sections=%d microbench=%d total=%.1fs -> %s\n"
+    (List.length !section_timings) (List.length microbench) total_seconds path
 
 (* ------------------------------------------------------------------ *)
 
 let () =
   let cfg = config () in
+  let t_start = Unix.gettimeofday () in
+  (* metrics on for the whole run so the summary carries solver counters,
+     condition gauges and latency histograms for every regeneration *)
+  Obs.Metrics.enable ();
   Format.printf "config: %a@." Experiments.Config.pp cfg;
 
   section "Figures 1-3: prior illustrations and RO schematic";
@@ -271,7 +351,11 @@ let () =
   ignore (timed "serving" (fun () -> serving_table cfg; ""));
 
   section "Bechamel micro-benchmarks (kernels behind each artifact)";
-  run_bechamel (bechamel_tests cfg @ serving_bechamel_tests cfg);
+  let microbench =
+    run_bechamel (bechamel_tests cfg @ serving_bechamel_tests cfg)
+  in
 
+  Obs.Metrics.disable ();
   print_newline ();
+  write_summary ~total_seconds:(Unix.gettimeofday () -. t_start) ~microbench;
   print_endline "bench: all tables and figures regenerated."

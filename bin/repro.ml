@@ -11,7 +11,13 @@
      repro fit            fit a model and persist it as an artifact
      repro predict        serve predictions from a stored artifact
      repro update         fold new samples in without a full refit
-     repro models         list and verify the artifact registry *)
+     repro models         list and verify the artifact registry
+     repro stats          instrumented fit: numerical health + metrics
+
+   `fit`, `predict` and `update` accept --trace FILE (Chrome
+   trace-event JSON, opens in chrome://tracing or Perfetto) and
+   --metrics FILE (Prometheus text exposition); without the flags the
+   observability layer stays off and records nothing. *)
 
 open Cmdliner
 
@@ -63,6 +69,64 @@ let build_config (scale_name, scale) repeats seed =
 let progress_of verbose =
   if verbose then fun msg -> Printf.eprintf "  .. %s\n%!" msg
   else fun (_ : string) -> ()
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a Chrome trace-event JSON trace of this run to $(docv) \
+           (open in chrome://tracing or ui.perfetto.dev).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write a Prometheus text-format metrics dump of this run to \
+           $(docv).")
+
+(* Turn the observability sinks on for the duration of one command and
+   write the requested files on the way out — also when the command
+   raises, so a failing run still leaves its trace behind. With neither
+   flag this is exactly [f ()]: the sinks stay off and the instrumented
+   libraries record nothing. *)
+let with_obs ~trace ~metrics name f =
+  if trace = None && metrics = None then f ()
+  else begin
+    if trace <> None then Obs.Trace.start ();
+    if metrics <> None then Obs.Metrics.enable ();
+    let finish () =
+      Obs.Trace.stop ();
+      Obs.Metrics.disable ();
+      Option.iter
+        (fun file ->
+          Obs.Trace.write_file file;
+          let spans, instants =
+            List.fold_left
+              (fun (s, i) ev ->
+                match ev with
+                | Obs.Trace.Complete _ -> (s + 1, i)
+                | Obs.Trace.Instant _ -> (s, i + 1))
+              (0, 0) (Obs.Trace.events ())
+          in
+          Printf.eprintf "trace: %d spans, %d instants -> %s\n%!" spans
+            instants file)
+        trace;
+      Option.iter
+        (fun file ->
+          let oc = open_out file in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> output_string oc (Obs.Metrics.to_prometheus ()));
+          Printf.eprintf "metrics: -> %s\n%!" file)
+        metrics
+    in
+    Fun.protect ~finally:finish (fun () ->
+        Obs.Trace.with_span ~cat:"cli" name (fun _ -> f ()))
+  end
 
 let common_named =
   Term.(const build_config $ scale_arg $ repeats_arg $ seed_arg)
@@ -338,7 +402,8 @@ let fit_samples_arg =
         ~doc:"Number of late-stage training samples.")
 
 let run_fit (scale_name, (cfg : Experiments.Config.t)) verbose circuit
-    metric_opt k dir json =
+    metric_opt k dir json trace metrics =
+  with_obs ~trace ~metrics "repro_fit" @@ fun () ->
   let progress = progress_of verbose in
   let tb = testbench_of cfg circuit in
   let metric = resolve_metric tb metric_opt in
@@ -378,10 +443,11 @@ let fit_cmd =
   Cmd.v (Cmd.info "fit" ~doc)
     Term.(
       const run_fit $ common_named $ verbose_arg $ circuit_arg $ metric_arg
-      $ fit_samples_arg $ dir_arg $ json_arg)
+      $ fit_samples_arg $ dir_arg $ json_arg $ trace_arg $ metrics_arg)
 
 let run_predict (scale_name, (cfg : Experiments.Config.t)) _verbose circuit
-    metric_opt dir =
+    metric_opt dir trace metrics =
+  with_obs ~trace ~metrics "repro_predict" @@ fun () ->
   let tb = testbench_of cfg circuit in
   let metric = resolve_metric tb metric_opt in
   let meta =
@@ -411,7 +477,7 @@ let predict_cmd =
   Cmd.v (Cmd.info "predict" ~doc)
     Term.(
       const run_predict $ common_named $ verbose_arg $ circuit_arg
-      $ metric_arg $ dir_arg)
+      $ metric_arg $ dir_arg $ trace_arg $ metrics_arg)
 
 let update_samples_arg =
   Arg.(
@@ -427,7 +493,8 @@ let no_check_arg =
         ~doc:"Skip the cold-refit cross-check (and its timing).")
 
 let run_update (scale_name, (cfg : Experiments.Config.t)) verbose circuit
-    metric_opt k_new dir no_check =
+    metric_opt k_new dir no_check trace metrics =
+  with_obs ~trace ~metrics "repro_update" @@ fun () ->
   let progress = progress_of verbose in
   let tb = testbench_of cfg circuit in
   let metric = resolve_metric tb metric_opt in
@@ -516,11 +583,21 @@ let update_cmd =
   Cmd.v (Cmd.info "update" ~doc)
     Term.(
       const run_update $ common_named $ verbose_arg $ circuit_arg $ metric_arg
-      $ update_samples_arg $ dir_arg $ no_check_arg)
+      $ update_samples_arg $ dir_arg $ no_check_arg $ trace_arg $ metrics_arg)
+
+let human_bytes n =
+  if n >= 1_048_576 then Printf.sprintf "%.1f MiB" (float_of_int n /. 1048576.)
+  else if n >= 1024 then Printf.sprintf "%.1f KiB" (float_of_int n /. 1024.)
+  else Printf.sprintf "%d B" n
 
 let run_models dir =
   let root = root_of dir in
-  match Serving.Store.list ~root with
+  (* collection on: the listing's store reads feed the bmf_store_*
+     counters that produce the summary line *)
+  Obs.Metrics.enable ();
+  let entries = Serving.Store.list ~root in
+  Obs.Metrics.disable ();
+  match entries with
   | [] -> Printf.printf "no artifacts under %s\n" root
   | entries ->
       Printf.printf "artifacts under %s:\n" root;
@@ -528,16 +605,131 @@ let run_models dir =
         (fun (e : Serving.Store.entry) ->
           match e.status with
           | Ok a ->
-              Printf.printf "  %-48s ok       %s\n" (Filename.basename e.file)
-                (describe a)
+              Printf.printf "  %-48s %9s  verified %6.2f ms  %s\n"
+                (Filename.basename e.file) (human_bytes e.bytes)
+                (1e3 *. e.verify_seconds) (describe a)
           | Error msg ->
-              Printf.printf "  %-48s CORRUPT  %s\n" (Filename.basename e.file)
-                msg)
-        entries
+              Printf.printf "  %-48s %9s  CORRUPT  %s\n"
+                (Filename.basename e.file) (human_bytes e.bytes) msg)
+        entries;
+      let counter_total name =
+        match Obs.Metrics.find_counter name with
+        | Some c -> Obs.Metrics.counter_value c
+        | None -> 0.
+      in
+      Printf.printf "%d artifact(s), %s read, %.0f load(s), %.0f corrupt\n"
+        (List.length entries)
+        (human_bytes (int_of_float (counter_total "bmf_store_bytes_read_total")))
+        (counter_total "bmf_store_loads_total")
+        (counter_total "bmf_store_corrupt_total")
 
 let models_cmd =
-  let doc = "List the artifact registry and verify every checksum." in
+  let doc =
+    "List the artifact registry: per-entry on-disk size, checksum \
+     verification status and verification time, plus store I/O totals."
+  in
   Cmd.v (Cmd.info "models" ~doc) Term.(const run_models $ dir_arg)
+
+(* ------------------------------------------------------------------ *)
+(* `repro stats`: one fully instrumented fit + batch predict, followed
+   by the numerical-health readout and the metrics exposition. *)
+
+let gauge_line label name =
+  match Obs.Metrics.find_gauge name with
+  | Some g when Obs.Metrics.gauge_is_set g ->
+      Printf.printf "  %-28s %.6g\n" label (Obs.Metrics.gauge_value g)
+  | _ -> Printf.printf "  %-28s (not recorded)\n" label
+
+let run_stats (scale_name, (cfg : Experiments.Config.t)) verbose circuit
+    metric_opt k trace metrics =
+  let progress = progress_of verbose in
+  let tb = testbench_of cfg circuit in
+  let metric = resolve_metric tb metric_opt in
+  Obs.Trace.start ();
+  Obs.Metrics.enable ();
+  let artifact =
+    Obs.Trace.with_span ~cat:"cli" "repro_stats" @@ fun _ ->
+    progress "fitting early-stage model (prior)";
+    let prep = Experiments.Runner.prepare cfg tb ~metric in
+    let rng = Stats.Rng.create (cfg.seed + 211 + (metric * 613)) in
+    let xs, f =
+      Circuit.Testbench.draw_dataset tb ~stage:Circuit.Stage.Layout ~metric
+        ~rng ~k ()
+    in
+    let g = Polybasis.Basis.design_matrix prep.late_basis xs in
+    progress (Printf.sprintf "fusing %d late-stage samples (BMF-PS)" k);
+    let config = { Bmf.Fusion.default_config with cv_folds = cfg.cv_folds } in
+    let fitted =
+      Bmf.Fusion.fit_design ~rng ~config ~early:prep.early ~g ~f
+        Bmf.Fusion.Bmf_ps
+    in
+    let meta =
+      {
+        Serving.Artifact.circuit;
+        metric = tb.metrics.(metric);
+        scale = scale_name;
+        seed = cfg.seed;
+      }
+    in
+    let artifact =
+      Serving.Artifact.of_fit ~meta ~basis:prep.late_basis ~prior:fitted.prior
+        ~hyper:fitted.hyper ~cv_error:fitted.cv_error ~g ~f ()
+    in
+    let pred = Serving.Predictor.of_artifact artifact in
+    ignore (Serving.Predictor.predict_with_std pred (query_points artifact));
+    artifact
+  in
+  Obs.Trace.stop ();
+  Obs.Metrics.disable ();
+  Printf.printf "instrumented fit: %s\n\n" (describe artifact);
+  Printf.printf "numerical health:\n";
+  gauge_line "samples (K)" "bmf_fit_samples";
+  gauge_line "basis terms (M)" "bmf_fit_terms";
+  gauge_line "prior nonzero mean" "bmf_fit_prior_nonzero_mean";
+  gauge_line "selected hyper" "bmf_fit_hyper";
+  gauge_line "cv error" "bmf_fit_cv_error";
+  gauge_line "cv residual norm" "bmf_cv_residual_norm";
+  gauge_line "woodbury core cond est" "bmf_fit_woodbury_cond";
+  gauge_line "cholesky cond est" "bmf_fit_cholesky_cond";
+  gauge_line "min cholesky pivot" "bmf_map_solve_pivot_min";
+  gauge_line "train residual norm" "bmf_fit_train_residual_norm";
+  gauge_line "train residual (rel)" "bmf_fit_train_residual_rel";
+  let spans, instants =
+    List.fold_left
+      (fun (s, i) ev ->
+        match ev with
+        | Obs.Trace.Complete _ -> (s + 1, i)
+        | Obs.Trace.Instant _ -> (s, i + 1))
+      (0, 0) (Obs.Trace.events ())
+  in
+  Printf.printf "\ntrace: %d spans, %d instants recorded\n" spans instants;
+  Option.iter
+    (fun file ->
+      Obs.Trace.write_file file;
+      Printf.printf "trace written to %s\n" file)
+    trace;
+  let exposition = Obs.Metrics.to_prometheus () in
+  Option.iter
+    (fun file ->
+      let oc = open_out file in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc exposition);
+      Printf.printf "metrics written to %s\n" file)
+    metrics;
+  Printf.printf "\nmetrics:\n%s" exposition
+
+let stats_cmd =
+  let doc =
+    "Run one fully instrumented BMF-PS fit and batch predict (nothing is \
+     persisted), then print the numerical-health telemetry — condition \
+     estimates, Cholesky pivots, residual norms, prior-selection outcome \
+     — and the full Prometheus metrics exposition."
+  in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(
+      const run_stats $ common_named $ verbose_arg $ circuit_arg $ metric_arg
+      $ fit_samples_arg $ trace_arg $ metrics_arg)
 
 let () =
   let doc =
@@ -559,4 +751,5 @@ let () =
             predict_cmd;
             update_cmd;
             models_cmd;
+            stats_cmd;
           ]))

@@ -21,6 +21,46 @@ type fitted = {
   cv_error : float;
 }
 
+(* Fit-time numerical health: prior-selection outcome, chosen
+   hyperparameter, problem shape and training residual. All recording is
+   gated on [Obs.live] — the extra residual GEMV never runs on the
+   default path, and never feeds back into the fit. *)
+let m_fit_samples =
+  Obs.Metrics.gauge ~help:"Late-stage sample count K of the last fit"
+    "bmf_fit_samples"
+
+let m_fit_terms =
+  Obs.Metrics.gauge ~help:"Basis size M of the last fit" "bmf_fit_terms"
+
+let m_fit_hyper =
+  Obs.Metrics.gauge ~help:"Selected hyperparameter of the last fit"
+    "bmf_fit_hyper"
+
+let m_fit_cv_error =
+  Obs.Metrics.gauge ~help:"CV error of the last fit" "bmf_fit_cv_error"
+
+let m_fit_nonzero_mean =
+  Obs.Metrics.gauge
+    ~help:"1 when the last fit selected the nonzero-mean prior, else 0"
+    "bmf_fit_prior_nonzero_mean"
+
+let m_fit_residual =
+  Obs.Metrics.gauge
+    ~help:"Training residual norm |f - G alpha| of the last fit"
+    "bmf_fit_train_residual_norm"
+
+let m_fit_residual_rel =
+  Obs.Metrics.gauge
+    ~help:"Relative training residual |f - G alpha| / |f| of the last fit"
+    "bmf_fit_train_residual_rel"
+
+let m_fit_seconds =
+  Obs.Metrics.histogram ~help:"End-to-end fit latency (seconds)"
+    "bmf_fit_seconds"
+
+let m_fits =
+  Obs.Metrics.counter ~help:"BMF fits performed" "bmf_fits_total"
+
 let select_for_prior ?rng ~config ~g ~f prior =
   let hyper, cv_error =
     Hyper.select ?rng ?solver:config.solver ~folds:config.cv_folds
@@ -31,6 +71,12 @@ let select_for_prior ?rng ~config ~g ~f prior =
 let fit_design ?rng ?(config = default_config) ~early ~g ~f method_ =
   if Array.length early <> Linalg.Mat.cols g then
     invalid_arg "Fusion.fit_design: early coefficient length mismatch";
+  Obs.Trace.with_span ~cat:"core" "bmf_fit" @@ fun sp ->
+  let k, m = Linalg.Mat.dims g in
+  Obs.Trace.set_attr sp "method" (Obs.Trace.Str (method_name method_));
+  Obs.Trace.set_attr sp "samples" (Obs.Trace.Int k);
+  Obs.Trace.set_attr sp "terms" (Obs.Trace.Int m);
+  let t0 = if Obs.live () then Obs.Clock.now_s () else 0. in
   let choices =
     match method_ with
     | Bmf_zm -> [ Prior.zero_mean early ]
@@ -52,6 +98,28 @@ let fit_design ?rng ?(config = default_config) ~early ~g ~f method_ =
   let coeffs =
     Map_solver.solve ?solver:config.solver ~g ~f ~prior ~hyper ()
   in
+  if Obs.live () then begin
+    let kind = prior.Prior.kind in
+    let kind_name = Prior.kind_name kind in
+    let nonzero = match kind with Prior.Nonzero_mean -> 1. | _ -> 0. in
+    let resid = Linalg.Vec.sub f (Linalg.Mat.gemv g coeffs) in
+    let rnorm = Linalg.Vec.nrm2 resid in
+    let fnorm = Linalg.Vec.nrm2 f in
+    Obs.Trace.set_attr sp "prior_kind" (Obs.Trace.Str kind_name);
+    Obs.Trace.set_attr sp "hyper" (Obs.Trace.Float hyper);
+    Obs.Trace.set_attr sp "cv_error" (Obs.Trace.Float cv_error);
+    Obs.Trace.set_attr sp "train_residual_norm" (Obs.Trace.Float rnorm);
+    Obs.Metrics.set m_fit_samples (float_of_int k);
+    Obs.Metrics.set m_fit_terms (float_of_int m);
+    Obs.Metrics.set m_fit_hyper hyper;
+    Obs.Metrics.set m_fit_cv_error cv_error;
+    Obs.Metrics.set m_fit_nonzero_mean nonzero;
+    Obs.Metrics.set m_fit_residual rnorm;
+    Obs.Metrics.set m_fit_residual_rel
+      (if fnorm > 0. then rnorm /. fnorm else rnorm);
+    Obs.Metrics.observe m_fit_seconds (Obs.Clock.now_s () -. t0);
+    Obs.Metrics.inc m_fits
+  end;
   { coeffs; prior; prior_kind = prior.Prior.kind; hyper; cv_error }
 
 let chain ?rng ?config ~early stages method_ =

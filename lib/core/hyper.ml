@@ -1,5 +1,26 @@
 type grid = float list
 
+let m_cv_candidates =
+  Obs.Metrics.counter ~help:"Hyperparameter candidates evaluated in CV"
+    "bmf_cv_candidates_total"
+
+let m_cv_folds =
+  Obs.Metrics.counter ~help:"Cross-validation folds evaluated"
+    "bmf_cv_folds_total"
+
+let m_cv_best_error =
+  Obs.Metrics.gauge ~help:"CV error of the last selected hyperparameter"
+    "bmf_cv_best_error"
+
+let m_cv_selected =
+  Obs.Metrics.gauge ~help:"Last selected hyperparameter value"
+    "bmf_cv_selected_hyper"
+
+let m_cv_residual =
+  Obs.Metrics.gauge
+    ~help:"Prior-residual norm of the last cross-validated training set"
+    "bmf_cv_residual_norm"
+
 let prior_residual ~g ~f ~(prior : Prior.t) =
   if Array.for_all (fun x -> x = 0.) prior.means then f
   else Linalg.Vec.sub f (Linalg.Mat.gemv g prior.means)
@@ -88,8 +109,23 @@ let cv_errors ?rng ?(solver = Map_solver.Fast_woodbury) ~folds ~g ~f ~prior
   let folds = Stdlib.min folds k in
   let fold_list = Stats.Crossval.folds ?shuffle:rng ~n:folds ~size:k () in
   let err_acc = Array.make (List.length candidates) 0. in
-  List.iter
-    (fun { Stats.Crossval.train; test } ->
+  Obs.Trace.with_span ~cat:"core" "hyper_cv" @@ fun cv_sp ->
+  Obs.Trace.set_attr cv_sp "folds" (Obs.Trace.Int folds);
+  Obs.Trace.set_attr cv_sp "candidates"
+    (Obs.Trace.Int (List.length candidates));
+  Obs.Trace.set_attr cv_sp "samples" (Obs.Trace.Int k);
+  if Obs.live () then
+    Obs.Metrics.set m_cv_residual
+      (Linalg.Vec.nrm2 (prior_residual ~g ~f ~prior));
+  List.iteri
+    (fun fi { Stats.Crossval.train; test } ->
+      Obs.Trace.with_span ~cat:"core" "cv_fold" @@ fun sp ->
+      Obs.Trace.set_attr sp "fold" (Obs.Trace.Int fi);
+      Obs.Trace.set_attr sp "train" (Obs.Trace.Int (Array.length train));
+      Obs.Trace.set_attr sp "test" (Obs.Trace.Int (Array.length test));
+      Obs.Metrics.inc m_cv_folds;
+      Obs.Metrics.inc ~by:(float_of_int (List.length candidates))
+        m_cv_candidates;
       let gt = submatrix_rows g train and ft = subvector f train in
       let gv = submatrix_rows g test and fv = subvector f test in
       match solver with
@@ -113,10 +149,15 @@ let select ?rng ?solver ?(folds = 4) ?candidates ~g ~f ~prior () =
   match scored with
   | [] -> invalid_arg "Hyper.select: no candidates"
   | first :: rest ->
-      List.fold_left
-        (fun ((_, be) as best) ((_, e) as cur) ->
-          if e < be then cur else best)
-        first rest
+      let ((hyper, err) as best) =
+        List.fold_left
+          (fun ((_, be) as best) ((_, e) as cur) ->
+            if e < be then cur else best)
+          first rest
+      in
+      Obs.Metrics.set m_cv_selected hyper;
+      Obs.Metrics.set m_cv_best_error err;
+      best
 
 (* ------------------------------------------------------------------ *)
 (* Marginal-likelihood (evidence) selection — see the .mli note.       *)

@@ -4,6 +4,36 @@ let solver_name = function
   | Direct_cholesky -> "cholesky"
   | Fast_woodbury -> "fast-woodbury"
 
+(* Numerical-health telemetry, recorded only when a sink is live. The
+   gauges capture the conditioning of the last system each path solved:
+   the K x K Woodbury core for the fast path, the prior-scaled M x M
+   normal matrix for the direct path. *)
+let m_solve_seconds =
+  Obs.Metrics.histogram ~help:"MAP solve latency (seconds)"
+    "bmf_map_solve_seconds"
+
+let m_solves =
+  Obs.Metrics.counter ~help:"MAP solves performed" "bmf_map_solves_total"
+
+let m_woodbury_cond =
+  Obs.Metrics.gauge
+    ~help:"Condition estimate of the last Woodbury core solved at fit time"
+    "bmf_fit_woodbury_cond"
+
+let m_direct_cond =
+  Obs.Metrics.gauge
+    ~help:"Condition estimate of the last direct (Cholesky) MAP system"
+    "bmf_fit_cholesky_cond"
+
+let m_pivot_min =
+  Obs.Metrics.gauge ~help:"Smallest Cholesky pivot of the last MAP solve"
+    "bmf_map_solve_pivot_min"
+
+(* Spans want the conditioning too, and the gauges only record when the
+   metrics sink is on — so the solvers also stash the last estimate here
+   for the enclosing span (trace-only runs included). *)
+let last_cond = ref nan
+
 let check ~g ~f ~weights ~means ~hyper =
   let k, m = Linalg.Mat.dims g in
   if Array.length f <> k then invalid_arg "Map_solver: sample count mismatch";
@@ -36,7 +66,13 @@ let solve_direct ~g ~f ~weights ~means ~hyper =
   let gram = Linalg.Mat.gram gs in
   let shifted = Linalg.Mat.add_diag gram (Array.make m hyper) in
   let rhs = Linalg.Mat.gemv_t gs r in
-  let gamma = Linalg.Cholesky.solve_system shifted rhs in
+  let fact = Linalg.Cholesky.factorize shifted in
+  if Obs.live () then begin
+    last_cond := Linalg.Cholesky.cond_estimate fact;
+    Obs.Metrics.set m_direct_cond !last_cond;
+    Obs.Metrics.set m_pivot_min (fst (Linalg.Cholesky.pivot_extrema fact))
+  end;
+  let gamma = Linalg.Cholesky.solve fact rhs in
   Array.init m (fun i -> means.(i) +. (s.(i) *. gamma.(i)))
 
 (* Fast path (eq. 53-58): the paper's low-rank identity, in the stable
@@ -50,15 +86,37 @@ let solve_fast ~g ~f ~weights ~means ~hyper =
   let w_inv = Array.map (fun w -> 1. /. w) weights in
   let core = Linalg.Mat.weighted_outer_gram g w_inv in
   let shifted = Linalg.Mat.add_diag core (Array.make k hyper) in
-  let v = Linalg.Cholesky.solve_system shifted r in
+  let fact = Linalg.Cholesky.factorize shifted in
+  if Obs.live () then begin
+    last_cond := Linalg.Cholesky.cond_estimate fact;
+    Obs.Metrics.set m_woodbury_cond !last_cond;
+    Obs.Metrics.set m_pivot_min (fst (Linalg.Cholesky.pivot_extrema fact))
+  end;
+  let v = Linalg.Cholesky.solve fact r in
   let gtv = Linalg.Mat.gemv_t g v in
   Array.init m (fun i -> means.(i) +. (w_inv.(i) *. gtv.(i)))
 
-let solve_raw ~solver ~g ~f ~weights ~means ~hyper =
-  check ~g ~f ~weights ~means ~hyper;
+let dispatch ~solver ~g ~f ~weights ~means ~hyper =
   match solver with
   | Direct_cholesky -> solve_direct ~g ~f ~weights ~means ~hyper
   | Fast_woodbury -> solve_fast ~g ~f ~weights ~means ~hyper
+
+let solve_raw ~solver ~g ~f ~weights ~means ~hyper =
+  check ~g ~f ~weights ~means ~hyper;
+  if not (Obs.live ()) then dispatch ~solver ~g ~f ~weights ~means ~hyper
+  else
+    Obs.Trace.with_span ~cat:"core" "map_solve" (fun sp ->
+        let k, m = Linalg.Mat.dims g in
+        Obs.Trace.set_attr sp "solver" (Obs.Trace.Str (solver_name solver));
+        Obs.Trace.set_attr sp "samples" (Obs.Trace.Int k);
+        Obs.Trace.set_attr sp "terms" (Obs.Trace.Int m);
+        Obs.Trace.set_attr sp "hyper" (Obs.Trace.Float hyper);
+        let t0 = Obs.Clock.now_s () in
+        let x = dispatch ~solver ~g ~f ~weights ~means ~hyper in
+        Obs.Metrics.observe m_solve_seconds (Obs.Clock.now_s () -. t0);
+        Obs.Metrics.inc m_solves;
+        Obs.Trace.set_attr sp "cond_estimate" (Obs.Trace.Float !last_cond);
+        x)
 
 let solve ?solver ~g ~f ~prior ~hyper () =
   let k, m = Linalg.Mat.dims g in

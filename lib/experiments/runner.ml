@@ -9,7 +9,24 @@ type prepared = {
   early_terms : int;
 }
 
-let nothing (_ : string) = ()
+(* Progress sink: every runner callback lands in the observability layer
+   (an instant trace event plus a counter) and is then forwarded to the
+   caller's callback. The default callback is silent, but the obs leg
+   still fires, so `--trace` captures experiment progress with no
+   verbosity flag. *)
+let m_progress =
+  Obs.Metrics.counter ~help:"Runner progress events emitted"
+    "bmf_runner_progress_total"
+
+let observe_progress msg =
+  Obs.Trace.instant ~cat:"runner" msg;
+  Obs.Metrics.inc m_progress
+
+let silent (_ : string) = ()
+
+let route progress msg =
+  observe_progress msg;
+  progress msg
 
 let prefix_rows g k =
   let _, m = Linalg.Mat.dims g in
@@ -106,8 +123,9 @@ let run_repeat ~progress ~(cfg : Config.t) ~(prep : prepared) ~methods ~rng
            rep k))
     cfg.sample_sizes
 
-let accuracy ?(progress = nothing) ?(methods = Methods.paper_methods)
+let accuracy ?(progress = silent) ?(methods = Methods.paper_methods)
     (cfg : Config.t) (prep : prepared) =
+  let progress = route progress in
   let n_sizes = List.length cfg.Config.sample_sizes in
   let n_methods = List.length methods in
   let errors = Array.init n_sizes (fun _ -> Array.make n_methods []) in
@@ -144,8 +162,9 @@ type cost_entry = {
   total_hours : float;
 }
 
-let cost_comparison ?(progress = nothing) (cfg : Config.t) tb ~metrics
+let cost_comparison ?(progress = silent) (cfg : Config.t) tb ~metrics
     ~omp_samples ~bmf_samples =
+  let progress = route progress in
   let entry method_ samples =
     let fit_seconds = ref 0. in
     let errors =
@@ -204,8 +223,9 @@ type solver_timing = {
   bmf_fast_seconds : float;
 }
 
-let solver_timings ?(progress = nothing) ?(with_direct = true)
+let solver_timings ?(progress = silent) ?(with_direct = true)
     (cfg : Config.t) (prep : prepared) =
+  let progress = route progress in
   let rng = Stats.Rng.create (cfg.Config.seed + 47 + prep.metric) in
   let k_max = List.fold_left Stdlib.max 1 cfg.sample_sizes in
   let xs_pool, f_pool =

@@ -49,7 +49,11 @@ val accuracy :
   prepared ->
   accuracy
 (** The Tables I-III / V experiment. [methods] defaults to the paper's
-    four. [progress] receives one line per (repeat, size). *)
+    four. [progress] receives one line per (repeat, size); every progress
+    line is also mirrored into the observability layer (an instant trace
+    event in category ["runner"] plus the [bmf_runner_progress_total]
+    counter), so traces capture experiment progress even when the
+    callback is the silent default. *)
 
 type cost_entry = {
   method_ : Methods.t;

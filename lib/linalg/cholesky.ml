@@ -2,11 +2,30 @@ exception Not_positive_definite of int
 
 type t = { l : Mat.t }
 
+(* Numerical-health metrics: registered once at module init, recorded
+   only when a sink is live — factorize runs inside CV inner loops, so
+   the off path must stay a couple of branches. *)
+let m_factorizations =
+  Obs.Metrics.counter ~help:"Cholesky factorizations performed"
+    "bmf_cholesky_factorizations_total"
+
+let m_not_spd =
+  Obs.Metrics.counter ~help:"Cholesky factorizations that lost positive definiteness"
+    "bmf_cholesky_not_spd_total"
+
+let m_pivot_min =
+  Obs.Metrics.gauge ~help:"Smallest diagonal pivot of the last Cholesky factor"
+    "bmf_cholesky_pivot_min"
+
+let m_seconds =
+  Obs.Metrics.histogram ~help:"Cholesky factorization latency (seconds)"
+    "bmf_cholesky_factorize_seconds"
+
 (* Row-oriented (Cholesky-Crout) factorization: for each row i we compute
    l_ij for j < i, then the diagonal pivot. Inner products walk rows of l,
    which are contiguous in the row-major layout, so we index the flat data
    array directly. *)
-let factorize a =
+let factorize_impl a =
   let n, c = Mat.dims a in
   if n <> c then invalid_arg "Cholesky.factorize: not square";
   let l = Mat.create n n in
@@ -34,6 +53,39 @@ let factorize a =
     Array.unsafe_set ld (ibase + i) (sqrt !acc)
   done;
   { l }
+
+let pivot_extrema f =
+  let n = Mat.rows f.l in
+  let mn = ref infinity and mx = ref neg_infinity in
+  for i = 0 to n - 1 do
+    let d = Mat.get f.l i i in
+    if d < !mn then mn := d;
+    if d > !mx then mx := d
+  done;
+  (!mn, !mx)
+
+(* Cheap 2-norm condition estimate of a = l l^T from the pivot spread:
+   (max_i l_ii / min_i l_ii)^2 lower-bounds cond_2(a) and tracks it well
+   for the diagonally-shifted Gram matrices solved here. *)
+let cond_estimate f =
+  let mn, mx = pivot_extrema f in
+  if mn <= 0. then infinity else (mx /. mn) ** 2.
+
+let factorize a =
+  if not (Obs.live ()) then factorize_impl a
+  else begin
+    let t0 = Obs.Clock.now_s () in
+    match factorize_impl a with
+    | f ->
+        Obs.Metrics.observe m_seconds (Obs.Clock.now_s () -. t0);
+        Obs.Metrics.inc m_factorizations;
+        let mn, _ = pivot_extrema f in
+        Obs.Metrics.set m_pivot_min mn;
+        f
+    | exception (Not_positive_definite _ as e) ->
+        Obs.Metrics.inc m_not_spd;
+        raise e
+  end
 
 let factor f = Mat.copy f.l
 

@@ -12,8 +12,17 @@ type t
 
 val factorize : Mat.t -> t
 (** Factorizes a symmetric positive-definite matrix. Only the lower triangle
-    (including the diagonal) of the input is read.
+    (including the diagonal) of the input is read. When an observability
+    sink is live ({!Obs.live}) each call records latency, a factorization
+    counter and the minimum pivot; the numerical path is unchanged.
     @raise Not_positive_definite if a pivot is [<= 0] or not finite. *)
+
+val pivot_extrema : t -> float * float
+(** [(min, max)] of the factor's diagonal pivots. *)
+
+val cond_estimate : t -> float
+(** Cheap 2-norm condition estimate of [a = l l^T] from the pivot spread,
+    [(max pivot / min pivot)^2] — a lower bound on [cond_2 a]. *)
 
 val factor : t -> Mat.t
 (** The lower-triangular factor [l]. *)

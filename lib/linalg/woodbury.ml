@@ -4,6 +4,15 @@ type t = {
   small : Cholesky.t; (* k x k factor of s^-1 I + G D^-1 G^T *)
 }
 
+let m_cond =
+  Obs.Metrics.gauge
+    ~help:"Condition estimate of the last factorized Woodbury core"
+    "bmf_woodbury_cond"
+
+let m_solves =
+  Obs.Metrics.counter ~help:"Woodbury solves performed"
+    "bmf_woodbury_solves_total"
+
 let factorize ~d ~g ~scale =
   let k, m = Mat.dims g in
   if Array.length d <> m then
@@ -20,15 +29,21 @@ let factorize ~d ~g ~scale =
   (* s^-1 I + G D^-1 G^T, a k x k SPD matrix. *)
   let core = Mat.weighted_outer_gram g d_inv in
   let shifted = Mat.add_diag core (Array.make k (1. /. scale)) in
-  { d_inv; g; small = Cholesky.factorize shifted }
+  let small = Cholesky.factorize shifted in
+  if Obs.live () then
+    Obs.Metrics.set m_cond (Cholesky.cond_estimate small);
+  { d_inv; g; small }
 
 let dim f = Mat.cols f.g
 
 let rank f = Mat.rows f.g
 
+let cond_estimate f = Cholesky.cond_estimate f.small
+
 let solve f b =
   let m = Mat.cols f.g in
   if Array.length b <> m then invalid_arg "Woodbury.solve: length mismatch";
+  Obs.Metrics.inc m_solves;
   (* u = D^-1 b *)
   let u = Vec.mul f.d_inv b in
   (* w = (s^-1 I + G D^-1 G^T)^-1 (G u) *)

@@ -28,5 +28,9 @@ val dim : t -> int
 val rank : t -> int
 (** Rank [k] of the low-rank update (number of rows of [g]). *)
 
+val cond_estimate : t -> float
+(** {!Cholesky.cond_estimate} of the small core
+    [s^-1 I + G D^-1 G^T]. *)
+
 val solve_system : d:Vec.t -> g:Mat.t -> scale:float -> Vec.t -> Vec.t
 (** One-shot convenience: factorize then solve. *)

@@ -1,0 +1,18 @@
+let wall () = Unix.gettimeofday ()
+
+let source = ref wall
+
+let last = ref neg_infinity
+
+let now_s () =
+  let t = !source () in
+  if t > !last then last := t;
+  !last
+
+let now_us () = 1e6 *. now_s ()
+
+let set_source f =
+  source := f;
+  last := neg_infinity
+
+let reset_source () = set_source wall

@@ -1,0 +1,20 @@
+(** Time source for the observability layer.
+
+    Readings are guaranteed non-decreasing: the raw source (wall clock by
+    default — the platform has no monotonic clock binding) is clamped
+    against the last value handed out, so span durations are never
+    negative even across a wall-clock step. Tests install a deterministic
+    source with {!set_source}. *)
+
+val now_s : unit -> float
+(** Current time in seconds, monotone non-decreasing. *)
+
+val now_us : unit -> float
+(** Current time in microseconds (the unit of Chrome trace events). *)
+
+val set_source : (unit -> float) -> unit
+(** Replace the raw source (seconds). Resets the monotonic clamp so a
+    test clock may start from any origin. *)
+
+val reset_source : unit -> unit
+(** Restore the default wall-clock source. *)

@@ -1,0 +1,258 @@
+type payload =
+  | Counter of { mutable total : float }
+  | Gauge of { mutable value : float; mutable seen : bool }
+  | Hist of {
+      bounds : float array; (* strictly increasing upper bounds *)
+      counts : int array; (* length = Array.length bounds + 1; last = +Inf *)
+      mutable sum : float;
+      mutable count : int;
+    }
+
+type metric = { name : string; help : string; payload : payload }
+
+type counter = metric
+
+type gauge = metric
+
+type histogram = metric
+
+let on = ref false
+
+let enable () = on := true
+
+let disable () = on := false
+
+let enabled () = !on
+
+(* Registry: lookup table plus insertion order for stable exposition. *)
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let order : metric list ref = ref [] (* newest first *)
+
+let valid_name name =
+  String.length name > 0
+  && (match name.[0] with
+     | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+     | _ -> false)
+  && String.for_all
+       (fun c ->
+         match c with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+         | _ -> false)
+       name
+
+let kind_label = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Hist _ -> "histogram"
+
+let register name help payload =
+  match Hashtbl.find_opt registry name with
+  | Some m ->
+      if kind_label m.payload <> kind_label payload then
+        invalid_arg
+          (Printf.sprintf "Metrics: %s already registered as a %s" name
+             (kind_label m.payload));
+      m
+  | None ->
+      if not (valid_name name) then
+        invalid_arg (Printf.sprintf "Metrics: invalid metric name %S" name);
+      let m = { name; help; payload } in
+      Hashtbl.add registry name m;
+      order := m :: !order;
+      m
+
+let counter ?(help = "") name = register name help (Counter { total = 0. })
+
+let gauge ?(help = "") name = register name help (Gauge { value = 0.; seen = false })
+
+let latency_buckets =
+  [|
+    1e-6; 2.5e-6; 5e-6; 1e-5; 2.5e-5; 5e-5; 1e-4; 2.5e-4; 5e-4; 1e-3; 2.5e-3;
+    5e-3; 1e-2; 2.5e-2; 5e-2; 0.1; 0.25; 0.5; 1.; 2.5; 5.; 10.;
+  |]
+
+let histogram ?(help = "") ?(buckets = latency_buckets) name =
+  if Array.length buckets = 0 then
+    invalid_arg "Metrics.histogram: empty bucket list";
+  Array.iteri
+    (fun i b ->
+      if not (Float.is_finite b) then
+        invalid_arg "Metrics.histogram: non-finite bucket bound";
+      if i > 0 && b <= buckets.(i - 1) then
+        invalid_arg "Metrics.histogram: bounds must be strictly increasing")
+    buckets;
+  register name help
+    (Hist
+       {
+         bounds = Array.copy buckets;
+         counts = Array.make (Array.length buckets + 1) 0;
+         sum = 0.;
+         count = 0;
+       })
+
+let inc ?(by = 1.) m =
+  if !on then
+    match m.payload with Counter c -> c.total <- c.total +. by | _ -> ()
+
+let set m v =
+  if !on then
+    match m.payload with
+    | Gauge g ->
+        g.value <- v;
+        g.seen <- true
+    | _ -> ()
+
+let observe m v =
+  if !on then
+    match m.payload with
+    | Hist h ->
+        let n = Array.length h.bounds in
+        let i = ref 0 in
+        while !i < n && v > h.bounds.(!i) do
+          incr i
+        done;
+        h.counts.(!i) <- h.counts.(!i) + 1;
+        h.sum <- h.sum +. v;
+        h.count <- h.count + 1
+    | _ -> ()
+
+let time m f =
+  if not !on then f ()
+  else begin
+    let t0 = Clock.now_s () in
+    Fun.protect ~finally:(fun () -> observe m (Clock.now_s () -. t0)) f
+  end
+
+let counter_value m = match m.payload with Counter c -> c.total | _ -> 0.
+
+let gauge_value m = match m.payload with Gauge g -> g.value | _ -> 0.
+
+let gauge_is_set m = match m.payload with Gauge g -> g.seen | _ -> false
+
+let histogram_buckets m =
+  match m.payload with
+  | Hist h ->
+      Array.init
+        (Array.length h.counts)
+        (fun i ->
+          let bound =
+            if i < Array.length h.bounds then h.bounds.(i) else infinity
+          in
+          (bound, h.counts.(i)))
+  | _ -> [||]
+
+let histogram_sum m = match m.payload with Hist h -> h.sum | _ -> 0.
+
+let histogram_count m = match m.payload with Hist h -> h.count | _ -> 0
+
+let find_gauge name =
+  match Hashtbl.find_opt registry name with
+  | Some ({ payload = Gauge _; _ } as m) -> Some m
+  | _ -> None
+
+let find_counter name =
+  match Hashtbl.find_opt registry name with
+  | Some ({ payload = Counter _; _ } as m) -> Some m
+  | _ -> None
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m.payload with
+      | Counter c -> c.total <- 0.
+      | Gauge g ->
+          g.value <- 0.;
+          g.seen <- false
+      | Hist h ->
+          Array.fill h.counts 0 (Array.length h.counts) 0;
+          h.sum <- 0.;
+          h.count <- 0)
+    registry
+
+let all () = List.rev !order
+
+(* ------------------------------------------------------------------ *)
+(* Exposition. *)
+
+let fmt_float f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let to_prometheus () =
+  let buf = Buffer.create 2048 in
+  List.iter
+    (fun m ->
+      if m.help <> "" then
+        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" m.name m.help);
+      Buffer.add_string buf
+        (Printf.sprintf "# TYPE %s %s\n" m.name (kind_label m.payload));
+      (match m.payload with
+      | Counter c ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s %s\n" m.name (fmt_float c.total))
+      | Gauge g ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s %s\n" m.name (fmt_float g.value))
+      | Hist h ->
+          let cum = ref 0 in
+          Array.iteri
+            (fun i bound ->
+              cum := !cum + h.counts.(i);
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" m.name
+                   (fmt_float bound) !cum))
+            h.bounds;
+          cum := !cum + h.counts.(Array.length h.bounds);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" m.name !cum);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum %s\n" m.name (fmt_float h.sum));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count %d\n" m.name h.count)))
+    (all ());
+  Buffer.contents buf
+
+let json_num f =
+  if Float.is_finite f then Printf.sprintf "%.17g" f
+  else
+    Printf.sprintf "\"%s\""
+      (if Float.is_nan f then "nan" else if f > 0. then "inf" else "-inf")
+
+let to_json () =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\"metrics\":[";
+  List.iteri
+    (fun i m ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"name\":\"%s\",\"type\":\"%s\"," m.name
+           (kind_label m.payload));
+      (match m.payload with
+      | Counter c ->
+          Buffer.add_string buf
+            (Printf.sprintf "\"value\":%s" (json_num c.total))
+      | Gauge g ->
+          Buffer.add_string buf (Printf.sprintf "\"value\":%s" (json_num g.value))
+      | Hist h ->
+          Buffer.add_string buf "\"buckets\":[";
+          Array.iteri
+            (fun j bound ->
+              if j > 0 then Buffer.add_char buf ',';
+              Buffer.add_string buf
+                (Printf.sprintf "{\"le\":%s,\"count\":%d}"
+                   (if j < Array.length h.bounds then json_num bound
+                    else "\"inf\"")
+                   h.counts.(j)))
+            (Array.append h.bounds [| infinity |]);
+          Buffer.add_string buf
+            (Printf.sprintf "],\"sum\":%s,\"count\":%d" (json_num h.sum)
+               h.count));
+      Buffer.add_char buf '}')
+    (all ());
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

@@ -1,0 +1,77 @@
+(** Process-wide metrics registry: counters, gauges and cumulative
+    histograms with Prometheus text exposition and a JSON dump.
+
+    Metrics are registered once (typically at module initialization —
+    registering an existing name returns the existing metric) and are
+    always listed in the exposition, so dashboards see a stable schema
+    even before a value lands. Recording is gated on {!enabled}: when
+    collection is off (the default) every [inc]/[set]/[observe] is a
+    single load-and-branch, and instrumented numerical code never takes
+    a different computational path. *)
+
+type counter
+
+type gauge
+
+type histogram
+
+val enable : unit -> unit
+
+val disable : unit -> unit
+
+val enabled : unit -> bool
+
+val counter : ?help:string -> string -> counter
+(** Monotone counter. @raise Invalid_argument if the name is already
+    registered as a different metric type or is not a valid Prometheus
+    metric name. *)
+
+val gauge : ?help:string -> string -> gauge
+
+val histogram : ?help:string -> ?buckets:float array -> string -> histogram
+(** Cumulative histogram. [buckets] are the upper bounds (strictly
+    increasing; an implicit [+Inf] bucket is always appended); the
+    default is {!latency_buckets}. *)
+
+val latency_buckets : float array
+(** Log-scale latency bounds in seconds: 1-2.5-5 per decade from 1 us
+    to 10 s. *)
+
+val inc : ?by:float -> counter -> unit
+
+val set : gauge -> float -> unit
+
+val observe : histogram -> float -> unit
+
+val time : histogram -> (unit -> 'a) -> 'a
+(** Run a thunk and observe its wall-clock duration in seconds; when
+    collection is off, exactly the thunk. *)
+
+(* Introspection (tests, [repro stats]). *)
+
+val counter_value : counter -> float
+
+val gauge_value : gauge -> float
+
+val gauge_is_set : gauge -> bool
+
+val histogram_buckets : histogram -> (float * int) array
+(** Per-bucket (non-cumulative) counts; the final entry has bound
+    [infinity]. *)
+
+val histogram_sum : histogram -> float
+
+val histogram_count : histogram -> int
+
+val find_gauge : string -> gauge option
+
+val find_counter : string -> counter option
+
+val reset : unit -> unit
+(** Zero every registered metric (registrations are kept). *)
+
+val to_prometheus : unit -> string
+(** Prometheus text exposition format 0.0.4. *)
+
+val to_json : unit -> string
+(** [{"metrics":[...]}] with one object per metric. *)

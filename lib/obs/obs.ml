@@ -1,0 +1,13 @@
+(** Observability facade: span tracing ({!Trace}), the metrics registry
+    ({!Metrics}) and the shared clock ({!Clock}).
+
+    Both sinks are off by default; instrumented code guards any extra
+    work (timing reads, condition-number estimates) behind {!live} so
+    the default path stays a no-op and numerical results are
+    bit-identical with observability on or off. *)
+
+module Clock = Clock
+module Trace = Trace
+module Metrics = Metrics
+
+let live () = Trace.enabled () || Metrics.enabled ()

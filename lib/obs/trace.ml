@@ -1,0 +1,235 @@
+type value = Bool of bool | Int of int | Float of float | Str of string
+
+type span = {
+  id : int;
+  name : string;
+  cat : string;
+  start_us : float;
+  parent : int option;
+  depth : int;
+  mutable attrs : (string * value) list; (* newest first *)
+  live : bool;
+}
+
+type event =
+  | Complete of {
+      id : int;
+      name : string;
+      cat : string;
+      start_us : float;
+      dur_us : float;
+      parent : int option;
+      depth : int;
+      attrs : (string * value) list;
+    }
+  | Instant of {
+      name : string;
+      cat : string;
+      ts_us : float;
+      attrs : (string * value) list;
+    }
+
+let on = ref false
+
+let buf : event list ref = ref [] (* newest first *)
+
+let count = ref 0
+
+let dropped_count = ref 0
+
+let limit = ref 200_000
+
+let stack : span list ref = ref []
+
+let next_id = ref 0
+
+let enabled () = !on
+
+let clear () =
+  buf := [];
+  count := 0;
+  dropped_count := 0;
+  stack := [];
+  next_id := 0
+
+let start () =
+  clear ();
+  on := true
+
+let stop () = on := false
+
+let set_limit n = limit := Stdlib.max 1 n
+
+let record ev =
+  if !count >= !limit then incr dropped_count
+  else begin
+    buf := ev :: !buf;
+    incr count
+  end
+
+let dummy =
+  {
+    id = 0;
+    name = "";
+    cat = "";
+    start_us = 0.;
+    parent = None;
+    depth = 0;
+    attrs = [];
+    live = false;
+  }
+
+let set_attr sp key v = if sp.live then sp.attrs <- (key, v) :: sp.attrs
+
+let begin_span ?(cat = "bmf") ?(attrs = []) name =
+  if not !on then dummy
+  else begin
+    incr next_id;
+    let parent, depth =
+      match !stack with
+      | [] -> (None, 0)
+      | p :: _ -> (Some p.id, p.depth + 1)
+    in
+    let sp =
+      {
+        id = !next_id;
+        name;
+        cat;
+        start_us = Clock.now_us ();
+        parent;
+        depth;
+        attrs = List.rev attrs;
+        live = true;
+      }
+    in
+    stack := sp :: !stack;
+    sp
+  end
+
+let end_span sp =
+  if sp.live then begin
+    let dur_us = Clock.now_us () -. sp.start_us in
+    (match !stack with
+    | top :: rest when top.id = sp.id -> stack := rest
+    | _ -> stack := List.filter (fun s -> s.id <> sp.id) !stack);
+    record
+      (Complete
+         {
+           id = sp.id;
+           name = sp.name;
+           cat = sp.cat;
+           start_us = sp.start_us;
+           dur_us;
+           parent = sp.parent;
+           depth = sp.depth;
+           attrs = List.rev sp.attrs;
+         })
+  end
+
+let with_span ?cat ?attrs name f =
+  if not !on then f dummy
+  else
+    let sp = begin_span ?cat ?attrs name in
+    Fun.protect ~finally:(fun () -> end_span sp) (fun () -> f sp)
+
+let instant ?(cat = "log") ?(attrs = []) name =
+  if !on then record (Instant { name; cat; ts_us = Clock.now_us (); attrs })
+
+let events () = List.rev !buf
+
+let dropped () = !dropped_count
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event JSON. Hand-rolled printer: the library sits below
+   everything else in the dependency order, so it cannot borrow a JSON
+   module from upper layers. *)
+
+let add_escaped buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_str buf s =
+  Buffer.add_char buf '"';
+  add_escaped buf s;
+  Buffer.add_char buf '"'
+
+let add_value buf = function
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.17g" f)
+      else
+        add_str buf
+          (if Float.is_nan f then "nan" else if f > 0. then "inf" else "-inf")
+  | Str s -> add_str buf s
+
+let add_args buf attrs extra =
+  Buffer.add_char buf '{';
+  let first = ref true in
+  let field k add =
+    if !first then first := false else Buffer.add_char buf ',';
+    add_str buf k;
+    Buffer.add_char buf ':';
+    add ()
+  in
+  List.iter (fun (k, v) -> field k (fun () -> add_value buf v)) attrs;
+  List.iter (fun (k, v) -> field k (fun () -> add_value buf v)) extra;
+  Buffer.add_char buf '}'
+
+let add_ts buf t = Buffer.add_string buf (Printf.sprintf "%.3f" t)
+
+let add_event buf ev =
+  match ev with
+  | Complete { id; name; cat; start_us; dur_us; parent; depth; attrs } ->
+      Buffer.add_string buf "{\"name\":";
+      add_str buf name;
+      Buffer.add_string buf ",\"cat\":";
+      add_str buf cat;
+      Buffer.add_string buf ",\"ph\":\"X\",\"ts\":";
+      add_ts buf start_us;
+      Buffer.add_string buf ",\"dur\":";
+      add_ts buf dur_us;
+      Buffer.add_string buf ",\"pid\":1,\"tid\":1,\"args\":";
+      let extra =
+        [ ("span_id", Int id); ("depth", Int depth) ]
+        @ match parent with Some p -> [ ("parent_id", Int p) ] | None -> []
+      in
+      add_args buf attrs extra;
+      Buffer.add_char buf '}'
+  | Instant { name; cat; ts_us; attrs } ->
+      Buffer.add_string buf "{\"name\":";
+      add_str buf name;
+      Buffer.add_string buf ",\"cat\":";
+      add_str buf cat;
+      Buffer.add_string buf ",\"ph\":\"i\",\"ts\":";
+      add_ts buf ts_us;
+      Buffer.add_string buf ",\"pid\":1,\"tid\":1,\"s\":\"t\",\"args\":";
+      add_args buf attrs [];
+      Buffer.add_char buf '}'
+
+let export_json () =
+  let out = Buffer.create 4096 in
+  Buffer.add_string out "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_char out ',';
+      add_event out ev)
+    (events ());
+  Buffer.add_string out "]}";
+  Buffer.contents out
+
+let write_file path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (export_json ()))

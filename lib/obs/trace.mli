@@ -1,0 +1,78 @@
+(** Span-based tracing with a Chrome trace-event JSON exporter.
+
+    Disabled by default: every entry point first checks one [bool ref],
+    so the no-flag path costs a couple of loads and branches and records
+    nothing — numerical results are identical with tracing on or off
+    (test-enforced). Enable with {!start}, drain with {!export_json} or
+    {!write_file}; the output opens directly in [chrome://tracing] or
+    Perfetto.
+
+    Spans nest through an explicit stack: a span begun while another is
+    open records that span as its parent, and its depth. Instant events
+    ({!instant}) double as the structured log sink. *)
+
+type value = Bool of bool | Int of int | Float of float | Str of string
+(** Span / event attribute values. *)
+
+type span
+(** An open span. When tracing is disabled all operations receive an
+    inert dummy span and do nothing. *)
+
+type event =
+  | Complete of {
+      id : int;
+      name : string;
+      cat : string;
+      start_us : float;
+      dur_us : float;
+      parent : int option;
+      depth : int;
+      attrs : (string * value) list;
+    }
+  | Instant of {
+      name : string;
+      cat : string;
+      ts_us : float;
+      attrs : (string * value) list;
+    }
+
+val enabled : unit -> bool
+
+val start : unit -> unit
+(** Clear the buffer and begin recording. *)
+
+val stop : unit -> unit
+(** Stop recording; the buffer is kept for export. *)
+
+val clear : unit -> unit
+(** Drop all recorded events. *)
+
+val with_span :
+  ?cat:string -> ?attrs:(string * value) list -> string -> (span -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span named [name]. The span is
+    closed (and recorded) even if [f] raises. When tracing is off this
+    is [f dummy]. *)
+
+val set_attr : span -> string -> value -> unit
+(** Attach an attribute to an open span; no-op on the dummy span. *)
+
+val instant : ?cat:string -> ?attrs:(string * value) list -> string -> unit
+(** Record a zero-duration event (log line, progress tick). *)
+
+val events : unit -> event list
+(** Recorded events, oldest first. Complete events appear in span-close
+    order (children before parents). *)
+
+val dropped : unit -> int
+(** Events discarded after the buffer limit (default 200k) was hit. *)
+
+val set_limit : int -> unit
+
+val export_json : unit -> string
+(** The buffer as a Chrome trace-event JSON document:
+    [{"displayTimeUnit":"ms","traceEvents":[...]}] with ["X"] phase
+    entries for spans (args carry the attributes plus [span_id],
+    [parent_id], [depth]) and ["i"] entries for instants. *)
+
+val write_file : string -> unit
+(** {!export_json} to a file. *)

@@ -103,15 +103,39 @@ let eval_row b x =
       b.terms
   end
 
+let m_design_seconds =
+  Obs.Metrics.histogram ~help:"Design-matrix evaluation latency (seconds)"
+    "bmf_design_matrix_seconds"
+
+let m_design_rows =
+  Obs.Metrics.counter ~help:"Design-matrix rows evaluated"
+    "bmf_design_matrix_rows_total"
+
+(* Span + latency wrapper shared by both evaluation strategies; the
+   instrumented path runs the same loop, only bracketed by clock reads. *)
+let observed name b ~rows impl =
+  if not (Obs.live ()) then impl ()
+  else
+    Obs.Trace.with_span ~cat:"polybasis" name (fun sp ->
+        Obs.Trace.set_attr sp "rows" (Obs.Trace.Int rows);
+        Obs.Trace.set_attr sp "terms" (Obs.Trace.Int (size b));
+        Obs.Trace.set_attr sp "max_degree" (Obs.Trace.Int b.max_degree);
+        let t0 = Obs.Clock.now_s () in
+        let g = impl () in
+        Obs.Metrics.observe m_design_seconds (Obs.Clock.now_s () -. t0);
+        Obs.Metrics.inc ~by:(float_of_int rows) m_design_rows;
+        g)
+
 let design_matrix b xs =
   let k, r = Linalg.Mat.dims xs in
   if r <> b.dim then invalid_arg "Basis.design_matrix: dimension mismatch";
-  let m = size b in
-  let g = Linalg.Mat.create k m in
-  for i = 0 to k - 1 do
-    Linalg.Mat.set_row g i (eval_row b (Linalg.Mat.row xs i))
-  done;
-  g
+  observed "design_matrix" b ~rows:k (fun () ->
+      let m = size b in
+      let g = Linalg.Mat.create k m in
+      for i = 0 to k - 1 do
+        Linalg.Mat.set_row g i (eval_row b (Linalg.Mat.row xs i))
+      done;
+      g)
 
 (* Batch evaluation that amortizes the Hermite recurrences: the per-
    variable tables are computed once for the whole sample block instead
@@ -122,6 +146,7 @@ let design_matrix_blocked b xs =
   let k, r = Linalg.Mat.dims xs in
   if r <> b.dim then
     invalid_arg "Basis.design_matrix_blocked: dimension mismatch";
+  observed "design_matrix_blocked" b ~rows:k @@ fun () ->
   let m = size b in
   let g = Linalg.Mat.create k m in
   if b.max_degree <= 1 then

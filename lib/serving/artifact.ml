@@ -75,6 +75,10 @@ let of_fit ~meta ?(rev = 0) ~basis ~prior ~hyper ?(cv_error = nan) ~g ~f () =
   let core = Linalg.Mat.weighted_outer_gram g w_inv in
   let shifted = Linalg.Mat.add_diag core (Array.make k hyper) in
   let fact = Linalg.Cholesky.factorize shifted in
+  (match Obs.Metrics.find_gauge "bmf_fit_woodbury_cond" with
+  | Some gauge when Obs.live () ->
+      Obs.Metrics.set gauge (Linalg.Cholesky.cond_estimate fact)
+  | _ -> ());
   let v = Linalg.Cholesky.solve fact r in
   let gtv = Linalg.Mat.gemv_t g v in
   let coeffs = Array.init m (fun i -> means.(i) +. (w_inv.(i) *. gtv.(i))) in

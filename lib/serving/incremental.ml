@@ -31,6 +31,23 @@ let num_samples t = t.k
 
 let num_terms t = Bmf.Prior.size t.prior
 
+let m_samples =
+  Obs.Metrics.counter ~help:"Samples folded in by incremental updates"
+    "bmf_incremental_samples_total"
+
+let m_batches =
+  Obs.Metrics.counter ~help:"Incremental update batches applied"
+    "bmf_incremental_batches_total"
+
+let m_seconds =
+  Obs.Metrics.histogram ~help:"Incremental batch update latency (seconds)"
+    "bmf_incremental_update_seconds"
+
+let m_pivot_min =
+  Obs.Metrics.gauge
+    ~help:"Smallest new Cholesky pivot across the last incremental batch"
+    "bmf_incremental_pivot_min"
+
 let of_artifact (a : Artifact.t) =
   let k = Artifact.num_samples a in
   let means = a.Artifact.prior.Bmf.Prior.means in
@@ -105,10 +122,37 @@ let add_batch t ~xs ~f =
   let n = Linalg.Mat.rows xs in
   if Array.length f <> n then
     invalid_arg "Incremental.add_batch: sample count mismatch";
-  let gq = Polybasis.Basis.design_matrix_blocked t.basis xs in
-  for i = 0 to n - 1 do
-    add_row t ~row:(Linalg.Mat.row gq i) ~value:f.(i)
-  done
+  if not (Obs.live ()) then begin
+    let gq = Polybasis.Basis.design_matrix_blocked t.basis xs in
+    for i = 0 to n - 1 do
+      add_row t ~row:(Linalg.Mat.row gq i) ~value:f.(i)
+    done
+  end
+  else
+    Obs.Trace.with_span ~cat:"serving" "incremental_update" @@ fun sp ->
+    Obs.Trace.set_attr sp "new_samples" (Obs.Trace.Int n);
+    Obs.Trace.set_attr sp "samples_before" (Obs.Trace.Int t.k);
+    let t0 = Obs.Clock.now_s () in
+    let gq = Polybasis.Basis.design_matrix_blocked t.basis xs in
+    let k0 = t.k in
+    for i = 0 to n - 1 do
+      add_row t ~row:(Linalg.Mat.row gq i) ~value:f.(i)
+    done;
+    Obs.Metrics.observe m_seconds (Obs.Clock.now_s () -. t0);
+    Obs.Metrics.inc ~by:(float_of_int n) m_samples;
+    Obs.Metrics.inc m_batches;
+    (* smallest bordering pivot accepted in this batch: the tightest
+       margin to losing positive definiteness *)
+    let mn = ref infinity in
+    for i = k0 to t.k - 1 do
+      let li = t.lrows.(i) in
+      let d = li.(i) in
+      if d < !mn then mn := d
+    done;
+    if Float.is_finite !mn then begin
+      Obs.Metrics.set m_pivot_min !mn;
+      Obs.Trace.set_attr sp "pivot_min" (Obs.Trace.Float !mn)
+    end
 
 (* Solve C v = resid through the ragged factor, then map back to the
    coefficient space: alpha = mu + W^-1 G^T v. *)

@@ -8,6 +8,33 @@ type t = {
   chol : Linalg.Cholesky.t;
 }
 
+let m_predictions =
+  Obs.Metrics.counter ~help:"Points served by the batch predictor"
+    "bmf_predictions_total"
+
+let m_batches =
+  Obs.Metrics.counter ~help:"Prediction batches served"
+    "bmf_predict_batches_total"
+
+let m_seconds =
+  Obs.Metrics.histogram ~help:"Batch predict latency (seconds)"
+    "bmf_predict_seconds"
+
+(* Shared batch bracket: span + latency histogram + served-point
+   counters around the untouched numerical body. *)
+let observed name ~batch ~with_std impl =
+  if not (Obs.live ()) then impl ()
+  else
+    Obs.Trace.with_span ~cat:"serving" name (fun sp ->
+        Obs.Trace.set_attr sp "batch" (Obs.Trace.Int batch);
+        Obs.Trace.set_attr sp "with_std" (Obs.Trace.Bool with_std);
+        let t0 = Obs.Clock.now_s () in
+        let out = impl () in
+        Obs.Metrics.observe m_seconds (Obs.Clock.now_s () -. t0);
+        Obs.Metrics.inc ~by:(float_of_int batch) m_predictions;
+        Obs.Metrics.inc m_batches;
+        out)
+
 let of_artifact (a : Artifact.t) =
   {
     basis = Artifact.basis a;
@@ -29,8 +56,9 @@ let predict_row t row =
 let predict_point t x = predict_row t (Polybasis.Basis.eval_row t.basis x)
 
 let predict t xs =
-  let gq = Polybasis.Basis.design_matrix_blocked t.basis xs in
-  Linalg.Mat.gemv gq t.coeffs
+  observed "predict" ~batch:(Linalg.Mat.rows xs) ~with_std:false (fun () ->
+      let gq = Polybasis.Basis.design_matrix_blocked t.basis xs in
+      Linalg.Mat.gemv gq t.coeffs)
 
 (* Predictive variance from the stored posterior core, in the dual form
    that never touches the M x M covariance:
@@ -54,13 +82,15 @@ let variance_row t row =
   Float.max 0. var
 
 let predict_with_std t xs =
-  let gq = Polybasis.Basis.design_matrix_blocked t.basis xs in
-  let means = Linalg.Mat.gemv gq t.coeffs in
-  let k = Linalg.Mat.rows gq in
-  let stds =
-    Array.init k (fun i -> sqrt (variance_row t (Linalg.Mat.row gq i)))
-  in
-  (means, stds)
+  observed "predict_with_std" ~batch:(Linalg.Mat.rows xs) ~with_std:true
+    (fun () ->
+      let gq = Polybasis.Basis.design_matrix_blocked t.basis xs in
+      let means = Linalg.Mat.gemv gq t.coeffs in
+      let k = Linalg.Mat.rows gq in
+      let stds =
+        Array.init k (fun i -> sqrt (variance_row t (Linalg.Mat.row gq i)))
+      in
+      (means, stds))
 
 let predict_point_with_std t x =
   let row = Polybasis.Basis.eval_row t.basis x in

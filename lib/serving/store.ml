@@ -24,6 +24,29 @@ let rec mkdir_p dir =
     try Sys.mkdir dir 0o755 with Sys_error _ -> ()
   end
 
+let m_bytes_written =
+  Obs.Metrics.counter ~help:"Artifact bytes written to the store"
+    "bmf_store_bytes_written_total"
+
+let m_bytes_read =
+  Obs.Metrics.counter ~help:"Artifact bytes read from the store"
+    "bmf_store_bytes_read_total"
+
+let m_saves =
+  Obs.Metrics.counter ~help:"Artifacts saved" "bmf_store_saves_total"
+
+let m_loads =
+  Obs.Metrics.counter ~help:"Artifact load attempts" "bmf_store_loads_total"
+
+let m_corrupt =
+  Obs.Metrics.counter ~help:"Artifact loads that failed verification"
+    "bmf_store_corrupt_total"
+
+let m_verify_seconds =
+  Obs.Metrics.histogram
+    ~help:"Artifact decode + checksum verification latency (seconds)"
+    "bmf_store_verify_seconds"
+
 let save ?(format = Artifact.Binary) ~root artifact =
   mkdir_p root;
   let file = path ~root artifact.Artifact.meta format in
@@ -34,16 +57,54 @@ let save ?(format = Artifact.Binary) ~root artifact =
       (match format with Artifact.Json -> Artifact.Binary | Artifact.Binary -> Artifact.Json)
   in
   if Sys.file_exists other then Sys.remove other;
-  Artifact.save ~format file artifact;
+  Obs.Trace.with_span ~cat:"serving" "store_save" @@ fun sp ->
+  let data = Artifact.to_string format artifact in
+  let oc = open_out_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc data);
+  Obs.Trace.set_attr sp "file" (Obs.Trace.Str file);
+  Obs.Trace.set_attr sp "bytes" (Obs.Trace.Int (String.length data));
+  Obs.Metrics.inc ~by:(float_of_int (String.length data)) m_bytes_written;
+  Obs.Metrics.inc m_saves;
   file
 
 let find ~root meta =
   List.find_opt Sys.file_exists
     [ path ~root meta Artifact.Binary; path ~root meta Artifact.Json ]
 
+(* Read + decode one artifact file, measuring payload size and the
+   decode/checksum-verify time (reported by [repro models] and the store
+   metrics). *)
+let load_file file =
+  Obs.Trace.with_span ~cat:"serving" "store_load" @@ fun sp ->
+  Obs.Trace.set_attr sp "file" (Obs.Trace.Str file);
+  Obs.Metrics.inc m_loads;
+  match
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg ->
+      Obs.Metrics.inc m_corrupt;
+      (Error ("artifact: " ^ msg), 0, 0.)
+  | contents ->
+      let bytes = String.length contents in
+      Obs.Trace.set_attr sp "bytes" (Obs.Trace.Int bytes);
+      Obs.Metrics.inc ~by:(float_of_int bytes) m_bytes_read;
+      let t0 = Obs.Clock.now_s () in
+      let status = Artifact.of_string contents in
+      let verify_seconds = Obs.Clock.now_s () -. t0 in
+      Obs.Metrics.observe m_verify_seconds verify_seconds;
+      if Result.is_error status then Obs.Metrics.inc m_corrupt;
+      (status, bytes, verify_seconds)
+
 let load ~root meta =
   match find ~root meta with
-  | Some file -> Artifact.load file
+  | Some file ->
+      let status, _, _ = load_file file in
+      status
   | None ->
       Error
         (Printf.sprintf
@@ -54,6 +115,8 @@ let load ~root meta =
 type entry = {
   file : string;
   format : Artifact.format;
+  bytes : int;
+  verify_seconds : float;
   status : (Artifact.t, string) result;
 }
 
@@ -70,7 +133,8 @@ let list ~root =
            Option.map
              (fun format ->
                let file = Filename.concat root name in
-               { file; format; status = Artifact.load file })
+               let status, bytes, verify_seconds = load_file file in
+               { file; format; bytes; verify_seconds; status })
              format)
 
 let verify ~root meta =

@@ -23,6 +23,9 @@ val load : root:string -> Artifact.meta -> (Artifact.t, string) result
 type entry = {
   file : string;
   format : Artifact.format;
+  bytes : int;  (** On-disk size of the artifact file. *)
+  verify_seconds : float;
+      (** Wall-clock decode + checksum-verification time. *)
   status : (Artifact.t, string) result;
       (** [Error] = unreadable or corrupt (checksum mismatch). *)
 }

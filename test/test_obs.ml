@@ -1,0 +1,457 @@
+(* Tests for the observability layer: the monotonic clock clamp, span
+   nesting and ordering, histogram bucket boundaries, the Chrome
+   trace-event JSON export (parsed back with the serving JSON codec),
+   the metrics registry and exposition, and the bit-identical guarantee:
+   a BMF fit computes exactly the same coefficients with the sinks on or
+   off. *)
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_string = Alcotest.(check string)
+
+let checkf = Alcotest.(check (float 1e-12))
+
+(* Every test starts from dead sinks and a zeroed registry, and leaves
+   them that way: both are process-wide. *)
+let fresh () =
+  Obs.Trace.stop ();
+  Obs.Trace.clear ();
+  Obs.Trace.set_limit 200_000;
+  Obs.Metrics.disable ();
+  Obs.Metrics.reset ();
+  Obs.Clock.reset_source ()
+
+(* A fake clock advancing one second per reading. *)
+let install_step_clock () =
+  let t = ref 0. in
+  Obs.Clock.set_source (fun () ->
+      t := !t +. 1.;
+      !t)
+
+(* ------------------------------------------------------------------ *)
+(* Clock. *)
+
+let test_clock_monotonic () =
+  fresh ();
+  (* a source that jumps backwards must still yield a non-decreasing
+     reading *)
+  let readings = ref [ 5.; 3.; 7.; 2.; 9. ] in
+  Obs.Clock.set_source (fun () ->
+      match !readings with
+      | [] -> 9.
+      | r :: rest ->
+          readings := rest;
+          r);
+  let out = List.init 5 (fun _ -> Obs.Clock.now_s ()) in
+  List.iter2 (checkf "clamped") [ 5.; 5.; 7.; 7.; 9. ] out;
+  Obs.Clock.reset_source ();
+  let a = Obs.Clock.now_s () in
+  let b = Obs.Clock.now_s () in
+  check_bool "wall clock non-decreasing" true (b >= a);
+  checkf "now_us is now_s scaled" (1e6 *. Obs.Clock.now_s ())
+    (Obs.Clock.now_us ())
+
+(* ------------------------------------------------------------------ *)
+(* Spans. *)
+
+let complete_events () =
+  List.filter_map
+    (function Obs.Trace.Complete _ as e -> Some e | _ -> None)
+    (Obs.Trace.events ())
+
+let test_span_nesting () =
+  fresh ();
+  install_step_clock ();
+  Obs.Trace.start ();
+  Obs.Trace.with_span ~cat:"test" "parent" (fun parent ->
+      Obs.Trace.set_attr parent "who" (Obs.Trace.Str "outer");
+      Obs.Trace.with_span ~cat:"test" "child" (fun child ->
+          Obs.Trace.set_attr child "n" (Obs.Trace.Int 7)));
+  Obs.Trace.stop ();
+  match complete_events () with
+  | [ Obs.Trace.Complete child; Obs.Trace.Complete parent ] ->
+      (* close order: the child is recorded before the parent *)
+      check_string "child first" "child" child.name;
+      check_string "parent second" "parent" parent.name;
+      check_int "parent depth" 0 parent.depth;
+      check_int "child depth" 1 child.depth;
+      check_bool "parent has no parent" true (parent.parent = None);
+      check_bool "child's parent is the parent span" true
+        (child.parent = Some parent.id);
+      (* the step clock reads 1,2,3,4 s at open/open/close/close *)
+      checkf "parent start" 1e6 parent.start_us;
+      checkf "child start" 2e6 child.start_us;
+      checkf "child duration" 1e6 child.dur_us;
+      checkf "parent duration" 3e6 parent.dur_us;
+      check_string "child attr recorded" "test" child.cat;
+      check_bool "child attrs" true (child.attrs = [ ("n", Obs.Trace.Int 7) ])
+  | evs -> Alcotest.failf "expected 2 complete events, got %d" (List.length evs)
+
+let test_span_sibling_order () =
+  fresh ();
+  install_step_clock ();
+  Obs.Trace.start ();
+  Obs.Trace.with_span "root" (fun _ ->
+      Obs.Trace.with_span "first" (fun _ -> ());
+      Obs.Trace.with_span "second" (fun _ -> ());
+      Obs.Trace.instant ~cat:"test" "tick");
+  Obs.Trace.stop ();
+  let names =
+    List.map
+      (function
+        | Obs.Trace.Complete c -> c.name
+        | Obs.Trace.Instant i -> "i:" ^ i.name)
+      (Obs.Trace.events ())
+  in
+  check_bool "events oldest first, children before parents" true
+    (names = [ "first"; "second"; "i:tick"; "root" ]);
+  match complete_events () with
+  | [ Obs.Trace.Complete first; Obs.Trace.Complete second; Obs.Trace.Complete root ]
+    ->
+      check_bool "siblings share the root parent" true
+        (first.parent = Some root.id && second.parent = Some root.id);
+      check_int "sibling depth" 1 first.depth;
+      check_int "sibling depth" 1 second.depth;
+      check_bool "sibling ordering by start time" true
+        (first.start_us < second.start_us)
+  | _ -> Alcotest.fail "expected 3 complete events"
+
+let test_span_disabled_is_inert () =
+  fresh ();
+  (* no start: the dummy span records nothing and attrs are dropped *)
+  Obs.Trace.with_span "ghost" (fun sp ->
+      Obs.Trace.set_attr sp "k" (Obs.Trace.Int 1));
+  Obs.Trace.instant "ghost-tick";
+  check_int "nothing recorded" 0 (List.length (Obs.Trace.events ()));
+  check_bool "still disabled" false (Obs.Trace.enabled ())
+
+let test_span_survives_exception () =
+  fresh ();
+  install_step_clock ();
+  Obs.Trace.start ();
+  (try
+     Obs.Trace.with_span "outer" (fun _ ->
+         Obs.Trace.with_span "boom" (fun _ -> failwith "boom"))
+   with Failure _ -> ());
+  Obs.Trace.stop ();
+  let names =
+    List.filter_map
+      (function Obs.Trace.Complete c -> Some c.name | _ -> None)
+      (Obs.Trace.events ())
+  in
+  check_bool "both spans closed despite the raise" true
+    (names = [ "boom"; "outer" ])
+
+let test_span_buffer_limit () =
+  fresh ();
+  Obs.Trace.start ();
+  Obs.Trace.set_limit 3;
+  for i = 1 to 5 do
+    Obs.Trace.instant (Printf.sprintf "e%d" i)
+  done;
+  Obs.Trace.stop ();
+  check_int "kept up to the limit" 3 (List.length (Obs.Trace.events ()));
+  check_int "excess counted as dropped" 2 (Obs.Trace.dropped ())
+
+(* ------------------------------------------------------------------ *)
+(* Trace JSON export, parsed back with the serving JSON codec. *)
+
+let member_exn name j =
+  match Serving.Json.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "missing field %S" name
+
+let test_trace_json_roundtrip () =
+  fresh ();
+  install_step_clock ();
+  Obs.Trace.start ();
+  Obs.Trace.with_span ~cat:"outer" "fit \"quoted\"" (fun sp ->
+      Obs.Trace.set_attr sp "ok" (Obs.Trace.Bool true);
+      Obs.Trace.set_attr sp "k" (Obs.Trace.Int 42);
+      Obs.Trace.set_attr sp "err" (Obs.Trace.Float 0.125);
+      Obs.Trace.set_attr sp "tag" (Obs.Trace.Str "a\nb");
+      Obs.Trace.with_span "inner" (fun _ -> ());
+      Obs.Trace.instant ~cat:"log" "progress");
+  Obs.Trace.stop ();
+  let json = Obs.Trace.export_json () in
+  let doc =
+    match Serving.Json.of_string json with
+    | Ok doc -> doc
+    | Error e -> Alcotest.failf "export is not valid JSON: %s" e
+  in
+  check_string "displayTimeUnit" "ms"
+    (Option.get (Serving.Json.to_str (member_exn "displayTimeUnit" doc)));
+  let events =
+    Option.get (Serving.Json.to_arr (member_exn "traceEvents" doc))
+  in
+  check_int "three events exported" 3 (List.length events);
+  List.iter
+    (fun ev ->
+      (* every event carries the mandatory trace-event fields *)
+      ignore (Option.get (Serving.Json.to_str (member_exn "name" ev)));
+      ignore (Option.get (Serving.Json.to_str (member_exn "cat" ev)));
+      ignore (Option.get (Serving.Json.to_float (member_exn "ts" ev)));
+      check_int "pid" 1 (Option.get (Serving.Json.to_int (member_exn "pid" ev))))
+    events;
+  let by_ph ph =
+    List.filter
+      (fun ev ->
+        Serving.Json.to_str (member_exn "ph" ev) = Some ph)
+      events
+  in
+  check_int "two complete events" 2 (List.length (by_ph "X"));
+  check_int "one instant event" 1 (List.length (by_ph "i"));
+  let outer =
+    List.find
+      (fun ev ->
+        Serving.Json.to_str (member_exn "name" ev) = Some "fit \"quoted\"")
+      events
+  in
+  let args = member_exn "args" outer in
+  check_bool "bool attr" true
+    (Serving.Json.member "ok" args = Some (Serving.Json.Bool true));
+  check_int "int attr" 42
+    (Option.get (Serving.Json.to_int (member_exn "k" args)));
+  checkf "float attr" 0.125
+    (Option.get (Serving.Json.to_float (member_exn "err" args)));
+  check_string "escaped string attr" "a\nb"
+    (Option.get (Serving.Json.to_str (member_exn "tag" args)));
+  let outer_id = Option.get (Serving.Json.to_int (member_exn "span_id" args)) in
+  let inner =
+    List.find
+      (fun ev -> Serving.Json.to_str (member_exn "name" ev) = Some "inner")
+      events
+  in
+  let inner_args = member_exn "args" inner in
+  check_int "child parent_id points at the outer span" outer_id
+    (Option.get (Serving.Json.to_int (member_exn "parent_id" inner_args)));
+  check_int "child depth" 1
+    (Option.get (Serving.Json.to_int (member_exn "depth" inner_args)))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics. *)
+
+let test_metrics_gating () =
+  fresh ();
+  let c = Obs.Metrics.counter "test_gating_total" in
+  let g = Obs.Metrics.gauge "test_gating_gauge" in
+  Obs.Metrics.inc c;
+  Obs.Metrics.set g 3.;
+  checkf "counter dead while disabled" 0. (Obs.Metrics.counter_value c);
+  check_bool "gauge dead while disabled" false (Obs.Metrics.gauge_is_set g);
+  Obs.Metrics.enable ();
+  Obs.Metrics.inc c;
+  Obs.Metrics.inc ~by:2.5 c;
+  Obs.Metrics.set g 3.;
+  Obs.Metrics.disable ();
+  checkf "counter accumulates" 3.5 (Obs.Metrics.counter_value c);
+  check_bool "gauge seen" true (Obs.Metrics.gauge_is_set g);
+  checkf "gauge value" 3. (Obs.Metrics.gauge_value g);
+  Obs.Metrics.reset ();
+  checkf "reset zeroes counters" 0. (Obs.Metrics.counter_value c);
+  check_bool "reset clears gauges" false (Obs.Metrics.gauge_is_set g)
+
+let test_metrics_registry () =
+  fresh ();
+  let c = Obs.Metrics.counter "test_registry_total" in
+  let c' = Obs.Metrics.counter "test_registry_total" in
+  check_bool "re-registration returns the same metric" true (c == c');
+  check_bool "kind mismatch rejected" true
+    (try
+       ignore (Obs.Metrics.gauge "test_registry_total");
+       false
+     with Invalid_argument _ -> true);
+  check_bool "invalid name rejected" true
+    (try
+       ignore (Obs.Metrics.counter "bad name!");
+       false
+     with Invalid_argument _ -> true);
+  check_bool "find_counter" true
+    (Obs.Metrics.find_counter "test_registry_total" = Some c);
+  check_bool "find_gauge misses a counter" true
+    (Obs.Metrics.find_gauge "test_registry_total" = None)
+
+let test_histogram_buckets () =
+  fresh ();
+  let h =
+    Obs.Metrics.histogram ~buckets:[| 1.; 2.; 5. |] "test_hist_seconds"
+  in
+  Obs.Metrics.enable ();
+  List.iter (Obs.Metrics.observe h) [ 0.5; 1.0; 1.5; 2.0; 5.0; 6.0 ];
+  Obs.Metrics.disable ();
+  (* le semantics: a value equal to a bound lands in that bound's bucket *)
+  let buckets = Obs.Metrics.histogram_buckets h in
+  check_int "bucket count" 4 (Array.length buckets);
+  let bound i = fst buckets.(i) and cnt i = snd buckets.(i) in
+  checkf "bound 0" 1. (bound 0);
+  checkf "bound 1" 2. (bound 1);
+  checkf "bound 2" 5. (bound 2);
+  check_bool "last bound is +Inf" true (bound 3 = infinity);
+  check_int "le=1 holds 0.5 and 1.0" 2 (cnt 0);
+  check_int "le=2 holds 1.5 and 2.0" 2 (cnt 1);
+  check_int "le=5 holds 5.0" 1 (cnt 2);
+  check_int "+Inf holds 6.0" 1 (cnt 3);
+  checkf "sum" 16. (Obs.Metrics.histogram_sum h);
+  check_int "count" 6 (Obs.Metrics.histogram_count h);
+  (* Prometheus exposition is cumulative *)
+  let text = Obs.Metrics.to_prometheus () in
+  let has line =
+    List.exists (String.equal line) (String.split_on_char '\n' text)
+  in
+  check_bool "TYPE line" true (has "# TYPE test_hist_seconds histogram");
+  check_bool "cumulative le=1" true (has "test_hist_seconds_bucket{le=\"1\"} 2");
+  check_bool "cumulative le=2" true (has "test_hist_seconds_bucket{le=\"2\"} 4");
+  check_bool "cumulative le=5" true (has "test_hist_seconds_bucket{le=\"5\"} 5");
+  check_bool "cumulative +Inf" true
+    (has "test_hist_seconds_bucket{le=\"+Inf\"} 6");
+  check_bool "sum line" true (has "test_hist_seconds_sum 16");
+  check_bool "count line" true (has "test_hist_seconds_count 6")
+
+let test_histogram_validation () =
+  fresh ();
+  check_bool "non-increasing bounds rejected" true
+    (try
+       ignore (Obs.Metrics.histogram ~buckets:[| 1.; 1. |] "test_bad_hist");
+       false
+     with Invalid_argument _ -> true);
+  check_bool "empty bounds rejected" true
+    (try
+       ignore (Obs.Metrics.histogram ~buckets:[||] "test_bad_hist2");
+       false
+     with Invalid_argument _ -> true);
+  let b = Obs.Metrics.latency_buckets in
+  check_bool "latency buckets strictly increasing" true
+    (Array.for_all
+       (fun i -> b.(i) > b.(i - 1))
+       (Array.init (Array.length b - 1) (fun i -> i + 1)))
+
+let test_metrics_json () =
+  fresh ();
+  let c = Obs.Metrics.counter "test_json_total" in
+  Obs.Metrics.enable ();
+  Obs.Metrics.inc ~by:4. c;
+  Obs.Metrics.disable ();
+  let doc =
+    match Serving.Json.of_string (Obs.Metrics.to_json ()) with
+    | Ok doc -> doc
+    | Error e -> Alcotest.failf "metrics JSON invalid: %s" e
+  in
+  let metrics =
+    Option.get (Serving.Json.to_arr (member_exn "metrics" doc))
+  in
+  let entry =
+    List.find
+      (fun m ->
+        Serving.Json.member "name" m = Some (Serving.Json.Str "test_json_total"))
+      metrics
+  in
+  check_string "type field" "counter"
+    (Option.get (Serving.Json.to_str (member_exn "type" entry)));
+  checkf "value field" 4.
+    (Option.get (Serving.Json.to_float (member_exn "value" entry)))
+
+(* ------------------------------------------------------------------ *)
+(* The contract that makes all of the above safe to ship: observability
+   must not perturb the numbers. One BMF-PS fit on a synthetic problem,
+   once with both sinks live and once with them off — every coefficient
+   bit-identical. *)
+
+let fit_once ~observe () =
+  let rng = Stats.Rng.create 20130604 in
+  (* K < M so the fit takes the Woodbury fast path, whose condition
+     gauge the assertions below check *)
+  let basis = Polybasis.Basis.linear 40 in
+  let m = Polybasis.Basis.size basis in
+  let k = 25 in
+  let truth =
+    Array.init m (fun i -> if i = 0 then 2. else 1. /. float_of_int (i + 1))
+  in
+  let early =
+    Array.map
+      (fun c -> Some (c *. (1. +. (0.1 *. Stats.Rng.gaussian rng))))
+      truth
+  in
+  let xs = Stats.Sampling.monte_carlo rng ~k ~r:40 in
+  let g = Polybasis.Basis.design_matrix basis xs in
+  let f =
+    Array.init k (fun i ->
+        Linalg.Vec.dot (Linalg.Mat.row g i) truth
+        +. (0.01 *. Stats.Rng.gaussian rng))
+  in
+  if observe then begin
+    Obs.Trace.start ();
+    Obs.Metrics.enable ()
+  end;
+  let config = { Bmf.Fusion.default_config with cv_folds = 4 } in
+  let fitted =
+    Bmf.Fusion.fit_design ~rng ~config ~early ~g ~f Bmf.Fusion.Bmf_ps
+  in
+  Obs.Trace.stop ();
+  Obs.Metrics.disable ();
+  fitted
+
+let test_fit_bit_identical () =
+  fresh ();
+  let plain = fit_once ~observe:false () in
+  check_int "plain run recorded nothing" 0
+    (List.length (Obs.Trace.events ()));
+  let traced = fit_once ~observe:true () in
+  check_bool "traced run produced spans" true
+    (List.length (Obs.Trace.events ()) > 0);
+  let a = plain.Bmf.Fusion.coeffs and b = traced.Bmf.Fusion.coeffs in
+  check_int "same coefficient count" (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i x ->
+      check_bool
+        (Printf.sprintf "coefficient %d bit-identical" i)
+        true
+        (Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float b.(i))))
+    a;
+  check_bool "same hyper" true
+    (Int64.equal
+       (Int64.bits_of_float plain.Bmf.Fusion.hyper)
+       (Int64.bits_of_float traced.Bmf.Fusion.hyper));
+  (* and the traced run did surface the numerical-health telemetry *)
+  let gauge_set name =
+    match Obs.Metrics.find_gauge name with
+    | Some g -> Obs.Metrics.gauge_is_set g
+    | None -> false
+  in
+  check_bool "woodbury cond recorded" true (gauge_set "bmf_fit_woodbury_cond");
+  check_bool "train residual recorded" true
+    (gauge_set "bmf_fit_train_residual_norm");
+  fresh ()
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "clock",
+        [ Alcotest.test_case "monotonic clamp" `Quick test_clock_monotonic ] );
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "sibling order" `Quick test_span_sibling_order;
+          Alcotest.test_case "disabled is inert" `Quick
+            test_span_disabled_is_inert;
+          Alcotest.test_case "exception safety" `Quick
+            test_span_survives_exception;
+          Alcotest.test_case "buffer limit" `Quick test_span_buffer_limit;
+          Alcotest.test_case "json round-trip" `Quick test_trace_json_roundtrip;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "gating" `Quick test_metrics_gating;
+          Alcotest.test_case "registry" `Quick test_metrics_registry;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "histogram validation" `Quick
+            test_histogram_validation;
+          Alcotest.test_case "json dump" `Quick test_metrics_json;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "fit bit-identical with tracing" `Quick
+            test_fit_bit_identical;
+        ] );
+    ]
