@@ -237,6 +237,80 @@ let run_bechamel tests =
   List.rev !estimates
 
 (* ------------------------------------------------------------------ *)
+(* Parallel CV sweep: wall-clock speedup curve over -j, with the       *)
+(* determinism bar checked on the spot.                                *)
+
+(* (jobs, best seconds, bit-identical to -j 1), for the summary JSON. *)
+let parallel_timings : (int * float * bool) list ref = ref []
+
+let parallel_cv_sweep (cfg : Experiments.Config.t) =
+  let ro = Circuit.Ring_oscillator.create ~config:cfg.ro cfg.seed in
+  let tb = Circuit.Ring_oscillator.testbench ro in
+  let metric = Circuit.Ring_oscillator.frequency_index in
+  let prep = Experiments.Runner.prepare cfg tb ~metric in
+  let rng = Stats.Rng.create 4242 in
+  let k = 240 in
+  let xs, f =
+    Circuit.Testbench.draw_dataset tb ~stage:Circuit.Stage.Layout ~metric ~rng
+      ~k ()
+  in
+  let g = Polybasis.Basis.design_matrix prep.late_basis xs in
+  let prior = Bmf.Prior.nonzero_mean prep.early in
+  let candidates =
+    Bmf.Hyper.auto_grid ~per_decade:2 ~g ~f ~prior ()
+  in
+  let sweep jobs =
+    Parallel.Pool.set_default_jobs jobs;
+    Fun.protect
+      ~finally:(fun () -> Parallel.Pool.set_default_jobs 0)
+      (fun () ->
+        Bmf.Hyper.cv_errors
+          ~rng:(Stats.Rng.create 7)
+          ~folds:8 ~g ~f ~prior ~candidates ())
+  in
+  let best f =
+    let reps = 3 in
+    let t = ref infinity and out = ref None in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      t := Float.min !t (Unix.gettimeofday () -. t0);
+      out := Some r
+    done;
+    (Option.get !out, !t)
+  in
+  Printf.printf
+    "CV fold sweep: K = %d, %d folds x %d candidates (RO frequency)\n\
+     recommended domains on this host: %d\n\n"
+    k 8 (List.length candidates)
+    (Domain.recommended_domain_count ());
+  Printf.printf "%6s %14s %10s %12s\n" "-j" "seconds" "speedup" "identical";
+  ignore (sweep 1) (* warm up allocators and code paths *);
+  let baseline, t1 = best (fun () -> sweep 1) in
+  parallel_timings := [];
+  List.iter
+    (fun jobs ->
+      let scored, t = if jobs = 1 then (baseline, t1) else best (fun () -> sweep jobs) in
+      let identical =
+        List.for_all2
+          (fun (c1, e1) (cj, ej) ->
+            Int64.bits_of_float c1 = Int64.bits_of_float cj
+            && Int64.bits_of_float e1 = Int64.bits_of_float ej)
+          baseline scored
+      in
+      if not identical then
+        failwith
+          (Printf.sprintf
+             "parallel CV sweep at -j %d diverged from the sequential bits"
+             jobs);
+      parallel_timings := (jobs, t, identical) :: !parallel_timings;
+      Printf.printf "%6d %14.3f %9.2fx %12s\n" jobs t
+        (t1 /. Float.max 1e-9 t)
+        (if identical then "yes" else "NO"))
+    [ 1; 2; 4; 8 ];
+  parallel_timings := List.rev !parallel_timings
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable summary: BENCH_SUMMARY line + JSON file.          *)
 
 let json_escape s =
@@ -276,6 +350,20 @@ let summary_json ~total_seconds ~microbench =
   (* the metrics registry as recorded over the whole run (collection is
      enabled for the duration of main); Metrics.to_json is already a
      JSON document, spliced in verbatim *)
+  Buffer.add_string buf "],\"parallel_cv\":[";
+  let t1 =
+    match !parallel_timings with (1, t, _) :: _ -> t | _ -> Float.nan
+  in
+  List.iteri
+    (fun i (jobs, seconds, identical) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"jobs\":%d,\"seconds\":%.6f,\"speedup\":%.3f,\"identical\":%b}"
+           jobs seconds
+           (t1 /. Float.max 1e-9 seconds)
+           identical))
+    !parallel_timings;
   Buffer.add_string buf "],\"metrics\":";
   Buffer.add_string buf (Obs.Metrics.to_json ());
   Buffer.add_char buf '}';
@@ -349,6 +437,9 @@ let () =
 
   section "Serving: incremental update vs full refit (wall clock)";
   ignore (timed "serving" (fun () -> serving_table cfg; ""));
+
+  section "Parallel CV sweep: speedup over -j (bit-identical by construction)";
+  ignore (timed "parallel_cv" (fun () -> parallel_cv_sweep cfg; ""));
 
   section "Bechamel micro-benchmarks (kernels behind each artifact)";
   let microbench =

@@ -55,7 +55,19 @@ let seed_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print progress to stderr.")
 
-let build_config (scale_name, scale) repeats seed =
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Parallel lanes (worker domains + the main one) for the CV fold \
+           sweep, design-matrix construction and batch prediction. 0 (the \
+           default) selects automatically: \\$BMF_JOBS if set, else the \
+           recommended domain count capped at 8. Results are bit-identical \
+           at any $(docv).")
+
+let build_config (scale_name, scale) repeats seed jobs =
   let cfg = match repeats with
     | Some r -> Experiments.Config.with_repeats scale r
     | None -> scale
@@ -64,6 +76,7 @@ let build_config (scale_name, scale) repeats seed =
     | Some s -> Experiments.Config.with_seed cfg s
     | None -> cfg
   in
+  Parallel.Pool.set_default_jobs (Stdlib.max 0 jobs);
   (scale_name, cfg)
 
 let progress_of verbose =
@@ -129,7 +142,7 @@ let with_obs ~trace ~metrics name f =
   end
 
 let common_named =
-  Term.(const build_config $ scale_arg $ repeats_arg $ seed_arg)
+  Term.(const build_config $ scale_arg $ repeats_arg $ seed_arg $ jobs_arg)
 
 let common = Term.(const snd $ common_named)
 
@@ -401,6 +414,16 @@ let fit_samples_arg =
     & info [ "k"; "samples" ] ~docv:"K"
         ~doc:"Number of late-stage training samples.")
 
+(* One master stream per (seed, metric): data sampling and CV fold
+   shuffling consume independent splits of it, so the shuffle stream no
+   longer depends on how many draws sampling happened to make — the same
+   [--seed] pins the artifact bytes regardless of [-k]. *)
+let fit_rngs (cfg : Experiments.Config.t) ~metric =
+  let master = Stats.Rng.create (cfg.seed + 211 + (metric * 613)) in
+  let data = Stats.Rng.split master in
+  let shuffle = Stats.Rng.split master in
+  (data, shuffle)
+
 let run_fit (scale_name, (cfg : Experiments.Config.t)) verbose circuit
     metric_opt k dir json trace metrics =
   with_obs ~trace ~metrics "repro_fit" @@ fun () ->
@@ -409,16 +432,16 @@ let run_fit (scale_name, (cfg : Experiments.Config.t)) verbose circuit
   let metric = resolve_metric tb metric_opt in
   progress "fitting early-stage model (prior)";
   let prep = Experiments.Runner.prepare cfg tb ~metric in
-  let rng = Stats.Rng.create (cfg.seed + 211 + (metric * 613)) in
+  let data_rng, cv_rng = fit_rngs cfg ~metric in
   let xs, f =
-    Circuit.Testbench.draw_dataset tb ~stage:Circuit.Stage.Layout ~metric ~rng
-      ~k ()
+    Circuit.Testbench.draw_dataset tb ~stage:Circuit.Stage.Layout ~metric
+      ~rng:data_rng ~k ()
   in
   let g = Polybasis.Basis.design_matrix prep.late_basis xs in
   progress (Printf.sprintf "fusing %d late-stage samples (BMF-PS)" k);
   let config = { Bmf.Fusion.default_config with cv_folds = cfg.cv_folds } in
   let fitted =
-    Bmf.Fusion.fit_design ~rng ~config ~early:prep.early ~g ~f
+    Bmf.Fusion.fit_design ~rng:cv_rng ~config ~early:prep.early ~g ~f
       Bmf.Fusion.Bmf_ps
   in
   let meta =
@@ -517,9 +540,10 @@ let run_update (scale_name, (cfg : Experiments.Config.t)) verbose circuit
       Printf.printf "loaded %s\n" (describe artifact);
       (* fresh samples: the stream advances with the stored revision, so
          successive updates fold in genuinely new data *)
-      let rng =
+      let master =
         Stats.Rng.create (cfg.seed + 1511 + (metric * 97) + (artifact.rev * 7919))
       in
+      let rng = Stats.Rng.split master in
       let xs, f =
         Circuit.Testbench.draw_dataset tb ~stage:Circuit.Stage.Layout ~metric
           ~rng ~k:k_new ()
@@ -651,16 +675,16 @@ let run_stats (scale_name, (cfg : Experiments.Config.t)) verbose circuit
     Obs.Trace.with_span ~cat:"cli" "repro_stats" @@ fun _ ->
     progress "fitting early-stage model (prior)";
     let prep = Experiments.Runner.prepare cfg tb ~metric in
-    let rng = Stats.Rng.create (cfg.seed + 211 + (metric * 613)) in
+    let data_rng, cv_rng = fit_rngs cfg ~metric in
     let xs, f =
       Circuit.Testbench.draw_dataset tb ~stage:Circuit.Stage.Layout ~metric
-        ~rng ~k ()
+        ~rng:data_rng ~k ()
     in
     let g = Polybasis.Basis.design_matrix prep.late_basis xs in
     progress (Printf.sprintf "fusing %d late-stage samples (BMF-PS)" k);
     let config = { Bmf.Fusion.default_config with cv_folds = cfg.cv_folds } in
     let fitted =
-      Bmf.Fusion.fit_design ~rng ~config ~early:prep.early ~g ~f
+      Bmf.Fusion.fit_design ~rng:cv_rng ~config ~early:prep.early ~g ~f
         Bmf.Fusion.Bmf_ps
     in
     let meta =

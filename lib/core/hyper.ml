@@ -53,6 +53,16 @@ let submatrix_rows g idx =
 
 let subvector f idx = Array.map (fun i -> f.(i)) idx
 
+(* Held-out error denominator: relative error normalizes by |f_v|, but a
+   validation group of near-zero responses (late-stage samples centered
+   on zero) would inflate every candidate's score towards inf/NaN. Below
+   the floor we fall back to the absolute error (denominator 1). *)
+let rel_denom_floor = 1e-12
+
+let error_denom fv =
+  let n = Linalg.Vec.nrm2 fv in
+  if n >= rel_denom_floor then n else 1.
+
 (* Evaluate all candidates on one fold, adding each candidate's held-out
    relative error into [err_acc]. Shared-work scheme: the fold matrix
    B = G W^-1 G^T and residual r are computed once; each candidate then
@@ -64,7 +74,7 @@ let fold_errors ~(prior : Prior.t) ~gt ~ft ~gv ~fv ~candidates ~err_acc =
   let w_inv = Array.map (fun w -> 1. /. w) prior.weights in
   let r = prior_residual ~g:gt ~f:ft ~prior in
   let b = Linalg.Mat.weighted_outer_gram gt w_inv in
-  let fv_norm = Float.max 1e-300 (Linalg.Vec.nrm2 fv) in
+  let fv_norm = error_denom fv in
   List.iteri
     (fun ci t ->
       let shifted = Linalg.Mat.add_diag b (Array.make kt t) in
@@ -82,7 +92,7 @@ let fold_errors ~(prior : Prior.t) ~gt ~ft ~gv ~fv ~candidates ~err_acc =
    used to reproduce the conventional-solver fitting cost of Fig. 5. *)
 let fold_errors_direct ~solver ~(prior : Prior.t) ~gt ~ft ~gv ~fv ~candidates
     ~err_acc =
-  let fv_norm = Float.max 1e-300 (Linalg.Vec.nrm2 fv) in
+  let fv_norm = error_denom fv in
   List.iteri
     (fun ci t ->
       let alpha =
@@ -108,35 +118,51 @@ let cv_errors ?rng ?(solver = Map_solver.Fast_woodbury) ~folds ~g ~f ~prior
     invalid_arg "Hyper.cv_errors: prior size mismatch";
   let folds = Stdlib.min folds k in
   let fold_list = Stats.Crossval.folds ?shuffle:rng ~n:folds ~size:k () in
-  let err_acc = Array.make (List.length candidates) 0. in
+  let n_folds = List.length fold_list in
+  let n_cand = List.length candidates in
   Obs.Trace.with_span ~cat:"core" "hyper_cv" @@ fun cv_sp ->
-  Obs.Trace.set_attr cv_sp "folds" (Obs.Trace.Int folds);
-  Obs.Trace.set_attr cv_sp "candidates"
-    (Obs.Trace.Int (List.length candidates));
+  Obs.Trace.set_attr cv_sp "folds" (Obs.Trace.Int n_folds);
+  Obs.Trace.set_attr cv_sp "candidates" (Obs.Trace.Int n_cand);
   Obs.Trace.set_attr cv_sp "samples" (Obs.Trace.Int k);
   if Obs.live () then
     Obs.Metrics.set m_cv_residual
       (Linalg.Vec.nrm2 (prior_residual ~g ~f ~prior));
-  List.iteri
-    (fun fi { Stats.Crossval.train; test } ->
-      Obs.Trace.with_span ~cat:"core" "cv_fold" @@ fun sp ->
-      Obs.Trace.set_attr sp "fold" (Obs.Trace.Int fi);
-      Obs.Trace.set_attr sp "train" (Obs.Trace.Int (Array.length train));
-      Obs.Trace.set_attr sp "test" (Obs.Trace.Int (Array.length test));
-      Obs.Metrics.inc m_cv_folds;
-      Obs.Metrics.inc ~by:(float_of_int (List.length candidates))
-        m_cv_candidates;
-      let gt = submatrix_rows g train and ft = subvector f train in
-      let gv = submatrix_rows g test and fv = subvector f test in
-      match solver with
-      | Map_solver.Fast_woodbury ->
-          fold_errors ~prior ~gt ~ft ~gv ~fv ~candidates ~err_acc
-      | Map_solver.Direct_cholesky ->
-          fold_errors_direct ~solver ~prior ~gt ~ft ~gv ~fv ~candidates
-            ~err_acc)
-    fold_list;
+  (* Each fold is one pool task — submatrix build plus Woodbury sweep on
+     its own domain, writing a private error vector. The vectors are
+     merged below in fold order, so the floating-point accumulation
+     order (and hence the selected hyper) is bit-identical to the
+     sequential sweep at any -j. *)
+  let eval_fold (fi, { Stats.Crossval.train; test }) =
+    Obs.Trace.with_span ~cat:"core" "cv_fold" @@ fun sp ->
+    Obs.Trace.set_attr sp "fold" (Obs.Trace.Int fi);
+    Obs.Trace.set_attr sp "train" (Obs.Trace.Int (Array.length train));
+    Obs.Trace.set_attr sp "test" (Obs.Trace.Int (Array.length test));
+    Obs.Metrics.inc m_cv_folds;
+    Obs.Metrics.inc ~by:(float_of_int n_cand) m_cv_candidates;
+    let gt = submatrix_rows g train and ft = subvector f train in
+    let gv = submatrix_rows g test and fv = subvector f test in
+    let err_acc = Array.make n_cand 0. in
+    (match solver with
+    | Map_solver.Fast_woodbury ->
+        fold_errors ~prior ~gt ~ft ~gv ~fv ~candidates ~err_acc
+    | Map_solver.Direct_cholesky ->
+        fold_errors_direct ~solver ~prior ~gt ~ft ~gv ~fv ~candidates
+          ~err_acc);
+    err_acc
+  in
+  let per_fold =
+    Parallel.Pool.map eval_fold
+      (Array.of_list (List.mapi (fun fi fold -> (fi, fold)) fold_list))
+  in
+  let err_acc = Array.make n_cand 0. in
+  Array.iter
+    (fun fold_err ->
+      for ci = 0 to n_cand - 1 do
+        err_acc.(ci) <- err_acc.(ci) +. fold_err.(ci)
+      done)
+    per_fold;
   List.mapi
-    (fun i t -> (t, err_acc.(i) /. float_of_int folds))
+    (fun i t -> (t, err_acc.(i) /. float_of_int n_folds))
     candidates
 
 let select ?rng ?solver ?(folds = 4) ?candidates ~g ~f ~prior () =
@@ -146,8 +172,10 @@ let select ?rng ?solver ?(folds = 4) ?candidates ~g ~f ~prior () =
     | None -> auto_grid ~g ~f ~prior ()
   in
   let scored = cv_errors ?rng ?solver ~folds ~g ~f ~prior ~candidates () in
-  match scored with
-  | [] -> invalid_arg "Hyper.select: no candidates"
+  (* Rank finite scores only: a candidate whose sweep degenerated to
+     inf/NaN must not win by vacuous comparison. *)
+  match List.filter (fun (_, e) -> Float.is_finite e) scored with
+  | [] -> invalid_arg "Hyper.select: every candidate scored non-finite"
   | first :: rest ->
       let ((hyper, err) as best) =
         List.fold_left

@@ -11,7 +11,17 @@
     [B = G W^-1 G^T] and the vectors entering the Woodbury solve are
     computed once, so each additional candidate costs only one K x K
     Cholesky plus two matrix-vector products. This is what makes
-    cross-validating BMF cheap even at the largest sample counts. *)
+    cross-validating BMF cheap even at the largest sample counts.
+
+    The fold sweep runs on the shared [Parallel.Pool]: each fold's
+    submatrix build and Woodbury sweep is one pool task with a private
+    error vector, and the vectors are merged in fold order — the
+    selected hyper-parameter is bit-identical at any [-j].
+
+    Held-out errors are relative (normalized by the validation group's
+    |f_v|) unless that norm sits below 1e-12, where the denominator
+    degenerates; such folds fall back to the absolute error instead of
+    inflating every candidate's score to inf/NaN. *)
 
 type grid = float list
 
@@ -56,8 +66,9 @@ val select :
   prior:Prior.t ->
   unit ->
   float * float
-(** Best (hyper, cv-error) pair. [folds] defaults to 4; [candidates]
-    defaults to {!auto_grid}. *)
+(** Best (hyper, cv-error) pair over the candidates with finite CV
+    error. [folds] defaults to 4; [candidates] defaults to {!auto_grid}.
+    @raise Invalid_argument when every candidate scores non-finite. *)
 
 (** {2 Marginal-likelihood (evidence) selection}
 

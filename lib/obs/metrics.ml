@@ -24,6 +24,16 @@ let disable () = on := false
 
 let enabled () = !on
 
+(* One lock serializes every mutation: recording can come from worker
+   domains (the Domains pool runs instrumented kernels in parallel). The
+   disabled path never touches it, so the default cost stays a single
+   load-and-branch. *)
+let mu = Mutex.create ()
+
+let locked f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
 (* Registry: lookup table plus insertion order for stable exposition. *)
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 
@@ -47,6 +57,7 @@ let kind_label = function
   | Hist _ -> "histogram"
 
 let register name help payload =
+  locked @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some m ->
       if kind_label m.payload <> kind_label payload then
@@ -93,10 +104,12 @@ let histogram ?(help = "") ?(buckets = latency_buckets) name =
 
 let inc ?(by = 1.) m =
   if !on then
+    locked @@ fun () ->
     match m.payload with Counter c -> c.total <- c.total +. by | _ -> ()
 
 let set m v =
   if !on then
+    locked @@ fun () ->
     match m.payload with
     | Gauge g ->
         g.value <- v;
@@ -105,6 +118,7 @@ let set m v =
 
 let observe m v =
   if !on then
+    locked @@ fun () ->
     match m.payload with
     | Hist h ->
         let n = Array.length h.bounds in
@@ -157,6 +171,7 @@ let find_counter name =
   | _ -> None
 
 let reset () =
+  locked @@ fun () ->
   Hashtbl.iter
     (fun _ m ->
       match m.payload with

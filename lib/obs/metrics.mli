@@ -7,7 +7,11 @@
     even before a value lands. Recording is gated on {!enabled}: when
     collection is off (the default) every [inc]/[set]/[observe] is a
     single load-and-branch, and instrumented numerical code never takes
-    a different computational path. *)
+    a different computational path.
+
+    The registry is domain-safe: enabled-path mutations take one global
+    mutex, so recording from [Parallel.Pool] workers never tears a
+    histogram; the disabled path stays a bare flag check. *)
 
 type counter
 

@@ -31,26 +31,64 @@ type event =
 
 let on = ref false
 
-let buf : event list ref = ref [] (* newest first *)
-
-let count = ref 0
-
-let dropped_count = ref 0
-
 let limit = ref 200_000
 
-let stack : span list ref = ref []
+(* Every domain records into its own lane: a private buffer, span stack
+   and drop counter, reached through domain-local storage so recording
+   never takes a lock. Worker domains flush their lane into [merged]
+   (tid-tagged, mutex-guarded) when a pool task or the domain itself
+   finishes; the export then renders each lane as its own tid row. *)
+type lane = {
+  tid : int;
+  mutable buf : event list; (* newest first *)
+  mutable count : int;
+  mutable dropped : int;
+  mutable stack : span list;
+}
 
-let next_id = ref 0
+let next_tid = Atomic.make 1
+
+let fresh_lane () =
+  {
+    tid = Atomic.fetch_and_add next_tid 1;
+    buf = [];
+    count = 0;
+    dropped = 0;
+    stack = [];
+  }
+
+(* Module initialization runs on the main domain, so the main lane is
+   always tid 1. *)
+let main_lane = fresh_lane ()
+
+let lane_key =
+  Domain.DLS.new_key (fun () ->
+      if Domain.is_main_domain () then main_lane else fresh_lane ())
+
+let lane () = Domain.DLS.get lane_key
+
+let merge_mu = Mutex.create ()
+
+(* Flushed worker lanes, newest flush first; each entry is
+   (tid, events oldest first). *)
+let merged : (int * event list) list ref = ref []
+
+let merged_dropped = ref 0
+
+let next_id = Atomic.make 0
 
 let enabled () = !on
 
 let clear () =
-  buf := [];
-  count := 0;
-  dropped_count := 0;
-  stack := [];
-  next_id := 0
+  main_lane.buf <- [];
+  main_lane.count <- 0;
+  main_lane.dropped <- 0;
+  main_lane.stack <- [];
+  Mutex.lock merge_mu;
+  merged := [];
+  merged_dropped := 0;
+  Mutex.unlock merge_mu;
+  Atomic.set next_id 0
 
 let start () =
   clear ();
@@ -60,11 +98,23 @@ let stop () = on := false
 
 let set_limit n = limit := Stdlib.max 1 n
 
-let record ev =
-  if !count >= !limit then incr dropped_count
+let record ln ev =
+  if ln.count >= !limit then ln.dropped <- ln.dropped + 1
   else begin
-    buf := ev :: !buf;
-    incr count
+    ln.buf <- ev :: ln.buf;
+    ln.count <- ln.count + 1
+  end
+
+let flush_lane () =
+  let ln = lane () in
+  if ln != main_lane && (ln.buf <> [] || ln.dropped > 0) then begin
+    Mutex.lock merge_mu;
+    if ln.buf <> [] then merged := (ln.tid, List.rev ln.buf) :: !merged;
+    merged_dropped := !merged_dropped + ln.dropped;
+    Mutex.unlock merge_mu;
+    ln.buf <- [];
+    ln.count <- 0;
+    ln.dropped <- 0
   end
 
 let dummy =
@@ -84,15 +134,15 @@ let set_attr sp key v = if sp.live then sp.attrs <- (key, v) :: sp.attrs
 let begin_span ?(cat = "bmf") ?(attrs = []) name =
   if not !on then dummy
   else begin
-    incr next_id;
+    let ln = lane () in
     let parent, depth =
-      match !stack with
+      match ln.stack with
       | [] -> (None, 0)
       | p :: _ -> (Some p.id, p.depth + 1)
     in
     let sp =
       {
-        id = !next_id;
+        id = 1 + Atomic.fetch_and_add next_id 1;
         name;
         cat;
         start_us = Clock.now_us ();
@@ -102,17 +152,18 @@ let begin_span ?(cat = "bmf") ?(attrs = []) name =
         live = true;
       }
     in
-    stack := sp :: !stack;
+    ln.stack <- sp :: ln.stack;
     sp
   end
 
 let end_span sp =
   if sp.live then begin
+    let ln = lane () in
     let dur_us = Clock.now_us () -. sp.start_us in
-    (match !stack with
-    | top :: rest when top.id = sp.id -> stack := rest
-    | _ -> stack := List.filter (fun s -> s.id <> sp.id) !stack);
-    record
+    (match ln.stack with
+    | top :: rest when top.id = sp.id -> ln.stack <- rest
+    | _ -> ln.stack <- List.filter (fun s -> s.id <> sp.id) ln.stack);
+    record ln
       (Complete
          {
            id = sp.id;
@@ -133,11 +184,26 @@ let with_span ?cat ?attrs name f =
     Fun.protect ~finally:(fun () -> end_span sp) (fun () -> f sp)
 
 let instant ?(cat = "log") ?(attrs = []) name =
-  if !on then record (Instant { name; cat; ts_us = Clock.now_us (); attrs })
+  if !on then
+    record (lane ()) (Instant { name; cat; ts_us = Clock.now_us (); attrs })
 
-let events () = List.rev !buf
+let merged_lanes () =
+  Mutex.lock merge_mu;
+  let lanes = List.rev !merged in
+  Mutex.unlock merge_mu;
+  lanes
 
-let dropped () = !dropped_count
+let events () =
+  List.rev main_lane.buf
+  @ List.concat_map (fun (_, evs) -> evs) (merged_lanes ())
+
+let dropped () =
+  let ln = lane () in
+  let local = if ln == main_lane then 0 else ln.dropped in
+  Mutex.lock merge_mu;
+  let m = !merged_dropped in
+  Mutex.unlock merge_mu;
+  main_lane.dropped + m + local
 
 (* ------------------------------------------------------------------ *)
 (* Chrome trace-event JSON. Hand-rolled printer: the library sits below
@@ -188,7 +254,7 @@ let add_args buf attrs extra =
 
 let add_ts buf t = Buffer.add_string buf (Printf.sprintf "%.3f" t)
 
-let add_event buf ev =
+let add_event buf ~tid ev =
   match ev with
   | Complete { id; name; cat; start_us; dur_us; parent; depth; attrs } ->
       Buffer.add_string buf "{\"name\":";
@@ -199,7 +265,7 @@ let add_event buf ev =
       add_ts buf start_us;
       Buffer.add_string buf ",\"dur\":";
       add_ts buf dur_us;
-      Buffer.add_string buf ",\"pid\":1,\"tid\":1,\"args\":";
+      Buffer.add_string buf (Printf.sprintf ",\"pid\":1,\"tid\":%d,\"args\":" tid);
       let extra =
         [ ("span_id", Int id); ("depth", Int depth) ]
         @ match parent with Some p -> [ ("parent_id", Int p) ] | None -> []
@@ -213,18 +279,23 @@ let add_event buf ev =
       add_str buf cat;
       Buffer.add_string buf ",\"ph\":\"i\",\"ts\":";
       add_ts buf ts_us;
-      Buffer.add_string buf ",\"pid\":1,\"tid\":1,\"s\":\"t\",\"args\":";
+      Buffer.add_string buf
+        (Printf.sprintf ",\"pid\":1,\"tid\":%d,\"s\":\"t\",\"args\":" tid);
       add_args buf attrs [];
       Buffer.add_char buf '}'
 
 let export_json () =
   let out = Buffer.create 4096 in
   Buffer.add_string out "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  List.iteri
-    (fun i ev ->
-      if i > 0 then Buffer.add_char out ',';
-      add_event out ev)
-    (events ());
+  let first = ref true in
+  let emit ~tid ev =
+    if !first then first := false else Buffer.add_char out ',';
+    add_event out ~tid ev
+  in
+  List.iter (emit ~tid:main_lane.tid) (List.rev main_lane.buf);
+  List.iter
+    (fun (tid, evs) -> List.iter (emit ~tid) evs)
+    (merged_lanes ());
   Buffer.add_string out "]}";
   Buffer.contents out
 

@@ -9,7 +9,14 @@
 
     Spans nest through an explicit stack: a span begun while another is
     open records that span as its parent, and its depth. Instant events
-    ({!instant}) double as the structured log sink. *)
+    ({!instant}) double as the structured log sink.
+
+    Recording is domain-safe: every domain writes to its own lane
+    (buffer + span stack) held in domain-local storage, so hot-path
+    recording never takes a lock. Worker domains hand their lane over
+    with {!flush_lane} (the [Parallel.Pool] does this after every task
+    and at shutdown); the export renders each lane as its own [tid]
+    row, so a parallel run shows one timeline per domain. *)
 
 type value = Bool of bool | Int of int | Float of float | Str of string
 (** Span / event attribute values. *)
@@ -59,9 +66,21 @@ val set_attr : span -> string -> value -> unit
 val instant : ?cat:string -> ?attrs:(string * value) list -> string -> unit
 (** Record a zero-duration event (log line, progress tick). *)
 
+val flush_lane : unit -> unit
+(** Move the calling domain's lane (buffered events and drop count) into
+    the shared merge buffer, tagged with the lane's tid. No-op on the
+    main domain and on an empty lane. Worker domains must call this
+    before terminating or their events are lost with their lane. *)
+
+val merged_lanes : unit -> (int * event list) list
+(** Flushed worker lanes in flush order, each as [(tid, events)] with
+    events oldest first. The main lane (tid 1) is not included — read it
+    through {!events}. *)
+
 val events : unit -> event list
-(** Recorded events, oldest first. Complete events appear in span-close
-    order (children before parents). *)
+(** Recorded events, oldest first: the main lane followed by every
+    flushed worker lane. Complete events appear in span-close order
+    (children before parents) within a lane. *)
 
 val dropped : unit -> int
 (** Events discarded after the buffer limit (default 200k) was hit. *)

@@ -1,0 +1,256 @@
+(* Chunked Domains work pool. Design notes:
+
+   - Determinism first: batches return results slotted by input index
+     and the callers merge in index order, so parallel runs are
+     bit-identical to sequential ones. Nothing here depends on task
+     completion order.
+   - The submitting domain helps drain the queue rather than blocking,
+     so `jobs = 2` really is two lanes (one worker + the caller), and a
+     pool is useful even while the queue is short.
+   - No work stealing, no per-task allocation beyond one closure: the
+     hot paths submit a handful of coarse chunks, not thousands of
+     fine-grained tasks. *)
+
+let m_tasks =
+  Obs.Metrics.counter ~help:"Tasks executed by the Domains pool"
+    "bmf_pool_tasks_total"
+
+let m_queue_seconds =
+  Obs.Metrics.histogram
+    ~help:"Pool task queue latency, submit to start (seconds)"
+    "bmf_pool_queue_seconds"
+
+let m_batches =
+  Obs.Metrics.counter ~help:"Task batches submitted to the Domains pool"
+    "bmf_pool_batches_total"
+
+type task = { submitted_s : float; run : unit -> unit }
+
+type t = {
+  lanes : int; (* workers + the submitting domain *)
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  queue : task Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+}
+
+(* True on a pool worker domain: batches submitted from inside a task
+   run inline so the pool cannot wait on itself. *)
+let on_worker_key = Domain.DLS.new_key (fun () -> false)
+
+let on_worker () = Domain.DLS.get on_worker_key
+
+let exec task =
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.inc m_tasks;
+    Obs.Metrics.observe m_queue_seconds
+      (Float.max 0. (Obs.Clock.now_s () -. task.submitted_s))
+  end;
+  task.run ()
+
+let rec worker_loop t =
+  Mutex.lock t.mu;
+  while Queue.is_empty t.queue && not t.stop do
+    Condition.wait t.nonempty t.mu
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.mu (* stop, fully drained *)
+  else begin
+    let task = Queue.pop t.queue in
+    Mutex.unlock t.mu;
+    exec task;
+    if Obs.Trace.enabled () then Obs.Trace.flush_lane ();
+    worker_loop t
+  end
+
+let worker_main t () =
+  Domain.DLS.set on_worker_key true;
+  Fun.protect ~finally:Obs.Trace.flush_lane (fun () -> worker_loop t)
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be at least 1";
+  let t =
+    {
+      lanes = jobs;
+      mu = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      workers = [||];
+    }
+  in
+  t.workers <- Array.init (jobs - 1) (fun _ -> Domain.spawn (worker_main t));
+  t
+
+let jobs t = t.lanes
+
+let shutdown t =
+  Mutex.lock t.mu;
+  t.stop <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mu;
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let try_pop t =
+  Mutex.lock t.mu;
+  let task = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+  Mutex.unlock t.mu;
+  task
+
+let reraise_first failures =
+  let n = Array.length failures in
+  let rec scan i =
+    if i < n then
+      match failures.(i) with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> scan (i + 1)
+  in
+  scan 0
+
+let run_on t thunks =
+  let n = Array.length thunks in
+  if n = 0 then [||]
+  else if t.lanes <= 1 || n <= 1 || t.stop || on_worker () then
+    Array.map (fun f -> f ()) thunks
+  else begin
+    let results = Array.make n None in
+    let failures = Array.make n None in
+    let left = Atomic.make n in
+    let done_mu = Mutex.create () in
+    let done_cond = Condition.create () in
+    let finish () =
+      if Atomic.fetch_and_add left (-1) = 1 then begin
+        Mutex.lock done_mu;
+        Condition.signal done_cond;
+        Mutex.unlock done_mu
+      end
+    in
+    let submitted_s = if Obs.Metrics.enabled () then Obs.Clock.now_s () else 0. in
+    let task i =
+      {
+        submitted_s;
+        run =
+          (fun () ->
+            (try results.(i) <- Some (thunks.(i) ())
+             with e -> failures.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+            finish ());
+      }
+    in
+    Obs.Metrics.inc m_batches;
+    Mutex.lock t.mu;
+    for i = 0 to n - 1 do
+      Queue.add (task i) t.queue
+    done;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mu;
+    (* the submitting domain is a lane too: help drain, then wait for
+       tasks still running on workers *)
+    let rec help () =
+      match try_pop t with
+      | Some task ->
+          exec task;
+          help ()
+      | None -> ()
+    in
+    help ();
+    Mutex.lock done_mu;
+    while Atomic.get left > 0 do
+      Condition.wait done_cond done_mu
+    done;
+    Mutex.unlock done_mu;
+    reraise_first failures;
+    Array.map
+      (function
+        | Some r -> r
+        | None -> assert false (* every slot resolved or re-raised above *))
+      results
+  end
+
+let map_on t f xs = run_on t (Array.map (fun x () -> f x) xs)
+
+let chunk_ranges ~lanes ~grain n =
+  let grain = Stdlib.max 1 grain in
+  let chunks = Stdlib.max 1 (Stdlib.min lanes (n / grain)) in
+  let base = n / chunks and rem = n mod chunks in
+  List.init chunks (fun c ->
+      let lo = (c * base) + Stdlib.min c rem in
+      let hi = lo + base + (if c < rem then 1 else 0) in
+      (lo, hi))
+
+let chunks_on t ?(grain = 1) ~n f =
+  if n > 0 then
+    if t.lanes <= 1 || n <= grain || t.stop || on_worker () then f ~lo:0 ~hi:n
+    else
+      let ranges = chunk_ranges ~lanes:t.lanes ~grain n in
+      ignore
+        (run_on t
+           (Array.of_list
+              (List.map (fun (lo, hi) () -> f ~lo ~hi) ranges)))
+
+(* ------------------------------------------------------------------ *)
+(* Shared default pool.                                               *)
+
+let jobs_cap = 8
+
+let env_jobs () =
+  match Sys.getenv_opt "BMF_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> Some j
+      | _ -> None)
+
+let auto_jobs () =
+  Stdlib.min jobs_cap (Stdlib.max 1 (Domain.recommended_domain_count ()))
+
+let requested = ref 0 (* 0 = automatic *)
+
+let default_jobs () =
+  if !requested >= 1 then !requested
+  else match env_jobs () with Some j -> j | None -> auto_jobs ()
+
+let shared : t option ref = ref None
+
+let shutdown_shared () =
+  match !shared with
+  | Some t ->
+      shared := None;
+      shutdown t
+  | None -> ()
+
+let () = at_exit shutdown_shared
+
+let set_default_jobs j =
+  if j < 0 then invalid_arg "Pool.set_default_jobs: negative job count";
+  requested := j;
+  (* drop a mis-sized pool; the next use rebuilds it lazily *)
+  match !shared with
+  | Some t when t.lanes <> default_jobs () -> shutdown_shared ()
+  | _ -> ()
+
+let shared_pool () =
+  let want = default_jobs () in
+  match !shared with
+  | Some t when t.lanes = want -> t
+  | existing ->
+      (match existing with Some _ -> shutdown_shared () | None -> ());
+      let t = create ~jobs:want in
+      shared := Some t;
+      t
+
+let run thunks =
+  if default_jobs () <= 1 || Array.length thunks <= 1 || on_worker () then
+    Array.map (fun f -> f ()) thunks
+  else run_on (shared_pool ()) thunks
+
+let map f xs = run (Array.map (fun x () -> f x) xs)
+
+let parallel_chunks ?(grain = 1) ~n f =
+  if n > 0 then
+    if default_jobs () <= 1 || n <= grain || on_worker () then f ~lo:0 ~hi:n
+    else chunks_on (shared_pool ()) ~grain ~n f

@@ -1,0 +1,81 @@
+(** Fixed-size OCaml 5 Domains work pool with deterministic ordered
+    results.
+
+    The pool runs batches of independent thunks across a fixed set of
+    worker domains plus the submitting domain (which helps drain the
+    queue instead of idling). Scheduling is a plain shared queue — no
+    work stealing — and every batch API returns results slotted by input
+    index, so reductions performed over those results in index order are
+    bit-identical to a sequential run regardless of how the work was
+    interleaved: the ordering of floating-point accumulation never
+    depends on the number of domains.
+
+    Exceptions raised inside a task are captured with their backtrace
+    and re-raised on the submitting domain once the batch has fully
+    drained; when several tasks fail, the lowest-index failure wins
+    (again: deterministic).
+
+    Observability: each worker domain records trace spans into its own
+    [Obs.Trace] lane, flushed after every task, so `--trace` output
+    shows one timeline row per domain. The pool also feeds
+    [bmf_pool_tasks_total] and the [bmf_pool_queue_seconds]
+    submit-to-start latency histogram when metrics collection is on.
+
+    Nested use is safe: a batch submitted from inside a pool task runs
+    sequentially on the calling domain, so the pool can never deadlock
+    on itself. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] builds a pool with [jobs] parallel lanes: [jobs - 1]
+    worker domains are spawned, the submitting domain is the last lane.
+    [jobs = 1] spawns nothing and every batch runs sequentially.
+    @raise Invalid_argument when [jobs < 1]. *)
+
+val jobs : t -> int
+(** Parallel lanes, including the submitting domain. *)
+
+val shutdown : t -> unit
+(** Drain, stop and join every worker domain (their trace lanes are
+    flushed on exit). Idempotent; the pool must not be used afterwards. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], run, and always [shutdown]. *)
+
+val run_on : t -> (unit -> 'a) array -> 'a array
+(** Execute every thunk and return their results in input order. *)
+
+val map_on : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [run_on] over [fun () -> f x]; one task per element. *)
+
+val chunks_on : t -> ?grain:int -> n:int -> (lo:int -> hi:int -> unit) -> unit
+(** Cover [0, n) with contiguous chunks [f ~lo ~hi] (half-open). At most
+    [jobs] chunks are formed and none smaller than [grain] (default 1),
+    so small [n] degrades gracefully to a single sequential call. *)
+
+(** {2 The shared default pool}
+
+    Library hot paths (CV fold sweeps, blocked design matrices, batch
+    prediction) draw from one lazily-created process-wide pool so the
+    [-j] flag set once at the CLI reaches every layer. The pool is
+    resized on the next use after {!set_default_jobs} and shut down at
+    process exit. *)
+
+val default_jobs : unit -> int
+(** Effective lane count for the shared pool: the last
+    {!set_default_jobs} value, else the [BMF_JOBS] environment variable,
+    else [Domain.recommended_domain_count ()] capped at 8. *)
+
+val set_default_jobs : int -> unit
+(** Override the shared lane count ([-j N]). [0] restores automatic
+    selection. @raise Invalid_argument when negative. *)
+
+val run : (unit -> 'a) array -> 'a array
+(** {!run_on} on the shared pool; sequential when {!default_jobs} is 1. *)
+
+val map : ('a -> 'b) -> 'a array -> 'b array
+(** {!map_on} on the shared pool. *)
+
+val parallel_chunks : ?grain:int -> n:int -> (lo:int -> hi:int -> unit) -> unit
+(** {!chunks_on} on the shared pool. *)

@@ -126,15 +126,23 @@ let observed name b ~rows impl =
         Obs.Metrics.inc ~by:(float_of_int rows) m_design_rows;
         g)
 
+(* Minimum rows per domain before sharding pays for the task handoff. *)
+let parallel_grain = 32
+
 let design_matrix b xs =
   let k, r = Linalg.Mat.dims xs in
   if r <> b.dim then invalid_arg "Basis.design_matrix: dimension mismatch";
   observed "design_matrix" b ~rows:k (fun () ->
       let m = size b in
       let g = Linalg.Mat.create k m in
-      for i = 0 to k - 1 do
-        Linalg.Mat.set_row g i (eval_row b (Linalg.Mat.row xs i))
-      done;
+      (* Rows are independent and land in disjoint slices of the output,
+         so sharding the row range across domains is bit-identical to
+         the sequential loop. *)
+      Parallel.Pool.parallel_chunks ~grain:parallel_grain ~n:k
+        (fun ~lo ~hi ->
+          for i = lo to hi - 1 do
+            Linalg.Mat.set_row g i (eval_row b (Linalg.Mat.row xs i))
+          done);
       g)
 
 (* Batch evaluation that amortizes the Hermite recurrences: the per-
@@ -150,14 +158,17 @@ let design_matrix_blocked b xs =
   let m = size b in
   let g = Linalg.Mat.create k m in
   if b.max_degree <= 1 then
-    for i = 0 to k - 1 do
-      for j = 0 to m - 1 do
-        let term = b.terms.(j) in
-        let acc = ref 1. in
-        Array.iter (fun (v, _) -> acc := !acc *. Linalg.Mat.get xs i v) term;
-        Linalg.Mat.set g i j !acc
-      done
-    done
+    Parallel.Pool.parallel_chunks ~grain:parallel_grain ~n:k (fun ~lo ~hi ->
+        for i = lo to hi - 1 do
+          for j = 0 to m - 1 do
+            let term = b.terms.(j) in
+            let acc = ref 1. in
+            Array.iter
+              (fun (v, _) -> acc := !acc *. Linalg.Mat.get xs i v)
+              term;
+            Linalg.Mat.set g i j !acc
+          done
+        done)
   else begin
     (* highest degree needed per variable, across all terms *)
     let need = Array.make b.dim 0 in
@@ -166,31 +177,41 @@ let design_matrix_blocked b xs =
         Array.iter (fun (v, d) -> need.(v) <- Stdlib.max need.(v) d) term)
       b.terms;
     (* Hermite tables for variables used beyond degree 1; degree-1-only
-       variables read the sample matrix directly *)
+       variables read the sample matrix directly. Both the table fill
+       and the assembly shard by rows: every domain writes its own row
+       range only, so parallel output is bit-identical. *)
     let tables =
       Array.init b.dim (fun v ->
-          if need.(v) >= 2 then
-            Some
-              (Array.init k (fun i ->
-                   Hermite.normalized_upto need.(v) (Linalg.Mat.get xs i v)))
-          else None)
+          if need.(v) >= 2 then Some (Array.make k [||]) else None)
     in
-    for i = 0 to k - 1 do
-      for j = 0 to m - 1 do
-        let term = b.terms.(j) in
-        let acc = ref 1. in
-        Array.iter
-          (fun (v, d) ->
-            let value =
-              match tables.(v) with
-              | Some rows -> rows.(i).(d)
-              | None -> Linalg.Mat.get xs i v
-            in
-            acc := !acc *. value)
-          term;
-        Linalg.Mat.set g i j !acc
-      done
-    done
+    Parallel.Pool.parallel_chunks ~grain:parallel_grain ~n:k (fun ~lo ~hi ->
+        for i = lo to hi - 1 do
+          Array.iteri
+            (fun v table ->
+              match table with
+              | Some rows ->
+                  rows.(i) <-
+                    Hermite.normalized_upto need.(v) (Linalg.Mat.get xs i v)
+              | None -> ())
+            tables
+        done);
+    Parallel.Pool.parallel_chunks ~grain:parallel_grain ~n:k (fun ~lo ~hi ->
+        for i = lo to hi - 1 do
+          for j = 0 to m - 1 do
+            let term = b.terms.(j) in
+            let acc = ref 1. in
+            Array.iter
+              (fun (v, d) ->
+                let value =
+                  match tables.(v) with
+                  | Some rows -> rows.(i).(d)
+                  | None -> Linalg.Mat.get xs i v
+                in
+                acc := !acc *. value)
+              term;
+            Linalg.Mat.set g i j !acc
+          done
+        done)
   end;
   g
 

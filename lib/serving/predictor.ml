@@ -87,9 +87,15 @@ let predict_with_std t xs =
       let gq = Polybasis.Basis.design_matrix_blocked t.basis xs in
       let means = Linalg.Mat.gemv gq t.coeffs in
       let k = Linalg.Mat.rows gq in
-      let stds =
-        Array.init k (fun i -> sqrt (variance_row t (Linalg.Mat.row gq i)))
-      in
+      (* Per-query variances are independent K x K solves against the
+         stored factor; shard the query range across domains — each
+         domain writes its own slice, so the output is bit-identical at
+         any -j. *)
+      let stds = Array.make k 0. in
+      Parallel.Pool.parallel_chunks ~grain:16 ~n:k (fun ~lo ~hi ->
+          for i = lo to hi - 1 do
+            stds.(i) <- sqrt (variance_row t (Linalg.Mat.row gq i))
+          done);
       (means, stds))
 
 let predict_point_with_std t x =

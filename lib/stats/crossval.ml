@@ -2,14 +2,19 @@ type fold = { train : int array; test : int array }
 
 let folds ?shuffle ~n ~size () =
   if n < 2 then invalid_arg "Crossval.folds: need at least 2 folds";
-  if n > size then invalid_arg "Crossval.folds: more folds than data points";
+  if size < 2 then invalid_arg "Crossval.folds: need at least 2 data points";
+  (* Asking for more folds than points degenerates gracefully to
+     leave-one-out instead of failing: the clamp keeps every test group
+     non-empty. *)
+  let n = Stdlib.min n size in
   let order =
     match shuffle with
     | Some rng -> Rng.permutation rng size
     | None -> Array.init size (fun i -> i)
   in
   (* Fold f gets indices at positions f, f + n, f + 2n, ... of the order,
-     which yields test sizes differing by at most one. *)
+     which spreads the remainder of [size mod n] across the first folds:
+     test sizes differ by at most one and no fold is ever empty. *)
   let build f =
     let test = ref [] and train = ref [] in
     for pos = size - 1 downto 0 do
@@ -20,35 +25,55 @@ let folds ?shuffle ~n ~size () =
   in
   List.init n build
 
+(* Averaging treats non-finite fold scores explicitly: a fold whose run
+   returns NaN/inf is skipped (and the divisor shrinks with it) rather
+   than silently poisoning the mean; if every fold is non-finite there
+   is no meaningful score and we raise. *)
+let finite_mean ~what scores =
+  let total, counted =
+    List.fold_left
+      (fun (total, counted) s ->
+        if Float.is_finite s then (total +. s, counted + 1)
+        else (total, counted))
+      (0., 0) scores
+  in
+  if counted = 0 then
+    invalid_arg (what ^ ": every fold produced a non-finite score");
+  total /. float_of_int counted
+
 let score ?shuffle ~n ~size run =
   let fs = folds ?shuffle ~n ~size () in
-  let total =
-    List.fold_left
-      (fun acc { train; test } -> acc +. run ~train ~test)
-      0. fs
-  in
-  total /. float_of_int n
+  finite_mean ~what:"Crossval.score"
+    (List.map (fun { train; test } -> run ~train ~test) fs)
 
 let select ?shuffle ~n ~size ~candidates run =
-  match candidates with
-  | [] -> invalid_arg "Crossval.select: no candidates"
-  | first :: rest ->
-      let fs = folds ?shuffle ~n ~size () in
-      let evaluate c =
-        let total =
-          List.fold_left
-            (fun acc { train; test } -> acc +. run c ~train ~test)
-            0. fs
-        in
-        total /. float_of_int n
-      in
-      let best = ref first and best_score = ref (evaluate first) in
-      List.iter
-        (fun c ->
-          let s = evaluate c in
-          if s < !best_score then begin
-            best := c;
-            best_score := s
-          end)
-        rest;
-      (!best, !best_score)
+  if candidates = [] then invalid_arg "Crossval.select: no candidates";
+  let fs = folds ?shuffle ~n ~size () in
+  (* Mean over the finite folds only; a candidate with no finite fold at
+     all is excluded from the ranking entirely. *)
+  let evaluate c =
+    let total = ref 0. and counted = ref 0 in
+    List.iter
+      (fun { train; test } ->
+        let s = run c ~train ~test in
+        if Float.is_finite s then begin
+          total := !total +. s;
+          incr counted
+        end)
+      fs;
+    if !counted = 0 then None else Some (!total /. float_of_int !counted)
+  in
+  let best =
+    List.fold_left
+      (fun best c ->
+        match (evaluate c, best) with
+        | None, best -> best
+        | Some s, Some (_, bs) when s >= bs -> best
+        | Some s, _ -> Some (c, s))
+      None candidates
+  in
+  match best with
+  | Some b -> b
+  | None ->
+      invalid_arg
+        "Crossval.select: every candidate scored non-finite on every fold"

@@ -9,10 +9,12 @@ type fold = { train : int array; test : int array }
     cover [0 .. size - 1]. *)
 
 val folds : ?shuffle:Rng.t -> n:int -> size:int -> unit -> fold list
-(** [folds ~n ~size ()] partitions [0 .. size - 1] into [n] folds whose
-    test groups differ in size by at most one. With [shuffle] the indices
-    are permuted first (recommended).
-    @raise Invalid_argument unless [2 <= n <= size]. *)
+(** [folds ~n ~size ()] partitions [0 .. size - 1] into [min n size]
+    folds whose test groups differ in size by at most one — the
+    remainder of [size mod n] is spread round-robin across the first
+    folds, and [n > size] clamps to leave-one-out, so no fold is ever
+    empty. With [shuffle] the indices are permuted first (recommended).
+    @raise Invalid_argument unless [n >= 2] and [size >= 2]. *)
 
 val score :
   ?shuffle:Rng.t ->
@@ -20,7 +22,10 @@ val score :
   size:int ->
   (train:int array -> test:int array -> float) ->
   float
-(** [score ~n ~size run] averages [run] over the folds. *)
+(** [score ~n ~size run] averages [run] over the folds. Folds whose run
+    returns a non-finite score are skipped explicitly (the divisor
+    shrinks with them) instead of being averaged into the total.
+    @raise Invalid_argument if every fold scores non-finite. *)
 
 val select :
   ?shuffle:Rng.t ->
@@ -30,5 +35,8 @@ val select :
   ('a -> train:int array -> test:int array -> float) ->
   'a * float
 (** Evaluates every candidate on the same folds and returns the one with
-    the smallest average score (ties keep the earliest candidate).
-    @raise Invalid_argument on an empty candidate list. *)
+    the smallest average score over its finite folds (ties keep the
+    earliest candidate). Candidates with no finite fold score at all are
+    excluded from the ranking.
+    @raise Invalid_argument on an empty candidate list, or when every
+    candidate scores non-finite on every fold. *)

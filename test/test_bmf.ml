@@ -247,6 +247,30 @@ let test_hyper_validation () =
       ignore
         (Bmf.Hyper.cv_errors ~folds:2 ~g:s.g ~f:s.f ~prior ~candidates:[ -1. ] ()))
 
+(* Regression: a validation group of (near-)zero responses used to blow
+   the relative-error denominator up to inf/NaN for every candidate; the
+   guard falls back to the absolute error and keeps the sweep finite. *)
+let test_hyper_cv_zero_response_finite () =
+  let s = make_synth ~k:24 ~r:8 () in
+  let prior = Bmf.Prior.zero_mean s.early in
+  let candidates = [ 1e-3; 1.; 100. ] in
+  List.iter
+    (fun f ->
+      let scored = Bmf.Hyper.cv_errors ~folds:4 ~g:s.g ~f ~prior ~candidates () in
+      List.iter
+        (fun (_, e) ->
+          check_bool "finite cv error" true (Float.is_finite e);
+          check_bool "non-negative" true (e >= 0.))
+        scored;
+      let hyper, err = Bmf.Hyper.select ~folds:4 ~candidates ~g:s.g ~f ~prior () in
+      check_bool "selected from grid" true (List.mem hyper candidates);
+      check_bool "selected error finite" true (Float.is_finite err))
+    [
+      Array.make (Array.length s.f) 0.;
+      (* exactly zero responses *)
+      Array.make (Array.length s.f) 1e-200;
+      (* tiny but nonzero: |f_v| far below the 1e-12 floor *)
+    ]
 
 let test_evidence_matches_dense_gaussian () =
   (* small problem: compare against an explicit multivariate-normal
@@ -736,6 +760,8 @@ let () =
           Alcotest.test_case "select minimum" `Quick
             test_hyper_select_returns_minimum;
           Alcotest.test_case "validation" `Quick test_hyper_validation;
+          Alcotest.test_case "zero-response folds stay finite" `Quick
+            test_hyper_cv_zero_response_finite;
           Alcotest.test_case "evidence closed form" `Quick
             test_evidence_matches_dense_gaussian;
           Alcotest.test_case "evidence peak" `Quick

@@ -410,9 +410,44 @@ let test_crossval_validation () =
   Alcotest.check_raises "too few folds"
     (Invalid_argument "Crossval.folds: need at least 2 folds") (fun () ->
       ignore (Crossval.folds ~n:1 ~size:5 ()));
-  Alcotest.check_raises "too many folds"
-    (Invalid_argument "Crossval.folds: more folds than data points")
-    (fun () -> ignore (Crossval.folds ~n:6 ~size:5 ()))
+  Alcotest.check_raises "too few points"
+    (Invalid_argument "Crossval.folds: need at least 2 data points")
+    (fun () -> ignore (Crossval.folds ~n:2 ~size:1 ()))
+
+(* n > size clamps to leave-one-out instead of raising: no fold may ever
+   come out empty. *)
+let test_crossval_clamp_loo () =
+  let folds = Crossval.folds ~n:6 ~size:5 () in
+  Alcotest.(check int) "clamped to size" 5 (List.length folds);
+  List.iter
+    (fun { Crossval.train; test } ->
+      Alcotest.(check int) "singleton test" 1 (Array.length test);
+      Alcotest.(check int) "rest trains" 4 (Array.length train))
+    folds;
+  let all_test =
+    List.concat_map (fun f -> Array.to_list f.Crossval.test) folds
+  in
+  Alcotest.(check (list int)) "covers all" (List.init 5 Fun.id)
+    (List.sort compare all_test)
+
+(* Uneven size mod n: every fold non-empty, sizes within one of each
+   other, for a sweep of awkward (n, size) pairs. *)
+let test_crossval_never_empty () =
+  let rng = Rng.create 17 in
+  List.iter
+    (fun (n, size) ->
+      let folds = Crossval.folds ~shuffle:rng ~n ~size () in
+      let expected = Stdlib.min n size in
+      Alcotest.(check int) "fold count" expected (List.length folds);
+      let sizes =
+        List.map (fun f -> Array.length f.Crossval.test) folds
+      in
+      let lo = List.fold_left Stdlib.min size sizes in
+      let hi = List.fold_left Stdlib.max 0 sizes in
+      check_bool "no empty fold" true (lo >= 1);
+      check_bool "within one" true (hi - lo <= 1);
+      Alcotest.(check int) "covers all" size (List.fold_left ( + ) 0 sizes))
+    [ (2, 3); (3, 7); (4, 10); (5, 5); (7, 8); (10, 3); (100, 12) ]
 
 let test_crossval_select () =
   (* candidates scored by |c - 3|: select must find 3 *)
@@ -430,6 +465,44 @@ let test_crossval_score_average () =
         float_of_int (Array.length test))
   in
   check_float "mean test size" 2. total
+
+(* A fold that degenerates to NaN/inf is skipped — the mean is taken
+   over the finite folds only, never poisoned. *)
+let test_crossval_score_skips_nonfinite () =
+  let calls = ref 0 in
+  let s =
+    Crossval.score ~n:4 ~size:8 (fun ~train:_ ~test:_ ->
+        incr calls;
+        match !calls with 1 -> Float.nan | 2 -> Float.infinity | _ -> 10.)
+  in
+  check_float "mean over finite folds" 10. s;
+  Alcotest.check_raises "all non-finite raises"
+    (Invalid_argument "Crossval.score: every fold produced a non-finite score")
+    (fun () ->
+      ignore (Crossval.score ~n:3 ~size:6 (fun ~train:_ ~test:_ -> Float.nan)))
+
+let test_crossval_select_skips_nonfinite () =
+  (* candidate 2. NaNs on one fold but stays best on the rest; candidate
+     5. is all-NaN and must be excluded from the ranking entirely *)
+  let fold_no = Hashtbl.create 8 in
+  let best, score =
+    Crossval.select ~n:4 ~size:8 ~candidates:[ 2.; 5.; 9. ]
+      (fun c ~train:_ ~test:_ ->
+        let k = try Hashtbl.find fold_no c with Not_found -> 0 in
+        Hashtbl.replace fold_no c (k + 1);
+        if c = 5. then Float.nan
+        else if c = 2. && k = 0 then Float.nan
+        else Float.abs (c -. 3.))
+  in
+  check_float "best skips its NaN fold" 2. best;
+  check_float "score over finite folds" 1. score;
+  Alcotest.check_raises "all candidates non-finite"
+    (Invalid_argument
+       "Crossval.select: every candidate scored non-finite on every fold")
+    (fun () ->
+      ignore
+        (Crossval.select ~n:3 ~size:6 ~candidates:[ 1.; 2. ]
+           (fun _ ~train:_ ~test:_ -> Float.infinity)))
 
 (* ------------------------------------------------------------------ *)
 (* Properties *)
@@ -546,8 +619,15 @@ let () =
           Alcotest.test_case "partition" `Quick test_crossval_partition;
           Alcotest.test_case "balanced" `Quick test_crossval_balanced;
           Alcotest.test_case "validation" `Quick test_crossval_validation;
+          Alcotest.test_case "clamp to leave-one-out" `Quick
+            test_crossval_clamp_loo;
+          Alcotest.test_case "never empty" `Quick test_crossval_never_empty;
           Alcotest.test_case "select" `Quick test_crossval_select;
           Alcotest.test_case "score" `Quick test_crossval_score_average;
+          Alcotest.test_case "score skips non-finite" `Quick
+            test_crossval_score_skips_nonfinite;
+          Alcotest.test_case "select skips non-finite" `Quick
+            test_crossval_select_skips_nonfinite;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
     ]
