@@ -237,6 +237,64 @@ let run_bechamel tests =
   List.rev !estimates
 
 (* ------------------------------------------------------------------ *)
+(* Serving daemon: end-to-end micro-batched prediction throughput over *)
+(* a Unix socket (lib/server), recorded into the summary JSON.         *)
+
+let loadgen_summary : Server.Loadgen.summary option ref = ref None
+
+let daemon_loadgen (cfg : Experiments.Config.t) =
+  let ro = Circuit.Ring_oscillator.create ~config:cfg.ro cfg.seed in
+  let tb = Circuit.Ring_oscillator.testbench ro in
+  let metric = Circuit.Ring_oscillator.frequency_index in
+  let prep = Experiments.Runner.prepare cfg tb ~metric in
+  let rng = Stats.Rng.create 1100 in
+  let xs, f =
+    Circuit.Testbench.draw_dataset tb ~stage:Circuit.Stage.Layout ~metric ~rng
+      ~k:100 ()
+  in
+  let g = Polybasis.Basis.design_matrix prep.late_basis xs in
+  let prior = Bmf.Prior.nonzero_mean prep.early in
+  let meta =
+    {
+      Serving.Artifact.circuit = "ro";
+      metric = "frequency";
+      scale = "bench";
+      seed = cfg.seed;
+    }
+  in
+  let artifact =
+    Serving.Artifact.of_fit ~meta ~basis:prep.late_basis ~prior ~hyper:1e-3 ~g
+      ~f ()
+  in
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bmf-bench-daemon.%d" (Unix.getpid ()))
+  in
+  ignore (Serving.Store.save ~root artifact);
+  (* the shared pool must exist before the server domain spawns, so both
+     sides agree on one initialized pool *)
+  ignore (Parallel.Pool.run (Array.init 4 (fun i () -> i)));
+  let sock = Filename.concat root "bench.sock" in
+  let t = Server.Daemon.create ~root (Server.Daemon.Unix_socket sock) in
+  let server = Domain.spawn (fun () -> Server.Daemon.run t) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.Daemon.stop t;
+      Domain.join server;
+      Array.iter
+        (fun f ->
+          try Sys.remove (Filename.concat root f) with Sys_error _ -> ())
+        (try Sys.readdir root with Sys_error _ -> [||]);
+      try Unix.rmdir root with Unix.Unix_error _ -> ())
+    (fun () ->
+      let summary =
+        Server.Loadgen.run ~connections:4 ~duration_s:2. ~batch:64 ~meta
+          (Server.Daemon.address t)
+      in
+      loadgen_summary := Some summary;
+      Format.printf "%a@." Server.Loadgen.pp summary)
+
+(* ------------------------------------------------------------------ *)
 (* Parallel CV sweep: wall-clock speedup curve over -j, with the       *)
 (* determinism bar checked on the spot.                                *)
 
@@ -364,7 +422,11 @@ let summary_json ~total_seconds ~microbench =
            (t1 /. Float.max 1e-9 seconds)
            identical))
     !parallel_timings;
-  Buffer.add_string buf "],\"metrics\":";
+  Buffer.add_string buf "],\"loadgen\":";
+  (match !loadgen_summary with
+  | Some s -> Buffer.add_string buf (Server.Loadgen.to_json s)
+  | None -> Buffer.add_string buf "null");
+  Buffer.add_string buf ",\"metrics\":";
   Buffer.add_string buf (Obs.Metrics.to_json ());
   Buffer.add_char buf '}';
   Buffer.contents buf
@@ -437,6 +499,9 @@ let () =
 
   section "Serving: incremental update vs full refit (wall clock)";
   ignore (timed "serving" (fun () -> serving_table cfg; ""));
+
+  section "Serving daemon: micro-batched predictions over a Unix socket";
+  ignore (timed "daemon_loadgen" (fun () -> daemon_loadgen cfg; ""));
 
   section "Parallel CV sweep: speedup over -j (bit-identical by construction)";
   ignore (timed "parallel_cv" (fun () -> parallel_cv_sweep cfg; ""));

@@ -12,6 +12,9 @@
      repro predict        serve predictions from a stored artifact
      repro update         fold new samples in without a full refit
      repro models         list and verify the artifact registry
+     repro serve          micro-batching prediction daemon (lib/server)
+     repro client         one-shot wire-protocol client for serve
+     repro loadgen        closed-loop load generator against serve
      repro stats          instrumented fit: numerical health + metrics
 
    `fit`, `predict` and `update` accept --trace FILE (Chrome
@@ -655,6 +658,347 @@ let models_cmd =
   Cmd.v (Cmd.info "models" ~doc) Term.(const run_models $ dir_arg)
 
 (* ------------------------------------------------------------------ *)
+(* Serving daemon: `repro serve` / `repro client` / `repro loadgen`
+   (lib/server — Wire protocol over TCP or a Unix-domain socket). *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Serve on (or connect to) a Unix-domain socket at $(docv) instead \
+           of TCP.")
+
+let host_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"TCP address to bind/connect.")
+
+let port_arg =
+  Arg.(
+    value
+    & opt int 4617
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"TCP port (0 binds an ephemeral port and prints it).")
+
+let address_of socket host port =
+  match socket with
+  | Some path -> Server.Daemon.Unix_socket path
+  | None -> Server.Daemon.Tcp (host, port)
+
+let queue_arg =
+  Arg.(
+    value
+    & opt int Server.Daemon.default_config.Server.Daemon.queue_capacity
+    & info [ "queue" ] ~docv:"N"
+        ~doc:
+          "Bounded request-queue capacity; a full queue answers an \
+           immediate $(b,busy) error frame (explicit backpressure, never \
+           unbounded buffering).")
+
+let max_batch_arg =
+  Arg.(
+    value
+    & opt int Server.Daemon.default_config.Server.Daemon.max_batch
+    & info [ "max-batch" ] ~docv:"N"
+        ~doc:
+          "Maximum query points fused into one blocked predictor call per \
+           micro-batch window.")
+
+let cache_arg =
+  Arg.(
+    value
+    & opt int Server.Daemon.default_config.Server.Daemon.cache_capacity
+    & info [ "cache" ] ~docv:"N" ~doc:"Resident models (LRU eviction).")
+
+let run_serve verbose dir socket host port queue max_batch cache jobs metrics =
+  Parallel.Pool.set_default_jobs (Stdlib.max 0 jobs);
+  let _ = verbose in
+  (* metrics collection is always on for the daemon: the `stats` opcode
+     reports the live registry; --metrics additionally dumps it on exit *)
+  Obs.Metrics.enable ();
+  let config =
+    {
+      Server.Daemon.default_config with
+      Server.Daemon.queue_capacity = queue;
+      max_batch;
+      cache_capacity = Stdlib.max 1 cache;
+    }
+  in
+  let t =
+    Server.Daemon.create ~config ~root:(root_of dir)
+      (address_of socket host port)
+  in
+  Server.Daemon.install_signal_handlers t;
+  Format.printf
+    "serving %s at %a  (queue %d, max batch %d, cache %d, -j %d)@."
+    (root_of dir) Server.Daemon.pp_address (Server.Daemon.address t)
+    queue max_batch cache
+    (Parallel.Pool.default_jobs ());
+  Format.printf "ready; SIGTERM/SIGINT drains and exits@.";
+  Server.Daemon.run t;
+  Obs.Metrics.disable ();
+  Option.iter
+    (fun file ->
+      let oc = open_out file in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Obs.Metrics.to_prometheus ()));
+      Printf.eprintf "metrics: -> %s\n%!" file)
+    metrics;
+  Format.printf "drained cleanly@."
+
+let serve_cmd =
+  let doc =
+    "Run the micro-batching prediction daemon over the artifact registry. \
+     Length-prefixed binary wire protocol (opcodes: ping, predict, \
+     predict_with_variance, update, list_models, stats), bounded request \
+     queue with immediate $(b,busy) backpressure, per-request deadlines, \
+     LRU model cache, graceful drain on SIGTERM/SIGINT."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run_serve $ verbose_arg $ dir_arg $ socket_arg $ host_arg
+      $ port_arg $ queue_arg $ max_batch_arg $ cache_arg $ jobs_arg
+      $ metrics_arg)
+
+let meta_of (scale_name, (cfg : Experiments.Config.t)) circuit metric_opt =
+  let tb = testbench_of cfg circuit in
+  let metric = resolve_metric tb metric_opt in
+  ( tb,
+    metric,
+    {
+      Serving.Artifact.circuit;
+      metric = tb.metrics.(metric);
+      scale = scale_name;
+      seed = cfg.seed;
+    } )
+
+let client_action_arg =
+  Arg.(
+    value
+    & pos 0 string "ping"
+    & info [] ~docv:"ACTION"
+        ~doc:"ping | models | stats | predict | predict-std | update")
+
+let die_error what (e : Server.Wire.error) =
+  Printf.eprintf "%s: %s: %s\n" what
+    (Server.Wire.error_code_name e.Server.Wire.code)
+    e.Server.Wire.message;
+  exit 1
+
+let client_queries (info : Server.Wire.model_info) =
+  let rng = Stats.Rng.create (info.Server.Wire.meta.Serving.Artifact.seed + 8191) in
+  Linalg.Mat.of_rows
+    (List.init query_count (fun _ ->
+         Stats.Rng.gaussian_vec rng info.Server.Wire.dim))
+
+let find_model c (meta : Serving.Artifact.meta) =
+  match Server.Client.list_models c with
+  | Error e -> die_error "list_models" e
+  | Ok infos -> (
+      match
+        List.find_opt
+          (fun (i : Server.Wire.model_info) -> i.Server.Wire.meta = meta)
+          infos
+      with
+      | Some i -> i
+      | None ->
+          Printf.eprintf
+            "daemon serves no model %s/%s scale=%s seed=%d (try: repro \
+             client models)\n"
+            meta.circuit meta.metric meta.scale meta.seed;
+          exit 1)
+
+let die_transport msg =
+  Printf.eprintf "%s\n(is the daemon running? start one: repro serve)\n" msg;
+  exit 1
+
+let rec run_client common _verbose socket host port deadline_ms action =
+  try run_client_exn common socket host port deadline_ms action
+  with Server.Client.Transport msg -> die_transport msg
+
+and run_client_exn common socket host port deadline_ms action =
+  let addr = address_of socket host port in
+  let c = Server.Client.connect ~retries:0 addr in
+  Fun.protect ~finally:(fun () -> Server.Client.close c) @@ fun () ->
+  match action with
+  | "ping" -> (
+      let t0 = Unix.gettimeofday () in
+      match Server.Client.ping c with
+      | Ok () ->
+          Printf.printf "pong (%.2f ms)\n"
+            (1e3 *. (Unix.gettimeofday () -. t0))
+      | Error e -> die_error "ping" e)
+  | "models" -> (
+      match Server.Client.list_models c with
+      | Error e -> die_error "list_models" e
+      | Ok [] -> print_endline "no models served"
+      | Ok infos ->
+          List.iter
+            (fun (i : Server.Wire.model_info) ->
+              Printf.printf
+                "%-32s %s/%s scale=%s seed=%d rev=%d K=%d M=%d dim=%d (%s)\n"
+                i.Server.Wire.file i.Server.Wire.meta.Serving.Artifact.circuit
+                i.Server.Wire.meta.Serving.Artifact.metric
+                i.Server.Wire.meta.Serving.Artifact.scale
+                i.Server.Wire.meta.Serving.Artifact.seed i.Server.Wire.rev
+                i.Server.Wire.samples i.Server.Wire.terms i.Server.Wire.dim
+                (human_bytes i.Server.Wire.bytes))
+            infos)
+  | "stats" -> (
+      match Server.Client.stats c with
+      | Error e -> die_error "stats" e
+      | Ok (uptime, requests, json) ->
+          Printf.printf "uptime: %.1f s, requests served: %.0f\n%s\n" uptime
+            requests json)
+  | "predict" | "predict-std" -> (
+      let _, _, meta = common in
+      let info = find_model c meta in
+      let queries = client_queries info in
+      let means, stds =
+        if action = "predict" then
+          match Server.Client.predict c ?deadline_ms meta queries with
+          | Error e -> die_error "predict" e
+          | Ok means -> (means, None)
+        else
+          match Server.Client.predict_with_std c ?deadline_ms meta queries with
+          | Error e -> die_error "predict_with_variance" e
+          | Ok (means, stds) -> (means, Some stds)
+      in
+      Printf.printf "verification queries (seed %d):\n"
+        (meta.Serving.Artifact.seed + 8191);
+      Array.iteri
+        (fun i v ->
+          if i < 5 then
+            match stds with
+            | None -> Printf.printf "  q%-2d  %+.10g\n" i v
+            | Some s -> Printf.printf "  q%-2d  %+.10g  (+/- %.4g)\n" i v s.(i))
+        means;
+      Printf.printf "prediction fingerprint (%d queries): %s\n" query_count
+        (Serving.Artifact.fingerprint means))
+  | "update" -> (
+      let tb, metric, meta = common in
+      let info = find_model c meta in
+      (* same revision-keyed sample stream as `repro update`, so daemon-
+         side updates fold in the same fresh data a local update would *)
+      let master =
+        Stats.Rng.create
+          (meta.Serving.Artifact.seed + 1511 + (metric * 97)
+          + (info.Server.Wire.rev * 7919))
+      in
+      let rng = Stats.Rng.split master in
+      let xs, f =
+        Circuit.Testbench.draw_dataset tb ~stage:Circuit.Stage.Layout ~metric
+          ~rng ~k:25 ()
+      in
+      match Server.Client.update c ?deadline_ms meta ~xs ~f with
+      | Error e -> die_error "update" e
+      | Ok (rev, samples) ->
+          Printf.printf "updated: rev %d -> %d, K -> %d\n"
+            info.Server.Wire.rev rev samples)
+  | s ->
+      Printf.eprintf
+        "unknown action %S (want ping|models|stats|predict|predict-std|update)\n"
+        s;
+      exit 2
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-request deadline; requests still queued when it expires get \
+           a $(b,deadline_exceeded) error frame.")
+
+let client_common =
+  Term.(
+    const (fun common circuit metric -> meta_of common circuit metric)
+    $ common_named $ circuit_arg $ metric_arg)
+
+let client_cmd =
+  let doc =
+    "One-shot wire-protocol client for $(b,repro serve). $(b,predict) \
+     sends the same deterministic verification queries as $(b,repro \
+     fit)/$(b,repro predict) — matching fingerprints prove the daemon \
+     serves the exact artifact bits."
+  in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(
+      const run_client $ client_common $ verbose_arg $ socket_arg $ host_arg
+      $ port_arg $ deadline_arg $ client_action_arg)
+
+let connections_arg =
+  Arg.(
+    value
+    & opt int 4
+    & info [ "connections"; "c" ] ~docv:"N"
+        ~doc:"Closed-loop connections (one domain each).")
+
+let duration_arg =
+  Arg.(
+    value
+    & opt float 5.
+    & info [ "duration" ] ~docv:"SECONDS" ~doc:"Measurement window.")
+
+let batch_arg =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "batch" ] ~docv:"N" ~doc:"Query points per request.")
+
+let with_std_arg =
+  Arg.(
+    value & flag
+    & info [ "with-std" ]
+        ~doc:"Request predictive standard deviations too.")
+
+let loadgen_json_arg =
+  Arg.(
+    value
+    & opt string "loadgen.json"
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Write the throughput/latency record as JSON to $(docv).")
+
+let run_loadgen common _verbose socket host port connections duration batch
+    with_std deadline_ms json_file =
+  let _, _, meta = common in
+  let addr = address_of socket host port in
+  let summary =
+    try
+      Server.Loadgen.run ~connections ~duration_s:duration ~batch ~with_std
+        ?deadline_ms ~meta addr
+    with
+    | Server.Client.Transport msg -> die_transport msg
+    | Failure msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+  in
+  Format.printf "%a@." Server.Loadgen.pp summary;
+  let oc = open_out json_file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Server.Loadgen.to_json summary);
+      output_char oc '\n');
+  Printf.printf "loadgen record -> %s\n" json_file
+
+let loadgen_cmd =
+  let doc =
+    "Closed-loop multi-connection load generator against $(b,repro serve): \
+     measures sustained throughput and latency percentiles and records \
+     them as a bench-style JSON file."
+  in
+  Cmd.v (Cmd.info "loadgen" ~doc)
+    Term.(
+      const run_loadgen $ client_common $ verbose_arg $ socket_arg $ host_arg
+      $ port_arg $ connections_arg $ duration_arg $ batch_arg $ with_std_arg
+      $ deadline_arg $ loadgen_json_arg)
+
+(* ------------------------------------------------------------------ *)
 (* `repro stats`: one fully instrumented fit + batch predict, followed
    by the numerical-health readout and the metrics exposition. *)
 
@@ -775,5 +1119,8 @@ let () =
             predict_cmd;
             update_cmd;
             models_cmd;
+            serve_cmd;
+            client_cmd;
+            loadgen_cmd;
             stats_cmd;
           ]))

@@ -1,0 +1,165 @@
+(* Synchronous wire-protocol client: blocking socket, one in-flight
+   request at a time, responses matched by id. *)
+
+exception Transport of string
+
+type t = {
+  fd : Unix.file_descr;
+  mutable next_id : int;
+  mutable inbuf : string;
+  mutable closed : bool;
+}
+
+let sockaddr_of = function
+  | Daemon.Tcp (host, port) ->
+      Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+  | Daemon.Unix_socket path -> Unix.ADDR_UNIX path
+
+let connect ?(retries = 50) ?(retry_delay_s = 0.1) addr =
+  let sockaddr = sockaddr_of addr in
+  let domain =
+    match addr with
+    | Daemon.Tcp _ -> Unix.PF_INET
+    | Daemon.Unix_socket _ -> Unix.PF_UNIX
+  in
+  let rec attempt left =
+    let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd sockaddr with
+    | () -> fd
+    | exception
+        Unix.Unix_error
+          ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN), _, _)
+      when left > 0 ->
+        Unix.close fd;
+        Unix.sleepf retry_delay_s;
+        attempt (left - 1)
+    | exception e ->
+        Unix.close fd;
+        (match e with
+        | Unix.Unix_error (err, _, _) ->
+            raise
+              (Transport
+                 (Format.asprintf "connect %a: %s" Daemon.pp_address addr
+                    (Unix.error_message err)))
+        | e -> raise e)
+  in
+  { fd = attempt retries; next_id = 1; inbuf = ""; closed = false }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let send_all t s =
+  let n = String.length s in
+  let at = ref 0 in
+  try
+    while !at < n do
+      at := !at + Unix.single_write_substring t.fd s !at (n - !at)
+    done
+  with Unix.Unix_error (err, _, _) ->
+    close t;
+    raise (Transport ("write: " ^ Unix.error_message err))
+
+let chunk = 65536
+
+let recv_frame t =
+  let buf = Bytes.create chunk in
+  let rec loop () =
+    match Wire.peek t.inbuf ~off:0 with
+    | `Frame (frame, next) ->
+        t.inbuf <-
+          String.sub t.inbuf next (String.length t.inbuf - next);
+        frame
+    | `Bad msg ->
+        close t;
+        raise (Transport ("protocol: " ^ msg))
+    | `Need _ -> (
+        match Unix.read t.fd buf 0 chunk with
+        | 0 ->
+            close t;
+            raise (Transport "connection closed by server")
+        | n ->
+            t.inbuf <- t.inbuf ^ Bytes.sub_string buf 0 n;
+            loop ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+        | exception Unix.Unix_error (err, _, _) ->
+            close t;
+            raise (Transport ("read: " ^ Unix.error_message err)))
+  in
+  loop ()
+
+let roundtrip t ?deadline_ms req =
+  if t.closed then raise (Transport "client is closed");
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  send_all t (Wire.encode_request ~id ?deadline_ms req);
+  (* responses arrive in request order on this connection; skip any
+     stray frame with an older id (e.g. after an abandoned call) *)
+  let rec await () =
+    let frame = recv_frame t in
+    if frame.Wire.frame_id = id then frame
+    else if frame.Wire.frame_id < id then await ()
+    else begin
+      close t;
+      raise
+        (Transport
+           (Printf.sprintf "response id %d does not match request %d"
+              frame.Wire.frame_id id))
+    end
+  in
+  let frame = await () in
+  match
+    Wire.decode_response ~expect:(Wire.opcode_of_request req) frame
+  with
+  | Error msg ->
+      close t;
+      raise (Transport ("decode: " ^ msg))
+  | Ok (Wire.Error e) -> Error e
+  | Ok resp -> Ok resp
+
+let unexpected () = raise (Transport "unexpected response payload")
+
+let ping t =
+  match roundtrip t Wire.Ping_req with
+  | Ok Wire.Pong -> Ok ()
+  | Ok _ -> unexpected ()
+  | Error e -> Error e
+
+let predict t ?deadline_ms meta points =
+  match
+    roundtrip t ?deadline_ms
+      (Wire.Predict_req { meta; points; with_std = false })
+  with
+  | Ok (Wire.Predicted { means; _ }) -> Ok means
+  | Ok _ -> unexpected ()
+  | Error e -> Error e
+
+let predict_with_std t ?deadline_ms meta points =
+  match
+    roundtrip t ?deadline_ms
+      (Wire.Predict_req { meta; points; with_std = true })
+  with
+  | Ok (Wire.Predicted { means; stds = Some stds }) -> Ok (means, stds)
+  | Ok _ -> unexpected ()
+  | Error e -> Error e
+
+let update t ?deadline_ms meta ~xs ~f =
+  match roundtrip t ?deadline_ms (Wire.Update_req { meta; xs; f }) with
+  | Ok (Wire.Updated { rev; samples }) -> Ok (rev, samples)
+  | Ok _ -> unexpected ()
+  | Error e -> Error e
+
+let list_models t =
+  match roundtrip t Wire.List_models_req with
+  | Ok (Wire.Models infos) -> Ok infos
+  | Ok _ -> unexpected ()
+  | Error e -> Error e
+
+let stats t =
+  match roundtrip t Wire.Stats_req with
+  | Ok (Wire.Stats_payload { uptime_s; requests; metrics_json }) ->
+      Ok (uptime_s, requests, metrics_json)
+  | Ok _ -> unexpected ()
+  | Error e -> Error e

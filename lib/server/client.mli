@@ -1,0 +1,55 @@
+(** Blocking client for the BMF prediction daemon.
+
+    One connection, synchronous request/response: each call encodes a
+    {!Wire} frame, writes it, and blocks until the matching response
+    frame (by request id) arrives. Server-side refusals — backpressure
+    ([Busy]), expired deadlines, unknown models — come back as
+    [Error Wire.error]; transport and protocol breakage raise
+    {!Transport}. *)
+
+exception Transport of string
+(** The connection died or the peer broke framing. *)
+
+type t
+
+val connect : ?retries:int -> ?retry_delay_s:float -> Daemon.address -> t
+(** Connects, retrying [retries] times (default 50) every
+    [retry_delay_s] (default 0.1 s) while the endpoint refuses or does
+    not exist yet — lets a client start concurrently with the daemon.
+    @raise Transport when the endpoint never comes up. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val ping : t -> (unit, Wire.error) result
+
+val predict :
+  t ->
+  ?deadline_ms:int ->
+  Serving.Artifact.meta ->
+  Linalg.Mat.t ->
+  (Linalg.Vec.t, Wire.error) result
+(** Predicted means for each query row, bit-identical to
+    [Serving.Predictor.predict] on the same artifact. *)
+
+val predict_with_std :
+  t ->
+  ?deadline_ms:int ->
+  Serving.Artifact.meta ->
+  Linalg.Mat.t ->
+  (Linalg.Vec.t * Linalg.Vec.t, Wire.error) result
+
+val update :
+  t ->
+  ?deadline_ms:int ->
+  Serving.Artifact.meta ->
+  xs:Linalg.Mat.t ->
+  f:Linalg.Vec.t ->
+  (int * int, Wire.error) result
+(** Folds new samples into the stored model; returns (new revision,
+    new sample count K). *)
+
+val list_models : t -> (Wire.model_info list, Wire.error) result
+
+val stats : t -> (float * float * string, Wire.error) result
+(** (uptime seconds, requests served, metrics JSON). *)

@@ -1,0 +1,755 @@
+(* Single-threaded select loop + micro-batch executor. Design notes:
+
+   - One thread of control: sockets are non-blocking and every state
+     mutation happens on the loop, so no locks are needed; [stop] is the
+     only cross-domain entry and goes through an Atomic + self-pipe.
+   - Bounded queue: admission happens at frame-parse time and a full
+     queue answers Busy immediately — the daemon never buffers more
+     compute than [queue_capacity] requests.
+   - Micro-batching: each tick drains the whole queue as one window;
+     predicts group by (model, with_std) and run as single blocked
+     predictor calls, so the per-batch costs (basis recurrences, pool
+     dispatch) amortize across every connection that hit the window.
+     Row-wise kernels make the re-split bit-identical to direct calls.
+   - Crash containment: any exception a request raises is turned into
+     an error frame for that request; the loop itself never dies. *)
+
+type address = Tcp of string * int | Unix_socket of string
+
+let pp_address fmt = function
+  | Tcp (host, port) -> Format.fprintf fmt "tcp://%s:%d" host port
+  | Unix_socket path -> Format.fprintf fmt "unix://%s" path
+
+type config = {
+  queue_capacity : int;
+  max_batch : int;
+  cache_capacity : int;
+  batch_delay_s : float;
+}
+
+let default_config =
+  { queue_capacity = 256; max_batch = 4096; cache_capacity = 8;
+    batch_delay_s = 0. }
+
+(* ------------------------------------------------------------------ *)
+(* Metrics.                                                            *)
+
+let m_requests =
+  Obs.Metrics.counter ~help:"Requests received by the serving daemon"
+    "bmf_server_requests_total"
+
+let m_errors =
+  Obs.Metrics.counter ~help:"Error frames sent by the serving daemon"
+    "bmf_server_errors_total"
+
+let m_busy =
+  Obs.Metrics.counter ~help:"Requests refused with Busy (queue full)"
+    "bmf_server_busy_total"
+
+let m_deadline =
+  Obs.Metrics.counter ~help:"Requests expired before execution"
+    "bmf_server_deadline_total"
+
+let m_connections =
+  Obs.Metrics.counter ~help:"Connections accepted"
+    "bmf_server_connections_total"
+
+let m_microbatches =
+  Obs.Metrics.counter ~help:"Micro-batched predictor calls executed"
+    "bmf_server_microbatches_total"
+
+let g_queue_depth =
+  Obs.Metrics.gauge ~help:"Pending requests in the bounded queue"
+    "bmf_server_queue_depth"
+
+let g_batch_points =
+  Obs.Metrics.gauge ~help:"Query points in the last micro-batched call"
+    "bmf_server_batch_points"
+
+let g_cache_entries =
+  Obs.Metrics.gauge ~help:"Models resident in the LRU cache"
+    "bmf_server_cache_entries"
+
+let g_connections =
+  Obs.Metrics.gauge ~help:"Open connections" "bmf_server_connections"
+
+let h_predict =
+  Obs.Metrics.histogram ~help:"predict latency, admission to response (seconds)"
+    "bmf_server_predict_seconds"
+
+let h_predict_var =
+  Obs.Metrics.histogram
+    ~help:"predict_with_variance latency, admission to response (seconds)"
+    "bmf_server_predict_var_seconds"
+
+let h_update =
+  Obs.Metrics.histogram ~help:"update latency, admission to response (seconds)"
+    "bmf_server_update_seconds"
+
+let h_admin =
+  Obs.Metrics.histogram
+    ~help:"ping/list_models/stats handling latency (seconds)"
+    "bmf_server_admin_seconds"
+
+(* ------------------------------------------------------------------ *)
+(* Connections.                                                        *)
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable inbuf : string;  (* received, not yet framed *)
+  out : string Queue.t;  (* encoded frames awaiting write *)
+  mutable out_off : int;  (* bytes of the head frame already written *)
+  mutable close_after_flush : bool;
+  mutable closed : bool;
+}
+
+type work =
+  | Wpredict of {
+      meta : Serving.Artifact.meta;
+      points : Linalg.Mat.t;
+      with_std : bool;
+    }
+  | Wupdate of {
+      meta : Serving.Artifact.meta;
+      xs : Linalg.Mat.t;
+      f : Linalg.Vec.t;
+    }
+
+type pending = {
+  p_conn : conn;
+  p_id : int;
+  admitted_s : float;
+  expires_s : float;  (* [infinity] = no deadline *)
+  work : work;
+}
+
+type cached = {
+  mutable artifact : Serving.Artifact.t;
+  mutable predictor : Serving.Predictor.t;
+  mutable last_used : int;
+}
+
+type t = {
+  config : config;
+  root : string;
+  listen_fd : Unix.file_descr;
+  addr : address;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  stop_flag : bool Atomic.t;
+  mutable accepting : bool;
+  mutable conns : conn list;
+  pending : pending Queue.t;
+  cache : (Serving.Artifact.meta, cached) Hashtbl.t;
+  mutable cache_tick : int;
+  mutable served : int;  (* requests received, any outcome *)
+  scratch : Bytes.t;  (* per-instance read buffer *)
+  started_s : float;
+  mutable stopped_s : float;  (* when [stop] was first seen *)
+}
+
+let address t = t.addr
+
+let stopping t = Atomic.get t.stop_flag
+
+let stop t =
+  if not (Atomic.exchange t.stop_flag true) then
+    (* self-pipe: wake the select no matter which domain/signal context
+       calls; a full pipe means a wake-up is already pending *)
+    try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
+    with Unix.Unix_error _ -> ()
+
+let install_signal_handlers t =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let h = Sys.Signal_handle (fun _ -> stop t) in
+  Sys.set_signal Sys.sigterm h;
+  Sys.set_signal Sys.sigint h
+
+let create ?(config = default_config) ~root addr =
+  if config.queue_capacity < 0 then
+    invalid_arg "Daemon.create: negative queue capacity";
+  if config.max_batch < 1 then invalid_arg "Daemon.create: max_batch < 1";
+  if config.cache_capacity < 1 then
+    invalid_arg "Daemon.create: cache_capacity < 1";
+  let domain, sockaddr =
+    match addr with
+    | Tcp (host, port) ->
+        (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+    | Unix_socket path ->
+        if Sys.file_exists path then Unix.unlink path;
+        (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  in
+  let listen_fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (try
+     (match addr with
+     | Tcp _ -> Unix.setsockopt listen_fd Unix.SO_REUSEADDR true
+     | Unix_socket _ -> ());
+     Unix.bind listen_fd sockaddr;
+     Unix.listen listen_fd 128;
+     Unix.set_nonblock listen_fd
+   with e ->
+     Unix.close listen_fd;
+     raise e);
+  let addr =
+    match addr with
+    | Unix_socket _ as a -> a
+    | Tcp (host, _) -> (
+        match Unix.getsockname listen_fd with
+        | Unix.ADDR_INET (_, port) -> Tcp (host, port)
+        | _ -> addr)
+  in
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  {
+    config;
+    root;
+    listen_fd;
+    addr;
+    wake_r;
+    wake_w;
+    stop_flag = Atomic.make false;
+    accepting = true;
+    conns = [];
+    pending = Queue.create ();
+    cache = Hashtbl.create 8;
+    cache_tick = 0;
+    served = 0;
+    scratch = Bytes.create 65536;
+    started_s = Unix.gettimeofday ();
+    stopped_s = nan;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Model cache (LRU over the store).                                   *)
+
+let touch t cached =
+  t.cache_tick <- t.cache_tick + 1;
+  cached.last_used <- t.cache_tick
+
+let evict_to_capacity t =
+  while Hashtbl.length t.cache > t.config.cache_capacity do
+    let victim =
+      Hashtbl.fold
+        (fun meta c acc ->
+          match acc with
+          | Some (_, best) when best.last_used <= c.last_used -> acc
+          | _ -> Some (meta, c))
+        t.cache None
+    in
+    match victim with
+    | Some (meta, _) -> Hashtbl.remove t.cache meta
+    | None -> ()
+  done;
+  Obs.Metrics.set g_cache_entries (float_of_int (Hashtbl.length t.cache))
+
+let get_model t meta : (cached, Wire.error) result =
+  match Hashtbl.find_opt t.cache meta with
+  | Some c ->
+      touch t c;
+      Ok c
+  | None -> (
+      match Serving.Store.load ~root:t.root meta with
+      | Error message -> Error { Wire.code = Wire.Model_not_found; message }
+      | Ok artifact ->
+          let c =
+            {
+              artifact;
+              predictor = Serving.Predictor.of_artifact artifact;
+              last_used = 0;
+            }
+          in
+          touch t c;
+          Hashtbl.replace t.cache meta c;
+          evict_to_capacity t;
+          Ok c)
+
+let refresh_model t meta artifact =
+  (match Hashtbl.find_opt t.cache meta with
+  | Some c ->
+      c.artifact <- artifact;
+      c.predictor <- Serving.Predictor.of_artifact artifact;
+      touch t c
+  | None ->
+      let c =
+        {
+          artifact;
+          predictor = Serving.Predictor.of_artifact artifact;
+          last_used = 0;
+        }
+      in
+      touch t c;
+      Hashtbl.replace t.cache meta c);
+  evict_to_capacity t
+
+(* ------------------------------------------------------------------ *)
+(* Connection plumbing.                                                *)
+
+let close_conn t conn =
+  if not conn.closed then begin
+    conn.closed <- true;
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    t.conns <- List.filter (fun c -> c != conn) t.conns;
+    Obs.Metrics.set g_connections (float_of_int (List.length t.conns))
+  end
+
+let send conn frame_bytes =
+  if not conn.closed then Queue.add frame_bytes conn.out
+
+let reply t conn ~id resp =
+  ignore t;
+  (match resp with
+  | Wire.Error e ->
+      Obs.Metrics.inc m_errors;
+      (match e.Wire.code with
+      | Wire.Busy -> Obs.Metrics.inc m_busy
+      | Wire.Deadline_exceeded -> Obs.Metrics.inc m_deadline
+      | _ -> ())
+  | _ -> ());
+  send conn (Wire.encode_response ~id resp)
+
+(* Flush as much queued output as the socket accepts right now. *)
+let flush_conn t conn =
+  let progress = ref true in
+  (try
+     while (not conn.closed) && !progress && not (Queue.is_empty conn.out) do
+       let head = Queue.peek conn.out in
+       let len = String.length head - conn.out_off in
+       let n =
+         Unix.single_write_substring conn.fd head conn.out_off len
+       in
+       if n = len then begin
+         ignore (Queue.pop conn.out);
+         conn.out_off <- 0
+       end
+       else begin
+         conn.out_off <- conn.out_off + n;
+         progress := false
+       end
+     done
+   with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+      close_conn t conn);
+  if (not conn.closed) && conn.close_after_flush && Queue.is_empty conn.out
+  then close_conn t conn
+
+(* ------------------------------------------------------------------ *)
+(* Request admission.                                                  *)
+
+let now_s () = Unix.gettimeofday ()
+
+let model_infos t =
+  Serving.Store.list ~root:t.root
+  |> List.filter_map (fun (e : Serving.Store.entry) ->
+         match e.status with
+         | Error _ -> None
+         | Ok a ->
+             Some
+               {
+                 Wire.meta = a.Serving.Artifact.meta;
+                 rev = a.Serving.Artifact.rev;
+                 samples = Serving.Artifact.num_samples a;
+                 terms = Serving.Artifact.num_terms a;
+                 dim = a.Serving.Artifact.basis_dim;
+                 file = Filename.basename e.file;
+                 bytes = e.bytes;
+               })
+
+let stats_payload t =
+  Wire.Stats_payload
+    {
+      uptime_s = now_s () -. t.started_s;
+      requests = float_of_int t.served;
+      metrics_json = Obs.Metrics.to_json ();
+    }
+
+let admit t conn (frame : Wire.frame) work =
+  if stopping t then
+    reply t conn ~id:frame.Wire.frame_id
+      (Wire.Error
+         {
+           Wire.code = Wire.Shutting_down;
+           message = "server is draining; not accepting new work";
+         })
+  else if Queue.length t.pending >= t.config.queue_capacity then
+    reply t conn ~id:frame.Wire.frame_id
+      (Wire.Error
+         {
+           Wire.code = Wire.Busy;
+           message =
+             Printf.sprintf "request queue full (capacity %d)"
+               t.config.queue_capacity;
+         })
+  else begin
+    let admitted_s = now_s () in
+    let expires_s =
+      if frame.Wire.frame_deadline_ms <= 0 then infinity
+      else admitted_s +. (float_of_int frame.Wire.frame_deadline_ms /. 1e3)
+    in
+    Queue.add
+      {
+        p_conn = conn;
+        p_id = frame.Wire.frame_id;
+        admitted_s;
+        expires_s;
+        work;
+      }
+      t.pending;
+    Obs.Metrics.set g_queue_depth (float_of_int (Queue.length t.pending))
+  end
+
+let on_frame t conn (frame : Wire.frame) =
+  t.served <- t.served + 1;
+  Obs.Metrics.inc m_requests;
+  match Wire.decode_request frame with
+  | Error message ->
+      (* not speaking our dialect: answer once, then hang up *)
+      reply t conn ~id:frame.Wire.frame_id
+        (Wire.Error { Wire.code = Wire.Protocol; message });
+      conn.close_after_flush <- true
+  | Ok req -> (
+      match req with
+      | Wire.Ping_req ->
+          Obs.Metrics.time h_admin (fun () ->
+              reply t conn ~id:frame.Wire.frame_id Wire.Pong)
+      | Wire.Stats_req ->
+          Obs.Metrics.time h_admin (fun () ->
+              reply t conn ~id:frame.Wire.frame_id (stats_payload t))
+      | Wire.List_models_req ->
+          Obs.Metrics.time h_admin (fun () ->
+              reply t conn ~id:frame.Wire.frame_id (Wire.Models (model_infos t)))
+      | Wire.Predict_req { meta; points; with_std } ->
+          admit t conn frame (Wpredict { meta; points; with_std })
+      | Wire.Update_req { meta; xs; f } ->
+          admit t conn frame (Wupdate { meta; xs; f }))
+
+(* ------------------------------------------------------------------ *)
+(* Incoming bytes -> frames.                                           *)
+
+let read_conn t conn =
+  (try
+     let continue = ref true in
+     while !continue && not conn.closed do
+       match Unix.read conn.fd t.scratch 0 (Bytes.length t.scratch) with
+       | 0 ->
+           close_conn t conn;
+           continue := false
+       | n ->
+           conn.inbuf <- conn.inbuf ^ Bytes.sub_string t.scratch 0 n;
+           if n < Bytes.length t.scratch then continue := false
+     done
+   with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | Unix.Unix_error ((Unix.ECONNRESET | Unix.EBADF), _, _) ->
+      close_conn t conn);
+  if not conn.closed then begin
+    let off = ref 0 in
+    let continue = ref true in
+    while !continue do
+      match Wire.peek conn.inbuf ~off:!off with
+      | `Frame (frame, next) ->
+          off := next;
+          if not conn.close_after_flush then on_frame t conn frame
+      | `Need _ -> continue := false
+      | `Bad message ->
+          reply t conn ~id:0 (Wire.Error { Wire.code = Wire.Protocol; message });
+          conn.close_after_flush <- true;
+          conn.inbuf <- "";
+          off := 0;
+          continue := false
+    done;
+    if !off > 0 then
+      conn.inbuf <- String.sub conn.inbuf !off (String.length conn.inbuf - !off)
+  end
+
+let accept_loop t =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept ~cloexec:true t.listen_fd with
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        let conn =
+          {
+            fd;
+            inbuf = "";
+            out = Queue.create ();
+            out_off = 0;
+            close_after_flush = false;
+            closed = false;
+          }
+        in
+        t.conns <- conn :: t.conns;
+        Obs.Metrics.inc m_connections;
+        Obs.Metrics.set g_connections (float_of_int (List.length t.conns))
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        continue := false
+    | exception Unix.Unix_error (_, _, _) -> continue := false
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Micro-batch execution.                                              *)
+
+let opcode_histogram = function
+  | Wpredict { with_std = false; _ } -> h_predict
+  | Wpredict { with_std = true; _ } -> h_predict_var
+  | Wupdate _ -> h_update
+
+let finish t (p : pending) resp =
+  Obs.Metrics.observe (opcode_histogram p.work) (now_s () -. p.admitted_s);
+  reply t p.p_conn ~id:p.p_id resp
+
+let bad_request message = Wire.Error { Wire.code = Wire.Bad_request; message }
+
+let internal_error e =
+  Wire.Error { Wire.code = Wire.Internal; message = Printexc.to_string e }
+
+(* One group = same model, same opcode. Requests whose dimensionality
+   does not match are answered individually; the rest fuse into blocked
+   predictor calls of at most [max_batch] points (splitting only at
+   request boundaries keeps the re-split trivial and the answers
+   bit-identical). *)
+let run_predict_group t meta with_std members =
+  match get_model t meta with
+  | Error e ->
+      List.iter (fun (p, _) -> finish t p (Wire.Error e)) members
+  | Ok cached ->
+      let dim = Polybasis.Basis.dim (Serving.Predictor.basis cached.predictor) in
+      let ok, bad =
+        List.partition
+          (fun (_, (points : Linalg.Mat.t)) -> Linalg.Mat.cols points = dim)
+          members
+      in
+      List.iter
+        (fun (p, (points : Linalg.Mat.t)) ->
+          finish t p
+            (bad_request
+               (Printf.sprintf
+                  "model %s/%s: query dimension mismatch: expected %d \
+                   variables, got %d"
+                  meta.Serving.Artifact.circuit meta.Serving.Artifact.metric
+                  dim (Linalg.Mat.cols points))))
+        bad;
+      (* greedy sub-batches bounded by max_batch points *)
+      let rec batches acc cur cur_rows = function
+        | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+        | ((_, points) as m) :: rest ->
+            let r = Linalg.Mat.rows points in
+            if cur <> [] && cur_rows + r > t.config.max_batch then
+              batches (List.rev cur :: acc) [ m ] r rest
+            else batches acc (m :: cur) (cur_rows + r) rest
+      in
+      List.iter
+        (fun batch ->
+          let total =
+            List.fold_left
+              (fun acc (_, p) -> acc + Linalg.Mat.rows p)
+              0 batch
+          in
+          if total = 0 then
+            List.iter
+              (fun (p, _) ->
+                finish t p
+                  (Wire.Predicted
+                     {
+                       means = [||];
+                       stds = (if with_std then Some [||] else None);
+                     }))
+              batch
+          else begin
+            let fused = Linalg.Mat.create total dim in
+            let at = ref 0 in
+            List.iter
+              (fun (_, (points : Linalg.Mat.t)) ->
+                let rows = Linalg.Mat.rows points in
+                Array.blit points.Linalg.Mat.data 0 fused.Linalg.Mat.data
+                  (!at * dim) (rows * dim);
+                at := !at + rows)
+              batch;
+            Obs.Metrics.inc m_microbatches;
+            Obs.Metrics.set g_batch_points (float_of_int total);
+            match
+              if with_std then
+                let means, stds =
+                  Serving.Predictor.predict_with_std cached.predictor fused
+                in
+                (means, Some stds)
+              else (Serving.Predictor.predict cached.predictor fused, None)
+            with
+            | exception e ->
+                List.iter (fun (p, _) -> finish t p (internal_error e)) batch
+            | means, stds ->
+                let at = ref 0 in
+                List.iter
+                  (fun (p, (points : Linalg.Mat.t)) ->
+                    let rows = Linalg.Mat.rows points in
+                    let sub arr = Array.sub arr !at rows in
+                    finish t p
+                      (Wire.Predicted
+                         {
+                           means = sub means;
+                           stds = Option.map sub stds;
+                         });
+                    at := !at + rows)
+                  batch
+          end)
+        (batches [] [] 0 ok)
+
+let run_update t (p : pending) meta xs f =
+  match get_model t meta with
+  | Error e -> finish t p (Wire.Error e)
+  | Ok cached -> (
+      let dim =
+        Polybasis.Basis.dim (Serving.Predictor.basis cached.predictor)
+      in
+      if Linalg.Mat.cols xs <> dim then
+        finish t p
+          (bad_request
+             (Printf.sprintf
+                "model %s/%s: update dimension mismatch: expected %d \
+                 variables, got %d"
+                meta.Serving.Artifact.circuit meta.Serving.Artifact.metric dim
+                (Linalg.Mat.cols xs)))
+      else
+        match
+          let upd = Serving.Incremental.of_artifact cached.artifact in
+          Serving.Incremental.add_batch upd ~xs ~f;
+          let updated = Serving.Incremental.to_artifact upd in
+          ignore (Serving.Store.save ~root:t.root updated);
+          updated
+        with
+        | exception e -> finish t p (internal_error e)
+        | updated ->
+            refresh_model t meta updated;
+            finish t p
+              (Wire.Updated
+                 {
+                   rev = updated.Serving.Artifact.rev;
+                   samples = Serving.Artifact.num_samples updated;
+                 }))
+
+(* Drain the whole queue as one window: group + run predicts against the
+   window-start model state, then apply updates in arrival order. *)
+let process_pending t =
+  if not (Queue.is_empty t.pending) then begin
+    if t.config.batch_delay_s > 0. then Unix.sleepf t.config.batch_delay_s;
+    let window = Queue.fold (fun acc p -> p :: acc) [] t.pending in
+    Queue.clear t.pending;
+    Obs.Metrics.set g_queue_depth 0.;
+    let window = List.rev window in
+    let live, dead =
+      List.partition (fun p -> not p.p_conn.closed) window
+    in
+    ignore dead;
+    let now = now_s () in
+    let live =
+      List.filter
+        (fun p ->
+          if p.expires_s < now then begin
+            finish t p
+              (Wire.Error
+                 {
+                   Wire.code = Wire.Deadline_exceeded;
+                   message = "deadline expired before execution";
+                 });
+            false
+          end
+          else true)
+        live
+    in
+    (* group predicts by (meta, with_std), first-seen order *)
+    let groups = ref [] in
+    let updates = ref [] in
+    List.iter
+      (fun p ->
+        match p.work with
+        | Wupdate { meta; xs; f } -> updates := (p, meta, xs, f) :: !updates
+        | Wpredict { meta; points; with_std } -> (
+            let key = (meta, with_std) in
+            match List.assoc_opt key !groups with
+            | Some members -> members := (p, points) :: !members
+            | None -> groups := (key, ref [ (p, points) ]) :: !groups))
+      live;
+    List.iter
+      (fun ((meta, with_std), members) ->
+        run_predict_group t meta with_std (List.rev !members))
+      (List.rev !groups);
+    List.iter
+      (fun (p, meta, xs, f) -> run_update t p meta xs f)
+      (List.rev !updates)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The loop.                                                           *)
+
+let stop_accepting t =
+  if t.accepting then begin
+    t.accepting <- false;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    match t.addr with
+    | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Tcp _ -> ()
+  end
+
+let drain_grace_s = 10.
+
+let fully_flushed t =
+  List.for_all (fun c -> Queue.is_empty c.out) t.conns
+
+let run t =
+  let finished = ref false in
+  while not !finished do
+    if stopping t then begin
+      if Float.is_nan t.stopped_s then t.stopped_s <- now_s ();
+      stop_accepting t
+    end;
+    let rs =
+      t.wake_r
+      :: (if t.accepting then [ t.listen_fd ] else [])
+      @ List.filter_map
+          (fun c -> if c.close_after_flush then None else Some c.fd)
+          t.conns
+    in
+    let ws =
+      List.filter_map
+        (fun c -> if Queue.is_empty c.out then None else Some c.fd)
+        t.conns
+    in
+    (match Unix.select rs ws [] 0.25 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, writable, _ ->
+        if List.mem t.wake_r readable then begin
+          try
+            while Unix.read t.wake_r t.scratch 0 64 > 0 do
+              ()
+            done
+          with Unix.Unix_error _ -> ()
+        end;
+        if t.accepting && List.mem t.listen_fd readable then accept_loop t;
+        List.iter
+          (fun c -> if List.mem c.fd readable then read_conn t c)
+          t.conns;
+        process_pending t;
+        List.iter
+          (fun c ->
+            if List.mem c.fd writable || not (Queue.is_empty c.out) then
+              flush_conn t c)
+          t.conns);
+    if stopping t then begin
+      (* drained and flushed (or out of grace): hang up and return *)
+      process_pending t;
+      List.iter (fun c -> flush_conn t c) t.conns;
+      if
+        (Queue.is_empty t.pending && fully_flushed t)
+        || now_s () -. t.stopped_s > drain_grace_s
+      then begin
+        List.iter (fun c -> close_conn t c) t.conns;
+        finished := true
+      end
+    end
+  done;
+  stop_accepting t;
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  try Unix.close t.wake_w with Unix.Unix_error _ -> ()

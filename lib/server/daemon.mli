@@ -1,0 +1,83 @@
+(** Micro-batching BMF prediction daemon.
+
+    A single-threaded [Unix.select] event loop accepts TCP or
+    Unix-domain-socket connections speaking the {!Wire} protocol and
+    feeds a {e bounded} request queue. Each loop tick drains the queue
+    as one micro-batch window: all admitted [predict] requests are
+    grouped by (model, with_std) and every group is served by {e one}
+    blocked {!Serving.Predictor} call — basis evaluation and the
+    per-query variance solves shard across the [Parallel.Pool] — then
+    [update] requests apply in arrival order. Because the predictor
+    kernels are row-independent and results are re-split by request,
+    batched answers are bit-identical to direct in-process calls.
+
+    Consistency model: requests admitted in the same window are served
+    against the model revision current at the start of the window;
+    updates take effect at the end of it (and are persisted to the
+    {!Serving.Store} before the response frame is queued).
+
+    Backpressure is explicit: when the queue is full a [Busy] error
+    frame is sent immediately — the daemon never buffers unboundedly.
+    Requests carrying a deadline that expires before execution get a
+    [Deadline_exceeded] error instead of stale work. On SIGTERM/SIGINT
+    ({!install_signal_handlers}) the daemon stops accepting, refuses
+    new requests with [Shutting_down], drains in-flight work, flushes
+    every connection and returns from {!run}.
+
+    Hot models are cached in an LRU over the registry; [update]
+    refreshes the cached entry so later predictions see the new
+    revision without a disk round-trip.
+
+    Everything is instrumented through [Obs.Metrics]:
+    [bmf_server_requests_total], per-opcode latency histograms
+    ([bmf_server_predict_seconds], [bmf_server_predict_var_seconds],
+    [bmf_server_update_seconds], [bmf_server_admin_seconds]), the
+    [bmf_server_batch_points] gauge, [bmf_server_queue_depth] gauge and
+    error counters ([bmf_server_busy_total],
+    [bmf_server_deadline_total], [bmf_server_errors_total]). *)
+
+type address = Tcp of string * int | Unix_socket of string
+
+val pp_address : Format.formatter -> address -> unit
+
+type config = {
+  queue_capacity : int;
+      (** Bounded request queue; a full queue answers [Busy]. 0 refuses
+          every predict/update — useful to exercise backpressure. *)
+  max_batch : int;
+      (** Maximum query points fused into one blocked predictor call;
+          larger groups split at request granularity. *)
+  cache_capacity : int;  (** LRU model-cache entries (>= 1). *)
+  batch_delay_s : float;
+      (** Sleep before each micro-batch window — a pacing/testing aid
+          (lets deadlines expire deterministically in tests). *)
+}
+
+val default_config : config
+(** [{ queue_capacity = 256; max_batch = 4096; cache_capacity = 8;
+      batch_delay_s = 0. }] *)
+
+type t
+
+val create : ?config:config -> root:string -> address -> t
+(** Binds and listens. [root] is the {!Serving.Store} registry the
+    daemon serves. [Tcp (host, 0)] binds an ephemeral port — read it
+    back with {!address}. A stale Unix-socket path is unlinked first.
+    @raise Unix.Unix_error when binding fails. *)
+
+val address : t -> address
+(** The actually-bound address (ephemeral TCP port resolved). *)
+
+val stop : t -> unit
+(** Request graceful shutdown: async-signal-safe and callable from any
+    domain; {!run} drains and returns. Idempotent. *)
+
+val stopping : t -> bool
+
+val install_signal_handlers : t -> unit
+(** SIGTERM and SIGINT invoke {!stop}; SIGPIPE is ignored. *)
+
+val run : t -> unit
+(** Serve until {!stop}. Returns after the drain completed and every
+    socket is closed; the listening socket (and Unix socket path) are
+    released. *)

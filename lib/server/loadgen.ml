@@ -1,0 +1,166 @@
+(* Closed-loop multi-connection load generator: one domain per
+   connection, blocking request loops, client-side latency capture. *)
+
+type summary = {
+  connections : int;
+  duration_s : float;
+  batch : int;
+  with_std : bool;
+  requests : int;
+  points : int;
+  busy : int;
+  errors : int;
+  throughput_rps : float;
+  throughput_pps : float;
+  latency_mean_s : float;
+  latency_p50_s : float;
+  latency_p90_s : float;
+  latency_p99_s : float;
+  latency_max_s : float;
+}
+
+type worker_out = {
+  w_requests : int;
+  w_busy : int;
+  w_errors : int;
+  w_latencies : float list;  (* reverse order; merged later *)
+}
+
+let discover_dim addr meta =
+  let c = Client.connect addr in
+  Fun.protect
+    ~finally:(fun () -> Client.close c)
+    (fun () ->
+      match Client.list_models c with
+      | Error e ->
+          failwith ("loadgen: list_models: " ^ e.Wire.message)
+      | Ok infos -> (
+          match
+            List.find_opt (fun (i : Wire.model_info) -> i.meta = meta) infos
+          with
+          | Some i -> i.dim
+          | None ->
+              failwith
+                (Printf.sprintf
+                   "loadgen: daemon serves no model %s/%s scale=%s seed=%d"
+                   meta.Serving.Artifact.circuit meta.Serving.Artifact.metric
+                   meta.Serving.Artifact.scale meta.Serving.Artifact.seed)))
+
+let worker addr meta ~dim ~batch ~with_std ~deadline_ms ~seed ~until () =
+  let rng = Stats.Rng.create seed in
+  let points =
+    Linalg.Mat.init batch dim (fun _ _ -> Stats.Rng.gaussian rng)
+  in
+  let client = Client.connect addr in
+  let requests = ref 0 and busy = ref 0 and errors = ref 0 in
+  let latencies = ref [] in
+  Fun.protect
+    ~finally:(fun () -> Client.close client)
+    (fun () ->
+      while Unix.gettimeofday () < until do
+        let t0 = Unix.gettimeofday () in
+        let outcome =
+          if with_std then
+            Result.map ignore
+              (Client.predict_with_std client ?deadline_ms meta points)
+          else Result.map ignore (Client.predict client ?deadline_ms meta points)
+        in
+        match outcome with
+        | Ok () ->
+            incr requests;
+            latencies := (Unix.gettimeofday () -. t0) :: !latencies
+        | Error { Wire.code = Wire.Busy; _ } ->
+            incr busy;
+            (* back off briefly so a saturated queue can drain *)
+            Unix.sleepf 0.0005
+        | Error _ -> incr errors
+      done);
+  {
+    w_requests = !requests;
+    w_busy = !busy;
+    w_errors = !errors;
+    w_latencies = !latencies;
+  }
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else sorted.(Stdlib.min (n - 1) (int_of_float (q *. float_of_int (n - 1))))
+
+let run ?(connections = 4) ?(duration_s = 5.) ?(batch = 64)
+    ?(with_std = false) ?deadline_ms ?(seed = 20130602) ~meta addr =
+  if connections < 1 then invalid_arg "Loadgen.run: connections < 1";
+  if batch < 1 then invalid_arg "Loadgen.run: batch < 1";
+  let dim = discover_dim addr meta in
+  let t0 = Unix.gettimeofday () in
+  let until = t0 +. duration_s in
+  let domains =
+    Array.init connections (fun i ->
+        Domain.spawn
+          (worker addr meta ~dim ~batch ~with_std ~deadline_ms
+             ~seed:(seed + (7919 * i)) ~until))
+  in
+  let outs = Array.map Domain.join domains in
+  let wall = Unix.gettimeofday () -. t0 in
+  let requests = Array.fold_left (fun a w -> a + w.w_requests) 0 outs in
+  let busy = Array.fold_left (fun a w -> a + w.w_busy) 0 outs in
+  let errors = Array.fold_left (fun a w -> a + w.w_errors) 0 outs in
+  let latencies =
+    Array.to_list outs
+    |> List.concat_map (fun w -> w.w_latencies)
+    |> Array.of_list
+  in
+  Array.sort compare latencies;
+  let mean =
+    if Array.length latencies = 0 then nan
+    else
+      Array.fold_left ( +. ) 0. latencies
+      /. float_of_int (Array.length latencies)
+  in
+  {
+    connections;
+    duration_s = wall;
+    batch;
+    with_std;
+    requests;
+    points = requests * batch;
+    busy;
+    errors;
+    throughput_rps = float_of_int requests /. Float.max 1e-9 wall;
+    throughput_pps = float_of_int (requests * batch) /. Float.max 1e-9 wall;
+    latency_mean_s = mean;
+    latency_p50_s = percentile latencies 0.50;
+    latency_p90_s = percentile latencies 0.90;
+    latency_p99_s = percentile latencies 0.99;
+    latency_max_s =
+      (if Array.length latencies = 0 then nan
+       else latencies.(Array.length latencies - 1));
+  }
+
+let jf f = if Float.is_finite f then Printf.sprintf "%.6f" f else "null"
+
+let to_json s =
+  Printf.sprintf
+    "{\"connections\":%d,\"duration_s\":%s,\"batch\":%d,\"with_std\":%b,\
+     \"requests\":%d,\"points\":%d,\"busy\":%d,\"errors\":%d,\
+     \"throughput_rps\":%s,\"throughput_pps\":%s,\
+     \"latency_mean_s\":%s,\"latency_p50_s\":%s,\"latency_p90_s\":%s,\
+     \"latency_p99_s\":%s,\"latency_max_s\":%s}"
+    s.connections (jf s.duration_s) s.batch s.with_std s.requests s.points
+    s.busy s.errors
+    (jf s.throughput_rps) (jf s.throughput_pps) (jf s.latency_mean_s)
+    (jf s.latency_p50_s) (jf s.latency_p90_s) (jf s.latency_p99_s)
+    (jf s.latency_max_s)
+
+let pp fmt s =
+  Format.fprintf fmt
+    "@[<v>closed-loop loadgen: %d connection(s), %.2f s, %d point(s)/request%s@,\
+     requests: %d ok, %d busy, %d error(s)@,\
+     throughput: %.0f requests/s = %.0f predictions/s@,\
+     latency: mean %.3f ms  p50 %.3f ms  p90 %.3f ms  p99 %.3f ms  max %.3f ms@]"
+    s.connections s.duration_s s.batch
+    (if s.with_std then " (with variance)" else "")
+    s.requests s.busy s.errors s.throughput_rps s.throughput_pps
+    (1e3 *. s.latency_mean_s) (1e3 *. s.latency_p50_s)
+    (1e3 *. s.latency_p90_s) (1e3 *. s.latency_p99_s)
+    (1e3 *. s.latency_max_s)

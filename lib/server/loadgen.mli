@@ -1,0 +1,49 @@
+(** Closed-loop load generator for the prediction daemon.
+
+    Spawns one domain per connection; every connection runs a blocking
+    request loop (send one predict, wait for the response, repeat) for
+    the configured duration, so offered load self-regulates to what the
+    daemon sustains — the classic closed-loop harness. Per-request
+    latencies are recorded client-side and merged into percentiles.
+
+    Query points are deterministic per (seed, connection index), so a
+    run is reproducible against a fixed model. *)
+
+type summary = {
+  connections : int;
+  duration_s : float;  (** Actual wall-clock measurement window. *)
+  batch : int;  (** Query points per request. *)
+  with_std : bool;
+  requests : int;  (** Successful predict responses. *)
+  points : int;  (** Total predicted points ([requests * batch]). *)
+  busy : int;  (** [Busy] refusals (backpressure hits). *)
+  errors : int;  (** Other error responses. *)
+  throughput_rps : float;  (** Successful requests per second. *)
+  throughput_pps : float;  (** Predicted points per second. *)
+  latency_mean_s : float;
+  latency_p50_s : float;
+  latency_p90_s : float;
+  latency_p99_s : float;
+  latency_max_s : float;
+}
+
+val run :
+  ?connections:int ->
+  ?duration_s:float ->
+  ?batch:int ->
+  ?with_std:bool ->
+  ?deadline_ms:int ->
+  ?seed:int ->
+  meta:Serving.Artifact.meta ->
+  Daemon.address ->
+  summary
+(** Defaults: 4 connections, 5 s, 64 points per request, means only.
+    The model's variation-space dimension is discovered via
+    [list_models]. @raise Failure when the daemon does not serve
+    [meta]; @raise Client.Transport on connection breakage. *)
+
+val to_json : summary -> string
+(** One flat JSON object (the [repro loadgen] / bench record). *)
+
+val pp : Format.formatter -> summary -> unit
+(** Human-readable multi-line report. *)

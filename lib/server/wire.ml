@@ -1,0 +1,386 @@
+(* Frame layout (little-endian):
+
+     u32 length of the rest | u8 version | u8 kind | u64 id
+     | u32 deadline_ms | body
+
+   Body primitives match the Artifact binary codec: i64 ints, IEEE-754
+   floats, length-prefixed strings and float arrays. Every decoder
+   bounds-checks against the actual bytes received before allocating,
+   so advertised lengths can never drive allocation. *)
+
+let version = 1
+
+let max_frame_len = 16 * 1024 * 1024
+
+let header_len = 1 + 1 + 8 + 4
+
+type opcode = Ping | Predict | Predict_var | Update | List_models | Stats
+
+let opcode_name = function
+  | Ping -> "ping"
+  | Predict -> "predict"
+  | Predict_var -> "predict_with_variance"
+  | Update -> "update"
+  | List_models -> "list_models"
+  | Stats -> "stats"
+
+let opcode_byte = function
+  | Ping -> 1
+  | Predict -> 2
+  | Predict_var -> 3
+  | Update -> 4
+  | List_models -> 5
+  | Stats -> 6
+
+let opcode_of_byte = function
+  | 1 -> Some Ping
+  | 2 -> Some Predict
+  | 3 -> Some Predict_var
+  | 4 -> Some Update
+  | 5 -> Some List_models
+  | 6 -> Some Stats
+  | _ -> None
+
+type request =
+  | Ping_req
+  | Predict_req of {
+      meta : Serving.Artifact.meta;
+      points : Linalg.Mat.t;
+      with_std : bool;
+    }
+  | Update_req of {
+      meta : Serving.Artifact.meta;
+      xs : Linalg.Mat.t;
+      f : Linalg.Vec.t;
+    }
+  | List_models_req
+  | Stats_req
+
+let opcode_of_request = function
+  | Ping_req -> Ping
+  | Predict_req { with_std; _ } -> if with_std then Predict_var else Predict
+  | Update_req _ -> Update
+  | List_models_req -> List_models
+  | Stats_req -> Stats
+
+type error_code =
+  | Busy
+  | Deadline_exceeded
+  | Model_not_found
+  | Bad_request
+  | Internal
+  | Shutting_down
+  | Protocol
+
+let error_code_name = function
+  | Busy -> "busy"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Model_not_found -> "model_not_found"
+  | Bad_request -> "bad_request"
+  | Internal -> "internal"
+  | Shutting_down -> "shutting_down"
+  | Protocol -> "protocol"
+
+(* Response kind byte: 0 = OK, else one of these. *)
+let error_byte = function
+  | Busy -> 1
+  | Deadline_exceeded -> 2
+  | Model_not_found -> 3
+  | Bad_request -> 4
+  | Internal -> 5
+  | Shutting_down -> 6
+  | Protocol -> 7
+
+let error_of_byte = function
+  | 1 -> Some Busy
+  | 2 -> Some Deadline_exceeded
+  | 3 -> Some Model_not_found
+  | 4 -> Some Bad_request
+  | 5 -> Some Internal
+  | 6 -> Some Shutting_down
+  | 7 -> Some Protocol
+  | _ -> None
+
+type error = { code : error_code; message : string }
+
+type model_info = {
+  meta : Serving.Artifact.meta;
+  rev : int;
+  samples : int;
+  terms : int;
+  dim : int;
+  file : string;
+  bytes : int;
+}
+
+type response =
+  | Pong
+  | Predicted of { means : Linalg.Vec.t; stds : Linalg.Vec.t option }
+  | Updated of { rev : int; samples : int }
+  | Models of model_info list
+  | Stats_payload of {
+      uptime_s : float;
+      requests : float;
+      metrics_json : string;
+    }
+  | Error of error
+
+(* ------------------------------------------------------------------ *)
+(* Body primitives.                                                    *)
+
+let put_int buf n = Buffer.add_int64_le buf (Int64.of_int n)
+
+let put_float buf f = Buffer.add_int64_le buf (Int64.bits_of_float f)
+
+let put_string buf s =
+  put_int buf (String.length s);
+  Buffer.add_string buf s
+
+let put_floats buf arr =
+  put_int buf (Array.length arr);
+  Array.iter (put_float buf) arr
+
+let put_meta buf (m : Serving.Artifact.meta) =
+  put_string buf m.circuit;
+  put_string buf m.metric;
+  put_string buf m.scale;
+  put_int buf m.seed
+
+let put_mat buf (m : Linalg.Mat.t) =
+  put_int buf (Linalg.Mat.rows m);
+  put_int buf (Linalg.Mat.cols m);
+  Array.iter (put_float buf) m.Linalg.Mat.data
+
+exception Short of string
+
+type reader = { data : string; mutable at : int }
+
+let take rd n =
+  if n < 0 || rd.at + n > String.length rd.data then
+    raise (Short "truncated body");
+  let at = rd.at in
+  rd.at <- rd.at + n;
+  at
+
+let get_int rd = Int64.to_int (String.get_int64_le rd.data (take rd 8))
+
+let get_float rd = Int64.float_of_bits (String.get_int64_le rd.data (take rd 8))
+
+let get_string rd =
+  let n = get_int rd in
+  if n < 0 then raise (Short "negative string length");
+  String.sub rd.data (take rd n) n
+
+let get_floats rd what =
+  let n = get_int rd in
+  if n < 0 || n > (String.length rd.data - rd.at) / 8 then
+    raise (Short ("implausible " ^ what ^ " length"));
+  Array.init n (fun _ -> get_float rd)
+
+let get_meta rd =
+  let circuit = get_string rd in
+  let metric = get_string rd in
+  let scale = get_string rd in
+  let seed = get_int rd in
+  { Serving.Artifact.circuit; metric; scale; seed }
+
+let get_mat rd what =
+  let rows = get_int rd in
+  let cols = get_int rd in
+  if rows < 0 || cols < 0 then raise (Short ("negative " ^ what ^ " dims"));
+  if
+    cols > 0
+    && rows > (String.length rd.data - rd.at) / 8 / (Stdlib.max 1 cols)
+  then raise (Short ("implausible " ^ what ^ " size"));
+  Linalg.Mat.init rows cols (fun _ _ -> get_float rd)
+
+let finished rd =
+  if rd.at <> String.length rd.data then raise (Short "trailing bytes")
+
+(* ------------------------------------------------------------------ *)
+(* Framing.                                                            *)
+
+let frame ~kind ~id ~deadline_ms body =
+  if id < 0 then invalid_arg "Wire: negative request id";
+  if deadline_ms < 0 then invalid_arg "Wire: negative deadline";
+  let n = header_len + String.length body in
+  if n > max_frame_len then invalid_arg "Wire: frame exceeds max_frame_len";
+  let buf = Buffer.create (4 + n) in
+  Buffer.add_int32_le buf (Int32.of_int n);
+  Buffer.add_uint8 buf version;
+  Buffer.add_uint8 buf kind;
+  Buffer.add_int64_le buf (Int64.of_int id);
+  Buffer.add_int32_le buf (Int32.of_int deadline_ms);
+  Buffer.add_string buf body;
+  Buffer.contents buf
+
+type frame = {
+  frame_kind : int;
+  frame_id : int;
+  frame_deadline_ms : int;
+  body : string;
+}
+
+let peek s ~off =
+  let have = String.length s - off in
+  if have < 4 then `Need (4 - have)
+  else begin
+    let n = Int32.to_int (String.get_int32_le s off) in
+    if n < header_len then `Bad (Printf.sprintf "frame length %d too small" n)
+    else if n > max_frame_len then
+      `Bad (Printf.sprintf "frame length %d exceeds limit %d" n max_frame_len)
+    else if have < 4 + n then `Need (4 + n - have)
+    else begin
+      let v = Char.code s.[off + 4] in
+      if v <> version then `Bad (Printf.sprintf "unsupported version %d" v)
+      else begin
+        let frame_kind = Char.code s.[off + 5] in
+        let frame_id = Int64.to_int (String.get_int64_le s (off + 6)) in
+        let frame_deadline_ms = Int32.to_int (String.get_int32_le s (off + 14)) in
+        let body = String.sub s (off + 4 + header_len) (n - header_len) in
+        `Frame ({ frame_kind; frame_id; frame_deadline_ms; body }, off + 4 + n)
+      end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Requests.                                                           *)
+
+let encode_request ~id ?(deadline_ms = 0) req =
+  let buf = Buffer.create 256 in
+  (match req with
+  | Ping_req | List_models_req | Stats_req -> ()
+  | Predict_req { meta; points; _ } ->
+      put_meta buf meta;
+      put_mat buf points
+  | Update_req { meta; xs; f } ->
+      put_meta buf meta;
+      put_mat buf xs;
+      put_floats buf f);
+  frame
+    ~kind:(opcode_byte (opcode_of_request req))
+    ~id ~deadline_ms (Buffer.contents buf)
+
+let decode_request f =
+  match opcode_of_byte f.frame_kind with
+  | None -> Stdlib.Error (Printf.sprintf "unknown opcode %d" f.frame_kind)
+  | Some op -> (
+      let rd = { data = f.body; at = 0 } in
+      try
+        let req =
+          match op with
+          | Ping -> Ping_req
+          | List_models -> List_models_req
+          | Stats -> Stats_req
+          | Predict | Predict_var ->
+              let meta = get_meta rd in
+              let points = get_mat rd "points" in
+              Predict_req { meta; points; with_std = op = Predict_var }
+          | Update ->
+              let meta = get_meta rd in
+              let xs = get_mat rd "xs" in
+              let f = get_floats rd "f" in
+              if Array.length f <> Linalg.Mat.rows xs then
+                raise (Short "xs/f row count mismatch");
+              Update_req { meta; xs; f }
+        in
+        finished rd;
+        Ok req
+      with Short msg -> Stdlib.Error (opcode_name op ^ ": " ^ msg))
+
+(* ------------------------------------------------------------------ *)
+(* Responses.                                                          *)
+
+let encode_response ~id resp =
+  let buf = Buffer.create 256 in
+  let kind =
+    match resp with
+    | Pong -> 0
+    | Predicted { means; stds } ->
+        put_floats buf means;
+        (match stds with
+        | None -> Buffer.add_uint8 buf 0
+        | Some stds ->
+            Buffer.add_uint8 buf 1;
+            put_floats buf stds);
+        0
+    | Updated { rev; samples } ->
+        put_int buf rev;
+        put_int buf samples;
+        0
+    | Models infos ->
+        put_int buf (List.length infos);
+        List.iter
+          (fun i ->
+            put_meta buf i.meta;
+            put_int buf i.rev;
+            put_int buf i.samples;
+            put_int buf i.terms;
+            put_int buf i.dim;
+            put_string buf i.file;
+            put_int buf i.bytes)
+          infos;
+        0
+    | Stats_payload { uptime_s; requests; metrics_json } ->
+        put_float buf uptime_s;
+        put_float buf requests;
+        put_string buf metrics_json;
+        0
+    | Error { code; message } ->
+        put_string buf message;
+        error_byte code
+  in
+  frame ~kind ~id ~deadline_ms:0 (Buffer.contents buf)
+
+let decode_response ~expect f =
+  if f.frame_kind <> 0 then
+    match error_of_byte f.frame_kind with
+    | None ->
+        Stdlib.Error (Printf.sprintf "unknown response kind %d" f.frame_kind)
+    | Some code -> (
+        let rd = { data = f.body; at = 0 } in
+        try
+          let message = get_string rd in
+          finished rd;
+          Ok (Error { code; message })
+        with Short msg -> Stdlib.Error ("error frame: " ^ msg))
+  else
+    let rd = { data = f.body; at = 0 } in
+    try
+      let resp =
+        match expect with
+        | Ping -> Pong
+        | Predict | Predict_var ->
+            let means = get_floats rd "means" in
+            let has_std = Char.code f.body.[take rd 1] <> 0 in
+            let stds = if has_std then Some (get_floats rd "stds") else None in
+            Predicted { means; stds }
+        | Update ->
+            let rev = get_int rd in
+            let samples = get_int rd in
+            Updated { rev; samples }
+        | List_models ->
+            let n = get_int rd in
+            if n < 0 || n > String.length f.body then
+              raise (Short "implausible model count");
+            let infos =
+              List.init n (fun _ ->
+                  let meta = get_meta rd in
+                  let rev = get_int rd in
+                  let samples = get_int rd in
+                  let terms = get_int rd in
+                  let dim = get_int rd in
+                  let file = get_string rd in
+                  let bytes = get_int rd in
+                  { meta; rev; samples; terms; dim; file; bytes })
+            in
+            Models infos
+        | Stats ->
+            let uptime_s = get_float rd in
+            let requests = get_float rd in
+            let metrics_json = get_string rd in
+            Stats_payload { uptime_s; requests; metrics_json }
+      in
+      finished rd;
+      Ok resp
+    with Short msg -> Stdlib.Error (opcode_name expect ^ " response: " ^ msg)

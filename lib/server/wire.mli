@@ -1,0 +1,119 @@
+(** Binary wire protocol for the BMF prediction daemon.
+
+    Every message travels in one length-prefixed little-endian frame:
+
+    {v
+      u32  length of the rest of the frame (header + body)
+      u8   protocol version (= 1)
+      u8   kind: request opcode, 0 (OK) or an error code for responses
+      u64  request id (echoed verbatim in the response)
+      u32  request deadline in ms (0 = none; 0 in responses)
+      body
+    v}
+
+    Bodies reuse the {!Serving.Artifact} binary conventions: ints as
+    little-endian i64, floats as IEEE-754 bits, strings and float arrays
+    length-prefixed. Frames larger than {!max_frame_len} are rejected
+    before any allocation proportional to the advertised length, so a
+    hostile or corrupt peer cannot force an out-of-memory. *)
+
+val version : int
+
+val max_frame_len : int
+(** Upper bound on the post-length portion of a frame (16 MiB). *)
+
+val header_len : int
+(** Bytes of header after the length word. *)
+
+(** {2 Message types} *)
+
+type opcode = Ping | Predict | Predict_var | Update | List_models | Stats
+
+val opcode_name : opcode -> string
+
+type request =
+  | Ping_req
+  | Predict_req of {
+      meta : Serving.Artifact.meta;
+      points : Linalg.Mat.t;  (** rows = query points. *)
+      with_std : bool;
+    }
+  | Update_req of {
+      meta : Serving.Artifact.meta;
+      xs : Linalg.Mat.t;
+      f : Linalg.Vec.t;
+    }
+  | List_models_req
+  | Stats_req
+
+val opcode_of_request : request -> opcode
+
+type error_code =
+  | Busy  (** Request queue full — back off and retry. *)
+  | Deadline_exceeded
+  | Model_not_found
+  | Bad_request
+  | Internal
+  | Shutting_down
+  | Protocol  (** Malformed frame; the connection is closed after this. *)
+
+val error_code_name : error_code -> string
+
+type error = { code : error_code; message : string }
+
+type model_info = {
+  meta : Serving.Artifact.meta;
+  rev : int;
+  samples : int;  (** K *)
+  terms : int;  (** M *)
+  dim : int;  (** Variation-space dimension of the basis. *)
+  file : string;
+  bytes : int;
+}
+
+type response =
+  | Pong
+  | Predicted of { means : Linalg.Vec.t; stds : Linalg.Vec.t option }
+  | Updated of { rev : int; samples : int }
+  | Models of model_info list
+  | Stats_payload of {
+      uptime_s : float;
+      requests : float;
+      metrics_json : string;
+    }
+  | Error of error
+
+(** {2 Encoding} *)
+
+val encode_request : id:int -> ?deadline_ms:int -> request -> string
+(** A complete frame, length prefix included. [deadline_ms] defaults to
+    0 (none). @raise Invalid_argument on a negative id or deadline. *)
+
+val encode_response : id:int -> response -> string
+
+(** {2 Decoding}
+
+    [peek] scans a receive buffer for one complete frame; request and
+    response bodies are then decoded separately so the server never
+    pays for a body it is about to refuse. *)
+
+type frame = {
+  frame_kind : int;
+  frame_id : int;
+  frame_deadline_ms : int;
+  body : string;
+}
+
+val peek :
+  string -> off:int -> [ `Need of int | `Frame of frame * int | `Bad of string ]
+(** Examines [s] from [off]. [`Need n]: at least [n] more bytes are
+    required. [`Frame (f, next)]: one complete frame, the next frame (if
+    any) starts at [next]. [`Bad msg]: the stream is not speaking this
+    protocol (bad version, implausible length) — close the connection. *)
+
+val decode_request : frame -> (request, string) result
+
+val decode_response : expect:opcode -> frame -> (response, string) result
+(** Decodes a response frame. Error frames decode to [Error _] for any
+    [expect]; success bodies are interpreted according to the opcode of
+    the request the caller sent. *)

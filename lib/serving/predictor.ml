@@ -1,4 +1,5 @@
 type t = {
+  label : string;  (* "circuit/metric", for error messages *)
   basis : Polybasis.Basis.t;
   coeffs : Linalg.Vec.t;
   w_inv : Linalg.Vec.t;
@@ -37,6 +38,8 @@ let observed name ~batch ~with_std impl =
 
 let of_artifact (a : Artifact.t) =
   {
+    label =
+      a.Artifact.meta.Artifact.circuit ^ "/" ^ a.Artifact.meta.Artifact.metric;
     basis = Artifact.basis a;
     coeffs = a.Artifact.coeffs;
     w_inv = Array.map (fun w -> 1. /. w) a.Artifact.prior.Bmf.Prior.weights;
@@ -48,6 +51,18 @@ let of_artifact (a : Artifact.t) =
 
 let basis t = t.basis
 
+(* Validate the whole batch once, up front: a wrong query width should
+   name the model and the expected dimension instead of surfacing as an
+   index error deep inside the Hermite recurrences. *)
+let check_batch t what (xs : Linalg.Mat.t) =
+  let dim = Polybasis.Basis.dim t.basis in
+  if Linalg.Mat.cols xs <> dim then
+    invalid_arg
+      (Printf.sprintf
+         "Predictor.%s (model %s): query dimension mismatch: expected %d \
+          variables per point, got %d"
+         what t.label dim (Linalg.Mat.cols xs))
+
 let predict_row t row =
   if Array.length row <> Array.length t.coeffs then
     invalid_arg "Predictor.predict_row: basis row length mismatch";
@@ -56,6 +71,7 @@ let predict_row t row =
 let predict_point t x = predict_row t (Polybasis.Basis.eval_row t.basis x)
 
 let predict t xs =
+  check_batch t "predict" xs;
   observed "predict" ~batch:(Linalg.Mat.rows xs) ~with_std:false (fun () ->
       let gq = Polybasis.Basis.design_matrix_blocked t.basis xs in
       Linalg.Mat.gemv gq t.coeffs)
@@ -82,6 +98,7 @@ let variance_row t row =
   Float.max 0. var
 
 let predict_with_std t xs =
+  check_batch t "predict_with_std" xs;
   observed "predict_with_std" ~batch:(Linalg.Mat.rows xs) ~with_std:true
     (fun () ->
       let gq = Polybasis.Basis.design_matrix_blocked t.basis xs in

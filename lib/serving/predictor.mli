@@ -17,11 +17,15 @@ val basis : t -> Polybasis.Basis.t
 
 val predict : t -> Linalg.Mat.t -> Linalg.Vec.t
 (** Predicted means for every row of a query-point matrix
-    (rows = points in the variation space, dimension {!basis} dim). *)
+    (rows = points in the variation space, dimension {!basis} dim).
+    @raise Invalid_argument when the batch width is not the model's
+    variation-space dimension — validated once per batch, with the
+    model name and the expected/actual dimensions in the message. *)
 
 val predict_with_std : t -> Linalg.Mat.t -> Linalg.Vec.t * Linalg.Vec.t
 (** Means and predictive standard deviations (includes the observation
-    noise [sigma0_sq], matching [Bmf.Posterior.predict]). *)
+    noise [sigma0_sq], matching [Bmf.Posterior.predict]).
+    @raise Invalid_argument on a batch-width mismatch, as {!predict}. *)
 
 val predict_point : t -> Linalg.Vec.t -> float
 (** Single-point convenience. *)

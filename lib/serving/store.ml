@@ -50,19 +50,36 @@ let m_verify_seconds =
 let save ?(format = Artifact.Binary) ~root artifact =
   mkdir_p root;
   let file = path ~root artifact.Artifact.meta format in
-  (* drop a stale copy in the other format so a key never resolves to an
-     outdated revision *)
+  Obs.Trace.with_span ~cat:"serving" "store_save" @@ fun sp ->
+  let data = Artifact.to_string format artifact in
+  (* Crash/race safety: write the full payload to a private temp file in
+     the same directory, then atomically rename over the key. A reader
+     (or a running server's model cache) always sees either the previous
+     complete artifact or the new complete artifact — never a torn one. *)
+  let tmp =
+    Filename.concat root
+      (Printf.sprintf ".%s.tmp.%d" (filename artifact.Artifact.meta format)
+         (Unix.getpid ()))
+  in
+  let oc = open_out_bin tmp in
+  (try
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () -> output_string oc data)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  (try Sys.rename tmp file
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  (* only after the new artifact is durable, drop a stale copy in the
+     other format so a key never resolves to an outdated revision *)
   let other =
     path ~root artifact.Artifact.meta
       (match format with Artifact.Json -> Artifact.Binary | Artifact.Binary -> Artifact.Json)
   in
-  if Sys.file_exists other then Sys.remove other;
-  Obs.Trace.with_span ~cat:"serving" "store_save" @@ fun sp ->
-  let data = Artifact.to_string format artifact in
-  let oc = open_out_bin file in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc data);
+  if Sys.file_exists other then (try Sys.remove other with Sys_error _ -> ());
   Obs.Trace.set_attr sp "file" (Obs.Trace.Str file);
   Obs.Trace.set_attr sp "bytes" (Obs.Trace.Int (String.length data));
   Obs.Metrics.inc ~by:(float_of_int (String.length data)) m_bytes_written;

@@ -12,7 +12,14 @@ val filename : Artifact.meta -> Artifact.format -> string
 
 val save : ?format:Artifact.format -> root:string -> Artifact.t -> string
 (** Persists an artifact under its own key, creating [root] as needed
-    (default format [Binary]); returns the file path written. *)
+    (default format [Binary]); returns the file path written.
+
+    The write is crash- and race-safe: the payload goes to a private
+    temp file in [root] first and is atomically renamed over the key,
+    so a concurrent reader — e.g. a running serving daemon reloading
+    its model cache while [repro update] saves — can never observe a
+    torn artifact. Any stale copy in the other codec is removed only
+    after the new file is in place. *)
 
 val find : root:string -> Artifact.meta -> string option
 (** The stored file for a key, if present (binary preferred). *)

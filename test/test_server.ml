@@ -1,0 +1,547 @@
+(* Tests for the prediction daemon: wire-protocol codec round-trips,
+   malformed-frame fault injection, and end-to-end socket sessions
+   proving the daemon's micro-batched answers are bit-identical to
+   direct Serving.Predictor calls at any -j. *)
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_string = Alcotest.(check string)
+
+let rng = Stats.Rng.create 20130614
+
+(* Same small fitted problem as test_serving: a nonzero-mean prior over
+   a linear basis, enough structure to exercise the variance path. *)
+type synth = {
+  basis : Polybasis.Basis.t;
+  prior : Bmf.Prior.t;
+  hyper : float;
+  g : Linalg.Mat.t;
+  f : Linalg.Vec.t;
+  truth : Linalg.Vec.t;
+}
+
+let make_synth ?(k = 40) ?(r = 25) ?(noise = 0.01) () =
+  let basis = Polybasis.Basis.linear r in
+  let m = Polybasis.Basis.size basis in
+  let truth =
+    Array.init m (fun i -> if i = 0 then 3. else 1. /. float_of_int (i + 1))
+  in
+  let early =
+    Array.map
+      (fun c -> Some (c *. (1. +. (0.15 *. Stats.Rng.gaussian rng))))
+      truth
+  in
+  let xs = Stats.Sampling.monte_carlo rng ~k ~r in
+  let g = Polybasis.Basis.design_matrix basis xs in
+  let f =
+    Array.init k (fun i ->
+        Linalg.Vec.dot (Linalg.Mat.row g i) truth
+        +. (noise *. Stats.Rng.gaussian rng))
+  in
+  let prior = Bmf.Prior.nonzero_mean early in
+  let hyper, _ = Bmf.Hyper.select ~rng ~g ~f ~prior () in
+  { basis; prior; hyper; g; f; truth }
+
+let meta =
+  { Serving.Artifact.circuit = "test"; metric = "m"; scale = "quick"; seed = 7 }
+
+let artifact_of (s : synth) =
+  Serving.Artifact.of_fit ~meta ~basis:s.basis ~prior:s.prior ~hyper:s.hyper
+    ~g:s.g ~f:s.f ()
+
+let queries (s : synth) n =
+  let r = Polybasis.Basis.dim s.basis in
+  Linalg.Mat.of_rows (List.init n (fun _ -> Stats.Rng.gaussian_vec rng r))
+
+let with_temp_root f =
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bmf-server-test-%d" (Unix.getpid ()))
+  in
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  if Sys.file_exists root then rm root;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists root then rm root)
+    (fun () -> f root)
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec: round-trips                                             *)
+
+let frame_of s =
+  match Server.Wire.peek s ~off:0 with
+  | `Frame (f, next) ->
+      check_int "frame consumed the whole string" (String.length s) next;
+      f
+  | `Need n -> Alcotest.failf "incomplete frame: need %d more bytes" n
+  | `Bad msg -> Alcotest.failf "bad frame: %s" msg
+
+let mats_equal a b =
+  Linalg.Mat.rows a = Linalg.Mat.rows b
+  && Linalg.Mat.cols a = Linalg.Mat.cols b
+  && Array.for_all2 Float.equal a.Linalg.Mat.data b.Linalg.Mat.data
+
+let roundtrip_request ?deadline_ms req =
+  let s = Server.Wire.encode_request ~id:42 ?deadline_ms req in
+  let f = frame_of s in
+  check_int "request id echoed" 42 f.Server.Wire.frame_id;
+  check_int "deadline"
+    (Option.value deadline_ms ~default:0)
+    f.Server.Wire.frame_deadline_ms;
+  match Server.Wire.decode_request f with
+  | Error e -> Alcotest.failf "decode_request failed: %s" e
+  | Ok got -> got
+
+let test_request_roundtrips () =
+  let s = make_synth ~k:10 ~r:6 () in
+  let points = queries s 5 in
+  (match roundtrip_request Server.Wire.Ping_req with
+  | Server.Wire.Ping_req -> ()
+  | _ -> Alcotest.fail "ping round-trip");
+  (match roundtrip_request Server.Wire.List_models_req with
+  | Server.Wire.List_models_req -> ()
+  | _ -> Alcotest.fail "list_models round-trip");
+  (match roundtrip_request Server.Wire.Stats_req with
+  | Server.Wire.Stats_req -> ()
+  | _ -> Alcotest.fail "stats round-trip");
+  List.iter
+    (fun with_std ->
+      match
+        roundtrip_request ~deadline_ms:250
+          (Server.Wire.Predict_req { meta; points; with_std })
+      with
+      | Server.Wire.Predict_req p ->
+          check_bool "meta" true (p.meta = meta);
+          check_bool "with_std" with_std p.with_std;
+          check_bool "points bit-identical" true (mats_equal points p.points)
+      | _ -> Alcotest.fail "predict round-trip")
+    [ false; true ];
+  let xs = queries s 4 in
+  let fv = Array.init 4 (fun i -> 0.25 *. float_of_int i) in
+  match roundtrip_request (Server.Wire.Update_req { meta; xs; f = fv }) with
+  | Server.Wire.Update_req u ->
+      check_bool "meta" true (u.meta = meta);
+      check_bool "xs bit-identical" true (mats_equal xs u.xs);
+      check_bool "f bit-identical" true (Array.for_all2 Float.equal fv u.f)
+  | _ -> Alcotest.fail "update round-trip"
+
+let roundtrip_response ~expect resp =
+  let s = Server.Wire.encode_response ~id:7 resp in
+  let f = frame_of s in
+  check_int "response id echoed" 7 f.Server.Wire.frame_id;
+  match Server.Wire.decode_response ~expect f with
+  | Error e -> Alcotest.failf "decode_response failed: %s" e
+  | Ok got -> got
+
+let test_response_roundtrips () =
+  (match roundtrip_response ~expect:Server.Wire.Ping Server.Wire.Pong with
+  | Server.Wire.Pong -> ()
+  | _ -> Alcotest.fail "pong round-trip");
+  let means = Array.init 9 (fun i -> exp (float_of_int i /. 3.)) in
+  let stds = Array.init 9 (fun i -> 1e-3 *. float_of_int (i + 1)) in
+  (match
+     roundtrip_response ~expect:Server.Wire.Predict
+       (Server.Wire.Predicted { means; stds = None })
+   with
+  | Server.Wire.Predicted { means = m; stds = None } ->
+      check_bool "means bit-identical" true (Array.for_all2 Float.equal means m)
+  | _ -> Alcotest.fail "predicted round-trip");
+  (match
+     roundtrip_response ~expect:Server.Wire.Predict_var
+       (Server.Wire.Predicted { means; stds = Some stds })
+   with
+  | Server.Wire.Predicted { means = m; stds = Some sd } ->
+      check_bool "means bit-identical" true
+        (Array.for_all2 Float.equal means m);
+      check_bool "stds bit-identical" true (Array.for_all2 Float.equal stds sd)
+  | _ -> Alcotest.fail "predicted+stds round-trip");
+  (match
+     roundtrip_response ~expect:Server.Wire.Update
+       (Server.Wire.Updated { rev = 3; samples = 85 })
+   with
+  | Server.Wire.Updated { rev = 3; samples = 85 } -> ()
+  | _ -> Alcotest.fail "updated round-trip");
+  let info =
+    {
+      Server.Wire.meta;
+      rev = 2;
+      samples = 60;
+      terms = 141;
+      dim = 140;
+      file = "test__m__quick__s7.bmfa";
+      bytes = 12345;
+    }
+  in
+  (match
+     roundtrip_response ~expect:Server.Wire.List_models
+       (Server.Wire.Models [ info ])
+   with
+  | Server.Wire.Models [ got ] -> check_bool "model_info" true (got = info)
+  | _ -> Alcotest.fail "models round-trip");
+  (match
+     roundtrip_response ~expect:Server.Wire.Stats
+       (Server.Wire.Stats_payload
+          { uptime_s = 1.5; requests = 42.; metrics_json = "{\"a\":1}" })
+   with
+  | Server.Wire.Stats_payload p ->
+      check_bool "uptime" true (Float.equal 1.5 p.uptime_s);
+      check_bool "requests" true (Float.equal 42. p.requests);
+      check_string "metrics json" "{\"a\":1}" p.metrics_json
+  | _ -> Alcotest.fail "stats round-trip");
+  List.iter
+    (fun code ->
+      match
+        roundtrip_response ~expect:Server.Wire.Predict
+          (Server.Wire.Error { code; message = "because" })
+      with
+      | Server.Wire.Error e ->
+          check_bool "code" true (e.Server.Wire.code = code);
+          check_string "message" "because" e.Server.Wire.message
+      | _ -> Alcotest.fail "error round-trip")
+    [
+      Server.Wire.Busy;
+      Server.Wire.Deadline_exceeded;
+      Server.Wire.Model_not_found;
+      Server.Wire.Bad_request;
+      Server.Wire.Internal;
+      Server.Wire.Shutting_down;
+      Server.Wire.Protocol;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec: fault injection                                         *)
+
+let test_truncated_frames_need_more () =
+  let full = Server.Wire.encode_request ~id:1 Server.Wire.Ping_req in
+  for cut = 0 to String.length full - 1 do
+    match Server.Wire.peek (String.sub full 0 cut) ~off:0 with
+    | `Need n -> check_bool "positive need" true (n > 0)
+    | `Frame _ -> Alcotest.failf "truncation at %d produced a frame" cut
+    | `Bad msg -> Alcotest.failf "truncation at %d misread as bad: %s" cut msg
+  done;
+  (* two concatenated frames parse back-to-back *)
+  let s = full ^ Server.Wire.encode_request ~id:2 Server.Wire.Stats_req in
+  match Server.Wire.peek s ~off:0 with
+  | `Frame (f1, next) -> (
+      check_int "first id" 1 f1.Server.Wire.frame_id;
+      match Server.Wire.peek s ~off:next with
+      | `Frame (f2, next2) ->
+          check_int "second id" 2 f2.Server.Wire.frame_id;
+          check_int "stream fully consumed" (String.length s) next2
+      | _ -> Alcotest.fail "second frame did not parse")
+  | _ -> Alcotest.fail "first frame did not parse"
+
+let test_bad_version_rejected () =
+  let full = Server.Wire.encode_request ~id:1 Server.Wire.Ping_req in
+  let buf = Bytes.of_string full in
+  Bytes.set buf 4 '\xee' (* the version byte, right after the u32 length *);
+  match Server.Wire.peek (Bytes.to_string buf) ~off:0 with
+  | `Bad _ -> ()
+  | `Frame _ -> Alcotest.fail "wrong protocol version accepted"
+  | `Need _ -> Alcotest.fail "wrong version misread as incomplete"
+
+let test_oversized_frame_rejected () =
+  (* an advertised length beyond max_frame_len must be refused before
+     any buffering proportional to it *)
+  let buf = Bytes.make 8 '\x00' in
+  Bytes.set_int32_le buf 0 (Int32.of_int (Server.Wire.max_frame_len + 1));
+  Bytes.set buf 4 '\x01';
+  match Server.Wire.peek (Bytes.to_string buf) ~off:0 with
+  | `Bad msg ->
+      check_bool "mentions the length" true
+        (try
+           ignore (Str.search_forward (Str.regexp_string "length") msg 0);
+           true
+         with Not_found -> false)
+  | `Frame _ | `Need _ -> Alcotest.fail "oversized frame not rejected"
+
+let test_garbage_bodies_rejected () =
+  let s = make_synth ~k:10 ~r:6 () in
+  let good =
+    frame_of
+      (Server.Wire.encode_request ~id:9
+         (Server.Wire.Predict_req
+            { meta; points = queries s 3; with_std = false }))
+  in
+  (* a structurally valid frame whose body is cut mid-field must decode
+     to Error, never raise or return junk *)
+  List.iter
+    (fun len ->
+      let mangled =
+        { good with Server.Wire.body = String.sub good.Server.Wire.body 0 len }
+      in
+      match Server.Wire.decode_request mangled with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "body truncated to %d decoded" len)
+    [ 0; 1; 3; String.length good.Server.Wire.body / 2 ];
+  let noise =
+    { good with Server.Wire.body = String.make 64 '\xff' }
+  in
+  (match Server.Wire.decode_request noise with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage request body decoded");
+  (* unknown opcode byte *)
+  let unknown = { good with Server.Wire.frame_kind = 99 } in
+  (match Server.Wire.decode_request unknown with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown opcode decoded");
+  match
+    Server.Wire.decode_response ~expect:Server.Wire.Predict
+      { noise with Server.Wire.frame_kind = 0 }
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage response body decoded"
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end over a Unix socket                                       *)
+
+let with_daemon ?config ~root f =
+  (* materialize the shared pool from this domain before the server
+     domain spawns, so both sides agree on one initialized pool *)
+  ignore (Parallel.Pool.run (Array.init 8 (fun i () -> i)));
+  let sock = Filename.concat root "test.sock" in
+  let t = Server.Daemon.create ?config ~root (Server.Daemon.Unix_socket sock) in
+  let d = Domain.spawn (fun () -> Server.Daemon.run t) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.Daemon.stop t;
+      Domain.join d)
+    (fun () -> f t (Server.Daemon.address t))
+
+let with_client addr f =
+  let c = Server.Client.connect addr in
+  Fun.protect ~finally:(fun () -> Server.Client.close c) (fun () -> f c)
+
+let ok what = function
+  | Ok v -> v
+  | Error (e : Server.Wire.error) ->
+      Alcotest.failf "%s: %s: %s" what
+        (Server.Wire.error_code_name e.code)
+        e.message
+
+let e2e_bit_identical jobs () =
+  Parallel.Pool.set_default_jobs jobs;
+  Fun.protect ~finally:(fun () -> Parallel.Pool.set_default_jobs 0)
+  @@ fun () ->
+  with_temp_root @@ fun root ->
+  let s = make_synth () in
+  let a = artifact_of s in
+  ignore (Serving.Store.save ~root a);
+  let q = queries s 64 in
+  let p = Serving.Predictor.of_artifact a in
+  let direct_means = Serving.Predictor.predict p q in
+  let direct_m2, direct_stds = Serving.Predictor.predict_with_std p q in
+  with_daemon ~root @@ fun _t addr ->
+  with_client addr @@ fun c ->
+  let means = ok "predict" (Server.Client.predict c meta q) in
+  check_bool "socket means bit-identical to direct predict" true
+    (Array.for_all2 Float.equal direct_means means);
+  let means2, stds = ok "predict_with_std" (Server.Client.predict_with_std c meta q) in
+  check_bool "socket means (variance path) bit-identical" true
+    (Array.for_all2 Float.equal direct_m2 means2);
+  check_bool "socket stds bit-identical" true
+    (Array.for_all2 Float.equal direct_stds stds);
+  check_string "fingerprints agree"
+    (Serving.Artifact.fingerprint direct_means)
+    (Serving.Artifact.fingerprint means)
+
+let test_e2e_bit_identical_j1 = e2e_bit_identical 1
+
+let test_e2e_bit_identical_j8 = e2e_bit_identical 8
+
+let test_e2e_update_matches_incremental () =
+  with_temp_root @@ fun root ->
+  let s = make_synth ~k:30 ~r:12 () in
+  let a = artifact_of s in
+  ignore (Serving.Store.save ~root a);
+  let k_new = 10 in
+  let r = Polybasis.Basis.dim s.basis in
+  let xs_new = Stats.Sampling.monte_carlo rng ~k:k_new ~r in
+  let f_new =
+    Array.init k_new (fun i ->
+        Linalg.Vec.dot
+          (Polybasis.Basis.eval_row s.basis (Linalg.Mat.row xs_new i))
+          s.truth)
+  in
+  (* the reference: the same rank-1 update applied directly *)
+  let upd = Serving.Incremental.of_artifact a in
+  Serving.Incremental.add_batch upd ~xs:xs_new ~f:f_new;
+  let reference = Serving.Incremental.to_artifact upd in
+  let q = queries s 32 in
+  let expected =
+    Serving.Predictor.predict (Serving.Predictor.of_artifact reference) q
+  in
+  with_daemon ~root @@ fun _t addr ->
+  with_client addr @@ fun c ->
+  let rev, samples = ok "update" (Server.Client.update c meta ~xs:xs_new ~f:f_new) in
+  check_int "revision bumped" (a.rev + 1) rev;
+  check_int "sample count" (30 + k_new) samples;
+  (* post-update predictions come from the refreshed cache entry and
+     must match the directly-updated artifact bit for bit *)
+  let means = ok "predict" (Server.Client.predict c meta q) in
+  check_bool "post-update predictions bit-identical" true
+    (Array.for_all2 Float.equal expected means);
+  (* and the update was persisted before the response *)
+  match Serving.Store.load ~root meta with
+  | Error e -> Alcotest.failf "store reload: %s" e
+  | Ok b ->
+      check_int "persisted revision" (a.rev + 1) b.rev;
+      check_bool "persisted coeffs" true
+        (Array.for_all2 Float.equal reference.coeffs b.coeffs)
+
+let test_e2e_list_models_and_stats () =
+  with_temp_root @@ fun root ->
+  let s = make_synth ~k:20 ~r:8 () in
+  let a = artifact_of s in
+  ignore (Serving.Store.save ~root a);
+  with_daemon ~root @@ fun _t addr ->
+  with_client addr @@ fun c ->
+  ok "ping" (Server.Client.ping c);
+  (match ok "list_models" (Server.Client.list_models c) with
+  | [ info ] ->
+      check_bool "meta" true (info.Server.Wire.meta = meta);
+      check_int "dim" 8 info.Server.Wire.dim;
+      check_int "samples" 20 info.Server.Wire.samples;
+      check_int "terms"
+        (Polybasis.Basis.size s.basis)
+        info.Server.Wire.terms;
+      check_bool "bytes positive" true (info.Server.Wire.bytes > 0)
+  | infos -> Alcotest.failf "expected 1 model, got %d" (List.length infos));
+  let uptime, requests, metrics_json = ok "stats" (Server.Client.stats c) in
+  check_bool "uptime non-negative" true (uptime >= 0.);
+  check_bool "requests counted" true (requests >= 2.);
+  check_bool "metrics json is an object" true
+    (String.length metrics_json > 0 && metrics_json.[0] = '{')
+
+let test_e2e_backpressure_busy () =
+  with_temp_root @@ fun root ->
+  let s = make_synth ~k:20 ~r:8 () in
+  ignore (Serving.Store.save ~root (artifact_of s));
+  let config =
+    { Server.Daemon.default_config with Server.Daemon.queue_capacity = 0 }
+  in
+  with_daemon ~config ~root @@ fun _t addr ->
+  with_client addr @@ fun c ->
+  (* admin opcodes bypass the work queue and still answer *)
+  ok "ping" (Server.Client.ping c);
+  match Server.Client.predict c meta (queries s 4) with
+  | Ok _ -> Alcotest.fail "full queue accepted a predict"
+  | Error e ->
+      check_bool "busy code" true (e.Server.Wire.code = Server.Wire.Busy)
+
+let test_e2e_deadline_exceeded () =
+  with_temp_root @@ fun root ->
+  let s = make_synth ~k:20 ~r:8 () in
+  ignore (Serving.Store.save ~root (artifact_of s));
+  let config =
+    { Server.Daemon.default_config with Server.Daemon.batch_delay_s = 0.05 }
+  in
+  with_daemon ~config ~root @@ fun _t addr ->
+  with_client addr @@ fun c ->
+  match Server.Client.predict c ~deadline_ms:1 meta (queries s 4) with
+  | Ok _ -> Alcotest.fail "expired deadline still served"
+  | Error e ->
+      check_bool "deadline code" true
+        (e.Server.Wire.code = Server.Wire.Deadline_exceeded)
+
+let test_e2e_model_not_found () =
+  with_temp_root @@ fun root ->
+  let s = make_synth ~k:20 ~r:8 () in
+  ignore (Serving.Store.save ~root (artifact_of s));
+  with_daemon ~root @@ fun _t addr ->
+  with_client addr @@ fun c ->
+  let missing = { meta with Serving.Artifact.circuit = "nope" } in
+  match Server.Client.predict c missing (queries s 4) with
+  | Ok _ -> Alcotest.fail "unknown model served"
+  | Error e ->
+      check_bool "not-found code" true
+        (e.Server.Wire.code = Server.Wire.Model_not_found)
+
+let test_e2e_dim_mismatch_bad_request () =
+  with_temp_root @@ fun root ->
+  let s = make_synth ~k:20 ~r:8 () in
+  ignore (Serving.Store.save ~root (artifact_of s));
+  with_daemon ~root @@ fun _t addr ->
+  with_client addr @@ fun c ->
+  let bad = Linalg.Mat.of_rows [ Stats.Rng.gaussian_vec rng 3 ] in
+  match Server.Client.predict c meta bad with
+  | Ok _ -> Alcotest.fail "wrong-width batch served"
+  | Error e ->
+      check_bool "bad-request code" true
+        (e.Server.Wire.code = Server.Wire.Bad_request);
+      let has sub =
+        try
+          ignore (Str.search_forward (Str.regexp_string sub) e.message 0);
+          true
+        with Not_found -> false
+      in
+      check_bool "names the model" true (has "test/m");
+      check_bool "states expected dim" true (has "expected 8");
+      check_bool "states got dim" true (has "got 3")
+
+let test_e2e_graceful_shutdown () =
+  with_temp_root @@ fun root ->
+  let s = make_synth ~k:20 ~r:8 () in
+  ignore (Serving.Store.save ~root (artifact_of s));
+  let sock = Filename.concat root "test.sock" in
+  let t = Server.Daemon.create ~root (Server.Daemon.Unix_socket sock) in
+  let d = Domain.spawn (fun () -> Server.Daemon.run t) in
+  let addr = Server.Daemon.address t in
+  with_client addr (fun c -> ok "ping" (Server.Client.ping c));
+  Server.Daemon.stop t;
+  Domain.join d (* run returns: drain completed without hanging *);
+  check_bool "stopping reported" true (Server.Daemon.stopping t);
+  check_bool "socket path released" false (Sys.file_exists sock);
+  match Server.Client.connect ~retries:0 addr with
+  | exception Server.Client.Transport _ -> ()
+  | c ->
+      Server.Client.close c;
+      Alcotest.fail "connect succeeded after shutdown"
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "request round-trips" `Quick
+            test_request_roundtrips;
+          Alcotest.test_case "response round-trips" `Quick
+            test_response_roundtrips;
+          Alcotest.test_case "truncated frames" `Quick
+            test_truncated_frames_need_more;
+          Alcotest.test_case "bad version" `Quick test_bad_version_rejected;
+          Alcotest.test_case "oversized frame" `Quick
+            test_oversized_frame_rejected;
+          Alcotest.test_case "garbage bodies" `Quick
+            test_garbage_bodies_rejected;
+        ] );
+      ( "e2e",
+        [
+          Alcotest.test_case "bit-identical at -j 1" `Quick
+            test_e2e_bit_identical_j1;
+          Alcotest.test_case "bit-identical at -j 8" `Quick
+            test_e2e_bit_identical_j8;
+          Alcotest.test_case "update = incremental" `Quick
+            test_e2e_update_matches_incremental;
+          Alcotest.test_case "list_models and stats" `Quick
+            test_e2e_list_models_and_stats;
+          Alcotest.test_case "backpressure busy" `Quick
+            test_e2e_backpressure_busy;
+          Alcotest.test_case "deadline exceeded" `Quick
+            test_e2e_deadline_exceeded;
+          Alcotest.test_case "model not found" `Quick test_e2e_model_not_found;
+          Alcotest.test_case "dim mismatch" `Quick
+            test_e2e_dim_mismatch_bad_request;
+          Alcotest.test_case "graceful shutdown" `Quick
+            test_e2e_graceful_shutdown;
+        ] );
+    ]

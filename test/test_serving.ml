@@ -175,6 +175,36 @@ let test_store_save_load_list () =
        (fun (e : Serving.Store.entry) -> Result.is_ok e.status)
        entries)
 
+let test_store_atomic_save () =
+  with_temp_root @@ fun root ->
+  let s = make_synth ~k:20 ~r:10 () in
+  let a = artifact_of s in
+  (* saves go through a private temp file + rename; none may survive,
+     in either codec or when overwriting an existing entry *)
+  ignore (Serving.Store.save ~root a);
+  ignore (Serving.Store.save ~root a);
+  ignore (Serving.Store.save ~format:Serving.Artifact.Json ~root a);
+  let leftovers =
+    Array.to_list (Sys.readdir root)
+    |> List.filter (fun f ->
+           try
+             ignore (Str.search_forward (Str.regexp_string ".tmp.") f 0);
+             true
+           with Not_found -> false)
+  in
+  check_int "no temp files left behind" 0 (List.length leftovers);
+  let entries = Serving.Store.list ~root in
+  check_int "one entry" 1 (List.length entries);
+  check_bool "entry verified" true
+    (List.for_all
+       (fun (e : Serving.Store.entry) -> Result.is_ok e.status)
+       entries);
+  (* a stray temp file from a crashed writer is invisible to the registry *)
+  let oc = open_out (Filename.concat root ".orphan.tmp.1234") in
+  output_string oc "partial";
+  close_out oc;
+  check_int "orphan temp not listed" 1 (List.length (Serving.Store.list ~root))
+
 let test_store_detects_tampering () =
   with_temp_root @@ fun root ->
   let s = make_synth ~k:20 ~r:10 () in
@@ -249,6 +279,28 @@ let test_predictor_variance_matches_posterior () =
     check_bool "std close" true
       (Float.abs (std_srv -. std_post) < 1e-6 *. Float.max 1. std_post)
   done
+
+let test_predictor_rejects_dim_mismatch () =
+  let s = make_synth ~k:20 ~r:10 () in
+  let p = Serving.Predictor.of_artifact (artifact_of s) in
+  let bad = Linalg.Mat.of_rows [ Stats.Rng.gaussian_vec rng 4 ] in
+  let expect_message what f =
+    match f () with
+    | exception Invalid_argument msg ->
+        let has sub =
+          try
+            ignore (Str.search_forward (Str.regexp_string sub) msg 0);
+            true
+          with Not_found -> false
+        in
+        check_bool (what ^ ": names the model") true (has "test/m");
+        check_bool (what ^ ": expected dim") true (has "expected 10");
+        check_bool (what ^ ": got dim") true (has "got 4")
+    | _ -> Alcotest.failf "%s accepted a wrong-width batch" what
+  in
+  expect_message "predict" (fun () -> ignore (Serving.Predictor.predict p bad));
+  expect_message "predict_with_std" (fun () ->
+      ignore (Serving.Predictor.predict_with_std p bad))
 
 (* ------------------------------------------------------------------ *)
 (* Incremental updates                                                 *)
@@ -361,6 +413,7 @@ let () =
       ( "store",
         [
           Alcotest.test_case "save/load/list" `Quick test_store_save_load_list;
+          Alcotest.test_case "atomic save" `Quick test_store_atomic_save;
           Alcotest.test_case "tamper detection" `Quick
             test_store_detects_tampering;
         ] );
@@ -371,6 +424,8 @@ let () =
           Alcotest.test_case "means" `Quick test_predictor_mean_matches_basis;
           Alcotest.test_case "variance = posterior" `Quick
             test_predictor_variance_matches_posterior;
+          Alcotest.test_case "rejects dim mismatch" `Quick
+            test_predictor_rejects_dim_mismatch;
         ] );
       ( "incremental",
         [
