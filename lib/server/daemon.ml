@@ -5,7 +5,11 @@
      only cross-domain entry and goes through an Atomic + self-pipe.
    - Bounded queue: admission happens at frame-parse time and a full
      queue answers Busy immediately — the daemon never buffers more
-     compute than [queue_capacity] requests.
+     compute than [queue_capacity] requests. Connection memory is
+     bounded too: predict batches whose response could not fit in one
+     frame are refused at admission, and a connection that stops
+     reading its responses stops being read once [max_buffered_out]
+     bytes are queued for it.
    - Micro-batching: each tick drains the whole queue as one window;
      predicts group by (model, with_std) and run as single blocked
      predictor calls, so the per-batch costs (basis recurrences, pool
@@ -96,12 +100,18 @@ let h_admin =
 
 type conn = {
   fd : Unix.file_descr;
-  mutable inbuf : string;  (* received, not yet framed *)
+  inbuf : Buffer.t;  (* received, not yet framed *)
+  mutable need : int;  (* inbuf bytes required before the next parse *)
   out : string Queue.t;  (* encoded frames awaiting write *)
+  mutable out_bytes : int;  (* total bytes queued in [out] *)
   mutable out_off : int;  (* bytes of the head frame already written *)
   mutable close_after_flush : bool;
   mutable closed : bool;
 }
+
+(* Read-side backpressure: once this many encoded bytes are queued for a
+   connection we stop reading from it until the client drains some. *)
+let max_buffered_out = 2 * Wire.max_frame_len
 
 type work =
   | Wpredict of {
@@ -166,6 +176,9 @@ let install_signal_handlers t =
   Sys.set_signal Sys.sigint h
 
 let create ?(config = default_config) ~root addr =
+  (* 0 is deliberately legal: an admin-only drain mode in which every
+     predict/update answers Busy while ping/list_models/stats still
+     work (and which lets tests exercise backpressure deterministically) *)
   if config.queue_capacity < 0 then
     invalid_arg "Daemon.create: negative queue capacity";
   if config.max_batch < 1 then invalid_arg "Daemon.create: max_batch < 1";
@@ -294,7 +307,15 @@ let close_conn t conn =
   end
 
 let send conn frame_bytes =
-  if not conn.closed then Queue.add frame_bytes conn.out
+  if not conn.closed then begin
+    Queue.add frame_bytes conn.out;
+    conn.out_bytes <- conn.out_bytes + String.length frame_bytes
+  end
+
+let bad_request message = Wire.Error { Wire.code = Wire.Bad_request; message }
+
+let internal_error e =
+  Wire.Error { Wire.code = Wire.Internal; message = Printexc.to_string e }
 
 let reply t conn ~id resp =
   ignore t;
@@ -306,7 +327,22 @@ let reply t conn ~id resp =
       | Wire.Deadline_exceeded -> Obs.Metrics.inc m_deadline
       | _ -> ())
   | _ -> ());
-  send conn (Wire.encode_response ~id resp)
+  let encoded =
+    match Wire.encode_response ~id resp with
+    | s -> s
+    | exception _ ->
+        (* the response itself could not be framed (e.g. a stats or
+           models payload past max_frame_len): degrade to a small error
+           frame rather than killing the loop *)
+        Obs.Metrics.inc m_errors;
+        Wire.encode_response ~id
+          (Wire.Error
+             {
+               Wire.code = Wire.Internal;
+               message = "response exceeded the frame size limit";
+             })
+  in
+  send conn encoded
 
 (* Flush as much queued output as the socket accepts right now. *)
 let flush_conn t conn =
@@ -320,6 +356,7 @@ let flush_conn t conn =
        in
        if n = len then begin
          ignore (Queue.pop conn.out);
+         conn.out_bytes <- conn.out_bytes - String.length head;
          conn.out_off <- 0
        end
        else begin
@@ -420,7 +457,18 @@ let on_frame t conn (frame : Wire.frame) =
           Obs.Metrics.time h_admin (fun () ->
               reply t conn ~id:frame.Wire.frame_id (Wire.Models (model_infos t)))
       | Wire.Predict_req { meta; points; with_std } ->
-          admit t conn frame (Wpredict { meta; points; with_std })
+          (* bound at admission so the response is guaranteed to frame *)
+          let rows = Linalg.Mat.rows points in
+          let limit = Wire.max_predict_rows ~with_std in
+          if rows > limit then
+            reply t conn ~id:frame.Wire.frame_id
+              (bad_request
+                 (Printf.sprintf
+                    "batch of %d points exceeds the %d-point response \
+                     limit for %s"
+                    rows limit
+                    (Wire.opcode_name (if with_std then Wire.Predict_var else Wire.Predict))))
+          else admit t conn frame (Wpredict { meta; points; with_std })
       | Wire.Update_req { meta; xs; f } ->
           admit t conn frame (Wupdate { meta; xs; f }))
 
@@ -436,31 +484,46 @@ let read_conn t conn =
            close_conn t conn;
            continue := false
        | n ->
-           conn.inbuf <- conn.inbuf ^ Bytes.sub_string t.scratch 0 n;
+           Buffer.add_subbytes conn.inbuf t.scratch 0 n;
            if n < Bytes.length t.scratch then continue := false
      done
    with
   | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
   | Unix.Unix_error ((Unix.ECONNRESET | Unix.EBADF), _, _) ->
       close_conn t conn);
-  if not conn.closed then begin
+  (* only flatten the buffer once enough bytes for the next frame are in
+     — a dribbled large frame costs one copy, not one per read *)
+  if (not conn.closed) && Buffer.length conn.inbuf >= conn.need then begin
+    let data = Buffer.contents conn.inbuf in
     let off = ref 0 in
     let continue = ref true in
     while !continue do
-      match Wire.peek conn.inbuf ~off:!off with
+      match Wire.peek data ~off:!off with
       | `Frame (frame, next) ->
           off := next;
-          if not conn.close_after_flush then on_frame t conn frame
-      | `Need _ -> continue := false
+          if not conn.close_after_flush then begin
+            (* crash containment: no single request may kill the loop *)
+            try on_frame t conn frame
+            with e ->
+              reply t conn ~id:frame.Wire.frame_id (internal_error e);
+              conn.close_after_flush <- true
+          end
+      | `Need k ->
+          conn.need <- String.length data - !off + k;
+          continue := false
       | `Bad message ->
           reply t conn ~id:0 (Wire.Error { Wire.code = Wire.Protocol; message });
           conn.close_after_flush <- true;
-          conn.inbuf <- "";
+          Buffer.clear conn.inbuf;
+          conn.need <- 4;
           off := 0;
           continue := false
     done;
-    if !off > 0 then
-      conn.inbuf <- String.sub conn.inbuf !off (String.length conn.inbuf - !off)
+    if !off > 0 then begin
+      let rest = String.sub data !off (String.length data - !off) in
+      Buffer.clear conn.inbuf;
+      Buffer.add_string conn.inbuf rest
+    end
   end
 
 let accept_loop t =
@@ -472,8 +535,10 @@ let accept_loop t =
         let conn =
           {
             fd;
-            inbuf = "";
+            inbuf = Buffer.create 4096;
+            need = 4;
             out = Queue.create ();
+            out_bytes = 0;
             out_off = 0;
             close_after_flush = false;
             closed = false;
@@ -500,11 +565,6 @@ let opcode_histogram = function
 let finish t (p : pending) resp =
   Obs.Metrics.observe (opcode_histogram p.work) (now_s () -. p.admitted_s);
   reply t p.p_conn ~id:p.p_id resp
-
-let bad_request message = Wire.Error { Wire.code = Wire.Bad_request; message }
-
-let internal_error e =
-  Wire.Error { Wire.code = Wire.Internal; message = Printexc.to_string e }
 
 (* One group = same model, same opcode. Requests whose dimensionality
    does not match are answered individually; the rest fuse into blocked
@@ -674,10 +734,15 @@ let process_pending t =
       live;
     List.iter
       (fun ((meta, with_std), members) ->
-        run_predict_group t meta with_std (List.rev !members))
+        let members = List.rev !members in
+        try run_predict_group t meta with_std members
+        with e ->
+          List.iter (fun (p, _) -> finish t p (internal_error e)) members)
       (List.rev !groups);
     List.iter
-      (fun (p, meta, xs, f) -> run_update t p meta xs f)
+      (fun (p, meta, xs, f) ->
+        try run_update t p meta xs f
+        with e -> finish t p (internal_error e))
       (List.rev !updates)
   end
 
@@ -709,7 +774,10 @@ let run t =
       t.wake_r
       :: (if t.accepting then [ t.listen_fd ] else [])
       @ List.filter_map
-          (fun c -> if c.close_after_flush then None else Some c.fd)
+          (fun c ->
+            if c.close_after_flush || c.out_bytes >= max_buffered_out then
+              None
+            else Some c.fd)
           t.conns
     in
     let ws =

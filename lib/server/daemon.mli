@@ -18,6 +18,12 @@
 
     Backpressure is explicit: when the queue is full a [Busy] error
     frame is sent immediately — the daemon never buffers unboundedly.
+    Predict batches whose response could not fit in one frame are
+    refused with [Bad_request] at admission (see
+    {!Wire.max_predict_rows}), and a connection that stops reading its
+    responses stops being read once its queued output passes an
+    internal bound, so per-connection memory stays bounded even against
+    a client that pipelines but never reads.
     Requests carrying a deadline that expires before execution get a
     [Deadline_exceeded] error instead of stale work. On SIGTERM/SIGINT
     ({!install_signal_handlers}) the daemon stops accepting, refuses

@@ -14,6 +14,16 @@ let max_frame_len = 16 * 1024 * 1024
 
 let header_len = 1 + 1 + 8 + 4
 
+(* Largest predict batch whose [Predicted] response — u64 count, 8 bytes
+   per mean, the std-presence byte, and (with variance) another counted
+   float array — still fits under [max_frame_len]. Servers enforce this
+   at admission so encoding a legitimate response can never overflow a
+   frame. *)
+let max_predict_rows ~with_std =
+  let per_row = if with_std then 16 else 8 in
+  let fixed = header_len + 8 + 1 + if with_std then 8 else 0 in
+  (max_frame_len - fixed) / per_row
+
 type opcode = Ping | Predict | Predict_var | Update | List_models | Stats
 
 let opcode_name = function
@@ -156,7 +166,9 @@ exception Short of string
 type reader = { data : string; mutable at : int }
 
 let take rd n =
-  if n < 0 || rd.at + n > String.length rd.data then
+  (* [String.length rd.data - rd.at] never overflows ([rd.at] is a valid
+     offset), whereas [rd.at + n] wraps for n near max_int *)
+  if n < 0 || n > String.length rd.data - rd.at then
     raise (Short "truncated body");
   let at = rd.at in
   rd.at <- rd.at + n;
@@ -236,9 +248,17 @@ let peek s ~off =
       else begin
         let frame_kind = Char.code s.[off + 5] in
         let frame_id = Int64.to_int (String.get_int64_le s (off + 6)) in
-        let frame_deadline_ms = Int32.to_int (String.get_int32_le s (off + 14)) in
-        let body = String.sub s (off + 4 + header_len) (n - header_len) in
-        `Frame ({ frame_kind; frame_id; frame_deadline_ms; body }, off + 4 + n)
+        if frame_id < 0 then
+          (* a u64 id with the top bits set; we could never echo it back
+             ([frame] refuses negative ids), so refuse the stream *)
+          `Bad "request id exceeds the representable range"
+        else begin
+          let frame_deadline_ms =
+            Int32.to_int (String.get_int32_le s (off + 14))
+          in
+          let body = String.sub s (off + 4 + header_len) (n - header_len) in
+          `Frame ({ frame_kind; frame_id; frame_deadline_ms; body }, off + 4 + n)
+        end
       end
     end
   end

@@ -25,6 +25,11 @@ val max_frame_len : int
 val header_len : int
 (** Bytes of header after the length word. *)
 
+val max_predict_rows : with_std:bool -> int
+(** Largest predict batch whose [Predicted] response still fits in one
+    frame. Servers refuse larger batches with [Bad_request] at admission
+    so response encoding can never exceed {!max_frame_len}. *)
+
 (** {2 Message types} *)
 
 type opcode = Ping | Predict | Predict_var | Update | List_models | Stats

@@ -299,6 +299,36 @@ let test_garbage_bodies_rejected () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "garbage response body decoded"
 
+let test_overflow_length_rejected () =
+  (* a string length field near max_int must not wrap the bounds check
+     in [take] into an uncaught Invalid_argument — it decodes to Error *)
+  let b = Buffer.create 8 in
+  Buffer.add_int64_le b 0x3FFFFFFFFFFFFFFFL;
+  let f =
+    {
+      Server.Wire.frame_kind = 2 (* predict *);
+      frame_id = 1;
+      frame_deadline_ms = 0;
+      body = Buffer.contents b;
+    }
+  in
+  match Server.Wire.decode_request f with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "near-max_int string length decoded"
+  | exception e ->
+      Alcotest.failf "decode_request raised %s" (Printexc.to_string e)
+
+let test_negative_id_rejected () =
+  (* a u64 id with the top bits set decodes to a negative OCaml int and
+     could never be echoed back; peek must refuse the stream *)
+  let full = Server.Wire.encode_request ~id:1 Server.Wire.Ping_req in
+  let buf = Bytes.of_string full in
+  Bytes.set_int64_le buf 6 (-1L) (* id field: u32 length + version + kind *);
+  match Server.Wire.peek (Bytes.to_string buf) ~off:0 with
+  | `Bad _ -> ()
+  | `Frame _ -> Alcotest.fail "u64 id with the top bit set accepted"
+  | `Need _ -> Alcotest.fail "negative id misread as incomplete"
+
 (* ------------------------------------------------------------------ *)
 (* End-to-end over a Unix socket                                       *)
 
@@ -486,6 +516,77 @@ let test_e2e_dim_mismatch_bad_request () =
       check_bool "states expected dim" true (has "expected 8");
       check_bool "states got dim" true (has "got 3")
 
+let test_e2e_oversized_batch_refused () =
+  (* against a 1-D model a large predict_with_variance response is ~2x
+     the request, so an unbounded batch could overflow max_frame_len at
+     encode time; admission must refuse it and the daemon must live on *)
+  with_temp_root @@ fun root ->
+  let s = make_synth ~k:10 ~r:1 () in
+  ignore (Serving.Store.save ~root (artifact_of s));
+  with_daemon ~root @@ fun _t addr ->
+  with_client addr @@ fun c ->
+  let rows = Server.Wire.max_predict_rows ~with_std:true + 1 in
+  let big = Linalg.Mat.create rows 1 in
+  (match Server.Client.predict_with_std c meta big with
+  | Ok _ -> Alcotest.fail "oversized batch served"
+  | Error e ->
+      check_bool "bad-request code" true
+        (e.Server.Wire.code = Server.Wire.Bad_request));
+  ok "ping after refusal" (Server.Client.ping c)
+
+let test_e2e_hostile_frame_contained () =
+  (* a structurally valid frame whose body advertises a ~2^62-byte
+     string: the daemon must answer with a Protocol error and hang up
+     that connection only — never crash *)
+  with_temp_root @@ fun root ->
+  let s = make_synth ~k:10 ~r:6 () in
+  ignore (Serving.Store.save ~root (artifact_of s));
+  with_daemon ~root @@ fun _t addr ->
+  let path =
+    match addr with
+    | Server.Daemon.Unix_socket p -> p
+    | Server.Daemon.Tcp _ -> Alcotest.fail "expected a unix socket"
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let b = Buffer.create 32 in
+      Buffer.add_int32_le b
+        (Int32.of_int (Server.Wire.header_len + 8));
+      Buffer.add_uint8 b Server.Wire.version;
+      Buffer.add_uint8 b 2 (* predict *);
+      Buffer.add_int64_le b 5L (* id *);
+      Buffer.add_int32_le b 0l (* deadline *);
+      Buffer.add_int64_le b 0x3FFFFFFFFFFFFFFFL (* circuit "length" *);
+      let payload = Buffer.contents b in
+      let n = Unix.write_substring fd payload 0 (String.length payload) in
+      check_int "payload written" (String.length payload) n;
+      (* the daemon replies once, then closes: drain to EOF *)
+      let got = Buffer.create 256 in
+      let tmp = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read fd tmp 0 4096 with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes got tmp 0 n;
+            drain ()
+      in
+      drain ();
+      match Server.Wire.peek (Buffer.contents got) ~off:0 with
+      | `Frame (f, _) -> (
+          check_int "id echoed" 5 f.Server.Wire.frame_id;
+          match Server.Wire.decode_response ~expect:Server.Wire.Predict f with
+          | Ok (Server.Wire.Error e) ->
+              check_bool "protocol error" true
+                (e.Server.Wire.code = Server.Wire.Protocol)
+          | _ -> Alcotest.fail "expected a protocol error frame")
+      | `Need _ | `Bad _ ->
+          Alcotest.fail "no complete response frame before close");
+  (* the daemon survived: a fresh connection still answers *)
+  with_client addr @@ fun c -> ok "ping after hostile frame" (Server.Client.ping c)
+
 let test_e2e_graceful_shutdown () =
   with_temp_root @@ fun root ->
   let s = make_synth ~k:20 ~r:8 () in
@@ -523,6 +624,9 @@ let () =
             test_oversized_frame_rejected;
           Alcotest.test_case "garbage bodies" `Quick
             test_garbage_bodies_rejected;
+          Alcotest.test_case "overflow length" `Quick
+            test_overflow_length_rejected;
+          Alcotest.test_case "negative id" `Quick test_negative_id_rejected;
         ] );
       ( "e2e",
         [
@@ -541,6 +645,10 @@ let () =
           Alcotest.test_case "model not found" `Quick test_e2e_model_not_found;
           Alcotest.test_case "dim mismatch" `Quick
             test_e2e_dim_mismatch_bad_request;
+          Alcotest.test_case "oversized batch refused" `Quick
+            test_e2e_oversized_batch_refused;
+          Alcotest.test_case "hostile frame contained" `Quick
+            test_e2e_hostile_frame_contained;
           Alcotest.test_case "graceful shutdown" `Quick
             test_e2e_graceful_shutdown;
         ] );
