@@ -275,7 +275,12 @@ let daemon_loadgen (cfg : Experiments.Config.t) =
      sides agree on one initialized pool *)
   ignore (Parallel.Pool.run (Array.init 4 (fun i () -> i)));
   let sock = Filename.concat root "bench.sock" in
-  let t = Server.Daemon.create ~root (Server.Daemon.Unix_socket sock) in
+  (* [`Fast]: the bench measures prediction throughput, not fsync —
+     durability overhead is measured separately below *)
+  let config =
+    { Server.Daemon.default_config with Server.Daemon.durability = `Fast }
+  in
+  let t = Server.Daemon.create ~config ~root (Server.Daemon.Unix_socket sock) in
   let server = Domain.spawn (fun () -> Server.Daemon.run t) in
   Fun.protect
     ~finally:(fun () ->
@@ -293,6 +298,73 @@ let daemon_loadgen (cfg : Experiments.Config.t) =
       in
       loadgen_summary := Some summary;
       Format.printf "%a@." Server.Loadgen.pp summary)
+
+(* ------------------------------------------------------------------ *)
+(* Durability overhead: `Fast` vs `Durable` artifact saves and the     *)
+(* write-ahead journal append, on the same artifact the daemon bench   *)
+(* serves — quantifies what the fsync discipline costs per update.     *)
+
+(* (operation, seconds per op), for the summary JSON. *)
+let durability_timings : (string * float) list ref = ref []
+
+let durability_overhead (cfg : Experiments.Config.t) =
+  let ro = Circuit.Ring_oscillator.create ~config:cfg.ro cfg.seed in
+  let tb = Circuit.Ring_oscillator.testbench ro in
+  let metric = Circuit.Ring_oscillator.frequency_index in
+  let prep = Experiments.Runner.prepare cfg tb ~metric in
+  let rng = Stats.Rng.create 1100 in
+  let xs, f =
+    Circuit.Testbench.draw_dataset tb ~stage:Circuit.Stage.Layout ~metric ~rng
+      ~k:100 ()
+  in
+  let g = Polybasis.Basis.design_matrix prep.late_basis xs in
+  let prior = Bmf.Prior.nonzero_mean prep.early in
+  let meta =
+    {
+      Serving.Artifact.circuit = "ro";
+      metric = "frequency";
+      scale = "bench-durability";
+      seed = cfg.seed;
+    }
+  in
+  let artifact =
+    Serving.Artifact.of_fit ~meta ~basis:prep.late_basis ~prior ~hyper:1e-3 ~g
+      ~f ()
+  in
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bmf-bench-durability.%d" (Unix.getpid ()))
+  in
+  let ops = 20 in
+  let record name f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to ops do
+      f ()
+    done;
+    let per_op = (Unix.gettimeofday () -. t0) /. float_of_int ops in
+    durability_timings := (name, per_op) :: !durability_timings;
+    Printf.printf "  %-16s %8.3f ms/op  (%d ops)\n" name (1e3 *. per_op) ops
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f ->
+          try Sys.remove (Filename.concat root f) with Sys_error _ -> ())
+        (try Sys.readdir root with Sys_error _ -> [||]);
+      try Unix.rmdir root with Unix.Unix_error _ -> ())
+    (fun () ->
+      record "save_fast" (fun () ->
+          ignore (Serving.Store.save ~durability:`Fast ~root artifact));
+      record "save_durable" (fun () ->
+          ignore (Serving.Store.save ~durability:`Durable ~root artifact));
+      let entry = { Serving.Journal.meta; base_rev = 0; xs; f } in
+      let jf = Serving.Journal.open_ ~durability:`Fast ~root () in
+      record "journal_fast" (fun () -> Serving.Journal.append jf entry);
+      Serving.Journal.close jf;
+      let jd = Serving.Journal.open_ ~durability:`Durable ~root () in
+      record "journal_durable" (fun () -> Serving.Journal.append jd entry);
+      Serving.Journal.close jd;
+      durability_timings := List.rev !durability_timings)
 
 (* ------------------------------------------------------------------ *)
 (* Parallel CV sweep: wall-clock speedup curve over -j, with the       *)
@@ -426,6 +498,15 @@ let summary_json ~total_seconds ~microbench =
   (match !loadgen_summary with
   | Some s -> Buffer.add_string buf (Server.Loadgen.to_json s)
   | None -> Buffer.add_string buf "null");
+  Buffer.add_string buf ",\"durability\":[";
+  List.iteri
+    (fun i (name, seconds) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"op\":\"%s\",\"seconds_per_op\":%.6f}"
+           (json_escape name) seconds))
+    !durability_timings;
+  Buffer.add_string buf "]";
   Buffer.add_string buf ",\"metrics\":";
   Buffer.add_string buf (Obs.Metrics.to_json ());
   Buffer.add_char buf '}';
@@ -502,6 +583,9 @@ let () =
 
   section "Serving daemon: micro-batched predictions over a Unix socket";
   ignore (timed "daemon_loadgen" (fun () -> daemon_loadgen cfg; ""));
+
+  section "Durability: Fast vs Durable saves and journal appends";
+  ignore (timed "durability" (fun () -> durability_overhead cfg; ""));
 
   section "Parallel CV sweep: speedup over -j (bit-identical by construction)";
   ignore (timed "parallel_cv" (fun () -> parallel_cv_sweep cfg; ""));

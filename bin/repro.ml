@@ -12,6 +12,7 @@
      repro predict        serve predictions from a stored artifact
      repro update         fold new samples in without a full refit
      repro models         list and verify the artifact registry
+     repro recover        crash recovery: verify, replay journal, sweep
      repro serve          micro-batching prediction daemon (lib/server)
      repro client         one-shot wire-protocol client for serve
      repro loadgen        closed-loop load generator against serve
@@ -427,8 +428,18 @@ let fit_rngs (cfg : Experiments.Config.t) ~metric =
   let shuffle = Stats.Rng.split master in
   (data, shuffle)
 
+let durability_arg ~default =
+  Arg.(
+    value
+    & opt (enum [ ("fast", `Fast); ("durable", `Durable) ]) default
+    & info [ "durability" ] ~docv:"MODE"
+        ~doc:
+          "$(b,durable) fsyncs the artifact (and journal) before \
+           acknowledging — survives SIGKILL and power loss; $(b,fast) \
+           leaves flushing to the kernel (atomic visibility only).")
+
 let run_fit (scale_name, (cfg : Experiments.Config.t)) verbose circuit
-    metric_opt k dir json trace metrics =
+    metric_opt k dir json durability trace metrics =
   with_obs ~trace ~metrics "repro_fit" @@ fun () ->
   let progress = progress_of verbose in
   let tb = testbench_of cfg circuit in
@@ -460,7 +471,9 @@ let run_fit (scale_name, (cfg : Experiments.Config.t)) verbose circuit
       ~hyper:fitted.hyper ~cv_error:fitted.cv_error ~g ~f ()
   in
   let format = if json then Serving.Artifact.Json else Serving.Artifact.Binary in
-  let file = Serving.Store.save ~format ~root:(root_of dir) artifact in
+  let file =
+    Serving.Store.save ~format ~durability ~root:(root_of dir) artifact
+  in
   Printf.printf "saved %s\n  %s\n" file (describe artifact);
   print_predictions artifact
 
@@ -469,7 +482,8 @@ let fit_cmd =
   Cmd.v (Cmd.info "fit" ~doc)
     Term.(
       const run_fit $ common_named $ verbose_arg $ circuit_arg $ metric_arg
-      $ fit_samples_arg $ dir_arg $ json_arg $ trace_arg $ metrics_arg)
+      $ fit_samples_arg $ dir_arg $ json_arg $ durability_arg ~default:`Fast
+      $ trace_arg $ metrics_arg)
 
 let run_predict (scale_name, (cfg : Experiments.Config.t)) _verbose circuit
     metric_opt dir trace metrics =
@@ -519,7 +533,7 @@ let no_check_arg =
         ~doc:"Skip the cold-refit cross-check (and its timing).")
 
 let run_update (scale_name, (cfg : Experiments.Config.t)) verbose circuit
-    metric_opt k_new dir no_check trace metrics =
+    metric_opt k_new dir no_check durability trace metrics =
   with_obs ~trace ~metrics "repro_update" @@ fun () ->
   let progress = progress_of verbose in
   let tb = testbench_of cfg circuit in
@@ -597,7 +611,7 @@ let run_update (scale_name, (cfg : Experiments.Config.t)) verbose circuit
             Serving.Artifact.Json
         | _ -> Serving.Artifact.Binary
       in
-      let file = Serving.Store.save ~format ~root updated in
+      let file = Serving.Store.save ~format ~durability ~root updated in
       Printf.printf "saved %s\n  %s\n" file (describe updated);
       print_predictions updated
 
@@ -610,7 +624,8 @@ let update_cmd =
   Cmd.v (Cmd.info "update" ~doc)
     Term.(
       const run_update $ common_named $ verbose_arg $ circuit_arg $ metric_arg
-      $ update_samples_arg $ dir_arg $ no_check_arg $ trace_arg $ metrics_arg)
+      $ update_samples_arg $ dir_arg $ no_check_arg
+      $ durability_arg ~default:`Fast $ trace_arg $ metrics_arg)
 
 let human_bytes n =
   if n >= 1_048_576 then Printf.sprintf "%.1f MiB" (float_of_int n /. 1048576.)
@@ -656,6 +671,23 @@ let models_cmd =
      verification status and verification time, plus store I/O totals."
   in
   Cmd.v (Cmd.info "models" ~doc) Term.(const run_models $ dir_arg)
+
+let run_recover dir durability =
+  let root = root_of dir in
+  let report = Serving.Recovery.recover ~durability ~root () in
+  print_endline (Serving.Recovery.summary report);
+  if not (Serving.Recovery.clean report) then exit 1
+
+let recover_cmd =
+  let doc =
+    "Recover the artifact registry after a crash: sweep interrupted-save \
+     temp files, checksum-verify every artifact, replay the write-ahead \
+     journal tail for updates whose artifact save did not complete, and \
+     reset the journal. Exits 1 when any artifact is corrupt or a replay \
+     fails — the same pass $(b,repro serve) runs on startup."
+  in
+  Cmd.v (Cmd.info "recover" ~doc)
+    Term.(const run_recover $ dir_arg $ durability_arg ~default:`Durable)
 
 (* ------------------------------------------------------------------ *)
 (* Serving daemon: `repro serve` / `repro client` / `repro loadgen`
@@ -713,7 +745,8 @@ let cache_arg =
     & opt int Server.Daemon.default_config.Server.Daemon.cache_capacity
     & info [ "cache" ] ~docv:"N" ~doc:"Resident models (LRU eviction).")
 
-let run_serve verbose dir socket host port queue max_batch cache jobs metrics =
+let run_serve verbose dir socket host port queue max_batch cache jobs
+    durability metrics =
   Parallel.Pool.set_default_jobs (Stdlib.max 0 jobs);
   let _ = verbose in
   (* metrics collection is always on for the daemon: the `stats` opcode
@@ -725,6 +758,7 @@ let run_serve verbose dir socket host port queue max_batch cache jobs metrics =
       Server.Daemon.queue_capacity = queue;
       max_batch;
       cache_capacity = Stdlib.max 1 cache;
+      durability;
     }
   in
   let t =
@@ -732,11 +766,13 @@ let run_serve verbose dir socket host port queue max_batch cache jobs metrics =
       (address_of socket host port)
   in
   Server.Daemon.install_signal_handlers t;
+  print_endline (Serving.Recovery.summary (Server.Daemon.recovery t));
   Format.printf
-    "serving %s at %a  (queue %d, max batch %d, cache %d, -j %d)@."
+    "serving %s at %a  (queue %d, max batch %d, cache %d, -j %d, %s)@."
     (root_of dir) Server.Daemon.pp_address (Server.Daemon.address t)
     queue max_batch cache
-    (Parallel.Pool.default_jobs ());
+    (Parallel.Pool.default_jobs ())
+    (match durability with `Fast -> "fast" | `Durable -> "durable");
   Format.printf "ready; SIGTERM/SIGINT drains and exits@.";
   Server.Daemon.run t;
   Obs.Metrics.disable ();
@@ -762,7 +798,7 @@ let serve_cmd =
     Term.(
       const run_serve $ verbose_arg $ dir_arg $ socket_arg $ host_arg
       $ port_arg $ queue_arg $ max_batch_arg $ cache_arg $ jobs_arg
-      $ metrics_arg)
+      $ durability_arg ~default:`Durable $ metrics_arg)
 
 let meta_of (scale_name, (cfg : Experiments.Config.t)) circuit metric_opt =
   let tb = testbench_of cfg circuit in
@@ -851,9 +887,11 @@ and run_client_exn common socket host port deadline_ms action =
   | "stats" -> (
       match Server.Client.stats c with
       | Error e -> die_error "stats" e
-      | Ok (uptime, requests, json) ->
-          Printf.printf "uptime: %.1f s, requests served: %.0f\n%s\n" uptime
-            requests json)
+      | Ok (uptime, requests, recovered, json) ->
+          Printf.printf
+            "uptime: %.1f s, requests served: %.0f, updates replayed by \
+             recovery: %.0f\n%s\n"
+            uptime requests recovered json)
   | "predict" | "predict-std" -> (
       let _, _, meta = common in
       let info = find_model c meta in
@@ -1119,6 +1157,7 @@ let () =
             predict_cmd;
             update_cmd;
             models_cmd;
+            recover_cmd;
             serve_cmd;
             client_cmd;
             loadgen_cmd;

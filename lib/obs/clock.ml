@@ -1,6 +1,12 @@
 let wall () = Unix.gettimeofday ()
 
-let source = ref wall
+(* CLOCK_MONOTONIC via bechamel's zero-dependency stub: immune to NTP
+   steps, which matters now that the serving daemon keys request
+   deadlines and drain grace off this clock. The origin is arbitrary
+   (boot time), so readings are durations, not dates. *)
+let monotonic () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
+let source = ref monotonic
 
 let last = ref neg_infinity
 
@@ -15,4 +21,4 @@ let set_source f =
   source := f;
   last := neg_infinity
 
-let reset_source () = set_source wall
+let reset_source () = set_source monotonic

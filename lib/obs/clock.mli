@@ -1,20 +1,28 @@
-(** Time source for the observability layer.
+(** Time source for the observability layer {e and} for every serving
+    deadline/timeout computation.
 
-    Readings are guaranteed non-decreasing: the raw source (wall clock by
-    default — the platform has no monotonic clock binding) is clamped
-    against the last value handed out, so span durations are never
-    negative even across a wall-clock step. Tests install a deterministic
-    source with {!set_source}. *)
+    The raw source is CLOCK_MONOTONIC (via bechamel's stub), so request
+    admission/expiry and drain grace in the daemon cannot be unstuck or
+    mass-expired by an NTP wall-clock step; its origin is arbitrary —
+    treat readings as durations between two calls, never as dates (use
+    {!wall} for human-facing timestamps). Readings are additionally
+    clamped non-decreasing against the last value handed out, so span
+    durations are never negative even under an injected test source. *)
 
 val now_s : unit -> float
-(** Current time in seconds, monotone non-decreasing. *)
+(** Monotonic time in seconds, monotone non-decreasing, arbitrary
+    origin. *)
 
 val now_us : unit -> float
 (** Current time in microseconds (the unit of Chrome trace events). *)
+
+val wall : unit -> float
+(** Wall-clock seconds since the epoch ([Unix.gettimeofday]) — for
+    human-facing timestamps only; subject to NTP steps. *)
 
 val set_source : (unit -> float) -> unit
 (** Replace the raw source (seconds). Resets the monotonic clamp so a
     test clock may start from any origin. *)
 
 val reset_source : unit -> unit
-(** Restore the default wall-clock source. *)
+(** Restore the default monotonic source. *)

@@ -159,7 +159,8 @@ let list_models t =
 
 let stats t =
   match roundtrip t Wire.Stats_req with
-  | Ok (Wire.Stats_payload { uptime_s; requests; metrics_json }) ->
-      Ok (uptime_s, requests, metrics_json)
+  | Ok (Wire.Stats_payload { uptime_s; requests; recovered_updates; metrics_json })
+    ->
+      Ok (uptime_s, requests, recovered_updates, metrics_json)
   | Ok _ -> unexpected ()
   | Error e -> Error e

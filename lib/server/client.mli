@@ -51,5 +51,6 @@ val update :
 
 val list_models : t -> (Wire.model_info list, Wire.error) result
 
-val stats : t -> (float * float * string, Wire.error) result
-(** (uptime seconds, requests served, metrics JSON). *)
+val stats : t -> (float * float * float * string, Wire.error) result
+(** (uptime seconds, requests served, updates replayed by recovery at
+    the last restart, metrics JSON). *)

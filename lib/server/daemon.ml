@@ -29,11 +29,12 @@ type config = {
   max_batch : int;
   cache_capacity : int;
   batch_delay_s : float;
+  durability : Serving.Store.durability;
 }
 
 let default_config =
   { queue_capacity = 256; max_batch = 4096; cache_capacity = 8;
-    batch_delay_s = 0. }
+    batch_delay_s = 0.; durability = `Durable }
 
 (* ------------------------------------------------------------------ *)
 (* Metrics.                                                            *)
@@ -154,11 +155,18 @@ type t = {
   mutable cache_tick : int;
   mutable served : int;  (* requests received, any outcome *)
   scratch : Bytes.t;  (* per-instance read buffer *)
-  started_s : float;
-  mutable stopped_s : float;  (* when [stop] was first seen *)
+  started_s : float;  (* wall clock, human-facing only *)
+  started_mono : float;  (* monotonic, for uptime *)
+  mutable stopped_mono : float;  (* monotonic instant [stop] was first seen *)
+  journal : Serving.Journal.t;
+  recovery : Serving.Recovery.report;  (* what [create] found and replayed *)
 }
 
 let address t = t.addr
+
+let recovery t = t.recovery
+
+let started_s t = t.started_s
 
 let stopping t = Atomic.get t.stop_flag
 
@@ -184,6 +192,17 @@ let create ?(config = default_config) ~root addr =
   if config.max_batch < 1 then invalid_arg "Daemon.create: max_batch < 1";
   if config.cache_capacity < 1 then
     invalid_arg "Daemon.create: cache_capacity < 1";
+  (* recover BEFORE binding: sweep interrupted-save temps, verify every
+     artifact checksum and replay any journal tail whose artifact save
+     did not complete — the daemon never serves from an unverified
+     store. The journal handle is opened only after recovery has
+     consumed (or provably discarded) the previous incarnation's tail. *)
+  let recovery =
+    Serving.Recovery.recover ~durability:config.durability ~root ()
+  in
+  let journal =
+    Serving.Journal.open_ ~durability:config.durability ~root ()
+  in
   let domain, sockaddr =
     match addr with
     | Tcp (host, port) ->
@@ -230,7 +249,10 @@ let create ?(config = default_config) ~root addr =
     served = 0;
     scratch = Bytes.create 65536;
     started_s = Unix.gettimeofday ();
-    stopped_s = nan;
+    started_mono = Obs.Clock.now_s ();
+    stopped_mono = nan;
+    journal;
+    recovery;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -374,7 +396,11 @@ let flush_conn t conn =
 (* ------------------------------------------------------------------ *)
 (* Request admission.                                                  *)
 
-let now_s () = Unix.gettimeofday ()
+(* Monotonic: admission stamps, deadline expiry, uptime and drain grace
+   must not move when NTP steps the wall clock — a step backwards would
+   freeze expiry, a step forwards would mass-expire every queued
+   request. Wall time ([t.started_s]) is kept for display only. *)
+let now_s () = Obs.Clock.now_s ()
 
 let model_infos t =
   Serving.Store.list ~root:t.root
@@ -396,8 +422,9 @@ let model_infos t =
 let stats_payload t =
   Wire.Stats_payload
     {
-      uptime_s = now_s () -. t.started_s;
+      uptime_s = now_s () -. t.started_mono;
       requests = float_of_int t.served;
+      recovered_updates = float_of_int t.recovery.Serving.Recovery.replayed;
       metrics_json = Obs.Metrics.to_json ();
     }
 
@@ -674,13 +701,33 @@ let run_update t (p : pending) meta xs f =
                 (Linalg.Mat.cols xs)))
       else
         match
+          (* write-ahead: journal + fsync the raw samples first, so a
+             crash anywhere past this point can no longer lose the
+             update — recovery replays it against the base revision *)
+          Serving.Journal.append t.journal
+            {
+              Serving.Journal.meta;
+              base_rev = cached.artifact.Serving.Artifact.rev;
+              xs;
+              f;
+            };
           let upd = Serving.Incremental.of_artifact cached.artifact in
           Serving.Incremental.add_batch upd ~xs ~f;
           let updated = Serving.Incremental.to_artifact upd in
-          ignore (Serving.Store.save ~root:t.root updated);
+          ignore
+            (Serving.Store.save ~durability:t.config.durability ~root:t.root
+               updated);
+          (* the artifact is durable: the journal entry has served its
+             purpose and must not be replayed on the next start *)
+          Serving.Journal.truncate t.journal;
           updated
         with
-        | exception e -> finish t p (internal_error e)
+        | exception e ->
+            (* the update was rejected (degenerate sample, I/O error):
+               roll the journal back so the refused entry cannot be
+               replayed at restart as if it had been accepted *)
+            (try Serving.Journal.truncate t.journal with _ -> ());
+            finish t p (internal_error e)
         | updated ->
             refresh_model t meta updated;
             finish t p
@@ -767,7 +814,7 @@ let run t =
   let finished = ref false in
   while not !finished do
     if stopping t then begin
-      if Float.is_nan t.stopped_s then t.stopped_s <- now_s ();
+      if Float.is_nan t.stopped_mono then t.stopped_mono <- now_s ();
       stop_accepting t
     end;
     let rs =
@@ -811,7 +858,7 @@ let run t =
       List.iter (fun c -> flush_conn t c) t.conns;
       if
         (Queue.is_empty t.pending && fully_flushed t)
-        || now_s () -. t.stopped_s > drain_grace_s
+        || now_s () -. t.stopped_mono > drain_grace_s
       then begin
         List.iter (fun c -> close_conn t c) t.conns;
         finished := true
@@ -819,5 +866,6 @@ let run t =
     end
   done;
   stop_accepting t;
+  (try Serving.Journal.close t.journal with Unix.Unix_error _ -> ());
   (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
   try Unix.close t.wake_w with Unix.Unix_error _ -> ()

@@ -57,19 +57,37 @@ type config = {
   batch_delay_s : float;
       (** Sleep before each micro-batch window — a pacing/testing aid
           (lets deadlines expire deterministically in tests). *)
+  durability : Serving.Store.durability;
+      (** [`Durable] (the default): every update is write-ahead
+          journaled + fsynced before it is applied, and the artifact
+          save fsyncs file and directory — an acknowledged update
+          survives SIGKILL and power loss. [`Fast] skips the fsyncs
+          (benchmarks). *)
 }
 
 val default_config : config
 (** [{ queue_capacity = 256; max_batch = 4096; cache_capacity = 8;
-      batch_delay_s = 0. }] *)
+      batch_delay_s = 0.; durability = `Durable }] *)
 
 type t
 
 val create : ?config:config -> root:string -> address -> t
-(** Binds and listens. [root] is the {!Serving.Store} registry the
-    daemon serves. [Tcp (host, 0)] binds an ephemeral port — read it
-    back with {!address}. A stale Unix-socket path is unlinked first.
+(** Runs {!Serving.Recovery.recover} over [root] — temp-file sweep,
+    full checksum verification, journal-tail replay — then opens the
+    write-ahead journal, binds and listens. [Tcp (host, 0)] binds an
+    ephemeral port — read it back with {!address}. A stale Unix-socket
+    path is unlinked first.
     @raise Unix.Unix_error when binding fails. *)
+
+val started_s : t -> float
+(** Wall-clock start time (seconds since the epoch) — human-facing
+    display only. All internal timing (deadlines, drain grace, uptime)
+    runs on the monotonic {!Obs.Clock} and is immune to NTP steps. *)
+
+val recovery : t -> Serving.Recovery.report
+(** What {!create}'s recovery pass found and replayed (also surfaced as
+    [recovered_updates] in the wire [stats] response and the
+    [bmf_server_recovered_updates_total] metric). *)
 
 val address : t -> address
 (** The actually-bound address (ephemeral TCP port resolved). *)

@@ -82,10 +82,21 @@ let worker addr meta ~dim ~batch ~with_std ~deadline_ms ~seed ~until () =
     w_latencies = !latencies;
   }
 
+(* Linear interpolation between ranks (the "type 7" estimator most
+   stats packages default to). The old truncating index biased p90/p99
+   low on small samples: with 10 latencies, p99 returned sorted.(8). *)
 let percentile sorted q =
   let n = Array.length sorted in
   if n = 0 then nan
-  else sorted.(Stdlib.min (n - 1) (int_of_float (q *. float_of_int (n - 1))))
+  else if n = 1 then sorted.(0)
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (n - 1) (lo + 1) in
+    let w = rank -. float_of_int lo in
+    ((1. -. w) *. sorted.(lo)) +. (w *. sorted.(hi))
+  end
 
 let run ?(connections = 4) ?(duration_s = 5.) ?(batch = 64)
     ?(with_std = false) ?deadline_ms ?(seed = 20130602) ~meta addr =
@@ -110,7 +121,10 @@ let run ?(connections = 4) ?(duration_s = 5.) ?(batch = 64)
     |> List.concat_map (fun w -> w.w_latencies)
     |> Array.of_list
   in
-  Array.sort compare latencies;
+  (* Float.compare, not polymorphic compare: the latter orders NaN
+     inconsistently inside sort's comparisons and can leave the array
+     mis-sorted if a latency was ever NaN *)
+  Array.sort Float.compare latencies;
   let mean =
     if Array.length latencies = 0 then nan
     else

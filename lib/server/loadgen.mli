@@ -27,6 +27,12 @@ type summary = {
   latency_max_s : float;
 }
 
+val percentile : float array -> float -> float
+(** [percentile sorted q] with [q] in [0, 1] over an ascending-sorted
+    array: linear interpolation between the two nearest ranks (the
+    "type 7" estimator), [nan] on an empty array. Exposed for unit
+    tests against known fixtures. *)
+
 val run :
   ?connections:int ->
   ?duration_s:float ->

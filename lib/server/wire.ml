@@ -131,6 +131,7 @@ type response =
   | Stats_payload of {
       uptime_s : float;
       requests : float;
+      recovered_updates : float;
       metrics_json : string;
     }
   | Error of error
@@ -341,8 +342,9 @@ let encode_response ~id resp =
             put_int buf i.bytes)
           infos;
         0
-    | Stats_payload { uptime_s; requests; metrics_json } ->
+    | Stats_payload { uptime_s; requests; recovered_updates; metrics_json } ->
         put_float buf uptime_s;
+        put_float buf recovered_updates;
         put_float buf requests;
         put_string buf metrics_json;
         0
@@ -397,9 +399,10 @@ let decode_response ~expect f =
             Models infos
         | Stats ->
             let uptime_s = get_float rd in
+            let recovered_updates = get_float rd in
             let requests = get_float rd in
             let metrics_json = get_string rd in
-            Stats_payload { uptime_s; requests; metrics_json }
+            Stats_payload { uptime_s; requests; recovered_updates; metrics_json }
       in
       finished rd;
       Ok resp

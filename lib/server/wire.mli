@@ -84,6 +84,9 @@ type response =
   | Stats_payload of {
       uptime_s : float;
       requests : float;
+      recovered_updates : float;
+          (** Journaled updates replayed at the last restart
+              ([bmf_server_recovered_updates_total]). *)
       metrics_json : string;
     }
   | Error of error

@@ -78,3 +78,10 @@ val load : string -> (t, string) result
 val fingerprint : Linalg.Vec.t -> string
 (** Checksum over the exact IEEE bits of a float vector — used to
     assert bit-identical predictions across save/load and processes. *)
+
+val fnv64 : string -> int64
+(** FNV-1a 64-bit hash — the checksum primitive shared by both codecs,
+    the {!Store} filename digest and the {!Journal} entry checksums. *)
+
+val checksum_hex : string -> string
+(** [fnv64] rendered as 16 lowercase hex digits. *)

@@ -1,0 +1,56 @@
+(* Test-only fault injection: count down durability-relevant syscalls
+   (write, fsync, rename, unlink) and SIGKILL the process when the
+   budget runs out. Disarmed — the default — every [step] is a single
+   branch on [None], so production paths pay nothing measurable. *)
+
+let env_var = "BMF_CRASH_AFTER_N_WRITES"
+
+(* [None] = disarmed; [Some n] = allow [n] more steps, then die. *)
+let budget : int option ref = ref None
+
+let initialized = ref false
+
+let init_from_env () =
+  if not !initialized then begin
+    initialized := true;
+    match Sys.getenv_opt env_var with
+    | None -> ()
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 0 -> budget := Some n
+        | _ ->
+            (* A malformed value must not silently disable the harness:
+               the crash tests would "pass" without ever crashing. *)
+            failwith
+              (Printf.sprintf "%s: expected a non-negative integer, got %S"
+                 env_var s))
+  end
+
+let arm n =
+  if n < 0 then invalid_arg "Crashpoint.arm: negative budget";
+  initialized := true;
+  budget := Some n
+
+let disarm () =
+  initialized := true;
+  budget := None
+
+let reset () =
+  initialized := false;
+  budget := None
+
+let armed () =
+  init_from_env ();
+  Option.is_some !budget
+
+let step () =
+  init_from_env ();
+  match !budget with
+  | None -> ()
+  | Some 0 ->
+      (* SIGKILL cannot be caught: the process disappears exactly as it
+         would on power loss, with no atexit/finalizer cleanup. *)
+      Unix.kill (Unix.getpid ()) Sys.sigkill;
+      (* unreachable, but keep the typechecker honest if kill returns *)
+      exit 137
+  | Some n -> budget := Some (n - 1)

@@ -1,0 +1,37 @@
+(** Test-only crash fault injection for the durability layer.
+
+    The store and journal call {!step} immediately {e before} every
+    durability-relevant syscall (write, fsync, rename, unlink). When the
+    harness is armed with a budget of [n], the first [n] steps proceed
+    and the [n+1]-th delivers SIGKILL to the process itself — an
+    uncatchable stop that models power loss at that exact point in the
+    write protocol. Recovery tests sweep [n = 0, 1, 2, ...] to kill the
+    process at {e every} distinct step and assert the store always
+    recovers to a verified state.
+
+    Disarmed (the default) every {!step} is one branch; the production
+    write path is unaffected. *)
+
+val env_var : string
+(** ["BMF_CRASH_AFTER_N_WRITES"] — setting it to [n] arms the process
+    at startup (first {!step} or {!armed} call) with budget [n].
+    @raise Failure on a malformed value: the harness must never be
+    silently disabled by a typo. *)
+
+val arm : int -> unit
+(** [arm n] allows [n] more steps, then kills. Overrides the
+    environment. @raise Invalid_argument if [n < 0]. *)
+
+val disarm : unit -> unit
+(** Disable injection (also suppresses any environment arming). *)
+
+val reset : unit -> unit
+(** Forget any arming {e and} re-read {!env_var} on the next {!step} or
+    {!armed} call — the environment is normally consulted only once per
+    process. Test hook. *)
+
+val armed : unit -> bool
+
+val step : unit -> unit
+(** Count one durability-relevant operation; SIGKILLs the process when
+    the armed budget is exhausted. No-op when disarmed. *)

@@ -1,0 +1,68 @@
+(** Checksummed write-ahead journal for incremental updates.
+
+    Before the daemon applies an [update] to a model, it appends the
+    raw samples here and (under [`Durable]) fsyncs; only then does it
+    compute the new posterior and save the artifact. Once the artifact
+    save is itself durable the journal is truncated. A crash at any
+    point therefore leaves one of two recoverable shapes: the journal
+    holds the update and the artifact is still at the base revision
+    (recovery replays it), or the artifact already advanced (recovery
+    discards the entry). Acknowledged updates survive either way.
+
+    On-disk format, mirroring the {!Artifact} binary codec conventions
+    (little-endian i64 integers, IEEE-754 float bits, length-prefixed
+    strings/arrays): an 8-byte magic ["BMFJRNL1"], then per entry
+
+    {v u64 payload_len | u64 fnv64(payload) | payload v}
+
+    A torn tail — short header, short payload, checksum mismatch or
+    undecodable payload — terminates the scan; the intact prefix is
+    still returned. *)
+
+type entry = {
+  meta : Artifact.meta;
+  base_rev : int;
+      (** Artifact revision the update applies on top of; the replayed
+          artifact gets revision [base_rev + 1]. *)
+  xs : Linalg.Mat.t;  (** New sample points, rows x dim. *)
+  f : Linalg.Vec.t;  (** New responses, length rows. *)
+}
+
+val file : root:string -> string
+(** [root/journal.bmfj] — excluded from {!Store.list} by extension. *)
+
+(** {2 Append handle (daemon side)} *)
+
+type t
+
+val open_ : ?durability:Store.durability -> root:string -> unit -> t
+(** Opens (creating [root] and the file as needed) and resets the
+    journal to a clean header-only state — run {!Recovery.recover}
+    {e first}; any tail still present is discarded here. Default
+    durability: [`Durable]. *)
+
+val append : t -> entry -> unit
+(** Appends one checksummed entry; under [`Durable] the entry is
+    fsynced before [append] returns, so the caller may apply the update
+    and acknowledge it knowing a crash can no longer lose it. *)
+
+val truncate : t -> unit
+(** Drops every journaled entry (call only after the updated artifact
+    is durably saved). *)
+
+val entries : t -> int
+(** Entries appended since the last {!truncate} (or open). *)
+
+val close : t -> unit
+
+(** {2 Reading (recovery + tests)} *)
+
+val read : root:string -> entry list * string option
+(** The longest valid prefix of the journal, plus a description of why
+    the tail was discarded (if it was). A missing file is ([], None). *)
+
+val encode_entry : entry -> string
+(** The exact on-disk framing of one entry (codec tests). *)
+
+val decode_entries : string -> entry list * string option
+(** {!read} over an in-memory byte string (magic included). *)

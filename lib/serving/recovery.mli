@@ -1,0 +1,42 @@
+(** Restart-time store recovery.
+
+    Run before serving from a registry that may have been killed
+    mid-write. In order: removes orphaned save temp files, re-verifies
+    the checksum of every stored artifact, replays any {!Journal} tail
+    whose artifact save did not complete (entries whose base revision
+    still matches the stored artifact; entries the store already
+    reflects are discarded), and resets the journal. Replays increment
+    the [bmf_server_recovered_updates_total] metric.
+
+    Invariant delivered (and enforced by the kill−9 harness in [test/]
+    and CI): after recovery every artifact passes verification, every
+    {e acknowledged} update is present, and no torn artifact or journal
+    entry is observable. *)
+
+type report = {
+  scanned : int;  (** Artifact files examined. *)
+  verified : int;  (** Artifacts that passed checksum verification. *)
+  corrupt : (string * string) list;  (** (file, error) failures. *)
+  temps_removed : int;  (** Orphaned [.*.tmp.*] files swept. *)
+  replayed : int;  (** Journal entries applied to the store. *)
+  discarded : int;
+      (** Journal entries already reflected by the store (the crash hit
+          after the artifact save) or with no base artifact. *)
+  replay_errors : (string * string) list;
+      (** (model key, error) — entries that should have replayed but
+          failed; the store needs operator attention. *)
+  journal_tail_error : string option;
+      (** Why a torn journal tail was discarded, when one was. *)
+}
+
+val recover : ?durability:Store.durability -> root:string -> unit -> report
+(** Full recovery pass over [root]. [durability] governs the replayed
+    artifact saves (default [`Durable]). Idempotent: a second run
+    scans, replays nothing and changes nothing. *)
+
+val clean : report -> bool
+(** No corrupt artifacts and no replay errors. *)
+
+val summary : report -> string
+(** Human-readable multi-line description (the [repro recover]
+    output). *)

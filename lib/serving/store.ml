@@ -1,6 +1,8 @@
 let default_root () =
   match Sys.getenv_opt "BMF_MODEL_DIR" with Some d -> d | None -> "models"
 
+type durability = [ `Fast | `Durable ]
+
 let sanitize s =
   String.map
     (fun c ->
@@ -11,11 +13,32 @@ let sanitize s =
 
 let extension = function Artifact.Json -> ".bmfa.json" | Artifact.Binary -> ".bmfa"
 
+(* [sanitize] is lossy ("gain+bw" and "gain_bw" both map to "gain_bw",
+   and a circuit named "a__b" collides with the field separator), so the
+   filename also carries a short digest of the raw key triple. NUL
+   separators make the digest input unambiguous — no raw field can
+   contain one. *)
+let key_digest (meta : Artifact.meta) =
+  let raw =
+    String.concat "\x00" [ meta.circuit; meta.metric; meta.scale ]
+  in
+  String.sub (Printf.sprintf "%016Lx" (Artifact.fnv64 raw)) 0 8
+
 let filename (meta : Artifact.meta) format =
+  Printf.sprintf "%s__%s__%s__s%d__h%s%s" (sanitize meta.circuit)
+    (sanitize meta.metric) (sanitize meta.scale) meta.seed (key_digest meta)
+    (extension format)
+
+(* Pre-digest filename (PR 4 and earlier); still probed by [find] so
+   stores written by old builds keep loading. *)
+let legacy_filename (meta : Artifact.meta) format =
   Printf.sprintf "%s__%s__%s__s%d%s" (sanitize meta.circuit)
     (sanitize meta.metric) (sanitize meta.scale) meta.seed (extension format)
 
 let path ~root meta format = Filename.concat root (filename meta format)
+
+let legacy_path ~root meta format =
+  Filename.concat root (legacy_filename meta format)
 
 let rec mkdir_p dir =
   if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
@@ -47,7 +70,38 @@ let m_verify_seconds =
     ~help:"Artifact decode + checksum verification latency (seconds)"
     "bmf_store_verify_seconds"
 
-let save ?(format = Artifact.Binary) ~root artifact =
+let m_fsync_seconds =
+  Obs.Metrics.histogram
+    ~help:"Time spent in fsync (file + directory) per durable save"
+    "bmf_store_fsync_seconds"
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then begin
+      let w = Unix.write fd b off (n - off) in
+      go (off + w)
+    end
+  in
+  go 0
+
+(* Make a completed rename durable: fsync the directory so the new
+   directory entry itself survives power loss (POSIX does not promise
+   this from the file fsync alone). *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> Unix.fsync fd)
+
+let remove_if_exists file =
+  if Sys.file_exists file then begin
+    Crashpoint.step ();
+    try Sys.remove file with Sys_error _ -> ()
+  end
+
+let save ?(format = Artifact.Binary) ?(durability = `Fast) ~root artifact =
   mkdir_p root;
   let file = path ~root artifact.Artifact.meta format in
   Obs.Trace.with_span ~cat:"serving" "store_save" @@ fun sp ->
@@ -55,31 +109,61 @@ let save ?(format = Artifact.Binary) ~root artifact =
   (* Crash/race safety: write the full payload to a private temp file in
      the same directory, then atomically rename over the key. A reader
      (or a running server's model cache) always sees either the previous
-     complete artifact or the new complete artifact — never a torn one. *)
+     complete artifact or the new complete artifact — never a torn one.
+     Under [`Durable] the temp file is fsynced before the rename and the
+     directory after it, so the new revision also survives power loss;
+     [`Fast] leaves flushing to the kernel (same guarantees as PR 4). *)
   let tmp =
     Filename.concat root
       (Printf.sprintf ".%s.tmp.%d" (filename artifact.Artifact.meta format)
          (Unix.getpid ()))
   in
-  let oc = open_out_bin tmp in
+  let fsync_s = ref 0. in
+  let timed_fsync fd =
+    let t0 = Obs.Clock.now_s () in
+    Unix.fsync fd;
+    fsync_s := !fsync_s +. (Obs.Clock.now_s () -. t0)
+  in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   (try
      Fun.protect
-       ~finally:(fun () -> close_out oc)
-       (fun () -> output_string oc data)
+       ~finally:(fun () -> Unix.close fd)
+       (fun () ->
+         Crashpoint.step ();
+         write_all fd data;
+         match durability with
+         | `Fast -> ()
+         | `Durable ->
+             Crashpoint.step ();
+             timed_fsync fd)
    with e ->
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
-  (try Sys.rename tmp file
+  (try
+     Crashpoint.step ();
+     Sys.rename tmp file
    with e ->
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
-  (* only after the new artifact is durable, drop a stale copy in the
-     other format so a key never resolves to an outdated revision *)
+  (match durability with
+  | `Fast -> ()
+  | `Durable ->
+      Crashpoint.step ();
+      let t0 = Obs.Clock.now_s () in
+      fsync_dir root;
+      fsync_s := !fsync_s +. (Obs.Clock.now_s () -. t0);
+      Obs.Metrics.observe m_fsync_seconds !fsync_s);
+  (* only after the new artifact is in place, drop stale copies under
+     the other codec's name and under the pre-digest legacy names so a
+     key never resolves to an outdated revision *)
   let other =
-    path ~root artifact.Artifact.meta
-      (match format with Artifact.Json -> Artifact.Binary | Artifact.Binary -> Artifact.Json)
+    match format with
+    | Artifact.Json -> Artifact.Binary
+    | Artifact.Binary -> Artifact.Json
   in
-  if Sys.file_exists other then (try Sys.remove other with Sys_error _ -> ());
+  remove_if_exists (path ~root artifact.Artifact.meta other);
+  remove_if_exists (legacy_path ~root artifact.Artifact.meta Artifact.Binary);
+  remove_if_exists (legacy_path ~root artifact.Artifact.meta Artifact.Json);
   Obs.Trace.set_attr sp "file" (Obs.Trace.Str file);
   Obs.Trace.set_attr sp "bytes" (Obs.Trace.Int (String.length data));
   Obs.Metrics.inc ~by:(float_of_int (String.length data)) m_bytes_written;
@@ -88,7 +172,12 @@ let save ?(format = Artifact.Binary) ~root artifact =
 
 let find ~root meta =
   List.find_opt Sys.file_exists
-    [ path ~root meta Artifact.Binary; path ~root meta Artifact.Json ]
+    [
+      path ~root meta Artifact.Binary;
+      path ~root meta Artifact.Json;
+      legacy_path ~root meta Artifact.Binary;
+      legacy_path ~root meta Artifact.Json;
+    ]
 
 (* Read + decode one artifact file, measuring payload size and the
    decode/checksum-verify time (reported by [repro models] and the store
@@ -137,14 +226,25 @@ type entry = {
   status : (Artifact.t, string) result;
 }
 
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let is_temp name =
+  String.length name > 0 && name.[0] = '.' && contains_substring name ".tmp."
+
 let list ~root =
   if not (Sys.file_exists root && Sys.is_directory root) then []
   else
     Sys.readdir root |> Array.to_list |> List.sort String.compare
     |> List.filter_map (fun name ->
            let format =
-             if Filename.check_suffix name ".bmfa.json" then Some Artifact.Json
-             else if Filename.check_suffix name ".bmfa" then Some Artifact.Binary
+             if is_temp name then None
+             else if Filename.check_suffix name ".bmfa.json" then
+               Some Artifact.Json
+             else if Filename.check_suffix name ".bmfa" then
+               Some Artifact.Binary
              else None
            in
            Option.map
@@ -153,6 +253,16 @@ let list ~root =
                let status, bytes, verify_seconds = load_file file in
                { file; format; bytes; verify_seconds; status })
              format)
+
+(* Orphaned temp files: a crash between temp-write and rename leaves a
+   [.<name>.tmp.<pid>] behind. They are invisible to [find]/[list] but
+   recovery sweeps them out. *)
+let list_temp_files ~root =
+  if not (Sys.file_exists root && Sys.is_directory root) then []
+  else
+    Sys.readdir root |> Array.to_list |> List.sort String.compare
+    |> List.filter is_temp
+    |> List.map (Filename.concat root)
 
 let verify ~root meta =
   match load ~root meta with Ok _ -> Ok () | Error e -> Error e

@@ -188,11 +188,17 @@ let test_response_roundtrips () =
   (match
      roundtrip_response ~expect:Server.Wire.Stats
        (Server.Wire.Stats_payload
-          { uptime_s = 1.5; requests = 42.; metrics_json = "{\"a\":1}" })
+          {
+            uptime_s = 1.5;
+            requests = 42.;
+            recovered_updates = 3.;
+            metrics_json = "{\"a\":1}";
+          })
    with
   | Server.Wire.Stats_payload p ->
       check_bool "uptime" true (Float.equal 1.5 p.uptime_s);
       check_bool "requests" true (Float.equal 42. p.requests);
+      check_bool "recovered" true (Float.equal 3. p.recovered_updates);
       check_string "metrics json" "{\"a\":1}" p.metrics_json
   | _ -> Alcotest.fail "stats round-trip");
   List.iter
@@ -444,9 +450,13 @@ let test_e2e_list_models_and_stats () =
         info.Server.Wire.terms;
       check_bool "bytes positive" true (info.Server.Wire.bytes > 0)
   | infos -> Alcotest.failf "expected 1 model, got %d" (List.length infos));
-  let uptime, requests, metrics_json = ok "stats" (Server.Client.stats c) in
+  let uptime, requests, recovered, metrics_json =
+    ok "stats" (Server.Client.stats c)
+  in
   check_bool "uptime non-negative" true (uptime >= 0.);
   check_bool "requests counted" true (requests >= 2.);
+  check_bool "nothing recovered from a clean store" true
+    (Float.equal 0. recovered);
   check_bool "metrics json is an object" true
     (String.length metrics_json > 0 && metrics_json.[0] = '{')
 
@@ -587,6 +597,98 @@ let test_e2e_hostile_frame_contained () =
   (* the daemon survived: a fresh connection still answers *)
   with_client addr @@ fun c -> ok "ping after hostile frame" (Server.Client.ping c)
 
+let test_e2e_deadline_immune_to_frozen_clock () =
+  (* Regression: deadlines used Unix.gettimeofday, so real time passing
+     during the batch delay expired short deadlines — and an NTP step
+     forward would have mass-expired every queued request. On the
+     monotonic Obs.Clock an injected frozen source means no time passes
+     between admission and execution, so even a 1 ms deadline must be
+     served, while ~50 ms of {e wall} time elapse in the batch delay. *)
+  with_temp_root @@ fun root ->
+  let s = make_synth ~k:20 ~r:8 () in
+  ignore (Serving.Store.save ~root (artifact_of s));
+  let config =
+    { Server.Daemon.default_config with Server.Daemon.batch_delay_s = 0.05 }
+  in
+  let frozen = Obs.Clock.now_s () in
+  Obs.Clock.set_source (fun () -> frozen);
+  Fun.protect ~finally:(fun () -> Obs.Clock.reset_source ())
+  @@ fun () ->
+  with_daemon ~config ~root @@ fun _t addr ->
+  with_client addr @@ fun c ->
+  match Server.Client.predict c ~deadline_ms:1 meta (queries s 4) with
+  | Ok means -> check_int "served, not expired" 4 (Array.length means)
+  | Error e ->
+      Alcotest.failf "frozen clock still expired the deadline: %s: %s"
+        (Server.Wire.error_code_name e.Server.Wire.code)
+        e.Server.Wire.message
+
+let test_e2e_journal_replayed_on_create () =
+  (* A journaled update whose artifact save never happened (the previous
+     daemon was killed between the journal fsync and the save) must be
+     replayed by Daemon.create and reported via stats. *)
+  with_temp_root @@ fun root ->
+  let s = make_synth ~k:30 ~r:12 () in
+  let a = artifact_of s in
+  ignore (Serving.Store.save ~root a);
+  let k_new = 8 in
+  let r = Polybasis.Basis.dim s.basis in
+  let xs_new = Stats.Sampling.monte_carlo rng ~k:k_new ~r in
+  let f_new =
+    Array.init k_new (fun i ->
+        Linalg.Vec.dot
+          (Polybasis.Basis.eval_row s.basis (Linalg.Mat.row xs_new i))
+          s.truth)
+  in
+  (* what an uncrashed daemon would have produced *)
+  let upd = Serving.Incremental.of_artifact a in
+  Serving.Incremental.add_batch upd ~xs:xs_new ~f:f_new;
+  let reference = Serving.Incremental.to_artifact upd in
+  (* simulate the crash: journal entry present, artifact still at rev 0 *)
+  let j = Serving.Journal.open_ ~root () in
+  Serving.Journal.append j
+    { Serving.Journal.meta; base_rev = a.rev; xs = xs_new; f = f_new };
+  Serving.Journal.close j;
+  with_daemon ~root @@ fun t addr ->
+  let report = Server.Daemon.recovery t in
+  check_int "one entry replayed" 1 report.Serving.Recovery.replayed;
+  check_bool "recovery clean" true (Serving.Recovery.clean report);
+  (match Serving.Store.load ~root meta with
+  | Error e -> Alcotest.failf "store after recovery: %s" e
+  | Ok b ->
+      check_int "replayed revision" (a.rev + 1) b.rev;
+      check_bool "replayed coeffs match uncrashed run" true
+        (Array.for_all2 Float.equal reference.coeffs b.coeffs));
+  with_client addr @@ fun c ->
+  let _, _, recovered, _ = ok "stats" (Server.Client.stats c) in
+  check_bool "stats reports the replay" true (Float.equal 1. recovered)
+
+(* ------------------------------------------------------------------ *)
+(* Loadgen percentile estimator                                        *)
+
+let test_percentile_fixtures () =
+  let checkf msg expected got =
+    Alcotest.(check (float 1e-12)) msg expected got
+  in
+  let sorted = [| 1.; 2.; 3.; 4.; 5. |] in
+  checkf "p0 is the minimum" 1. (Server.Loadgen.percentile sorted 0.);
+  checkf "p50 of 5 is the median" 3. (Server.Loadgen.percentile sorted 0.5);
+  checkf "p100 is the maximum" 5. (Server.Loadgen.percentile sorted 1.);
+  (* linear interpolation between ranks: rank = q (n-1) *)
+  checkf "p90 of 5 interpolates" 4.6 (Server.Loadgen.percentile sorted 0.9);
+  checkf "p99 of 5 interpolates" 4.96 (Server.Loadgen.percentile sorted 0.99);
+  checkf "p25 of 2 interpolates" 12.5
+    (Server.Loadgen.percentile [| 10.; 20. |] 0.25);
+  checkf "singleton" 7. (Server.Loadgen.percentile [| 7. |] 0.99);
+  check_bool "empty is nan" true
+    (Float.is_nan (Server.Loadgen.percentile [||] 0.5));
+  (* the old estimator truncated: p99 of 10 samples returned index
+     int_of_float (0.99 * 9) = 8, biasing the tail low *)
+  let ten = Array.init 10 (fun i -> float_of_int (i + 1)) in
+  checkf "p99 of 10 is near the max, not sorted.(8)" 9.91
+    (Server.Loadgen.percentile ten 0.99);
+  checkf "out-of-range q clamps" 10. (Server.Loadgen.percentile ten 1.5)
+
 let test_e2e_graceful_shutdown () =
   with_temp_root @@ fun root ->
   let s = make_synth ~k:20 ~r:8 () in
@@ -651,5 +753,17 @@ let () =
             test_e2e_hostile_frame_contained;
           Alcotest.test_case "graceful shutdown" `Quick
             test_e2e_graceful_shutdown;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "deadline immune to frozen clock" `Quick
+            test_e2e_deadline_immune_to_frozen_clock;
+          Alcotest.test_case "journal replayed on create" `Quick
+            test_e2e_journal_replayed_on_create;
+        ] );
+      ( "loadgen",
+        [
+          Alcotest.test_case "percentile fixtures" `Quick
+            test_percentile_fixtures;
         ] );
     ]

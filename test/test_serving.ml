@@ -395,6 +395,466 @@ let test_incremental_rejects_bad_rows () =
      with Invalid_argument _ -> true)
 
 (* ------------------------------------------------------------------ *)
+(* Store filename collisions + legacy names                            *)
+
+let test_store_collision_distinct_files () =
+  with_temp_root @@ fun root ->
+  let s = make_synth ~k:20 ~r:10 () in
+  (* sanitize maps both metrics to "gain_bw": before the digest suffix
+     these two keys shared one file and silently overwrote each other *)
+  let meta_a = { meta with Serving.Artifact.metric = "gain+bw" } in
+  let meta_b = { meta with Serving.Artifact.metric = "gain_bw" } in
+  let art m =
+    Serving.Artifact.of_fit ~meta:m ~basis:s.basis ~prior:s.prior
+      ~hyper:s.hyper ~g:s.g ~f:s.f ()
+  in
+  check_bool "filenames differ" false
+    (String.equal
+       (Serving.Store.filename meta_a Serving.Artifact.Binary)
+       (Serving.Store.filename meta_b Serving.Artifact.Binary));
+  let file_a = Serving.Store.save ~root (art meta_a) in
+  let file_b = Serving.Store.save ~root (art meta_b) in
+  check_bool "both files live" true
+    (Sys.file_exists file_a && Sys.file_exists file_b);
+  check_int "two registry entries" 2 (List.length (Serving.Store.list ~root));
+  (match Serving.Store.load ~root meta_a with
+  | Error e -> Alcotest.failf "load gain+bw: %s" e
+  | Ok a -> check_string "right artifact back" "gain+bw" a.meta.metric);
+  match Serving.Store.load ~root meta_b with
+  | Error e -> Alcotest.failf "load gain_bw: %s" e
+  | Ok b -> check_string "right artifact back" "gain_bw" b.meta.metric
+
+let test_store_loads_legacy_names () =
+  with_temp_root @@ fun root ->
+  let s = make_synth ~k:20 ~r:10 () in
+  let a = artifact_of s in
+  let file = Serving.Store.save ~root a in
+  (* rewrite the store as an old (pre-digest) build would have left it *)
+  let legacy = Filename.concat root "test__m__quick__s7.bmfa" in
+  Sys.rename file legacy;
+  (match Serving.Store.load ~root meta with
+  | Error e -> Alcotest.failf "legacy-named artifact not loaded: %s" e
+  | Ok b ->
+      check_bool "coeffs survive legacy name" true
+        (Array.for_all2 Float.equal a.coeffs b.coeffs));
+  (* re-saving migrates: digest name in place, stale legacy copy gone *)
+  let file' = Serving.Store.save ~root a in
+  check_bool "digest-named file written" true (Sys.file_exists file');
+  check_bool "legacy copy removed" false (Sys.file_exists legacy);
+  check_int "one registry entry" 1 (List.length (Serving.Store.list ~root))
+
+(* ------------------------------------------------------------------ *)
+(* Journal codec                                                       *)
+
+let journal_magic = "BMFJRNL1"
+
+let sample_entries (s : synth) =
+  let r = Polybasis.Basis.dim s.basis in
+  let entry ~rows ~base_rev m =
+    let xs = Stats.Sampling.monte_carlo rng ~k:rows ~r in
+    let f =
+      Array.init rows (fun i ->
+          Linalg.Vec.dot
+            (Polybasis.Basis.eval_row s.basis (Linalg.Mat.row xs i))
+            s.truth)
+    in
+    { Serving.Journal.meta = m; base_rev; xs; f }
+  in
+  [
+    entry ~rows:3 ~base_rev:0 meta;
+    entry ~rows:1 ~base_rev:7
+      { Serving.Artifact.circuit = "gain+bw"; metric = ""; scale = "a__b";
+        seed = 0 };
+    entry ~rows:5 ~base_rev:2 meta;
+  ]
+
+let check_entry msg (a : Serving.Journal.entry) (b : Serving.Journal.entry) =
+  check_string (msg ^ ": circuit") a.meta.circuit b.meta.circuit;
+  check_string (msg ^ ": metric") a.meta.metric b.meta.metric;
+  check_string (msg ^ ": scale") a.meta.scale b.meta.scale;
+  check_int (msg ^ ": seed") a.meta.seed b.meta.seed;
+  check_int (msg ^ ": base_rev") a.base_rev b.base_rev;
+  check_int (msg ^ ": rows") (Linalg.Mat.rows a.xs) (Linalg.Mat.rows b.xs);
+  check_int (msg ^ ": cols") (Linalg.Mat.cols a.xs) (Linalg.Mat.cols b.xs);
+  check_bool (msg ^ ": xs bit-identical") true
+    (Array.for_all2 Float.equal a.xs.Linalg.Mat.data b.xs.Linalg.Mat.data);
+  check_bool (msg ^ ": f bit-identical") true (Array.for_all2 Float.equal a.f b.f)
+
+let test_journal_roundtrip () =
+  with_temp_root @@ fun root ->
+  let s = make_synth ~k:10 ~r:6 () in
+  let entries = sample_entries s in
+  let j = Serving.Journal.open_ ~root () in
+  List.iter (Serving.Journal.append j) entries;
+  check_int "entries counted" 3 (Serving.Journal.entries j);
+  Serving.Journal.close j;
+  let back, err = Serving.Journal.read ~root in
+  check_bool "no tail error" true (Option.is_none err);
+  check_int "all entries back" 3 (List.length back);
+  List.iter2 (fun a b -> check_entry "round-trip" a b) entries back;
+  (* reopening resets; truncate drops entries *)
+  let j = Serving.Journal.open_ ~root () in
+  check_int "open_ resets" 0 (Serving.Journal.entries j);
+  Serving.Journal.append j (List.hd entries);
+  Serving.Journal.truncate j;
+  Serving.Journal.close j;
+  let back, err = Serving.Journal.read ~root in
+  check_bool "truncate leaves no error" true (Option.is_none err);
+  check_int "truncate drops entries" 0 (List.length back)
+
+let test_journal_tolerates_torn_tail () =
+  let s = make_synth ~k:10 ~r:6 () in
+  let entries = sample_entries s in
+  let e1, e2 =
+    (List.nth entries 0, List.nth entries 2)
+  in
+  let full =
+    journal_magic ^ Serving.Journal.encode_entry e1
+    ^ Serving.Journal.encode_entry e2
+  in
+  (* intact image *)
+  let back, err = Serving.Journal.decode_entries full in
+  check_bool "intact: no error" true (Option.is_none err);
+  check_int "intact: both entries" 2 (List.length back);
+  (* header-only file *)
+  let back, err = Serving.Journal.decode_entries journal_magic in
+  check_bool "empty journal: no error" true (Option.is_none err);
+  check_int "empty journal: no entries" 0 (List.length back);
+  (* a crash mid-append can tear the tail at any byte: every prefix of
+     the second entry must decode to exactly [e1] plus a tail reason *)
+  let intact = String.length journal_magic + String.length (Serving.Journal.encode_entry e1) in
+  for cut = intact to String.length full - 1 do
+    let back, err = Serving.Journal.decode_entries (String.sub full 0 cut) in
+    if cut = intact then
+      check_bool "clean cut: no error" true (Option.is_none err)
+    else
+      check_bool
+        (Printf.sprintf "cut at %d: tail reason reported" cut)
+        true (Option.is_some err);
+    check_int (Printf.sprintf "cut at %d: prefix survives" cut) 1
+      (List.length back);
+    check_entry "prefix" e1 (List.hd back)
+  done;
+  (* short magic *)
+  let back, err = Serving.Journal.decode_entries (String.sub full 0 4) in
+  check_bool "short magic: error" true (Option.is_some err);
+  check_int "short magic: nothing" 0 (List.length back)
+
+let test_journal_rejects_garbage () =
+  let s = make_synth ~k:10 ~r:6 () in
+  let e1 = List.hd (sample_entries s) in
+  let enc = Serving.Journal.encode_entry e1 in
+  let full = journal_magic ^ enc ^ enc in
+  (* flip one payload byte of the second entry: its checksum must kill
+     it while the first entry survives *)
+  let buf = Bytes.of_string full in
+  let pos = String.length journal_magic + String.length enc + 16 + 3 in
+  Bytes.set buf pos (Char.chr (Char.code (Bytes.get buf pos) lxor 0x20));
+  let back, err = Serving.Journal.decode_entries (Bytes.to_string buf) in
+  check_bool "checksum mismatch reported" true (Option.is_some err);
+  check_int "intact prefix kept" 1 (List.length back);
+  check_entry "surviving entry" e1 (List.hd back);
+  (* corrupting the first entry discards everything *)
+  let buf = Bytes.of_string full in
+  let pos = String.length journal_magic + 16 + 3 in
+  Bytes.set buf pos (Char.chr (Char.code (Bytes.get buf pos) lxor 0x20));
+  let back, err = Serving.Journal.decode_entries (Bytes.to_string buf) in
+  check_bool "first-entry corruption reported" true (Option.is_some err);
+  check_int "nothing decodable" 0 (List.length back);
+  (* wrong magic *)
+  let back, err = Serving.Journal.decode_entries ("XMFJRNL1" ^ enc) in
+  check_bool "bad magic reported" true (Option.is_some err);
+  check_int "bad magic yields nothing" 0 (List.length back);
+  (* an implausible length prefix must not allocate or crash *)
+  let huge = Bytes.of_string (journal_magic ^ enc) in
+  Bytes.set_int64_le huge (String.length journal_magic) Int64.max_int;
+  let back, err = Serving.Journal.decode_entries (Bytes.to_string huge) in
+  check_bool "huge length reported" true (Option.is_some err);
+  check_int "huge length yields nothing" 0 (List.length back)
+
+(* ------------------------------------------------------------------ *)
+(* Crash fault injection: SIGKILL at every step of the write protocol  *)
+
+(* Run [f] in a forked child with the crashpoint armed at budget [n].
+   The shared Domains pool must be inline (jobs = 1) before forking —
+   worker domains do not survive fork and a child inheriting their
+   mutexes would deadlock. *)
+let in_crashed_child ~n f =
+  Parallel.Pool.set_default_jobs 1;
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      (try
+         Serving.Crashpoint.arm n;
+         f ();
+         Serving.Crashpoint.disarm ();
+         Unix._exit 0
+       with _ -> Unix._exit 2)
+  | pid -> (
+      match snd (Unix.waitpid [] pid) with
+      | Unix.WSIGNALED s when s = Sys.sigkill -> `Killed
+      | Unix.WEXITED 0 -> `Clean
+      | Unix.WEXITED c -> `Other (Printf.sprintf "exit %d" c)
+      | Unix.WSIGNALED s -> `Other (Printf.sprintf "signal %d" s)
+      | Unix.WSTOPPED s -> `Other (Printf.sprintf "stopped %d" s))
+
+(* Sweep n = 0, 1, 2, ... so the child is SIGKILLed before every
+   distinct write/fsync/rename/unlink in [f]; after every kill the
+   parent must be able to recover the store to a verified state that
+   [invariant] accepts. Returns once the child runs to completion. *)
+let sweep_crashpoints ~root ~invariant f =
+  let budget_cap = 256 in
+  let rec go n =
+    if n > budget_cap then
+      Alcotest.failf "crashpoint budget not exhausted after %d steps"
+        budget_cap;
+    match in_crashed_child ~n f with
+    | `Other what -> Alcotest.failf "child died oddly (budget %d): %s" n what
+    | outcome ->
+        let report = Serving.Recovery.recover ~durability:`Fast ~root () in
+        check_bool
+          (Printf.sprintf "recovery clean after kill at step %d" n)
+          true
+          (Serving.Recovery.clean report);
+        invariant ~n ~report;
+        if outcome = `Killed then go (n + 1) else n
+  in
+  go 0
+
+let test_crashpoint_env_arming () =
+  Fun.protect ~finally:(fun () ->
+      Unix.putenv Serving.Crashpoint.env_var "0";
+      (* latch disarmed so the poisoned environment is never re-read *)
+      Serving.Crashpoint.disarm ())
+  @@ fun () ->
+  (* a malformed value must fail loudly, not silently disable the
+     harness *)
+  Unix.putenv Serving.Crashpoint.env_var "banana";
+  Serving.Crashpoint.reset ();
+  (match Serving.Crashpoint.armed () with
+  | exception Failure msg ->
+      check_bool "failure names the variable" true
+        (try
+           ignore
+             (Str.search_forward
+                (Str.regexp_string Serving.Crashpoint.env_var)
+                msg 0);
+           true
+         with Not_found -> false)
+  | _ -> Alcotest.fail "malformed budget silently accepted");
+  (* a well-formed value arms the process: in a fork, two steps must
+     pass and the third must SIGKILL *)
+  Unix.putenv Serving.Crashpoint.env_var "2";
+  Parallel.Pool.set_default_jobs 1;
+  flush stdout;
+  flush stderr;
+  (match Unix.fork () with
+  | 0 ->
+      Serving.Crashpoint.reset ();
+      if not (Serving.Crashpoint.armed ()) then Unix._exit 3;
+      Serving.Crashpoint.step ();
+      Serving.Crashpoint.step ();
+      Serving.Crashpoint.step () (* budget exhausted: SIGKILL here *);
+      Unix._exit 4
+  | pid -> (
+      match snd (Unix.waitpid [] pid) with
+      | Unix.WSIGNALED s when s = Sys.sigkill -> ()
+      | Unix.WEXITED 3 -> Alcotest.fail "environment did not arm the child"
+      | Unix.WEXITED 4 -> Alcotest.fail "armed child outlived its budget"
+      | _ -> Alcotest.fail "child died oddly"));
+  (* the parent never consumed the environment: still disarmable *)
+  Serving.Crashpoint.reset ();
+  Serving.Crashpoint.disarm ();
+  check_bool "disarm wins over the environment" false
+    (Serving.Crashpoint.armed ())
+
+let test_crash_at_every_save_step () =
+  with_temp_root @@ fun root ->
+  let s = make_synth ~k:20 ~r:10 () in
+  let a = artifact_of s in
+  ignore (Serving.Store.save ~durability:`Durable ~root a);
+  let upd = Serving.Incremental.of_artifact a in
+  let r = Polybasis.Basis.dim s.basis in
+  let xs = Stats.Sampling.monte_carlo rng ~k:5 ~r in
+  let f =
+    Array.init 5 (fun i ->
+        Linalg.Vec.dot
+          (Polybasis.Basis.eval_row s.basis (Linalg.Mat.row xs i))
+          s.truth)
+  in
+  Serving.Incremental.add_batch upd ~xs ~f;
+  let updated = Serving.Incremental.to_artifact upd in
+  let invariant ~n ~report:_ =
+    match Serving.Store.load ~root meta with
+    | Error e -> Alcotest.failf "store unreadable after kill at %d: %s" n e
+    | Ok b ->
+        check_bool
+          (Printf.sprintf "kill at %d leaves base or updated rev" n)
+          true
+          (b.rev = a.rev || b.rev = updated.rev)
+  in
+  let steps =
+    sweep_crashpoints ~root ~invariant (fun () ->
+        ignore (Serving.Store.save ~durability:`Durable ~root updated))
+  in
+  (* write temp, fsync temp, rename, fsync dir — at least those *)
+  check_bool "save has distinct kill points" true (steps >= 4);
+  match Serving.Store.load ~root meta with
+  | Error e -> Alcotest.failf "final load: %s" e
+  | Ok b -> check_int "clean run leaves the update" updated.rev b.rev
+
+let test_crash_at_every_update_protocol_step () =
+  (* The full daemon-side update protocol: journal append (commit
+     point) -> incremental apply -> durable artifact save -> journal
+     truncate. Killed anywhere, recovery must land on the base or the
+     updated artifact, and whenever the journal committed the entry the
+     update must survive via replay, bit-identical to the uncrashed
+     oracle. *)
+  with_temp_root @@ fun root ->
+  let s = make_synth ~k:20 ~r:10 () in
+  let a = artifact_of s in
+  ignore (Serving.Store.save ~durability:`Durable ~root a);
+  let r = Polybasis.Basis.dim s.basis in
+  let xs = Stats.Sampling.monte_carlo rng ~k:4 ~r in
+  let f =
+    Array.init 4 (fun i ->
+        Linalg.Vec.dot
+          (Polybasis.Basis.eval_row s.basis (Linalg.Mat.row xs i))
+          s.truth)
+  in
+  let oracle =
+    let upd = Serving.Incremental.of_artifact a in
+    Serving.Incremental.add_batch upd ~xs ~f;
+    Serving.Incremental.to_artifact upd
+  in
+  let protocol () =
+    let j = Serving.Journal.open_ ~root () in
+    Serving.Journal.append j { Serving.Journal.meta; base_rev = a.rev; xs; f };
+    let upd = Serving.Incremental.of_artifact a in
+    Serving.Incremental.add_batch upd ~xs ~f;
+    ignore
+      (Serving.Store.save ~durability:`Durable ~root
+         (Serving.Incremental.to_artifact upd));
+    Serving.Journal.truncate j;
+    Serving.Journal.close j
+  in
+  let invariant ~n ~report:_ =
+    match Serving.Store.load ~root meta with
+    | Error e -> Alcotest.failf "store unreadable after kill at %d: %s" n e
+    | Ok b ->
+        check_bool
+          (Printf.sprintf "kill at %d: rev is base or updated" n)
+          true
+          (b.rev = a.rev || b.rev = oracle.rev);
+        if b.rev = oracle.rev then
+          check_bool
+            (Printf.sprintf "kill at %d: replay matches oracle" n)
+            true
+            (Array.for_all2 Float.equal oracle.coeffs b.coeffs)
+  in
+  let reset () = ignore (Serving.Store.save ~root a) in
+  (* sweep with a store reset before each child so every budget starts
+     from the same base state *)
+  let budget_cap = 256 in
+  let rec go n =
+    if n > budget_cap then Alcotest.fail "protocol budget not exhausted";
+    reset ();
+    match in_crashed_child ~n protocol with
+    | `Other what -> Alcotest.failf "child died oddly (budget %d): %s" n what
+    | outcome ->
+        let report = Serving.Recovery.recover ~durability:`Fast ~root () in
+        check_bool
+          (Printf.sprintf "recovery clean after kill at step %d" n)
+          true
+          (Serving.Recovery.clean report);
+        invariant ~n ~report;
+        if outcome = `Killed then go (n + 1) else n
+  in
+  let steps = go 0 in
+  check_bool "protocol has many kill points" true (steps >= 8);
+  match Serving.Store.load ~root meta with
+  | Error e -> Alcotest.failf "final load: %s" e
+  | Ok b ->
+      check_int "clean run leaves the update" oracle.rev b.rev;
+      check_bool "clean run matches oracle" true
+        (Array.for_all2 Float.equal oracle.coeffs b.coeffs)
+
+let test_crash_random_interleavings () =
+  (* Property-style: a chain of updates is applied through the
+     journaled protocol and the process is killed after a random number
+     of durability steps. Post-recovery the store must hold {e some}
+     prefix of the chain — an artifact that verifies and is
+     bit-identical to the uncrashed oracle at that revision. *)
+  with_temp_root @@ fun root ->
+  let s = make_synth ~k:20 ~r:10 () in
+  let a = artifact_of s in
+  let r = Polybasis.Basis.dim s.basis in
+  let n_updates = 4 in
+  let batches =
+    List.init n_updates (fun _ ->
+        let rows = 1 + Stats.Rng.int rng 4 in
+        let xs = Stats.Sampling.monte_carlo rng ~k:rows ~r in
+        let f =
+          Array.init rows (fun i ->
+              Linalg.Vec.dot
+                (Polybasis.Basis.eval_row s.basis (Linalg.Mat.row xs i))
+                s.truth)
+        in
+        (xs, f))
+  in
+  (* oracle.(v) = the artifact after the first v updates, uncrashed *)
+  let oracle = Array.make (n_updates + 1) a in
+  List.iteri
+    (fun i (xs, f) ->
+      let upd = Serving.Incremental.of_artifact oracle.(i) in
+      Serving.Incremental.add_batch upd ~xs ~f;
+      oracle.(i + 1) <- Serving.Incremental.to_artifact upd)
+    batches;
+  let chain () =
+    let j = Serving.Journal.open_ ~root () in
+    let cur = ref a in
+    List.iter
+      (fun (xs, f) ->
+        Serving.Journal.append j
+          { Serving.Journal.meta; base_rev = !cur.Serving.Artifact.rev; xs; f };
+        let upd = Serving.Incremental.of_artifact !cur in
+        Serving.Incremental.add_batch upd ~xs ~f;
+        let next = Serving.Incremental.to_artifact upd in
+        ignore (Serving.Store.save ~durability:`Durable ~root next);
+        Serving.Journal.truncate j;
+        cur := next)
+      batches;
+    Serving.Journal.close j
+  in
+  let trials = 25 in
+  for trial = 1 to trials do
+    ignore (Serving.Store.save ~root a);
+    ignore (Serving.Recovery.recover ~durability:`Fast ~root ());
+    let budget = Stats.Rng.int rng 120 in
+    (match in_crashed_child ~n:budget chain with
+    | `Other what ->
+        Alcotest.failf "trial %d (budget %d) died oddly: %s" trial budget what
+    | `Killed | `Clean -> ());
+    let report = Serving.Recovery.recover ~durability:`Fast ~root () in
+    check_bool
+      (Printf.sprintf "trial %d: recovery clean" trial)
+      true
+      (Serving.Recovery.clean report);
+    match Serving.Store.load ~root meta with
+    | Error e -> Alcotest.failf "trial %d: store unreadable: %s" trial e
+    | Ok b ->
+        check_bool
+          (Printf.sprintf "trial %d: rev %d is a chain prefix" trial b.rev)
+          true
+          (b.rev >= 0 && b.rev <= n_updates);
+        check_bool
+          (Printf.sprintf "trial %d: rev %d matches the oracle" trial b.rev)
+          true
+          (Array.for_all2 Float.equal oracle.(b.rev).coeffs b.coeffs)
+  done
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "serving"
@@ -416,6 +876,27 @@ let () =
           Alcotest.test_case "atomic save" `Quick test_store_atomic_save;
           Alcotest.test_case "tamper detection" `Quick
             test_store_detects_tampering;
+          Alcotest.test_case "sanitize collisions" `Quick
+            test_store_collision_distinct_files;
+          Alcotest.test_case "legacy names load" `Quick
+            test_store_loads_legacy_names;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "round-trip" `Quick test_journal_roundtrip;
+          Alcotest.test_case "torn tail" `Quick
+            test_journal_tolerates_torn_tail;
+          Alcotest.test_case "garbage" `Quick test_journal_rejects_garbage;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "env arming" `Quick test_crashpoint_env_arming;
+          Alcotest.test_case "kill at every save step" `Quick
+            test_crash_at_every_save_step;
+          Alcotest.test_case "kill at every protocol step" `Quick
+            test_crash_at_every_update_protocol_step;
+          Alcotest.test_case "random interleavings" `Quick
+            test_crash_random_interleavings;
         ] );
       ( "predictor",
         [
