@@ -294,10 +294,189 @@ let daemon_loadgen (cfg : Experiments.Config.t) =
     (fun () ->
       let summary =
         Server.Loadgen.run ~connections:4 ~duration_s:2. ~batch:64 ~meta
-          (Server.Daemon.address t)
+          [ Server.Daemon.address t ]
       in
       loadgen_summary := Some summary;
       Format.printf "%a@." Server.Loadgen.pp summary)
+
+(* ------------------------------------------------------------------ *)
+(* Replication: WAL shipping from a leader to an in-process follower — *)
+(* entries shipped per second, follower apply latency (from the        *)
+(* bmf_repl_apply_seconds histogram) and read throughput served off    *)
+(* the follower while it tails the leader.                             *)
+
+let replication_record : string option ref = ref None
+
+(* Upper bound of the bucket where the cumulative count crosses q — the
+   standard histogram-quantile estimate (an upper bound on the true
+   quantile at bucket resolution). *)
+let histogram_quantile h q =
+  let buckets = Obs.Metrics.histogram_buckets h in
+  let total = Array.fold_left (fun a (_, c) -> a + c) 0 buckets in
+  if total = 0 then nan
+  else begin
+    let target =
+      int_of_float (Float.round (q *. float_of_int total)) |> Stdlib.max 1
+    in
+    let rec walk i cum =
+      if i >= Array.length buckets then infinity
+      else
+        let bound, c = buckets.(i) in
+        if cum + c >= target then bound else walk (i + 1) (cum + c)
+    in
+    walk 0 0
+  end
+
+let replication_bench (cfg : Experiments.Config.t) =
+  let ro = Circuit.Ring_oscillator.create ~config:cfg.ro cfg.seed in
+  let tb = Circuit.Ring_oscillator.testbench ro in
+  let metric = Circuit.Ring_oscillator.frequency_index in
+  let prep = Experiments.Runner.prepare cfg tb ~metric in
+  let rng = Stats.Rng.create 1300 in
+  let xs, f =
+    Circuit.Testbench.draw_dataset tb ~stage:Circuit.Stage.Layout ~metric ~rng
+      ~k:100 ()
+  in
+  let g = Polybasis.Basis.design_matrix prep.late_basis xs in
+  let prior = Bmf.Prior.nonzero_mean prep.early in
+  let meta =
+    {
+      Serving.Artifact.circuit = "ro";
+      metric = "frequency";
+      scale = "bench-repl";
+      seed = cfg.seed;
+    }
+  in
+  let artifact =
+    Serving.Artifact.of_fit ~meta ~basis:prep.late_basis ~prior ~hyper:1e-3 ~g
+      ~f ()
+  in
+  let tmp = Filename.get_temp_dir_name () in
+  let leader_root =
+    Filename.concat tmp (Printf.sprintf "bmf-bench-repl-l.%d" (Unix.getpid ()))
+  and follower_root =
+    Filename.concat tmp (Printf.sprintf "bmf-bench-repl-f.%d" (Unix.getpid ()))
+  in
+  ignore (Serving.Store.save ~root:leader_root artifact);
+  ignore (Parallel.Pool.run (Array.init 4 (fun i () -> i)));
+  let laddr = Server.Daemon.Unix_socket (Filename.concat leader_root "l.sock")
+  and faddr =
+    Server.Daemon.Unix_socket (Filename.concat follower_root "f.sock")
+  in
+  let config =
+    { Server.Daemon.default_config with Server.Daemon.durability = `Fast }
+  in
+  let leader = Server.Daemon.create ~config ~root:leader_root laddr in
+  let ld = Domain.spawn (fun () -> Server.Daemon.run leader) in
+  let follower =
+    Server.Daemon.create ~config ~follow:laddr ~root:follower_root faddr
+  in
+  let fd = Domain.spawn (fun () -> Server.Daemon.run follower) in
+  let rmrf root =
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat root f) with Sys_error _ -> ())
+      (try Sys.readdir root with Sys_error _ -> [||]);
+    try Unix.rmdir root with Unix.Unix_error _ -> ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.Daemon.stop follower;
+      Server.Daemon.stop leader;
+      Domain.join fd;
+      Domain.join ld;
+      rmrf follower_root;
+      rmrf leader_root)
+    (fun () ->
+      let cl = Server.Client.connect laddr in
+      let cf = Server.Client.connect faddr in
+      Fun.protect
+        ~finally:(fun () ->
+          Server.Client.close cf;
+          Server.Client.close cl)
+        (fun () ->
+          (* snapshot catch-up: wait until the follower serves the model *)
+          let deadline = Unix.gettimeofday () +. 15. in
+          let rec wait_model () =
+            let served =
+              match Server.Client.list_models cf with
+              | Ok infos ->
+                  List.exists
+                    (fun (i : Server.Wire.model_info) -> i.meta = meta)
+                    infos
+              | Error _ -> false
+            in
+            if served then ()
+            else if Unix.gettimeofday () > deadline then
+              failwith "replication bench: follower never caught up"
+            else begin
+              Unix.sleepf 0.02;
+              wait_model ()
+            end
+          in
+          wait_model ();
+          let entries = 30 in
+          let t0 = Unix.gettimeofday () in
+          for i = 1 to entries do
+            let rng = Stats.Rng.create (4000 + i) in
+            let xs, f =
+              Circuit.Testbench.draw_dataset tb ~stage:Circuit.Stage.Layout
+                ~metric ~rng ~k:10 ()
+            in
+            match Server.Client.update cl meta ~xs ~f with
+            | Ok _ -> ()
+            | Error e ->
+                failwith ("replication bench: update: " ^ e.Server.Wire.message)
+          done;
+          let update_wall = Unix.gettimeofday () -. t0 in
+          (* drain: the follower's applied sequence reaches the leader's *)
+          let rec wait_seq () =
+            match Server.Client.stats cf with
+            | Ok st when st.Server.Client.journal_seq >= entries -> ()
+            | _ when Unix.gettimeofday () > deadline ->
+                failwith "replication bench: follower never drained the stream"
+            | _ ->
+                Unix.sleepf 0.005;
+                wait_seq ()
+          in
+          wait_seq ();
+          let catchup_wall = Unix.gettimeofday () -. t0 in
+          let shipped_per_s =
+            float_of_int entries /. Float.max 1e-9 catchup_wall
+          in
+          let apply_h = Obs.Metrics.histogram "bmf_repl_apply_seconds" in
+          let p50 = histogram_quantile apply_h 0.50
+          and p99 = histogram_quantile apply_h 0.99 in
+          let lag =
+            match Obs.Metrics.find_gauge "bmf_repl_lag_entries" with
+            | Some g when Obs.Metrics.gauge_is_set g ->
+                Obs.Metrics.gauge_value g
+            | _ -> 0.
+          in
+          (* reads served off the follower while it tails the leader *)
+          let lg =
+            Server.Loadgen.run ~connections:2 ~duration_s:1.5 ~batch:64 ~meta
+              [ faddr ]
+          in
+          Printf.printf
+            "replication: %d entries shipped in %.3f s (%.0f entries/s, \
+             updates took %.3f s)\n\
+             follower apply latency: p50 <= %.3f ms, p99 <= %.3f ms; final \
+             lag %.0f entries\n"
+            entries catchup_wall shipped_per_s update_wall (1e3 *. p50)
+            (1e3 *. p99) lag;
+          Format.printf "follower reads: %a@." Server.Loadgen.pp lg;
+          let jf v =
+            if Float.is_finite v then Printf.sprintf "%.6f" v else "null"
+          in
+          replication_record :=
+            Some
+              (Printf.sprintf
+                 "{\"entries\":%d,\"update_wall_s\":%s,\"catchup_wall_s\":%s,\
+                  \"shipped_per_s\":%s,\"apply_p50_s\":%s,\"apply_p99_s\":%s,\
+                  \"lag_entries\":%s,\"follower_loadgen\":%s}"
+                 entries (jf update_wall) (jf catchup_wall) (jf shipped_per_s)
+                 (jf p50) (jf p99) (jf lag)
+                 (Server.Loadgen.to_json lg))))
 
 (* ------------------------------------------------------------------ *)
 (* Durability overhead: `Fast` vs `Durable` artifact saves and the     *)
@@ -498,6 +677,10 @@ let summary_json ~total_seconds ~microbench =
   (match !loadgen_summary with
   | Some s -> Buffer.add_string buf (Server.Loadgen.to_json s)
   | None -> Buffer.add_string buf "null");
+  Buffer.add_string buf ",\"replication\":";
+  (match !replication_record with
+  | Some s -> Buffer.add_string buf s
+  | None -> Buffer.add_string buf "null");
   Buffer.add_string buf ",\"durability\":[";
   List.iteri
     (fun i (name, seconds) ->
@@ -583,6 +766,9 @@ let () =
 
   section "Serving daemon: micro-batched predictions over a Unix socket";
   ignore (timed "daemon_loadgen" (fun () -> daemon_loadgen cfg; ""));
+
+  section "Replication: WAL shipping to an in-process follower";
+  ignore (timed "replication" (fun () -> replication_bench cfg; ""));
 
   section "Durability: Fast vs Durable saves and journal appends";
   ignore (timed "durability" (fun () -> durability_overhead cfg; ""));

@@ -13,9 +13,12 @@
      repro update         fold new samples in without a full refit
      repro models         list and verify the artifact registry
      repro recover        crash recovery: verify, replay journal, sweep
-     repro serve          micro-batching prediction daemon (lib/server)
+     repro serve          micro-batching prediction daemon (lib/server);
+                          --follow ADDR replicates from a leader
+     repro promote        flip a follower daemon to leader (failover)
      repro client         one-shot wire-protocol client for serve
      repro loadgen        closed-loop load generator against serve
+                          (repeatable --endpoint fans reads out)
      repro stats          instrumented fit: numerical health + metrics
 
    `fit`, `predict` and `update` accept --trace FILE (Chrome
@@ -745,8 +748,29 @@ let cache_arg =
     & opt int Server.Daemon.default_config.Server.Daemon.cache_capacity
     & info [ "cache" ] ~docv:"N" ~doc:"Resident models (LRU eviction).")
 
+let parse_addr_or_die what s =
+  match Server.Daemon.parse_address s with
+  | Some a -> a
+  | None ->
+      Printf.eprintf
+        "bad %s address %S (want tcp://host:port or unix://path)\n" what s;
+      exit 2
+
+let follow_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "follow" ] ~docv:"ADDR"
+        ~doc:
+          "Start as a read-only $(b,follower) replicating from the leader \
+           at $(docv) (tcp://host:port or unix://path): catch up via \
+           snapshot, then apply the leader's streamed update journal with \
+           the same durability contract as local updates. Serves predict \
+           traffic; refuses update with $(b,not_leader) until $(b,repro \
+           promote).")
+
 let run_serve verbose dir socket host port queue max_batch cache jobs
-    durability metrics =
+    durability metrics follow =
   Parallel.Pool.set_default_jobs (Stdlib.max 0 jobs);
   let _ = verbose in
   (* metrics collection is always on for the daemon: the `stats` opcode
@@ -761,8 +785,9 @@ let run_serve verbose dir socket host port queue max_batch cache jobs
       durability;
     }
   in
+  let follow = Option.map (parse_addr_or_die "--follow") follow in
   let t =
-    Server.Daemon.create ~config ~root:(root_of dir)
+    Server.Daemon.create ~config ?follow ~root:(root_of dir)
       (address_of socket host port)
   in
   Server.Daemon.install_signal_handlers t;
@@ -773,6 +798,12 @@ let run_serve verbose dir socket host port queue max_batch cache jobs
     queue max_batch cache
     (Parallel.Pool.default_jobs ())
     (match durability with `Fast -> "fast" | `Durable -> "durable");
+  (match Server.Daemon.role t with
+  | `Leader -> ()
+  | `Follower leader ->
+      Format.printf
+        "follower of %a (read-only; flip with: repro promote)@."
+        Server.Daemon.pp_address leader);
   Format.printf "ready; SIGTERM/SIGINT drains and exits@.";
   Server.Daemon.run t;
   Obs.Metrics.disable ();
@@ -790,15 +821,17 @@ let serve_cmd =
   let doc =
     "Run the micro-batching prediction daemon over the artifact registry. \
      Length-prefixed binary wire protocol (opcodes: ping, predict, \
-     predict_with_variance, update, list_models, stats), bounded request \
-     queue with immediate $(b,busy) backpressure, per-request deadlines, \
-     LRU model cache, graceful drain on SIGTERM/SIGINT."
+     predict_with_variance, update, list_models, stats, subscribe, \
+     promote), bounded request queue with immediate $(b,busy) \
+     backpressure, per-request deadlines, LRU model cache, graceful \
+     drain on SIGTERM/SIGINT. With $(b,--follow) the daemon runs as a \
+     read-only replication follower."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run_serve $ verbose_arg $ dir_arg $ socket_arg $ host_arg
       $ port_arg $ queue_arg $ max_batch_arg $ cache_arg $ jobs_arg
-      $ durability_arg ~default:`Durable $ metrics_arg)
+      $ durability_arg ~default:`Durable $ metrics_arg $ follow_arg)
 
 let meta_of (scale_name, (cfg : Experiments.Config.t)) circuit metric_opt =
   let tb = testbench_of cfg circuit in
@@ -887,11 +920,13 @@ and run_client_exn common socket host port deadline_ms action =
   | "stats" -> (
       match Server.Client.stats c with
       | Error e -> die_error "stats" e
-      | Ok (uptime, requests, recovered, json) ->
+      | Ok s ->
           Printf.printf
             "uptime: %.1f s, requests served: %.0f, updates replayed by \
-             recovery: %.0f\n%s\n"
-            uptime requests recovered json)
+             recovery: %.0f\nrole: %s, journal offset: %d\n%s\n"
+            s.Server.Client.uptime_s s.Server.Client.requests
+            s.Server.Client.recovered_updates s.Server.Client.role
+            s.Server.Client.journal_seq s.Server.Client.metrics_json)
   | "predict" | "predict-std" -> (
       let _, _, meta = common in
       let info = find_model c meta in
@@ -969,6 +1004,32 @@ let client_cmd =
       const run_client $ client_common $ verbose_arg $ socket_arg $ host_arg
       $ port_arg $ deadline_arg $ client_action_arg)
 
+let run_promote socket host port =
+  let addr = address_of socket host port in
+  try
+    let c = Server.Client.connect ~retries:0 addr in
+    Fun.protect ~finally:(fun () -> Server.Client.close c) @@ fun () ->
+    match Server.Client.promote c with
+    | Error e -> die_error "promote" e
+    | Ok (was_follower, seq) ->
+        if was_follower then
+          Printf.printf
+            "promoted to leader at journal sequence %d; updates are \
+             accepted here now\n"
+            seq
+        else Printf.printf "already the leader (journal sequence %d)\n" seq
+  with Server.Client.Transport msg -> die_transport msg
+
+let promote_cmd =
+  let doc =
+    "Promote the daemon at the given address to replication leader. On a \
+     follower this finishes applying the buffered leader stream, drops \
+     the leader link and starts accepting $(b,update) requests — the \
+     failover move after the old leader died. On a leader it is a no-op."
+  in
+  Cmd.v (Cmd.info "promote" ~doc)
+    Term.(const run_promote $ socket_arg $ host_arg $ port_arg)
+
 let connections_arg =
   Arg.(
     value
@@ -1001,14 +1062,28 @@ let loadgen_json_arg =
     & info [ "json" ] ~docv:"FILE"
         ~doc:"Write the throughput/latency record as JSON to $(docv).")
 
+let endpoint_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "endpoint" ] ~docv:"ADDR"
+        ~doc:
+          "Additional replica endpoint (tcp://host:port or unix://path); \
+           repeatable. Connections round-robin over the primary address \
+           and every $(docv) — point them at a leader and its followers \
+           to measure replicated read fan-out.")
+
 let run_loadgen common _verbose socket host port connections duration batch
-    with_std deadline_ms json_file =
+    with_std deadline_ms json_file endpoints =
   let _, _, meta = common in
-  let addr = address_of socket host port in
+  let addrs =
+    address_of socket host port
+    :: List.map (parse_addr_or_die "--endpoint") endpoints
+  in
   let summary =
     try
       Server.Loadgen.run ~connections ~duration_s:duration ~batch ~with_std
-        ?deadline_ms ~meta addr
+        ?deadline_ms ~meta addrs
     with
     | Server.Client.Transport msg -> die_transport msg
     | Failure msg ->
@@ -1034,7 +1109,7 @@ let loadgen_cmd =
     Term.(
       const run_loadgen $ client_common $ verbose_arg $ socket_arg $ host_arg
       $ port_arg $ connections_arg $ duration_arg $ batch_arg $ with_std_arg
-      $ deadline_arg $ loadgen_json_arg)
+      $ deadline_arg $ loadgen_json_arg $ endpoint_arg)
 
 (* ------------------------------------------------------------------ *)
 (* `repro stats`: one fully instrumented fit + batch predict, followed
@@ -1159,6 +1234,7 @@ let () =
             models_cmd;
             recover_cmd;
             serve_cmd;
+            promote_cmd;
             client_cmd;
             loadgen_cmd;
             stats_cmd;

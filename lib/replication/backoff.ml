@@ -1,0 +1,35 @@
+type policy = {
+  base_s : float;
+  multiplier : float;
+  max_s : float;
+  jitter : float;
+  max_attempts : int;
+}
+
+let default_policy =
+  { base_s = 0.05; multiplier = 2.0; max_s = 2.0; jitter = 0.2; max_attempts = 8 }
+
+type t = { policy : policy; rng : Stats.Rng.t; mutable attempts : int }
+
+let create ?(policy = default_policy) ?(seed = 0x6261636b) () =
+  if policy.base_s <= 0. || policy.multiplier < 1. || policy.max_s < policy.base_s
+  then invalid_arg "Backoff.create: degenerate policy";
+  if policy.jitter < 0. || policy.jitter >= 1. then
+    invalid_arg "Backoff.create: jitter must be in [0, 1)";
+  { policy; rng = Stats.Rng.create seed; attempts = 0 }
+
+let next_delay_s t =
+  t.attempts <- t.attempts + 1;
+  let p = t.policy in
+  (* exponentiate by repeated multiplication, stopping at the cap so a
+     long outage cannot overflow the float *)
+  let rec grow d k = if k <= 0 || d >= p.max_s then d else grow (d *. p.multiplier) (k - 1) in
+  let d = Float.min p.max_s (grow p.base_s (t.attempts - 1)) in
+  if p.jitter = 0. then d
+  else d *. Stats.Rng.uniform t.rng ~lo:(1. -. p.jitter) ~hi:(1. +. p.jitter)
+
+let attempts t = t.attempts
+
+let exhausted t = t.attempts >= t.policy.max_attempts
+
+let reset t = t.attempts <- 0

@@ -1,0 +1,46 @@
+(** Capped exponential backoff with multiplicative jitter.
+
+    Shared by every transient-failure retry loop in the replication
+    stack: the follower's leader link (reconnect after [ECONNREFUSED] /
+    [EPIPE] without hammering a restarting leader) and {!Client}'s
+    automatic reconnect. The policy is deterministic given a seed —
+    jitter comes from a {!Stats.Rng} stream, never from wall-clock
+    entropy — so tests can assert exact delay sequences.
+
+    The module computes delays; it never sleeps. Callers that block
+    ([Client]) sleep for the returned delay; callers inside an event
+    loop (the daemon's follower link) schedule the next attempt at
+    [now + delay]. *)
+
+type policy = {
+  base_s : float;  (** First delay. *)
+  multiplier : float;  (** Growth factor per failed attempt. *)
+  max_s : float;  (** Delays are capped here (before jitter). *)
+  jitter : float;
+      (** Fractional spread: a delay [d] becomes uniform in
+          [[d (1 - jitter), d (1 + jitter)]]. *)
+  max_attempts : int;
+      (** Attempts before {!exhausted}; the delay sequence itself never
+          stops growing toward the cap, so unbounded retriers (the
+          follower link) can keep polling {!next_delay_s} forever. *)
+}
+
+val default_policy : policy
+(** 50 ms base, x2 growth, 2 s cap, 20% jitter, 8 attempts. *)
+
+type t
+
+val create : ?policy:policy -> ?seed:int -> unit -> t
+
+val next_delay_s : t -> float
+(** Records one failed attempt and returns how long to wait before the
+    next try: jittered [min max_s (base_s * multiplier^(attempts-1))]. *)
+
+val attempts : t -> int
+(** Failed attempts recorded since the last {!reset}. *)
+
+val exhausted : t -> bool
+(** [attempts >= max_attempts] — bounded retriers give up here. *)
+
+val reset : t -> unit
+(** Call on success: the next failure starts again from [base_s]. *)

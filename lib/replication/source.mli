@@ -1,0 +1,63 @@
+(** Leader-side replication source: subscriber bookkeeping, catch-up
+    planning, and lag accounting.
+
+    The daemon's journal is truncated after every durable artifact save,
+    so there is no long-lived file to tail on the leader — instead the
+    source receives each committed update {e at commit time} (the moment
+    the journal entry became durable and the artifact save completed)
+    and the daemon fans the already-framed WAL record out to every
+    subscriber connection inside its existing select loop. This module
+    is deliberately socket-agnostic: ['conn] is whatever handle the
+    daemon uses to write to a subscriber, compared by physical equality.
+
+    Catch-up: a subscriber announces a per-model revision vector when it
+    subscribes; {!plan_catchup} compares it against the leader's live
+    artifacts and returns full-artifact snapshots (existing binary
+    codec) for every model the follower is missing or behind on. Models
+    the follower is ahead on are skipped — promotion races resolve by
+    the follower resubscribing to whoever wins. After the snapshots the
+    daemon sends a status marker carrying the leader's commit sequence
+    number; from then on the subscriber only needs the entry stream. *)
+
+type 'conn t
+
+val create : unit -> 'conn t
+
+val plan_catchup :
+  have:Serving.Artifact.t list ->
+  vector:(Serving.Artifact.meta * int) list ->
+  (Serving.Artifact.meta * int * string) list
+(** [(meta, rev, bytes)] for every artifact in [have] whose revision is
+    ahead of (or absent from) the follower's [vector]; [bytes] is the
+    binary codec rendering. Pure — callable without a [t]. *)
+
+val register : 'conn t -> 'conn -> acked:int -> unit
+(** Adds a subscriber whose last-known-applied sequence is [acked]
+    (the commit seq sent with the status marker). Re-registering an
+    existing connection just resets its ack. *)
+
+val drop : 'conn t -> 'conn -> unit
+(** Removes a subscriber (connection closed or overflowed). Unknown
+    connections are ignored. *)
+
+val ack : 'conn t -> 'conn -> seq:int -> unit
+(** Records a [repl_ack]: the subscriber has durably applied every entry
+    up to [seq]. Acks never move backwards. *)
+
+val subscribers : 'conn t -> 'conn list
+(** Current subscriber connections, oldest first. *)
+
+val count : _ t -> int
+
+val min_acked : _ t -> int option
+(** The slowest subscriber's ack, or [None] with no subscribers. *)
+
+val note_lag : _ t -> seq:int -> unit
+(** Refreshes the lag gauge: [seq - min_acked] entries (0 when there are
+    no subscribers). Call after commits and acks. *)
+
+val note_shipped : entries:int -> unit
+(** Counts entries fanned out to subscribers. *)
+
+val note_snapshot : bytes:int -> unit
+(** Counts one catch-up snapshot of [bytes] bytes sent. *)

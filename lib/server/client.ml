@@ -4,10 +4,21 @@
 exception Transport of string
 
 type t = {
-  fd : Unix.file_descr;
+  addr : Daemon.address;
+  mutable fd : Unix.file_descr;
   mutable next_id : int;
   mutable inbuf : string;
   mutable closed : bool;
+  backoff : Replication.Backoff.t;
+}
+
+type server_stats = {
+  uptime_s : float;
+  requests : float;
+  recovered_updates : float;
+  role : string;
+  journal_seq : int;
+  metrics_json : string;
 }
 
 let sockaddr_of = function
@@ -15,7 +26,7 @@ let sockaddr_of = function
       Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
   | Daemon.Unix_socket path -> Unix.ADDR_UNIX path
 
-let connect ?(retries = 50) ?(retry_delay_s = 0.1) addr =
+let connect_fd ~retries ~retry_delay_s addr =
   let sockaddr = sockaddr_of addr in
   let domain =
     match addr with
@@ -43,13 +54,58 @@ let connect ?(retries = 50) ?(retry_delay_s = 0.1) addr =
                     (Unix.error_message err)))
         | e -> raise e)
   in
-  { fd = attempt retries; next_id = 1; inbuf = ""; closed = false }
+  attempt retries
+
+let connect ?(retries = 50) ?(retry_delay_s = 0.1) addr =
+  {
+    addr;
+    fd = connect_fd ~retries ~retry_delay_s addr;
+    next_id = 1;
+    inbuf = "";
+    closed = false;
+    backoff = Replication.Backoff.create ();
+  }
+
+let address t = t.addr
 
 let close t =
   if not t.closed then begin
     t.closed <- true;
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
+
+(* A blip (ECONNREFUSED while the daemon restarts, EPIPE/reset on a
+   dropped socket) used to kill the connection permanently; reconnect
+   dials again under the shared capped-exponential backoff. Attempts are
+   bounded by the policy; success rearms it. *)
+let reconnect t =
+  close t;
+  let rec attempt () =
+    if Replication.Backoff.exhausted t.backoff then
+      raise
+        (Transport
+           (Format.asprintf "reconnect %a: %d attempts exhausted"
+              Daemon.pp_address t.addr
+              (Replication.Backoff.attempts t.backoff)));
+    Unix.sleepf (Replication.Backoff.next_delay_s t.backoff);
+    match connect_fd ~retries:0 ~retry_delay_s:0. t.addr with
+    | fd -> fd
+    | exception Transport _ -> attempt ()
+  in
+  let fd = attempt () in
+  t.fd <- fd;
+  t.inbuf <- "";
+  t.closed <- false;
+  Replication.Backoff.reset t.backoff
+
+let with_reconnect ?(retries = 3) t f =
+  let rec go tries =
+    try f t
+    with Transport _ when tries > 0 ->
+      reconnect t;
+      go (tries - 1)
+  in
+  go (Stdlib.max 0 retries)
 
 let send_all t s =
   let n = String.length s in
@@ -159,8 +215,56 @@ let list_models t =
 
 let stats t =
   match roundtrip t Wire.Stats_req with
-  | Ok (Wire.Stats_payload { uptime_s; requests; recovered_updates; metrics_json })
+  | Ok
+      (Wire.Stats_payload
+        { uptime_s; requests; recovered_updates; role; journal_seq; metrics_json })
     ->
-      Ok (uptime_s, requests, recovered_updates, metrics_json)
+      Ok { uptime_s; requests; recovered_updates; role; journal_seq; metrics_json }
   | Ok _ -> unexpected ()
   | Error e -> Error e
+
+let promote t =
+  match roundtrip t Wire.Promote_req with
+  | Ok (Wire.Promoted { was_follower; journal_seq }) ->
+      Ok (was_follower, journal_seq)
+  | Ok _ -> unexpected ()
+  | Error e -> Error e
+
+(* The Not_leader message embeds the leader address in the canonical
+   [tcp://...]/[unix://...] rendering; fish it back out. *)
+let leader_hint (e : Wire.error) =
+  match e.Wire.code with
+  | Wire.Not_leader ->
+      let msg = e.Wire.message in
+      let find sub =
+        let ls = String.length sub and lm = String.length msg in
+        let rec go i =
+          if i + ls > lm then None
+          else if String.sub msg i ls = sub then Some i
+          else go (i + 1)
+        in
+        go 0
+      in
+      let at =
+        match (find "tcp://", find "unix://") with
+        | Some a, Some b -> Some (Stdlib.min a b)
+        | (Some _ as s), None | None, (Some _ as s) -> s
+        | None, None -> None
+      in
+      Option.bind at (fun i ->
+          Daemon.parse_address (String.sub msg i (String.length msg - i)))
+  | _ -> None
+
+let update_with_redirect t ?deadline_ms meta ~xs ~f =
+  match update t ?deadline_ms meta ~xs ~f with
+  | Error e as r -> (
+      match leader_hint e with
+      | None -> (r, None)
+      | Some leader ->
+          (* one transparent retry against the leader the follower named,
+             over a short-lived connection of its own *)
+          let c = connect ~retries:5 ~retry_delay_s:0.05 leader in
+          Fun.protect
+            ~finally:(fun () -> close c)
+            (fun () -> (update c ?deadline_ms meta ~xs ~f, Some leader)))
+  | r -> (r, None)

@@ -18,8 +18,25 @@ val connect : ?retries:int -> ?retry_delay_s:float -> Daemon.address -> t
     not exist yet — lets a client start concurrently with the daemon.
     @raise Transport when the endpoint never comes up. *)
 
+val address : t -> Daemon.address
+(** The endpoint this client dials (and {!reconnect} re-dials). *)
+
 val close : t -> unit
 (** Idempotent. *)
+
+val reconnect : t -> unit
+(** Closes (if needed) and dials {!address} again under a capped
+    exponential backoff with jitter — the recovery move after an
+    [ECONNREFUSED] (daemon restarting) or [EPIPE]/reset (dropped
+    socket) surfaced as {!Transport}. Attempts are bounded by the
+    backoff policy; a successful reconnect rearms it.
+    @raise Transport when the attempts are exhausted. *)
+
+val with_reconnect : ?retries:int -> t -> (t -> 'a) -> 'a
+(** [with_reconnect t f] runs [f t], transparently {!reconnect}ing and
+    retrying up to [retries] (default 3) times when [f] raises
+    {!Transport}. Loadgen workers and the CLI wrap their calls in this
+    so a daemon blip costs a retry, not the run. *)
 
 val ping : t -> (unit, Wire.error) result
 
@@ -51,6 +68,35 @@ val update :
 
 val list_models : t -> (Wire.model_info list, Wire.error) result
 
-val stats : t -> (float * float * float * string, Wire.error) result
-(** (uptime seconds, requests served, updates replayed by recovery at
-    the last restart, metrics JSON). *)
+type server_stats = {
+  uptime_s : float;
+  requests : float;  (** Requests served since start. *)
+  recovered_updates : float;
+      (** Updates replayed by recovery at the last restart. *)
+  role : string;  (** ["leader"] or ["follower"]. *)
+  journal_seq : int;
+      (** Leader: commits since start; follower: last leader sequence
+          applied. *)
+  metrics_json : string;
+}
+
+val stats : t -> (server_stats, Wire.error) result
+
+val promote : t -> (bool * int, Wire.error) result
+(** Asks the daemon to become leader; returns (was it a follower,
+    journal sequence at takeover). Promoting a leader is a no-op that
+    returns [(false, seq)]. *)
+
+val leader_hint : Wire.error -> Daemon.address option
+(** The leader address a [Not_leader] refusal names, if parseable. *)
+
+val update_with_redirect :
+  t ->
+  ?deadline_ms:int ->
+  Serving.Artifact.meta ->
+  xs:Linalg.Mat.t ->
+  f:Linalg.Vec.t ->
+  ((int * int, Wire.error) result * Daemon.address option)
+(** Like {!update}, but when a follower answers [Not_leader] the call
+    retries once against the leader it named (over a short-lived
+    connection) and returns that address as evidence of the redirect. *)

@@ -24,6 +24,31 @@ let pp_address fmt = function
   | Tcp (host, port) -> Format.fprintf fmt "tcp://%s:%d" host port
   | Unix_socket path -> Format.fprintf fmt "unix://%s" path
 
+let address_to_string a = Format.asprintf "%a" pp_address a
+
+let parse_address s =
+  let strip p =
+    let lp = String.length p in
+    if String.length s > lp && String.sub s 0 lp = p then
+      Some (String.sub s lp (String.length s - lp))
+    else None
+  in
+  match strip "unix://" with
+  | Some path -> Some (Unix_socket path)
+  | None -> (
+      match strip "tcp://" with
+      | None -> None
+      | Some rest -> (
+          match String.rindex_opt rest ':' with
+          | None -> None
+          | Some i -> (
+              let host = String.sub rest 0 i in
+              let port = String.sub rest (i + 1) (String.length rest - i - 1) in
+              match int_of_string_opt port with
+              | Some p when host <> "" && p >= 0 && p < 65536 ->
+                  Some (Tcp (host, p))
+              | _ -> None)))
+
 type config = {
   queue_capacity : int;
   max_batch : int;
@@ -99,6 +124,13 @@ let h_admin =
 (* ------------------------------------------------------------------ *)
 (* Connections.                                                        *)
 
+(* What the far end of a connection is to us. [Client] covers ordinary
+   request/response traffic; a client that sends [Subscribe] becomes a
+   [Subscriber] and starts receiving pushes; [Link_pending]/[Link] are
+   the follower's own outbound connection to its leader (non-blocking
+   connect in flight / established). *)
+type peer = Client | Subscriber | Link_pending | Link
+
 type conn = {
   fd : Unix.file_descr;
   inbuf : Buffer.t;  (* received, not yet framed *)
@@ -108,6 +140,7 @@ type conn = {
   mutable out_off : int;  (* bytes of the head frame already written *)
   mutable close_after_flush : bool;
   mutable closed : bool;
+  mutable peer : peer;
 }
 
 (* Read-side backpressure: once this many encoded bytes are queued for a
@@ -140,6 +173,13 @@ type cached = {
   mutable last_used : int;
 }
 
+(* Partial catch-up snapshot being reassembled on a follower. *)
+type snap_acc = { s_rev : int; s_total : int; s_buf : Buffer.t }
+
+(* Snapshots larger than this are refused at reassembly — the follower
+   trusts its configured leader but not unboundedly. *)
+let max_snapshot_bytes = 256 * 1024 * 1024
+
 type t = {
   config : config;
   root : string;
@@ -160,9 +200,23 @@ type t = {
   mutable stopped_mono : float;  (* monotonic instant [stop] was first seen *)
   journal : Serving.Journal.t;
   recovery : Serving.Recovery.report;  (* what [create] found and replayed *)
+  (* --- replication --- *)
+  mutable leader : address option;  (* [Some _] = follower of that leader *)
+  mutable commit_seq : int;
+      (* leader: updates committed since start; follower: last leader
+         sequence durably applied or subsumed by a snapshot *)
+  source : conn Replication.Source.t;
+  mutable link : conn option;  (* follower's connection to the leader *)
+  mutable link_next_s : float;  (* monotonic: next connect attempt *)
+  link_backoff : Replication.Backoff.t;
+  snap : (Serving.Artifact.meta, snap_acc) Hashtbl.t;
 }
 
 let address t = t.addr
+
+let role t = match t.leader with None -> `Leader | Some a -> `Follower a
+
+let journal_seq t = t.commit_seq
 
 let recovery t = t.recovery
 
@@ -183,7 +237,12 @@ let install_signal_handlers t =
   Sys.set_signal Sys.sigterm h;
   Sys.set_signal Sys.sigint h
 
-let create ?(config = default_config) ~root addr =
+let sockaddr_of = function
+  | Tcp (host, port) ->
+      (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+  | Unix_socket path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+
+let create ?(config = default_config) ?follow ~root addr =
   (* 0 is deliberately legal: an admin-only drain mode in which every
      predict/update answers Busy while ping/list_models/stats still
      work (and which lets tests exercise backpressure deterministically) *)
@@ -203,14 +262,10 @@ let create ?(config = default_config) ~root addr =
   let journal =
     Serving.Journal.open_ ~durability:config.durability ~root ()
   in
-  let domain, sockaddr =
-    match addr with
-    | Tcp (host, port) ->
-        (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
-    | Unix_socket path ->
-        if Sys.file_exists path then Unix.unlink path;
-        (Unix.PF_UNIX, Unix.ADDR_UNIX path)
-  in
+  (match addr with
+  | Unix_socket path when Sys.file_exists path -> Unix.unlink path
+  | _ -> ());
+  let domain, sockaddr = sockaddr_of addr in
   let listen_fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
   (try
      (match addr with
@@ -253,6 +308,13 @@ let create ?(config = default_config) ~root addr =
     stopped_mono = nan;
     journal;
     recovery;
+    leader = follow;
+    commit_seq = 0;
+    source = Replication.Source.create ();
+    link = None;
+    link_next_s = 0.;  (* connect on the first loop tick *)
+    link_backoff = Replication.Backoff.create ();
+    snap = Hashtbl.create 4;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -325,7 +387,21 @@ let close_conn t conn =
     conn.closed <- true;
     (try Unix.close conn.fd with Unix.Unix_error _ -> ());
     t.conns <- List.filter (fun c -> c != conn) t.conns;
-    Obs.Metrics.set g_connections (float_of_int (List.length t.conns))
+    Obs.Metrics.set g_connections (float_of_int (List.length t.conns));
+    match conn.peer with
+    | Subscriber ->
+        Replication.Source.drop t.source conn;
+        Replication.Source.note_lag t.source ~seq:t.commit_seq
+    | Link | Link_pending ->
+        (* leader gone (or refused us): discard any half-reassembled
+           snapshot and schedule a backed-off reconnect; the fresh
+           subscription's revision vector makes catch-up self-healing *)
+        if (match t.link with Some l -> l == conn | None -> false) then
+          t.link <- None;
+        Hashtbl.reset t.snap;
+        t.link_next_s <-
+          Obs.Clock.now_s () +. Replication.Backoff.next_delay_s t.link_backoff
+    | Client -> ()
   end
 
 let send conn frame_bytes =
@@ -425,8 +501,103 @@ let stats_payload t =
       uptime_s = now_s () -. t.started_mono;
       requests = float_of_int t.served;
       recovered_updates = float_of_int t.recovery.Serving.Recovery.replayed;
+      role = (match t.leader with None -> "leader" | Some _ -> "follower");
+      journal_seq = t.commit_seq;
       metrics_json = Obs.Metrics.to_json ();
     }
+
+(* ------------------------------------------------------------------ *)
+(* Replication: leader side.                                           *)
+
+let store_artifacts t =
+  Serving.Store.list ~root:t.root
+  |> List.filter_map (fun (e : Serving.Store.entry) ->
+         match e.status with Ok a -> Some a | Error _ -> None)
+
+let not_leader_error t =
+  let where =
+    match t.leader with
+    | Some leader -> address_to_string leader
+    | None -> address_to_string t.addr
+  in
+  Wire.Error
+    {
+      Wire.code = Wire.Not_leader;
+      message = "not the leader; updates are accepted at " ^ where;
+    }
+
+(* Turn a client connection into a subscriber: snapshot every model the
+   follower is missing or behind on, then mark the stream live. All the
+   frames are queued here and drip out through the ordinary flush path,
+   so catch-up never blocks the loop. *)
+let handle_subscribe t conn ~id vector =
+  if t.leader <> None then reply t conn ~id (not_leader_error t)
+  else if stopping t then
+    reply t conn ~id
+      (Wire.Error
+         {
+           Wire.code = Wire.Shutting_down;
+           message = "server is draining; not accepting subscribers";
+         })
+  else begin
+    let snapshots =
+      Replication.Source.plan_catchup ~have:(store_artifacts t) ~vector
+    in
+    List.iter
+      (fun (meta, rev, bytes) ->
+        let total = String.length bytes in
+        let rec chunks offset =
+          if offset < total || total = 0 then begin
+            let n = Stdlib.min Wire.max_snapshot_chunk (total - offset) in
+            send conn
+              (Wire.encode_push
+                 (Wire.Snapshot_chunk
+                    { meta; rev; total; offset; data = String.sub bytes offset n }));
+            if n > 0 then chunks (offset + n)
+          end
+        in
+        chunks 0;
+        Replication.Source.note_snapshot ~bytes:total)
+      snapshots;
+    send conn
+      (Wire.encode_push
+         (Wire.Repl_status
+            { seq = t.commit_seq; snapshots = List.length snapshots }));
+    conn.peer <- Subscriber;
+    Replication.Source.register t.source conn ~acked:t.commit_seq;
+    Replication.Source.note_lag t.source ~seq:t.commit_seq
+  end
+
+(* Fan one committed update out to every live subscriber. A subscriber
+   that stopped draining its socket is dropped rather than buffered
+   without bound — on reconnect the revision vector routes it through
+   snapshot catch-up, so nothing is lost. *)
+let ship_commit t entry =
+  t.commit_seq <- t.commit_seq + 1;
+  (match Replication.Source.subscribers t.source with
+  | [] -> ()
+  | subs -> (
+      match
+        Wire.encode_push
+          (Wire.Journal_entry
+             { seq = t.commit_seq; entry = Serving.Journal.encode_entry entry })
+      with
+      | exception _ ->
+          (* unframeable entry (pathologically large update): force the
+             subscribers through snapshot catch-up instead *)
+          List.iter (fun c -> close_conn t c) subs
+      | encoded ->
+          let shipped = ref 0 in
+          List.iter
+            (fun c ->
+              if c.out_bytes >= max_buffered_out then close_conn t c
+              else begin
+                send c encoded;
+                incr shipped
+              end)
+            subs;
+          Replication.Source.note_shipped ~entries:!shipped));
+  Replication.Source.note_lag t.source ~seq:t.commit_seq
 
 let admit t conn (frame : Wire.frame) work =
   if stopping t then
@@ -463,6 +634,143 @@ let admit t conn (frame : Wire.frame) work =
     Obs.Metrics.set g_queue_depth (float_of_int (Queue.length t.pending))
   end
 
+(* ------------------------------------------------------------------ *)
+(* Incoming bytes -> frames (shared by client conns and the link).     *)
+
+let slurp t conn =
+  try
+    let continue = ref true in
+    while !continue && not conn.closed do
+      match Unix.read conn.fd t.scratch 0 (Bytes.length t.scratch) with
+      | 0 ->
+          close_conn t conn;
+          continue := false
+      | n ->
+          Buffer.add_subbytes conn.inbuf t.scratch 0 n;
+          if n < Bytes.length t.scratch then continue := false
+    done
+  with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | Unix.Unix_error ((Unix.ECONNRESET | Unix.EBADF | Unix.EPIPE), _, _) ->
+      close_conn t conn
+
+(* Only flatten the buffer once enough bytes for the next frame are in
+   — a dribbled large frame costs one copy, not one per read. *)
+let parse_frames conn ~dispatch ~on_bad =
+  if (not conn.closed) && Buffer.length conn.inbuf >= conn.need then begin
+    let data = Buffer.contents conn.inbuf in
+    let off = ref 0 in
+    let continue = ref true in
+    while !continue do
+      match Wire.peek data ~off:!off with
+      | `Frame (frame, next) ->
+          off := next;
+          if not (conn.closed || conn.close_after_flush) then
+            dispatch conn frame
+      | `Need k ->
+          conn.need <- String.length data - !off + k;
+          continue := false
+      | `Bad message ->
+          on_bad conn message;
+          Buffer.clear conn.inbuf;
+          conn.need <- 4;
+          off := 0;
+          continue := false
+    done;
+    if !off > 0 && not conn.closed then begin
+      let rest = String.sub data !off (String.length data - !off) in
+      Buffer.clear conn.inbuf;
+      Buffer.add_string conn.inbuf rest
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Replication: follower side. Frames arriving on the leader link are
+   pushes (or an error frame); anything unexpected drops the link and
+   the backed-off resubscribe heals via snapshot catch-up.             *)
+
+let link_ack conn seq =
+  send conn (Wire.encode_request ~id:0 (Wire.Repl_ack_req { seq }))
+
+let apply_snapshot_chunk t conn ~meta ~rev ~total ~offset ~data =
+  if total > max_snapshot_bytes then close_conn t conn
+  else begin
+    let acc =
+      match Hashtbl.find_opt t.snap meta with
+      | Some a
+        when a.s_rev = rev && a.s_total = total
+             && Buffer.length a.s_buf = offset ->
+          Some a
+      | Some _ -> None (* inconsistent with the transfer in progress *)
+      | None when offset = 0 ->
+          let a =
+            { s_rev = rev; s_total = total; s_buf = Buffer.create (max total 16) }
+          in
+          Hashtbl.replace t.snap meta a;
+          Some a
+      | None -> None
+    in
+    match acc with
+    | None -> close_conn t conn
+    | Some a ->
+        Buffer.add_string a.s_buf data;
+        if Buffer.length a.s_buf >= a.s_total then begin
+          Hashtbl.remove t.snap meta;
+          match
+            Replication.Apply.snapshot ~durability:t.config.durability
+              ~root:t.root (Buffer.contents a.s_buf)
+          with
+          | Error _ -> close_conn t conn
+          | Ok art -> refresh_model t meta art
+        end
+  end
+
+let on_link_frame t conn (frame : Wire.frame) =
+  if not (Wire.is_push_kind frame.Wire.frame_kind) then
+    (* only error frames are legal here (e.g. Not_leader from a peer
+       that is itself a follower): drop and retry through the backoff *)
+    close_conn t conn
+  else
+    match Wire.decode_push frame with
+    | Error _ -> close_conn t conn
+    | Ok (Wire.Snapshot_chunk { meta; rev; total; offset; data }) ->
+        apply_snapshot_chunk t conn ~meta ~rev ~total ~offset ~data
+    | Ok (Wire.Journal_entry { seq; entry }) -> (
+        match Serving.Journal.decode_entry entry with
+        | Error _ -> close_conn t conn
+        | Ok e -> (
+            match
+              Replication.Apply.entry ~durability:t.config.durability
+                ~root:t.root ~journal:t.journal e
+            with
+            | Replication.Apply.Applied art ->
+                t.commit_seq <- seq;
+                refresh_model t e.Serving.Journal.meta art;
+                link_ack conn seq
+            | Replication.Apply.Stale _ ->
+                if seq > t.commit_seq then t.commit_seq <- seq;
+                link_ack conn seq
+            | Replication.Apply.Gap _ -> close_conn t conn))
+    | Ok (Wire.Repl_status { seq; snapshots = _ }) ->
+        (* catch-up complete: the snapshots embody every commit <= seq *)
+        if seq > t.commit_seq then t.commit_seq <- seq;
+        link_ack conn seq
+
+let link_dispatch t conn frame =
+  try on_link_frame t conn frame with _ -> close_conn t conn
+
+let drain_link t =
+  match t.link with
+  | Some l when (not l.closed) && l.peer = Link ->
+      slurp t l;
+      parse_frames l
+        ~dispatch:(link_dispatch t)
+        ~on_bad:(fun c _ -> close_conn t c)
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Request dispatch.                                                   *)
+
 let on_frame t conn (frame : Wire.frame) =
   t.served <- t.served + 1;
   Obs.Metrics.inc m_requests;
@@ -497,61 +805,63 @@ let on_frame t conn (frame : Wire.frame) =
                     (Wire.opcode_name (if with_std then Wire.Predict_var else Wire.Predict))))
           else admit t conn frame (Wpredict { meta; points; with_std })
       | Wire.Update_req { meta; xs; f } ->
-          admit t conn frame (Wupdate { meta; xs; f }))
+          if t.leader <> None then
+            reply t conn ~id:frame.Wire.frame_id (not_leader_error t)
+          else admit t conn frame (Wupdate { meta; xs; f })
+      | Wire.Subscribe_req { vector } ->
+          Obs.Metrics.time h_admin (fun () ->
+              handle_subscribe t conn ~id:frame.Wire.frame_id vector)
+      | Wire.Repl_ack_req { seq } ->
+          (* fire-and-forget bookkeeping; never answered *)
+          if conn.peer = Subscriber then begin
+            Replication.Source.ack t.source conn ~seq;
+            Replication.Source.note_lag t.source ~seq:t.commit_seq
+          end
+      | Wire.Promote_req ->
+          Obs.Metrics.time h_admin (fun () ->
+              match t.leader with
+              | None ->
+                  reply t conn ~id:frame.Wire.frame_id
+                    (Wire.Promoted
+                       { was_follower = false; journal_seq = t.commit_seq })
+              | Some _ ->
+                  (* clean takeover: finish applying whatever the
+                     (possibly dead) leader already streamed, cut the
+                     link, flip the role — updates are accepted from the
+                     next frame on *)
+                  drain_link t;
+                  (match t.link with
+                  | Some l -> close_conn t l
+                  | None -> ());
+                  t.leader <- None;
+                  Hashtbl.reset t.snap;
+                  reply t conn ~id:frame.Wire.frame_id
+                    (Wire.Promoted
+                       { was_follower = true; journal_seq = t.commit_seq })))
 
 (* ------------------------------------------------------------------ *)
 (* Incoming bytes -> frames.                                           *)
 
 let read_conn t conn =
-  (try
-     let continue = ref true in
-     while !continue && not conn.closed do
-       match Unix.read conn.fd t.scratch 0 (Bytes.length t.scratch) with
-       | 0 ->
-           close_conn t conn;
-           continue := false
-       | n ->
-           Buffer.add_subbytes conn.inbuf t.scratch 0 n;
-           if n < Bytes.length t.scratch then continue := false
-     done
-   with
-  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
-  | Unix.Unix_error ((Unix.ECONNRESET | Unix.EBADF), _, _) ->
-      close_conn t conn);
-  (* only flatten the buffer once enough bytes for the next frame are in
-     — a dribbled large frame costs one copy, not one per read *)
-  if (not conn.closed) && Buffer.length conn.inbuf >= conn.need then begin
-    let data = Buffer.contents conn.inbuf in
-    let off = ref 0 in
-    let continue = ref true in
-    while !continue do
-      match Wire.peek data ~off:!off with
-      | `Frame (frame, next) ->
-          off := next;
-          if not conn.close_after_flush then begin
-            (* crash containment: no single request may kill the loop *)
-            try on_frame t conn frame
-            with e ->
-              reply t conn ~id:frame.Wire.frame_id (internal_error e);
-              conn.close_after_flush <- true
-          end
-      | `Need k ->
-          conn.need <- String.length data - !off + k;
-          continue := false
-      | `Bad message ->
-          reply t conn ~id:0 (Wire.Error { Wire.code = Wire.Protocol; message });
-          conn.close_after_flush <- true;
-          Buffer.clear conn.inbuf;
-          conn.need <- 4;
-          off := 0;
-          continue := false
-    done;
-    if !off > 0 then begin
-      let rest = String.sub data !off (String.length data - !off) in
-      Buffer.clear conn.inbuf;
-      Buffer.add_string conn.inbuf rest
-    end
-  end
+  slurp t conn;
+  match conn.peer with
+  | Link_pending -> () (* nothing to parse until the connect completes *)
+  | Link ->
+      parse_frames conn
+        ~dispatch:(link_dispatch t)
+        ~on_bad:(fun c _ -> close_conn t c)
+  | Client | Subscriber ->
+      parse_frames conn
+        ~dispatch:(fun c frame ->
+          (* crash containment: no single request may kill the loop *)
+          try on_frame t c frame
+          with e ->
+            reply t c ~id:frame.Wire.frame_id (internal_error e);
+            c.close_after_flush <- true)
+        ~on_bad:(fun c message ->
+          reply t c ~id:0
+            (Wire.Error { Wire.code = Wire.Protocol; message });
+          c.close_after_flush <- true)
 
 let accept_loop t =
   let continue = ref true in
@@ -569,6 +879,7 @@ let accept_loop t =
             out_off = 0;
             close_after_flush = false;
             closed = false;
+            peer = Client;
           }
         in
         t.conns <- conn :: t.conns;
@@ -700,17 +1011,19 @@ let run_update t (p : pending) meta xs f =
                 meta.Serving.Artifact.circuit meta.Serving.Artifact.metric dim
                 (Linalg.Mat.cols xs)))
       else
+        let entry =
+          {
+            Serving.Journal.meta;
+            base_rev = cached.artifact.Serving.Artifact.rev;
+            xs;
+            f;
+          }
+        in
         match
           (* write-ahead: journal + fsync the raw samples first, so a
              crash anywhere past this point can no longer lose the
              update — recovery replays it against the base revision *)
-          Serving.Journal.append t.journal
-            {
-              Serving.Journal.meta;
-              base_rev = cached.artifact.Serving.Artifact.rev;
-              xs;
-              f;
-            };
+          Serving.Journal.append t.journal entry;
           let upd = Serving.Incremental.of_artifact cached.artifact in
           Serving.Incremental.add_batch upd ~xs ~f;
           let updated = Serving.Incremental.to_artifact upd in
@@ -730,6 +1043,9 @@ let run_update t (p : pending) meta xs f =
             finish t p (internal_error e)
         | updated ->
             refresh_model t meta updated;
+            (* the commit is durable: ship it to subscribers before the
+               acknowledgement is even queued *)
+            ship_commit t entry;
             finish t p
               (Wire.Updated
                  {
@@ -794,6 +1110,60 @@ let process_pending t =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Replication: the follower's leader link (non-blocking connect).     *)
+
+let establish_link t conn =
+  conn.peer <- Link;
+  Replication.Backoff.reset t.link_backoff;
+  let vector =
+    List.map
+      (fun (a : Serving.Artifact.t) -> (a.meta, a.rev))
+      (store_artifacts t)
+  in
+  send conn (Wire.encode_request ~id:0 (Wire.Subscribe_req { vector }))
+
+let complete_link t conn =
+  match Unix.getsockopt_error conn.fd with
+  | None -> establish_link t conn
+  | Some _ -> close_conn t conn
+
+let attempt_link t leader =
+  match
+    let domain, sockaddr = sockaddr_of leader in
+    let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+    Unix.set_nonblock fd;
+    (fd, sockaddr)
+  with
+  | exception _ ->
+      (* unresolvable address: keep retrying on the backoff schedule *)
+      t.link_next_s <-
+        now_s () +. Replication.Backoff.next_delay_s t.link_backoff
+  | fd, sockaddr -> (
+      let conn =
+        {
+          fd;
+          inbuf = Buffer.create 4096;
+          need = 4;
+          out = Queue.create ();
+          out_bytes = 0;
+          out_off = 0;
+          close_after_flush = false;
+          closed = false;
+          peer = Link_pending;
+        }
+      in
+      t.conns <- conn :: t.conns;
+      t.link <- Some conn;
+      Obs.Metrics.set g_connections (float_of_int (List.length t.conns));
+      match Unix.connect fd sockaddr with
+      | () -> establish_link t conn
+      | exception
+          Unix.Unix_error
+            ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) ->
+          () (* completion surfaces as writability in the loop *)
+      | exception Unix.Unix_error _ -> close_conn t conn)
+
+(* ------------------------------------------------------------------ *)
 (* The loop.                                                           *)
 
 let stop_accepting t =
@@ -817,6 +1187,12 @@ let run t =
       if Float.is_nan t.stopped_mono then t.stopped_mono <- now_s ();
       stop_accepting t
     end;
+    (* follower: (re)connect to the leader when the backoff allows *)
+    (match t.leader with
+    | Some leader
+      when (not (stopping t)) && t.link = None && now_s () >= t.link_next_s ->
+        attempt_link t leader
+    | _ -> ());
     let rs =
       t.wake_r
       :: (if t.accepting then [ t.listen_fd ] else [])
@@ -829,7 +1205,10 @@ let run t =
     in
     let ws =
       List.filter_map
-        (fun c -> if Queue.is_empty c.out then None else Some c.fd)
+        (fun c ->
+          if c.peer = Link_pending then Some c.fd
+          else if Queue.is_empty c.out then None
+          else Some c.fd)
         t.conns
     in
     (match Unix.select rs ws [] 0.25 with
@@ -843,6 +1222,11 @@ let run t =
           with Unix.Unix_error _ -> ()
         end;
         if t.accepting && List.mem t.listen_fd readable then accept_loop t;
+        List.iter
+          (fun c ->
+            if c.peer = Link_pending && List.mem c.fd writable then
+              complete_link t c)
+          t.conns;
         List.iter
           (fun c -> if List.mem c.fd readable then read_conn t c)
           t.conns;

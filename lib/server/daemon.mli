@@ -46,6 +46,13 @@ type address = Tcp of string * int | Unix_socket of string
 
 val pp_address : Format.formatter -> address -> unit
 
+val address_to_string : address -> string
+(** [tcp://host:port] or [unix://path] — the form {!parse_address}
+    accepts and the [Not_leader] error message embeds. *)
+
+val parse_address : string -> address option
+(** Inverse of {!address_to_string}. [None] on anything else. *)
+
 type config = {
   queue_capacity : int;
       (** Bounded request queue; a full queue answers [Busy]. 0 refuses
@@ -71,13 +78,32 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> root:string -> address -> t
+val create : ?config:config -> ?follow:address -> root:string -> address -> t
 (** Runs {!Serving.Recovery.recover} over [root] — temp-file sweep,
     full checksum verification, journal-tail replay — then opens the
     write-ahead journal, binds and listens. [Tcp (host, 0)] binds an
     ephemeral port — read it back with {!address}. A stale Unix-socket
     path is unlinked first.
+
+    [~follow] starts the daemon as a {e follower} of the leader at that
+    address: it connects (retrying with capped exponential backoff),
+    subscribes with its per-model revision vector, catches up via
+    snapshot-then-tail and applies every streamed WAL entry under the
+    same journal-append-before-apply durability contract as a leader
+    update — a follower killed mid-apply recovers with the ordinary
+    recovery pass. A follower serves [predict]/[predict_with_variance]/
+    [list_models]/[stats] and refuses [update] (and [subscribe]) with
+    [Not_leader] naming the leader address. A [Promote] request flips
+    it to leader after the buffered stream is applied.
     @raise Unix.Unix_error when binding fails. *)
+
+val role : t -> [ `Leader | `Follower of address ]
+(** Current replication role (changes on promote — also surfaced as the
+    [role] field of the wire [stats] payload). *)
+
+val journal_seq : t -> int
+(** Leader: updates committed since start. Follower: last leader commit
+    sequence durably applied or subsumed by a catch-up snapshot. *)
 
 val started_s : t -> float
 (** Wall-clock start time (seconds since the epoch) — human-facing

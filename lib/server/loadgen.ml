@@ -3,6 +3,7 @@
 
 type summary = {
   connections : int;
+  endpoints : int;
   duration_s : float;
   batch : int;
   with_std : bool;
@@ -10,6 +11,7 @@ type summary = {
   points : int;
   busy : int;
   errors : int;
+  reconnects : int;
   throughput_rps : float;
   throughput_pps : float;
   latency_mean_s : float;
@@ -23,6 +25,7 @@ type worker_out = {
   w_requests : int;
   w_busy : int;
   w_errors : int;
+  w_reconnects : int;
   w_latencies : float list;  (* reverse order; merged later *)
 }
 
@@ -53,19 +56,20 @@ let worker addr meta ~dim ~batch ~with_std ~deadline_ms ~seed ~until () =
   in
   let client = Client.connect addr in
   let requests = ref 0 and busy = ref 0 and errors = ref 0 in
+  let reconnects = ref 0 in
   let latencies = ref [] in
+  let give_up = ref false in
   Fun.protect
     ~finally:(fun () -> Client.close client)
     (fun () ->
-      while Unix.gettimeofday () < until do
+      while (not !give_up) && Unix.gettimeofday () < until do
         let t0 = Unix.gettimeofday () in
-        let outcome =
+        match
           if with_std then
             Result.map ignore
               (Client.predict_with_std client ?deadline_ms meta points)
           else Result.map ignore (Client.predict client ?deadline_ms meta points)
-        in
-        match outcome with
+        with
         | Ok () ->
             incr requests;
             latencies := (Unix.gettimeofday () -. t0) :: !latencies
@@ -74,11 +78,18 @@ let worker addr meta ~dim ~batch ~with_std ~deadline_ms ~seed ~until () =
             (* back off briefly so a saturated queue can drain *)
             Unix.sleepf 0.0005
         | Error _ -> incr errors
+        | exception Client.Transport _ -> (
+            (* the daemon dropped the socket (restart, failover): re-dial
+               under the client's capped backoff instead of dying *)
+            match Client.reconnect client with
+            | () -> incr reconnects
+            | exception Client.Transport _ -> give_up := true)
       done);
   {
     w_requests = !requests;
     w_busy = !busy;
     w_errors = !errors;
+    w_reconnects = !reconnects;
     w_latencies = !latencies;
   }
 
@@ -99,23 +110,31 @@ let percentile sorted q =
   end
 
 let run ?(connections = 4) ?(duration_s = 5.) ?(batch = 64)
-    ?(with_std = false) ?deadline_ms ?(seed = 20130602) ~meta addr =
+    ?(with_std = false) ?deadline_ms ?(seed = 20130602) ~meta addrs =
   if connections < 1 then invalid_arg "Loadgen.run: connections < 1";
   if batch < 1 then invalid_arg "Loadgen.run: batch < 1";
-  let dim = discover_dim addr meta in
+  let addrs = Array.of_list addrs in
+  let endpoints = Array.length addrs in
+  if endpoints = 0 then invalid_arg "Loadgen.run: no endpoints";
+  (* the model's dimension must agree across replicas; discover on the
+     first endpoint and trust replication for the rest *)
+  let dim = discover_dim addrs.(0) meta in
   let t0 = Unix.gettimeofday () in
   let until = t0 +. duration_s in
   let domains =
     Array.init connections (fun i ->
         Domain.spawn
-          (worker addr meta ~dim ~batch ~with_std ~deadline_ms
-             ~seed:(seed + (7919 * i)) ~until))
+          (worker addrs.(i mod endpoints) meta ~dim ~batch ~with_std
+             ~deadline_ms ~seed:(seed + (7919 * i)) ~until))
   in
   let outs = Array.map Domain.join domains in
   let wall = Unix.gettimeofday () -. t0 in
   let requests = Array.fold_left (fun a w -> a + w.w_requests) 0 outs in
   let busy = Array.fold_left (fun a w -> a + w.w_busy) 0 outs in
   let errors = Array.fold_left (fun a w -> a + w.w_errors) 0 outs in
+  let reconnects =
+    Array.fold_left (fun a w -> a + w.w_reconnects) 0 outs
+  in
   let latencies =
     Array.to_list outs
     |> List.concat_map (fun w -> w.w_latencies)
@@ -133,6 +152,7 @@ let run ?(connections = 4) ?(duration_s = 5.) ?(batch = 64)
   in
   {
     connections;
+    endpoints;
     duration_s = wall;
     batch;
     with_std;
@@ -140,6 +160,7 @@ let run ?(connections = 4) ?(duration_s = 5.) ?(batch = 64)
     points = requests * batch;
     busy;
     errors;
+    reconnects;
     throughput_rps = float_of_int requests /. Float.max 1e-9 wall;
     throughput_pps = float_of_int (requests * batch) /. Float.max 1e-9 wall;
     latency_mean_s = mean;
@@ -155,26 +176,29 @@ let jf f = if Float.is_finite f then Printf.sprintf "%.6f" f else "null"
 
 let to_json s =
   Printf.sprintf
-    "{\"connections\":%d,\"duration_s\":%s,\"batch\":%d,\"with_std\":%b,\
+    "{\"connections\":%d,\"endpoints\":%d,\"duration_s\":%s,\"batch\":%d,\
+     \"with_std\":%b,\
      \"requests\":%d,\"points\":%d,\"busy\":%d,\"errors\":%d,\
+     \"reconnects\":%d,\
      \"throughput_rps\":%s,\"throughput_pps\":%s,\
      \"latency_mean_s\":%s,\"latency_p50_s\":%s,\"latency_p90_s\":%s,\
      \"latency_p99_s\":%s,\"latency_max_s\":%s}"
-    s.connections (jf s.duration_s) s.batch s.with_std s.requests s.points
-    s.busy s.errors
+    s.connections s.endpoints (jf s.duration_s) s.batch s.with_std
+    s.requests s.points s.busy s.errors s.reconnects
     (jf s.throughput_rps) (jf s.throughput_pps) (jf s.latency_mean_s)
     (jf s.latency_p50_s) (jf s.latency_p90_s) (jf s.latency_p99_s)
     (jf s.latency_max_s)
 
 let pp fmt s =
   Format.fprintf fmt
-    "@[<v>closed-loop loadgen: %d connection(s), %.2f s, %d point(s)/request%s@,\
-     requests: %d ok, %d busy, %d error(s)@,\
+    "@[<v>closed-loop loadgen: %d connection(s) over %d endpoint(s), %.2f s, \
+     %d point(s)/request%s@,\
+     requests: %d ok, %d busy, %d error(s), %d reconnect(s)@,\
      throughput: %.0f requests/s = %.0f predictions/s@,\
      latency: mean %.3f ms  p50 %.3f ms  p90 %.3f ms  p99 %.3f ms  max %.3f ms@]"
-    s.connections s.duration_s s.batch
+    s.connections s.endpoints s.duration_s s.batch
     (if s.with_std then " (with variance)" else "")
-    s.requests s.busy s.errors s.throughput_rps s.throughput_pps
+    s.requests s.busy s.errors s.reconnects s.throughput_rps s.throughput_pps
     (1e3 *. s.latency_mean_s) (1e3 *. s.latency_p50_s)
     (1e3 *. s.latency_p90_s) (1e3 *. s.latency_p99_s)
     (1e3 *. s.latency_max_s)

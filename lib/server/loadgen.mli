@@ -11,6 +11,10 @@
 
 type summary = {
   connections : int;
+  endpoints : int;
+      (** Distinct daemon addresses the connections fan out over —
+          connection [i] dials endpoint [i mod endpoints], so a
+          leader/follower pair splits the read load evenly. *)
   duration_s : float;  (** Actual wall-clock measurement window. *)
   batch : int;  (** Query points per request. *)
   with_std : bool;
@@ -18,6 +22,9 @@ type summary = {
   points : int;  (** Total predicted points ([requests * batch]). *)
   busy : int;  (** [Busy] refusals (backpressure hits). *)
   errors : int;  (** Other error responses. *)
+  reconnects : int;
+      (** Successful {!Client.reconnect}s after a transport drop (daemon
+          restart or failover) — each costs one in-flight request. *)
   throughput_rps : float;  (** Successful requests per second. *)
   throughput_pps : float;  (** Predicted points per second. *)
   latency_mean_s : float;
@@ -41,12 +48,19 @@ val run :
   ?deadline_ms:int ->
   ?seed:int ->
   meta:Serving.Artifact.meta ->
-  Daemon.address ->
+  Daemon.address list ->
   summary
 (** Defaults: 4 connections, 5 s, 64 points per request, means only.
-    The model's variation-space dimension is discovered via
-    [list_models]. @raise Failure when the daemon does not serve
-    [meta]; @raise Client.Transport on connection breakage. *)
+    Connections round-robin over the endpoint list (a single-element
+    list is the classic one-daemon run; a [leader; follower] pair
+    measures replicated read fan-out). The model's variation-space
+    dimension is discovered via [list_models] on the first endpoint.
+    A connection whose socket drops mid-run reconnects under the
+    client's capped backoff and keeps going (counted in [reconnects]);
+    it stops early only when the backoff budget is exhausted.
+    @raise Invalid_argument on an empty endpoint list;
+    @raise Failure when the first endpoint does not serve [meta];
+    @raise Client.Transport when the initial connections fail. *)
 
 val to_json : summary -> string
 (** One flat JSON object (the [repro loadgen] / bench record). *)

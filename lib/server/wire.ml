@@ -24,7 +24,16 @@ let max_predict_rows ~with_std =
   let fixed = header_len + 8 + 1 + if with_std then 8 else 0 in
   (max_frame_len - fixed) / per_row
 
-type opcode = Ping | Predict | Predict_var | Update | List_models | Stats
+type opcode =
+  | Ping
+  | Predict
+  | Predict_var
+  | Update
+  | List_models
+  | Stats
+  | Subscribe
+  | Repl_ack
+  | Promote
 
 let opcode_name = function
   | Ping -> "ping"
@@ -33,6 +42,9 @@ let opcode_name = function
   | Update -> "update"
   | List_models -> "list_models"
   | Stats -> "stats"
+  | Subscribe -> "subscribe"
+  | Repl_ack -> "repl_ack"
+  | Promote -> "promote"
 
 let opcode_byte = function
   | Ping -> 1
@@ -41,6 +53,9 @@ let opcode_byte = function
   | Update -> 4
   | List_models -> 5
   | Stats -> 6
+  | Subscribe -> 7
+  | Repl_ack -> 8
+  | Promote -> 9
 
 let opcode_of_byte = function
   | 1 -> Some Ping
@@ -49,6 +64,9 @@ let opcode_of_byte = function
   | 4 -> Some Update
   | 5 -> Some List_models
   | 6 -> Some Stats
+  | 7 -> Some Subscribe
+  | 8 -> Some Repl_ack
+  | 9 -> Some Promote
   | _ -> None
 
 type request =
@@ -65,6 +83,9 @@ type request =
     }
   | List_models_req
   | Stats_req
+  | Subscribe_req of { vector : (Serving.Artifact.meta * int) list }
+  | Repl_ack_req of { seq : int }
+  | Promote_req
 
 let opcode_of_request = function
   | Ping_req -> Ping
@@ -72,6 +93,9 @@ let opcode_of_request = function
   | Update_req _ -> Update
   | List_models_req -> List_models
   | Stats_req -> Stats
+  | Subscribe_req _ -> Subscribe
+  | Repl_ack_req _ -> Repl_ack
+  | Promote_req -> Promote
 
 type error_code =
   | Busy
@@ -81,6 +105,7 @@ type error_code =
   | Internal
   | Shutting_down
   | Protocol
+  | Not_leader
 
 let error_code_name = function
   | Busy -> "busy"
@@ -90,6 +115,7 @@ let error_code_name = function
   | Internal -> "internal"
   | Shutting_down -> "shutting_down"
   | Protocol -> "protocol"
+  | Not_leader -> "not_leader"
 
 (* Response kind byte: 0 = OK, else one of these. *)
 let error_byte = function
@@ -100,6 +126,7 @@ let error_byte = function
   | Internal -> 5
   | Shutting_down -> 6
   | Protocol -> 7
+  | Not_leader -> 8
 
 let error_of_byte = function
   | 1 -> Some Busy
@@ -109,6 +136,7 @@ let error_of_byte = function
   | 5 -> Some Internal
   | 6 -> Some Shutting_down
   | 7 -> Some Protocol
+  | 8 -> Some Not_leader
   | _ -> None
 
 type error = { code : error_code; message : string }
@@ -132,9 +160,38 @@ type response =
       uptime_s : float;
       requests : float;
       recovered_updates : float;
+      role : string;
+      journal_seq : int;
       metrics_json : string;
     }
+  | Promoted of { was_follower : bool; journal_seq : int }
   | Error of error
+
+(* Pushes: unsolicited leader-to-subscriber frames on a replication
+   link. Their kind bytes live in a disjoint space (32+) so a confused
+   peer can never mistake one for a response (0-15) or request (1-9). *)
+
+type push =
+  | Snapshot_chunk of {
+      meta : Serving.Artifact.meta;
+      rev : int;
+      total : int;
+      offset : int;
+      data : string;
+    }
+  | Journal_entry of { seq : int; entry : string }
+  | Repl_status of { seq : int; snapshots : int }
+
+let push_byte = function
+  | Snapshot_chunk _ -> 32
+  | Journal_entry _ -> 33
+  | Repl_status _ -> 34
+
+let is_push_kind k = k >= 32 && k <= 34
+
+(* Room left for the chunk payload once the frame header, the meta
+   (generously bounded) and the fixed ints are accounted for. *)
+let max_snapshot_chunk = max_frame_len - header_len - 4096
 
 (* ------------------------------------------------------------------ *)
 (* Body primitives.                                                    *)
@@ -270,14 +327,22 @@ let peek s ~off =
 let encode_request ~id ?(deadline_ms = 0) req =
   let buf = Buffer.create 256 in
   (match req with
-  | Ping_req | List_models_req | Stats_req -> ()
+  | Ping_req | List_models_req | Stats_req | Promote_req -> ()
   | Predict_req { meta; points; _ } ->
       put_meta buf meta;
       put_mat buf points
   | Update_req { meta; xs; f } ->
       put_meta buf meta;
       put_mat buf xs;
-      put_floats buf f);
+      put_floats buf f
+  | Subscribe_req { vector } ->
+      put_int buf (List.length vector);
+      List.iter
+        (fun (m, rev) ->
+          put_meta buf m;
+          put_int buf rev)
+        vector
+  | Repl_ack_req { seq } -> put_int buf seq);
   frame
     ~kind:(opcode_byte (opcode_of_request req))
     ~id ~deadline_ms (Buffer.contents buf)
@@ -304,6 +369,25 @@ let decode_request f =
               if Array.length f <> Linalg.Mat.rows xs then
                 raise (Short "xs/f row count mismatch");
               Update_req { meta; xs; f }
+          | Subscribe ->
+              let n = get_int rd in
+              (* a vector element is at least 40 bytes (three length
+                 prefixes + seed + rev), so bound n by the bytes held *)
+              if n < 0 || n > (String.length rd.data - rd.at) / 40 then
+                raise (Short "implausible revision-vector length");
+              let vector =
+                List.init n (fun _ ->
+                    let m = get_meta rd in
+                    let rev = get_int rd in
+                    if rev < 0 then raise (Short "negative revision");
+                    (m, rev))
+              in
+              Subscribe_req { vector }
+          | Repl_ack ->
+              let seq = get_int rd in
+              if seq < 0 then raise (Short "negative sequence");
+              Repl_ack_req { seq }
+          | Promote -> Promote_req
         in
         finished rd;
         Ok req
@@ -342,11 +426,19 @@ let encode_response ~id resp =
             put_int buf i.bytes)
           infos;
         0
-    | Stats_payload { uptime_s; requests; recovered_updates; metrics_json } ->
+    | Stats_payload
+        { uptime_s; requests; recovered_updates; role; journal_seq; metrics_json }
+      ->
         put_float buf uptime_s;
         put_float buf recovered_updates;
         put_float buf requests;
+        put_string buf role;
+        put_int buf journal_seq;
         put_string buf metrics_json;
+        0
+    | Promoted { was_follower; journal_seq } ->
+        put_int buf (if was_follower then 1 else 0);
+        put_int buf journal_seq;
         0
     | Error { code; message } ->
         put_string buf message;
@@ -401,9 +493,88 @@ let decode_response ~expect f =
             let uptime_s = get_float rd in
             let recovered_updates = get_float rd in
             let requests = get_float rd in
+            let role = get_string rd in
+            let journal_seq = get_int rd in
             let metrics_json = get_string rd in
-            Stats_payload { uptime_s; requests; recovered_updates; metrics_json }
+            Stats_payload
+              {
+                uptime_s;
+                requests;
+                recovered_updates;
+                role;
+                journal_seq;
+                metrics_json;
+              }
+        | Promote ->
+            let was_follower = get_int rd <> 0 in
+            let journal_seq = get_int rd in
+            Promoted { was_follower; journal_seq }
+        | Subscribe | Repl_ack ->
+            (* subscribe is answered by pushes on the same stream and
+               repl_ack is fire-and-forget; only error frames (handled
+               above) are legal replies *)
+            raise (Short "no success response defined")
       in
       finished rd;
       Ok resp
     with Short msg -> Stdlib.Error (opcode_name expect ^ " response: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* Pushes.                                                             *)
+
+let encode_push p =
+  let buf = Buffer.create 256 in
+  (match p with
+  | Snapshot_chunk { meta; rev; total; offset; data } ->
+      put_meta buf meta;
+      put_int buf rev;
+      put_int buf total;
+      put_int buf offset;
+      put_string buf data
+  | Journal_entry { seq; entry } ->
+      put_int buf seq;
+      put_string buf entry
+  | Repl_status { seq; snapshots } ->
+      put_int buf seq;
+      put_int buf snapshots);
+  frame ~kind:(push_byte p) ~id:0 ~deadline_ms:0 (Buffer.contents buf)
+
+let decode_push f =
+  let rd = { data = f.body; at = 0 } in
+  let what =
+    match f.frame_kind with
+    | 32 -> "snapshot_chunk"
+    | 33 -> "journal_entry"
+    | 34 -> "repl_status"
+    | k -> Printf.sprintf "push kind %d" k
+  in
+  try
+    let p =
+      match f.frame_kind with
+      | 32 ->
+          let meta = get_meta rd in
+          let rev = get_int rd in
+          let total = get_int rd in
+          let offset = get_int rd in
+          let data = get_string rd in
+          if rev < 0 then raise (Short "negative revision");
+          if total < 0 || offset < 0 || offset > total then
+            raise (Short "inconsistent chunk geometry");
+          if offset + String.length data > total then
+            raise (Short "chunk overruns advertised total");
+          Snapshot_chunk { meta; rev; total; offset; data }
+      | 33 ->
+          let seq = get_int rd in
+          let entry = get_string rd in
+          if seq < 0 then raise (Short "negative sequence");
+          Journal_entry { seq; entry }
+      | 34 ->
+          let seq = get_int rd in
+          let snapshots = get_int rd in
+          if seq < 0 || snapshots < 0 then raise (Short "negative counts");
+          Repl_status { seq; snapshots }
+      | k -> raise (Short (Printf.sprintf "unknown push kind %d" k))
+    in
+    finished rd;
+    Ok p
+  with Short msg -> Stdlib.Error (what ^ ": " ^ msg)

@@ -32,7 +32,16 @@ val max_predict_rows : with_std:bool -> int
 
 (** {2 Message types} *)
 
-type opcode = Ping | Predict | Predict_var | Update | List_models | Stats
+type opcode =
+  | Ping
+  | Predict
+  | Predict_var
+  | Update
+  | List_models
+  | Stats
+  | Subscribe  (** Open a replication stream; answered by pushes. *)
+  | Repl_ack  (** Follower ack of applied entries; no response. *)
+  | Promote  (** Flip a follower to leader. *)
 
 val opcode_name : opcode -> string
 
@@ -50,6 +59,12 @@ type request =
     }
   | List_models_req
   | Stats_req
+  | Subscribe_req of { vector : (Serving.Artifact.meta * int) list }
+      (** The follower's per-model revision vector; the leader snapshots
+          every model that is missing or behind, then streams entries. *)
+  | Repl_ack_req of { seq : int }
+      (** Every entry up to leader-commit [seq] is durably applied. *)
+  | Promote_req
 
 val opcode_of_request : request -> opcode
 
@@ -61,6 +76,9 @@ type error_code =
   | Internal
   | Shutting_down
   | Protocol  (** Malformed frame; the connection is closed after this. *)
+  | Not_leader
+      (** Updates (and subscriptions) must go to the leader; the message
+          names its address ([tcp://host:port] or [unix://path]). *)
 
 val error_code_name : error_code -> string
 
@@ -87,9 +105,45 @@ type response =
       recovered_updates : float;
           (** Journaled updates replayed at the last restart
               ([bmf_server_recovered_updates_total]). *)
+      role : string;  (** ["leader"] or ["follower"]. *)
+      journal_seq : int;
+          (** Leader: updates committed since start. Follower: the last
+              leader commit sequence durably applied or embodied in a
+              catch-up snapshot. *)
       metrics_json : string;
     }
+  | Promoted of { was_follower : bool; journal_seq : int }
   | Error of error
+
+(** {2 Replication pushes}
+
+    Unsolicited leader-to-subscriber frames on a replication stream,
+    sent after a [Subscribe_req]. Kind bytes occupy a disjoint space
+    (32-34) from responses (0 or an error byte) and requests (1-9).
+    The id and deadline header fields are 0. *)
+
+type push =
+  | Snapshot_chunk of {
+      meta : Serving.Artifact.meta;
+      rev : int;
+      total : int;  (** Whole-artifact byte count (binary codec). *)
+      offset : int;
+      data : string;
+    }
+      (** One slice of a catch-up artifact transfer; the follower
+          reassembles until [offset + length data = total]. *)
+  | Journal_entry of { seq : int; entry : string }
+      (** One committed update in the exact on-disk WAL framing
+          ([u64 len | u64 fnv64 | payload]) — the follower re-verifies
+          the checksum with {!Serving.Journal.decode_entry}. *)
+  | Repl_status of { seq : int; snapshots : int }
+      (** Catch-up complete: the stream is now live at leader commit
+          [seq], after [snapshots] snapshot transfers. *)
+
+val is_push_kind : int -> bool
+
+val max_snapshot_chunk : int
+(** Largest [Snapshot_chunk.data] slice that is guaranteed to frame. *)
 
 (** {2 Encoding} *)
 
@@ -124,4 +178,10 @@ val decode_request : frame -> (request, string) result
 val decode_response : expect:opcode -> frame -> (response, string) result
 (** Decodes a response frame. Error frames decode to [Error _] for any
     [expect]; success bodies are interpreted according to the opcode of
-    the request the caller sent. *)
+    the request the caller sent. [Subscribe] and [Repl_ack] define no
+    success response — only an error frame decodes for them. *)
+
+val encode_push : push -> string
+(** A complete push frame, length prefix included. *)
+
+val decode_push : frame -> (push, string) result

@@ -148,6 +148,123 @@ let read ~root =
     decode_entries data
   end
 
+(* One wire-shipped entry in the exact on-disk framing (len | fnv | payload),
+   nothing before or after. Used by replication to validate streamed WAL
+   records end to end with the same checksum the durability layer trusts. *)
+let decode_entry data =
+  let len = String.length data in
+  if len < 16 then Stdlib.Error "truncated entry header"
+  else begin
+    let payload_len = Int64.to_int (String.get_int64_le data 0) in
+    let stored = String.get_int64_le data 8 in
+    if payload_len < 0 || payload_len <> len - 16 then
+      Stdlib.Error "entry length mismatch"
+    else begin
+      let payload = String.sub data 16 payload_len in
+      if not (Int64.equal (Artifact.fnv64 payload) stored) then
+        Stdlib.Error "entry checksum mismatch"
+      else
+        match decode_payload payload with
+        | exception Bad msg -> Stdlib.Error ("bad entry: " ^ msg)
+        | e -> Ok e
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Tail reader: observe entries appended by another process.           *)
+
+module Tail = struct
+  let empty_fnv = Artifact.fnv64 ""
+
+  type t = {
+    path : string;
+    mutable offset : int;
+        (* bytes durably consumed; 0 = header not yet verified *)
+    mutable seen : int64;  (* fnv64 of the consumed prefix *)
+  }
+
+  let create ~root = { path = file ~root; offset = 0; seen = empty_fnv }
+
+  let offset t = t.offset
+
+  let with_file t f =
+    if not (Sys.file_exists t.path) then ([], None)
+    else begin
+      let ic = open_in_bin t.path in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> f ic)
+    end
+
+  (* Scan whole entries out of [data]; anything short or not yet
+     checksummable stays pending for the next poll. A writer appends the
+     16-byte header before the payload, so a reader racing the writer can
+     observe any prefix of an entry — all such prefixes park here without
+     advancing. A checksum mismatch over a *complete* payload is reported
+     but also left pending: it is indistinguishable from bytes still in
+     flight, and a real corruption simply stalls the tail at that entry. *)
+  let scan data =
+    let len = String.length data in
+    let rec go at acc =
+      if len - at < 16 then (at, List.rev acc, None)
+      else begin
+        let payload_len = Int64.to_int (String.get_int64_le data at) in
+        let stored = String.get_int64_le data (at + 8) in
+        if payload_len < 0 then
+          (at, List.rev acc, Some "negative entry length")
+        else if payload_len > len - at - 16 then (at, List.rev acc, None)
+        else begin
+          let payload = String.sub data (at + 16) payload_len in
+          if not (Int64.equal (Artifact.fnv64 payload) stored) then
+            (at, List.rev acc, Some "entry checksum mismatch (pending)")
+          else
+            match decode_payload payload with
+            | exception Bad msg -> (at, List.rev acc, Some ("bad entry: " ^ msg))
+            | e -> go (at + 16 + payload_len) (e :: acc)
+        end
+      end
+    in
+    go 0 []
+
+  let poll t =
+    with_file t (fun ic ->
+        let len = in_channel_length ic in
+        let data = really_input_string ic len in
+        (* A shrink means the writer truncated (commit completed) and the
+           tail starts over from the header. But ftruncate keeps the
+           inode, so a new incarnation that already regrew to (or past)
+           the consumed offset is only visible in the bytes themselves —
+           the consumed prefix no longer hashes to what was consumed.
+           (An incarnation byte-identical to the consumed prefix is
+           indistinguishable, and redelivering it would be a no-op.) *)
+        if
+          len < t.offset
+          || (t.offset > 0
+             && not
+                  (Int64.equal
+                     (Artifact.fnv64 (String.sub data 0 t.offset))
+                     t.seen))
+        then begin
+          t.offset <- 0;
+          t.seen <- empty_fnv
+        end;
+        let header_ok =
+          if t.offset > 0 then true
+          else if len < String.length magic then false
+          else String.equal (String.sub data 0 (String.length magic)) magic
+        in
+        if not header_ok then
+          (if len >= String.length magic then ([], Some "bad journal magic")
+           else ([], None))
+        else begin
+          if t.offset = 0 then t.offset <- String.length magic;
+          let consumed, entries, diag =
+            scan (String.sub data t.offset (len - t.offset))
+          in
+          t.offset <- t.offset + consumed;
+          t.seen <- Artifact.fnv64 (String.sub data 0 t.offset);
+          (entries, diag)
+        end)
+end
+
 (* ------------------------------------------------------------------ *)
 (* Append handle.                                                      *)
 

@@ -66,3 +66,39 @@ val encode_entry : entry -> string
 
 val decode_entries : string -> entry list * string option
 (** {!read} over an in-memory byte string (magic included). *)
+
+val decode_entry : string -> (entry, string) result
+(** Decodes exactly one framed entry ([u64 len | u64 fnv64 | payload],
+    nothing before or after), verifying the checksum — the validation a
+    replication follower runs on every wire-shipped WAL record. *)
+
+(** {2 Tail reader (replication + tests)}
+
+    Observes entries appended to a live journal by {e another} process.
+    The reader tracks a byte offset and, on every {!Tail.poll}, decodes
+    any whole entries appended since the last poll. A torn final entry —
+    the writer's append racing the read, or a crash mid-append — is left
+    pending and returned whole by a later poll once the bytes complete.
+    A file shrink (the writer's {!truncate} after a durable artifact
+    save, or a journal reset) restarts the reader from the header, so
+    entries appended after the reset are delivered from scratch. *)
+module Tail : sig
+  type t
+
+  val create : root:string -> t
+  (** No file access happens until the first {!poll}; a journal that does
+      not exist yet simply yields no entries. *)
+
+  val poll : t -> entry list * string option
+  (** Whole entries appended since the last poll, in append order, plus a
+      diagnostic when the scan parked before end-of-file (torn tail still
+      in flight, or a checksum/decoding failure — the latter stalls the
+      tail at the bad entry rather than skipping it). A writer-side
+      {!truncate} is detected even when the new incarnation has regrown
+      past the consumed offset — the consumed prefix is checksummed on
+      every poll — and resets the tail to the top, redelivering the new
+      incarnation's entries from scratch. *)
+
+  val offset : t -> int
+  (** Bytes consumed so far (0 until the header has been verified). *)
+end

@@ -1,0 +1,851 @@
+(* Tests for the replication subsystem: wire opcodes for the
+   subscription/entry-stream protocol, the journal tail reader, backoff
+   determinism, leader-side source bookkeeping, follower-side apply
+   semantics, an in-process leader/follower pair proving bit-identical
+   reads off the follower, and a cross-process SIGKILL failover harness
+   checking every surviving replica against an uncrashed oracle. *)
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_string = Alcotest.(check string)
+
+let rng = Stats.Rng.create 20130608
+
+(* Same small fitted problem as test_server: enough structure to
+   exercise the variance path, small enough to stream fast. *)
+type synth = {
+  basis : Polybasis.Basis.t;
+  prior : Bmf.Prior.t;
+  hyper : float;
+  g : Linalg.Mat.t;
+  f : Linalg.Vec.t;
+  truth : Linalg.Vec.t;
+}
+
+let make_synth ?(k = 40) ?(r = 25) ?(noise = 0.01) () =
+  let basis = Polybasis.Basis.linear r in
+  let m = Polybasis.Basis.size basis in
+  let truth =
+    Array.init m (fun i -> if i = 0 then 3. else 1. /. float_of_int (i + 1))
+  in
+  let early =
+    Array.map
+      (fun c -> Some (c *. (1. +. (0.15 *. Stats.Rng.gaussian rng))))
+      truth
+  in
+  let xs = Stats.Sampling.monte_carlo rng ~k ~r in
+  let g = Polybasis.Basis.design_matrix basis xs in
+  let f =
+    Array.init k (fun i ->
+        Linalg.Vec.dot (Linalg.Mat.row g i) truth
+        +. (noise *. Stats.Rng.gaussian rng))
+  in
+  let prior = Bmf.Prior.nonzero_mean early in
+  let hyper, _ = Bmf.Hyper.select ~rng ~g ~f ~prior () in
+  { basis; prior; hyper; g; f; truth }
+
+let meta =
+  { Serving.Artifact.circuit = "test"; metric = "m"; scale = "repl"; seed = 7 }
+
+let artifact_of (s : synth) =
+  Serving.Artifact.of_fit ~meta ~basis:s.basis ~prior:s.prior ~hyper:s.hyper
+    ~g:s.g ~f:s.f ()
+
+(* A fresh sample batch consistent with the synthetic truth, keyed by
+   [tag] so every round of a replication run folds in distinct data. *)
+let fresh_batch (s : synth) ~tag ~k =
+  let rng = Stats.Rng.create (7000 + tag) in
+  let r = Polybasis.Basis.dim s.basis in
+  let xs = Stats.Sampling.monte_carlo rng ~k ~r in
+  let f =
+    Array.init k (fun i ->
+        Linalg.Vec.dot
+          (Polybasis.Basis.eval_row s.basis (Linalg.Mat.row xs i))
+          s.truth)
+  in
+  (xs, f)
+
+let with_temp_root f =
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bmf-repl-test-%d" (Unix.getpid ()))
+  in
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  if Sys.file_exists root then rm root;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists root then rm root)
+    (fun () -> f root)
+
+let ok what = function
+  | Ok v -> v
+  | Error (e : Server.Wire.error) ->
+      Alcotest.failf "%s: %s: %s" what
+        (Server.Wire.error_code_name e.code)
+        e.message
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec: replication opcodes                                     *)
+
+let frame_of str =
+  match Server.Wire.peek str ~off:0 with
+  | `Frame (f, next) ->
+      check_int "frame consumed the whole string" (String.length str) next;
+      f
+  | `Need n -> Alcotest.failf "incomplete frame: need %d more bytes" n
+  | `Bad msg -> Alcotest.failf "bad frame: %s" msg
+
+let roundtrip_request req =
+  let s = Server.Wire.encode_request ~id:42 req in
+  match Server.Wire.decode_request (frame_of s) with
+  | Error e -> Alcotest.failf "decode_request failed: %s" e
+  | Ok got -> got
+
+let test_replication_request_roundtrips () =
+  let other = { meta with Serving.Artifact.metric = "power" } in
+  (match
+     roundtrip_request
+       (Server.Wire.Subscribe_req { vector = [ (meta, 3); (other, 0) ] })
+   with
+  | Server.Wire.Subscribe_req { vector = [ (m1, 3); (m2, 0) ] } ->
+      check_bool "first meta" true (m1 = meta);
+      check_bool "second meta" true (m2 = other)
+  | _ -> Alcotest.fail "subscribe round-trip");
+  (match roundtrip_request (Server.Wire.Subscribe_req { vector = [] }) with
+  | Server.Wire.Subscribe_req { vector = [] } -> ()
+  | _ -> Alcotest.fail "empty-vector subscribe round-trip");
+  (match roundtrip_request (Server.Wire.Repl_ack_req { seq = 12345 }) with
+  | Server.Wire.Repl_ack_req { seq = 12345 } -> ()
+  | _ -> Alcotest.fail "repl_ack round-trip");
+  (match roundtrip_request Server.Wire.Promote_req with
+  | Server.Wire.Promote_req -> ()
+  | _ -> Alcotest.fail "promote round-trip");
+  (* a negative revision/sequence can never be legal state *)
+  (match
+     Server.Wire.decode_request
+       (frame_of
+          (Server.Wire.encode_request ~id:1
+             (Server.Wire.Subscribe_req { vector = [ (meta, -1) ] })))
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative revision accepted");
+  match
+    Server.Wire.decode_request
+      (frame_of
+         (Server.Wire.encode_request ~id:1
+            (Server.Wire.Repl_ack_req { seq = -7 })))
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative ack sequence accepted"
+
+let roundtrip_push p =
+  let s = Server.Wire.encode_push p in
+  let f = frame_of s in
+  check_bool "kind byte is in the push space" true
+    (Server.Wire.is_push_kind f.Server.Wire.frame_kind);
+  match Server.Wire.decode_push f with
+  | Error e -> Alcotest.failf "decode_push failed: %s" e
+  | Ok got -> got
+
+let test_push_roundtrips () =
+  (match
+     roundtrip_push
+       (Server.Wire.Snapshot_chunk
+          { meta; rev = 4; total = 10; offset = 3; data = "abcd" })
+   with
+  | Server.Wire.Snapshot_chunk
+      { meta = m; rev = 4; total = 10; offset = 3; data = "abcd" } ->
+      check_bool "snapshot meta" true (m = meta)
+  | _ -> Alcotest.fail "snapshot_chunk round-trip");
+  (* a streamed WAL record survives the trip and still checksums *)
+  let s = make_synth ~k:8 ~r:4 () in
+  let xs, f = fresh_batch s ~tag:1 ~k:3 in
+  let entry = { Serving.Journal.meta; base_rev = 2; xs; f } in
+  let encoded = Serving.Journal.encode_entry entry in
+  (match roundtrip_push (Server.Wire.Journal_entry { seq = 9; entry = encoded })
+   with
+  | Server.Wire.Journal_entry { seq = 9; entry = e } -> (
+      match Serving.Journal.decode_entry e with
+      | Error msg -> Alcotest.failf "shipped entry did not decode: %s" msg
+      | Ok back ->
+          check_bool "entry meta" true (back.Serving.Journal.meta = meta);
+          check_int "entry base_rev" 2 back.Serving.Journal.base_rev;
+          check_bool "entry responses bit-identical" true
+            (Array.for_all2 Float.equal f back.Serving.Journal.f))
+  | _ -> Alcotest.fail "journal_entry round-trip");
+  (* a corrupted record is caught by the fnv64 check, not misapplied *)
+  let flipped = Bytes.of_string encoded in
+  Bytes.set flipped
+    (Bytes.length flipped - 1)
+    (Char.chr (Char.code (Bytes.get flipped (Bytes.length flipped - 1)) lxor 1));
+  (match Serving.Journal.decode_entry (Bytes.to_string flipped) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bit-flipped entry passed the checksum");
+  (match roundtrip_push (Server.Wire.Repl_status { seq = 77; snapshots = 2 })
+   with
+  | Server.Wire.Repl_status { seq = 77; snapshots = 2 } -> ()
+  | _ -> Alcotest.fail "repl_status round-trip");
+  (* impossible chunk geometry must be refused *)
+  let bad_geometry =
+    Server.Wire.encode_push
+      (Server.Wire.Snapshot_chunk
+         { meta; rev = 1; total = 4; offset = 3; data = "abcd" })
+  in
+  (match Server.Wire.decode_push (frame_of bad_geometry) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "chunk overrunning its total accepted");
+  (* garbage bodies decode to Error, never raise *)
+  let garbage =
+    {
+      Server.Wire.frame_kind = 33 (* journal_entry *);
+      frame_id = 0;
+      frame_deadline_ms = 0;
+      body = String.make 32 '\xfe';
+    }
+  in
+  (match Server.Wire.decode_push garbage with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage push body decoded"
+  | exception e ->
+      Alcotest.failf "decode_push raised %s" (Printexc.to_string e));
+  check_bool "response kinds are not push kinds" false
+    (Server.Wire.is_push_kind 1)
+
+let test_not_leader_roundtrip () =
+  let msg = "not the leader; updates are accepted at unix:///tmp/l.sock" in
+  let encoded =
+    Server.Wire.encode_response ~id:5
+      (Server.Wire.Error
+         { Server.Wire.code = Server.Wire.Not_leader; message = msg })
+  in
+  match
+    Server.Wire.decode_response ~expect:Server.Wire.Update (frame_of encoded)
+  with
+  | Ok (Server.Wire.Error e) ->
+      check_bool "code" true (e.Server.Wire.code = Server.Wire.Not_leader);
+      check_string "message" msg e.Server.Wire.message;
+      (match Server.Client.leader_hint e with
+      | Some (Server.Daemon.Unix_socket "/tmp/l.sock") -> ()
+      | _ -> Alcotest.fail "leader_hint did not recover the address");
+      check_bool "no hint on other errors" true
+        (Server.Client.leader_hint
+           { e with Server.Wire.code = Server.Wire.Busy }
+        = None)
+  | _ -> Alcotest.fail "not_leader round-trip"
+
+(* ------------------------------------------------------------------ *)
+(* Journal tail reader                                                 *)
+
+let test_tail_cross_process_appends () =
+  with_temp_root @@ fun root ->
+  let s = make_synth ~k:8 ~r:4 () in
+  let batch tag = fresh_batch s ~tag ~k:2 in
+  let tail = Serving.Journal.Tail.create ~root in
+  (* nothing there yet: no file is not an error *)
+  let entries, diag = Serving.Journal.Tail.poll tail in
+  check_int "empty poll" 0 (List.length entries);
+  check_bool "no diagnostic" true (diag = None);
+  (* a forked child appends two entries and exits; the parent's tail
+     must observe exactly them, in order *)
+  Parallel.Pool.set_default_jobs 1;
+  flush stdout;
+  flush stderr;
+  (match Unix.fork () with
+  | 0 ->
+      (try
+         let j = Serving.Journal.open_ ~durability:`Durable ~root () in
+         let xs0, f0 = batch 0 and xs1, f1 = batch 1 in
+         Serving.Journal.append j
+           { Serving.Journal.meta; base_rev = 1; xs = xs0; f = f0 };
+         Serving.Journal.append j
+           { Serving.Journal.meta; base_rev = 2; xs = xs1; f = f1 };
+         Serving.Journal.close j;
+         Unix._exit 0
+       with _ -> Unix._exit 2)
+  | pid -> (
+      match snd (Unix.waitpid [] pid) with
+      | Unix.WEXITED 0 -> ()
+      | _ -> Alcotest.fail "appender child failed"));
+  let entries, diag = Serving.Journal.Tail.poll tail in
+  check_bool "no diagnostic" true (diag = None);
+  check_int "both entries observed" 2 (List.length entries);
+  List.iteri
+    (fun i e ->
+      check_int "entry order" (i + 1) e.Serving.Journal.base_rev;
+      let _, expect_f = batch i in
+      check_bool "entry payload bit-identical" true
+        (Array.for_all2 Float.equal expect_f e.Serving.Journal.f))
+    entries;
+  (* a second poll re-delivers nothing *)
+  let again, _ = Serving.Journal.Tail.poll tail in
+  check_int "no re-delivery" 0 (List.length again)
+
+let test_tail_torn_final_entry () =
+  with_temp_root @@ fun root ->
+  let s = make_synth ~k:8 ~r:4 () in
+  let xs0, f0 = fresh_batch s ~tag:10 ~k:2 in
+  let xs1, f1 = fresh_batch s ~tag:11 ~k:2 in
+  let whole = { Serving.Journal.meta; base_rev = 5; xs = xs0; f = f0 } in
+  let torn = { Serving.Journal.meta; base_rev = 6; xs = xs1; f = f1 } in
+  (* lay down one complete entry through the normal writer *)
+  let j = Serving.Journal.open_ ~durability:`Fast ~root () in
+  Serving.Journal.append j whole;
+  Serving.Journal.close j;
+  let path = Serving.Journal.file ~root in
+  let torn_bytes = Serving.Journal.encode_entry torn in
+  let cut = String.length torn_bytes / 2 in
+  let append_raw s =
+    let oc =
+      open_out_gen [ Open_append; Open_binary ] 0o644 path
+    in
+    output_string oc s;
+    close_out oc
+  in
+  (* ... then half of the next one, as a crashed writer would leave it *)
+  append_raw (String.sub torn_bytes 0 cut);
+  let tail = Serving.Journal.Tail.create ~root in
+  let entries, _ = Serving.Journal.Tail.poll tail in
+  check_int "only the whole entry delivered" 1 (List.length entries);
+  check_int "whole entry is the first" 5
+    (List.hd entries).Serving.Journal.base_rev;
+  (* the torn suffix arrives: the parked entry becomes whole *)
+  append_raw (String.sub torn_bytes cut (String.length torn_bytes - cut));
+  let entries, diag = Serving.Journal.Tail.poll tail in
+  check_bool "no diagnostic once whole" true (diag = None);
+  check_int "completed entry delivered" 1 (List.length entries);
+  check_int "completed entry revision" 6
+    (List.hd entries).Serving.Journal.base_rev;
+  check_bool "completed entry payload" true
+    (Array.for_all2 Float.equal f1 (List.hd entries).Serving.Journal.f)
+
+let test_tail_truncation_resets () =
+  with_temp_root @@ fun root ->
+  let s = make_synth ~k:8 ~r:4 () in
+  let xs, f = fresh_batch s ~tag:20 ~k:2 in
+  let j = Serving.Journal.open_ ~durability:`Fast ~root () in
+  Serving.Journal.append j { Serving.Journal.meta; base_rev = 1; xs; f };
+  let tail = Serving.Journal.Tail.create ~root in
+  let entries, _ = Serving.Journal.Tail.poll tail in
+  check_int "first incarnation read" 1 (List.length entries);
+  let offset_before = Serving.Journal.Tail.offset tail in
+  check_bool "offset advanced" true (offset_before > 0);
+  (* the writer truncates (commit) and starts a new incarnation *)
+  Serving.Journal.truncate j;
+  Serving.Journal.append j { Serving.Journal.meta; base_rev = 2; xs; f };
+  Serving.Journal.close j;
+  let entries, diag = Serving.Journal.Tail.poll tail in
+  check_bool "no diagnostic across reset" true (diag = None);
+  check_int "new incarnation read from the top" 1 (List.length entries);
+  check_int "new incarnation entry" 2
+    (List.hd entries).Serving.Journal.base_rev
+
+(* ------------------------------------------------------------------ *)
+(* Backoff                                                             *)
+
+let test_backoff_deterministic () =
+  let policy =
+    {
+      Replication.Backoff.base_s = 0.1;
+      multiplier = 2.;
+      max_s = 1.;
+      jitter = 0.2;
+      max_attempts = 4;
+    }
+  in
+  let a = Replication.Backoff.create ~policy ~seed:99 () in
+  let b = Replication.Backoff.create ~policy ~seed:99 () in
+  let delays = Array.init 8 (fun _ -> Replication.Backoff.next_delay_s a) in
+  (* same seed, same sequence: tests can replay schedules exactly *)
+  Array.iter
+    (fun d ->
+      check_bool "deterministic given the seed" true
+        (Float.equal d (Replication.Backoff.next_delay_s b)))
+    delays;
+  (* every delay respects the jittered envelope of the capped curve *)
+  Array.iteri
+    (fun i d ->
+      let ideal = Float.min policy.max_s (0.1 *. (2. ** float_of_int i)) in
+      check_bool
+        (Printf.sprintf "delay %d within jitter envelope" i)
+        true
+        (d >= ideal *. 0.8 -. 1e-12 && d <= ideal *. 1.2 +. 1e-12))
+    delays;
+  check_bool "later delays sit at the cap" true
+    (delays.(6) <= 1.2 && delays.(6) >= 0.8);
+  check_int "attempts counted" 8 (Replication.Backoff.attempts a);
+  check_bool "exhausted after max_attempts" true
+    (Replication.Backoff.exhausted a);
+  Replication.Backoff.reset a;
+  check_int "reset clears attempts" 0 (Replication.Backoff.attempts a);
+  check_bool "reset rearms" false (Replication.Backoff.exhausted a);
+  let after_reset = Replication.Backoff.next_delay_s a in
+  check_bool "reset restarts from base" true
+    (after_reset >= 0.08 -. 1e-12 && after_reset <= 0.12 +. 1e-12);
+  (* invalid policies are refused up front *)
+  match
+    Replication.Backoff.create
+      ~policy:{ policy with Replication.Backoff.jitter = 1.5 }
+      ()
+  with
+  | _ -> Alcotest.fail "jitter >= 1 accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Source bookkeeping                                                  *)
+
+let test_source_catchup_and_acks () =
+  let s = make_synth ~k:10 ~r:5 () in
+  let a = artifact_of s in
+  let other = { meta with Serving.Artifact.metric = "power" } in
+  let b = { a with Serving.Artifact.meta = other; rev = 3 } in
+  (* behind on [a], current on [b]: only [a] ships *)
+  let plan =
+    Replication.Source.plan_catchup ~have:[ a; b ]
+      ~vector:[ (meta, a.Serving.Artifact.rev - 1); (other, 3) ]
+  in
+  (match plan with
+  | [ (m, rev, bytes) ] ->
+      check_bool "stale model planned" true (m = meta);
+      check_int "at the leader's revision" a.Serving.Artifact.rev rev;
+      (match Serving.Artifact.of_string bytes with
+      | Ok back ->
+          check_bool "snapshot bytes round-trip" true
+            (Array.for_all2 Float.equal a.Serving.Artifact.coeffs
+               back.Serving.Artifact.coeffs)
+      | Error e -> Alcotest.failf "snapshot bytes did not decode: %s" e)
+  | plan -> Alcotest.failf "expected 1 snapshot, got %d" (List.length plan));
+  (* unknown model ships; a follower that is ahead is left alone *)
+  check_int "absent model ships" 2
+    (List.length (Replication.Source.plan_catchup ~have:[ a; b ] ~vector:[]));
+  check_int "ahead follower skipped" 0
+    (List.length
+       (Replication.Source.plan_catchup ~have:[ a ]
+          ~vector:[ (meta, a.Serving.Artifact.rev + 5) ]));
+  let src : int Replication.Source.t = Replication.Source.create () in
+  check_bool "no subscribers, no min ack" true
+    (Replication.Source.min_acked src = None);
+  Replication.Source.register src 1 ~acked:10;
+  Replication.Source.register src 2 ~acked:12;
+  check_int "two subscribers" 2 (Replication.Source.count src);
+  check_bool "min ack is the slowest" true
+    (Replication.Source.min_acked src = Some 10);
+  Replication.Source.ack src 1 ~seq:15;
+  check_bool "acks advance" true
+    (Replication.Source.min_acked src = Some 12);
+  Replication.Source.ack src 1 ~seq:3;
+  check_bool "acks never move backwards" true
+    (Replication.Source.min_acked src = Some 12);
+  Replication.Source.register src 1 ~acked:0;
+  check_int "re-register keeps one slot" 2 (Replication.Source.count src);
+  check_bool "re-register resets the ack" true
+    (Replication.Source.min_acked src = Some 0);
+  Replication.Source.drop src 1;
+  check_int "drop removes" 1 (Replication.Source.count src);
+  Replication.Source.drop src 99 (* unknown: ignored *);
+  Replication.Source.drop src 2;
+  check_bool "empty again" true (Replication.Source.min_acked src = None)
+
+(* ------------------------------------------------------------------ *)
+(* Follower apply                                                      *)
+
+let test_apply_entry_and_snapshot () =
+  with_temp_root @@ fun root ->
+  let s = make_synth ~k:20 ~r:8 () in
+  let a = artifact_of s in
+  ignore (Serving.Store.save ~root a);
+  let journal = Serving.Journal.open_ ~durability:`Fast ~root () in
+  let xs, f = fresh_batch s ~tag:30 ~k:5 in
+  let entry =
+    { Serving.Journal.meta; base_rev = a.Serving.Artifact.rev; xs; f }
+  in
+  (* the reference: the same rank-1 update applied directly *)
+  let upd = Serving.Incremental.of_artifact a in
+  Serving.Incremental.add_batch upd ~xs ~f;
+  let reference = Serving.Incremental.to_artifact upd in
+  (match Replication.Apply.entry ~durability:`Fast ~root ~journal entry with
+  | Replication.Apply.Applied b ->
+      check_int "revision bumped" (a.Serving.Artifact.rev + 1)
+        b.Serving.Artifact.rev;
+      check_bool "apply is the exact incremental update" true
+        (Array.for_all2 Float.equal reference.Serving.Artifact.coeffs
+           b.Serving.Artifact.coeffs)
+  | _ -> Alcotest.fail "entry did not apply");
+  (* the journal was truncated after the durable save: nothing replays *)
+  let back, _ = Serving.Journal.read ~root in
+  check_int "journal truncated after apply" 0 (List.length back);
+  (* duplicate delivery: already past base_rev *)
+  (match Replication.Apply.entry ~durability:`Fast ~root ~journal entry with
+  | Replication.Apply.Stale rev ->
+      check_int "stale reports the local revision" (a.Serving.Artifact.rev + 1)
+        rev
+  | _ -> Alcotest.fail "duplicate was not reported stale");
+  (* a revision hole cannot apply *)
+  (match
+     Replication.Apply.entry ~durability:`Fast ~root ~journal
+       { entry with Serving.Journal.base_rev = a.Serving.Artifact.rev + 7 }
+   with
+  | Replication.Apply.Gap _ -> ()
+  | _ -> Alcotest.fail "revision hole applied");
+  (* unknown model cannot apply *)
+  (match
+     Replication.Apply.entry ~durability:`Fast ~root ~journal
+       {
+         entry with
+         Serving.Journal.meta =
+           { meta with Serving.Artifact.circuit = "ghost" };
+       }
+   with
+  | Replication.Apply.Gap _ -> ()
+  | _ -> Alcotest.fail "unknown model applied");
+  Serving.Journal.close journal;
+  (* snapshots: a newer one installs, an older one is a no-op *)
+  let newer = { reference with Serving.Artifact.rev = 50 } in
+  (match
+     Replication.Apply.snapshot ~durability:`Fast ~root
+       (Serving.Artifact.to_string Serving.Artifact.Binary newer)
+   with
+  | Ok b -> check_int "snapshot installed" 50 b.Serving.Artifact.rev
+  | Error e -> Alcotest.failf "snapshot refused: %s" e);
+  (match
+     Replication.Apply.snapshot ~durability:`Fast ~root
+       (Serving.Artifact.to_string Serving.Artifact.Binary a)
+   with
+  | Ok b ->
+      check_int "older snapshot skipped, local kept" 50 b.Serving.Artifact.rev
+  | Error e -> Alcotest.failf "older snapshot errored: %s" e);
+  match Replication.Apply.snapshot ~durability:`Fast ~root "garbage" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage snapshot installed"
+
+(* ------------------------------------------------------------------ *)
+(* In-process leader/follower pair                                     *)
+
+let with_pair ~root f =
+  (* materialize the shared pool before any server domain spawns *)
+  ignore (Parallel.Pool.run (Array.init 8 (fun i () -> i)));
+  let leader_root = Filename.concat root "leader" in
+  let follower_root = Filename.concat root "follower" in
+  let laddr = Server.Daemon.Unix_socket (Filename.concat root "l.sock") in
+  let faddr = Server.Daemon.Unix_socket (Filename.concat root "f.sock") in
+  let config =
+    { Server.Daemon.default_config with Server.Daemon.durability = `Fast }
+  in
+  let leader = Server.Daemon.create ~config ~root:leader_root laddr in
+  let ld = Domain.spawn (fun () -> Server.Daemon.run leader) in
+  let follower =
+    Server.Daemon.create ~config ~follow:laddr ~root:follower_root faddr
+  in
+  let fd = Domain.spawn (fun () -> Server.Daemon.run follower) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.Daemon.stop follower;
+      Server.Daemon.stop leader;
+      Domain.join fd;
+      Domain.join ld)
+    (fun () -> f ~leader ~follower ~laddr ~faddr)
+
+let wait_until ?(timeout_s = 15.) what cond =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if cond () then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "timed out waiting for %s" what
+    else begin
+      Unix.sleepf 0.01;
+      go ()
+    end
+  in
+  go ()
+
+let follower_seq cf =
+  match Server.Client.stats cf with
+  | Ok st -> st.Server.Client.journal_seq
+  | Error _ -> -1
+
+let test_pair_catchup_stream_and_promote () =
+  with_temp_root @@ fun root ->
+  let s = make_synth () in
+  let a = artifact_of s in
+  ignore (Serving.Store.save ~root:(Filename.concat root "leader") a);
+  with_pair ~root @@ fun ~leader:_ ~follower ~laddr ~faddr ->
+  let cl = Server.Client.connect laddr in
+  let cf = Server.Client.connect faddr in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.Client.close cf;
+      Server.Client.close cl)
+  @@ fun () ->
+  (* snapshot catch-up: the empty follower acquires the model *)
+  wait_until "snapshot catch-up" (fun () ->
+      match Server.Client.list_models cf with
+      | Ok infos ->
+          List.exists
+            (fun (i : Server.Wire.model_info) -> i.Server.Wire.meta = meta)
+            infos
+      | Error _ -> false);
+  (* roles are what they claim *)
+  let stl = ok "leader stats" (Server.Client.stats cl) in
+  check_string "leader role" "leader" stl.Server.Client.role;
+  let stf = ok "follower stats" (Server.Client.stats cf) in
+  check_string "follower role" "follower" stf.Server.Client.role;
+  (match Server.Daemon.role follower with
+  | `Follower l -> check_bool "follower names its leader" true (l = laddr)
+  | `Leader -> Alcotest.fail "follower believes it is the leader");
+  (* stream three updates through the leader, tracking the oracle *)
+  let oracle = ref a in
+  for tag = 1 to 3 do
+    let xs, f = fresh_batch s ~tag:(100 + tag) ~k:4 in
+    let rev, _ = ok "update" (Server.Client.update cl meta ~xs ~f) in
+    check_int "leader revision advances" (a.Serving.Artifact.rev + tag) rev;
+    let upd = Serving.Incremental.of_artifact !oracle in
+    Serving.Incremental.add_batch upd ~xs ~f;
+    oracle := Serving.Incremental.to_artifact upd
+  done;
+  wait_until "entry stream drain" (fun () -> follower_seq cf >= 3);
+  (* the follower answers the same 64-query fingerprint as a direct
+     Predictor over the oracle artifact — the bit-identity bar *)
+  let q =
+    let r = Polybasis.Basis.dim s.basis in
+    let qrng = Stats.Rng.create 881 in
+    Linalg.Mat.of_rows (List.init 64 (fun _ -> Stats.Rng.gaussian_vec qrng r))
+  in
+  let direct =
+    Serving.Predictor.predict (Serving.Predictor.of_artifact !oracle) q
+  in
+  let served = ok "follower predict" (Server.Client.predict cf meta q) in
+  check_string "follower fingerprint matches direct predictor"
+    (Serving.Artifact.fingerprint direct)
+    (Serving.Artifact.fingerprint served);
+  let dm, ds = ok "follower predict+std" (Server.Client.predict_with_std cf meta q) in
+  check_bool "follower means (variance path) bit-identical" true
+    (Array.for_all2 Float.equal direct dm);
+  check_bool "follower stds finite" true (Array.for_all Float.is_finite ds);
+  (* updates are refused with Not_leader naming the leader *)
+  let xs, f = fresh_batch s ~tag:200 ~k:4 in
+  (match Server.Client.update cf meta ~xs ~f with
+  | Error e ->
+      check_bool "refusal is not_leader" true
+        (e.Server.Wire.code = Server.Wire.Not_leader);
+      (match Server.Client.leader_hint e with
+      | Some l -> check_bool "refusal names the leader" true (l = laddr)
+      | None -> Alcotest.fail "not_leader carries no parseable address")
+  | Ok _ -> Alcotest.fail "follower accepted an update");
+  (* ... and update_with_redirect transparently lands it on the leader *)
+  let result, redirected = Server.Client.update_with_redirect cf meta ~xs ~f in
+  let rev, _ = ok "redirected update" result in
+  check_int "redirect applied at the leader" (a.Serving.Artifact.rev + 4) rev;
+  check_bool "redirect reported" true (redirected = Some laddr);
+  (let upd = Serving.Incremental.of_artifact !oracle in
+   Serving.Incremental.add_batch upd ~xs ~f;
+   oracle := Serving.Incremental.to_artifact upd);
+  wait_until "redirected entry drain" (fun () -> follower_seq cf >= 4);
+  (* promote: the follower flips to leader and accepts updates *)
+  let was_follower, seq = ok "promote" (Server.Client.promote cf) in
+  check_bool "was a follower" true was_follower;
+  check_int "promotion at the drained sequence" 4 seq;
+  let stf = ok "stats after promote" (Server.Client.stats cf) in
+  check_string "role after promote" "leader" stf.Server.Client.role;
+  let xs, f = fresh_batch s ~tag:300 ~k:4 in
+  let rev, _ = ok "post-promote update" (Server.Client.update cf meta ~xs ~f) in
+  check_int "promoted daemon applies updates" (a.Serving.Artifact.rev + 5) rev;
+  (* promoting a leader is a harmless no-op *)
+  let was_follower, _ = ok "re-promote" (Server.Client.promote cf) in
+  check_bool "already leader" false was_follower
+
+(* ------------------------------------------------------------------ *)
+(* Cross-process crash/failover harness                                *)
+
+(* The leader runs in a forked child (forked BEFORE any domain exists
+   in this test, so the child inherits no domain machinery); the
+   follower runs in-process. After randomized update rounds the leader
+   is SIGKILLed mid-flight, the follower is promoted, and every
+   surviving store must be byte-identical to an uncrashed in-process
+   oracle that applied the same batches. *)
+let test_crash_failover_bit_identity () =
+  Parallel.Pool.set_default_jobs 1;
+  Fun.protect ~finally:(fun () -> Parallel.Pool.set_default_jobs 0)
+  @@ fun () ->
+  with_temp_root @@ fun root ->
+  let s = make_synth () in
+  let a = artifact_of s in
+  let leader_root = Filename.concat root "leader" in
+  let follower_root = Filename.concat root "follower" in
+  ignore (Serving.Store.save ~root:leader_root a);
+  let laddr = Server.Daemon.Unix_socket (Filename.concat root "l.sock") in
+  let faddr = Server.Daemon.Unix_socket (Filename.concat root "f.sock") in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      (* child: the leader process, to be SIGKILLed *)
+      (try
+         let t = Server.Daemon.create ~root:leader_root laddr in
+         Server.Daemon.run t;
+         Unix._exit 0
+       with _ -> Unix._exit 2)
+  | leader_pid ->
+      let reaped = ref false in
+      let joined = ref false in
+      let follower =
+        Server.Daemon.create ~follow:laddr ~root:follower_root faddr
+      in
+      let fdom = Domain.spawn (fun () -> Server.Daemon.run follower) in
+      let drain_follower () =
+        if not !joined then begin
+          joined := true;
+          Server.Daemon.stop follower;
+          Domain.join fdom
+        end
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          drain_follower ();
+          if not !reaped then begin
+            Unix.kill leader_pid Sys.sigkill;
+            ignore (Unix.waitpid [] leader_pid)
+          end)
+      @@ fun () ->
+      let cl = Server.Client.connect laddr in
+      let cf = Server.Client.connect faddr in
+      Fun.protect
+        ~finally:(fun () ->
+          Server.Client.close cf;
+          Server.Client.close cl)
+      @@ fun () ->
+      (* randomized rounds: batch sizes drawn from a seeded stream *)
+      let rounds = 6 in
+      let krng = Stats.Rng.create 4242 in
+      let oracle = ref a in
+      for tag = 1 to rounds do
+        let k = 2 + (Stats.Rng.int krng 5) in
+        let xs, f = fresh_batch s ~tag:(500 + tag) ~k in
+        ignore (ok "update" (Server.Client.update cl meta ~xs ~f));
+        let upd = Serving.Incremental.of_artifact !oracle in
+        Serving.Incremental.add_batch upd ~xs ~f;
+        oracle := Serving.Incremental.to_artifact upd
+      done;
+      (* quiesce: the follower must have durably applied every round
+         before the kill, so the oracle describes both replicas *)
+      wait_until "pre-kill quiesce" (fun () -> follower_seq cf >= rounds);
+      Unix.kill leader_pid Sys.sigkill;
+      reaped := true;
+      (match snd (Unix.waitpid [] leader_pid) with
+      | Unix.WSIGNALED sg when sg = Sys.sigkill -> ()
+      | _ -> Alcotest.fail "leader did not die by SIGKILL");
+      (* the dead leader's root recovers clean (acked updates are
+         durable) and holds exactly the oracle's bytes *)
+      let report =
+        Serving.Recovery.recover ~durability:`Fast ~root:leader_root ()
+      in
+      check_bool "dead leader root recovers clean" true
+        (Serving.Recovery.clean report);
+      let oracle_bytes =
+        Serving.Artifact.to_string Serving.Artifact.Binary !oracle
+      in
+      (match Serving.Store.load ~root:leader_root meta with
+      | Ok b ->
+          check_bool "dead leader store byte-identical to oracle" true
+            (String.equal oracle_bytes
+               (Serving.Artifact.to_string Serving.Artifact.Binary b))
+      | Error e -> Alcotest.failf "dead leader store: %s" e);
+      (* failover: promote the follower and keep writing *)
+      let was_follower, seq = ok "promote" (Server.Client.promote cf) in
+      check_bool "survivor was the follower" true was_follower;
+      check_int "promoted at the quiesced sequence" rounds seq;
+      let xs, f = fresh_batch s ~tag:900 ~k:3 in
+      let rev, _ =
+        ok "post-failover update" (Server.Client.update cf meta ~xs ~f)
+      in
+      check_int "new leader applies updates"
+        (a.Serving.Artifact.rev + rounds + 1)
+        rev;
+      (let upd = Serving.Incremental.of_artifact !oracle in
+       Serving.Incremental.add_batch upd ~xs ~f;
+       oracle := Serving.Incremental.to_artifact upd);
+      (* the promoted replica serves the oracle's fingerprint *)
+      let q =
+        let r = Polybasis.Basis.dim s.basis in
+        let qrng = Stats.Rng.create 883 in
+        Linalg.Mat.of_rows
+          (List.init 64 (fun _ -> Stats.Rng.gaussian_vec qrng r))
+      in
+      let direct =
+        Serving.Predictor.predict (Serving.Predictor.of_artifact !oracle) q
+      in
+      let served = ok "promoted predict" (Server.Client.predict cf meta q) in
+      check_string "promoted replica fingerprint matches oracle"
+        (Serving.Artifact.fingerprint direct)
+        (Serving.Artifact.fingerprint served);
+      (* ... and its store is byte-identical to the oracle too (checked
+         after the daemon drains so the save is complete) *)
+      drain_follower ();
+      match Serving.Store.load ~root:follower_root meta with
+      | Ok b ->
+          check_bool "promoted store byte-identical to oracle" true
+            (String.equal
+               (Serving.Artifact.to_string Serving.Artifact.Binary !oracle)
+               (Serving.Artifact.to_string Serving.Artifact.Binary b))
+      | Error e -> Alcotest.failf "promoted store: %s" e
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  (* OCaml 5 forbids Unix.fork once ANY domain has ever been spawned in
+     the process, so every fork-based test must run before the first
+     Domain.spawn. Jobs are pinned to 1 up front (the shared pool stays
+     inline, spawning nothing) and the fork-based suites are ordered
+     before the daemon-in-a-domain e2e suite. *)
+  Parallel.Pool.set_default_jobs 1;
+  Alcotest.run "replication"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "replication request round-trips" `Quick
+            test_replication_request_roundtrips;
+          Alcotest.test_case "push round-trips and checksums" `Quick
+            test_push_roundtrips;
+          Alcotest.test_case "not_leader carries the leader address" `Quick
+            test_not_leader_roundtrip;
+        ] );
+      ( "journal-tail",
+        [
+          Alcotest.test_case "cross-process appends observed" `Quick
+            test_tail_cross_process_appends;
+          Alcotest.test_case "torn final entry parks then completes" `Quick
+            test_tail_torn_final_entry;
+          Alcotest.test_case "truncation resets the tail" `Quick
+            test_tail_truncation_resets;
+        ] );
+      ( "backoff",
+        [
+          Alcotest.test_case "deterministic capped jittered schedule" `Quick
+            test_backoff_deterministic;
+        ] );
+      ( "source",
+        [
+          Alcotest.test_case "catch-up planning and ack bookkeeping" `Quick
+            test_source_catchup_and_acks;
+        ] );
+      ( "apply",
+        [
+          Alcotest.test_case "entry apply, stale, gap, snapshot" `Quick
+            test_apply_entry_and_snapshot;
+        ] );
+      ( "failover",
+        [
+          Alcotest.test_case "SIGKILL leader, promote, byte-identity" `Quick
+            test_crash_failover_bit_identity;
+        ] );
+      ( "e2e",
+        [
+          Alcotest.test_case "catch-up, stream, bit-identity, promote" `Quick
+            test_pair_catchup_stream_and_promote;
+        ] );
+    ]

@@ -192,6 +192,8 @@ let test_response_roundtrips () =
             uptime_s = 1.5;
             requests = 42.;
             recovered_updates = 3.;
+            role = "follower";
+            journal_seq = 17;
             metrics_json = "{\"a\":1}";
           })
    with
@@ -199,6 +201,8 @@ let test_response_roundtrips () =
       check_bool "uptime" true (Float.equal 1.5 p.uptime_s);
       check_bool "requests" true (Float.equal 42. p.requests);
       check_bool "recovered" true (Float.equal 3. p.recovered_updates);
+      check_string "role" "follower" p.role;
+      check_int "journal_seq" 17 p.journal_seq;
       check_string "metrics json" "{\"a\":1}" p.metrics_json
   | _ -> Alcotest.fail "stats round-trip");
   List.iter
@@ -450,15 +454,16 @@ let test_e2e_list_models_and_stats () =
         info.Server.Wire.terms;
       check_bool "bytes positive" true (info.Server.Wire.bytes > 0)
   | infos -> Alcotest.failf "expected 1 model, got %d" (List.length infos));
-  let uptime, requests, recovered, metrics_json =
-    ok "stats" (Server.Client.stats c)
-  in
-  check_bool "uptime non-negative" true (uptime >= 0.);
-  check_bool "requests counted" true (requests >= 2.);
+  let st = ok "stats" (Server.Client.stats c) in
+  check_bool "uptime non-negative" true (st.Server.Client.uptime_s >= 0.);
+  check_bool "requests counted" true (st.Server.Client.requests >= 2.);
   check_bool "nothing recovered from a clean store" true
-    (Float.equal 0. recovered);
+    (Float.equal 0. st.Server.Client.recovered_updates);
+  check_string "a standalone daemon is the leader" "leader"
+    st.Server.Client.role;
   check_bool "metrics json is an object" true
-    (String.length metrics_json > 0 && metrics_json.[0] = '{')
+    (String.length st.Server.Client.metrics_json > 0
+    && st.Server.Client.metrics_json.[0] = '{')
 
 let test_e2e_backpressure_busy () =
   with_temp_root @@ fun root ->
@@ -660,8 +665,9 @@ let test_e2e_journal_replayed_on_create () =
       check_bool "replayed coeffs match uncrashed run" true
         (Array.for_all2 Float.equal reference.coeffs b.coeffs));
   with_client addr @@ fun c ->
-  let _, _, recovered, _ = ok "stats" (Server.Client.stats c) in
-  check_bool "stats reports the replay" true (Float.equal 1. recovered)
+  let st = ok "stats" (Server.Client.stats c) in
+  check_bool "stats reports the replay" true
+    (Float.equal 1. st.Server.Client.recovered_updates)
 
 (* ------------------------------------------------------------------ *)
 (* Loadgen percentile estimator                                        *)
