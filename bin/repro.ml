@@ -18,13 +18,21 @@
      repro promote        flip a follower daemon to leader (failover)
      repro client         one-shot wire-protocol client for serve
      repro loadgen        closed-loop load generator against serve
-                          (repeatable --endpoint fans reads out)
+                          (repeatable --endpoint fans reads out;
+                          --update-every/--stats-every mix opcodes)
+     repro events         dump a daemon's structured event ring
+     repro trace-merge    stitch per-process Chrome traces into one
+                          timeline (client + leader + follower)
      repro stats          instrumented fit: numerical health + metrics
 
    `fit`, `predict` and `update` accept --trace FILE (Chrome
    trace-event JSON, opens in chrome://tracing or Perfetto) and
    --metrics FILE (Prometheus text exposition); without the flags the
-   observability layer stays off and records nothing. *)
+   observability layer stays off and records nothing. `serve` adds
+   --http ADDR (GET /metrics, /health, /ready, /events scrape
+   endpoint), --events (structured event ring) and --trace; `client`
+   and `loadgen` accept --trace too, and their spans' trace context
+   rides the wire into the daemon (protocol v2). *)
 
 open Cmdliner
 
@@ -769,13 +777,49 @@ let follow_arg =
            traffic; refuses update with $(b,not_leader) until $(b,repro \
            promote).")
 
+let http_addr_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "http" ] ~docv:"ADDR"
+        ~doc:
+          "Serve a scrape endpoint at $(docv) (tcp://host:port or \
+           unix://path) from the same event loop: $(b,GET /metrics) \
+           (Prometheus text exposition), $(b,/health)/$(b,/healthz) \
+           (role, recovery, replication lag, queue depth as JSON), \
+           $(b,/ready) (503 until a follower finished catch-up) and \
+           $(b,/events).")
+
+let serve_events_arg =
+  Arg.(
+    value & flag
+    & info [ "events" ]
+        ~doc:
+          "Record the bounded structured event ring (promotion, recovery, \
+           subscriber churn, slow requests). Dump it with $(b,repro \
+           events), the $(b,events) wire opcode, or $(b,GET /events).")
+
+let serve_trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record server-side spans (decode, queue wait, fused kernel, \
+           reply, replication apply) and write a Chrome trace-event JSON \
+           file to $(docv) on drain. Spans join the distributed trace ids \
+           that traced clients stamp on their frames; merge per-process \
+           files with $(b,repro trace-merge).")
+
 let run_serve verbose dir socket host port queue max_batch cache jobs
-    durability metrics follow =
+    durability metrics follow http events trace =
   Parallel.Pool.set_default_jobs (Stdlib.max 0 jobs);
   let _ = verbose in
   (* metrics collection is always on for the daemon: the `stats` opcode
      reports the live registry; --metrics additionally dumps it on exit *)
   Obs.Metrics.enable ();
+  if events then Obs.Events.enable ();
+  if trace <> None then Obs.Trace.start ();
   let config =
     {
       Server.Daemon.default_config with
@@ -783,6 +827,7 @@ let run_serve verbose dir socket host port queue max_batch cache jobs
       max_batch;
       cache_capacity = Stdlib.max 1 cache;
       durability;
+      http = Option.map (parse_addr_or_die "--http") http;
     }
   in
   let follow = Option.map (parse_addr_or_die "--follow") follow in
@@ -798,6 +843,11 @@ let run_serve verbose dir socket host port queue max_batch cache jobs
     queue max_batch cache
     (Parallel.Pool.default_jobs ())
     (match durability with `Fast -> "fast" | `Durable -> "durable");
+  Option.iter
+    (fun a ->
+      Format.printf "scrape endpoint at %a (/metrics /health /ready /events)@."
+        Server.Daemon.pp_address a)
+    (Server.Daemon.http_address t);
   (match Server.Daemon.role t with
   | `Leader -> ()
   | `Follower leader ->
@@ -807,6 +857,12 @@ let run_serve verbose dir socket host port queue max_batch cache jobs
   Format.printf "ready; SIGTERM/SIGINT drains and exits@.";
   Server.Daemon.run t;
   Obs.Metrics.disable ();
+  Option.iter
+    (fun file ->
+      Obs.Trace.stop ();
+      Obs.Trace.write_file file;
+      Printf.eprintf "trace: -> %s\n%!" file)
+    trace;
   Option.iter
     (fun file ->
       let oc = open_out file in
@@ -825,13 +881,17 @@ let serve_cmd =
      promote), bounded request queue with immediate $(b,busy) \
      backpressure, per-request deadlines, LRU model cache, graceful \
      drain on SIGTERM/SIGINT. With $(b,--follow) the daemon runs as a \
-     read-only replication follower."
+     read-only replication follower. $(b,--http) adds a scrape endpoint \
+     (Prometheus /metrics, /health, /ready, /events), $(b,--trace) \
+     records distributed-trace spans, $(b,--events) the structured \
+     event ring."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run_serve $ verbose_arg $ dir_arg $ socket_arg $ host_arg
       $ port_arg $ queue_arg $ max_batch_arg $ cache_arg $ jobs_arg
-      $ durability_arg ~default:`Durable $ metrics_arg $ follow_arg)
+      $ durability_arg ~default:`Durable $ metrics_arg $ follow_arg
+      $ http_addr_arg $ serve_events_arg $ serve_trace_arg)
 
 let meta_of (scale_name, (cfg : Experiments.Config.t)) circuit metric_opt =
   let tb = testbench_of cfg circuit in
@@ -850,7 +910,7 @@ let client_action_arg =
     value
     & pos 0 string "ping"
     & info [] ~docv:"ACTION"
-        ~doc:"ping | models | stats | predict | predict-std | update")
+        ~doc:"ping | models | stats | events | predict | predict-std | update")
 
 let die_error what (e : Server.Wire.error) =
   Printf.eprintf "%s: %s: %s\n" what
@@ -885,7 +945,11 @@ let die_transport msg =
   Printf.eprintf "%s\n(is the daemon running? start one: repro serve)\n" msg;
   exit 1
 
-let rec run_client common _verbose socket host port deadline_ms action =
+let rec run_client common _verbose socket host port deadline_ms trace action
+    =
+  (* --trace wraps the call in a cli span and stamps its (trace, span)
+     context on the wire frame — the daemon's spans join this trace *)
+  with_obs ~trace ~metrics:None "repro_client" @@ fun () ->
   try run_client_exn common socket host port deadline_ms action
   with Server.Client.Transport msg -> die_transport msg
 
@@ -917,6 +981,10 @@ and run_client_exn common socket host port deadline_ms action =
                 i.Server.Wire.samples i.Server.Wire.terms i.Server.Wire.dim
                 (human_bytes i.Server.Wire.bytes))
             infos)
+  | "events" -> (
+      match Server.Client.events c with
+      | Error e -> die_error "events" e
+      | Ok json -> print_endline json)
   | "stats" -> (
       match Server.Client.stats c with
       | Error e -> die_error "stats" e
@@ -974,7 +1042,8 @@ and run_client_exn common socket host port deadline_ms action =
             info.Server.Wire.rev rev samples)
   | s ->
       Printf.eprintf
-        "unknown action %S (want ping|models|stats|predict|predict-std|update)\n"
+        "unknown action %S (want \
+         ping|models|stats|events|predict|predict-std|update)\n"
         s;
       exit 2
 
@@ -1002,7 +1071,7 @@ let client_cmd =
   Cmd.v (Cmd.info "client" ~doc)
     Term.(
       const run_client $ client_common $ verbose_arg $ socket_arg $ host_arg
-      $ port_arg $ deadline_arg $ client_action_arg)
+      $ port_arg $ deadline_arg $ trace_arg $ client_action_arg)
 
 let run_promote socket host port =
   let addr = address_of socket host port in
@@ -1073,9 +1142,31 @@ let endpoint_arg =
            and every $(docv) — point them at a leader and its followers \
            to measure replicated read fan-out.")
 
+let update_every_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "update-every" ] ~docv:"N"
+        ~doc:
+          "Turn every $(docv)-th request of each connection into an \
+           $(b,update) carrying a few random observation rows (mutates \
+           the served model — scratch stores only; updates must reach \
+           the leader). 0 disables. The report then breaks latency down \
+           per opcode.")
+
+let stats_every_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "stats-every" ] ~docv:"N"
+        ~doc:
+          "Mix one $(b,stats) request into every $(docv) requests of \
+           each connection. 0 disables.")
+
 let run_loadgen common _verbose socket host port connections duration batch
-    with_std deadline_ms json_file endpoints =
+    with_std deadline_ms update_every stats_every trace json_file endpoints =
   let _, _, meta = common in
+  with_obs ~trace ~metrics:None "repro_loadgen" @@ fun () ->
   let addrs =
     address_of socket host port
     :: List.map (parse_addr_or_die "--endpoint") endpoints
@@ -1083,7 +1174,7 @@ let run_loadgen common _verbose socket host port connections duration batch
   let summary =
     try
       Server.Loadgen.run ~connections ~duration_s:duration ~batch ~with_std
-        ?deadline_ms ~meta addrs
+        ?deadline_ms ~update_every ~stats_every ~meta addrs
     with
     | Server.Client.Transport msg -> die_transport msg
     | Failure msg ->
@@ -1103,13 +1194,160 @@ let loadgen_cmd =
   let doc =
     "Closed-loop multi-connection load generator against $(b,repro serve): \
      measures sustained throughput and latency percentiles and records \
-     them as a bench-style JSON file."
+     them as a bench-style JSON file. $(b,--update-every)/\
+     $(b,--stats-every) mix write and admin traffic into the predict \
+     load and report per-opcode latency; $(b,--trace) records client \
+     spans whose context propagates into the daemon's trace."
   in
   Cmd.v (Cmd.info "loadgen" ~doc)
     Term.(
       const run_loadgen $ client_common $ verbose_arg $ socket_arg $ host_arg
       $ port_arg $ connections_arg $ duration_arg $ batch_arg $ with_std_arg
-      $ deadline_arg $ loadgen_json_arg $ endpoint_arg)
+      $ deadline_arg $ update_every_arg $ stats_every_arg $ trace_arg
+      $ loadgen_json_arg $ endpoint_arg)
+
+(* ------------------------------------------------------------------ *)
+(* `repro events`: dump a daemon's structured event ring.              *)
+
+let events_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Write the event dump to $(docv) instead of stdout.")
+
+let run_events socket host port json_file =
+  let addr = address_of socket host port in
+  try
+    let c = Server.Client.connect ~retries:0 addr in
+    Fun.protect ~finally:(fun () -> Server.Client.close c) @@ fun () ->
+    match Server.Client.events c with
+    | Error e -> die_error "events" e
+    | Ok json -> (
+        match json_file with
+        | None -> print_endline json
+        | Some file ->
+            let oc = open_out file in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () ->
+                output_string oc json;
+                output_char oc '\n');
+            Printf.printf "events -> %s\n" file)
+  with Server.Client.Transport msg -> die_transport msg
+
+let events_cmd =
+  let doc =
+    "Dump the structured event ring of the daemon at the given address \
+     (start it with $(b,repro serve --events)): promotions, recovery, \
+     subscriber connect/drop, link up/down, snapshot installs and slow \
+     requests, as JSON with a total-emitted counter and drop count."
+  in
+  Cmd.v (Cmd.info "events" ~doc)
+    Term.(
+      const run_events $ socket_arg $ host_arg $ port_arg $ events_json_arg)
+
+(* ------------------------------------------------------------------ *)
+(* `repro trace-merge`: stitch per-process Chrome traces into one
+   timeline. Every process of a fleet runs on the same host clock
+   (CLOCK_MONOTONIC via Obs.Clock), so timestamps are directly
+   comparable and no shifting is needed — each input file just becomes
+   its own pid row, and the shared trace_id args let the viewer (and
+   greps) follow one request across client, leader and follower.       *)
+
+let merge_out_arg =
+  Arg.(
+    value
+    & opt string "merged-trace.json"
+    & info [ "o"; "output" ] ~docv:"FILE"
+        ~doc:"Write the merged Chrome trace to $(docv).")
+
+let merge_inputs_arg =
+  Arg.(
+    non_empty
+    & pos_all file []
+    & info [] ~docv:"TRACE.json"
+        ~doc:
+          "Per-process trace files (from $(b,--trace) on repro \
+           serve/client/loadgen), in any order.")
+
+let run_trace_merge out inputs =
+  let read_file f = In_channel.with_open_bin f In_channel.input_all in
+  let merged = ref [] (* reverse order *) in
+  let spans = ref 0 in
+  List.iteri
+    (fun i file ->
+      let pid = i + 1 in
+      let doc =
+        match Serving.Json.of_string (read_file file) with
+        | Ok d -> d
+        | Error msg ->
+            Printf.eprintf "%s: parse error: %s\n" file msg;
+            exit 1
+      in
+      let evs =
+        match Serving.Json.member "traceEvents" doc with
+        | Some (Serving.Json.Arr l) -> l
+        | _ ->
+            Printf.eprintf "%s: no traceEvents array\n" file;
+            exit 1
+      in
+      (* label the row with the source file *)
+      merged :=
+        Serving.Json.Obj
+          [
+            ("name", Serving.Json.Str "process_name");
+            ("ph", Serving.Json.Str "M");
+            ("pid", Serving.Json.Num (float_of_int pid));
+            ( "args",
+              Serving.Json.Obj
+                [ ("name", Serving.Json.Str (Filename.basename file)) ] );
+          ]
+        :: !merged;
+      List.iter
+        (fun ev ->
+          incr spans;
+          let retagged =
+            match ev with
+            | Serving.Json.Obj fields ->
+                Serving.Json.Obj
+                  (List.map
+                     (fun (k, v) ->
+                       if k = "pid" then
+                         (k, Serving.Json.Num (float_of_int pid))
+                       else (k, v))
+                     fields)
+            | v -> v
+          in
+          merged := retagged :: !merged)
+        evs)
+    inputs;
+  let doc =
+    Serving.Json.Obj
+      [
+        ("displayTimeUnit", Serving.Json.Str "ms");
+        ("traceEvents", Serving.Json.Arr (List.rev !merged));
+      ]
+  in
+  let oc = open_out_bin out in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Serving.Json.to_string doc));
+  Printf.printf "merged %d event(s) from %d trace(s) -> %s\n" !spans
+    (List.length inputs) out
+
+let trace_merge_cmd =
+  let doc =
+    "Merge per-process Chrome trace files (client, leader, follower) \
+     into one timeline: each input becomes its own process row; the \
+     $(b,trace_id) args stamped by wire-level trace propagation let \
+     chrome://tracing or Perfetto follow one update from the client \
+     span through the daemon's queue/kernel spans to the follower's \
+     replication apply. All processes must share a host (one monotonic \
+     clock)."
+  in
+  Cmd.v (Cmd.info "trace-merge" ~doc)
+    Term.(const run_trace_merge $ merge_out_arg $ merge_inputs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* `repro stats`: one fully instrumented fit + batch predict, followed
@@ -1237,5 +1475,7 @@ let () =
             promote_cmd;
             client_cmd;
             loadgen_cmd;
+            events_cmd;
+            trace_merge_cmd;
             stats_cmd;
           ]))

@@ -1,0 +1,125 @@
+(* Bounded ring buffer of structured operational events (promotions,
+   recovery, subscriber churn, slow requests). Off by default, like the
+   other sinks; the daemon enables it at startup. *)
+
+type event = {
+  seq : int;
+  ts : float; (* wall-clock seconds *)
+  kind : string;
+  fields : (string * Trace.value) list;
+}
+
+let on = ref false
+
+let default_capacity = 512
+
+let mu = Mutex.create ()
+
+(* Ring state, all guarded by [mu]: [ring] has [capacity] slots, [head]
+   is the next write position, [seq] counts every emit (so
+   [seq - length] is the number of events that fell off the ring). *)
+let capacity = ref default_capacity
+
+let ring : event option array ref = ref (Array.make default_capacity None)
+
+let head = ref 0
+
+let seq = ref 0
+
+let enabled () = !on
+
+let enable () = on := true
+
+let disable () = on := false
+
+let clear () =
+  Mutex.lock mu;
+  ring := Array.make !capacity None;
+  head := 0;
+  seq := 0;
+  Mutex.unlock mu
+
+let set_capacity n =
+  let n = Stdlib.max 1 n in
+  Mutex.lock mu;
+  capacity := n;
+  ring := Array.make n None;
+  head := 0;
+  Mutex.unlock mu
+
+let emit ?(fields = []) kind =
+  if !on then begin
+    let ts = Clock.wall () in
+    Mutex.lock mu;
+    let ev = { seq = !seq; ts; kind; fields } in
+    seq := !seq + 1;
+    !ring.(!head) <- Some ev;
+    head := (!head + 1) mod !capacity;
+    Mutex.unlock mu
+  end
+
+(* Oldest first. *)
+let snapshot () =
+  Mutex.lock mu;
+  let cap = !capacity and r = !ring and h = !head in
+  let out = ref [] in
+  for i = 1 to cap do
+    match r.((h + cap - i) mod cap) with
+    | Some ev -> out := ev :: !out
+    | None -> ()
+  done;
+  let total = !seq in
+  Mutex.unlock mu;
+  (!out, total)
+
+let emitted () = snd (snapshot ())
+
+let dropped () =
+  let evs, total = snapshot () in
+  total - List.length evs
+
+let buf_value b = function
+  | Trace.Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Trace.Int v -> Buffer.add_string b (string_of_int v)
+  | Trace.Float v ->
+      if Float.is_finite v then Buffer.add_string b (Printf.sprintf "%.17g" v)
+      else Buffer.add_string b "null"
+  | Trace.Str s ->
+      Buffer.add_char b '"';
+      String.iter
+        (fun c ->
+          match c with
+          | '"' -> Buffer.add_string b "\\\""
+          | '\\' -> Buffer.add_string b "\\\\"
+          | '\n' -> Buffer.add_string b "\\n"
+          | '\r' -> Buffer.add_string b "\\r"
+          | '\t' -> Buffer.add_string b "\\t"
+          | c when Char.code c < 0x20 ->
+              Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+          | c -> Buffer.add_char b c)
+        s;
+      Buffer.add_char b '"'
+
+let to_json () =
+  let evs, total = snapshot () in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"emitted\":%d,\"dropped\":%d,\"events\":[" total
+       (total - List.length evs));
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"seq\":%d,\"ts\":%.6f,\"kind\":" ev.seq ev.ts);
+      buf_value b (Trace.Str ev.kind);
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_char b ',';
+          buf_value b (Trace.Str k);
+          Buffer.add_char b ':';
+          buf_value b v)
+        ev.fields;
+      Buffer.add_char b '}')
+    evs;
+  Buffer.add_string b "]}";
+  Buffer.contents b

@@ -1,0 +1,45 @@
+(** Structured operational event log: a bounded ring buffer of
+    JSON-renderable events (promotion, recovery, subscriber
+    connect/drop, slow requests).
+
+    Off by default — {!emit} is a no-op until {!enable}, so
+    uninstrumented runs record nothing and pay one load and branch.
+    The ring keeps the newest [capacity] events (default 512); older
+    ones are dropped and only counted. *)
+
+type event = {
+  seq : int;  (** Monotonic emit counter, 0-based, survives drops. *)
+  ts : float;  (** Wall-clock seconds at emit time. *)
+  kind : string;
+  fields : (string * Trace.value) list;
+}
+
+val enabled : unit -> bool
+
+val enable : unit -> unit
+
+val disable : unit -> unit
+
+val clear : unit -> unit
+(** Drop all buffered events and reset the emit counter. *)
+
+val set_capacity : int -> unit
+(** Resize the ring (clamped to >= 1); buffered events are dropped. *)
+
+val emit : ?fields:(string * Trace.value) list -> string -> unit
+(** Append one event. Field keys should avoid the reserved JSON keys
+    [seq], [ts] and [kind]. Safe from any domain. *)
+
+val snapshot : unit -> event list * int
+(** Buffered events oldest-first, plus the total emitted count (which
+    exceeds the list length once the ring has wrapped). *)
+
+val emitted : unit -> int
+
+val dropped : unit -> int
+
+val to_json : unit -> string
+(** The ring as
+    [{"emitted":n,"dropped":n,"events":[{"seq":..,"ts":..,"kind":..,
+    ...fields}, ...]}], oldest event first. Non-finite floats render
+    as [null]. *)

@@ -8,7 +8,12 @@ type payload =
       mutable count : int;
     }
 
-type metric = { name : string; help : string; payload : payload }
+type metric = {
+  name : string;
+  labels : (string * string) list; (* sorted by label name *)
+  help : string;
+  payload : payload;
+}
 
 type counter = metric
 
@@ -34,11 +39,6 @@ let locked f =
   Mutex.lock mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
 
-(* Registry: lookup table plus insertion order for stable exposition. *)
-let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
-
-let order : metric list ref = ref [] (* newest first *)
-
 let valid_name name =
   String.length name > 0
   && (match name.[0] with
@@ -51,14 +51,106 @@ let valid_name name =
          | _ -> false)
        name
 
+(* Map an arbitrary string onto the Prometheus metric-name charset:
+   every invalid byte becomes '_', and a leading digit gets an
+   underscore prefix. Empty input becomes "_". *)
+let sanitize_name s =
+  if s = "" then "_"
+  else begin
+    let b = Bytes.of_string s in
+    Bytes.iteri
+      (fun i c ->
+        match c with
+        (* digits are kept everywhere; a leading one is prefixed below *)
+        | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' | '0' .. '9' -> ignore i
+        | _ -> Bytes.set b i '_')
+      b;
+    let s' = Bytes.to_string b in
+    match s'.[0] with '0' .. '9' -> "_" ^ s' | _ -> s'
+  end
+
+let valid_label_name name =
+  (* like metric names but without ':' (reserved for exporters) *)
+  String.length name > 0
+  && (match name.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (fun c ->
+         match c with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+         | _ -> false)
+       name
+
+(* Text-format 0.0.4 label-value escaping: backslash, double quote and
+   newline must be escaped; everything else passes through verbatim. *)
+let escape_label_value v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let render_labels = function
+  | [] -> ""
+  | ls ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+             ls)
+      ^ "}"
+
+(* Registry: series lookup by (name + canonical labels), family kinds
+   for type-mismatch detection, and insertion order for stable
+   exposition. *)
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let family_kind : (string, string) Hashtbl.t = Hashtbl.create 64
+
+let order : metric list ref = ref [] (* newest first *)
+
 let kind_label = function
   | Counter _ -> "counter"
   | Gauge _ -> "gauge"
   | Hist _ -> "histogram"
 
-let register name help payload =
+let series_key name labels = name ^ render_labels labels
+
+let canonical_labels name labels =
+  let labels =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+  in
+  let rec dup = function
+    | (a, _) :: ((b, _) :: _ as tl) -> if a = b then Some a else dup tl
+    | _ -> None
+  in
+  (match dup labels with
+  | Some k ->
+      invalid_arg (Printf.sprintf "Metrics: %s: duplicate label %S" name k)
+  | None -> ());
+  List.iter
+    (fun (k, _) ->
+      if not (valid_label_name k) then
+        invalid_arg (Printf.sprintf "Metrics: %s: invalid label name %S" name k))
+    labels;
+  labels
+
+let register name labels help payload =
+  let labels = canonical_labels name labels in
+  (match payload with
+  | Hist _ when List.mem_assoc "le" labels ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %s: label \"le\" is reserved on histograms"
+           name)
+  | _ -> ());
   locked @@ fun () ->
-  match Hashtbl.find_opt registry name with
+  let key = series_key name labels in
+  match Hashtbl.find_opt registry key with
   | Some m ->
       if kind_label m.payload <> kind_label payload then
         invalid_arg
@@ -68,14 +160,22 @@ let register name help payload =
   | None ->
       if not (valid_name name) then
         invalid_arg (Printf.sprintf "Metrics: invalid metric name %S" name);
-      let m = { name; help; payload } in
-      Hashtbl.add registry name m;
+      (match Hashtbl.find_opt family_kind name with
+      | Some k when k <> kind_label payload ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %s already registered as a %s" name k)
+      | Some _ -> ()
+      | None -> Hashtbl.add family_kind name (kind_label payload));
+      let m = { name; labels; help; payload } in
+      Hashtbl.add registry key m;
       order := m :: !order;
       m
 
-let counter ?(help = "") name = register name help (Counter { total = 0. })
+let counter ?(help = "") ?(labels = []) name =
+  register name labels help (Counter { total = 0. })
 
-let gauge ?(help = "") name = register name help (Gauge { value = 0.; seen = false })
+let gauge ?(help = "") ?(labels = []) name =
+  register name labels help (Gauge { value = 0.; seen = false })
 
 let latency_buckets =
   [|
@@ -83,7 +183,7 @@ let latency_buckets =
     5e-3; 1e-2; 2.5e-2; 5e-2; 0.1; 0.25; 0.5; 1.; 2.5; 5.; 10.;
   |]
 
-let histogram ?(help = "") ?(buckets = latency_buckets) name =
+let histogram ?(help = "") ?(labels = []) ?(buckets = latency_buckets) name =
   if Array.length buckets = 0 then
     invalid_arg "Metrics.histogram: empty bucket list";
   Array.iteri
@@ -93,7 +193,7 @@ let histogram ?(help = "") ?(buckets = latency_buckets) name =
       if i > 0 && b <= buckets.(i - 1) then
         invalid_arg "Metrics.histogram: bounds must be strictly increasing")
     buckets;
-  register name help
+  register name labels help
     (Hist
        {
          bounds = Array.copy buckets;
@@ -160,15 +260,29 @@ let histogram_sum m = match m.payload with Hist h -> h.sum | _ -> 0.
 
 let histogram_count m = match m.payload with Hist h -> h.count | _ -> 0
 
-let find_gauge name =
-  match Hashtbl.find_opt registry name with
+let metric_labels m = m.labels
+
+let find ?(labels = []) name =
+  Hashtbl.find_opt registry (series_key name (canonical_labels name labels))
+
+let find_gauge ?labels name =
+  match find ?labels name with
   | Some ({ payload = Gauge _; _ } as m) -> Some m
   | _ -> None
 
-let find_counter name =
-  match Hashtbl.find_opt registry name with
+let find_counter ?labels name =
+  match find ?labels name with
   | Some ({ payload = Counter _; _ } as m) -> Some m
   | _ -> None
+
+let family ?(prefix = false) name =
+  let matches m =
+    m.name = name
+    || prefix
+       && String.length m.name > String.length name
+       && String.sub m.name 0 (String.length name) = name
+  in
+  List.filter matches (List.rev !order)
 
 let reset () =
   locked @@ fun () ->
@@ -198,38 +312,80 @@ let fmt_float f =
     Printf.sprintf "%.0f" f
   else Printf.sprintf "%.12g" f
 
+(* HELP text: the spec only requires escaping backslash and newline. *)
+let escape_help s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* All series of a family must form one contiguous block under a single
+   HELP/TYPE header, so the exposition walks families in
+   first-registration order and series within a family in registration
+   order. *)
 let to_prometheus () =
+  let series = all () in
+  let families =
+    List.fold_left
+      (fun acc m -> if List.mem m.name acc then acc else m.name :: acc)
+      [] series
+    |> List.rev
+  in
   let buf = Buffer.create 2048 in
   List.iter
-    (fun m ->
-      if m.help <> "" then
-        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" m.name m.help);
+    (fun fam ->
+      let members = List.filter (fun m -> m.name = fam) series in
+      let first = List.hd members in
+      let help =
+        match List.find_opt (fun m -> m.help <> "") members with
+        | Some m -> m.help
+        | None -> ""
+      in
+      if help <> "" then
+        Buffer.add_string buf
+          (Printf.sprintf "# HELP %s %s\n" fam (escape_help help));
       Buffer.add_string buf
-        (Printf.sprintf "# TYPE %s %s\n" m.name (kind_label m.payload));
-      (match m.payload with
-      | Counter c ->
-          Buffer.add_string buf
-            (Printf.sprintf "%s %s\n" m.name (fmt_float c.total))
-      | Gauge g ->
-          Buffer.add_string buf
-            (Printf.sprintf "%s %s\n" m.name (fmt_float g.value))
-      | Hist h ->
-          let cum = ref 0 in
-          Array.iteri
-            (fun i bound ->
-              cum := !cum + h.counts.(i);
+        (Printf.sprintf "# TYPE %s %s\n" fam (kind_label first.payload));
+      List.iter
+        (fun m ->
+          match m.payload with
+          | Counter c ->
               Buffer.add_string buf
-                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" m.name
-                   (fmt_float bound) !cum))
-            h.bounds;
-          cum := !cum + h.counts.(Array.length h.bounds);
-          Buffer.add_string buf
-            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" m.name !cum);
-          Buffer.add_string buf
-            (Printf.sprintf "%s_sum %s\n" m.name (fmt_float h.sum));
-          Buffer.add_string buf
-            (Printf.sprintf "%s_count %d\n" m.name h.count)))
-    (all ());
+                (Printf.sprintf "%s%s %s\n" m.name (render_labels m.labels)
+                   (fmt_float c.total))
+          | Gauge g ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s%s %s\n" m.name (render_labels m.labels)
+                   (fmt_float g.value))
+          | Hist h ->
+              let bucket_labels le =
+                render_labels (m.labels @ [ ("le", le) ])
+              in
+              let cum = ref 0 in
+              Array.iteri
+                (fun i bound ->
+                  cum := !cum + h.counts.(i);
+                  Buffer.add_string buf
+                    (Printf.sprintf "%s_bucket%s %d\n" m.name
+                       (bucket_labels (fmt_float bound)) !cum))
+                h.bounds;
+              cum := !cum + h.counts.(Array.length h.bounds);
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket%s %d\n" m.name
+                   (bucket_labels "+Inf") !cum);
+              Buffer.add_string buf
+                (Printf.sprintf "%s_sum%s %s\n" m.name
+                   (render_labels m.labels) (fmt_float h.sum));
+              Buffer.add_string buf
+                (Printf.sprintf "%s_count%s %d\n" m.name
+                   (render_labels m.labels) h.count))
+        members)
+    families;
   Buffer.contents buf
 
 let json_num f =
@@ -238,6 +394,24 @@ let json_num f =
     Printf.sprintf "\"%s\""
       (if Float.is_nan f then "nan" else if f > 0. then "inf" else "-inf")
 
+let json_str s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
 let to_json () =
   let buf = Buffer.create 2048 in
   Buffer.add_string buf "{\"metrics\":[";
@@ -245,8 +419,18 @@ let to_json () =
     (fun i m ->
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf
-        (Printf.sprintf "{\"name\":\"%s\",\"type\":\"%s\"," m.name
+        (Printf.sprintf "{\"name\":%s,\"type\":\"%s\"," (json_str m.name)
            (kind_label m.payload));
+      if m.labels <> [] then begin
+        Buffer.add_string buf "\"labels\":{";
+        List.iteri
+          (fun j (k, v) ->
+            if j > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf
+              (Printf.sprintf "%s:%s" (json_str k) (json_str v)))
+          m.labels;
+        Buffer.add_string buf "},"
+      end;
       (match m.payload with
       | Counter c ->
           Buffer.add_string buf

@@ -25,17 +25,42 @@ val disable : unit -> unit
 
 val enabled : unit -> bool
 
-val counter : ?help:string -> string -> counter
-(** Monotone counter. @raise Invalid_argument if the name is already
-    registered as a different metric type or is not a valid Prometheus
-    metric name. *)
+val counter : ?help:string -> ?labels:(string * string) list -> string -> counter
+(** Monotone counter. [labels] identify one series within the metric
+    family; re-registering the same (name, labels) pair returns the
+    existing series, so dynamic per-model series can be requested on
+    every use. Label values may contain any bytes — they are escaped at
+    exposition time. @raise Invalid_argument if the name is already
+    registered as a different metric type, is not a valid Prometheus
+    metric name (see {!sanitize_name}), or a label name is invalid or
+    duplicated. *)
 
-val gauge : ?help:string -> string -> gauge
+val gauge : ?help:string -> ?labels:(string * string) list -> string -> gauge
 
-val histogram : ?help:string -> ?buckets:float array -> string -> histogram
+val histogram :
+  ?help:string ->
+  ?labels:(string * string) list ->
+  ?buckets:float array ->
+  string ->
+  histogram
 (** Cumulative histogram. [buckets] are the upper bounds (strictly
     increasing; an implicit [+Inf] bucket is always appended); the
-    default is {!latency_buckets}. *)
+    default is {!latency_buckets}. The label name ["le"] is reserved.
+    @raise Invalid_argument as {!counter}, or on bad buckets. *)
+
+val sanitize_name : string -> string
+(** Map an arbitrary string onto the metric-name charset
+    [[a-zA-Z_:][a-zA-Z0-9_:]*]: invalid bytes become ['_'], a leading
+    digit gains a ['_'] prefix, [""] becomes ["_"]. Idempotent, and
+    [valid_name (sanitize_name s)] always holds. *)
+
+val valid_name : string -> bool
+(** Whether [s] is a well-formed Prometheus metric name as-is. *)
+
+val escape_label_value : string -> string
+(** Text-format 0.0.4 label-value escaping: backslash, double quote and
+    newline become two-character escapes. Applied automatically by
+    {!to_prometheus}. *)
 
 val latency_buckets : float array
 (** Log-scale latency bounds in seconds: 1-2.5-5 per decade from 1 us
@@ -67,15 +92,30 @@ val histogram_sum : histogram -> float
 
 val histogram_count : histogram -> int
 
-val find_gauge : string -> gauge option
+val metric_labels : counter -> (string * string) list
+(** The series' labels in canonical (sorted) order. [counter], [gauge]
+    and [histogram] are the same underlying type, so this works on any
+    of them. *)
 
-val find_counter : string -> counter option
+val find_gauge : ?labels:(string * string) list -> string -> gauge option
+(** Look up one series; [labels] defaults to the unlabeled series. *)
+
+val find_counter : ?labels:(string * string) list -> string -> counter option
+
+val family : ?prefix:bool -> string -> counter list
+(** Every registered series whose metric name equals [name] (or, with
+    [~prefix:true], starts with it), in registration order. *)
 
 val reset : unit -> unit
 (** Zero every registered metric (registrations are kept). *)
 
 val to_prometheus : unit -> string
-(** Prometheus text exposition format 0.0.4. *)
+(** Prometheus text exposition format 0.0.4: families in
+    first-registration order, each emitted as one HELP/TYPE header (the
+    first non-empty help wins) followed by every series of the family;
+    histograms expose cumulative [_bucket{le=...}] lines including
+    [+Inf], then [_sum] and [_count]; label values are escaped per
+    {!escape_label_value}. *)
 
 val to_json : unit -> string
 (** [{"metrics":[...]}] with one object per metric. *)

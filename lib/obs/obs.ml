@@ -1,7 +1,8 @@
 (** Observability facade: span tracing ({!Trace}), the metrics registry
-    ({!Metrics}) and the shared clock ({!Clock}).
+    ({!Metrics}), the structured event log ({!Events}) and the shared
+    clock ({!Clock}).
 
-    Both sinks are off by default; instrumented code guards any extra
+    All sinks are off by default; instrumented code guards any extra
     work (timing reads, condition-number estimates) behind {!live} so
     the default path stays a no-op and numerical results are
     bit-identical with observability on or off. *)
@@ -9,5 +10,6 @@
 module Clock = Clock
 module Trace = Trace
 module Metrics = Metrics
+module Events = Events
 
-let live () = Trace.enabled () || Metrics.enabled ()
+let live () = Trace.enabled () || Metrics.enabled () || Events.enabled ()

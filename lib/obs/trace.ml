@@ -2,6 +2,7 @@ type value = Bool of bool | Int of int | Float of float | Str of string
 
 type span = {
   id : int;
+  trace : int; (* 0 = no distributed trace id *)
   name : string;
   cat : string;
   start_us : float;
@@ -14,6 +15,7 @@ type span = {
 type event =
   | Complete of {
       id : int;
+      trace : int;
       name : string;
       cat : string;
       start_us : float;
@@ -77,6 +79,25 @@ let merged_dropped = ref 0
 
 let next_id = Atomic.make 0
 
+(* Distributed trace ids must not collide across the processes of one
+   serving fleet, so the per-process sequence is seeded from the pid and
+   the wall clock rather than starting at zero. Kept in the positive
+   62-bit range so the value survives the wire codec's i64 round-trip
+   as an OCaml [int]. *)
+let trace_seed =
+  lazy
+    ((Unix.getpid () * 0x9e3779b1)
+     lxor int_of_float (Unix.gettimeofday () *. 1e6)
+    land max_int)
+
+let next_trace = Atomic.make 0
+
+let fresh_trace_id () =
+  let n = 1 + Atomic.fetch_and_add next_trace 1 in
+  1 + ((Lazy.force trace_seed + (n * 0x100000001b3)) land (max_int lsr 1))
+
+let alloc_id () = 1 + Atomic.fetch_and_add next_id 1
+
 let enabled () = !on
 
 let clear () =
@@ -120,6 +141,7 @@ let flush_lane () =
 let dummy =
   {
     id = 0;
+    trace = 0;
     name = "";
     cat = "";
     start_us = 0.;
@@ -131,18 +153,35 @@ let dummy =
 
 let set_attr sp key v = if sp.live then sp.attrs <- (key, v) :: sp.attrs
 
-let begin_span ?(cat = "bmf") ?(attrs = []) name =
+let span_trace sp = sp.trace
+
+let span_id sp = sp.id
+
+(* [?trace]/[?parent] inject a remote context (a client span carried in
+   a wire frame): they only apply to root spans — once a local parent is
+   on the stack the child inherits its trace and links to it. A root
+   span with no inherited or injected trace mints a fresh trace id, so
+   every top-level operation is a joinable trace root. *)
+let begin_span ?(cat = "bmf") ?(attrs = []) ?trace ?parent name =
   if not !on then dummy
   else begin
     let ln = lane () in
-    let parent, depth =
+    let parent, depth, trace =
       match ln.stack with
-      | [] -> (None, 0)
-      | p :: _ -> (Some p.id, p.depth + 1)
+      | [] ->
+          let trace =
+            match trace with
+            | Some t when t > 0 -> t
+            | _ -> fresh_trace_id ()
+          in
+          let parent = match parent with Some p when p > 0 -> Some p | _ -> None in
+          (parent, 0, trace)
+      | p :: _ -> (Some p.id, p.depth + 1, p.trace)
     in
     let sp =
       {
-        id = 1 + Atomic.fetch_and_add next_id 1;
+        id = alloc_id ();
+        trace;
         name;
         cat;
         start_us = Clock.now_us ();
@@ -167,6 +206,7 @@ let end_span sp =
       (Complete
          {
            id = sp.id;
+           trace = sp.trace;
            name = sp.name;
            cat = sp.cat;
            start_us = sp.start_us;
@@ -177,11 +217,43 @@ let end_span sp =
          })
   end
 
-let with_span ?cat ?attrs name f =
+let with_span ?cat ?attrs ?trace ?parent name f =
   if not !on then f dummy
   else
-    let sp = begin_span ?cat ?attrs name in
+    let sp = begin_span ?cat ?attrs ?trace ?parent name in
     Fun.protect ~finally:(fun () -> end_span sp) (fun () -> f sp)
+
+let current () =
+  if not !on then None
+  else
+    match (lane ()).stack with
+    | [] -> None
+    | sp :: _ -> Some (sp.trace, sp.id)
+
+(* Retro-active span: the daemon measures phases (queue wait, a fused
+   kernel call shared by a batch) whose extent is only known after the
+   fact, and records them with explicit timestamps instead of a stack
+   discipline. [?id] lets the caller pre-allocate the span id so that
+   children recorded earlier can already point at it. *)
+let complete ?(cat = "bmf") ?(attrs = []) ?(trace = 0) ?parent ?id
+    ~start_us ~dur_us name =
+  if !on then begin
+    let id = match id with Some i -> i | None -> alloc_id () in
+    let parent = match parent with Some p when p > 0 -> Some p | _ -> None in
+    record (lane ())
+      (Complete
+         {
+           id;
+           trace;
+           name;
+           cat;
+           start_us;
+           dur_us;
+           parent;
+           depth = 0;
+           attrs;
+         })
+  end
 
 let instant ?(cat = "log") ?(attrs = []) name =
   if !on then
@@ -256,7 +328,8 @@ let add_ts buf t = Buffer.add_string buf (Printf.sprintf "%.3f" t)
 
 let add_event buf ~tid ev =
   match ev with
-  | Complete { id; name; cat; start_us; dur_us; parent; depth; attrs } ->
+  | Complete { id; trace; name; cat; start_us; dur_us; parent; depth; attrs }
+    ->
       Buffer.add_string buf "{\"name\":";
       add_str buf name;
       Buffer.add_string buf ",\"cat\":";
@@ -268,7 +341,8 @@ let add_event buf ~tid ev =
       Buffer.add_string buf (Printf.sprintf ",\"pid\":1,\"tid\":%d,\"args\":" tid);
       let extra =
         [ ("span_id", Int id); ("depth", Int depth) ]
-        @ match parent with Some p -> [ ("parent_id", Int p) ] | None -> []
+        @ (match parent with Some p -> [ ("parent_id", Int p) ] | None -> [])
+        @ if trace <> 0 then [ ("trace_id", Int trace) ] else []
       in
       add_args buf attrs extra;
       Buffer.add_char buf '}'

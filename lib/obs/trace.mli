@@ -28,6 +28,7 @@ type span
 type event =
   | Complete of {
       id : int;
+      trace : int;  (** Distributed trace id; 0 when the span had none. *)
       name : string;
       cat : string;
       start_us : float;
@@ -55,13 +56,58 @@ val clear : unit -> unit
 (** Drop all recorded events. *)
 
 val with_span :
-  ?cat:string -> ?attrs:(string * value) list -> string -> (span -> 'a) -> 'a
+  ?cat:string ->
+  ?attrs:(string * value) list ->
+  ?trace:int ->
+  ?parent:int ->
+  string ->
+  (span -> 'a) ->
+  'a
 (** [with_span name f] runs [f] inside a span named [name]. The span is
     closed (and recorded) even if [f] raises. When tracing is off this
-    is [f dummy]. *)
+    is [f dummy].
+
+    [?trace]/[?parent] inject a remote context (e.g. a client span id
+    carried in a wire frame) and apply only when the span is a root on
+    this domain's stack; nested spans inherit trace and parent from the
+    enclosing span. A root span with neither minted context nor an
+    injection gets a fresh {!fresh_trace_id}. *)
 
 val set_attr : span -> string -> value -> unit
 (** Attach an attribute to an open span; no-op on the dummy span. *)
+
+val span_trace : span -> int
+(** The span's distributed trace id (0 on the dummy span). *)
+
+val span_id : span -> int
+
+val current : unit -> (int * int) option
+(** [(trace_id, span_id)] of the innermost open span on the calling
+    domain, for stamping outgoing wire frames. [None] when tracing is
+    off or no span is open. *)
+
+val fresh_trace_id : unit -> int
+(** A new positive 62-bit trace id, unique across the processes of one
+    fleet with overwhelming probability (seeded from pid + wall clock). *)
+
+val alloc_id : unit -> int
+(** Reserve a span id without opening a span — pair with {!complete}'s
+    [?id] so children recorded first can point at a parent recorded
+    later. *)
+
+val complete :
+  ?cat:string ->
+  ?attrs:(string * value) list ->
+  ?trace:int ->
+  ?parent:int ->
+  ?id:int ->
+  start_us:float ->
+  dur_us:float ->
+  string ->
+  unit
+(** Record a finished span with explicit timestamps, bypassing the span
+    stack — for phases (queue wait, a fused batch kernel) whose extent
+    is only known after the fact. No-op when tracing is off. *)
 
 val instant : ?cat:string -> ?attrs:(string * value) list -> string -> unit
 (** Record a zero-duration event (log line, progress tick). *)
@@ -91,7 +137,8 @@ val export_json : unit -> string
 (** The buffer as a Chrome trace-event JSON document:
     [{"displayTimeUnit":"ms","traceEvents":[...]}] with ["X"] phase
     entries for spans (args carry the attributes plus [span_id],
-    [parent_id], [depth]) and ["i"] entries for instants. *)
+    [parent_id], [depth] and, when set, [trace_id]) and ["i"] entries
+    for instants. *)
 
 val write_file : string -> unit
 (** {!export_json} to a file. *)

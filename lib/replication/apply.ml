@@ -32,6 +32,16 @@ let entry ?(durability = `Durable) ~root ~journal (e : Serving.Journal.entry) =
           (Printf.sprintf "artifact rev %d behind entry base %d" art.rev
              e.base_rev)
       else begin
+        (* Calibration telemetry scores the shipped observations against
+           the PRE-update posterior — the same signal the leader
+           records, so a follower's scrape page shows posterior quality
+           even when no client ever queries it. [record_update] is a
+           no-op unless metrics are on, keeping the apply path
+           bit-identical for uninstrumented runs. *)
+        if Obs.Metrics.enabled () then
+          Serving.Calibration.record_update
+            ~predictor:(Serving.Predictor.of_artifact art) ~meta:e.meta
+            ~xs:e.xs ~f:e.f;
         (* The durable commit point: once the append returns, a crash
            anywhere below is repaired by Recovery's replay at restart. *)
         Serving.Journal.append journal e;

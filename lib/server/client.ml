@@ -150,7 +150,16 @@ let roundtrip t ?deadline_ms req =
   if t.closed then raise (Transport "client is closed");
   let id = t.next_id in
   t.next_id <- id + 1;
-  send_all t (Wire.encode_request ~id ?deadline_ms req);
+  let op = Wire.opcode_name (Wire.opcode_of_request req) in
+  (* each call runs inside a client span; the span's (trace, id) rides
+     the frame header so the server's spans become its children. When
+     tracing is off [current] is [None] and the frame stays v1. *)
+  Obs.Trace.with_span ~cat:"client"
+    ~attrs:[ ("op", Obs.Trace.Str op) ]
+    ("cli_" ^ op)
+  @@ fun _span ->
+  let trace = Obs.Trace.current () in
+  send_all t (Wire.encode_request ~id ?deadline_ms ?trace req);
   (* responses arrive in request order on this connection; skip any
      stray frame with an older id (e.g. after an abandoned call) *)
   let rec await () =
@@ -220,6 +229,12 @@ let stats t =
         { uptime_s; requests; recovered_updates; role; journal_seq; metrics_json })
     ->
       Ok { uptime_s; requests; recovered_updates; role; journal_seq; metrics_json }
+  | Ok _ -> unexpected ()
+  | Error e -> Error e
+
+let events t =
+  match roundtrip t Wire.Events_req with
+  | Ok (Wire.Events_payload { json }) -> Ok json
   | Ok _ -> unexpected ()
   | Error e -> Error e
 

@@ -5,7 +5,13 @@
     frame (by request id) arrives. Server-side refusals — backpressure
     ([Busy]), expired deadlines, unknown models — come back as
     [Error Wire.error]; transport and protocol breakage raise
-    {!Transport}. *)
+    {!Transport}.
+
+    When [Obs.Trace] is recording, every call runs inside a [cli_<op>]
+    span whose (trace id, span id) context is stamped on the outgoing
+    frame (protocol v2) — the daemon's request spans, and for updates
+    the follower's apply span, join the same distributed trace. With
+    tracing off, frames stay v1 and nothing is recorded. *)
 
 exception Transport of string
 (** The connection died or the peer broke framing. *)
@@ -81,6 +87,11 @@ type server_stats = {
 }
 
 val stats : t -> (server_stats, Wire.error) result
+
+val events : t -> (string, Wire.error) result
+(** The daemon's structured event ring as JSON (see
+    [Obs.Events.to_json]): promotions, recovery, subscriber churn, slow
+    requests. *)
 
 val promote : t -> (bool * int, Wire.error) result
 (** Asks the daemon to become leader; returns (was it a follower,

@@ -55,11 +55,18 @@ type config = {
   cache_capacity : int;
   batch_delay_s : float;
   durability : Serving.Store.durability;
+  http : address option;
+      (* scrape endpoint (GET /metrics, /health, /ready, /events) served
+         from a second listener in the same select loop *)
+  slow_request_s : float;
+      (* requests slower than this (admission to reply) emit a
+         [slow_request] event when the event log is enabled *)
 }
 
 let default_config =
   { queue_capacity = 256; max_batch = 4096; cache_capacity = 8;
-    batch_delay_s = 0.; durability = `Durable }
+    batch_delay_s = 0.; durability = `Durable; http = None;
+    slow_request_s = 0.25 }
 
 (* ------------------------------------------------------------------ *)
 (* Metrics.                                                            *)
@@ -121,6 +128,35 @@ let h_admin =
     ~help:"ping/list_models/stats handling latency (seconds)"
     "bmf_server_admin_seconds"
 
+let m_http_requests =
+  Obs.Metrics.counter ~help:"Scrape-endpoint HTTP requests served"
+    "bmf_server_http_requests_total"
+
+(* Follower-side lag, complementing the leader-side
+   [bmf_repl_lag_entries] gauge registered by [Replication.Source]. *)
+let g_follower_lag_entries =
+  Obs.Metrics.gauge
+    ~help:"Leader commits not yet applied by this follower (0 on the leader)"
+    "bmf_repl_follower_lag_entries"
+
+let g_apply_delay =
+  Obs.Metrics.gauge
+    ~help:
+      "Seconds between the leader's commit and this follower's apply, for \
+       the newest applied entry"
+    "bmf_repl_apply_delay_seconds"
+
+(* One labeled series per role, 1 on the active one — the Prometheus
+   idiom for enum state, so dashboards can plot failovers. *)
+let set_role_metric role =
+  let g r =
+    Obs.Metrics.gauge ~help:"Daemon replication role (1 on the active series)"
+      ~labels:[ ("role", r) ]
+      "bmf_server_role"
+  in
+  Obs.Metrics.set (g "leader") (if role = `Leader then 1. else 0.);
+  Obs.Metrics.set (g "follower") (if role = `Leader then 0. else 1.)
+
 (* ------------------------------------------------------------------ *)
 (* Connections.                                                        *)
 
@@ -128,8 +164,9 @@ let h_admin =
    request/response traffic; a client that sends [Subscribe] becomes a
    [Subscriber] and starts receiving pushes; [Link_pending]/[Link] are
    the follower's own outbound connection to its leader (non-blocking
-   connect in flight / established). *)
-type peer = Client | Subscriber | Link_pending | Link
+   connect in flight / established); [Http] is a scrape-endpoint
+   connection speaking HTTP/1.1 instead of the wire protocol. *)
+type peer = Client | Subscriber | Link_pending | Link | Http
 
 type conn = {
   fd : Unix.file_descr;
@@ -165,6 +202,15 @@ type pending = {
   admitted_s : float;
   expires_s : float;  (* [infinity] = no deadline *)
   work : work;
+  (* Distributed-trace context, all 0 when tracing is off: the trace id
+     (inherited from the client's frame or freshly minted), the client's
+     span id (the server span's parent), the pre-allocated id of this
+     request's server span, and the admission timestamp in trace
+     units. *)
+  p_trace : int;
+  p_span : int;
+  p_req_span : int;
+  admitted_us : float;
 }
 
 type cached = {
@@ -185,6 +231,8 @@ type t = {
   root : string;
   listen_fd : Unix.file_descr;
   addr : address;
+  http_fd : Unix.file_descr option;
+  http_addr : address option;  (* resolved (post-bind) scrape address *)
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
   stop_flag : bool Atomic.t;
@@ -210,9 +258,23 @@ type t = {
   mutable link_next_s : float;  (* monotonic: next connect attempt *)
   link_backoff : Replication.Backoff.t;
   snap : (Serving.Artifact.meta, snap_acc) Hashtbl.t;
+  (* --- observability --- *)
+  mutable last_status_s : float;
+      (* monotonic instant of the last leader heartbeat broadcast *)
+  mutable leader_seq : int;  (* follower: newest leader commit seq seen *)
+  mutable last_apply_delay : float;
+      (* follower: leader-commit-to-local-apply delay of the newest
+         applied entry, seconds ([nan] until one applies) *)
+  mutable catch_up_done : bool;
+      (* follower: a Repl_status arrived on the current link, i.e. the
+         initial snapshot/entry catch-up completed at least once *)
+  model_apply : (Serving.Artifact.meta, int * float) Hashtbl.t;
+      (* follower: per-model (last applied leader seq, apply delay s) *)
 }
 
 let address t = t.addr
+
+let http_address t = t.http_addr
 
 let role t = match t.leader with None -> `Leader | Some a -> `Follower a
 
@@ -242,6 +304,34 @@ let sockaddr_of = function
       (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
   | Unix_socket path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
 
+(* Bind + listen on [addr], returning the fd and the resolved address
+   (a requested TCP port 0 resolves to the kernel-assigned port). *)
+let bind_listener addr =
+  (match addr with
+  | Unix_socket path when Sys.file_exists path -> Unix.unlink path
+  | _ -> ());
+  let domain, sockaddr = sockaddr_of addr in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (try
+     (match addr with
+     | Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+     | Unix_socket _ -> ());
+     Unix.bind fd sockaddr;
+     Unix.listen fd 128;
+     Unix.set_nonblock fd
+   with e ->
+     Unix.close fd;
+     raise e);
+  let addr =
+    match addr with
+    | Unix_socket _ as a -> a
+    | Tcp (host, _) -> (
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, port) -> Tcp (host, port)
+        | _ -> addr)
+  in
+  (fd, addr)
+
 let create ?(config = default_config) ?follow ~root addr =
   (* 0 is deliberately legal: an admin-only drain mode in which every
      predict/update answers Busy while ping/list_models/stats still
@@ -262,37 +352,36 @@ let create ?(config = default_config) ?follow ~root addr =
   let journal =
     Serving.Journal.open_ ~durability:config.durability ~root ()
   in
-  (match addr with
-  | Unix_socket path when Sys.file_exists path -> Unix.unlink path
-  | _ -> ());
-  let domain, sockaddr = sockaddr_of addr in
-  let listen_fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
-  (try
-     (match addr with
-     | Tcp _ -> Unix.setsockopt listen_fd Unix.SO_REUSEADDR true
-     | Unix_socket _ -> ());
-     Unix.bind listen_fd sockaddr;
-     Unix.listen listen_fd 128;
-     Unix.set_nonblock listen_fd
-   with e ->
-     Unix.close listen_fd;
-     raise e);
-  let addr =
-    match addr with
-    | Unix_socket _ as a -> a
-    | Tcp (host, _) -> (
-        match Unix.getsockname listen_fd with
-        | Unix.ADDR_INET (_, port) -> Tcp (host, port)
-        | _ -> addr)
+  Obs.Events.emit "recovery"
+    ~fields:
+      [
+        ("replayed", Obs.Trace.Int recovery.Serving.Recovery.replayed);
+        ("discarded", Obs.Trace.Int recovery.Serving.Recovery.discarded);
+        ( "corrupt",
+          Obs.Trace.Int (List.length recovery.Serving.Recovery.corrupt) );
+      ];
+  let listen_fd, addr = bind_listener addr in
+  let http_fd, http_addr =
+    match config.http with
+    | None -> (None, None)
+    | Some haddr -> (
+        match bind_listener haddr with
+        | fd, resolved -> (Some fd, Some resolved)
+        | exception e ->
+            (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+            raise e)
   in
   let wake_r, wake_w = Unix.pipe ~cloexec:true () in
   Unix.set_nonblock wake_r;
   Unix.set_nonblock wake_w;
+  set_role_metric (match follow with None -> `Leader | Some _ -> `Follower);
   {
     config;
     root;
     listen_fd;
     addr;
+    http_fd;
+    http_addr;
     wake_r;
     wake_w;
     stop_flag = Atomic.make false;
@@ -315,6 +404,11 @@ let create ?(config = default_config) ?follow ~root addr =
     link_next_s = 0.;  (* connect on the first loop tick *)
     link_backoff = Replication.Backoff.create ();
     snap = Hashtbl.create 4;
+    last_status_s = 0.;
+    leader_seq = 0;
+    last_apply_delay = nan;
+    catch_up_done = false;
+    model_apply = Hashtbl.create 4;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -390,18 +484,23 @@ let close_conn t conn =
     Obs.Metrics.set g_connections (float_of_int (List.length t.conns));
     match conn.peer with
     | Subscriber ->
+        Obs.Events.emit "subscriber_drop"
+          ~fields:[ ("commit_seq", Obs.Trace.Int t.commit_seq) ];
         Replication.Source.drop t.source conn;
         Replication.Source.note_lag t.source ~seq:t.commit_seq
     | Link | Link_pending ->
         (* leader gone (or refused us): discard any half-reassembled
            snapshot and schedule a backed-off reconnect; the fresh
            subscription's revision vector makes catch-up self-healing *)
+        if conn.peer = Link then
+          Obs.Events.emit "link_down"
+            ~fields:[ ("commit_seq", Obs.Trace.Int t.commit_seq) ];
         if (match t.link with Some l -> l == conn | None -> false) then
           t.link <- None;
         Hashtbl.reset t.snap;
         t.link_next_s <-
           Obs.Clock.now_s () +. Replication.Backoff.next_delay_s t.link_backoff
-    | Client -> ()
+    | Client | Http -> ()
   end
 
 let send conn frame_bytes =
@@ -562,8 +661,18 @@ let handle_subscribe t conn ~id vector =
     send conn
       (Wire.encode_push
          (Wire.Repl_status
-            { seq = t.commit_seq; snapshots = List.length snapshots }));
+            {
+              seq = t.commit_seq;
+              snapshots = List.length snapshots;
+              ts = Obs.Clock.wall ();
+            }));
     conn.peer <- Subscriber;
+    Obs.Events.emit "subscriber_connect"
+      ~fields:
+        [
+          ("snapshots", Obs.Trace.Int (List.length snapshots));
+          ("commit_seq", Obs.Trace.Int t.commit_seq);
+        ];
     Replication.Source.register t.source conn ~acked:t.commit_seq;
     Replication.Source.note_lag t.source ~seq:t.commit_seq
   end
@@ -571,16 +680,23 @@ let handle_subscribe t conn ~id vector =
 (* Fan one committed update out to every live subscriber. A subscriber
    that stopped draining its socket is dropped rather than buffered
    without bound — on reconnect the revision vector routes it through
-   snapshot catch-up, so nothing is lost. *)
-let ship_commit t entry =
+   snapshot catch-up, so nothing is lost. [trace] is the originating
+   update's distributed-trace context: it rides the push header so the
+   follower's apply span joins the client's trace. The commit wall
+   timestamp rides the body and feeds the follower's lag gauge. *)
+let ship_commit ?(trace = (0, 0)) t entry =
   t.commit_seq <- t.commit_seq + 1;
   (match Replication.Source.subscribers t.source with
   | [] -> ()
   | subs -> (
       match
-        Wire.encode_push
+        Wire.encode_push ~trace
           (Wire.Journal_entry
-             { seq = t.commit_seq; entry = Serving.Journal.encode_entry entry })
+             {
+               seq = t.commit_seq;
+               ts = Obs.Clock.wall ();
+               entry = Serving.Journal.encode_entry entry;
+             })
       with
       | exception _ ->
           (* unframeable entry (pathologically large update): force the
@@ -622,6 +738,22 @@ let admit t conn (frame : Wire.frame) work =
       if frame.Wire.frame_deadline_ms <= 0 then infinity
       else admitted_s +. (float_of_int frame.Wire.frame_deadline_ms /. 1e3)
     in
+    (* The client's trace context is kept (and later forwarded on the
+       replication push) even when local tracing is off — an untraced
+       relay must not break the client-to-follower trace. With tracing
+       on, the server span's id is pre-allocated so the
+       queue/kernel/reply children recorded before the request finishes
+       can already name their parent, and an untraced client's request
+       gets a freshly minted trace id. *)
+    let p_span = frame.Wire.frame_span in
+    let admitted_us, p_trace, p_req_span =
+      if Obs.Trace.enabled () then
+        ( Obs.Clock.now_us (),
+          (if frame.Wire.frame_trace > 0 then frame.Wire.frame_trace
+           else Obs.Trace.fresh_trace_id ()),
+          Obs.Trace.alloc_id () )
+      else (0., frame.Wire.frame_trace, 0)
+    in
     Queue.add
       {
         p_conn = conn;
@@ -629,6 +761,10 @@ let admit t conn (frame : Wire.frame) work =
         admitted_s;
         expires_s;
         work;
+        p_trace;
+        p_span;
+        p_req_span;
+        admitted_us;
       }
       t.pending;
     Obs.Metrics.set g_queue_depth (float_of_int (Queue.length t.pending))
@@ -692,6 +828,10 @@ let parse_frames conn ~dispatch ~on_bad =
 let link_ack conn seq =
   send conn (Wire.encode_request ~id:0 (Wire.Repl_ack_req { seq }))
 
+let note_follower_lag t =
+  Obs.Metrics.set g_follower_lag_entries
+    (float_of_int (max 0 (t.leader_seq - t.commit_seq)))
+
 let apply_snapshot_chunk t conn ~meta ~rev ~total ~offset ~data =
   if total > max_snapshot_bytes then close_conn t conn
   else begin
@@ -721,7 +861,16 @@ let apply_snapshot_chunk t conn ~meta ~rev ~total ~offset ~data =
               ~root:t.root (Buffer.contents a.s_buf)
           with
           | Error _ -> close_conn t conn
-          | Ok art -> refresh_model t meta art
+          | Ok art ->
+              Obs.Events.emit "snapshot_install"
+                ~fields:
+                  [
+                    ( "model",
+                      Obs.Trace.Str (Serving.Calibration.model_label meta) );
+                    ("rev", Obs.Trace.Int art.Serving.Artifact.rev);
+                    ("bytes", Obs.Trace.Int a.s_total);
+                  ];
+              refresh_model t meta art
         end
   end
 
@@ -735,26 +884,61 @@ let on_link_frame t conn (frame : Wire.frame) =
     | Error _ -> close_conn t conn
     | Ok (Wire.Snapshot_chunk { meta; rev; total; offset; data }) ->
         apply_snapshot_chunk t conn ~meta ~rev ~total ~offset ~data
-    | Ok (Wire.Journal_entry { seq; entry }) -> (
+    | Ok (Wire.Journal_entry { seq; ts; entry }) -> (
         match Serving.Journal.decode_entry entry with
         | Error _ -> close_conn t conn
         | Ok e -> (
+            let apply_t0 =
+              if Obs.Trace.enabled () then Obs.Clock.now_us () else 0.
+            in
             match
               Replication.Apply.entry ~durability:t.config.durability
                 ~root:t.root ~journal:t.journal e
             with
             | Replication.Apply.Applied art ->
                 t.commit_seq <- seq;
+                if seq > t.leader_seq then t.leader_seq <- seq;
+                (* lag in seconds: leader commit wall time -> local apply *)
+                let delay =
+                  if ts > 0. then Obs.Clock.wall () -. ts else nan
+                in
+                t.last_apply_delay <- delay;
+                Hashtbl.replace t.model_apply e.Serving.Journal.meta
+                  (seq, delay);
+                if Float.is_finite delay then
+                  Obs.Metrics.set g_apply_delay delay;
+                note_follower_lag t;
+                (* the apply span joins the originating update's trace:
+                   the push header carried the leader's server-span id *)
+                if Obs.Trace.enabled () then
+                  Obs.Trace.complete ~cat:"repl"
+                    ~trace:frame.Wire.frame_trace
+                    ~parent:frame.Wire.frame_span
+                    ~attrs:[ ("seq", Obs.Trace.Int seq) ]
+                    ~start_us:apply_t0
+                    ~dur_us:(Obs.Clock.now_us () -. apply_t0)
+                    "repl_apply";
                 refresh_model t e.Serving.Journal.meta art;
                 link_ack conn seq
             | Replication.Apply.Stale _ ->
                 if seq > t.commit_seq then t.commit_seq <- seq;
+                if seq > t.leader_seq then t.leader_seq <- seq;
+                note_follower_lag t;
                 link_ack conn seq
             | Replication.Apply.Gap _ -> close_conn t conn))
-    | Ok (Wire.Repl_status { seq; snapshots = _ }) ->
+    | Ok (Wire.Repl_status { seq; snapshots = _; ts = _ }) ->
         (* catch-up complete: the snapshots embody every commit <= seq *)
         if seq > t.commit_seq then t.commit_seq <- seq;
+        if seq > t.leader_seq then t.leader_seq <- seq;
+        t.catch_up_done <- true;
+        note_follower_lag t;
         link_ack conn seq
+    | Ok (Wire.Repl_heartbeat { seq; ts = _ }) ->
+        (* liveness only: a heartbeat promises nothing about shipping,
+           so it refreshes the lag gauges but is never acked and never
+           advances the applied sequence *)
+        if seq > t.leader_seq then t.leader_seq <- seq;
+        note_follower_lag t
 
 let link_dispatch t conn frame =
   try on_link_frame t conn frame with _ -> close_conn t conn
@@ -774,7 +958,18 @@ let drain_link t =
 let on_frame t conn (frame : Wire.frame) =
   t.served <- t.served + 1;
   Obs.Metrics.inc m_requests;
-  match Wire.decode_request frame with
+  let decode_t0 =
+    if Obs.Trace.enabled () && frame.Wire.frame_trace > 0 then
+      Obs.Clock.now_us ()
+    else 0.
+  in
+  let decoded = Wire.decode_request frame in
+  if decode_t0 > 0. then
+    Obs.Trace.complete ~cat:"server" ~trace:frame.Wire.frame_trace
+      ~parent:frame.Wire.frame_span ~start_us:decode_t0
+      ~dur_us:(Obs.Clock.now_us () -. decode_t0)
+      "srv_decode";
+  match decoded with
   | Error message ->
       (* not speaking our dialect: answer once, then hang up *)
       reply t conn ~id:frame.Wire.frame_id
@@ -817,6 +1012,10 @@ let on_frame t conn (frame : Wire.frame) =
             Replication.Source.ack t.source conn ~seq;
             Replication.Source.note_lag t.source ~seq:t.commit_seq
           end
+      | Wire.Events_req ->
+          Obs.Metrics.time h_admin (fun () ->
+              reply t conn ~id:frame.Wire.frame_id
+                (Wire.Events_payload { json = Obs.Events.to_json () }))
       | Wire.Promote_req ->
           Obs.Metrics.time h_admin (fun () ->
               match t.leader with
@@ -833,11 +1032,176 @@ let on_frame t conn (frame : Wire.frame) =
                   (match t.link with
                   | Some l -> close_conn t l
                   | None -> ());
+                  let was = t.leader in
                   t.leader <- None;
                   Hashtbl.reset t.snap;
+                  set_role_metric `Leader;
+                  Obs.Events.emit "promotion"
+                    ~fields:
+                      [
+                        ( "old_leader",
+                          Obs.Trace.Str
+                            (match was with
+                            | Some a -> address_to_string a
+                            | None -> "") );
+                        ("commit_seq", Obs.Trace.Int t.commit_seq);
+                      ];
                   reply t conn ~id:frame.Wire.frame_id
                     (Wire.Promoted
                        { was_follower = true; journal_seq = t.commit_seq })))
+
+(* ------------------------------------------------------------------ *)
+(* Scrape endpoint: a minimal HTTP/1.1 responder for GET /metrics,
+   /health, /healthz, /ready and /events, served from the same select
+   loop as the wire protocol — no threads, no parser beyond the request
+   line. Every response closes the connection.                         *)
+
+let http_request_limit = 8192
+
+let http_response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+     close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 32 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_num f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+(* Readiness: a leader is ready the moment it serves (recovery completed
+   in [create]); a follower is ready once the current link's catch-up
+   finished, i.e. it has seen a [Repl_status] and is applying live. *)
+let is_ready t =
+  match t.leader with
+  | None -> not (stopping t)
+  | Some _ -> (not (stopping t)) && t.catch_up_done && t.link <> None
+
+let health_json t =
+  let models =
+    Hashtbl.fold
+      (fun meta (seq, delay) acc ->
+        Printf.sprintf
+          "{\"model\":\"%s\",\"applied_seq\":%d,\"lag_entries\":%d,\
+           \"lag_seconds\":%s}"
+          (json_escape (Serving.Calibration.model_label meta))
+          seq
+          (max 0 (t.leader_seq - seq))
+          (json_num delay)
+        :: acc)
+      t.model_apply []
+  in
+  Printf.sprintf
+    "{\"role\":\"%s\",\"ready\":%b,\"uptime_s\":%s,\"queue_depth\":%d,\
+     \"connections\":%d,\"commit_seq\":%d,\"leader_seq\":%d,\
+     \"repl_lag_entries\":%d,\"repl_lag_seconds\":%s,\
+     \"recovery\":{\"replayed\":%d,\"discarded\":%d,\"corrupt\":%d},\
+     \"models\":[%s]}"
+    (match t.leader with None -> "leader" | Some _ -> "follower")
+    (is_ready t)
+    (json_num (now_s () -. t.started_mono))
+    (Queue.length t.pending)
+    (List.length t.conns)
+    t.commit_seq t.leader_seq
+    (max 0 (t.leader_seq - t.commit_seq))
+    (json_num t.last_apply_delay)
+    t.recovery.Serving.Recovery.replayed t.recovery.Serving.Recovery.discarded
+    (List.length t.recovery.Serving.Recovery.corrupt)
+    (String.concat "," models)
+
+let http_route t request_line =
+  match String.split_on_char ' ' request_line with
+  | meth :: target :: _ -> (
+      if meth <> "GET" then
+        http_response ~status:"405 Method Not Allowed"
+          ~content_type:"text/plain" "only GET is supported\n"
+      else
+        let path =
+          match String.index_opt target '?' with
+          | Some i -> String.sub target 0 i
+          | None -> target
+        in
+        match path with
+        | "/metrics" ->
+            http_response ~status:"200 OK"
+              ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+              (Obs.Metrics.to_prometheus ())
+        | "/health" | "/healthz" ->
+            http_response ~status:"200 OK" ~content_type:"application/json"
+              (health_json t)
+        | "/ready" ->
+            http_response
+              ~status:
+                (if is_ready t then "200 OK" else "503 Service Unavailable")
+              ~content_type:"application/json" (health_json t)
+        | "/events" ->
+            http_response ~status:"200 OK" ~content_type:"application/json"
+              (Obs.Events.to_json ())
+        | _ ->
+            http_response ~status:"404 Not Found" ~content_type:"text/plain"
+              "not found\n")
+  | _ ->
+      http_response ~status:"400 Bad Request" ~content_type:"text/plain"
+        "bad request\n"
+
+(* Serve one request per connection: wait for the blank line ending the
+   headers, answer, flush, close. Headers past [http_request_limit]
+   bytes are refused — a scrape request fits in a fraction of that. *)
+let handle_http t conn =
+  let data = Buffer.contents conn.inbuf in
+  let have_headers =
+    let len = String.length data in
+    let rec scan i =
+      if i + 3 < len then
+        if
+          data.[i] = '\r' && data.[i + 1] = '\n' && data.[i + 2] = '\r'
+          && data.[i + 3] = '\n'
+        then true
+        else if data.[i] = '\n' && data.[i + 1] = '\n' then true
+        else scan (i + 1)
+      else if i + 1 < len then data.[i] = '\n' && data.[i + 1] = '\n'
+      else false
+    in
+    scan 0
+  in
+  if have_headers then begin
+    Obs.Metrics.inc m_http_requests;
+    let request_line =
+      match String.index_opt data '\n' with
+      | Some i ->
+          let l = String.sub data 0 i in
+          if l <> "" && l.[String.length l - 1] = '\r' then
+            String.sub l 0 (String.length l - 1)
+          else l
+      | None -> data
+    in
+    send conn
+      (match http_route t request_line with
+      | s -> s
+      | exception _ ->
+          http_response ~status:"500 Internal Server Error"
+            ~content_type:"text/plain" "internal error\n");
+    conn.close_after_flush <- true
+  end
+  else if String.length data > http_request_limit then begin
+    send conn
+      (http_response ~status:"431 Request Header Fields Too Large"
+         ~content_type:"text/plain" "request too large\n");
+    conn.close_after_flush <- true
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Incoming bytes -> frames.                                           *)
@@ -845,6 +1209,7 @@ let on_frame t conn (frame : Wire.frame) =
 let read_conn t conn =
   slurp t conn;
   match conn.peer with
+  | Http -> if not conn.closed then handle_http t conn
   | Link_pending -> () (* nothing to parse until the connect completes *)
   | Link ->
       parse_frames conn
@@ -863,10 +1228,10 @@ let read_conn t conn =
             (Wire.Error { Wire.code = Wire.Protocol; message });
           c.close_after_flush <- true)
 
-let accept_loop t =
+let accept_loop ?(peer = Client) t lfd =
   let continue = ref true in
   while !continue do
-    match Unix.accept ~cloexec:true t.listen_fd with
+    match Unix.accept ~cloexec:true lfd with
     | fd, _ ->
         Unix.set_nonblock fd;
         let conn =
@@ -879,7 +1244,7 @@ let accept_loop t =
             out_off = 0;
             close_after_flush = false;
             closed = false;
-            peer = Client;
+            peer;
           }
         in
         t.conns <- conn :: t.conns;
@@ -900,9 +1265,40 @@ let opcode_histogram = function
   | Wpredict { with_std = true; _ } -> h_predict_var
   | Wupdate _ -> h_update
 
+let work_name = function
+  | Wpredict { with_std = false; _ } -> "predict"
+  | Wpredict { with_std = true; _ } -> "predict_var"
+  | Wupdate _ -> "update"
+
 let finish t (p : pending) resp =
-  Obs.Metrics.observe (opcode_histogram p.work) (now_s () -. p.admitted_s);
-  reply t p.p_conn ~id:p.p_id resp
+  let done_s = now_s () in
+  Obs.Metrics.observe (opcode_histogram p.work) (done_s -. p.admitted_s);
+  if Obs.Trace.enabled () && p.p_req_span > 0 then begin
+    let r0 = Obs.Clock.now_us () in
+    reply t p.p_conn ~id:p.p_id resp;
+    let r1 = Obs.Clock.now_us () in
+    Obs.Trace.complete ~cat:"server" ~trace:p.p_trace ~parent:p.p_req_span
+      ~start_us:r0 ~dur_us:(r1 -. r0) "srv_reply";
+    (* the whole request, admission to reply, child of the client span *)
+    Obs.Trace.complete ~cat:"server" ~trace:p.p_trace ~parent:p.p_span
+      ~id:p.p_req_span
+      ~attrs:[ ("op", Obs.Trace.Str (work_name p.work)) ]
+      ~start_us:p.admitted_us
+      ~dur_us:(Float.max 0. (r1 -. p.admitted_us))
+      "srv_request"
+  end
+  else reply t p.p_conn ~id:p.p_id resp;
+  if
+    Obs.Events.enabled ()
+    && done_s -. p.admitted_s > t.config.slow_request_s
+  then
+    Obs.Events.emit "slow_request"
+      ~fields:
+        [
+          ("op", Obs.Trace.Str (work_name p.work));
+          ("id", Obs.Trace.Int p.p_id);
+          ("seconds", Obs.Trace.Float (done_s -. p.admitted_s));
+        ]
 
 (* One group = same model, same opcode. Requests whose dimensionality
    does not match are answered individually; the rest fuse into blocked
@@ -968,6 +1364,9 @@ let run_predict_group t meta with_std members =
               batch;
             Obs.Metrics.inc m_microbatches;
             Obs.Metrics.set g_batch_points (float_of_int total);
+            let k0 =
+              if Obs.Trace.enabled () then Obs.Clock.now_us () else 0.
+            in
             match
               if with_std then
                 let means, stds =
@@ -979,6 +1378,18 @@ let run_predict_group t meta with_std members =
             | exception e ->
                 List.iter (fun (p, _) -> finish t p (internal_error e)) batch
             | means, stds ->
+                (* each member's trace shows the shared fused-kernel
+                   window it rode in (same interval, own parent) *)
+                (if Obs.Trace.enabled () then
+                   let k1 = Obs.Clock.now_us () in
+                   List.iter
+                     (fun (p, _) ->
+                       if p.p_req_span > 0 then
+                         Obs.Trace.complete ~cat:"server" ~trace:p.p_trace
+                           ~parent:p.p_req_span
+                           ~attrs:[ ("points", Obs.Trace.Int total) ]
+                           ~start_us:k0 ~dur_us:(k1 -. k0) "srv_kernel")
+                     batch);
                 let at = ref 0 in
                 List.iter
                   (fun (p, (points : Linalg.Mat.t)) ->
@@ -1019,6 +1430,13 @@ let run_update t (p : pending) meta xs f =
             f;
           }
         in
+        (* calibration scores the incoming observations against the
+           PRE-update posterior (the model as it was when these samples
+           arrived); a no-op unless metrics are on *)
+        if Obs.Metrics.enabled () then
+          Serving.Calibration.record_update ~predictor:cached.predictor
+            ~meta ~xs ~f;
+        let k0 = if Obs.Trace.enabled () then Obs.Clock.now_us () else 0. in
         match
           (* write-ahead: journal + fsync the raw samples first, so a
              crash anywhere past this point can no longer lose the
@@ -1042,10 +1460,24 @@ let run_update t (p : pending) meta xs f =
             (try Serving.Journal.truncate t.journal with _ -> ());
             finish t p (internal_error e)
         | updated ->
+            if Obs.Trace.enabled () && p.p_req_span > 0 then
+              Obs.Trace.complete ~cat:"server" ~trace:p.p_trace
+                ~parent:p.p_req_span
+                ~attrs:[ ("rev", Obs.Trace.Int updated.Serving.Artifact.rev) ]
+                ~start_us:k0
+                ~dur_us:(Obs.Clock.now_us () -. k0)
+                "srv_kernel";
             refresh_model t meta updated;
             (* the commit is durable: ship it to subscribers before the
-               acknowledgement is even queued *)
-            ship_commit t entry;
+               acknowledgement is even queued. The push carries this
+               update's trace context (the server span when tracing is
+               on, the client's own context when relaying untraced) so
+               the follower's apply joins the same trace. *)
+            ship_commit
+              ~trace:
+                ( p.p_trace,
+                  if p.p_req_span > 0 then p.p_req_span else p.p_span )
+              t entry;
             finish t p
               (Wire.Updated
                  {
@@ -1082,6 +1514,17 @@ let process_pending t =
           else true)
         live
     in
+    (* queue spans: admission to window start, per surviving request *)
+    (if Obs.Trace.enabled () then
+       let wstart = Obs.Clock.now_us () in
+       List.iter
+         (fun p ->
+           if p.p_req_span > 0 then
+             Obs.Trace.complete ~cat:"server" ~trace:p.p_trace
+               ~parent:p.p_req_span ~start_us:p.admitted_us
+               ~dur_us:(Float.max 0. (wstart -. p.admitted_us))
+               "srv_queue")
+         live);
     (* group predicts by (meta, with_std), first-seen order *)
     let groups = ref [] in
     let updates = ref [] in
@@ -1114,7 +1557,18 @@ let process_pending t =
 
 let establish_link t conn =
   conn.peer <- Link;
+  (* fresh link: readiness waits for this subscription's catch-up *)
+  t.catch_up_done <- false;
   Replication.Backoff.reset t.link_backoff;
+  Obs.Events.emit "link_up"
+    ~fields:
+      [
+        ( "leader",
+          Obs.Trace.Str
+            (match t.leader with
+            | Some a -> address_to_string a
+            | None -> "") );
+      ];
   let vector =
     List.map
       (fun (a : Serving.Artifact.t) -> (a.meta, a.rev))
@@ -1170,9 +1624,16 @@ let stop_accepting t =
   if t.accepting then begin
     t.accepting <- false;
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-    match t.addr with
+    (match t.http_fd with
+    | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+    | None -> ());
+    (match t.addr with
     | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
-    | Tcp _ -> ()
+    | Tcp _ -> ());
+    match t.http_addr with
+    | Some (Unix_socket path) -> (
+        try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Some (Tcp _) | None -> ()
   end
 
 let drain_grace_s = 10.
@@ -1193,9 +1654,35 @@ let run t =
       when (not (stopping t)) && t.link = None && now_s () >= t.link_next_s ->
         attempt_link t leader
     | _ -> ());
+    (* leader: liveness heartbeat about once a second, so idle
+       followers keep a fresh view of the leader's commit sequence
+       without any acknowledgement traffic *)
+    (match t.leader with
+    | None when not (stopping t) ->
+        let now = now_s () in
+        if now -. t.last_status_s >= 1. then begin
+          t.last_status_s <- now;
+          match Replication.Source.subscribers t.source with
+          | [] -> ()
+          | subs ->
+              let hb =
+                Wire.encode_push
+                  (Wire.Repl_heartbeat
+                     { seq = t.commit_seq; ts = Obs.Clock.wall () })
+              in
+              List.iter
+                (fun c ->
+                  if (not c.closed) && c.out_bytes < max_buffered_out then
+                    send c hb)
+                subs
+        end
+    | _ -> ());
     let rs =
       t.wake_r
-      :: (if t.accepting then [ t.listen_fd ] else [])
+      :: (if t.accepting then
+            t.listen_fd
+            :: (match t.http_fd with Some fd -> [ fd ] | None -> [])
+          else [])
       @ List.filter_map
           (fun c ->
             if c.close_after_flush || c.out_bytes >= max_buffered_out then
@@ -1221,7 +1708,12 @@ let run t =
             done
           with Unix.Unix_error _ -> ()
         end;
-        if t.accepting && List.mem t.listen_fd readable then accept_loop t;
+        if t.accepting && List.mem t.listen_fd readable then
+          accept_loop t t.listen_fd;
+        (match t.http_fd with
+        | Some fd when t.accepting && List.mem fd readable ->
+            accept_loop ~peer:Http t fd
+        | _ -> ());
         List.iter
           (fun c ->
             if c.peer = Link_pending && List.mem c.fd writable then
@@ -1250,6 +1742,9 @@ let run t =
     end
   done;
   stop_accepting t;
+  (* when run was hosted on a spawned domain its trace lane would die
+     with the domain; hand it to the merge buffer first *)
+  Obs.Trace.flush_lane ();
   (try Serving.Journal.close t.journal with Unix.Unix_error _ -> ());
   (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
   try Unix.close t.wake_w with Unix.Unix_error _ -> ()

@@ -40,7 +40,12 @@
     [bmf_server_update_seconds], [bmf_server_admin_seconds]), the
     [bmf_server_batch_points] gauge, [bmf_server_queue_depth] gauge and
     error counters ([bmf_server_busy_total],
-    [bmf_server_deadline_total], [bmf_server_errors_total]). *)
+    [bmf_server_deadline_total], [bmf_server_errors_total]). Replication
+    publishes [bmf_server_role{role=...}] (1 on the active series),
+    [bmf_repl_follower_lag_entries] and
+    [bmf_repl_apply_delay_seconds]; accepted updates feed the
+    per-model [bmf_calibration_*] gauges (see
+    {!Serving.Calibration}). *)
 
 type address = Tcp of string * int | Unix_socket of string
 
@@ -70,11 +75,24 @@ type config = {
           save fsyncs file and directory — an acknowledged update
           survives SIGKILL and power loss. [`Fast] skips the fsyncs
           (benchmarks). *)
+  http : address option;
+      (** Scrape endpoint: a second listener served from the same
+          select loop (no threads) answering [GET /metrics] (Prometheus
+          text exposition), [GET /health] / [/healthz] (liveness JSON:
+          role, readiness, recovery report, replication lag overall and
+          per model, queue depth), [GET /ready] (same JSON, status 503
+          until ready — a follower is ready once its initial catch-up
+          completed) and [GET /events] (the {!Obs.Events} ring).
+          [None] (the default): no HTTP listener. *)
+  slow_request_s : float;
+      (** Requests slower than this (admission to reply) emit a
+          [slow_request] event when the {!Obs.Events} log is on. *)
 }
 
 val default_config : config
 (** [{ queue_capacity = 256; max_batch = 4096; cache_capacity = 8;
-      batch_delay_s = 0.; durability = `Durable }] *)
+      batch_delay_s = 0.; durability = `Durable; http = None;
+      slow_request_s = 0.25 }] *)
 
 type t
 
@@ -117,6 +135,10 @@ val recovery : t -> Serving.Recovery.report
 
 val address : t -> address
 (** The actually-bound address (ephemeral TCP port resolved). *)
+
+val http_address : t -> address option
+(** The actually-bound scrape address when [config.http] was set
+    (ephemeral TCP port resolved), [None] otherwise. *)
 
 val stop : t -> unit
 (** Request graceful shutdown: async-signal-safe and callable from any

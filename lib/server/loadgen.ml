@@ -1,6 +1,18 @@
 (* Closed-loop multi-connection load generator: one domain per
    connection, blocking request loops, client-side latency capture. *)
 
+type op_stats = {
+  op : string;
+  ok : int;
+  busy : int;
+  op_errors : int;
+  op_mean_s : float;
+  op_p50_s : float;
+  op_p90_s : float;
+  op_p99_s : float;
+  op_max_s : float;
+}
+
 type summary = {
   connections : int;
   endpoints : int;
@@ -19,14 +31,24 @@ type summary = {
   latency_p90_s : float;
   latency_p99_s : float;
   latency_max_s : float;
+  ops : op_stats list;
 }
 
+(* Per-opcode accumulator inside one worker. *)
+type op_acc = {
+  mutable a_ok : int;
+  mutable a_busy : int;
+  mutable a_errors : int;
+  mutable a_lat : float list;  (* reverse order; merged later *)
+}
+
+let fresh_acc () = { a_ok = 0; a_busy = 0; a_errors = 0; a_lat = [] }
+
 type worker_out = {
-  w_requests : int;
-  w_busy : int;
-  w_errors : int;
   w_reconnects : int;
-  w_latencies : float list;  (* reverse order; merged later *)
+  w_predict : op_acc;
+  w_update : op_acc;
+  w_stats : op_acc;
 }
 
 let discover_dim addr meta =
@@ -49,35 +71,71 @@ let discover_dim addr meta =
                    meta.Serving.Artifact.circuit meta.Serving.Artifact.metric
                    meta.Serving.Artifact.scale meta.Serving.Artifact.seed)))
 
-let worker addr meta ~dim ~batch ~with_std ~deadline_ms ~seed ~until () =
+(* How many observation rows an injected update carries — small, so the
+   update path cost measured is journal+apply, not sample generation. *)
+let update_rows = 4
+
+let worker addr meta ~dim ~batch ~with_std ~deadline_ms ~update_every
+    ~stats_every ~seed ~until () =
   let rng = Stats.Rng.create seed in
   let points =
     Linalg.Mat.init batch dim (fun _ _ -> Stats.Rng.gaussian rng)
   in
   let client = Client.connect addr in
-  let requests = ref 0 and busy = ref 0 and errors = ref 0 in
   let reconnects = ref 0 in
-  let latencies = ref [] in
+  let predict_acc = fresh_acc () in
+  let update_acc = fresh_acc () in
+  let stats_acc = fresh_acc () in
   let give_up = ref false in
+  let iter = ref 0 in
   Fun.protect
-    ~finally:(fun () -> Client.close client)
+    ~finally:(fun () ->
+      Client.close client;
+      (* worker domains own a private trace lane: hand it to the merge
+         buffer or its client spans die with the domain *)
+      Obs.Trace.flush_lane ())
     (fun () ->
       while (not !give_up) && Unix.gettimeofday () < until do
+        let i = !iter in
+        incr iter;
+        let acc, call =
+          if update_every > 0 && i mod update_every = update_every - 1 then
+            ( update_acc,
+              fun () ->
+                let xs =
+                  Linalg.Mat.init update_rows dim (fun _ _ ->
+                      Stats.Rng.gaussian rng)
+                in
+                let f =
+                  Array.init update_rows (fun _ -> Stats.Rng.gaussian rng)
+                in
+                Result.map ignore (Client.update client ?deadline_ms meta ~xs ~f)
+            )
+          (* stats fires at phase 0 (after the first request), updates
+             at phase n-1: the triggers stay disjoint even when one
+             period divides the other *)
+          else if stats_every > 0 && i > 0 && i mod stats_every = 0 then
+            (stats_acc, fun () -> Result.map ignore (Client.stats client))
+          else
+            ( predict_acc,
+              fun () ->
+                if with_std then
+                  Result.map ignore
+                    (Client.predict_with_std client ?deadline_ms meta points)
+                else
+                  Result.map ignore
+                    (Client.predict client ?deadline_ms meta points) )
+        in
         let t0 = Unix.gettimeofday () in
-        match
-          if with_std then
-            Result.map ignore
-              (Client.predict_with_std client ?deadline_ms meta points)
-          else Result.map ignore (Client.predict client ?deadline_ms meta points)
-        with
+        match call () with
         | Ok () ->
-            incr requests;
-            latencies := (Unix.gettimeofday () -. t0) :: !latencies
+            acc.a_ok <- acc.a_ok + 1;
+            acc.a_lat <- (Unix.gettimeofday () -. t0) :: acc.a_lat
         | Error { Wire.code = Wire.Busy; _ } ->
-            incr busy;
+            acc.a_busy <- acc.a_busy + 1;
             (* back off briefly so a saturated queue can drain *)
             Unix.sleepf 0.0005
-        | Error _ -> incr errors
+        | Error _ -> acc.a_errors <- acc.a_errors + 1
         | exception Client.Transport _ -> (
             (* the daemon dropped the socket (restart, failover): re-dial
                under the client's capped backoff instead of dying *)
@@ -86,11 +144,10 @@ let worker addr meta ~dim ~batch ~with_std ~deadline_ms ~seed ~until () =
             | exception Client.Transport _ -> give_up := true)
       done);
   {
-    w_requests = !requests;
-    w_busy = !busy;
-    w_errors = !errors;
     w_reconnects = !reconnects;
-    w_latencies = !latencies;
+    w_predict = predict_acc;
+    w_update = update_acc;
+    w_stats = stats_acc;
   }
 
 (* Linear interpolation between ranks (the "type 7" estimator most
@@ -109,8 +166,38 @@ let percentile sorted q =
     ((1. -. w) *. sorted.(lo)) +. (w *. sorted.(hi))
   end
 
+(* Float.compare, not polymorphic compare: the latter orders NaN
+   inconsistently inside sort's comparisons and can leave the array
+   mis-sorted if a latency was ever NaN *)
+let sorted_latencies accs =
+  let arr =
+    List.concat_map (fun a -> a.a_lat) accs |> Array.of_list
+  in
+  Array.sort Float.compare arr;
+  arr
+
+let mean_of arr =
+  if Array.length arr = 0 then nan
+  else Array.fold_left ( +. ) 0. arr /. float_of_int (Array.length arr)
+
+let op_stats_of op accs =
+  let lat = sorted_latencies accs in
+  {
+    op;
+    ok = List.fold_left (fun n a -> n + a.a_ok) 0 accs;
+    busy = List.fold_left (fun n a -> n + a.a_busy) 0 accs;
+    op_errors = List.fold_left (fun n a -> n + a.a_errors) 0 accs;
+    op_mean_s = mean_of lat;
+    op_p50_s = percentile lat 0.50;
+    op_p90_s = percentile lat 0.90;
+    op_p99_s = percentile lat 0.99;
+    op_max_s =
+      (if Array.length lat = 0 then nan else lat.(Array.length lat - 1));
+  }
+
 let run ?(connections = 4) ?(duration_s = 5.) ?(batch = 64)
-    ?(with_std = false) ?deadline_ms ?(seed = 20130602) ~meta addrs =
+    ?(with_std = false) ?deadline_ms ?(update_every = 0) ?(stats_every = 0)
+    ?(seed = 20130602) ~meta addrs =
   if connections < 1 then invalid_arg "Loadgen.run: connections < 1";
   if batch < 1 then invalid_arg "Loadgen.run: batch < 1";
   let addrs = Array.of_list addrs in
@@ -125,30 +212,27 @@ let run ?(connections = 4) ?(duration_s = 5.) ?(batch = 64)
     Array.init connections (fun i ->
         Domain.spawn
           (worker addrs.(i mod endpoints) meta ~dim ~batch ~with_std
-             ~deadline_ms ~seed:(seed + (7919 * i)) ~until))
+             ~deadline_ms ~update_every ~stats_every ~seed:(seed + (7919 * i))
+             ~until))
   in
   let outs = Array.map Domain.join domains in
   let wall = Unix.gettimeofday () -. t0 in
-  let requests = Array.fold_left (fun a w -> a + w.w_requests) 0 outs in
-  let busy = Array.fold_left (fun a w -> a + w.w_busy) 0 outs in
-  let errors = Array.fold_left (fun a w -> a + w.w_errors) 0 outs in
-  let reconnects =
-    Array.fold_left (fun a w -> a + w.w_reconnects) 0 outs
-  in
-  let latencies =
-    Array.to_list outs
-    |> List.concat_map (fun w -> w.w_latencies)
-    |> Array.of_list
-  in
-  (* Float.compare, not polymorphic compare: the latter orders NaN
-     inconsistently inside sort's comparisons and can leave the array
-     mis-sorted if a latency was ever NaN *)
-  Array.sort Float.compare latencies;
-  let mean =
-    if Array.length latencies = 0 then nan
-    else
-      Array.fold_left ( +. ) 0. latencies
-      /. float_of_int (Array.length latencies)
+  let outs = Array.to_list outs in
+  let predict_accs = List.map (fun w -> w.w_predict) outs in
+  let update_accs = List.map (fun w -> w.w_update) outs in
+  let stats_accs = List.map (fun w -> w.w_stats) outs in
+  let all_accs = predict_accs @ update_accs @ stats_accs in
+  let requests = List.fold_left (fun n a -> n + a.a_ok) 0 all_accs in
+  let busy = List.fold_left (fun n a -> n + a.a_busy) 0 all_accs in
+  let errors = List.fold_left (fun n a -> n + a.a_errors) 0 all_accs in
+  let reconnects = List.fold_left (fun n w -> n + w.w_reconnects) 0 outs in
+  let predict_ok = List.fold_left (fun n a -> n + a.a_ok) 0 predict_accs in
+  let latencies = sorted_latencies all_accs in
+  let predict_op = if with_std then "predict_var" else "predict" in
+  let ops =
+    op_stats_of predict_op predict_accs
+    :: (if update_every > 0 then [ op_stats_of "update" update_accs ] else [])
+    @ if stats_every > 0 then [ op_stats_of "stats" stats_accs ] else []
   in
   {
     connections;
@@ -157,22 +241,32 @@ let run ?(connections = 4) ?(duration_s = 5.) ?(batch = 64)
     batch;
     with_std;
     requests;
-    points = requests * batch;
+    points = predict_ok * batch;
     busy;
     errors;
     reconnects;
     throughput_rps = float_of_int requests /. Float.max 1e-9 wall;
-    throughput_pps = float_of_int (requests * batch) /. Float.max 1e-9 wall;
-    latency_mean_s = mean;
+    throughput_pps =
+      float_of_int (predict_ok * batch) /. Float.max 1e-9 wall;
+    latency_mean_s = mean_of latencies;
     latency_p50_s = percentile latencies 0.50;
     latency_p90_s = percentile latencies 0.90;
     latency_p99_s = percentile latencies 0.99;
     latency_max_s =
       (if Array.length latencies = 0 then nan
        else latencies.(Array.length latencies - 1));
+    ops;
   }
 
 let jf f = if Float.is_finite f then Printf.sprintf "%.6f" f else "null"
+
+let op_to_json o =
+  Printf.sprintf
+    "{\"op\":\"%s\",\"ok\":%d,\"busy\":%d,\"errors\":%d,\
+     \"latency_mean_s\":%s,\"latency_p50_s\":%s,\"latency_p90_s\":%s,\
+     \"latency_p99_s\":%s,\"latency_max_s\":%s}"
+    o.op o.ok o.busy o.op_errors (jf o.op_mean_s) (jf o.op_p50_s)
+    (jf o.op_p90_s) (jf o.op_p99_s) (jf o.op_max_s)
 
 let to_json s =
   Printf.sprintf
@@ -182,12 +276,13 @@ let to_json s =
      \"reconnects\":%d,\
      \"throughput_rps\":%s,\"throughput_pps\":%s,\
      \"latency_mean_s\":%s,\"latency_p50_s\":%s,\"latency_p90_s\":%s,\
-     \"latency_p99_s\":%s,\"latency_max_s\":%s}"
+     \"latency_p99_s\":%s,\"latency_max_s\":%s,\"ops\":[%s]}"
     s.connections s.endpoints (jf s.duration_s) s.batch s.with_std
     s.requests s.points s.busy s.errors s.reconnects
     (jf s.throughput_rps) (jf s.throughput_pps) (jf s.latency_mean_s)
     (jf s.latency_p50_s) (jf s.latency_p90_s) (jf s.latency_p99_s)
     (jf s.latency_max_s)
+    (String.concat "," (List.map op_to_json s.ops))
 
 let pp fmt s =
   Format.fprintf fmt
@@ -195,10 +290,22 @@ let pp fmt s =
      %d point(s)/request%s@,\
      requests: %d ok, %d busy, %d error(s), %d reconnect(s)@,\
      throughput: %.0f requests/s = %.0f predictions/s@,\
-     latency: mean %.3f ms  p50 %.3f ms  p90 %.3f ms  p99 %.3f ms  max %.3f ms@]"
+     latency: mean %.3f ms  p50 %.3f ms  p90 %.3f ms  p99 %.3f ms  max %.3f ms"
     s.connections s.endpoints s.duration_s s.batch
     (if s.with_std then " (with variance)" else "")
     s.requests s.busy s.errors s.reconnects s.throughput_rps s.throughput_pps
     (1e3 *. s.latency_mean_s) (1e3 *. s.latency_p50_s)
     (1e3 *. s.latency_p90_s) (1e3 *. s.latency_p99_s)
-    (1e3 *. s.latency_max_s)
+    (1e3 *. s.latency_max_s);
+  (* the per-opcode breakdown only earns its lines when the mix has
+     more than one opcode *)
+  if List.length s.ops > 1 then
+    List.iter
+      (fun o ->
+        Format.fprintf fmt
+          "@,%-11s %d ok, %d busy, %d error(s)  mean %.3f ms  p50 %.3f ms  \
+           p99 %.3f ms"
+          o.op o.ok o.busy o.op_errors (1e3 *. o.op_mean_s)
+          (1e3 *. o.op_p50_s) (1e3 *. o.op_p99_s))
+      s.ops;
+  Format.fprintf fmt "@]"

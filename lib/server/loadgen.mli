@@ -9,6 +9,19 @@
     Query points are deterministic per (seed, connection index), so a
     run is reproducible against a fixed model. *)
 
+type op_stats = {
+  op : string;  (** ["predict"], ["predict_var"], ["update"], ["stats"]. *)
+  ok : int;
+  busy : int;
+  op_errors : int;
+  op_mean_s : float;
+  op_p50_s : float;
+  op_p90_s : float;
+  op_p99_s : float;
+  op_max_s : float;
+}
+(** Latency/outcome breakdown for one opcode of the traffic mix. *)
+
 type summary = {
   connections : int;
   endpoints : int;
@@ -32,6 +45,9 @@ type summary = {
   latency_p90_s : float;
   latency_p99_s : float;
   latency_max_s : float;
+  ops : op_stats list;
+      (** Per-opcode breakdown, predict first. Opcodes absent from the
+          traffic mix are omitted. *)
 }
 
 val percentile : float array -> float -> float
@@ -46,6 +62,8 @@ val run :
   ?batch:int ->
   ?with_std:bool ->
   ?deadline_ms:int ->
+  ?update_every:int ->
+  ?stats_every:int ->
   ?seed:int ->
   meta:Serving.Artifact.meta ->
   Daemon.address list ->
@@ -58,6 +76,15 @@ val run :
     A connection whose socket drops mid-run reconnects under the
     client's capped backoff and keeps going (counted in [reconnects]);
     it stops early only when the backoff budget is exhausted.
+
+    [update_every = n] (> 0) turns every n-th request of each worker
+    into an [update] carrying a few random observation rows —
+    {e mutating} the served model, so point it at scratch stores only;
+    updates must reach the leader or they count as errors.
+    [stats_every = m] mixes in [stats] requests the same way. The
+    [ops] field of the summary then breaks latency down per opcode.
+    Both default to 0 (pure predict load, summary identical in shape
+    and semantics to earlier releases apart from [ops]).
     @raise Invalid_argument on an empty endpoint list;
     @raise Failure when the first endpoint does not serve [meta];
     @raise Client.Transport when the initial connections fail. *)

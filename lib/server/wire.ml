@@ -1,27 +1,37 @@
 (* Frame layout (little-endian):
 
      u32 length of the rest | u8 version | u8 kind | u64 id
-     | u32 deadline_ms | body
+     | u32 deadline_ms | [v2: u64 trace_id | u64 span_id] | body
+
+   Version 1 frames carry no trace context; version 2 appends a
+   trace/span-id pair to the header so a request (or a shipped WAL
+   entry) can join a distributed trace. Decoders accept both, so a v1
+   peer keeps working against a v2 daemon and vice versa.
 
    Body primitives match the Artifact binary codec: i64 ints, IEEE-754
    floats, length-prefixed strings and float arrays. Every decoder
    bounds-checks against the actual bytes received before allocating,
    so advertised lengths can never drive allocation. *)
 
-let version = 1
+let version = 2
+
+let min_version = 1
 
 let max_frame_len = 16 * 1024 * 1024
 
 let header_len = 1 + 1 + 8 + 4
 
+let header_len_v2 = header_len + 8 + 8
+
 (* Largest predict batch whose [Predicted] response — u64 count, 8 bytes
    per mean, the std-presence byte, and (with variance) another counted
-   float array — still fits under [max_frame_len]. Servers enforce this
-   at admission so encoding a legitimate response can never overflow a
-   frame. *)
+   float array — still fits under [max_frame_len]. Sized against the
+   larger v2 header so it holds whichever version frames the response.
+   Servers enforce this at admission so encoding a legitimate response
+   can never overflow a frame. *)
 let max_predict_rows ~with_std =
   let per_row = if with_std then 16 else 8 in
-  let fixed = header_len + 8 + 1 + if with_std then 8 else 0 in
+  let fixed = header_len_v2 + 8 + 1 + if with_std then 8 else 0 in
   (max_frame_len - fixed) / per_row
 
 type opcode =
@@ -34,6 +44,7 @@ type opcode =
   | Subscribe
   | Repl_ack
   | Promote
+  | Events
 
 let opcode_name = function
   | Ping -> "ping"
@@ -45,6 +56,7 @@ let opcode_name = function
   | Subscribe -> "subscribe"
   | Repl_ack -> "repl_ack"
   | Promote -> "promote"
+  | Events -> "events"
 
 let opcode_byte = function
   | Ping -> 1
@@ -56,6 +68,7 @@ let opcode_byte = function
   | Subscribe -> 7
   | Repl_ack -> 8
   | Promote -> 9
+  | Events -> 10
 
 let opcode_of_byte = function
   | 1 -> Some Ping
@@ -67,6 +80,7 @@ let opcode_of_byte = function
   | 7 -> Some Subscribe
   | 8 -> Some Repl_ack
   | 9 -> Some Promote
+  | 10 -> Some Events
   | _ -> None
 
 type request =
@@ -86,6 +100,7 @@ type request =
   | Subscribe_req of { vector : (Serving.Artifact.meta * int) list }
   | Repl_ack_req of { seq : int }
   | Promote_req
+  | Events_req
 
 let opcode_of_request = function
   | Ping_req -> Ping
@@ -96,6 +111,7 @@ let opcode_of_request = function
   | Subscribe_req _ -> Subscribe
   | Repl_ack_req _ -> Repl_ack
   | Promote_req -> Promote
+  | Events_req -> Events
 
 type error_code =
   | Busy
@@ -165,11 +181,12 @@ type response =
       metrics_json : string;
     }
   | Promoted of { was_follower : bool; journal_seq : int }
+  | Events_payload of { json : string }
   | Error of error
 
 (* Pushes: unsolicited leader-to-subscriber frames on a replication
    link. Their kind bytes live in a disjoint space (32+) so a confused
-   peer can never mistake one for a response (0-15) or request (1-9). *)
+   peer can never mistake one for a response (0-15) or request (1-10). *)
 
 type push =
   | Snapshot_chunk of {
@@ -179,19 +196,21 @@ type push =
       offset : int;
       data : string;
     }
-  | Journal_entry of { seq : int; entry : string }
-  | Repl_status of { seq : int; snapshots : int }
+  | Journal_entry of { seq : int; ts : float; entry : string }
+  | Repl_status of { seq : int; snapshots : int; ts : float }
+  | Repl_heartbeat of { seq : int; ts : float }
 
 let push_byte = function
   | Snapshot_chunk _ -> 32
   | Journal_entry _ -> 33
   | Repl_status _ -> 34
+  | Repl_heartbeat _ -> 35
 
-let is_push_kind k = k >= 32 && k <= 34
+let is_push_kind k = k >= 32 && k <= 35
 
 (* Room left for the chunk payload once the frame header, the meta
    (generously bounded) and the fixed ints are accounted for. *)
-let max_snapshot_chunk = max_frame_len - header_len - 4096
+let max_snapshot_chunk = max_frame_len - header_len_v2 - 4096
 
 (* ------------------------------------------------------------------ *)
 (* Body primitives.                                                    *)
@@ -270,24 +289,51 @@ let finished rd =
 (* ------------------------------------------------------------------ *)
 (* Framing.                                                            *)
 
-let frame ~kind ~id ~deadline_ms body =
+(* [?trace] is the (trace_id, span_id) distributed-trace context. A
+   frame with context is emitted as v2; without, as v1 — so an
+   uninstrumented fleet keeps producing byte-identical v1 streams and
+   both header layouts stay exercised. [~ver:2] forces the v2 header
+   even with a zero context (push frames, whose v2 bodies carry
+   timestamps regardless of tracing). *)
+let frame ?ver ?trace ~kind ~id ~deadline_ms body =
   if id < 0 then invalid_arg "Wire: negative request id";
   if deadline_ms < 0 then invalid_arg "Wire: negative deadline";
-  let n = header_len + String.length body in
+  let trace_id, span_id = match trace with Some t -> t | None -> (0, 0) in
+  if trace_id < 0 || span_id < 0 then
+    invalid_arg "Wire: negative trace context";
+  let v =
+    match ver with
+    | Some v ->
+        if v < min_version || v > version then
+          invalid_arg "Wire: bad frame version";
+        if v = 1 && (trace_id <> 0 || span_id <> 0) then
+          invalid_arg "Wire: trace context requires a v2 frame";
+        v
+    | None -> if trace_id <> 0 || span_id <> 0 then 2 else 1
+  in
+  let hlen = if v = 1 then header_len else header_len_v2 in
+  let n = hlen + String.length body in
   if n > max_frame_len then invalid_arg "Wire: frame exceeds max_frame_len";
   let buf = Buffer.create (4 + n) in
   Buffer.add_int32_le buf (Int32.of_int n);
-  Buffer.add_uint8 buf version;
+  Buffer.add_uint8 buf v;
   Buffer.add_uint8 buf kind;
   Buffer.add_int64_le buf (Int64.of_int id);
   Buffer.add_int32_le buf (Int32.of_int deadline_ms);
+  if v >= 2 then begin
+    Buffer.add_int64_le buf (Int64.of_int trace_id);
+    Buffer.add_int64_le buf (Int64.of_int span_id)
+  end;
   Buffer.add_string buf body;
   Buffer.contents buf
 
 type frame = {
+  frame_version : int;
   frame_kind : int;
   frame_id : int;
   frame_deadline_ms : int;
+  frame_trace : int;
+  frame_span : int;
   body : string;
 }
 
@@ -302,7 +348,10 @@ let peek s ~off =
     else if have < 4 + n then `Need (4 + n - have)
     else begin
       let v = Char.code s.[off + 4] in
-      if v <> version then `Bad (Printf.sprintf "unsupported version %d" v)
+      if v < min_version || v > version then
+        `Bad (Printf.sprintf "unsupported version %d" v)
+      else if v >= 2 && n < header_len_v2 then
+        `Bad (Printf.sprintf "v2 frame length %d too small" n)
       else begin
         let frame_kind = Char.code s.[off + 5] in
         let frame_id = Int64.to_int (String.get_int64_le s (off + 6)) in
@@ -314,8 +363,28 @@ let peek s ~off =
           let frame_deadline_ms =
             Int32.to_int (String.get_int32_le s (off + 14))
           in
-          let body = String.sub s (off + 4 + header_len) (n - header_len) in
-          `Frame ({ frame_kind; frame_id; frame_deadline_ms; body }, off + 4 + n)
+          (* Trace context is advisory: a u64 that does not fit the
+             positive int range (garbage, or a foreign id scheme) is
+             dropped to 0 rather than poisoning the stream. *)
+          let u64_or_zero at =
+            let x = Int64.to_int (String.get_int64_le s at) in
+            if x < 0 then 0 else x
+          in
+          let frame_trace = if v >= 2 then u64_or_zero (off + 18) else 0 in
+          let frame_span = if v >= 2 then u64_or_zero (off + 26) else 0 in
+          let hlen = if v >= 2 then header_len_v2 else header_len in
+          let body = String.sub s (off + 4 + hlen) (n - hlen) in
+          `Frame
+            ( {
+                frame_version = v;
+                frame_kind;
+                frame_id;
+                frame_deadline_ms;
+                frame_trace;
+                frame_span;
+                body;
+              },
+              off + 4 + n )
         end
       end
     end
@@ -324,10 +393,10 @@ let peek s ~off =
 (* ------------------------------------------------------------------ *)
 (* Requests.                                                           *)
 
-let encode_request ~id ?(deadline_ms = 0) req =
+let encode_request ~id ?(deadline_ms = 0) ?trace req =
   let buf = Buffer.create 256 in
   (match req with
-  | Ping_req | List_models_req | Stats_req | Promote_req -> ()
+  | Ping_req | List_models_req | Stats_req | Promote_req | Events_req -> ()
   | Predict_req { meta; points; _ } ->
       put_meta buf meta;
       put_mat buf points
@@ -343,7 +412,7 @@ let encode_request ~id ?(deadline_ms = 0) req =
           put_int buf rev)
         vector
   | Repl_ack_req { seq } -> put_int buf seq);
-  frame
+  frame ?trace
     ~kind:(opcode_byte (opcode_of_request req))
     ~id ~deadline_ms (Buffer.contents buf)
 
@@ -388,6 +457,7 @@ let decode_request f =
               if seq < 0 then raise (Short "negative sequence");
               Repl_ack_req { seq }
           | Promote -> Promote_req
+          | Events -> Events_req
         in
         finished rd;
         Ok req
@@ -439,6 +509,9 @@ let encode_response ~id resp =
     | Promoted { was_follower; journal_seq } ->
         put_int buf (if was_follower then 1 else 0);
         put_int buf journal_seq;
+        0
+    | Events_payload { json } ->
+        put_string buf json;
         0
     | Error { code; message } ->
         put_string buf message;
@@ -509,6 +582,9 @@ let decode_response ~expect f =
             let was_follower = get_int rd <> 0 in
             let journal_seq = get_int rd in
             Promoted { was_follower; journal_seq }
+        | Events ->
+            let json = get_string rd in
+            Events_payload { json }
         | Subscribe | Repl_ack ->
             (* subscribe is answered by pushes on the same stream and
                repl_ack is fire-and-forget; only error frames (handled
@@ -522,7 +598,12 @@ let decode_response ~expect f =
 (* ------------------------------------------------------------------ *)
 (* Pushes.                                                             *)
 
-let encode_push p =
+(* Pushes always frame as v2: their v2 bodies carry the leader's
+   wall-clock commit timestamp (the basis of follower lag-in-seconds),
+   which exists whether or not any trace is active. [?trace] tags a
+   [Journal_entry] with the originating update's context so the
+   follower's apply span joins the client's trace. *)
+let encode_push ?trace p =
   let buf = Buffer.create 256 in
   (match p with
   | Snapshot_chunk { meta; rev; total; offset; data } ->
@@ -531,14 +612,23 @@ let encode_push p =
       put_int buf total;
       put_int buf offset;
       put_string buf data
-  | Journal_entry { seq; entry } ->
+  | Journal_entry { seq; ts; entry } ->
       put_int buf seq;
+      put_float buf ts;
       put_string buf entry
-  | Repl_status { seq; snapshots } ->
+  | Repl_status { seq; snapshots; ts } ->
       put_int buf seq;
-      put_int buf snapshots);
-  frame ~kind:(push_byte p) ~id:0 ~deadline_ms:0 (Buffer.contents buf)
+      put_int buf snapshots;
+      put_float buf ts
+  | Repl_heartbeat { seq; ts } ->
+      put_int buf seq;
+      put_float buf ts);
+  frame ~ver:2 ?trace ~kind:(push_byte p) ~id:0 ~deadline_ms:0
+    (Buffer.contents buf)
 
+(* v1 peers encoded [Journal_entry] as [seq | entry] and [Repl_status]
+   as [seq | snapshots] — no timestamp. Decode both layouts, keyed on
+   the frame version, with [ts = 0.] standing in for "unknown". *)
 let decode_push f =
   let rd = { data = f.body; at = 0 } in
   let what =
@@ -546,6 +636,7 @@ let decode_push f =
     | 32 -> "snapshot_chunk"
     | 33 -> "journal_entry"
     | 34 -> "repl_status"
+    | 35 -> "repl_heartbeat"
     | k -> Printf.sprintf "push kind %d" k
   in
   try
@@ -565,14 +656,21 @@ let decode_push f =
           Snapshot_chunk { meta; rev; total; offset; data }
       | 33 ->
           let seq = get_int rd in
+          let ts = if f.frame_version >= 2 then get_float rd else 0. in
           let entry = get_string rd in
           if seq < 0 then raise (Short "negative sequence");
-          Journal_entry { seq; entry }
+          Journal_entry { seq; ts; entry }
       | 34 ->
           let seq = get_int rd in
           let snapshots = get_int rd in
+          let ts = if f.frame_version >= 2 then get_float rd else 0. in
           if seq < 0 || snapshots < 0 then raise (Short "negative counts");
-          Repl_status { seq; snapshots }
+          Repl_status { seq; snapshots; ts }
+      | 35 ->
+          let seq = get_int rd in
+          let ts = get_float rd in
+          if seq < 0 then raise (Short "negative sequence");
+          Repl_heartbeat { seq; ts }
       | k -> raise (Short (Printf.sprintf "unknown push kind %d" k))
     in
     finished rd;

@@ -4,12 +4,20 @@
 
     {v
       u32  length of the rest of the frame (header + body)
-      u8   protocol version (= 1)
+      u8   protocol version (1 or 2)
       u8   kind: request opcode, 0 (OK) or an error code for responses
       u64  request id (echoed verbatim in the response)
       u32  request deadline in ms (0 = none; 0 in responses)
+      u64  trace id   (v2 only; 0 = no distributed trace)
+      u64  span id    (v2 only; the sender's open span)
       body
     v}
+
+    Version 2 (this release) appends a distributed-trace context to the
+    header; decoders accept both versions, so v1 peers interoperate
+    with a v2 daemon in either direction. Requests frame as v1 unless a
+    trace context is attached; pushes always frame as v2 because their
+    v2 bodies carry the leader's commit timestamp.
 
     Bodies reuse the {!Serving.Artifact} binary conventions: ints as
     little-endian i64, floats as IEEE-754 bits, strings and float arrays
@@ -18,12 +26,19 @@
     hostile or corrupt peer cannot force an out-of-memory. *)
 
 val version : int
+(** Newest protocol version this build speaks (2). *)
+
+val min_version : int
+(** Oldest version still decoded (1). *)
 
 val max_frame_len : int
 (** Upper bound on the post-length portion of a frame (16 MiB). *)
 
 val header_len : int
-(** Bytes of header after the length word. *)
+(** Bytes of v1 header after the length word. *)
+
+val header_len_v2 : int
+(** Bytes of v2 header after the length word ({!header_len} + 16). *)
 
 val max_predict_rows : with_std:bool -> int
 (** Largest predict batch whose [Predicted] response still fits in one
@@ -42,6 +57,7 @@ type opcode =
   | Subscribe  (** Open a replication stream; answered by pushes. *)
   | Repl_ack  (** Follower ack of applied entries; no response. *)
   | Promote  (** Flip a follower to leader. *)
+  | Events  (** Dump the daemon's structured event ring. *)
 
 val opcode_name : opcode -> string
 
@@ -65,6 +81,7 @@ type request =
   | Repl_ack_req of { seq : int }
       (** Every entry up to leader-commit [seq] is durably applied. *)
   | Promote_req
+  | Events_req
 
 val opcode_of_request : request -> opcode
 
@@ -113,13 +130,15 @@ type response =
       metrics_json : string;
     }
   | Promoted of { was_follower : bool; journal_seq : int }
+  | Events_payload of { json : string }
+      (** The [Obs.Events] ring as JSON (see [Obs.Events.to_json]). *)
   | Error of error
 
 (** {2 Replication pushes}
 
     Unsolicited leader-to-subscriber frames on a replication stream,
     sent after a [Subscribe_req]. Kind bytes occupy a disjoint space
-    (32-34) from responses (0 or an error byte) and requests (1-9).
+    (32-35) from responses (0 or an error byte) and requests (1-10).
     The id and deadline header fields are 0. *)
 
 type push =
@@ -132,13 +151,23 @@ type push =
     }
       (** One slice of a catch-up artifact transfer; the follower
           reassembles until [offset + length data = total]. *)
-  | Journal_entry of { seq : int; entry : string }
+  | Journal_entry of { seq : int; ts : float; entry : string }
       (** One committed update in the exact on-disk WAL framing
           ([u64 len | u64 fnv64 | payload]) — the follower re-verifies
-          the checksum with {!Serving.Journal.decode_entry}. *)
-  | Repl_status of { seq : int; snapshots : int }
-      (** Catch-up complete: the stream is now live at leader commit
-          [seq], after [snapshots] snapshot transfers. *)
+          the checksum with {!Serving.Journal.decode_entry}. [ts] is
+          the leader's wall-clock commit time (0. from a v1 peer),
+          the basis of the follower's lag-in-seconds gauge. *)
+  | Repl_status of { seq : int; snapshots : int; ts : float }
+      (** Catch-up complete: the stream is live at leader commit [seq],
+          after [snapshots] snapshot transfers. [ts] is the leader's
+          wall clock at send (0. from a v1 peer). Receiving one advances
+          the follower's applied sequence, so it is only sent when every
+          entry up to [seq] has actually been shipped. *)
+  | Repl_heartbeat of { seq : int; ts : float }
+      (** Periodic liveness beacon: the leader is alive at commit [seq].
+          Unlike {!Repl_status} it carries no catch-up promise — the
+          follower refreshes its lag gauges but neither acks nor
+          advances its applied sequence. *)
 
 val is_push_kind : int -> bool
 
@@ -147,9 +176,12 @@ val max_snapshot_chunk : int
 
 (** {2 Encoding} *)
 
-val encode_request : id:int -> ?deadline_ms:int -> request -> string
+val encode_request :
+  id:int -> ?deadline_ms:int -> ?trace:int * int -> request -> string
 (** A complete frame, length prefix included. [deadline_ms] defaults to
-    0 (none). @raise Invalid_argument on a negative id or deadline. *)
+    0 (none). [trace] is a [(trace_id, span_id)] context: with it the
+    frame is v2, without it v1. @raise Invalid_argument on a negative
+    id, deadline or trace context. *)
 
 val encode_response : id:int -> response -> string
 
@@ -160,9 +192,15 @@ val encode_response : id:int -> response -> string
     pays for a body it is about to refuse. *)
 
 type frame = {
+  frame_version : int;  (** 1 or 2. *)
   frame_kind : int;
   frame_id : int;
   frame_deadline_ms : int;
+  frame_trace : int;
+      (** Distributed trace id; 0 on v1 frames, when the sender had no
+          trace, or when the wire value did not fit the positive int
+          range (advisory data never kills a stream). *)
+  frame_span : int;  (** The sender's span id; 0 as above. *)
   body : string;
 }
 
@@ -181,7 +219,12 @@ val decode_response : expect:opcode -> frame -> (response, string) result
     the request the caller sent. [Subscribe] and [Repl_ack] define no
     success response — only an error frame decodes for them. *)
 
-val encode_push : push -> string
-(** A complete push frame, length prefix included. *)
+val encode_push : ?trace:int * int -> push -> string
+(** A complete push frame, length prefix included — always v2 (the v2
+    push bodies carry timestamps). [trace] tags a [Journal_entry] with
+    the originating update's context so the follower's apply span joins
+    the same distributed trace. *)
 
 val decode_push : frame -> (push, string) result
+(** Decodes v2 bodies and, keyed on [frame_version], the timestamp-less
+    v1 layouts (with [ts = 0.]). *)

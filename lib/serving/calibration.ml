@@ -1,0 +1,178 @@
+(* Online posterior-calibration telemetry.
+
+   Every accepted [update] carries observed late-stage responses for
+   points the model has just predicted with a full predictive
+   distribution. Scoring those observations against the PRE-update
+   posterior — mean mu, predictive std sigma — gives standardized
+   residuals z = (f - mu) / sigma whose distribution is ~N(0,1) when
+   the fused model is calibrated. A rolling window per model turns the
+   stream into coverage-at-k*sigma and RMSE gauges: coverage far below
+   the Gaussian reference (68% / 95% / 99.7%) flags over-confidence,
+   far above flags a too-wide posterior, and a drifting RMSE flags a
+   stale early-stage prior.
+
+   Pure telemetry: recording never touches model state, and every entry
+   point is gated on [Obs.Metrics.enabled] so uninstrumented runs do no
+   work at all (the bit-identity bar of the obs layer). *)
+
+type window = {
+  z : float array; (* standardized residuals, ring *)
+  r : float array; (* raw residuals, ring *)
+  mutable head : int;
+  mutable count : int; (* total recorded; min count (Array.length z) live *)
+}
+
+type stats = {
+  samples : int;  (* total ever recorded *)
+  window : int;   (* samples currently in the window *)
+  coverage1 : float;
+  coverage2 : float;
+  coverage3 : float;
+  rmse : float;
+  z_mean : float;
+}
+
+let default_window = 256
+
+let window_size = ref default_window
+
+let set_window n = window_size := Stdlib.max 1 n
+
+let mu = Mutex.create ()
+
+let windows : (Artifact.meta, window) Hashtbl.t = Hashtbl.create 8
+
+let model_label (m : Artifact.meta) =
+  Printf.sprintf "%s/%s@%s#%d" m.circuit m.metric m.scale m.seed
+
+let reset () =
+  Mutex.lock mu;
+  Hashtbl.reset windows;
+  Mutex.unlock mu
+
+let get_window meta =
+  match Hashtbl.find_opt windows meta with
+  | Some w -> w
+  | None ->
+      let n = !window_size in
+      let w = { z = Array.make n 0.; r = Array.make n 0.; head = 0; count = 0 } in
+      Hashtbl.add windows meta w;
+      w
+
+let push w ~z ~r =
+  w.z.(w.head) <- z;
+  w.r.(w.head) <- r;
+  w.head <- (w.head + 1) mod Array.length w.z;
+  w.count <- w.count + 1
+
+let stats_of_window w =
+  let live = Stdlib.min w.count (Array.length w.z) in
+  if live = 0 then
+    {
+      samples = 0;
+      window = 0;
+      coverage1 = nan;
+      coverage2 = nan;
+      coverage3 = nan;
+      rmse = nan;
+      z_mean = nan;
+    }
+  else begin
+    let c1 = ref 0 and c2 = ref 0 and c3 = ref 0 in
+    let sq = ref 0. and zsum = ref 0. in
+    for i = 0 to live - 1 do
+      let z = Float.abs w.z.(i) in
+      if z <= 1. then incr c1;
+      if z <= 2. then incr c2;
+      if z <= 3. then incr c3;
+      sq := !sq +. (w.r.(i) *. w.r.(i));
+      zsum := !zsum +. w.z.(i)
+    done;
+    let n = float_of_int live in
+    {
+      samples = w.count;
+      window = live;
+      coverage1 = float_of_int !c1 /. n;
+      coverage2 = float_of_int !c2 /. n;
+      coverage3 = float_of_int !c3 /. n;
+      rmse = sqrt (!sq /. n);
+      z_mean = !zsum /. n;
+    }
+  end
+
+let stats meta =
+  Mutex.lock mu;
+  let s =
+    match Hashtbl.find_opt windows meta with
+    | Some w -> stats_of_window w
+    | None -> stats_of_window { z = [||]; r = [||]; head = 0; count = 0 }
+  in
+  Mutex.unlock mu;
+  s
+
+let publish meta s =
+  let labels = [ ("model", model_label meta) ] in
+  let g name help =
+    Obs.Metrics.gauge ~help ~labels name
+  in
+  Obs.Metrics.set
+    (g "bmf_calibration_coverage_1s"
+       "Fraction of windowed standardized residuals with |z| <= 1 (Gaussian reference 0.683)")
+    s.coverage1;
+  Obs.Metrics.set
+    (g "bmf_calibration_coverage_2s"
+       "Fraction of windowed standardized residuals with |z| <= 2 (Gaussian reference 0.954)")
+    s.coverage2;
+  Obs.Metrics.set
+    (g "bmf_calibration_coverage_3s"
+       "Fraction of windowed standardized residuals with |z| <= 3 (Gaussian reference 0.997)")
+    s.coverage3;
+  Obs.Metrics.set
+    (g "bmf_calibration_rmse"
+       "Rolling RMSE of raw residuals (observed - predicted mean) over the calibration window")
+    s.rmse;
+  Obs.Metrics.set
+    (g "bmf_calibration_zmean"
+       "Rolling mean standardized residual (bias indicator; 0 when centered)")
+    s.z_mean;
+  Obs.Metrics.set
+    (Obs.Metrics.gauge
+       ~help:"Total late-stage observations scored against the pre-update posterior"
+       ~labels "bmf_calibration_samples")
+    (float_of_int s.samples)
+
+(* Score one update batch: [mean]/[std] are the pre-update posterior's
+   predictions at the update's sample points, [observed] the late-stage
+   values the update carries. Rows with a non-finite or non-positive
+   predictive std are scored as infinitely surprising (z = +inf): a
+   collapsed posterior that then sees data is exactly the
+   over-confidence this telemetry exists to expose. *)
+let record ~meta ~mean ~std ~observed =
+  if Obs.Metrics.enabled () then begin
+    let n = Array.length observed in
+    if Array.length mean <> n || Array.length std <> n then
+      invalid_arg "Calibration.record: length mismatch";
+    Mutex.lock mu;
+    let w = get_window meta in
+    for i = 0 to n - 1 do
+      let r = observed.(i) -. mean.(i) in
+      (* a degenerate sigma is always a coverage miss — even a zero
+         residual: a posterior claiming certainty earned no credit *)
+      let z =
+        if Float.is_finite std.(i) && std.(i) > 0. then r /. std.(i)
+        else infinity
+      in
+      push w ~z ~r
+    done;
+    let s = stats_of_window w in
+    Mutex.unlock mu;
+    publish meta s
+  end
+
+(* Convenience for the daemon/replication apply path: run the pre-update
+   predictor over the update's sample matrix and score the batch. *)
+let record_update ~predictor ~meta ~xs ~f =
+  if Obs.Metrics.enabled () then
+    match Predictor.predict_with_std predictor xs with
+    | mean, std -> record ~meta ~mean ~std ~observed:f
+    | exception _ -> ()

@@ -1,0 +1,70 @@
+(** Online posterior-calibration telemetry.
+
+    Every accepted [update] carries observed late-stage responses; this
+    module scores them against the {e pre-update} posterior as
+    standardized residuals [z = (f - mu) / sigma] and maintains a
+    per-model rolling window (default 256 samples) from which it
+    publishes labeled gauges:
+
+    - [bmf_calibration_coverage_{1s,2s,3s}{model=...}] — fraction of
+      windowed residuals with |z| <= k. A calibrated Gaussian posterior
+      sits near 0.683 / 0.954 / 0.997; well below flags over-confidence
+      (intervals too tight to trust for yield estimation), well above
+      an over-wide posterior.
+    - [bmf_calibration_rmse{model=...}] — rolling RMSE of the raw
+      residuals.
+    - [bmf_calibration_zmean{model=...}] — rolling mean z (bias).
+    - [bmf_calibration_samples{model=...}] — total observations scored.
+
+    Pure telemetry: nothing here reads back into the model, and every
+    entry point is a no-op unless [Obs.Metrics.enabled ()] — serving
+    results stay bit-identical with calibration on or off. Domain-safe
+    (one internal mutex). *)
+
+type stats = {
+  samples : int;  (** Total observations ever recorded for the model. *)
+  window : int;  (** Samples currently in the rolling window. *)
+  coverage1 : float;  (** Fraction with |z| <= 1 ([nan] when empty). *)
+  coverage2 : float;
+  coverage3 : float;
+  rmse : float;  (** sqrt(mean((observed - mean)^2)) over the window. *)
+  z_mean : float;
+}
+
+val model_label : Artifact.meta -> string
+(** The [model] label value: ["circuit/metric\@scale#seed"]. *)
+
+val set_window : int -> unit
+(** Rolling-window length for models created after the call (clamped to
+    >= 1; default 256). *)
+
+val record :
+  meta:Artifact.meta ->
+  mean:float array ->
+  std:float array ->
+  observed:float array ->
+  unit
+(** Score one batch of observations against pre-update predictions and
+    republish the model's gauges. Rows with a non-finite or
+    non-positive [std] count as infinitely surprising (coverage
+    misses). No-op when metrics are disabled.
+    @raise Invalid_argument on a length mismatch. *)
+
+val record_update :
+  predictor:Predictor.t ->
+  meta:Artifact.meta ->
+  xs:Linalg.Mat.t ->
+  f:Linalg.Vec.t ->
+  unit
+(** {!record} for an update batch: predicts mean/std at [xs] with the
+    pre-update [predictor] and scores [f] against them. Prediction
+    failures (e.g. dimension mismatch on a corrupt entry) are swallowed
+    — telemetry must never take down the apply path. *)
+
+val stats : Artifact.meta -> stats
+(** Current window statistics for a model (zeros/[nan]s if the model
+    has never recorded). *)
+
+val reset : unit -> unit
+(** Drop all windows (tests). Registered gauges keep their last
+    published values until the next record. *)

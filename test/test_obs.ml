@@ -237,6 +237,148 @@ let test_trace_json_roundtrip () =
 (* ------------------------------------------------------------------ *)
 (* Metrics. *)
 
+let test_labeled_series () =
+  fresh ();
+  let ca =
+    Obs.Metrics.counter ~help:"per-model hits"
+      ~labels:[ ("model", "amp/gain") ]
+      "test_labeled_total"
+  in
+  let cb =
+    Obs.Metrics.counter ~labels:[ ("model", "dac/enob") ] "test_labeled_total"
+  in
+  let ca' =
+    Obs.Metrics.counter ~labels:[ ("model", "amp/gain") ] "test_labeled_total"
+  in
+  check_bool "same (name, labels) is the same series" true (ca == ca');
+  check_bool "different labels are different series" true (ca != cb);
+  check_bool "find_counter with labels" true
+    (Obs.Metrics.find_counter ~labels:[ ("model", "dac/enob") ]
+       "test_labeled_total"
+    = Some cb);
+  check_bool "unlabeled lookup misses labeled series" true
+    (Obs.Metrics.find_counter "test_labeled_total" = None);
+  Obs.Metrics.enable ();
+  Obs.Metrics.inc ca;
+  Obs.Metrics.inc ~by:2. cb;
+  Obs.Metrics.disable ();
+  let text = Obs.Metrics.to_prometheus () in
+  let lines = String.split_on_char '\n' text in
+  let has line = List.exists (String.equal line) lines in
+  (* one family header, then every series *)
+  check_bool "single HELP line" true
+    (has "# HELP test_labeled_total per-model hits");
+  check_bool "single TYPE line" true (has "# TYPE test_labeled_total counter");
+  check_int "exactly one TYPE line for the family" 1
+    (List.length
+       (List.filter (String.equal "# TYPE test_labeled_total counter") lines));
+  check_bool "first series" true
+    (has "test_labeled_total{model=\"amp/gain\"} 1");
+  check_bool "second series" true
+    (has "test_labeled_total{model=\"dac/enob\"} 2");
+  check_int "family enumerates both series" 2
+    (List.length (Obs.Metrics.family "test_labeled_total"))
+
+let test_label_escaping_and_names () =
+  fresh ();
+  (* escaping: backslash, quote, newline become two-character escapes *)
+  Alcotest.(check string)
+    "escape_label_value" "a\\\\b\\\"c\\nd"
+    (Obs.Metrics.escape_label_value "a\\b\"c\nd");
+  let hostile = Obs.Metrics.gauge
+      ~labels:[ ("model", "evil\"quote\\back\nline") ]
+      "test_escaped_gauge"
+  in
+  Obs.Metrics.enable ();
+  Obs.Metrics.set hostile 1.;
+  Obs.Metrics.disable ();
+  let text = Obs.Metrics.to_prometheus () in
+  let has sub =
+    try
+      ignore (Str.search_forward (Str.regexp_string sub) text 0);
+      true
+    with Not_found -> false
+  in
+  check_bool "hostile label value escaped in exposition" true
+    (has "test_escaped_gauge{model=\"evil\\\"quote\\\\back\\nline\"} 1");
+  check_bool "no raw newline inside the label" false
+    (has "evil\"quote");
+  (* name sanitizing *)
+  Alcotest.(check string)
+    "spaces and punctuation" "a_b_c" (Obs.Metrics.sanitize_name "a b-c");
+  Alcotest.(check string)
+    "leading digit" "_9lives" (Obs.Metrics.sanitize_name "9lives");
+  Alcotest.(check string) "empty" "_" (Obs.Metrics.sanitize_name "");
+  let s = Obs.Metrics.sanitize_name "weird!name@2" in
+  check_bool "sanitized names are valid" true (Obs.Metrics.valid_name s);
+  Alcotest.(check string) "idempotent" s (Obs.Metrics.sanitize_name s);
+  check_bool "valid_name accepts colons" true
+    (Obs.Metrics.valid_name "ns:sub_total");
+  check_bool "valid_name rejects spaces" false (Obs.Metrics.valid_name "a b");
+  (* the reserved histogram label is refused *)
+  check_bool "le label rejected on histograms" true
+    (try
+       ignore
+         (Obs.Metrics.histogram ~labels:[ ("le", "1") ] "test_le_hist");
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Events. *)
+
+let test_events_ring () =
+  Obs.Events.disable ();
+  Obs.Events.clear ();
+  Obs.Events.set_capacity 4;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Events.disable ();
+      Obs.Events.clear ();
+      Obs.Events.set_capacity 512)
+  @@ fun () ->
+  Obs.Events.emit "dead_while_disabled";
+  check_int "disabled emits nothing" 0 (Obs.Events.emitted ());
+  Obs.Events.enable ();
+  for i = 0 to 6 do
+    Obs.Events.emit
+      ~fields:[ ("i", Obs.Trace.Int i) ]
+      (if i mod 2 = 0 then "tick" else "tock")
+  done;
+  let evs, total = Obs.Events.snapshot () in
+  check_int "all emits counted" 7 total;
+  check_int "ring keeps the newest capacity" 4 (List.length evs);
+  check_int "drops counted" 3 (Obs.Events.dropped ());
+  (* oldest-first, and seq numbers survive the drops *)
+  let seqs = List.map (fun (e : Obs.Events.event) -> e.seq) evs in
+  check_bool "oldest first with stable seqs" true (seqs = [ 3; 4; 5; 6 ]);
+  check_bool "wall timestamps monotone" true
+    (let rec mono = function
+       | (a : Obs.Events.event) :: (b :: _ as rest) ->
+           a.ts <= b.ts && mono rest
+       | _ -> true
+     in
+     mono evs);
+  (* the JSON dump is parseable and complete *)
+  match Serving.Json.of_string (Obs.Events.to_json ()) with
+  | Error msg -> Alcotest.failf "events json: %s" msg
+  | Ok doc ->
+      check_int "emitted in json" 7
+        (Option.get (Serving.Json.to_int (member_exn "emitted" doc)));
+      check_int "dropped in json" 3
+        (Option.get (Serving.Json.to_int (member_exn "dropped" doc)));
+      let arr =
+        Option.get (Serving.Json.to_arr (member_exn "events" doc))
+      in
+      check_int "4 events serialized" 4 (List.length arr);
+      let kinds =
+        List.map
+          (fun e ->
+            Option.get (Serving.Json.to_str (member_exn "kind" e)))
+          arr
+      in
+      check_bool "kinds preserved oldest-first" true
+        (kinds = [ "tock"; "tick"; "tock"; "tick" ])
+
 let test_metrics_gating () =
   fresh ();
   let c = Obs.Metrics.counter "test_gating_total" in
@@ -452,7 +594,12 @@ let () =
           Alcotest.test_case "histogram validation" `Quick
             test_histogram_validation;
           Alcotest.test_case "json dump" `Quick test_metrics_json;
+          Alcotest.test_case "labeled series" `Quick test_labeled_series;
+          Alcotest.test_case "label escaping and names" `Quick
+            test_label_escaping_and_names;
         ] );
+      ( "events",
+        [ Alcotest.test_case "bounded ring" `Quick test_events_ring ] );
       ( "integration",
         [
           Alcotest.test_case "fit bit-identical with tracing" `Quick

@@ -169,9 +169,11 @@ let test_push_roundtrips () =
   let xs, f = fresh_batch s ~tag:1 ~k:3 in
   let entry = { Serving.Journal.meta; base_rev = 2; xs; f } in
   let encoded = Serving.Journal.encode_entry entry in
-  (match roundtrip_push (Server.Wire.Journal_entry { seq = 9; entry = encoded })
+  (match
+     roundtrip_push
+       (Server.Wire.Journal_entry { seq = 9; ts = 1234.5; entry = encoded })
    with
-  | Server.Wire.Journal_entry { seq = 9; entry = e } -> (
+  | Server.Wire.Journal_entry { seq = 9; ts = 1234.5; entry = e } -> (
       match Serving.Journal.decode_entry e with
       | Error msg -> Alcotest.failf "shipped entry did not decode: %s" msg
       | Ok back ->
@@ -188,10 +190,15 @@ let test_push_roundtrips () =
   (match Serving.Journal.decode_entry (Bytes.to_string flipped) with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "bit-flipped entry passed the checksum");
-  (match roundtrip_push (Server.Wire.Repl_status { seq = 77; snapshots = 2 })
+  (match
+     roundtrip_push
+       (Server.Wire.Repl_status { seq = 77; snapshots = 2; ts = 9.25 })
    with
-  | Server.Wire.Repl_status { seq = 77; snapshots = 2 } -> ()
+  | Server.Wire.Repl_status { seq = 77; snapshots = 2; ts = 9.25 } -> ()
   | _ -> Alcotest.fail "repl_status round-trip");
+  (match roundtrip_push (Server.Wire.Repl_heartbeat { seq = 5; ts = 2.5 }) with
+  | Server.Wire.Repl_heartbeat { seq = 5; ts = 2.5 } -> ()
+  | _ -> Alcotest.fail "repl_heartbeat round-trip");
   (* impossible chunk geometry must be refused *)
   let bad_geometry =
     Server.Wire.encode_push
@@ -204,9 +211,12 @@ let test_push_roundtrips () =
   (* garbage bodies decode to Error, never raise *)
   let garbage =
     {
-      Server.Wire.frame_kind = 33 (* journal_entry *);
+      Server.Wire.frame_version = 2;
+      frame_kind = 33 (* journal_entry *);
       frame_id = 0;
       frame_deadline_ms = 0;
+      frame_trace = 0;
+      frame_span = 0;
       body = String.make 32 '\xfe';
     }
   in
@@ -660,6 +670,89 @@ let test_pair_catchup_stream_and_promote () =
   check_bool "already leader" false was_follower
 
 (* ------------------------------------------------------------------ *)
+(* Distributed trace propagation + replication telemetry               *)
+
+let test_pair_trace_propagation_and_telemetry () =
+  (* One traced client update must leave spans at the client, the
+     leader and the follower that all share one trace id — the context
+     rides the v2 request frame into the leader and the journal-entry
+     push onto the follower. Calibration and lag telemetry publish on
+     the way. *)
+  Obs.Trace.start ();
+  Obs.Metrics.enable ();
+  Obs.Events.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.stop ();
+      Obs.Trace.clear ();
+      Obs.Metrics.disable ();
+      Obs.Events.disable ();
+      Obs.Events.clear ();
+      Serving.Calibration.reset ())
+  @@ fun () ->
+  with_temp_root @@ fun root ->
+  let s = make_synth () in
+  let a = artifact_of s in
+  ignore (Serving.Store.save ~root:(Filename.concat root "leader") a);
+  (with_pair ~root @@ fun ~leader:_ ~follower:_ ~laddr ~faddr ->
+   let cl = Server.Client.connect laddr in
+   let cf = Server.Client.connect faddr in
+   Fun.protect
+     ~finally:(fun () ->
+       Server.Client.close cf;
+       Server.Client.close cl)
+   @@ fun () ->
+   wait_until "snapshot catch-up" (fun () ->
+       match Server.Client.list_models cf with
+       | Ok infos ->
+           List.exists
+             (fun (i : Server.Wire.model_info) -> i.Server.Wire.meta = meta)
+             infos
+       | Error _ -> false);
+   let xs, f = fresh_batch s ~tag:900 ~k:4 in
+   ignore (ok "traced update" (Server.Client.update cl meta ~xs ~f));
+   wait_until "entry applied" (fun () -> follower_seq cf >= 1);
+   (* calibration scored the update against the pre-update posterior on
+      both replicas (leader at commit, follower at apply) *)
+   let cal = Serving.Calibration.stats meta in
+   check_bool "calibration recorded the update" true (cal.samples >= 4);
+   check_bool "calibration gauge published" true
+     (Obs.Metrics.find_gauge "bmf_calibration_coverage_1s"
+        ~labels:[ ("model", Serving.Calibration.model_label meta) ]
+     <> None);
+   (* the follower's lag gauge exists and reads 0 once drained *)
+   match Obs.Metrics.find_gauge "bmf_repl_follower_lag_entries" with
+   | None -> Alcotest.fail "follower lag gauge not registered"
+   | Some g ->
+       wait_until "lag drains to zero" (fun () ->
+           Float.equal 0. (Obs.Metrics.gauge_value g)));
+  (* the pair has wound down: every daemon domain flushed its trace
+     lane on exit, so the full distributed trace is visible *)
+  let evs = Obs.Trace.events () in
+  let find_trace name =
+    List.filter_map
+      (function
+        | Obs.Trace.Complete { name = n; trace; _ } when n = name ->
+            Some trace
+        | _ -> None)
+      evs
+  in
+  let cli = find_trace "cli_update" in
+  check_bool "client span recorded" true (cli <> []);
+  let t = List.hd cli in
+  check_bool "client span carries a trace id" true (t > 0);
+  let shares name =
+    List.exists (fun tr -> tr = t) (find_trace name)
+  in
+  check_bool "leader request span joins the trace" true (shares "srv_request");
+  check_bool "leader kernel span joins the trace" true (shares "srv_kernel");
+  check_bool "follower apply span joins the trace" true (shares "repl_apply");
+  (* the event ring saw the link come up *)
+  let events, _ = Obs.Events.snapshot () in
+  check_bool "link_up event emitted" true
+    (List.exists (fun (e : Obs.Events.event) -> e.kind = "link_up") events)
+
+(* ------------------------------------------------------------------ *)
 (* Cross-process crash/failover harness                                *)
 
 (* The leader runs in a forked child (forked BEFORE any domain exists
@@ -847,5 +940,7 @@ let () =
         [
           Alcotest.test_case "catch-up, stream, bit-identity, promote" `Quick
             test_pair_catchup_stream_and_promote;
+          Alcotest.test_case "trace propagation and telemetry" `Quick
+            test_pair_trace_propagation_and_telemetry;
         ] );
     ]

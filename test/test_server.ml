@@ -316,9 +316,12 @@ let test_overflow_length_rejected () =
   Buffer.add_int64_le b 0x3FFFFFFFFFFFFFFFL;
   let f =
     {
-      Server.Wire.frame_kind = 2 (* predict *);
+      Server.Wire.frame_version = 1;
+      frame_kind = 2 (* predict *);
       frame_id = 1;
       frame_deadline_ms = 0;
+      frame_trace = 0;
+      frame_span = 0;
       body = Buffer.contents b;
     }
   in
@@ -338,6 +341,61 @@ let test_negative_id_rejected () =
   | `Bad _ -> ()
   | `Frame _ -> Alcotest.fail "u64 id with the top bit set accepted"
   | `Need _ -> Alcotest.fail "negative id misread as incomplete"
+
+let test_v2_trace_roundtrip () =
+  (* with a trace context the frame goes out v2 and echoes it back *)
+  let s =
+    Server.Wire.encode_request ~id:11 ~trace:(0x1234, 0x5678)
+      Server.Wire.Ping_req
+  in
+  let f = frame_of s in
+  check_int "v2 version" 2 f.Server.Wire.frame_version;
+  check_int "trace id" 0x1234 f.Server.Wire.frame_trace;
+  check_int "span id" 0x5678 f.Server.Wire.frame_span;
+  (match Server.Wire.decode_request f with
+  | Ok Server.Wire.Ping_req -> ()
+  | _ -> Alcotest.fail "v2 ping decode");
+  (* without one it stays v1 with a zero context *)
+  let f1 =
+    frame_of (Server.Wire.encode_request ~id:12 Server.Wire.Ping_req)
+  in
+  check_int "v1 version" Server.Wire.min_version f1.Server.Wire.frame_version;
+  check_int "no trace" 0 f1.Server.Wire.frame_trace;
+  check_int "no span" 0 f1.Server.Wire.frame_span;
+  (* every truncation of a v2 frame still reads as incomplete *)
+  for cut = 0 to String.length s - 1 do
+    match Server.Wire.peek (String.sub s 0 cut) ~off:0 with
+    | `Need n -> check_bool "positive need" true (n > 0)
+    | `Frame _ -> Alcotest.failf "v2 truncation at %d produced a frame" cut
+    | `Bad msg ->
+        Alcotest.failf "v2 truncation at %d misread as bad: %s" cut msg
+  done;
+  (* garbage trace words on the wire clamp to 0 — advisory data must
+     never kill a stream the body of which is fine *)
+  let buf = Bytes.of_string s in
+  Bytes.set_int64_le buf 18 (-1L);
+  Bytes.set_int64_le buf 26 Int64.min_int;
+  (match Server.Wire.peek (Bytes.to_string buf) ~off:0 with
+  | `Frame (f, _) ->
+      check_int "garbage trace clamps to 0" 0 f.Server.Wire.frame_trace;
+      check_int "garbage span clamps to 0" 0 f.Server.Wire.frame_span;
+      check_int "id intact" 11 f.Server.Wire.frame_id
+  | `Need _ | `Bad _ -> Alcotest.fail "clamped v2 frame refused");
+  (* a frame claiming v2 but sized for a v1 header is refused *)
+  let short =
+    Bytes.of_string (Server.Wire.encode_request ~id:13 Server.Wire.Ping_req)
+  in
+  Bytes.set short 4 '\x02';
+  (match Server.Wire.peek (Bytes.to_string short) ~off:0 with
+  | `Bad _ -> ()
+  | `Frame _ -> Alcotest.fail "undersized v2 frame accepted"
+  | `Need _ -> Alcotest.fail "undersized v2 frame misread as incomplete");
+  (* encode refuses a negative context outright *)
+  match
+    Server.Wire.encode_request ~id:14 ~trace:(-1, 0) Server.Wire.Ping_req
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative trace context encoded"
 
 (* ------------------------------------------------------------------ *)
 (* End-to-end over a Unix socket                                       *)
@@ -570,7 +628,8 @@ let test_e2e_hostile_frame_contained () =
       let b = Buffer.create 32 in
       Buffer.add_int32_le b
         (Int32.of_int (Server.Wire.header_len + 8));
-      Buffer.add_uint8 b Server.Wire.version;
+      (* a v1 header: the hostile part is the body, not the framing *)
+      Buffer.add_uint8 b Server.Wire.min_version;
       Buffer.add_uint8 b 2 (* predict *);
       Buffer.add_int64_le b 5L (* id *);
       Buffer.add_int32_le b 0l (* deadline *);
@@ -670,6 +729,166 @@ let test_e2e_journal_replayed_on_create () =
     (Float.equal 1. st.Server.Client.recovered_updates)
 
 (* ------------------------------------------------------------------ *)
+(* Scrape endpoint (HTTP served from the same select loop)             *)
+
+let http_get sock req =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX sock);
+      ignore (Unix.write_substring fd req 0 (String.length req));
+      let b = Buffer.create 1024 in
+      let tmp = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read fd tmp 0 4096 with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes b tmp 0 n;
+            drain ()
+      in
+      drain ();
+      Buffer.contents b)
+
+let contains hay sub =
+  try
+    ignore (Str.search_forward (Str.regexp_string sub) hay 0);
+    true
+  with Not_found -> false
+
+let test_e2e_http_endpoints () =
+  with_temp_root @@ fun root ->
+  let s = make_synth ~k:20 ~r:8 () in
+  ignore (Serving.Store.save ~root (artifact_of s));
+  let hsock = Filename.concat root "http.sock" in
+  let config =
+    {
+      Server.Daemon.default_config with
+      Server.Daemon.http = Some (Server.Daemon.Unix_socket hsock);
+    }
+  in
+  Obs.Metrics.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.disable ();
+      Serving.Calibration.reset ())
+  @@ fun () ->
+  with_daemon ~config ~root @@ fun _t addr ->
+  with_client addr @@ fun c ->
+  ok "ping" (Server.Client.ping c);
+  (* one calibrated update so the per-model calibration series exist *)
+  let xs =
+    let rng = Stats.Rng.create 7777 in
+    Stats.Sampling.monte_carlo rng ~k:4 ~r:8
+  in
+  let f =
+    Array.init 4 (fun i ->
+        Linalg.Vec.dot
+          (Polybasis.Basis.eval_row s.basis (Linalg.Mat.row xs i))
+          s.truth)
+  in
+  ignore (ok "update" (Server.Client.update c meta ~xs ~f));
+  let metrics = http_get hsock "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n" in
+  check_bool "metrics 200" true (contains metrics "HTTP/1.1 200");
+  check_bool "prometheus content type" true
+    (contains metrics "text/plain; version=0.0.4");
+  check_bool "request counter exposed" true
+    (contains metrics "bmf_server_requests_total");
+  check_bool "leader lag gauge exposed" true
+    (contains metrics "bmf_repl_lag_entries");
+  check_bool "calibration gauges exposed" true
+    (contains metrics "bmf_calibration_coverage_1s");
+  check_bool "+Inf bucket exposed" true (contains metrics "le=\"+Inf\"");
+  check_bool "role series exposed" true
+    (contains metrics "bmf_server_role{role=\"leader\"} 1");
+  let health = http_get hsock "GET /health HTTP/1.1\r\n\r\n" in
+  check_bool "health 200" true (contains health "HTTP/1.1 200");
+  check_bool "health names the role" true
+    (contains health "\"role\":\"leader\"");
+  check_bool "health reports readiness" true
+    (contains health "\"ready\":true");
+  check_bool "health reports queue depth" true
+    (contains health "\"queue_depth\"");
+  let ready = http_get hsock "GET /ready HTTP/1.1\r\n\r\n" in
+  check_bool "standalone leader is ready" true (contains ready "HTTP/1.1 200");
+  let missing = http_get hsock "GET /nope HTTP/1.1\r\n\r\n" in
+  check_bool "404 on an unknown path" true (contains missing "HTTP/1.1 404");
+  let post = http_get hsock "POST /metrics HTTP/1.1\r\n\r\n" in
+  check_bool "405 on POST" true (contains post "HTTP/1.1 405");
+  (* the scrape listener shares the loop: the wire socket still answers *)
+  ok "ping after scrapes" (Server.Client.ping c);
+  let n = ok "predict" (Server.Client.predict c meta (queries s 4)) in
+  check_int "predict after scrapes" 4 (Array.length n)
+
+(* ------------------------------------------------------------------ *)
+(* Bit-identity with the full observability plane on                   *)
+
+let test_e2e_obs_bit_identity () =
+  with_temp_root @@ fun root ->
+  let s = make_synth ~k:30 ~r:12 () in
+  let a = artifact_of s in
+  let root_on = Filename.concat root "on" in
+  let root_off = Filename.concat root "off" in
+  ignore (Serving.Store.save ~root:root_on a);
+  ignore (Serving.Store.save ~root:root_off a);
+  let k_new = 6 in
+  let r = Polybasis.Basis.dim s.basis in
+  let xs =
+    let rng = Stats.Rng.create 4242 in
+    Stats.Sampling.monte_carlo rng ~k:k_new ~r
+  in
+  let f =
+    Array.init k_new (fun i ->
+        Linalg.Vec.dot
+          (Polybasis.Basis.eval_row s.basis (Linalg.Mat.row xs i))
+          s.truth)
+  in
+  let q = queries s 32 in
+  let run_one ~obs root =
+    if obs then begin
+      Obs.Trace.start ();
+      Obs.Metrics.enable ();
+      Obs.Events.enable ()
+    end;
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Trace.stop ();
+        Obs.Trace.clear ();
+        Obs.Metrics.disable ();
+        Obs.Events.disable ();
+        Obs.Events.clear ();
+        Serving.Calibration.reset ())
+      (fun () ->
+        with_daemon ~root @@ fun _t addr ->
+        with_client addr @@ fun c ->
+        ignore (ok "update" (Server.Client.update c meta ~xs ~f));
+        ok "predict" (Server.Client.predict c meta q))
+  in
+  let on = run_one ~obs:true root_on in
+  let off = run_one ~obs:false root_off in
+  check_bool "means bit-identical with observability on" true
+    (Array.for_all2 Float.equal on off);
+  check_string "fingerprints agree"
+    (Serving.Artifact.fingerprint off)
+    (Serving.Artifact.fingerprint on);
+  (* the persisted artifacts are byte-identical too: calibration,
+     tracing and events never leak into the store *)
+  let store_bytes root =
+    let files =
+      Sys.readdir root |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".bmfa")
+      |> List.sort compare
+    in
+    List.map
+      (fun f ->
+        In_channel.with_open_bin (Filename.concat root f)
+          In_channel.input_all)
+      files
+  in
+  check_bool "store files byte-identical" true
+    (store_bytes root_on = store_bytes root_off)
+
+(* ------------------------------------------------------------------ *)
 (* Loadgen percentile estimator                                        *)
 
 let test_percentile_fixtures () =
@@ -735,6 +954,8 @@ let () =
           Alcotest.test_case "overflow length" `Quick
             test_overflow_length_rejected;
           Alcotest.test_case "negative id" `Quick test_negative_id_rejected;
+          Alcotest.test_case "v2 trace context" `Quick
+            test_v2_trace_roundtrip;
         ] );
       ( "e2e",
         [
@@ -759,6 +980,13 @@ let () =
             test_e2e_hostile_frame_contained;
           Alcotest.test_case "graceful shutdown" `Quick
             test_e2e_graceful_shutdown;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "http scrape endpoints" `Quick
+            test_e2e_http_endpoints;
+          Alcotest.test_case "bit-identical with obs on" `Quick
+            test_e2e_obs_bit_identity;
         ] );
       ( "durability",
         [

@@ -855,6 +855,109 @@ let test_crash_random_interleavings () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Online calibration telemetry                                        *)
+
+let cal_meta =
+  { Serving.Artifact.circuit = "cal"; metric = "m"; scale = "quick"; seed = 1 }
+
+let with_calibration f =
+  Obs.Metrics.enable ();
+  Serving.Calibration.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Serving.Calibration.reset ();
+      Obs.Metrics.disable ())
+    f
+
+let checkf_eps msg eps expected got = Alcotest.(check (float eps)) msg expected got
+
+let test_calibration_known_residuals () =
+  with_calibration @@ fun () ->
+  (* unit-sigma, zero-mean predictions against a hand-picked residual
+     stream: z = observed, so coverage at 1/2/3 sigma is countable *)
+  let observed = [| 0.5; -0.9; 1.5; -1.8; 2.5; -2.9; 3.5; 0.1 |] in
+  let n = Array.length observed in
+  Serving.Calibration.record ~meta:cal_meta ~mean:(Array.make n 0.)
+    ~std:(Array.make n 1.) ~observed;
+  let st = Serving.Calibration.stats cal_meta in
+  check_int "samples" n st.Serving.Calibration.samples;
+  check_int "window holds all of them" n st.Serving.Calibration.window;
+  checkf_eps "coverage |z|<=1 is 3/8" 1e-12 0.375
+    st.Serving.Calibration.coverage1;
+  checkf_eps "coverage |z|<=2 is 5/8" 1e-12 0.625
+    st.Serving.Calibration.coverage2;
+  checkf_eps "coverage |z|<=3 is 7/8" 1e-12 0.875
+    st.Serving.Calibration.coverage3;
+  let rmse_ref =
+    sqrt (Array.fold_left (fun a z -> a +. (z *. z)) 0. observed /. float n)
+  in
+  checkf_eps "rmse" 1e-12 rmse_ref st.Serving.Calibration.rmse;
+  let zmean_ref = Array.fold_left ( +. ) 0. observed /. float n in
+  checkf_eps "z mean" 1e-12 zmean_ref st.Serving.Calibration.z_mean;
+  (* gauges published under the model label *)
+  let label = Serving.Calibration.model_label cal_meta in
+  (match
+     Obs.Metrics.find_gauge ~labels:[ ("model", label) ]
+       "bmf_calibration_coverage_1s"
+   with
+  | None -> Alcotest.fail "coverage gauge not registered"
+  | Some g -> checkf_eps "published coverage" 1e-12 0.375
+      (Obs.Metrics.gauge_value g));
+  match
+    Obs.Metrics.find_gauge ~labels:[ ("model", label) ]
+      "bmf_calibration_rmse"
+  with
+  | None -> Alcotest.fail "rmse gauge not registered"
+  | Some g -> checkf_eps "published rmse" 1e-12 rmse_ref
+      (Obs.Metrics.gauge_value g)
+
+let test_calibration_window_wrap () =
+  with_calibration @@ fun () ->
+  Serving.Calibration.set_window 4;
+  Fun.protect ~finally:(fun () -> Serving.Calibration.set_window 256)
+  @@ fun () ->
+  (* 4 wild misses followed by 4 perfect hits: the rolling window must
+     forget the misses entirely *)
+  let shoot z k =
+    Serving.Calibration.record ~meta:cal_meta ~mean:(Array.make k 0.)
+      ~std:(Array.make k 1.) ~observed:(Array.make k z)
+  in
+  shoot 10. 4;
+  let st = Serving.Calibration.stats cal_meta in
+  checkf_eps "all misses" 1e-12 0. st.Serving.Calibration.coverage3;
+  shoot 0.5 4;
+  let st = Serving.Calibration.stats cal_meta in
+  check_int "total samples keep counting" 8 st.Serving.Calibration.samples;
+  check_int "window is bounded" 4 st.Serving.Calibration.window;
+  checkf_eps "misses rolled out" 1e-12 1. st.Serving.Calibration.coverage1;
+  checkf_eps "rmse over the window only" 1e-12 0.5 st.Serving.Calibration.rmse
+
+let test_calibration_degenerate_and_gating () =
+  (* disabled metrics: recording is a strict no-op *)
+  Obs.Metrics.disable ();
+  Serving.Calibration.reset ();
+  Serving.Calibration.record ~meta:cal_meta ~mean:[| 0. |] ~std:[| 1. |]
+    ~observed:[| 0.1 |];
+  let st = Serving.Calibration.stats cal_meta in
+  check_int "disabled records nothing" 0 st.Serving.Calibration.samples;
+  with_calibration @@ fun () ->
+  (* non-positive / non-finite sigmas count as coverage misses, never
+     divide-by-zero *)
+  Serving.Calibration.record ~meta:cal_meta ~mean:[| 0.; 0.; 0. |]
+    ~std:[| 0.; nan; 1. |] ~observed:[| 0.0; 0.0; 0.5 |];
+  let st = Serving.Calibration.stats cal_meta in
+  check_int "all rows scored" 3 st.Serving.Calibration.window;
+  checkf_eps "degenerate sigmas are misses" 1e-12 (1. /. 3.)
+    st.Serving.Calibration.coverage3;
+  (* length mismatch is a caller bug *)
+  check_bool "length mismatch rejected" true
+    (try
+       Serving.Calibration.record ~meta:cal_meta ~mean:[| 0. |]
+         ~std:[| 1.; 1. |] ~observed:[| 0.1 |];
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "serving"
@@ -918,5 +1021,14 @@ let () =
             test_incremental_to_artifact_roundtrip;
           Alcotest.test_case "rejects bad rows" `Quick
             test_incremental_rejects_bad_rows;
+        ] );
+      ( "calibration",
+        [
+          Alcotest.test_case "known residual stream" `Quick
+            test_calibration_known_residuals;
+          Alcotest.test_case "rolling window wrap" `Quick
+            test_calibration_window_wrap;
+          Alcotest.test_case "degenerate sigmas and gating" `Quick
+            test_calibration_degenerate_and_gating;
         ] );
     ]
