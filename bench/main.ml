@@ -300,6 +300,101 @@ let daemon_loadgen (cfg : Experiments.Config.t) =
       Format.printf "%a@." Server.Loadgen.pp summary)
 
 (* ------------------------------------------------------------------ *)
+(* Shard scaling: the same closed-loop load against the same store at  *)
+(* --shards 1 and --shards 2, with a direct-predictor fingerprint      *)
+(* check per shard count (the multi-core plane must stay bit-exact).   *)
+
+let sharding_records : (int * bool * Server.Loadgen.summary) list ref = ref []
+
+let shard_scaling (cfg : Experiments.Config.t) =
+  let ro = Circuit.Ring_oscillator.create ~config:cfg.ro cfg.seed in
+  let tb = Circuit.Ring_oscillator.testbench ro in
+  let metric = Circuit.Ring_oscillator.frequency_index in
+  let prep = Experiments.Runner.prepare cfg tb ~metric in
+  let rng = Stats.Rng.create 1700 in
+  let xs, f =
+    Circuit.Testbench.draw_dataset tb ~stage:Circuit.Stage.Layout ~metric ~rng
+      ~k:100 ()
+  in
+  let g = Polybasis.Basis.design_matrix prep.late_basis xs in
+  let prior = Bmf.Prior.nonzero_mean prep.early in
+  let meta =
+    {
+      Serving.Artifact.circuit = "ro";
+      metric = "frequency";
+      scale = "bench-shard";
+      seed = cfg.seed;
+    }
+  in
+  let artifact =
+    Serving.Artifact.of_fit ~meta ~basis:prep.late_basis ~prior ~hyper:1e-3 ~g
+      ~f ()
+  in
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bmf-bench-shard.%d" (Unix.getpid ()))
+  in
+  ignore (Serving.Store.save ~root artifact);
+  let r = Polybasis.Basis.dim prep.late_basis in
+  let q =
+    Stats.Sampling.monte_carlo (Stats.Rng.create 1701) ~k:32 ~r
+  in
+  let direct =
+    Serving.Predictor.predict (Serving.Predictor.of_artifact artifact) q
+  in
+  ignore (Parallel.Pool.run (Array.init 4 (fun i () -> i)));
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f ->
+          try Sys.remove (Filename.concat root f) with Sys_error _ -> ())
+        (try Sys.readdir root with Sys_error _ -> [||]);
+      try Unix.rmdir root with Unix.Unix_error _ -> ())
+    (fun () ->
+      List.iter
+        (fun shards ->
+          let sock =
+            Filename.concat root (Printf.sprintf "shard%d.sock" shards)
+          in
+          let config =
+            {
+              Server.Daemon.default_config with
+              Server.Daemon.durability = `Fast;
+              shards;
+            }
+          in
+          let t =
+            Server.Daemon.create ~config ~root
+              (Server.Daemon.Unix_socket sock)
+          in
+          let server = Domain.spawn (fun () -> Server.Daemon.run t) in
+          Fun.protect
+            ~finally:(fun () ->
+              Server.Daemon.stop t;
+              Domain.join server)
+            (fun () ->
+              let addr = Server.Daemon.address t in
+              let identical =
+                let c = Server.Client.connect addr in
+                Fun.protect
+                  ~finally:(fun () -> Server.Client.close c)
+                  (fun () ->
+                    match Server.Client.predict c meta q with
+                    | Ok means -> Array.for_all2 Float.equal direct means
+                    | Error _ -> false)
+              in
+              let summary =
+                Server.Loadgen.run ~connections:4 ~duration_s:2. ~batch:64
+                  ~meta [ addr ]
+              in
+              sharding_records :=
+                (shards, identical, summary) :: !sharding_records;
+              Format.printf "shards %d: %.0f req/s, bit-identical: %b@."
+                shards summary.Server.Loadgen.throughput_rps identical))
+        [ 1; 2 ];
+      sharding_records := List.rev !sharding_records)
+
+(* ------------------------------------------------------------------ *)
 (* Replication: WAL shipping from a leader to an in-process follower — *)
 (* entries shipped per second, follower apply latency (from the        *)
 (* bmf_repl_apply_seconds histogram) and read throughput served off    *)
@@ -677,7 +772,23 @@ let summary_json ~total_seconds ~microbench =
   (match !loadgen_summary with
   | Some s -> Buffer.add_string buf (Server.Loadgen.to_json s)
   | None -> Buffer.add_string buf "null");
-  Buffer.add_string buf ",\"replication\":";
+  Buffer.add_string buf ",\"sharding\":[";
+  let rps1 =
+    match !sharding_records with
+    | (1, _, s) :: _ -> s.Server.Loadgen.throughput_rps
+    | _ -> Float.nan
+  in
+  List.iteri
+    (fun i (shards, identical, s) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"shards\":%d,\"identical\":%b,\"speedup\":%.3f,\"loadgen\":%s}"
+           shards identical
+           (s.Server.Loadgen.throughput_rps /. Float.max 1e-9 rps1)
+           (Server.Loadgen.to_json s)))
+    !sharding_records;
+  Buffer.add_string buf "],\"replication\":";
   (match !replication_record with
   | Some s -> Buffer.add_string buf s
   | None -> Buffer.add_string buf "null");
@@ -766,6 +877,9 @@ let () =
 
   section "Serving daemon: micro-batched predictions over a Unix socket";
   ignore (timed "daemon_loadgen" (fun () -> daemon_loadgen cfg; ""));
+
+  section "Shard scaling: loadgen at --shards 1 vs 2 (bit-exact)";
+  ignore (timed "sharding" (fun () -> shard_scaling cfg; ""));
 
   section "Replication: WAL shipping to an in-process follower";
   ignore (timed "replication" (fun () -> replication_bench cfg; ""));

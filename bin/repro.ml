@@ -790,6 +790,19 @@ let http_addr_arg =
            $(b,/ready) (503 until a follower finished catch-up) and \
            $(b,/events).")
 
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Serving shards. $(docv) = 1 (the default) runs the classic \
+           single-domain loop. $(docv) >= 2 spawns $(docv) worker domains \
+           that serve predict traffic from immutable model snapshots while \
+           the accept/journal/replication/scrape plane stays on the main \
+           domain; updates remain serialized through the single \
+           write-ahead journal and responses stay bit-identical to \
+           $(b,--shards 1).")
+
 let serve_events_arg =
   Arg.(
     value & flag
@@ -812,9 +825,13 @@ let serve_trace_arg =
            files with $(b,repro trace-merge).")
 
 let run_serve verbose dir socket host port queue max_batch cache jobs
-    durability metrics follow http events trace =
+    durability metrics follow http shards events trace =
   Parallel.Pool.set_default_jobs (Stdlib.max 0 jobs);
   let _ = verbose in
+  if shards < 1 then begin
+    Printf.eprintf "--shards must be at least 1 (got %d)\n" shards;
+    exit 2
+  end;
   (* metrics collection is always on for the daemon: the `stats` opcode
      reports the live registry; --metrics additionally dumps it on exit *)
   Obs.Metrics.enable ();
@@ -828,6 +845,7 @@ let run_serve verbose dir socket host port queue max_batch cache jobs
       cache_capacity = Stdlib.max 1 cache;
       durability;
       http = Option.map (parse_addr_or_die "--http") http;
+      shards;
     }
   in
   let follow = Option.map (parse_addr_or_die "--follow") follow in
@@ -838,11 +856,13 @@ let run_serve verbose dir socket host port queue max_batch cache jobs
   Server.Daemon.install_signal_handlers t;
   print_endline (Serving.Recovery.summary (Server.Daemon.recovery t));
   Format.printf
-    "serving %s at %a  (queue %d, max batch %d, cache %d, -j %d, %s)@."
+    "serving %s at %a  (queue %d, max batch %d, cache %d, -j %d, %s, \
+     shards %d)@."
     (root_of dir) Server.Daemon.pp_address (Server.Daemon.address t)
     queue max_batch cache
     (Parallel.Pool.default_jobs ())
-    (match durability with `Fast -> "fast" | `Durable -> "durable");
+    (match durability with `Fast -> "fast" | `Durable -> "durable")
+    shards;
   Option.iter
     (fun a ->
       Format.printf "scrape endpoint at %a (/metrics /health /ready /events)@."
@@ -880,18 +900,19 @@ let serve_cmd =
      predict_with_variance, update, list_models, stats, subscribe, \
      promote), bounded request queue with immediate $(b,busy) \
      backpressure, per-request deadlines, LRU model cache, graceful \
-     drain on SIGTERM/SIGINT. With $(b,--follow) the daemon runs as a \
-     read-only replication follower. $(b,--http) adds a scrape endpoint \
-     (Prometheus /metrics, /health, /ready, /events), $(b,--trace) \
-     records distributed-trace spans, $(b,--events) the structured \
-     event ring."
+     drain on SIGTERM/SIGINT. $(b,--shards N) spreads serving over N \
+     worker domains (one core each) with bit-identical responses. With \
+     $(b,--follow) the daemon runs as a read-only replication follower. \
+     $(b,--http) adds a scrape endpoint (Prometheus /metrics, /health, \
+     /ready, /events), $(b,--trace) records distributed-trace spans, \
+     $(b,--events) the structured event ring."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run_serve $ verbose_arg $ dir_arg $ socket_arg $ host_arg
       $ port_arg $ queue_arg $ max_batch_arg $ cache_arg $ jobs_arg
       $ durability_arg ~default:`Durable $ metrics_arg $ follow_arg
-      $ http_addr_arg $ serve_events_arg $ serve_trace_arg)
+      $ http_addr_arg $ shards_arg $ serve_events_arg $ serve_trace_arg)
 
 let meta_of (scale_name, (cfg : Experiments.Config.t)) circuit metric_opt =
   let tb = testbench_of cfg circuit in
@@ -991,10 +1012,11 @@ and run_client_exn common socket host port deadline_ms action =
       | Ok s ->
           Printf.printf
             "uptime: %.1f s, requests served: %.0f, updates replayed by \
-             recovery: %.0f\nrole: %s, journal offset: %d\n%s\n"
+             recovery: %.0f\nrole: %s, journal offset: %d, shards: %d\n%s\n"
             s.Server.Client.uptime_s s.Server.Client.requests
             s.Server.Client.recovered_updates s.Server.Client.role
-            s.Server.Client.journal_seq s.Server.Client.metrics_json)
+            s.Server.Client.journal_seq s.Server.Client.shards
+            s.Server.Client.metrics_json)
   | "predict" | "predict-std" -> (
       let _, _, meta = common in
       let info = find_model c meta in

@@ -6,6 +6,8 @@ let wall () = Unix.gettimeofday ()
    (boot time), so readings are durations, not dates. *)
 let monotonic () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
 
+let monotonic_raw = monotonic
+
 let source = ref monotonic
 
 let last = ref neg_infinity

@@ -20,6 +20,14 @@ val wall : unit -> float
 (** Wall-clock seconds since the epoch ([Unix.gettimeofday]) — for
     human-facing timestamps only; subject to NTP steps. *)
 
+val monotonic_raw : unit -> float
+(** The default CLOCK_MONOTONIC source read directly, bypassing any
+    {!set_source} injection. For {e pacing} that must track real
+    elapsed time even while a test has frozen the logical clock — the
+    serving daemon's batch window uses this, so a frozen {!now_s}
+    suspends deadline expiry without wedging the batch cadence. Never
+    compare readings from this function with {!now_s} readings. *)
+
 val set_source : (unit -> float) -> unit
 (** Replace the raw source (seconds). Resets the monotonic clamp so a
     test clock may start from any origin. *)

@@ -41,6 +41,8 @@ let on_worker_key = Domain.DLS.new_key (fun () -> false)
 
 let on_worker () = Domain.DLS.get on_worker_key
 
+let inline_in_domain () = Domain.DLS.set on_worker_key true
+
 let exec task =
   if Obs.Metrics.enabled () then begin
     Obs.Metrics.inc m_tasks;

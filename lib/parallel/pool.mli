@@ -79,3 +79,12 @@ val map : ('a -> 'b) -> 'a array -> 'b array
 
 val parallel_chunks : ?grain:int -> n:int -> (lo:int -> hi:int -> unit) -> unit
 (** {!chunks_on} on the shared pool. *)
+
+val inline_in_domain : unit -> unit
+(** Mark the calling domain so every batch it submits — to any pool,
+    including the shared default — runs sequentially inline, exactly as
+    if submitted from inside a pool task. Irreversible for the domain's
+    lifetime. Serving shards use this: each shard domain owns one core,
+    so fanning kernels back out through the shared pool would only add
+    queue contention, and inline execution keeps per-shard results
+    bit-identical to a sequential run. *)

@@ -18,6 +18,7 @@ type server_stats = {
   recovered_updates : float;
   role : string;
   journal_seq : int;
+  shards : int;
   metrics_json : string;
 }
 
@@ -226,9 +227,25 @@ let stats t =
   match roundtrip t Wire.Stats_req with
   | Ok
       (Wire.Stats_payload
-        { uptime_s; requests; recovered_updates; role; journal_seq; metrics_json })
-    ->
-      Ok { uptime_s; requests; recovered_updates; role; journal_seq; metrics_json }
+        {
+          uptime_s;
+          requests;
+          recovered_updates;
+          role;
+          journal_seq;
+          shards;
+          metrics_json;
+        }) ->
+      Ok
+        {
+          uptime_s;
+          requests;
+          recovered_updates;
+          role;
+          journal_seq;
+          shards;
+          metrics_json;
+        }
   | Ok _ -> unexpected ()
   | Error e -> Error e
 

@@ -83,6 +83,7 @@ type server_stats = {
   journal_seq : int;
       (** Leader: commits since start; follower: last leader sequence
           applied. *)
+  shards : int;  (** Serving shards the daemon runs with. *)
   metrics_json : string;
 }
 

@@ -1,20 +1,37 @@
-(* Single-threaded select loop + micro-batch executor. Design notes:
+(* Select loop + micro-batch executor, optionally sharded across
+   domains. Design notes:
 
-   - One thread of control: sockets are non-blocking and every state
-     mutation happens on the loop, so no locks are needed; [stop] is the
-     only cross-domain entry and goes through an Atomic + self-pipe.
+   - One writer domain owns all mutation of shared serving state: the
+     accept loops, the model store/journal commit point, replication
+     fan-out, the follower link and the HTTP scrape endpoint. With
+     [shards = 1] (the default) it is also the only domain — the
+     original single-threaded daemon, no domains spawned, fork-safe.
+   - With [shards >= 2], N worker domains each run their own private
+     select loop over a disjoint subset of client connections (the
+     acceptor hands accepted fds across over an internal mailbox).
+     Workers execute predict kernels against immutable model snapshots
+     published by the writer via one [Atomic] swap ([Serving.Snapshot]),
+     so reads take no locks; updates are forwarded to the writer and
+     stay serialized through the single journal commit point. The
+     writer publishes the new snapshot before the ack frame travels
+     back, so an acked update is visible to every shard.
    - Bounded queue: admission happens at frame-parse time and a full
      queue answers Busy immediately — the daemon never buffers more
-     compute than [queue_capacity] requests. Connection memory is
-     bounded too: predict batches whose response could not fit in one
-     frame are refused at admission, and a connection that stops
-     reading its responses stops being read once [max_buffered_out]
-     bytes are queued for it.
-   - Micro-batching: each tick drains the whole queue as one window;
-     predicts group by (model, with_std) and run as single blocked
-     predictor calls, so the per-batch costs (basis recurrences, pool
-     dispatch) amortize across every connection that hit the window.
-     Row-wise kernels make the re-split bit-identical to direct calls.
+     compute than [queue_capacity] requests per executor. Connection
+     memory is bounded too: predict batches whose response could not
+     fit in one frame are refused at admission, and a connection that
+     stops reading its responses stops being read once
+     [max_buffered_out] bytes are queued for it.
+   - Micro-batching: a batch window closes [batch_delay_s] after its
+     oldest admission (immediately when 0); predicts group by
+     (model, with_std) and run as single blocked predictor calls, so
+     the per-batch costs (basis recurrences, pool dispatch) amortize
+     across every connection that hit the window. Row-wise kernels
+     make the re-split bit-identical to direct calls at any shard
+     count.
+   - The select timeout is computed from the nearest pending deadline,
+     batch-window close, link retry, heartbeat or HTTP read deadline —
+     capped at 0.25 s, never quantized to it.
    - Crash containment: any exception a request raises is turned into
      an error frame for that request; the loop itself never dies. *)
 
@@ -61,12 +78,18 @@ type config = {
   slow_request_s : float;
       (* requests slower than this (admission to reply) emit a
          [slow_request] event when the event log is enabled *)
+  shards : int;
+      (* serving shards: 1 = the classic single-domain loop (no domains
+         spawned); N >= 2 spawns N worker domains for predict traffic *)
+  http_idle_s : float;
+      (* a scrape connection that has not completed its request line
+         within this many seconds of its last progress is dropped *)
 }
 
 let default_config =
   { queue_capacity = 256; max_batch = 4096; cache_capacity = 8;
     batch_delay_s = 0.; durability = `Durable; http = None;
-    slow_request_s = 0.25 }
+    slow_request_s = 0.25; shards = 1; http_idle_s = 5. }
 
 (* ------------------------------------------------------------------ *)
 (* Metrics.                                                            *)
@@ -132,6 +155,27 @@ let m_http_requests =
   Obs.Metrics.counter ~help:"Scrape-endpoint HTTP requests served"
     "bmf_server_http_requests_total"
 
+let m_http_idle_drops =
+  Obs.Metrics.counter
+    ~help:"Scrape connections dropped for idling past the read deadline"
+    "bmf_server_http_idle_drops_total"
+
+(* Per-shard series complementing the process-wide families above; the
+   unlabeled aggregates keep their meaning at any shard count. *)
+let shard_label sid = [ ("shard", string_of_int sid) ]
+
+let shard_requests_counter sid =
+  Obs.Metrics.counter ~help:"Requests received, per serving shard"
+    ~labels:(shard_label sid) "bmf_server_shard_requests_total"
+
+let shard_queue_gauge sid =
+  Obs.Metrics.gauge ~help:"Pending requests queued on a serving shard"
+    ~labels:(shard_label sid) "bmf_server_shard_queue_depth"
+
+let shard_conns_gauge sid =
+  Obs.Metrics.gauge ~help:"Open connections owned by a serving shard"
+    ~labels:(shard_label sid) "bmf_server_shard_connections"
+
 (* Follower-side lag, complementing the leader-side
    [bmf_repl_lag_entries] gauge registered by [Replication.Source]. *)
 let g_follower_lag_entries =
@@ -178,11 +222,65 @@ type conn = {
   mutable close_after_flush : bool;
   mutable closed : bool;
   mutable peer : peer;
+  read_deadline_s : float;
+      (* monotonic instant after which an unfinished read side is
+         dropped ([infinity] = none); only scrape peers get one *)
 }
 
 (* Read-side backpressure: once this many encoded bytes are queued for a
    connection we stop reading from it until the client drains some. *)
 let max_buffered_out = 2 * Wire.max_frame_len
+
+(* ------------------------------------------------------------------ *)
+(* Cross-domain mailbox: a mutex-guarded queue plus a self-pipe so a
+   push can wake the receiving domain out of its select. The mutex
+   release/acquire pair is the happens-before edge that publishes the
+   message payload to the receiver.                                    *)
+
+module Mbox = struct
+  type 'a t = {
+    mu : Mutex.t;
+    q : 'a Queue.t;
+    r : Unix.file_descr;
+    w : Unix.file_descr;
+    wake_buf : Bytes.t;  (* preallocated: pushes must not allocate *)
+  }
+
+  let create () =
+    let r, w = Unix.pipe ~cloexec:true () in
+    Unix.set_nonblock r;
+    Unix.set_nonblock w;
+    { mu = Mutex.create (); q = Queue.create (); r; w;
+      wake_buf = Bytes.make 1 '!' }
+
+  (* A full pipe (EAGAIN) means a wake-up is already pending. *)
+  let wake t =
+    try ignore (Unix.write t.w t.wake_buf 0 1) with Unix.Unix_error _ -> ()
+
+  let push t x =
+    Mutex.lock t.mu;
+    Queue.add x t.q;
+    Mutex.unlock t.mu;
+    wake t
+
+  let drain t =
+    Mutex.lock t.mu;
+    let xs = Queue.fold (fun acc x -> x :: acc) [] t.q in
+    Queue.clear t.q;
+    Mutex.unlock t.mu;
+    List.rev xs
+
+  let clear_wake ~scratch t =
+    try
+      while Unix.read t.r scratch 0 64 > 0 do
+        ()
+      done
+    with Unix.Unix_error _ -> ()
+
+  let close t =
+    (try Unix.close t.r with Unix.Unix_error _ -> ());
+    try Unix.close t.w with Unix.Unix_error _ -> ()
+end
 
 type work =
   | Wpredict of {
@@ -200,6 +298,10 @@ type pending = {
   p_conn : conn;
   p_id : int;
   admitted_s : float;
+  (* Raw-monotonic admission instant ({!Obs.Clock.monotonic_raw}) used
+     only for batch-window pacing: a frozen injected test clock must
+     suspend deadline expiry without also wedging the window close. *)
+  admitted_mono : float;
   expires_s : float;  (* [infinity] = no deadline *)
   work : work;
   (* Distributed-trace context, all 0 when tracing is off: the trace id
@@ -226,6 +328,58 @@ type snap_acc = { s_rev : int; s_total : int; s_buf : Buffer.t }
    trusts its configured leader but not unboundedly. *)
 let max_snapshot_bytes = 256 * 1024 * 1024
 
+(* Acceptor -> shard traffic. [S_conn] hands a freshly accepted client
+   fd across; [S_reply] routes a forwarded update's already-encoded
+   response frame back to the shard that owns the connection (only the
+   owning shard ever touches a [conn]). *)
+type shard_msg =
+  | S_conn of Unix.file_descr
+  | S_reply of { r_conn : conn; r_frame : string }
+
+(* Shard -> writer traffic. [W_update] is a client update admitted on a
+   shard and forwarded to the single journal commit point ([u_conn] is
+   an opaque routing token here — the writer never dereferences it).
+   [W_adopt] hands a whole connection back to the writer because its
+   latest frame ([a_frame], with [a_in]/[a_out] the unparsed input and
+   unflushed output around it) needs the replication control plane
+   (Subscribe/Promote). [W_publish] asks the writer to publish a model
+   a shard found on disk but missing from the snapshot.               *)
+type writer_msg =
+  | W_update of {
+      u_shard : int;
+      u_conn : conn;
+      u_id : int;
+      u_admitted_s : float;
+      u_expires_s : float;
+      u_meta : Serving.Artifact.meta;
+      u_xs : Linalg.Mat.t;
+      u_f : Linalg.Vec.t;
+      u_trace : int;
+      u_span : int;
+    }
+  | W_adopt of {
+      a_fd : Unix.file_descr;
+      a_in : string;
+      a_out : string list;
+      a_out_off : int;
+      a_frame : Wire.frame;
+    }
+  | W_publish of Serving.Artifact.meta
+
+type shard = {
+  sid : int;
+  s_mbox : shard_msg Mbox.t;
+  mutable s_conns : conn list;
+  s_pending : pending Queue.t;
+  s_scratch : Bytes.t;  (* per-shard read buffer *)
+  s_fused : Linalg.Mat.t option ref;  (* per-shard fused-batch buffer *)
+  mutable s_outstanding : int;  (* updates forwarded, reply not yet back *)
+  mutable s_stopped_mono : float;  (* when this shard first saw stop *)
+  s_requests : Obs.Metrics.counter;
+  s_queue_gauge : Obs.Metrics.gauge;
+  s_conns_gauge : Obs.Metrics.gauge;
+}
+
 type t = {
   config : config;
   root : string;
@@ -235,24 +389,40 @@ type t = {
   http_addr : address option;  (* resolved (post-bind) scrape address *)
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
+  wake_buf : Bytes.t;
+      (* preallocated wake byte: [stop] runs from signal-handler context
+         (and, sharded, from arbitrary domains) and must not allocate *)
   stop_flag : bool Atomic.t;
   mutable accepting : bool;
   mutable conns : conn list;
   pending : pending Queue.t;
   cache : (Serving.Artifact.meta, cached) Hashtbl.t;
   mutable cache_tick : int;
-  mutable served : int;  (* requests received, any outcome *)
+  served : int Atomic.t;  (* requests received, any outcome, any shard *)
+  conn_count : int Atomic.t;  (* open connections across all domains *)
   scratch : Bytes.t;  (* per-instance read buffer *)
+  fused : Linalg.Mat.t option ref;  (* writer's fused-batch buffer *)
   started_s : float;  (* wall clock, human-facing only *)
   started_mono : float;  (* monotonic, for uptime *)
   mutable stopped_mono : float;  (* monotonic instant [stop] was first seen *)
   journal : Serving.Journal.t;
   recovery : Serving.Recovery.report;  (* what [create] found and replayed *)
+  (* --- sharding --- *)
+  snapshot : Serving.Snapshot.t;
+      (* immutable published model views; written by the writer domain
+         at every commit, read lock-free by every shard *)
+  writer_mbox : writer_msg Mbox.t;
+  shards : shard array;  (* [||] in single-domain mode *)
+  shards_live : int Atomic.t;  (* worker domains not yet drained *)
+  mutable shard_rr : int;  (* round-robin cursor for fd handoff *)
   (* --- replication --- *)
-  mutable leader : address option;  (* [Some _] = follower of that leader *)
-  mutable commit_seq : int;
+  leader : address option Atomic.t;
+      (* [Some _] = follower of that leader; atomic so shards can answer
+         Not_leader without consulting the writer *)
+  commit_seq : int Atomic.t;
       (* leader: updates committed since start; follower: last leader
-         sequence durably applied or subsumed by a snapshot *)
+         sequence durably applied or subsumed by a snapshot. Written by
+         the writer only; read from any domain (stats). *)
   source : conn Replication.Source.t;
   mutable link : conn option;  (* follower's connection to the leader *)
   mutable link_next_s : float;  (* monotonic: next connect attempt *)
@@ -276,9 +446,10 @@ let address t = t.addr
 
 let http_address t = t.http_addr
 
-let role t = match t.leader with None -> `Leader | Some a -> `Follower a
+let role t =
+  match Atomic.get t.leader with None -> `Leader | Some a -> `Follower a
 
-let journal_seq t = t.commit_seq
+let journal_seq t = Atomic.get t.commit_seq
 
 let recovery t = t.recovery
 
@@ -286,11 +457,15 @@ let started_s t = t.started_s
 
 let stopping t = Atomic.get t.stop_flag
 
+let shard_count t = max 1 (Array.length t.shards)
+
 let stop t =
   if not (Atomic.exchange t.stop_flag true) then
     (* self-pipe: wake the select no matter which domain/signal context
-       calls; a full pipe means a wake-up is already pending *)
-    try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
+       calls; a full pipe means a wake-up is already pending. The wake
+       byte is preallocated at creation — this path must not allocate
+       in signal-handler context. *)
+    try ignore (Unix.write t.wake_w t.wake_buf 0 1)
     with Unix.Unix_error _ -> ()
 
 let install_signal_handlers t =
@@ -341,6 +516,9 @@ let create ?(config = default_config) ?follow ~root addr =
   if config.max_batch < 1 then invalid_arg "Daemon.create: max_batch < 1";
   if config.cache_capacity < 1 then
     invalid_arg "Daemon.create: cache_capacity < 1";
+  if config.shards < 1 then invalid_arg "Daemon.create: shards < 1";
+  if not (config.http_idle_s > 0.) then
+    invalid_arg "Daemon.create: http_idle_s must be positive";
   (* recover BEFORE binding: sweep interrupted-save temps, verify every
      artifact checksum and replay any journal tail whose artifact save
      did not complete — the daemon never serves from an unverified
@@ -375,6 +553,24 @@ let create ?(config = default_config) ?follow ~root addr =
   Unix.set_nonblock wake_r;
   Unix.set_nonblock wake_w;
   set_role_metric (match follow with None -> `Leader | Some _ -> `Follower);
+  let shards =
+    if config.shards <= 1 then [||]
+    else
+      Array.init config.shards (fun sid ->
+          {
+            sid;
+            s_mbox = Mbox.create ();
+            s_conns = [];
+            s_pending = Queue.create ();
+            s_scratch = Bytes.create 65536;
+            s_fused = ref None;
+            s_outstanding = 0;
+            s_stopped_mono = nan;
+            s_requests = shard_requests_counter sid;
+            s_queue_gauge = shard_queue_gauge sid;
+            s_conns_gauge = shard_conns_gauge sid;
+          })
+  in
   {
     config;
     root;
@@ -384,21 +580,29 @@ let create ?(config = default_config) ?follow ~root addr =
     http_addr;
     wake_r;
     wake_w;
+    wake_buf = Bytes.make 1 '!';
     stop_flag = Atomic.make false;
     accepting = true;
     conns = [];
     pending = Queue.create ();
     cache = Hashtbl.create 8;
     cache_tick = 0;
-    served = 0;
+    served = Atomic.make 0;
+    conn_count = Atomic.make 0;
     scratch = Bytes.create 65536;
+    fused = ref None;
     started_s = Unix.gettimeofday ();
     started_mono = Obs.Clock.now_s ();
     stopped_mono = nan;
     journal;
     recovery;
-    leader = follow;
-    commit_seq = 0;
+    snapshot = Serving.Snapshot.create ();
+    writer_mbox = Mbox.create ();
+    shards;
+    shards_live = Atomic.make (Array.length shards);
+    shard_rr = 0;
+    leader = Atomic.make follow;
+    commit_seq = Atomic.make 0;
     source = Replication.Source.create ();
     link = None;
     link_next_s = 0.;  (* connect on the first loop tick *)
@@ -456,6 +660,11 @@ let get_model t meta : (cached, Wire.error) result =
           Ok c)
 
 let refresh_model t meta artifact =
+  (* writer only. Publish the fresh revision to the shards BEFORE the
+     caller queues any acknowledgement: a client that sees the ack and
+     immediately predicts on another shard must see this revision. *)
+  if Array.length t.shards > 0 then
+    ignore (Serving.Snapshot.publish t.snapshot artifact);
   (match Hashtbl.find_opt t.cache meta with
   | Some c ->
       c.artifact <- artifact;
@@ -481,20 +690,21 @@ let close_conn t conn =
     conn.closed <- true;
     (try Unix.close conn.fd with Unix.Unix_error _ -> ());
     t.conns <- List.filter (fun c -> c != conn) t.conns;
-    Obs.Metrics.set g_connections (float_of_int (List.length t.conns));
+    Atomic.decr t.conn_count;
+    Obs.Metrics.set g_connections (float_of_int (Atomic.get t.conn_count));
     match conn.peer with
     | Subscriber ->
         Obs.Events.emit "subscriber_drop"
-          ~fields:[ ("commit_seq", Obs.Trace.Int t.commit_seq) ];
+          ~fields:[ ("commit_seq", Obs.Trace.Int (Atomic.get t.commit_seq)) ];
         Replication.Source.drop t.source conn;
-        Replication.Source.note_lag t.source ~seq:t.commit_seq
+        Replication.Source.note_lag t.source ~seq:(Atomic.get t.commit_seq)
     | Link | Link_pending ->
         (* leader gone (or refused us): discard any half-reassembled
            snapshot and schedule a backed-off reconnect; the fresh
            subscription's revision vector makes catch-up self-healing *)
         if conn.peer = Link then
           Obs.Events.emit "link_down"
-            ~fields:[ ("commit_seq", Obs.Trace.Int t.commit_seq) ];
+            ~fields:[ ("commit_seq", Obs.Trace.Int (Atomic.get t.commit_seq)) ];
         if (match t.link with Some l -> l == conn | None -> false) then
           t.link <- None;
         Hashtbl.reset t.snap;
@@ -514,8 +724,9 @@ let bad_request message = Wire.Error { Wire.code = Wire.Bad_request; message }
 let internal_error e =
   Wire.Error { Wire.code = Wire.Internal; message = Printexc.to_string e }
 
-let reply t conn ~id resp =
-  ignore t;
+(* Error accounting + framing for a response, shared by the in-loop
+   [reply] path and the cross-domain forwarded-update path. *)
+let encode_reply ~id resp =
   (match resp with
   | Wire.Error e ->
       Obs.Metrics.inc m_errors;
@@ -524,25 +735,27 @@ let reply t conn ~id resp =
       | Wire.Deadline_exceeded -> Obs.Metrics.inc m_deadline
       | _ -> ())
   | _ -> ());
-  let encoded =
-    match Wire.encode_response ~id resp with
-    | s -> s
-    | exception _ ->
-        (* the response itself could not be framed (e.g. a stats or
-           models payload past max_frame_len): degrade to a small error
-           frame rather than killing the loop *)
-        Obs.Metrics.inc m_errors;
-        Wire.encode_response ~id
-          (Wire.Error
-             {
-               Wire.code = Wire.Internal;
-               message = "response exceeded the frame size limit";
-             })
-  in
-  send conn encoded
+  match Wire.encode_response ~id resp with
+  | s -> s
+  | exception _ ->
+      (* the response itself could not be framed (e.g. a stats or
+         models payload past max_frame_len): degrade to a small error
+         frame rather than killing the loop *)
+      Obs.Metrics.inc m_errors;
+      Wire.encode_response ~id
+        (Wire.Error
+           {
+             Wire.code = Wire.Internal;
+             message = "response exceeded the frame size limit";
+           })
 
-(* Flush as much queued output as the socket accepts right now. *)
-let flush_conn t conn =
+let reply t conn ~id resp =
+  ignore t;
+  send conn (encode_reply ~id resp)
+
+(* Flush as much queued output as the socket accepts right now.
+   [close] is the owner's teardown (writer vs shard bookkeeping). *)
+let flush_conn_gen ~close conn =
   let progress = ref true in
   (try
      while (not conn.closed) && !progress && not (Queue.is_empty conn.out) do
@@ -564,9 +777,11 @@ let flush_conn t conn =
    with
   | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
   | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
-      close_conn t conn);
+      close conn);
   if (not conn.closed) && conn.close_after_flush && Queue.is_empty conn.out
-  then close_conn t conn
+  then close conn
+
+let flush_conn t conn = flush_conn_gen ~close:(close_conn t) conn
 
 (* ------------------------------------------------------------------ *)
 (* Request admission.                                                  *)
@@ -594,14 +809,20 @@ let model_infos t =
                  bytes = e.bytes;
                })
 
+(* Called from the writer and from shard domains: everything it reads
+   is atomic, monotonic or internally synchronized. *)
 let stats_payload t =
   Wire.Stats_payload
     {
       uptime_s = now_s () -. t.started_mono;
-      requests = float_of_int t.served;
+      requests = float_of_int (Atomic.get t.served);
       recovered_updates = float_of_int t.recovery.Serving.Recovery.replayed;
-      role = (match t.leader with None -> "leader" | Some _ -> "follower");
-      journal_seq = t.commit_seq;
+      role =
+        (match Atomic.get t.leader with
+        | None -> "leader"
+        | Some _ -> "follower");
+      journal_seq = Atomic.get t.commit_seq;
+      shards = shard_count t;
       metrics_json = Obs.Metrics.to_json ();
     }
 
@@ -615,7 +836,7 @@ let store_artifacts t =
 
 let not_leader_error t =
   let where =
-    match t.leader with
+    match Atomic.get t.leader with
     | Some leader -> address_to_string leader
     | None -> address_to_string t.addr
   in
@@ -630,7 +851,7 @@ let not_leader_error t =
    frames are queued here and drip out through the ordinary flush path,
    so catch-up never blocks the loop. *)
 let handle_subscribe t conn ~id vector =
-  if t.leader <> None then reply t conn ~id (not_leader_error t)
+  if Atomic.get t.leader <> None then reply t conn ~id (not_leader_error t)
   else if stopping t then
     reply t conn ~id
       (Wire.Error
@@ -662,7 +883,7 @@ let handle_subscribe t conn ~id vector =
       (Wire.encode_push
          (Wire.Repl_status
             {
-              seq = t.commit_seq;
+              seq = Atomic.get t.commit_seq;
               snapshots = List.length snapshots;
               ts = Obs.Clock.wall ();
             }));
@@ -671,10 +892,10 @@ let handle_subscribe t conn ~id vector =
       ~fields:
         [
           ("snapshots", Obs.Trace.Int (List.length snapshots));
-          ("commit_seq", Obs.Trace.Int t.commit_seq);
+          ("commit_seq", Obs.Trace.Int (Atomic.get t.commit_seq));
         ];
-    Replication.Source.register t.source conn ~acked:t.commit_seq;
-    Replication.Source.note_lag t.source ~seq:t.commit_seq
+    Replication.Source.register t.source conn ~acked:(Atomic.get t.commit_seq);
+    Replication.Source.note_lag t.source ~seq:(Atomic.get t.commit_seq)
   end
 
 (* Fan one committed update out to every live subscriber. A subscriber
@@ -685,7 +906,7 @@ let handle_subscribe t conn ~id vector =
    follower's apply span joins the client's trace. The commit wall
    timestamp rides the body and feeds the follower's lag gauge. *)
 let ship_commit ?(trace = (0, 0)) t entry =
-  t.commit_seq <- t.commit_seq + 1;
+  Atomic.incr t.commit_seq;
   (match Replication.Source.subscribers t.source with
   | [] -> ()
   | subs -> (
@@ -693,7 +914,7 @@ let ship_commit ?(trace = (0, 0)) t entry =
         Wire.encode_push ~trace
           (Wire.Journal_entry
              {
-               seq = t.commit_seq;
+               seq = Atomic.get t.commit_seq;
                ts = Obs.Clock.wall ();
                entry = Serving.Journal.encode_entry entry;
              })
@@ -713,7 +934,7 @@ let ship_commit ?(trace = (0, 0)) t entry =
               end)
             subs;
           Replication.Source.note_shipped ~entries:!shipped));
-  Replication.Source.note_lag t.source ~seq:t.commit_seq
+  Replication.Source.note_lag t.source ~seq:(Atomic.get t.commit_seq)
 
 let admit t conn (frame : Wire.frame) work =
   if stopping t then
@@ -759,6 +980,7 @@ let admit t conn (frame : Wire.frame) work =
         p_conn = conn;
         p_id = frame.Wire.frame_id;
         admitted_s;
+        admitted_mono = Obs.Clock.monotonic_raw ();
         expires_s;
         work;
         p_trace;
@@ -773,45 +995,54 @@ let admit t conn (frame : Wire.frame) work =
 (* ------------------------------------------------------------------ *)
 (* Incoming bytes -> frames (shared by client conns and the link).     *)
 
-let slurp t conn =
+let slurp_gen ~scratch ~close conn =
   try
     let continue = ref true in
     while !continue && not conn.closed do
-      match Unix.read conn.fd t.scratch 0 (Bytes.length t.scratch) with
+      match Unix.read conn.fd scratch 0 (Bytes.length scratch) with
       | 0 ->
-          close_conn t conn;
+          close conn;
           continue := false
       | n ->
-          Buffer.add_subbytes conn.inbuf t.scratch 0 n;
-          if n < Bytes.length t.scratch then continue := false
+          Buffer.add_subbytes conn.inbuf scratch 0 n;
+          if n < Bytes.length scratch then continue := false
     done
   with
   | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
   | Unix.Unix_error ((Unix.ECONNRESET | Unix.EBADF | Unix.EPIPE), _, _) ->
-      close_conn t conn
+      close conn
+
+let slurp t conn = slurp_gen ~scratch:t.scratch ~close:(close_conn t) conn
 
 (* Only flatten the buffer once enough bytes for the next frame are in
-   — a dribbled large frame costs one copy, not one per read. *)
-let parse_frames conn ~dispatch ~on_bad =
+   — a dribbled large frame costs one copy, not one per read. [stop]
+   lets a dispatcher abort the parse after the current frame with the
+   remaining bytes preserved (connection handoff between domains). *)
+let parse_frames ?(stop = fun () -> false) conn ~dispatch ~on_bad =
   if (not conn.closed) && Buffer.length conn.inbuf >= conn.need then begin
     let data = Buffer.contents conn.inbuf in
     let off = ref 0 in
     let continue = ref true in
     while !continue do
-      match Wire.peek data ~off:!off with
-      | `Frame (frame, next) ->
-          off := next;
-          if not (conn.closed || conn.close_after_flush) then
-            dispatch conn frame
-      | `Need k ->
-          conn.need <- String.length data - !off + k;
-          continue := false
-      | `Bad message ->
-          on_bad conn message;
-          Buffer.clear conn.inbuf;
-          conn.need <- 4;
-          off := 0;
-          continue := false
+      if stop () then begin
+        conn.need <- 4;
+        continue := false
+      end
+      else
+        match Wire.peek data ~off:!off with
+        | `Frame (frame, next) ->
+            off := next;
+            if not (conn.closed || conn.close_after_flush) then
+              dispatch conn frame
+        | `Need k ->
+            conn.need <- String.length data - !off + k;
+            continue := false
+        | `Bad message ->
+            on_bad conn message;
+            Buffer.clear conn.inbuf;
+            conn.need <- 4;
+            off := 0;
+            continue := false
     done;
     if !off > 0 && not conn.closed then begin
       let rest = String.sub data !off (String.length data - !off) in
@@ -830,7 +1061,7 @@ let link_ack conn seq =
 
 let note_follower_lag t =
   Obs.Metrics.set g_follower_lag_entries
-    (float_of_int (max 0 (t.leader_seq - t.commit_seq)))
+    (float_of_int (max 0 (t.leader_seq - Atomic.get t.commit_seq)))
 
 let apply_snapshot_chunk t conn ~meta ~rev ~total ~offset ~data =
   if total > max_snapshot_bytes then close_conn t conn
@@ -896,7 +1127,7 @@ let on_link_frame t conn (frame : Wire.frame) =
                 ~root:t.root ~journal:t.journal e
             with
             | Replication.Apply.Applied art ->
-                t.commit_seq <- seq;
+                Atomic.set t.commit_seq seq;
                 if seq > t.leader_seq then t.leader_seq <- seq;
                 (* lag in seconds: leader commit wall time -> local apply *)
                 let delay =
@@ -921,14 +1152,14 @@ let on_link_frame t conn (frame : Wire.frame) =
                 refresh_model t e.Serving.Journal.meta art;
                 link_ack conn seq
             | Replication.Apply.Stale _ ->
-                if seq > t.commit_seq then t.commit_seq <- seq;
+                if seq > Atomic.get t.commit_seq then Atomic.set t.commit_seq seq;
                 if seq > t.leader_seq then t.leader_seq <- seq;
                 note_follower_lag t;
                 link_ack conn seq
             | Replication.Apply.Gap _ -> close_conn t conn))
     | Ok (Wire.Repl_status { seq; snapshots = _; ts = _ }) ->
         (* catch-up complete: the snapshots embody every commit <= seq *)
-        if seq > t.commit_seq then t.commit_seq <- seq;
+        if seq > Atomic.get t.commit_seq then Atomic.set t.commit_seq seq;
         if seq > t.leader_seq then t.leader_seq <- seq;
         t.catch_up_done <- true;
         note_follower_lag t;
@@ -956,7 +1187,7 @@ let drain_link t =
 (* Request dispatch.                                                   *)
 
 let on_frame t conn (frame : Wire.frame) =
-  t.served <- t.served + 1;
+  Atomic.incr t.served;
   Obs.Metrics.inc m_requests;
   let decode_t0 =
     if Obs.Trace.enabled () && frame.Wire.frame_trace > 0 then
@@ -1000,7 +1231,7 @@ let on_frame t conn (frame : Wire.frame) =
                     (Wire.opcode_name (if with_std then Wire.Predict_var else Wire.Predict))))
           else admit t conn frame (Wpredict { meta; points; with_std })
       | Wire.Update_req { meta; xs; f } ->
-          if t.leader <> None then
+          if Atomic.get t.leader <> None then
             reply t conn ~id:frame.Wire.frame_id (not_leader_error t)
           else admit t conn frame (Wupdate { meta; xs; f })
       | Wire.Subscribe_req { vector } ->
@@ -1010,7 +1241,7 @@ let on_frame t conn (frame : Wire.frame) =
           (* fire-and-forget bookkeeping; never answered *)
           if conn.peer = Subscriber then begin
             Replication.Source.ack t.source conn ~seq;
-            Replication.Source.note_lag t.source ~seq:t.commit_seq
+            Replication.Source.note_lag t.source ~seq:(Atomic.get t.commit_seq)
           end
       | Wire.Events_req ->
           Obs.Metrics.time h_admin (fun () ->
@@ -1018,11 +1249,14 @@ let on_frame t conn (frame : Wire.frame) =
                 (Wire.Events_payload { json = Obs.Events.to_json () }))
       | Wire.Promote_req ->
           Obs.Metrics.time h_admin (fun () ->
-              match t.leader with
+              match Atomic.get t.leader with
               | None ->
                   reply t conn ~id:frame.Wire.frame_id
                     (Wire.Promoted
-                       { was_follower = false; journal_seq = t.commit_seq })
+                       {
+                         was_follower = false;
+                         journal_seq = Atomic.get t.commit_seq;
+                       })
               | Some _ ->
                   (* clean takeover: finish applying whatever the
                      (possibly dead) leader already streamed, cut the
@@ -1032,8 +1266,8 @@ let on_frame t conn (frame : Wire.frame) =
                   (match t.link with
                   | Some l -> close_conn t l
                   | None -> ());
-                  let was = t.leader in
-                  t.leader <- None;
+                  let was = Atomic.get t.leader in
+                  Atomic.set t.leader None;
                   Hashtbl.reset t.snap;
                   set_role_metric `Leader;
                   Obs.Events.emit "promotion"
@@ -1044,11 +1278,14 @@ let on_frame t conn (frame : Wire.frame) =
                             (match was with
                             | Some a -> address_to_string a
                             | None -> "") );
-                        ("commit_seq", Obs.Trace.Int t.commit_seq);
+                        ("commit_seq", Obs.Trace.Int (Atomic.get t.commit_seq));
                       ];
                   reply t conn ~id:frame.Wire.frame_id
                     (Wire.Promoted
-                       { was_follower = true; journal_seq = t.commit_seq })))
+                       {
+                         was_follower = true;
+                         journal_seq = Atomic.get t.commit_seq;
+                       })))
 
 (* ------------------------------------------------------------------ *)
 (* Scrape endpoint: a minimal HTTP/1.1 responder for GET /metrics,
@@ -1086,7 +1323,7 @@ let json_num f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
    in [create]); a follower is ready once the current link's catch-up
    finished, i.e. it has seen a [Repl_status] and is applying live. *)
 let is_ready t =
-  match t.leader with
+  match Atomic.get t.leader with
   | None -> not (stopping t)
   | Some _ -> (not (stopping t)) && t.catch_up_done && t.link <> None
 
@@ -1105,18 +1342,20 @@ let health_json t =
       t.model_apply []
   in
   Printf.sprintf
-    "{\"role\":\"%s\",\"ready\":%b,\"uptime_s\":%s,\"queue_depth\":%d,\
+    "{\"role\":\"%s\",\"ready\":%b,\"uptime_s\":%s,\"shards\":%d,\
+     \"queue_depth\":%d,\
      \"connections\":%d,\"commit_seq\":%d,\"leader_seq\":%d,\
      \"repl_lag_entries\":%d,\"repl_lag_seconds\":%s,\
      \"recovery\":{\"replayed\":%d,\"discarded\":%d,\"corrupt\":%d},\
      \"models\":[%s]}"
-    (match t.leader with None -> "leader" | Some _ -> "follower")
+    (match Atomic.get t.leader with None -> "leader" | Some _ -> "follower")
     (is_ready t)
     (json_num (now_s () -. t.started_mono))
+    (shard_count t)
     (Queue.length t.pending)
-    (List.length t.conns)
-    t.commit_seq t.leader_seq
-    (max 0 (t.leader_seq - t.commit_seq))
+    (Atomic.get t.conn_count)
+    (Atomic.get t.commit_seq) t.leader_seq
+    (max 0 (t.leader_seq - Atomic.get t.commit_seq))
     (json_num t.last_apply_delay)
     t.recovery.Serving.Recovery.replayed t.recovery.Serving.Recovery.discarded
     (List.length t.recovery.Serving.Recovery.corrupt)
@@ -1206,6 +1445,20 @@ let handle_http t conn =
 (* ------------------------------------------------------------------ *)
 (* Incoming bytes -> frames.                                           *)
 
+(* The writer's parse of a client/subscriber connection; also run over
+   the residual bytes of a connection adopted from a shard. *)
+let client_parse t conn =
+  parse_frames conn
+    ~dispatch:(fun c frame ->
+      (* crash containment: no single request may kill the loop *)
+      try on_frame t c frame
+      with e ->
+        reply t c ~id:frame.Wire.frame_id (internal_error e);
+        c.close_after_flush <- true)
+    ~on_bad:(fun c message ->
+      reply t c ~id:0 (Wire.Error { Wire.code = Wire.Protocol; message });
+      c.close_after_flush <- true)
+
 let read_conn t conn =
   slurp t conn;
   match conn.peer with
@@ -1215,18 +1468,21 @@ let read_conn t conn =
       parse_frames conn
         ~dispatch:(link_dispatch t)
         ~on_bad:(fun c _ -> close_conn t c)
-  | Client | Subscriber ->
-      parse_frames conn
-        ~dispatch:(fun c frame ->
-          (* crash containment: no single request may kill the loop *)
-          try on_frame t c frame
-          with e ->
-            reply t c ~id:frame.Wire.frame_id (internal_error e);
-            c.close_after_flush <- true)
-        ~on_bad:(fun c message ->
-          reply t c ~id:0
-            (Wire.Error { Wire.code = Wire.Protocol; message });
-          c.close_after_flush <- true)
+  | Client | Subscriber -> client_parse t conn
+
+let mk_conn ~peer ~read_deadline_s fd =
+  {
+    fd;
+    inbuf = Buffer.create 4096;
+    need = 4;
+    out = Queue.create ();
+    out_bytes = 0;
+    out_off = 0;
+    close_after_flush = false;
+    closed = false;
+    peer;
+    read_deadline_s;
+  }
 
 let accept_loop ?(peer = Client) t lfd =
   let continue = ref true in
@@ -1234,22 +1490,26 @@ let accept_loop ?(peer = Client) t lfd =
     match Unix.accept ~cloexec:true lfd with
     | fd, _ ->
         Unix.set_nonblock fd;
-        let conn =
-          {
-            fd;
-            inbuf = Buffer.create 4096;
-            need = 4;
-            out = Queue.create ();
-            out_bytes = 0;
-            out_off = 0;
-            close_after_flush = false;
-            closed = false;
-            peer;
-          }
-        in
-        t.conns <- conn :: t.conns;
         Obs.Metrics.inc m_connections;
-        Obs.Metrics.set g_connections (float_of_int (List.length t.conns))
+        Atomic.incr t.conn_count;
+        Obs.Metrics.set g_connections (float_of_int (Atomic.get t.conn_count));
+        if peer = Client && Array.length t.shards > 0 then begin
+          (* sharded: the acceptor only accepts; the connection lives
+             its whole life on one worker domain *)
+          let sid = t.shard_rr mod Array.length t.shards in
+          t.shard_rr <- t.shard_rr + 1;
+          Mbox.push t.shards.(sid).s_mbox (S_conn fd)
+        end
+        else begin
+          let read_deadline_s =
+            (* scrape peers must complete a request promptly or vacate
+               the slot; wire peers may idle between requests *)
+            if peer = Http then now_s () +. t.config.http_idle_s
+            else infinity
+          in
+          let conn = mk_conn ~peer ~read_deadline_s fd in
+          t.conns <- conn :: t.conns
+        end
     | exception
         Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
       ->
@@ -1300,17 +1560,32 @@ let finish t (p : pending) resp =
           ("seconds", Obs.Trace.Float (done_s -. p.admitted_s));
         ]
 
+(* The fused design-matrix buffer is reused across windows when the
+   shape repeats (the steady state under load): every cell is
+   overwritten by the member blits before the kernel runs, so reuse
+   cannot change a bit of any answer. One slot per executor domain. *)
+let fused_buffer slot total dim =
+  match !slot with
+  | Some (m : Linalg.Mat.t)
+    when m.Linalg.Mat.rows = total && m.Linalg.Mat.cols = dim ->
+      m
+  | _ ->
+      let m = Linalg.Mat.create total dim in
+      slot := Some m;
+      m
+
 (* One group = same model, same opcode. Requests whose dimensionality
    does not match are answered individually; the rest fuse into blocked
    predictor calls of at most [max_batch] points (splitting only at
    request boundaries keeps the re-split trivial and the answers
-   bit-identical). *)
-let run_predict_group t meta with_std members =
-  match get_model t meta with
+   bit-identical). [predictor_of] is the executor's model lookup: the
+   writer's LRU cache, or a shard's published snapshot. *)
+let run_predict_group t ~predictor_of ~fused meta with_std members =
+  match (predictor_of meta : (Serving.Predictor.t, Wire.error) result) with
   | Error e ->
       List.iter (fun (p, _) -> finish t p (Wire.Error e)) members
-  | Ok cached ->
-      let dim = Polybasis.Basis.dim (Serving.Predictor.basis cached.predictor) in
+  | Ok predictor ->
+      let dim = Polybasis.Basis.dim (Serving.Predictor.basis predictor) in
       let ok, bad =
         List.partition
           (fun (_, (points : Linalg.Mat.t)) -> Linalg.Mat.cols points = dim)
@@ -1353,7 +1628,7 @@ let run_predict_group t meta with_std members =
                      }))
               batch
           else begin
-            let fused = Linalg.Mat.create total dim in
+            let fused = fused_buffer fused total dim in
             let at = ref 0 in
             List.iter
               (fun (_, (points : Linalg.Mat.t)) ->
@@ -1370,10 +1645,10 @@ let run_predict_group t meta with_std members =
             match
               if with_std then
                 let means, stds =
-                  Serving.Predictor.predict_with_std cached.predictor fused
+                  Serving.Predictor.predict_with_std predictor fused
                 in
                 (means, Some stds)
-              else (Serving.Predictor.predict cached.predictor fused, None)
+              else (Serving.Predictor.predict predictor fused, None)
             with
             | exception e ->
                 List.iter (fun (p, _) -> finish t p (internal_error e)) batch
@@ -1406,21 +1681,27 @@ let run_predict_group t meta with_std members =
           end)
         (batches [] [] 0 ok)
 
-let run_update t (p : pending) meta xs f =
+(* The single-writer commit path, shared by updates admitted on the
+   writer's own connections and updates forwarded from shards: journal
+   append -> incremental fold -> durable save -> journal truncate ->
+   cache refresh + snapshot publish -> replication fan-out. Returns the
+   response; never queues it ([trace_id]/[push_parent] ride the
+   replication push, [req_span] parents the kernel span when > 0). *)
+let commit_update t ~trace_id ~push_parent ~req_span meta xs f :
+    Wire.response =
   match get_model t meta with
-  | Error e -> finish t p (Wire.Error e)
+  | Error e -> Wire.Error e
   | Ok cached -> (
       let dim =
         Polybasis.Basis.dim (Serving.Predictor.basis cached.predictor)
       in
       if Linalg.Mat.cols xs <> dim then
-        finish t p
-          (bad_request
-             (Printf.sprintf
-                "model %s/%s: update dimension mismatch: expected %d \
-                 variables, got %d"
-                meta.Serving.Artifact.circuit meta.Serving.Artifact.metric dim
-                (Linalg.Mat.cols xs)))
+        bad_request
+          (Printf.sprintf
+             "model %s/%s: update dimension mismatch: expected %d \
+              variables, got %d"
+             meta.Serving.Artifact.circuit meta.Serving.Artifact.metric dim
+             (Linalg.Mat.cols xs))
       else
         let entry =
           {
@@ -1458,99 +1739,124 @@ let run_update t (p : pending) meta xs f =
                roll the journal back so the refused entry cannot be
                replayed at restart as if it had been accepted *)
             (try Serving.Journal.truncate t.journal with _ -> ());
-            finish t p (internal_error e)
+            internal_error e
         | updated ->
-            if Obs.Trace.enabled () && p.p_req_span > 0 then
-              Obs.Trace.complete ~cat:"server" ~trace:p.p_trace
-                ~parent:p.p_req_span
+            if Obs.Trace.enabled () && req_span > 0 then
+              Obs.Trace.complete ~cat:"server" ~trace:trace_id
+                ~parent:req_span
                 ~attrs:[ ("rev", Obs.Trace.Int updated.Serving.Artifact.rev) ]
                 ~start_us:k0
                 ~dur_us:(Obs.Clock.now_us () -. k0)
                 "srv_kernel";
             refresh_model t meta updated;
-            (* the commit is durable: ship it to subscribers before the
-               acknowledgement is even queued. The push carries this
-               update's trace context (the server span when tracing is
-               on, the client's own context when relaying untraced) so
-               the follower's apply joins the same trace. *)
-            ship_commit
-              ~trace:
-                ( p.p_trace,
-                  if p.p_req_span > 0 then p.p_req_span else p.p_span )
-              t entry;
-            finish t p
-              (Wire.Updated
-                 {
-                   rev = updated.Serving.Artifact.rev;
-                   samples = Serving.Artifact.num_samples updated;
-                 }))
+            (* the commit is durable and published: ship it to
+               subscribers before the acknowledgement is even queued.
+               The push carries this update's trace context (the server
+               span when tracing is on, the client's own context when
+               relaying untraced) so the follower's apply joins the
+               same trace. *)
+            ship_commit ~trace:(trace_id, push_parent) t entry;
+            Wire.Updated
+              {
+                rev = updated.Serving.Artifact.rev;
+                samples = Serving.Artifact.num_samples updated;
+              })
+
+let run_update t (p : pending) meta xs f =
+  finish t p
+    (commit_update t ~trace_id:p.p_trace
+       ~push_parent:(if p.p_req_span > 0 then p.p_req_span else p.p_span)
+       ~req_span:p.p_req_span meta xs f)
+
+(* ------------------------------------------------------------------ *)
+(* Batch windows. A window opens at its oldest admission and closes
+   [batch_delay_s] later (immediately when 0, or when draining).
+   Expired requests are refused by a sweep that runs on every tick —
+   never gated on the window — so deadline-expiry latency tracks the
+   select timeout, not the batch cadence.                              *)
+
+let refuse_expired t q ~now =
+  let n = Queue.length q in
+  for _ = 1 to n do
+    let p = Queue.pop q in
+    if p.p_conn.closed then () (* hung up: drop the work silently *)
+    else if p.expires_s < now then
+      finish t p
+        (Wire.Error
+           {
+             Wire.code = Wire.Deadline_exceeded;
+             message = "deadline expired before execution";
+           })
+    else Queue.add p q
+  done
+
+let window_due t q =
+  (not (Queue.is_empty q))
+  && (t.config.batch_delay_s <= 0.
+     || stopping t
+     || Obs.Clock.monotonic_raw () -. (Queue.peek q).admitted_mono
+        >= t.config.batch_delay_s)
 
 (* Drain the whole queue as one window: group + run predicts against the
-   window-start model state, then apply updates in arrival order. *)
+   window-start model state, then apply updates in arrival order.
+   Shared by the writer ([on_update] commits locally) and the shards
+   (whose queues never hold updates — those forward at admission). *)
+let process_window t q ~predictor_of ~fused ~on_update =
+  let window = Queue.fold (fun acc p -> p :: acc) [] q in
+  Queue.clear q;
+  let window = List.rev window in
+  let live = List.filter (fun p -> not p.p_conn.closed) window in
+  (* queue spans: admission to window start, per surviving request *)
+  (if Obs.Trace.enabled () then
+     let wstart = Obs.Clock.now_us () in
+     List.iter
+       (fun p ->
+         if p.p_req_span > 0 then
+           Obs.Trace.complete ~cat:"server" ~trace:p.p_trace
+             ~parent:p.p_req_span ~start_us:p.admitted_us
+             ~dur_us:(Float.max 0. (wstart -. p.admitted_us))
+             "srv_queue")
+       live);
+  (* group predicts by (meta, with_std), first-seen order *)
+  let groups = ref [] in
+  let updates = ref [] in
+  List.iter
+    (fun p ->
+      match p.work with
+      | Wupdate { meta; xs; f } -> updates := (p, meta, xs, f) :: !updates
+      | Wpredict { meta; points; with_std } -> (
+          let key = (meta, with_std) in
+          match List.assoc_opt key !groups with
+          | Some members -> members := (p, points) :: !members
+          | None -> groups := (key, ref [ (p, points) ]) :: !groups))
+    live;
+  List.iter
+    (fun ((meta, with_std), members) ->
+      let members = List.rev !members in
+      try run_predict_group t ~predictor_of ~fused meta with_std members
+      with e ->
+        List.iter (fun (p, _) -> finish t p (internal_error e)) members)
+    (List.rev !groups);
+  List.iter
+    (fun (p, meta, xs, f) ->
+      try on_update p meta xs f
+      with e -> finish t p (internal_error e))
+    (List.rev !updates)
+
+let writer_predictor_of t meta =
+  match get_model t meta with
+  | Error e -> Error e
+  | Ok cached -> Ok cached.predictor
+
 let process_pending t =
-  if not (Queue.is_empty t.pending) then begin
-    if t.config.batch_delay_s > 0. then Unix.sleepf t.config.batch_delay_s;
-    let window = Queue.fold (fun acc p -> p :: acc) [] t.pending in
-    Queue.clear t.pending;
-    Obs.Metrics.set g_queue_depth 0.;
-    let window = List.rev window in
-    let live, dead =
-      List.partition (fun p -> not p.p_conn.closed) window
-    in
-    ignore dead;
-    let now = now_s () in
-    let live =
-      List.filter
-        (fun p ->
-          if p.expires_s < now then begin
-            finish t p
-              (Wire.Error
-                 {
-                   Wire.code = Wire.Deadline_exceeded;
-                   message = "deadline expired before execution";
-                 });
-            false
-          end
-          else true)
-        live
-    in
-    (* queue spans: admission to window start, per surviving request *)
-    (if Obs.Trace.enabled () then
-       let wstart = Obs.Clock.now_us () in
-       List.iter
-         (fun p ->
-           if p.p_req_span > 0 then
-             Obs.Trace.complete ~cat:"server" ~trace:p.p_trace
-               ~parent:p.p_req_span ~start_us:p.admitted_us
-               ~dur_us:(Float.max 0. (wstart -. p.admitted_us))
-               "srv_queue")
-         live);
-    (* group predicts by (meta, with_std), first-seen order *)
-    let groups = ref [] in
-    let updates = ref [] in
-    List.iter
-      (fun p ->
-        match p.work with
-        | Wupdate { meta; xs; f } -> updates := (p, meta, xs, f) :: !updates
-        | Wpredict { meta; points; with_std } -> (
-            let key = (meta, with_std) in
-            match List.assoc_opt key !groups with
-            | Some members -> members := (p, points) :: !members
-            | None -> groups := (key, ref [ (p, points) ]) :: !groups))
-      live;
-    List.iter
-      (fun ((meta, with_std), members) ->
-        let members = List.rev !members in
-        try run_predict_group t meta with_std members
-        with e ->
-          List.iter (fun (p, _) -> finish t p (internal_error e)) members)
-      (List.rev !groups);
-    List.iter
-      (fun (p, meta, xs, f) ->
-        try run_update t p meta xs f
-        with e -> finish t p (internal_error e))
-      (List.rev !updates)
-  end
+  let now = now_s () in
+  refuse_expired t t.pending ~now;
+  if window_due t t.pending then
+    process_window t t.pending
+      ~predictor_of:(writer_predictor_of t)
+      ~fused:t.fused
+      ~on_update:(fun p meta xs f -> run_update t p meta xs f);
+  Obs.Metrics.set g_queue_depth (float_of_int (Queue.length t.pending))
 
 (* ------------------------------------------------------------------ *)
 (* Replication: the follower's leader link (non-blocking connect).     *)
@@ -1565,7 +1871,7 @@ let establish_link t conn =
       [
         ( "leader",
           Obs.Trace.Str
-            (match t.leader with
+            (match Atomic.get t.leader with
             | Some a -> address_to_string a
             | None -> "") );
       ];
@@ -1593,22 +1899,11 @@ let attempt_link t leader =
       t.link_next_s <-
         now_s () +. Replication.Backoff.next_delay_s t.link_backoff
   | fd, sockaddr -> (
-      let conn =
-        {
-          fd;
-          inbuf = Buffer.create 4096;
-          need = 4;
-          out = Queue.create ();
-          out_bytes = 0;
-          out_off = 0;
-          close_after_flush = false;
-          closed = false;
-          peer = Link_pending;
-        }
-      in
+      let conn = mk_conn ~peer:Link_pending ~read_deadline_s:infinity fd in
       t.conns <- conn :: t.conns;
       t.link <- Some conn;
-      Obs.Metrics.set g_connections (float_of_int (List.length t.conns));
+      Atomic.incr t.conn_count;
+      Obs.Metrics.set g_connections (float_of_int (Atomic.get t.conn_count));
       match Unix.connect fd sockaddr with
       | () -> establish_link t conn
       | exception
@@ -1616,6 +1911,504 @@ let attempt_link t leader =
             ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) ->
           () (* completion surfaces as writability in the loop *)
       | exception Unix.Unix_error _ -> close_conn t conn)
+
+(* ------------------------------------------------------------------ *)
+(* Select timeouts. Computed from the nearest thing that needs the
+   loop awake — queued deadline expiry, batch-window close, link retry,
+   heartbeat, HTTP read deadline, drain grace — and capped at 0.25 s as
+   an idle ceiling. Timed work is therefore handled when it is due, not
+   on the next multiple of a hardcoded floor.                          *)
+
+let drain_grace_s = 10.
+
+let clamp_timeout x = if x < 0. then 0. else if x > 0.25 then 0.25 else x
+
+(* Seconds until the queue next needs attention: its window close or
+   its earliest deadline, whichever comes first. *)
+let queue_wait_s config q ~now =
+  if Queue.is_empty q then infinity
+  else
+    let head = Queue.peek q in
+    let w =
+      if config.batch_delay_s > 0. then
+        (* pacing on the raw clock (see [pending.admitted_mono]) *)
+        head.admitted_mono +. config.batch_delay_s
+        -. Obs.Clock.monotonic_raw ()
+      else 0.
+    in
+    Queue.fold (fun acc p -> Float.min acc (p.expires_s -. now)) w q
+
+(* ------------------------------------------------------------------ *)
+(* Shard workers. Each worker domain owns a disjoint set of client
+   connections and a private pending queue, serves reads from the
+   published snapshot, forwards updates to the writer, and hands
+   replication control frames (Subscribe/Promote) back — connection
+   included — over the writer mailbox.                                 *)
+
+let shard_close t shard conn =
+  if not conn.closed then begin
+    conn.closed <- true;
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    shard.s_conns <- List.filter (fun c -> c != conn) shard.s_conns;
+    Atomic.decr t.conn_count;
+    Obs.Metrics.set g_connections (float_of_int (Atomic.get t.conn_count));
+    Obs.Metrics.set shard.s_conns_gauge
+      (float_of_int (List.length shard.s_conns))
+  end
+
+(* Lock-free model lookup against the published snapshot. A model that
+   exists on disk but is not yet published (e.g. saved by a previous
+   incarnation) is served from a locally built predictor while the
+   writer is asked to publish it for every shard. *)
+let shard_predictor_of t meta : (Serving.Predictor.t, Wire.error) result =
+  match Serving.Snapshot.find (Serving.Snapshot.current t.snapshot) meta with
+  | Some e -> Ok e.Serving.Snapshot.predictor
+  | None -> (
+      match Serving.Store.load ~root:t.root meta with
+      | Error message -> Error { Wire.code = Wire.Model_not_found; message }
+      | Ok artifact ->
+          Mbox.push t.writer_mbox (W_publish meta);
+          Ok (Serving.Predictor.of_artifact artifact))
+
+(* Shard-side admission: same contract as [admit], against the shard's
+   own queue. Forwarded updates still occupy admission slots until
+   their reply returns, so [queue_capacity] bounds a shard's total
+   outstanding work. *)
+let shard_capacity_left t shard =
+  Queue.length shard.s_pending + shard.s_outstanding
+  < t.config.queue_capacity
+
+let shard_admit t shard conn (frame : Wire.frame) work =
+  if stopping t then
+    reply t conn ~id:frame.Wire.frame_id
+      (Wire.Error
+         {
+           Wire.code = Wire.Shutting_down;
+           message = "server is draining; not accepting new work";
+         })
+  else if not (shard_capacity_left t shard) then
+    reply t conn ~id:frame.Wire.frame_id
+      (Wire.Error
+         {
+           Wire.code = Wire.Busy;
+           message =
+             Printf.sprintf "request queue full (capacity %d)"
+               t.config.queue_capacity;
+         })
+  else begin
+    let admitted_s = now_s () in
+    let expires_s =
+      if frame.Wire.frame_deadline_ms <= 0 then infinity
+      else admitted_s +. (float_of_int frame.Wire.frame_deadline_ms /. 1e3)
+    in
+    let p_span = frame.Wire.frame_span in
+    let admitted_us, p_trace, p_req_span =
+      if Obs.Trace.enabled () then
+        ( Obs.Clock.now_us (),
+          (if frame.Wire.frame_trace > 0 then frame.Wire.frame_trace
+           else Obs.Trace.fresh_trace_id ()),
+          Obs.Trace.alloc_id () )
+      else (0., frame.Wire.frame_trace, 0)
+    in
+    Queue.add
+      {
+        p_conn = conn;
+        p_id = frame.Wire.frame_id;
+        admitted_s;
+        admitted_mono = Obs.Clock.monotonic_raw ();
+        expires_s;
+        work;
+        p_trace;
+        p_span;
+        p_req_span;
+        admitted_us;
+      }
+      shard.s_pending;
+    Obs.Metrics.set shard.s_queue_gauge
+      (float_of_int (Queue.length shard.s_pending))
+  end
+
+let shard_forward_update t shard conn (frame : Wire.frame) meta xs f =
+  if stopping t then
+    reply t conn ~id:frame.Wire.frame_id
+      (Wire.Error
+         {
+           Wire.code = Wire.Shutting_down;
+           message = "server is draining; not accepting new work";
+         })
+  else if not (shard_capacity_left t shard) then
+    reply t conn ~id:frame.Wire.frame_id
+      (Wire.Error
+         {
+           Wire.code = Wire.Busy;
+           message =
+             Printf.sprintf "request queue full (capacity %d)"
+               t.config.queue_capacity;
+         })
+  else begin
+    let admitted_s = now_s () in
+    let expires_s =
+      if frame.Wire.frame_deadline_ms <= 0 then infinity
+      else admitted_s +. (float_of_int frame.Wire.frame_deadline_ms /. 1e3)
+    in
+    shard.s_outstanding <- shard.s_outstanding + 1;
+    Mbox.push t.writer_mbox
+      (W_update
+         {
+           u_shard = shard.sid;
+           u_conn = conn;
+           u_id = frame.Wire.frame_id;
+           u_admitted_s = admitted_s;
+           u_expires_s = expires_s;
+           u_meta = meta;
+           u_xs = xs;
+           u_f = f;
+           u_trace = frame.Wire.frame_trace;
+           u_span = frame.Wire.frame_span;
+         })
+  end
+
+(* Worker-side dispatch. Returns [`Detach frame] for the replication
+   control plane (Subscribe/Promote), which only the writer may run —
+   the connection is handed across wholesale and the worker must stop
+   parsing it immediately. *)
+let shard_on_frame t shard conn (frame : Wire.frame) =
+  let decoded = Wire.decode_request frame in
+  match decoded with
+  | Ok (Wire.Subscribe_req _) | Ok Wire.Promote_req -> `Detach
+  | _ ->
+      Atomic.incr t.served;
+      Obs.Metrics.inc m_requests;
+      Obs.Metrics.inc shard.s_requests;
+      (match decoded with
+      | Error message ->
+          reply t conn ~id:frame.Wire.frame_id
+            (Wire.Error { Wire.code = Wire.Protocol; message });
+          conn.close_after_flush <- true
+      | Ok req -> (
+          match req with
+          | Wire.Ping_req ->
+              Obs.Metrics.time h_admin (fun () ->
+                  reply t conn ~id:frame.Wire.frame_id Wire.Pong)
+          | Wire.Stats_req ->
+              Obs.Metrics.time h_admin (fun () ->
+                  reply t conn ~id:frame.Wire.frame_id (stats_payload t))
+          | Wire.List_models_req ->
+              Obs.Metrics.time h_admin (fun () ->
+                  reply t conn ~id:frame.Wire.frame_id
+                    (Wire.Models (model_infos t)))
+          | Wire.Events_req ->
+              Obs.Metrics.time h_admin (fun () ->
+                  reply t conn ~id:frame.Wire.frame_id
+                    (Wire.Events_payload { json = Obs.Events.to_json () }))
+          | Wire.Predict_req { meta; points; with_std } ->
+              let rows = Linalg.Mat.rows points in
+              let limit = Wire.max_predict_rows ~with_std in
+              if rows > limit then
+                reply t conn ~id:frame.Wire.frame_id
+                  (bad_request
+                     (Printf.sprintf
+                        "batch of %d points exceeds the %d-point response \
+                         limit for %s"
+                        rows limit
+                        (Wire.opcode_name
+                           (if with_std then Wire.Predict_var
+                            else Wire.Predict))))
+              else
+                shard_admit t shard conn frame
+                  (Wpredict { meta; points; with_std })
+          | Wire.Update_req { meta; xs; f } ->
+              if Atomic.get t.leader <> None then
+                reply t conn ~id:frame.Wire.frame_id (not_leader_error t)
+              else shard_forward_update t shard conn frame meta xs f
+          | Wire.Repl_ack_req _ -> () (* subscribers never live on shards *)
+          | Wire.Subscribe_req _ | Wire.Promote_req -> assert false));
+      `Continue
+
+let shard_read t shard conn =
+  slurp_gen ~scratch:shard.s_scratch ~close:(shard_close t shard) conn;
+  let detach = ref None in
+  parse_frames conn
+    ~stop:(fun () -> !detach <> None)
+    ~dispatch:(fun c frame ->
+      match
+        try shard_on_frame t shard c frame
+        with e ->
+          reply t c ~id:frame.Wire.frame_id (internal_error e);
+          c.close_after_flush <- true;
+          `Continue
+      with
+      | `Continue -> ()
+      | `Detach -> detach := Some frame)
+    ~on_bad:(fun c message ->
+      reply t c ~id:0 (Wire.Error { Wire.code = Wire.Protocol; message });
+      c.close_after_flush <- true);
+  match !detach with
+  | None -> ()
+  | Some frame ->
+      (* hand the whole connection to the writer: remaining input,
+         unflushed output, and the control frame that triggered the
+         move. The shard's conn record is orphaned, never closed here —
+         the fd now belongs to the writer. Any of this connection's
+         predicts still queued on the shard are dropped (marking the
+         orphan closed), as for a hung-up peer. *)
+      shard.s_conns <- List.filter (fun c -> c != conn) shard.s_conns;
+      Obs.Metrics.set shard.s_conns_gauge
+        (float_of_int (List.length shard.s_conns));
+      let out_frames =
+        List.rev (Queue.fold (fun acc s -> s :: acc) [] conn.out)
+      in
+      let residual = Buffer.contents conn.inbuf in
+      let out_off = conn.out_off in
+      conn.closed <- true;
+      Mbox.push t.writer_mbox
+        (W_adopt
+           {
+             a_fd = conn.fd;
+             a_in = residual;
+             a_out = out_frames;
+             a_out_off = out_off;
+             a_frame = frame;
+           })
+
+let shard_timeout t shard ~now =
+  let cand = queue_wait_s t.config shard.s_pending ~now in
+  let cand =
+    if stopping t && not (Float.is_nan shard.s_stopped_mono) then
+      Float.min cand (shard.s_stopped_mono +. drain_grace_s -. now)
+    else cand
+  in
+  clamp_timeout cand
+
+let shard_loop t shard =
+  (* this domain owns one core: predictor kernels submitted from here
+     run inline instead of contending on the shared pool *)
+  Parallel.Pool.inline_in_domain ();
+  let predictor_of = shard_predictor_of t in
+  let drain_mbox () =
+    List.iter
+      (fun msg ->
+        match msg with
+        | S_conn fd ->
+            let conn = mk_conn ~peer:Client ~read_deadline_s:infinity fd in
+            shard.s_conns <- conn :: shard.s_conns;
+            Obs.Metrics.set shard.s_conns_gauge
+              (float_of_int (List.length shard.s_conns))
+        | S_reply { r_conn; r_frame } ->
+            shard.s_outstanding <- max 0 (shard.s_outstanding - 1);
+            if not r_conn.closed then send r_conn r_frame)
+      (Mbox.drain shard.s_mbox)
+  in
+  let process () =
+    let now = now_s () in
+    refuse_expired t shard.s_pending ~now;
+    if window_due t shard.s_pending then
+      process_window t shard.s_pending ~predictor_of ~fused:shard.s_fused
+        ~on_update:(fun p _ _ _ ->
+          (* updates forward at admission; one can never be queued here *)
+          finish t p
+            (Wire.Error
+               {
+                 Wire.code = Wire.Internal;
+                 message = "update misrouted to a shard queue";
+               }));
+    Obs.Metrics.set shard.s_queue_gauge
+      (float_of_int (Queue.length shard.s_pending))
+  in
+  let flush_all () =
+    List.iter
+      (fun c ->
+        if not (Queue.is_empty c.out) then
+          flush_conn_gen ~close:(shard_close t shard) c)
+      shard.s_conns
+  in
+  let finished = ref false in
+  while not !finished do
+    if stopping t && Float.is_nan shard.s_stopped_mono then
+      shard.s_stopped_mono <- now_s ();
+    let rs =
+      shard.s_mbox.Mbox.r
+      :: List.filter_map
+           (fun c ->
+             if c.close_after_flush || c.out_bytes >= max_buffered_out then
+               None
+             else Some c.fd)
+           shard.s_conns
+    in
+    let ws =
+      List.filter_map
+        (fun c -> if Queue.is_empty c.out then None else Some c.fd)
+        shard.s_conns
+    in
+    (match Unix.select rs ws [] (shard_timeout t shard ~now:(now_s ())) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, writable, _ ->
+        if List.mem shard.s_mbox.Mbox.r readable then
+          Mbox.clear_wake ~scratch:shard.s_scratch shard.s_mbox;
+        drain_mbox ();
+        List.iter
+          (fun c -> if List.mem c.fd readable then shard_read t shard c)
+          shard.s_conns;
+        process ();
+        List.iter
+          (fun c ->
+            if List.mem c.fd writable || not (Queue.is_empty c.out) then
+              flush_conn_gen ~close:(shard_close t shard) c)
+          shard.s_conns);
+    if Obs.Trace.enabled () then Obs.Trace.flush_lane ();
+    if stopping t then begin
+      drain_mbox ();
+      process ();
+      flush_all ();
+      if
+        (Queue.is_empty shard.s_pending
+        && shard.s_outstanding = 0
+        && List.for_all (fun c -> Queue.is_empty c.out) shard.s_conns)
+        || now_s () -. shard.s_stopped_mono > drain_grace_s
+      then begin
+        List.iter (fun c -> shard_close t shard c) shard.s_conns;
+        finished := true
+      end
+    end
+  done;
+  (* connections handed over after the drain decision: close them *)
+  List.iter
+    (fun msg ->
+      match msg with
+      | S_conn fd ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Atomic.decr t.conn_count
+      | S_reply _ -> ())
+    (Mbox.drain shard.s_mbox);
+  Atomic.decr t.shards_live;
+  (* the writer's drain waits for [shards_live]: wake its select *)
+  (try ignore (Unix.write t.wake_w t.wake_buf 0 1)
+   with Unix.Unix_error _ -> ());
+  Obs.Trace.flush_lane ()
+
+(* ------------------------------------------------------------------ *)
+(* Writer side of the shard plane.                                     *)
+
+(* A forwarded update commits exactly like a local one; the response is
+   encoded here and routed back to the owning shard, which alone may
+   touch the connection. The snapshot is published inside the commit —
+   strictly before the ack frame crosses back — so an acked update is
+   visible to a predict on any shard. *)
+let apply_forwarded_update t ~u_shard ~u_conn ~u_id ~u_admitted_s
+    ~u_expires_s ~u_meta ~u_xs ~u_f ~u_trace ~u_span =
+  let resp =
+    if Atomic.get t.leader <> None then not_leader_error t
+    else if now_s () > u_expires_s then
+      Wire.Error
+        {
+          Wire.code = Wire.Deadline_exceeded;
+          message = "deadline expired before execution";
+        }
+    else
+      match
+        commit_update t ~trace_id:u_trace ~push_parent:u_span ~req_span:0
+          u_meta u_xs u_f
+      with
+      | resp -> resp
+      | exception e -> internal_error e
+  in
+  Obs.Metrics.observe h_update (now_s () -. u_admitted_s);
+  let encoded = encode_reply ~id:u_id resp in
+  Mbox.push t.shards.(u_shard).s_mbox
+    (S_reply { r_conn = u_conn; r_frame = encoded })
+
+(* Adopt a connection handed back by a shard: rebuild the conn record
+   around the fd, replay the control frame through the writer's normal
+   dispatch, then parse whatever else was already buffered. *)
+let adopt_conn t ~a_fd ~a_in ~a_out ~a_out_off ~a_frame =
+  let conn = mk_conn ~peer:Client ~read_deadline_s:infinity a_fd in
+  conn.out_off <- a_out_off;
+  List.iter
+    (fun s ->
+      Queue.add s conn.out;
+      conn.out_bytes <- conn.out_bytes + String.length s)
+    a_out;
+  Buffer.add_string conn.inbuf a_in;
+  t.conns <- conn :: t.conns;
+  (try on_frame t conn a_frame
+   with e ->
+     reply t conn ~id:a_frame.Wire.frame_id (internal_error e);
+     conn.close_after_flush <- true);
+  client_parse t conn
+
+let drain_writer_mbox t =
+  List.iter
+    (fun msg ->
+      match msg with
+      | W_update
+          { u_shard; u_conn; u_id; u_admitted_s; u_expires_s; u_meta; u_xs;
+            u_f; u_trace; u_span } ->
+          apply_forwarded_update t ~u_shard ~u_conn ~u_id ~u_admitted_s
+            ~u_expires_s ~u_meta ~u_xs ~u_f ~u_trace ~u_span
+      | W_adopt { a_fd; a_in; a_out; a_out_off; a_frame } ->
+          adopt_conn t ~a_fd ~a_in ~a_out ~a_out_off ~a_frame
+      | W_publish meta -> (
+          (* a shard found this model on disk but not in the snapshot:
+             publish it once for everyone (skip if a newer or equal
+             revision has landed meanwhile) *)
+          match Serving.Store.load ~root:t.root meta with
+          | Error _ -> ()
+          | Ok artifact -> (
+              match
+                Serving.Snapshot.find
+                  (Serving.Snapshot.current t.snapshot)
+                  meta
+              with
+              | Some e
+                when e.Serving.Snapshot.artifact.Serving.Artifact.rev
+                     >= artifact.Serving.Artifact.rev ->
+                  ()
+              | _ -> ignore (Serving.Snapshot.publish t.snapshot artifact))))
+    (Mbox.drain t.writer_mbox)
+
+(* Satellite of the read-deadline sweep: scrape peers that trickle
+   bytes (or never complete a request line) are dropped once their
+   deadline passes, freeing the conn-table slot.                       *)
+let sweep_read_deadlines t ~now =
+  List.iter
+    (fun c ->
+      if (not c.closed) && c.read_deadline_s < now then begin
+        Obs.Metrics.inc m_http_idle_drops;
+        close_conn t c
+      end)
+    (List.filter (fun c -> c.read_deadline_s < infinity) t.conns)
+
+let writer_timeout t ~now =
+  let cand = queue_wait_s t.config t.pending ~now in
+  (* follower: next link retry *)
+  let cand =
+    match Atomic.get t.leader with
+    | Some _ when (not (stopping t)) && t.link = None ->
+        Float.min cand (t.link_next_s -. now)
+    | _ -> cand
+  in
+  (* leader with subscribers: next heartbeat *)
+  let cand =
+    match Atomic.get t.leader with
+    | None
+      when (not (stopping t))
+           && Replication.Source.subscribers t.source <> [] ->
+        Float.min cand (t.last_status_s +. 1. -. now)
+    | _ -> cand
+  in
+  (* scrape read deadlines *)
+  let cand =
+    List.fold_left
+      (fun acc c -> Float.min acc (c.read_deadline_s -. now))
+      cand t.conns
+  in
+  (* draining: wake for the grace cutoff *)
+  let cand =
+    if stopping t && not (Float.is_nan t.stopped_mono) then
+      Float.min cand (t.stopped_mono +. drain_grace_s -. now)
+    else cand
+  in
+  clamp_timeout cand
 
 (* ------------------------------------------------------------------ *)
 (* The loop.                                                           *)
@@ -1636,20 +2429,31 @@ let stop_accepting t =
     | Some (Tcp _) | None -> ()
   end
 
-let drain_grace_s = 10.
-
 let fully_flushed t =
   List.for_all (fun c -> Queue.is_empty c.out) t.conns
 
 let run t =
+  (* sharded: publish the recovered store once, then spawn the worker
+     plane. [shards = 1] spawns nothing — the process stays fork-safe
+     and behaves exactly like the classic single-domain daemon. *)
+  let shard_domains =
+    if Array.length t.shards = 0 then []
+    else begin
+      ignore (Serving.Snapshot.load_all ~root:t.root t.snapshot);
+      Array.to_list
+        (Array.map (fun s -> Domain.spawn (fun () -> shard_loop t s)) t.shards)
+    end
+  in
   let finished = ref false in
   while not !finished do
     if stopping t then begin
       if Float.is_nan t.stopped_mono then t.stopped_mono <- now_s ();
-      stop_accepting t
+      stop_accepting t;
+      (* keep nudging the workers: wakes are idempotent and cheap *)
+      Array.iter (fun s -> Mbox.wake s.s_mbox) t.shards
     end;
     (* follower: (re)connect to the leader when the backoff allows *)
-    (match t.leader with
+    (match Atomic.get t.leader with
     | Some leader
       when (not (stopping t)) && t.link = None && now_s () >= t.link_next_s ->
         attempt_link t leader
@@ -1657,7 +2461,7 @@ let run t =
     (* leader: liveness heartbeat about once a second, so idle
        followers keep a fresh view of the leader's commit sequence
        without any acknowledgement traffic *)
-    (match t.leader with
+    (match Atomic.get t.leader with
     | None when not (stopping t) ->
         let now = now_s () in
         if now -. t.last_status_s >= 1. then begin
@@ -1668,7 +2472,7 @@ let run t =
               let hb =
                 Wire.encode_push
                   (Wire.Repl_heartbeat
-                     { seq = t.commit_seq; ts = Obs.Clock.wall () })
+                     { seq = Atomic.get t.commit_seq; ts = Obs.Clock.wall () })
               in
               List.iter
                 (fun c ->
@@ -1677,12 +2481,14 @@ let run t =
                 subs
         end
     | _ -> ());
+    sweep_read_deadlines t ~now:(now_s ());
     let rs =
       t.wake_r
-      :: (if t.accepting then
-            t.listen_fd
-            :: (match t.http_fd with Some fd -> [ fd ] | None -> [])
-          else [])
+      :: (if Array.length t.shards > 0 then [ t.writer_mbox.Mbox.r ] else [])
+      @ (if t.accepting then
+           t.listen_fd
+           :: (match t.http_fd with Some fd -> [ fd ] | None -> [])
+         else [])
       @ List.filter_map
           (fun c ->
             if c.close_after_flush || c.out_bytes >= max_buffered_out then
@@ -1698,7 +2504,7 @@ let run t =
           else Some c.fd)
         t.conns
     in
-    (match Unix.select rs ws [] 0.25 with
+    (match Unix.select rs ws [] (writer_timeout t ~now:(now_s ())) with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | readable, writable, _ ->
         if List.mem t.wake_r readable then begin
@@ -1708,6 +2514,11 @@ let run t =
             done
           with Unix.Unix_error _ -> ()
         end;
+        if
+          Array.length t.shards > 0
+          && List.mem t.writer_mbox.Mbox.r readable
+        then Mbox.clear_wake ~scratch:t.scratch t.writer_mbox;
+        if Array.length t.shards > 0 then drain_writer_mbox t;
         if t.accepting && List.mem t.listen_fd readable then
           accept_loop t t.listen_fd;
         (match t.http_fd with
@@ -1729,11 +2540,15 @@ let run t =
               flush_conn t c)
           t.conns);
     if stopping t then begin
-      (* drained and flushed (or out of grace): hang up and return *)
+      (* drained and flushed (or out of grace): hang up and return.
+         Updates forwarded by still-draining shards keep being served
+         through the mailbox until every worker has quiesced. *)
+      if Array.length t.shards > 0 then drain_writer_mbox t;
       process_pending t;
       List.iter (fun c -> flush_conn t c) t.conns;
       if
-        (Queue.is_empty t.pending && fully_flushed t)
+        (Queue.is_empty t.pending && fully_flushed t
+        && Atomic.get t.shards_live = 0)
         || now_s () -. t.stopped_mono > drain_grace_s
       then begin
         List.iter (fun c -> close_conn t c) t.conns;
@@ -1742,6 +2557,9 @@ let run t =
     end
   done;
   stop_accepting t;
+  List.iter Domain.join shard_domains;
+  Array.iter (fun s -> Mbox.close s.s_mbox) t.shards;
+  Mbox.close t.writer_mbox;
   (* when run was hosted on a spawned domain its trace lane would die
      with the domain; hand it to the merge buffer first *)
   Obs.Trace.flush_lane ();

@@ -1,15 +1,33 @@
-(** Micro-batching BMF prediction daemon.
+(** Micro-batching BMF prediction daemon, optionally sharded over
+    multiple cores.
 
-    A single-threaded [Unix.select] event loop accepts TCP or
-    Unix-domain-socket connections speaking the {!Wire} protocol and
-    feeds a {e bounded} request queue. Each loop tick drains the queue
-    as one micro-batch window: all admitted [predict] requests are
-    grouped by (model, with_std) and every group is served by {e one}
-    blocked {!Serving.Predictor} call — basis evaluation and the
-    per-query variance solves shard across the [Parallel.Pool] — then
-    [update] requests apply in arrival order. Because the predictor
-    kernels are row-independent and results are re-split by request,
-    batched answers are bit-identical to direct in-process calls.
+    A [Unix.select] event loop accepts TCP or Unix-domain-socket
+    connections speaking the {!Wire} protocol and feeds a {e bounded}
+    request queue. A batch window closes [batch_delay_s] after its
+    oldest admission (immediately when 0): all admitted [predict]
+    requests are grouped by (model, with_std) and every group is served
+    by {e one} blocked {!Serving.Predictor} call — basis evaluation and
+    the per-query variance solves shard across the [Parallel.Pool] —
+    then [update] requests apply in arrival order. Because the
+    predictor kernels are row-independent and results are re-split by
+    request, batched answers are bit-identical to direct in-process
+    calls.
+
+    With [config.shards = 1] (the default) everything runs on the
+    single calling domain, exactly the classic daemon — no domains are
+    spawned, so the process remains fork-safe. With [shards = N >= 2],
+    {!run} spawns [N] worker domains: the calling domain becomes the
+    {e acceptor/writer} (accept loops, journal commit point,
+    replication fan-out, follower link, HTTP scrape endpoint) and hands
+    each accepted client connection to one worker over an internal
+    mailbox. Workers run predict kernels against immutable model
+    snapshots published by the writer with a single [Atomic] swap
+    ({!Serving.Snapshot}); updates are forwarded to the writer and stay
+    serialized through the one write-ahead journal. The new snapshot is
+    published before the update's acknowledgement is queued, so a
+    client that sees the ack observes the new revision from any shard.
+    Responses remain bit-identical to direct calls at every shard
+    count.
 
     Consistency model: requests admitted in the same window are served
     against the model revision current at the start of the window;
@@ -67,8 +85,11 @@ type config = {
           larger groups split at request granularity. *)
   cache_capacity : int;  (** LRU model-cache entries (>= 1). *)
   batch_delay_s : float;
-      (** Sleep before each micro-batch window — a pacing/testing aid
-          (lets deadlines expire deterministically in tests). *)
+      (** A window closes this long after its oldest admission (0 =
+          immediately) — a pacing/testing aid (lets deadlines expire
+          deterministically in tests). The loop never sleeps past a
+          nearer per-request deadline: expired requests are refused
+          when they expire, not when the window closes. *)
   durability : Serving.Store.durability;
       (** [`Durable] (the default): every update is write-ahead
           journaled + fsynced before it is applied, and the artifact
@@ -87,12 +108,28 @@ type config = {
   slow_request_s : float;
       (** Requests slower than this (admission to reply) emit a
           [slow_request] event when the {!Obs.Events} log is on. *)
+  shards : int;
+      (** Serving shards (>= 1). [1]: the single-domain loop, no
+          domains spawned. [N >= 2]: {!run} spawns [N] worker domains
+          that serve predict traffic from published model snapshots;
+          the queue/backpressure contract ([queue_capacity], [Busy])
+          applies per shard. Each shard reports
+          [bmf_server_shard_requests_total{shard=...}],
+          [bmf_server_shard_queue_depth{shard=...}] and
+          [bmf_server_shard_connections{shard=...}]. *)
+  http_idle_s : float;
+      (** Read deadline for scrape connections (> 0): an HTTP peer that
+          has not completed its request within this many seconds is
+          dropped and counted in
+          [bmf_server_http_idle_drops_total], so stalled or trickling
+          scrapers cannot occupy conn-table slots indefinitely. Wire
+          clients are unaffected. *)
 }
 
 val default_config : config
 (** [{ queue_capacity = 256; max_batch = 4096; cache_capacity = 8;
       batch_delay_s = 0.; durability = `Durable; http = None;
-      slow_request_s = 0.25 }] *)
+      slow_request_s = 0.25; shards = 1; http_idle_s = 5. }] *)
 
 type t
 
@@ -150,6 +187,9 @@ val install_signal_handlers : t -> unit
 (** SIGTERM and SIGINT invoke {!stop}; SIGPIPE is ignored. *)
 
 val run : t -> unit
-(** Serve until {!stop}. Returns after the drain completed and every
-    socket is closed; the listening socket (and Unix socket path) are
+(** Serve until {!stop}. With [config.shards >= 2] this spawns the
+    worker domains on entry and joins them before returning. Returns
+    after the drain completed — every shard quiesced (in-flight work
+    finished or refused, connections flushed) — and every socket is
+    closed; the listening socket (and Unix socket path) are
     released. *)

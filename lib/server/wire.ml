@@ -178,6 +178,7 @@ type response =
       recovered_updates : float;
       role : string;
       journal_seq : int;
+      shards : int;
       metrics_json : string;
     }
   | Promoted of { was_follower : bool; journal_seq : int }
@@ -497,13 +498,21 @@ let encode_response ~id resp =
           infos;
         0
     | Stats_payload
-        { uptime_s; requests; recovered_updates; role; journal_seq; metrics_json }
-      ->
+        {
+          uptime_s;
+          requests;
+          recovered_updates;
+          role;
+          journal_seq;
+          shards;
+          metrics_json;
+        } ->
         put_float buf uptime_s;
         put_float buf recovered_updates;
         put_float buf requests;
         put_string buf role;
         put_int buf journal_seq;
+        put_int buf shards;
         put_string buf metrics_json;
         0
     | Promoted { was_follower; journal_seq } ->
@@ -568,6 +577,7 @@ let decode_response ~expect f =
             let requests = get_float rd in
             let role = get_string rd in
             let journal_seq = get_int rd in
+            let shards = get_int rd in
             let metrics_json = get_string rd in
             Stats_payload
               {
@@ -576,6 +586,7 @@ let decode_response ~expect f =
                 recovered_updates;
                 role;
                 journal_seq;
+                shards;
                 metrics_json;
               }
         | Promote ->

@@ -127,6 +127,9 @@ type response =
           (** Leader: updates committed since start. Follower: the last
               leader commit sequence durably applied or embodied in a
               catch-up snapshot. *)
+      shards : int;
+          (** Serving shards the daemon runs with ([config.shards]);
+              [1] for the classic single-domain loop. *)
       metrics_json : string;
     }
   | Promoted of { was_follower : bool; journal_seq : int }

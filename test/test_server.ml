@@ -194,6 +194,7 @@ let test_response_roundtrips () =
             recovered_updates = 3.;
             role = "follower";
             journal_seq = 17;
+            shards = 4;
             metrics_json = "{\"a\":1}";
           })
    with
@@ -203,6 +204,7 @@ let test_response_roundtrips () =
       check_bool "recovered" true (Float.equal 3. p.recovered_updates);
       check_string "role" "follower" p.role;
       check_int "journal_seq" 17 p.journal_seq;
+      check_int "shards" 4 p.shards;
       check_string "metrics json" "{\"a\":1}" p.metrics_json
   | _ -> Alcotest.fail "stats round-trip");
   List.iter
@@ -934,6 +936,317 @@ let test_e2e_graceful_shutdown () =
       Alcotest.fail "connect succeeded after shutdown"
 
 (* ------------------------------------------------------------------ *)
+(* Select-timeout and HTTP idle-deadline regressions                   *)
+
+let test_e2e_deadline_refusal_not_quantized () =
+  (* Regression: the select loop used a hardcoded 0.25 s timeout floor
+     and process_pending slept out the whole batch window, so a 50 ms
+     deadline inside a long window was refused only when the window
+     closed. The timeout is now computed from the nearest pending
+     deadline, so the refusal must land near the deadline itself even
+     though the window stays open for another ~5 s. *)
+  with_temp_root @@ fun root ->
+  let s = make_synth ~k:20 ~r:8 () in
+  ignore (Serving.Store.save ~root (artifact_of s));
+  let config =
+    { Server.Daemon.default_config with Server.Daemon.batch_delay_s = 5. }
+  in
+  with_daemon ~config ~root @@ fun _t addr ->
+  with_client addr @@ fun c ->
+  let t0 = Unix.gettimeofday () in
+  (match Server.Client.predict c ~deadline_ms:50 meta (queries s 4) with
+  | Ok _ -> Alcotest.fail "50 ms deadline inside a 5 s window was served"
+  | Error e ->
+      check_bool "deadline code" true
+        (e.Server.Wire.code = Server.Wire.Deadline_exceeded));
+  let elapsed = Unix.gettimeofday () -. t0 in
+  check_bool
+    (Printf.sprintf "refused near the deadline, not a select tick (%.0f ms)"
+       (1e3 *. elapsed))
+    true (elapsed < 0.2)
+
+let test_e2e_stalled_scraper_dropped () =
+  (* A scrape connection that trickles half a request line must be cut
+     off at the idle read deadline — it cannot hold a conn-table slot
+     forever — while wire clients (which carry no read deadline) are
+     untouched. *)
+  with_temp_root @@ fun root ->
+  let s = make_synth ~k:20 ~r:8 () in
+  ignore (Serving.Store.save ~root (artifact_of s));
+  let hsock = Filename.concat root "http.sock" in
+  let config =
+    {
+      Server.Daemon.default_config with
+      Server.Daemon.http = Some (Server.Daemon.Unix_socket hsock);
+      http_idle_s = 0.3;
+    }
+  in
+  Obs.Metrics.enable ();
+  Fun.protect ~finally:Obs.Metrics.disable @@ fun () ->
+  with_daemon ~config ~root @@ fun _t addr ->
+  with_client addr @@ fun c ->
+  ok "ping" (Server.Client.ping c);
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX hsock);
+      ignore (Unix.write_substring fd "GET /hea" 0 8);
+      let t0 = Unix.gettimeofday () in
+      let tmp = Bytes.create 256 in
+      let rec await_eof () =
+        match Unix.read fd tmp 0 256 with
+        | 0 -> ()
+        | _ -> await_eof ()
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+            ()
+      in
+      await_eof ();
+      let waited = Unix.gettimeofday () -. t0 in
+      check_bool
+        (Printf.sprintf "dropped near the 0.3 s idle deadline (%.0f ms)"
+           (1e3 *. waited))
+        true
+        (waited < 2.));
+  (* the wire connection outlived the scrape deadline untouched *)
+  ok "ping after the drop" (Server.Client.ping c);
+  (* a well-behaved scraper is still served, and the drop was counted *)
+  let metrics = http_get hsock "GET /metrics HTTP/1.1\r\n\r\n" in
+  check_bool "scrape after the drop" true (contains metrics "HTTP/1.1 200");
+  check_bool "idle drop counted" true
+    (contains metrics "bmf_server_http_idle_drops_total 1")
+
+(* ------------------------------------------------------------------ *)
+(* Sharded serving                                                     *)
+
+let store_bytes root =
+  Sys.readdir root |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".bmfa")
+  |> List.sort compare
+  |> List.map (fun f ->
+         In_channel.with_open_bin (Filename.concat root f)
+           In_channel.input_all)
+
+let test_sharded_bit_identical () =
+  (* Four connections against a 4-shard daemon land one per worker
+     domain (the acceptor deals them round-robin); every shard must
+     serve bits identical to a direct in-process Predictor call. *)
+  with_temp_root @@ fun root ->
+  let s = make_synth () in
+  let a = artifact_of s in
+  ignore (Serving.Store.save ~root a);
+  let q = queries s 64 in
+  let p = Serving.Predictor.of_artifact a in
+  let direct_means = Serving.Predictor.predict p q in
+  let direct_m2, direct_stds = Serving.Predictor.predict_with_std p q in
+  let config =
+    { Server.Daemon.default_config with Server.Daemon.shards = 4 }
+  in
+  with_daemon ~config ~root @@ fun _t addr ->
+  for i = 1 to 4 do
+    with_client addr @@ fun c ->
+    let means = ok "predict" (Server.Client.predict c meta q) in
+    check_bool
+      (Printf.sprintf "conn %d means bit-identical" i)
+      true
+      (Array.for_all2 Float.equal direct_means means);
+    check_string "fingerprints agree"
+      (Serving.Artifact.fingerprint direct_means)
+      (Serving.Artifact.fingerprint means);
+    let m2, stds =
+      ok "predict_with_std" (Server.Client.predict_with_std c meta q)
+    in
+    check_bool
+      (Printf.sprintf "conn %d variance-path means bit-identical" i)
+      true
+      (Array.for_all2 Float.equal direct_m2 m2);
+    check_bool
+      (Printf.sprintf "conn %d stds bit-identical" i)
+      true
+      (Array.for_all2 Float.equal direct_stds stds)
+  done
+
+let test_sharded_mixed_load_identity () =
+  (* The same deterministic interleaving of updates and predicts,
+     replayed against a 1-shard and a 4-shard daemon over identical
+     seed stores, must produce identical response streams and leave
+     byte-identical artifacts on disk. Updates are issued from a single
+     connection so the journal commit order is the same at any shard
+     count. *)
+  with_temp_root @@ fun root ->
+  let s = make_synth ~k:30 ~r:12 () in
+  let a = artifact_of s in
+  let root1 = Filename.concat root "s1" in
+  let root4 = Filename.concat root "s4" in
+  ignore (Serving.Store.save ~root:root1 a);
+  ignore (Serving.Store.save ~root:root4 a);
+  let r = Polybasis.Basis.dim s.basis in
+  let mix_rng = Stats.Rng.create 9090 in
+  let steps =
+    List.init 12 (fun i ->
+        let k = 2 + (i mod 3) in
+        let xs = Stats.Sampling.monte_carlo mix_rng ~k ~r in
+        let f =
+          Array.init k (fun j ->
+              Linalg.Vec.dot
+                (Polybasis.Basis.eval_row s.basis (Linalg.Mat.row xs j))
+                s.truth)
+        in
+        let q =
+          Linalg.Mat.of_rows
+            (List.init 8 (fun _ -> Stats.Rng.gaussian_vec mix_rng r))
+        in
+        (xs, f, q))
+  in
+  let run_root ~shards root =
+    let config = { Server.Daemon.default_config with Server.Daemon.shards } in
+    with_daemon ~config ~root @@ fun _t addr ->
+    with_client addr @@ fun u ->
+    with_client addr @@ fun p1 ->
+    with_client addr @@ fun p2 ->
+    with_client addr @@ fun p3 ->
+    let preds = [| p1; p2; p3 |] in
+    List.concat
+      (List.mapi
+         (fun i (xs, f, q) ->
+           ignore (ok "update" (Server.Client.update u meta ~xs ~f));
+           let c = preds.(i mod 3) in
+           Array.to_list (ok "predict" (Server.Client.predict c meta q)))
+         steps)
+  in
+  let m1 = run_root ~shards:1 root1 in
+  let m4 = run_root ~shards:4 root4 in
+  check_bool "mixed-load means identical at shards 1 vs 4" true
+    (List.for_all2 Float.equal m1 m4);
+  check_string "fingerprints agree"
+    (Serving.Artifact.fingerprint (Array.of_list m1))
+    (Serving.Artifact.fingerprint (Array.of_list m4));
+  check_bool "store files byte-identical at shards 1 vs 4" true
+    (store_bytes root1 = store_bytes root4)
+
+let test_sharded_drain_in_flight () =
+  (* Stop a 3-shard daemon while every shard holds an in-flight predict
+     inside an open batch window: each request must still get a
+     response frame (served, or refused shutting_down if it had not
+     been admitted yet), every connection must be flushed and closed,
+     and run must return. *)
+  with_temp_root @@ fun root ->
+  let s = make_synth ~k:20 ~r:8 () in
+  ignore (Serving.Store.save ~root (artifact_of s));
+  ignore (Parallel.Pool.run (Array.init 8 (fun i () -> i)));
+  let sock = Filename.concat root "test.sock" in
+  let config =
+    {
+      Server.Daemon.default_config with
+      Server.Daemon.shards = 3;
+      batch_delay_s = 0.2;
+    }
+  in
+  let t = Server.Daemon.create ~config ~root (Server.Daemon.Unix_socket sock) in
+  let d = Domain.spawn (fun () -> Server.Daemon.run t) in
+  let fds =
+    List.init 3 (fun _ ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX sock);
+        fd)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        fds;
+      Server.Daemon.stop t)
+    (fun () ->
+      let q = queries s 8 in
+      List.iteri
+        (fun i fd ->
+          let payload =
+            Server.Wire.encode_request ~id:(100 + i)
+              (Server.Wire.Predict_req { meta; points = q; with_std = false })
+          in
+          let n =
+            Unix.write_substring fd payload 0 (String.length payload)
+          in
+          check_int "request written" (String.length payload) n)
+        fds;
+      (* let the handoff and admissions land inside the 0.2 s window *)
+      Unix.sleepf 0.05;
+      Server.Daemon.stop t;
+      Domain.join d (* run returned: every shard quiesced *);
+      List.iteri
+        (fun i fd ->
+          let got = Buffer.create 4096 in
+          let tmp = Bytes.create 4096 in
+          let rec drain () =
+            match Unix.read fd tmp 0 4096 with
+            | 0 -> ()
+            | n ->
+                Buffer.add_subbytes got tmp 0 n;
+                drain ()
+            | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
+          in
+          drain ();
+          match Server.Wire.peek (Buffer.contents got) ~off:0 with
+          | `Frame (f, _) -> (
+              check_int "request id echoed" (100 + i) f.Server.Wire.frame_id;
+              match
+                Server.Wire.decode_response ~expect:Server.Wire.Predict f
+              with
+              | Ok (Server.Wire.Predicted { means; _ }) ->
+                  check_int "in-flight predict served through the drain" 8
+                    (Array.length means)
+              | Ok (Server.Wire.Error e) ->
+                  check_bool "unadmitted work refused as shutting_down" true
+                    (e.Server.Wire.code = Server.Wire.Shutting_down)
+              | _ -> Alcotest.failf "conn %d: unexpected response" i)
+          | `Need _ | `Bad _ ->
+              Alcotest.failf "conn %d: no response frame before close" i)
+        fds)
+
+let test_sharded_update_snapshot_race () =
+  (* Snapshot publication happens before the update's ack is queued: a
+     client that saw the ack and then predicts from a different shard
+     must observe exactly the persisted revision — never the old
+     snapshot. Exercised across repeated swap cycles. *)
+  with_temp_root @@ fun root ->
+  let s = make_synth ~k:30 ~r:12 () in
+  let a = artifact_of s in
+  ignore (Serving.Store.save ~root a);
+  let config =
+    { Server.Daemon.default_config with Server.Daemon.shards = 2 }
+  in
+  let r = Polybasis.Basis.dim s.basis in
+  let race_rng = Stats.Rng.create 5151 in
+  let q = queries s 16 in
+  with_daemon ~config ~root @@ fun _t addr ->
+  with_client addr @@ fun cu ->
+  (* second connection lands on the other shard *)
+  with_client addr @@ fun cp ->
+  for round = 1 to 8 do
+    let k = 3 in
+    let xs = Stats.Sampling.monte_carlo race_rng ~k ~r in
+    let f =
+      Array.init k (fun j ->
+          Linalg.Vec.dot
+            (Polybasis.Basis.eval_row s.basis (Linalg.Mat.row xs j))
+            s.truth)
+    in
+    let rev, _ = ok "update" (Server.Client.update cu meta ~xs ~f) in
+    check_int "revision advances" (a.rev + round) rev;
+    let means = ok "predict" (Server.Client.predict cp meta q) in
+    let direct =
+      match Serving.Store.load ~root meta with
+      | Error e -> Alcotest.failf "store reload: %s" e
+      | Ok b -> Serving.Predictor.predict (Serving.Predictor.of_artifact b) q
+    in
+    check_bool
+      (Printf.sprintf "round %d: post-ack predict sees the new revision"
+         round)
+      true
+      (Array.for_all2 Float.equal direct means)
+  done
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "server"
@@ -971,6 +1284,8 @@ let () =
             test_e2e_backpressure_busy;
           Alcotest.test_case "deadline exceeded" `Quick
             test_e2e_deadline_exceeded;
+          Alcotest.test_case "deadline refusal not quantized" `Quick
+            test_e2e_deadline_refusal_not_quantized;
           Alcotest.test_case "model not found" `Quick test_e2e_model_not_found;
           Alcotest.test_case "dim mismatch" `Quick
             test_e2e_dim_mismatch_bad_request;
@@ -985,6 +1300,8 @@ let () =
         [
           Alcotest.test_case "http scrape endpoints" `Quick
             test_e2e_http_endpoints;
+          Alcotest.test_case "stalled scraper dropped" `Quick
+            test_e2e_stalled_scraper_dropped;
           Alcotest.test_case "bit-identical with obs on" `Quick
             test_e2e_obs_bit_identity;
         ] );
@@ -994,6 +1311,17 @@ let () =
             test_e2e_deadline_immune_to_frozen_clock;
           Alcotest.test_case "journal replayed on create" `Quick
             test_e2e_journal_replayed_on_create;
+        ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "bit-identical on every shard" `Quick
+            test_sharded_bit_identical;
+          Alcotest.test_case "mixed load identical at shards 1 vs 4" `Quick
+            test_sharded_mixed_load_identity;
+          Alcotest.test_case "drain with in-flight work on every shard"
+            `Quick test_sharded_drain_in_flight;
+          Alcotest.test_case "update/snapshot-swap race" `Quick
+            test_sharded_update_snapshot_race;
         ] );
       ( "loadgen",
         [
