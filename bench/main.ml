@@ -640,6 +640,160 @@ let durability_overhead (cfg : Experiments.Config.t) =
       Serving.Journal.close jd;
       durability_timings := List.rev !durability_timings)
 
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Ensemble: BMA over two amp models vs the best single member —       *)
+(* held-out RMSE and empirical 2-sigma coverage, where the ensemble    *)
+(* interval uses the decomposed variance (within + between).           *)
+
+(* JSON fragment for the summary file. *)
+let ensemble_record : string option ref = ref None
+
+let ensemble_accuracy (cfg : Experiments.Config.t) =
+  let tb = Circuit.Amplifier.testbench (Circuit.Amplifier.create cfg.seed) in
+  let metric = Circuit.Amplifier.offset_index in
+  let prep = Experiments.Runner.prepare cfg tb ~metric in
+  let rng = Stats.Rng.create (cfg.seed + 331) in
+  let draw k =
+    Circuit.Testbench.draw_dataset tb ~stage:Circuit.Stage.Layout ~metric ~rng
+      ~k ()
+  in
+  let fusion_cfg = { Bmf.Fusion.default_config with cv_folds = cfg.cv_folds } in
+  let member ~seed ~k =
+    let xs, f = draw k in
+    let g = Polybasis.Basis.design_matrix prep.late_basis xs in
+    let fitted =
+      Bmf.Fusion.fit_design
+        ~rng:(Stats.Rng.create (seed + 97))
+        ~config:fusion_cfg ~early:prep.early ~g ~f Bmf.Fusion.Bmf_ps
+    in
+    let meta =
+      {
+        Serving.Artifact.circuit = "amp";
+        metric = tb.metrics.(metric);
+        scale = "bench-ensemble";
+        seed;
+      }
+    in
+    ( k,
+      Serving.Artifact.of_fit ~meta ~basis:prep.late_basis ~prior:fitted.prior
+        ~hyper:fitted.hyper ~g ~f () )
+  in
+  (* founder fitted on a starved budget; the canaried revision sees 12x the
+     late-stage samples and must earn its weight through evidence alone
+     (it starts from the ln 1e-6 canary prior) *)
+  let members = [| member ~seed:cfg.seed ~k:8; member ~seed:(cfg.seed + 1) ~k:96 |] in
+  let st =
+    Array.fold_left
+      (fun st (_, a) ->
+        match Ensemble.State.add st a.Serving.Artifact.meta with
+        | Ok st -> st
+        | Error e -> failwith e)
+      (Ensemble.State.create "bench")
+      members
+  in
+  let predictors =
+    Array.map (fun (_, a) -> Serving.Predictor.of_artifact a) members
+  in
+  (* evidence stream: score each fresh batch under every member's current
+     predictive density, then fold the increments in — the same
+     score-then-commit protocol the daemon's update path runs *)
+  let rounds = 16 and batch = 16 in
+  let st = ref st in
+  for _ = 1 to rounds do
+    let xs, f = draw batch in
+    let increments =
+      Array.map
+        (fun p ->
+          let means, stds = Serving.Predictor.predict_with_std p xs in
+          (Ensemble.Evidence.score ~means ~stds f, batch))
+        predictors
+    in
+    st := Ensemble.State.record !st increments
+  done;
+  let st = !st in
+  let weights = Ensemble.State.weights st in
+  (* held-out evaluation *)
+  let holdout = 256 in
+  let xs_test, f_test = draw holdout in
+  let rmse means =
+    let acc = ref 0. in
+    Array.iteri (fun i m -> acc := !acc +. (((m -. f_test.(i)) ** 2.))) means;
+    sqrt (!acc /. float_of_int holdout)
+  in
+  let coverage means std_of =
+    let hits = ref 0 in
+    Array.iteri
+      (fun i m ->
+        if Float.abs (f_test.(i) -. m) <= 2. *. std_of i then incr hits)
+      means;
+    float_of_int !hits /. float_of_int holdout
+  in
+  let per_member =
+    Array.map
+      (fun p ->
+        let means, stds = Serving.Predictor.predict_with_std p xs_test in
+        (rmse means, coverage means (fun i -> stds.(i))))
+      predictors
+  in
+  let e_means, e_within, e_between =
+    Ensemble.Predictor.predict st (Array.map Option.some predictors) xs_test
+  in
+  let e_rmse = rmse e_means in
+  let e_cov =
+    coverage e_means (fun i -> sqrt (e_within.(i) +. e_between.(i)))
+  in
+  let best_rmse = Array.fold_left (fun a (r, _) -> Float.min a r) infinity per_member in
+  Printf.printf
+    "amp %s: %d evidence batches of %d points, %d held-out points\n\n"
+    tb.metrics.(metric) rounds batch holdout;
+  Printf.printf "%-22s %6s %14s %12s %8s\n" "member" "K" "holdout RMSE"
+    "2s coverage" "weight";
+  Array.iteri
+    (fun i (k, (a : Serving.Artifact.t)) ->
+      let r, c = per_member.(i) in
+      Printf.printf "%-22s %6d %14.4f %12.3f %8.4f\n"
+        (Printf.sprintf "amp/%s seed=%d" a.meta.metric a.meta.seed)
+        k r c weights.(i))
+    members;
+  Printf.printf "%-22s %6s %14.4f %12.3f %8s\n" "BMA ensemble" "-" e_rmse e_cov
+    "-";
+  Printf.printf "\nensemble RMSE / best single member RMSE: %.3f\n"
+    (e_rmse /. Float.max 1e-12 best_rmse);
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"circuit\":\"amp\",\"metric\":\"%s\",\"holdout\":%d,\"members\":["
+       (json_escape tb.metrics.(metric))
+       holdout);
+  Array.iteri
+    (fun i (k, (a : Serving.Artifact.t)) ->
+      let r, c = per_member.(i) in
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"seed\":%d,\"k\":%d,\"rmse\":%.6f,\"coverage\":%.4f,\"weight\":%.6f}"
+           a.meta.seed k r c weights.(i)))
+    members;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "],\"ensemble\":{\"rmse\":%.6f,\"coverage\":%.4f},\"best_member_rmse\":%.6f}"
+       e_rmse e_cov best_rmse);
+  ensemble_record := Some (Buffer.contents buf)
+
 (* ------------------------------------------------------------------ *)
 (* Parallel CV sweep: wall-clock speedup curve over -j, with the       *)
 (* determinism bar checked on the spot.                                *)
@@ -717,20 +871,6 @@ let parallel_cv_sweep (cfg : Experiments.Config.t) =
 (* ------------------------------------------------------------------ *)
 (* Machine-readable summary: BENCH_SUMMARY line + JSON file.          *)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
 let summary_json ~total_seconds ~microbench =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
@@ -801,6 +941,10 @@ let summary_json ~total_seconds ~microbench =
            (json_escape name) seconds))
     !durability_timings;
   Buffer.add_string buf "]";
+  Buffer.add_string buf ",\"ensemble\":";
+  (match !ensemble_record with
+  | Some s -> Buffer.add_string buf s
+  | None -> Buffer.add_string buf "null");
   Buffer.add_string buf ",\"metrics\":";
   Buffer.add_string buf (Obs.Metrics.to_json ());
   Buffer.add_char buf '}';
@@ -886,6 +1030,9 @@ let () =
 
   section "Durability: Fast vs Durable saves and journal appends";
   ignore (timed "durability" (fun () -> durability_overhead cfg; ""));
+
+  section "Ensemble: BMA vs best single member (amp held-out accuracy)";
+  ignore (timed "ensemble" (fun () -> ensemble_accuracy cfg; ""));
 
   section "Parallel CV sweep: speedup over -j (bit-identical by construction)";
   ignore (timed "parallel_cv" (fun () -> parallel_cv_sweep cfg; ""));

@@ -12,6 +12,9 @@
      repro predict        serve predictions from a stored artifact
      repro update         fold new samples in without a full refit
      repro models         list and verify the artifact registry
+     repro ensemble       create/extend/inspect BMA ensembles over the
+                          registry; later members join as near-zero-
+                          weight canaries moved by accumulated evidence
      repro recover        crash recovery: verify, replay journal, sweep
      repro serve          micro-batching prediction daemon (lib/server);
                           --follow ADDR replicates from a leader
@@ -643,13 +646,67 @@ let human_bytes n =
   else if n >= 1024 then Printf.sprintf "%.1f KiB" (float_of_int n /. 1024.)
   else Printf.sprintf "%d B" n
 
-let run_models dir =
+let models_json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Print the registry listing as one JSON object (root, per-entry \
+           status and metadata) instead of the formatted table.")
+
+let models_to_json root entries =
+  let entry_json (e : Serving.Store.entry) =
+    let base =
+      [
+        ("file", Serving.Json.Str (Filename.basename e.file));
+        ("bytes", Serving.Json.Num (float_of_int e.bytes));
+      ]
+    in
+    match e.status with
+    | Ok a ->
+        Serving.Json.Obj
+          (base
+          @ [
+              ("status", Serving.Json.Str "ok");
+              ("circuit", Serving.Json.Str a.meta.circuit);
+              ("metric", Serving.Json.Str a.meta.metric);
+              ("scale", Serving.Json.Str a.meta.scale);
+              ("seed", Serving.Json.Num (float_of_int a.meta.seed));
+              ("rev", Serving.Json.Num (float_of_int a.rev));
+              ( "samples",
+                Serving.Json.Num
+                  (float_of_int (Serving.Artifact.num_samples a)) );
+              ( "terms",
+                Serving.Json.Num (float_of_int (Serving.Artifact.num_terms a))
+              );
+              ("method", Serving.Json.Str (Serving.Artifact.method_name a));
+              ("hyper", Serving.Json.Num a.hyper);
+              ("verify_ms", Serving.Json.Num (1e3 *. e.verify_seconds));
+            ])
+    | Error msg ->
+        Serving.Json.Obj
+          (base
+          @ [
+              ("status", Serving.Json.Str "corrupt");
+              ("error", Serving.Json.Str msg);
+            ])
+  in
+  Serving.Json.to_string
+    (Serving.Json.Obj
+       [
+         ("root", Serving.Json.Str root);
+         ("artifacts", Serving.Json.Arr (List.map entry_json entries));
+       ])
+
+let run_models dir json =
   let root = root_of dir in
   (* collection on: the listing's store reads feed the bmf_store_*
      counters that produce the summary line *)
   Obs.Metrics.enable ();
   let entries = Serving.Store.list ~root in
   Obs.Metrics.disable ();
+  if json then print_endline (models_to_json root entries)
+  else
   match entries with
   | [] -> Printf.printf "no artifacts under %s\n" root
   | entries ->
@@ -679,9 +736,11 @@ let run_models dir =
 let models_cmd =
   let doc =
     "List the artifact registry: per-entry on-disk size, checksum \
-     verification status and verification time, plus store I/O totals."
+     verification status and verification time, plus store I/O totals. \
+     $(b,--json) emits the same listing machine-readably."
   in
-  Cmd.v (Cmd.info "models" ~doc) Term.(const run_models $ dir_arg)
+  Cmd.v (Cmd.info "models" ~doc)
+    Term.(const run_models $ dir_arg $ models_json_arg)
 
 let run_recover dir durability =
   let root = root_of dir in
@@ -898,7 +957,8 @@ let serve_cmd =
     "Run the micro-batching prediction daemon over the artifact registry. \
      Length-prefixed binary wire protocol (opcodes: ping, predict, \
      predict_with_variance, update, list_models, stats, subscribe, \
-     promote), bounded request queue with immediate $(b,busy) \
+     promote, predict_ensemble, ensemble_stats), bounded request queue \
+     with immediate $(b,busy) \
      backpressure, per-request deadlines, LRU model cache, graceful \
      drain on SIGTERM/SIGINT. $(b,--shards N) spreads serving over N \
      worker domains (one core each) with bit-identical responses. With \
@@ -926,12 +986,228 @@ let meta_of (scale_name, (cfg : Experiments.Config.t)) circuit metric_opt =
       seed = cfg.seed;
     } )
 
+(* ------------------------------------------------------------------ *)
+(* `repro ensemble`: manage BMA ensembles over the registry
+   (lib/ensemble — .bmfe state files sharing the model root). *)
+
+let ensemble_name_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "name" ] ~docv:"NAME" ~doc:"Ensemble name.")
+
+let occam_arg =
+  Arg.(
+    value
+    & opt float 0.
+    & info [ "occam" ] ~docv:"R"
+        ~doc:
+          "Occam's-window ratio in [0, 1): members whose posterior weight \
+           falls below $(docv) times the best member's are pruned to \
+           weight 0 before renormalising. 0 (the default) disables the \
+           window.")
+
+let need_ensemble_name = function
+  | Some n -> n
+  | None ->
+      prerr_endline "missing --name NAME";
+      exit 2
+
+let ensemble_resolve root (m : Serving.Artifact.meta) =
+  match Serving.Store.load ~root m with
+  | Ok a -> Some (a.Serving.Artifact.rev, a.Serving.Artifact.basis_dim)
+  | Error _ -> None
+
+let print_ensemble_predictions name ~seed ~members ~means ~within ~between =
+  Printf.printf "ensemble %S: %d member(s), verification queries (seed %d):\n"
+    name members (seed + 8191);
+  Array.iteri
+    (fun i v ->
+      if i < 5 then
+        Printf.printf "  q%-2d  %+.10g  (within %.4g, between %.4g)\n" i v
+          within.(i) between.(i))
+    means;
+  Printf.printf "mean fingerprint (%d queries): %s\n" query_count
+    (Serving.Artifact.fingerprint means);
+  Printf.printf "within-variance fingerprint:  %s\n"
+    (Serving.Artifact.fingerprint within);
+  Printf.printf "between-variance fingerprint: %s\n"
+    (Serving.Artifact.fingerprint between)
+
+let run_ensemble common circuit metric_opt dir durability name_opt occam
+    action =
+  let root = root_of dir in
+  match action with
+  | "create" -> (
+      let name = need_ensemble_name name_opt in
+      match Ensemble.Store.find ~root name with
+      | Some file ->
+          Printf.eprintf "ensemble %S already exists (%s)\n" name file;
+          exit 1
+      | None -> (
+          match Ensemble.State.create ~occam name with
+          | state ->
+              let file = Ensemble.Store.save ~durability ~root state in
+              Printf.printf "created ensemble %S (occam %g) -> %s\n" name
+                occam file
+          | exception Invalid_argument msg ->
+              Printf.eprintf "%s\n" msg;
+              exit 2))
+  | "add" -> (
+      let name = need_ensemble_name name_opt in
+      match Ensemble.Store.load ~root name with
+      | Error e ->
+          Printf.eprintf "%s\n(create it first: repro ensemble create --name %s)\n"
+            e name;
+          exit 1
+      | Ok state -> (
+          let _tb, _metric, meta = meta_of common circuit metric_opt in
+          match Serving.Store.find ~root meta with
+          | None ->
+              Printf.eprintf
+                "no artifact for %s/%s scale=%s seed=%d under %s\n\
+                 (fit one first: repro fit --circuit %s --scale %s --seed %d)\n"
+                meta.circuit meta.metric meta.scale meta.seed root
+                meta.circuit meta.scale meta.seed;
+              exit 1
+          | Some _ -> (
+              match Ensemble.State.add state meta with
+              | Error e ->
+                  Printf.eprintf "%s\n" e;
+                  exit 1
+              | Ok state ->
+                  let file = Ensemble.Store.save ~durability ~root state in
+                  let n = Array.length state.Ensemble.State.members in
+                  Printf.printf
+                    "added %s/%s scale=%s seed=%d to %S (%d member(s), \
+                     evidence reset) -> %s\n"
+                    meta.circuit meta.metric meta.scale meta.seed name n file;
+                  if n > 1 then
+                    Printf.printf
+                      "canary: joins at log prior %.4g (weight ~%.2g); \
+                       served updates accumulate the evidence that moves \
+                       it\n"
+                      Ensemble.State.canary_log_prior
+                      (exp Ensemble.State.canary_log_prior))))
+  | "list" -> (
+      match Ensemble.Store.list ~root with
+      | [] -> Printf.printf "no ensembles under %s\n" root
+      | l ->
+          Printf.printf "ensembles under %s:\n" root;
+          List.iter
+            (fun (file, status) ->
+              match status with
+              | Ok (s : Ensemble.State.t) ->
+                  let w = Ensemble.State.weights s in
+                  Printf.printf "  %-28s %S: %d member(s), occam %g\n"
+                    (Filename.basename file) s.name (Array.length s.members)
+                    s.occam;
+                  Array.iteri
+                    (fun i (m : Ensemble.State.member) ->
+                      Printf.printf
+                        "    w=%-8.6f ev=%+-12.6g over %6d pt(s)  \
+                         %s/%s scale=%s seed=%d\n"
+                        w.(i) m.log_ev m.count m.meta.circuit m.meta.metric
+                        m.meta.scale m.meta.seed)
+                    s.members
+              | Error msg ->
+                  Printf.printf "  %-28s CORRUPT  %s\n"
+                    (Filename.basename file) msg)
+            l)
+  | "show" -> (
+      let name = need_ensemble_name name_opt in
+      match Ensemble.Store.load ~root name with
+      | Error e ->
+          prerr_endline e;
+          exit 1
+      | Ok s ->
+          print_endline
+            (Serving.Json.to_string
+               (Ensemble.State.to_json ~resolve:(ensemble_resolve root) s)))
+  | "predict" -> (
+      let name = need_ensemble_name name_opt in
+      match Ensemble.Store.load ~root name with
+      | Error e ->
+          prerr_endline e;
+          exit 1
+      | Ok s ->
+          if Array.length s.Ensemble.State.members = 0 then begin
+            Printf.eprintf "ensemble %S has no members\n" name;
+            exit 1
+          end;
+          let artifacts =
+            Array.map
+              (fun (m : Ensemble.State.member) ->
+                match Serving.Store.load ~root m.meta with
+                | Ok a -> a
+                | Error e ->
+                    prerr_endline e;
+                    exit 1)
+              s.members
+          in
+          let first = artifacts.(0) in
+          Array.iter
+            (fun (a : Serving.Artifact.t) ->
+              if a.basis_dim <> first.Serving.Artifact.basis_dim then begin
+                Printf.eprintf
+                  "member %s/%s has basis dim %d, ensemble head has %d\n"
+                  a.meta.circuit a.meta.metric a.basis_dim
+                  first.Serving.Artifact.basis_dim;
+                exit 1
+              end)
+            artifacts;
+          (* the same deterministic query block the daemon's
+             predict_ensemble answers for: first member's key seeds it *)
+          let points = query_points first in
+          let predictors =
+            Array.map
+              (fun a -> Some (Serving.Predictor.of_artifact a))
+              artifacts
+          in
+          let means, within, between =
+            Ensemble.Predictor.predict s predictors points
+          in
+          print_ensemble_predictions name
+            ~seed:first.Serving.Artifact.meta.seed
+            ~members:(Array.length s.members) ~means ~within ~between)
+  | s ->
+      Printf.eprintf
+        "unknown action %S (want create|add|list|show|predict)\n" s;
+      exit 2
+
+let ensemble_action_arg =
+  Arg.(
+    value
+    & pos 0 string "list"
+    & info [] ~docv:"ACTION" ~doc:"create | add | list | show | predict")
+
+let ensemble_cmd =
+  let doc =
+    "Manage Bayesian-model-averaging ensembles over the artifact \
+     registry. $(b,create) a named ensemble, $(b,add) a member artifact \
+     — the founding member starts at full weight, later ones join as \
+     near-zero-weight canaries and every add resets the accumulated \
+     evidence so weights stay likelihood ratios over shared data. \
+     $(b,list)/$(b,show) print the weight and evidence state (show as \
+     JSON), and $(b,predict) computes the offline BMA reference — \
+     weighted mean plus decomposed within/between variance — whose \
+     fingerprints the daemon's $(b,predict_ensemble) opcode must \
+     reproduce bit-for-bit."
+  in
+  Cmd.v (Cmd.info "ensemble" ~doc)
+    Term.(
+      const run_ensemble $ common_named $ circuit_arg $ metric_arg $ dir_arg
+      $ durability_arg ~default:`Fast $ ensemble_name_arg $ occam_arg
+      $ ensemble_action_arg)
+
 let client_action_arg =
   Arg.(
     value
     & pos 0 string "ping"
     & info [] ~docv:"ACTION"
-        ~doc:"ping | models | stats | events | predict | predict-std | update")
+        ~doc:
+          "ping | models | stats | events | predict | predict-std | update \
+           | predict-ensemble | ensemble-stats")
 
 let die_error what (e : Server.Wire.error) =
   Printf.eprintf "%s: %s: %s\n" what
@@ -966,15 +1242,15 @@ let die_transport msg =
   Printf.eprintf "%s\n(is the daemon running? start one: repro serve)\n" msg;
   exit 1
 
-let rec run_client common _verbose socket host port deadline_ms trace action
-    =
+let rec run_client common _verbose socket host port deadline_ms trace ename
+    action =
   (* --trace wraps the call in a cli span and stamps its (trace, span)
      context on the wire frame — the daemon's spans join this trace *)
   with_obs ~trace ~metrics:None "repro_client" @@ fun () ->
-  try run_client_exn common socket host port deadline_ms action
+  try run_client_exn common socket host port deadline_ms ename action
   with Server.Client.Transport msg -> die_transport msg
 
-and run_client_exn common socket host port deadline_ms action =
+and run_client_exn common socket host port deadline_ms ename action =
   let addr = address_of socket host port in
   let c = Server.Client.connect ~retries:0 addr in
   Fun.protect ~finally:(fun () -> Server.Client.close c) @@ fun () ->
@@ -1062,10 +1338,70 @@ and run_client_exn common socket host port deadline_ms action =
       | Ok (rev, samples) ->
           Printf.printf "updated: rev %d -> %d, K -> %d\n"
             info.Server.Wire.rev rev samples)
+  | "ensemble-stats" -> (
+      match
+        Server.Client.ensemble_stats c
+          ~name:(Option.value ename ~default:"")
+          ()
+      with
+      | Error e -> die_error "ensemble_stats" e
+      | Ok json -> print_endline json)
+  | "predict-ensemble" -> (
+      let name = need_ensemble_name ename in
+      (* the daemon's stats payload names the first member's (seed, dim),
+         enough to regenerate the same deterministic query block the
+         offline `repro ensemble predict` reference uses — matching
+         fingerprints prove the served BMA path is bit-exact *)
+      match Server.Client.ensemble_stats c ~name () with
+      | Error e -> die_error "ensemble_stats" e
+      | Ok json ->
+          let doc =
+            match Serving.Json.of_string json with
+            | Ok d -> d
+            | Error msg ->
+                Printf.eprintf "bad ensemble_stats payload: %s\n" msg;
+                exit 1
+          in
+          let first =
+            match Serving.Json.member "members" doc with
+            | Some (Serving.Json.Arr (m :: _)) -> m
+            | _ ->
+                Printf.eprintf "ensemble %S has no members\n" name;
+                exit 1
+          in
+          let num key =
+            match Serving.Json.member key first with
+            | Some (Serving.Json.Num v) -> int_of_float v
+            | _ ->
+                Printf.eprintf
+                  "ensemble %S: first member lacks %S (is its artifact \
+                   loadable daemon-side?)\n"
+                  name key;
+                exit 1
+          in
+          let seed = num "seed" and dim = num "dim" in
+          let rng = Stats.Rng.create (seed + 8191) in
+          let queries =
+            Linalg.Mat.of_rows
+              (List.init query_count (fun _ ->
+                   Stats.Rng.gaussian_vec rng dim))
+          in
+          let members =
+            match Serving.Json.member "members" doc with
+            | Some (Serving.Json.Arr l) -> List.length l
+            | _ -> 0
+          in
+          (match
+             Server.Client.predict_ensemble c ?deadline_ms ~name queries
+           with
+          | Error e -> die_error "predict_ensemble" e
+          | Ok (means, within, between) ->
+              print_ensemble_predictions name ~seed ~members ~means ~within
+                ~between))
   | s ->
       Printf.eprintf
-        "unknown action %S (want \
-         ping|models|stats|events|predict|predict-std|update)\n"
+        "unknown action %S (want ping|models|stats|events|predict|\
+         predict-std|update|predict-ensemble|ensemble-stats)\n"
         s;
       exit 2
 
@@ -1088,12 +1424,16 @@ let client_cmd =
     "One-shot wire-protocol client for $(b,repro serve). $(b,predict) \
      sends the same deterministic verification queries as $(b,repro \
      fit)/$(b,repro predict) — matching fingerprints prove the daemon \
-     serves the exact artifact bits."
+     serves the exact artifact bits. $(b,predict-ensemble) does the same \
+     against the BMA path: its fingerprints must match $(b,repro \
+     ensemble predict --name) offline; $(b,ensemble-stats) dumps (and \
+     refreshes from disk) the daemon's weight/evidence state."
   in
   Cmd.v (Cmd.info "client" ~doc)
     Term.(
       const run_client $ client_common $ verbose_arg $ socket_arg $ host_arg
-      $ port_arg $ deadline_arg $ trace_arg $ client_action_arg)
+      $ port_arg $ deadline_arg $ trace_arg $ ensemble_name_arg
+      $ client_action_arg)
 
 let run_promote socket host port =
   let addr = address_of socket host port in
@@ -1185,8 +1525,20 @@ let stats_every_arg =
           "Mix one $(b,stats) request into every $(docv) requests of \
            each connection. 0 disables.")
 
+let loadgen_ensemble_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ensemble" ] ~docv:"NAME"
+        ~doc:
+          "Route every second predict slot through $(b,predict_ensemble) \
+           against the ensemble $(docv) (same points matrix) — contrasts \
+           single-model and BMA serving latency under one load; the \
+           report gains a $(b,predict_ensemble) breakdown.")
+
 let run_loadgen common _verbose socket host port connections duration batch
-    with_std deadline_ms update_every stats_every trace json_file endpoints =
+    with_std deadline_ms update_every stats_every ensemble trace json_file
+    endpoints =
   let _, _, meta = common in
   with_obs ~trace ~metrics:None "repro_loadgen" @@ fun () ->
   let addrs =
@@ -1196,7 +1548,7 @@ let run_loadgen common _verbose socket host port connections duration batch
   let summary =
     try
       Server.Loadgen.run ~connections ~duration_s:duration ~batch ~with_std
-        ?deadline_ms ~update_every ~stats_every ~meta addrs
+        ?deadline_ms ~update_every ~stats_every ?ensemble ~meta addrs
     with
     | Server.Client.Transport msg -> die_transport msg
     | Failure msg ->
@@ -1218,15 +1570,16 @@ let loadgen_cmd =
      measures sustained throughput and latency percentiles and records \
      them as a bench-style JSON file. $(b,--update-every)/\
      $(b,--stats-every) mix write and admin traffic into the predict \
-     load and report per-opcode latency; $(b,--trace) records client \
-     spans whose context propagates into the daemon's trace."
+     load and report per-opcode latency; $(b,--ensemble) interleaves \
+     BMA predictions; $(b,--trace) records client spans whose context \
+     propagates into the daemon's trace."
   in
   Cmd.v (Cmd.info "loadgen" ~doc)
     Term.(
       const run_loadgen $ client_common $ verbose_arg $ socket_arg $ host_arg
       $ port_arg $ connections_arg $ duration_arg $ batch_arg $ with_std_arg
-      $ deadline_arg $ update_every_arg $ stats_every_arg $ trace_arg
-      $ loadgen_json_arg $ endpoint_arg)
+      $ deadline_arg $ update_every_arg $ stats_every_arg
+      $ loadgen_ensemble_arg $ trace_arg $ loadgen_json_arg $ endpoint_arg)
 
 (* ------------------------------------------------------------------ *)
 (* `repro events`: dump a daemon's structured event ring.              *)
@@ -1492,6 +1845,7 @@ let () =
             predict_cmd;
             update_cmd;
             models_cmd;
+            ensemble_cmd;
             recover_cmd;
             serve_cmd;
             promote_cmd;

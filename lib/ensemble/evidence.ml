@@ -1,0 +1,40 @@
+(* Held-out predictive density: the evidence currency of the ensemble.
+
+   Each member artifact carries a Gaussian posterior predictive at any
+   query point (Serving.Predictor.predict_with_std), so the log
+   marginal likelihood of a freshly observed batch under member i is a
+   plain sum of Gaussian log densities. Accumulated across the scored
+   batches that also feed calibration telemetry, the running totals are
+   exactly the log model evidences that Bayesian model averaging
+   softmaxes into posterior weights. *)
+
+let log_2pi = Float.log (2. *. Float.pi)
+
+(* log N(observed; mean, std^2). A degenerate or non-finite predictive
+   distribution scores -inf: it assigned the observation no mass, and
+   -inf is absorbing in the evidence sum, which is the correct verdict
+   for a member whose posterior has collapsed. Never NaN. *)
+let log_density ~mean ~std observed =
+  if
+    not
+      (Float.is_finite mean && Float.is_finite std && Float.is_finite observed)
+    || std <= 0.
+  then Float.neg_infinity
+  else begin
+    let z = (observed -. mean) /. std in
+    (-0.5 *. log_2pi) -. Float.log std -. (0.5 *. z *. z)
+  end
+
+(* Joint log density of one scored batch: predictive means/stds per
+   point against the observed responses. Fixed left-to-right summation
+   order, so the accumulated evidence is reproducible bit-for-bit on
+   any replica that sees the same batches. *)
+let score ~means ~stds f =
+  let n = Array.length f in
+  if Array.length means <> n || Array.length stds <> n then
+    invalid_arg "Ensemble.Evidence.score: length mismatch";
+  let total = ref 0. in
+  for i = 0 to n - 1 do
+    total := !total +. log_density ~mean:means.(i) ~std:stds.(i) f.(i)
+  done;
+  !total

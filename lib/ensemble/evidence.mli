@@ -1,0 +1,12 @@
+(** Log predictive density scoring — the evidence each scored batch
+    contributes to a member's running log marginal likelihood. *)
+
+val log_density : mean:float -> std:float -> float -> float
+(** [log_density ~mean ~std observed] is the Gaussian log density of
+    [observed] under N(mean, std²). [neg_infinity] (never NaN) when
+    [std <= 0] or any argument is non-finite. *)
+
+val score : means:float array -> stds:float array -> float array -> float
+(** [score ~means ~stds f] sums {!log_density} over one batch in fixed
+    left-to-right order — the per-batch evidence increment.
+    @raise Invalid_argument on length mismatch. *)

@@ -1,0 +1,119 @@
+(* Serving-side ensemble registry: the writer domain's single mutable
+   handle over every loaded ensemble, published to reader domains
+   (shards) through one Atomic swap — the same single-writer discipline
+   as Serving.Snapshot. Shards compute nothing weight-related: they
+   read the published state, and since the weight computation is a pure
+   function of it, every shard derives the identical weight vector.
+
+   Evidence flows through a two-phase protocol shaped by the update
+   commit path:
+
+     1. [score] — pure: runs every member's *pre-update* predictor over
+        the scored batch and returns the advanced state. Called before
+        an update is applied, so the updated member is scored on data
+        it had not seen — genuinely held-out predictive density.
+     2. [commit] — effectful: persists the advanced state ([`Durable]
+        under the daemon's durability) and publishes it, together with
+        the per-member weight/evidence gauges.
+
+   The daemon calls (1) while preparing an update and (2) only in the
+   update's success branch; a failed update leaves ensemble state
+   untouched. Followers run the same two phases around their WAL apply,
+   so replicated evidence is bit-identical to the leader's. *)
+
+type t = { root : string; view : State.t list Atomic.t }
+
+let create ~root = { root; view = Atomic.make [] }
+
+let root t = t.root
+
+let m_weight_help = "Posterior ensemble weight of one member"
+
+let set_gauges state =
+  let ws = State.weights state in
+  Array.iteri
+    (fun i (m : State.member) ->
+      let labels =
+        [
+          ("ensemble", state.State.name);
+          ("member", Serving.Calibration.model_label m.State.meta);
+        ]
+      in
+      Obs.Metrics.set
+        (Obs.Metrics.gauge ~help:m_weight_help ~labels "bmf_ensemble_weight")
+        ws.(i);
+      Obs.Metrics.set
+        (Obs.Metrics.gauge ~help:"Accumulated log evidence of one member"
+           ~labels "bmf_ensemble_log_evidence")
+        m.State.log_ev;
+      Obs.Metrics.set
+        (Obs.Metrics.gauge ~help:"Scored points behind a member's evidence"
+           ~labels "bmf_ensemble_evidence_points")
+        (float_of_int m.State.count))
+    state.State.members
+
+(* Writer-only. Readers see either the old or the new list, never a
+   torn one. *)
+let publish t state =
+  let rest =
+    List.filter
+      (fun s -> not (String.equal s.State.name state.State.name))
+      (Atomic.get t.view)
+  in
+  Atomic.set t.view
+    (List.sort
+       (fun a b -> String.compare a.State.name b.State.name)
+       (state :: rest));
+  set_gauges state
+
+let load_all t =
+  List.filter_map
+    (fun (file, status) ->
+      match status with
+      | Ok state ->
+          publish t state;
+          None
+      | Error msg -> Some (file, msg))
+    (Store.list ~root:t.root)
+
+let list t = Atomic.get t.view
+
+let find t name =
+  List.find_opt (fun s -> String.equal s.State.name name) (Atomic.get t.view)
+
+let containing t meta =
+  List.filter (fun s -> State.mem s meta) (Atomic.get t.view)
+
+let reload t name =
+  match Store.load ~root:t.root name with
+  | Ok state ->
+      publish t state;
+      Ok state
+  | Error _ as e ->
+      (* a deleted file drops the ensemble from the view too *)
+      (match find t name with
+      | Some _ when Store.find ~root:t.root name = None ->
+          Atomic.set t.view
+            (List.filter
+               (fun s -> not (String.equal s.State.name name))
+               (Atomic.get t.view))
+      | _ -> ());
+      e
+
+let score ~predictor_of state ~xs ~f =
+  let points = Array.length f in
+  let increments =
+    Array.map
+      (fun (m : State.member) ->
+        match predictor_of m.State.meta with
+        | None -> (0., 0)
+        | Some pred ->
+            let means, stds = Serving.Predictor.predict_with_std pred xs in
+            (Evidence.score ~means ~stds f, points))
+      state.State.members
+  in
+  State.record state increments
+
+let commit t ?durability state =
+  let (_ : string) = Store.save ?durability ~root:t.root state in
+  publish t state

@@ -1,0 +1,46 @@
+(** Serving-side ensemble registry: single-writer mutations, lock-free
+    reads via one published [Atomic] view (shards read the same state
+    the writer scored, so every domain derives the identical weight
+    vector), and a two-phase score/commit evidence protocol that rides
+    the update commit path. *)
+
+type t
+
+val create : root:string -> t
+
+val root : t -> string
+
+val load_all : t -> (string * string) list
+(** Loads and publishes every [.bmfe] under the root; returns the
+    (file, error) pairs of the ones that failed to decode. *)
+
+val list : t -> State.t list
+(** The published view, sorted by name. Safe from any domain. *)
+
+val find : t -> string -> State.t option
+
+val containing : t -> Serving.Artifact.meta -> State.t list
+(** Every published ensemble having [meta] as a member — the states to
+    score when an update for [meta] commits. *)
+
+val reload : t -> string -> (State.t, string) result
+(** Re-reads one ensemble from disk and publishes it — how a live
+    daemon picks up [repro ensemble create/add] run against its store
+    directory. A vanished file also drops the ensemble from the view. *)
+
+val score :
+  predictor_of:(Serving.Artifact.meta -> Serving.Predictor.t option) ->
+  State.t ->
+  xs:Linalg.Mat.t ->
+  f:float array ->
+  State.t
+(** Pure phase 1: every member's predictor (resolve with the
+    {e pre-update} model) scores the batch's held-out predictive
+    density; returns the advanced state. A member whose predictor is
+    unavailable records [(0., 0)] — it neither gains nor loses. *)
+
+val commit : t -> ?durability:Serving.Store.durability -> State.t -> unit
+(** Effectful phase 2: persist the advanced state and publish it with
+    refreshed [bmf_ensemble_weight{ensemble=...,member=...}],
+    [bmf_ensemble_log_evidence] and [bmf_ensemble_evidence_points]
+    gauges. Only call after the triggering update committed. *)

@@ -1,0 +1,84 @@
+(* The normative ensemble combination: weighted predictive mean plus a
+   variance decomposed into within-model posterior and between-model
+   disagreement,
+
+     mu_bar(p)   = sum_i w_i mu_i(p)
+     within(p)   = sum_i w_i sigma_i(p)^2
+     between(p)  = sum_i w_i (mu_i(p) - mu_bar(p))^2
+
+   folded left-to-right over members in state order. Members with
+   weight exactly 0 are skipped outright — their predictions are never
+   read (a pruned member may be unloadable, and 0 * inf would poison
+   the sums) — so Occam's-window pruning also prunes the compute.
+
+   Every consumer (the serving daemon's fan-out, the offline CLI
+   reference, the tests, CI's direct two-member computation) runs this
+   same fold, so bit-identity across paths reduces to bit-identity of
+   the member predictions — which the predictor kernels already
+   guarantee at any shard count and parallelism. *)
+
+let combine ~weights ~means ~stds =
+  let k = Array.length weights in
+  if Array.length means <> k || Array.length stds <> k then
+    invalid_arg "Ensemble.Predictor.combine: member arity mismatch";
+  let n = ref (-1) in
+  for i = 0 to k - 1 do
+    if weights.(i) > 0. then begin
+      if !n < 0 then n := Array.length means.(i)
+      else if Array.length means.(i) <> !n then
+        invalid_arg "Ensemble.Predictor.combine: member row-count mismatch";
+      if Array.length stds.(i) <> Array.length means.(i) then
+        invalid_arg "Ensemble.Predictor.combine: means/stds length mismatch"
+    end
+  done;
+  if !n < 0 then invalid_arg "Ensemble.Predictor.combine: no active member";
+  let n = !n in
+  let mu = Array.make n 0. in
+  let within = Array.make n 0. in
+  for i = 0 to k - 1 do
+    if weights.(i) > 0. then begin
+      let w = weights.(i) in
+      let mi = means.(i) and si = stds.(i) in
+      for p = 0 to n - 1 do
+        mu.(p) <- mu.(p) +. (w *. mi.(p));
+        within.(p) <- within.(p) +. (w *. si.(p) *. si.(p))
+      done
+    end
+  done;
+  let between = Array.make n 0. in
+  for i = 0 to k - 1 do
+    if weights.(i) > 0. then begin
+      let w = weights.(i) in
+      let mi = means.(i) in
+      for p = 0 to n - 1 do
+        let d = mi.(p) -. mu.(p) in
+        between.(p) <- between.(p) +. (w *. d *. d)
+      done
+    end
+  done;
+  (mu, within, between)
+
+(* Direct (non-daemon) ensemble prediction over loaded member
+   predictors — the offline reference path `repro ensemble predict`
+   and the tests use. [predictors] aligns with [state.members]; only
+   members with positive weight are consulted (and must be [Some]). *)
+let predict state predictors points =
+  let ws = State.weights state in
+  if Array.length predictors <> Array.length ws then
+    invalid_arg "Ensemble.Predictor.predict: predictor arity mismatch";
+  let empty = [||] in
+  let means = Array.make (Array.length ws) empty in
+  let stds = Array.make (Array.length ws) empty in
+  Array.iteri
+    (fun i p ->
+      if ws.(i) > 0. then
+        match p with
+        | Some pred ->
+            let m, s = Serving.Predictor.predict_with_std pred points in
+            means.(i) <- m;
+            stds.(i) <- s
+        | None ->
+            invalid_arg
+              "Ensemble.Predictor.predict: active member has no predictor")
+    predictors;
+  combine ~weights:ws ~means ~stds

@@ -1,0 +1,30 @@
+(** Weighted ensemble prediction with decomposed variance. *)
+
+val combine :
+  weights:float array ->
+  means:float array array ->
+  stds:float array array ->
+  float array * float array * float array
+(** [combine ~weights ~means ~stds] folds per-member predictions into
+    [(mean, within, between)] per query point:
+
+    - mean: Σᵢ wᵢ·μᵢ — the BMA predictive mean;
+    - within: Σᵢ wᵢ·σᵢ² — average within-model posterior variance;
+    - between: Σᵢ wᵢ·(μᵢ − mean)² — between-model disagreement.
+
+    Total predictive variance is their sum. Members with weight
+    exactly 0 are skipped and their arrays never read. The fold is
+    left-to-right in member order — the normative computation every
+    serving path reproduces bit-for-bit.
+    @raise Invalid_argument on arity/length mismatches or when no
+    member has positive weight. *)
+
+val predict :
+  State.t ->
+  Serving.Predictor.t option array ->
+  Linalg.Mat.t ->
+  float array * float array * float array
+(** Direct (offline) ensemble prediction: computes the state's weights,
+    runs [Serving.Predictor.predict_with_std] for each positive-weight
+    member and {!combine}s. [predictors] aligns with [state.members];
+    only active members need to be [Some]. *)

@@ -1,0 +1,258 @@
+(* Persistent ensemble state: the member list with per-member log
+   prior, accumulated log evidence and scored-point counts — everything
+   the weight computation needs, in one small checksummed record.
+
+   Evidence semantics: whenever the membership changes, every member's
+   evidence accumulator resets to zero. The log-evidence differences
+   that drive the weights are then likelihood ratios over data every
+   member was scored on; a freshly added canary competes on equal
+   footing from its near-zero prior instead of starting with an
+   unpayable deficit against incumbents with a long history. *)
+
+type member = {
+  meta : Serving.Artifact.meta;
+  log_prior : float;
+  log_ev : float;
+  count : int;
+}
+
+type t = { name : string; occam : float; members : member array }
+
+(* ln 1e-6: a canaried revision starts ~13.8 nats behind an incumbent
+   with log prior 0 — visible in the weight vector as ~1e-6, and
+   overtaken once its accumulated log-likelihood advantage over the
+   incumbent exceeds the gap. *)
+let canary_log_prior = Float.log 1e-6
+
+let max_name_len = 160
+
+let create ?(occam = 0.) name =
+  if String.length name = 0 then
+    invalid_arg "Ensemble.State.create: empty name";
+  if String.length name > max_name_len then
+    invalid_arg "Ensemble.State.create: name too long";
+  if String.contains name '\x00' then
+    invalid_arg "Ensemble.State.create: NUL in name";
+  if not (Float.is_finite occam) || occam < 0. || occam > 1. then
+    invalid_arg "Ensemble.State.create: occam must be in [0, 1]";
+  { name; occam; members = [||] }
+
+let mem t meta = Array.exists (fun m -> m.meta = meta) t.members
+
+let find t meta = Array.find_opt (fun m -> m.meta = meta) t.members
+
+let add t meta =
+  if mem t meta then
+    Error
+      (Printf.sprintf "ensemble %s: %s/%s scale=%s seed=%d is already a member"
+         t.name meta.Serving.Artifact.circuit meta.Serving.Artifact.metric
+         meta.Serving.Artifact.scale meta.Serving.Artifact.seed)
+  else begin
+    let log_prior = if Array.length t.members = 0 then 0. else canary_log_prior in
+    let reset = Array.map (fun m -> { m with log_ev = 0.; count = 0 }) t.members in
+    Ok
+      {
+        t with
+        members =
+          Array.append reset [| { meta; log_prior; log_ev = 0.; count = 0 } |];
+      }
+  end
+
+let scores t = Array.map (fun m -> m.log_prior +. m.log_ev) t.members
+
+let weights t = Weights.compute ~occam:t.occam (scores t)
+
+(* Fold one scored batch in: per-member evidence increments (aligned
+   with [members]) and per-member point counts. A member that could not
+   be scored this round carries (0., 0). *)
+let record t increments =
+  if Array.length increments <> Array.length t.members then
+    invalid_arg "Ensemble.State.record: increment arity mismatch";
+  {
+    t with
+    members =
+      Array.mapi
+        (fun i m ->
+          let delta, points = increments.(i) in
+          { m with log_ev = m.log_ev +. delta; count = m.count + points })
+        t.members;
+  }
+
+let validate t =
+  let err msg = Error ("ensemble: " ^ msg) in
+  if String.length t.name = 0 then err "empty name"
+  else if String.length t.name > max_name_len then err "name too long"
+  else if not (Float.is_finite t.occam) || t.occam < 0. || t.occam > 1. then
+    err "occam out of range"
+  else begin
+    let problem = ref None in
+    Array.iteri
+      (fun i m ->
+        if !problem = None then begin
+          if not (Float.is_finite m.log_prior) then
+            problem := Some (Printf.sprintf "member %d: non-finite log prior" i)
+          else if Float.is_nan m.log_ev then
+            problem := Some (Printf.sprintf "member %d: NaN log evidence" i)
+          else if m.count < 0 then
+            problem := Some (Printf.sprintf "member %d: negative count" i)
+          else if
+            Array.exists (fun m' -> m' != m && m'.meta = m.meta) t.members
+          then problem := Some (Printf.sprintf "member %d: duplicate meta" i)
+        end)
+      t.members;
+    match !problem with None -> Ok t | Some msg -> err msg
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Binary codec, mirroring the Serving.Artifact conventions:
+
+     magic "BMFENS01" | u64 fnv64 checksum of payload | payload
+
+   with ints as little-endian i64, floats as IEEE bits and strings
+   length-prefixed. *)
+
+let magic = "BMFENS01"
+
+let put_int buf n = Buffer.add_int64_le buf (Int64.of_int n)
+
+let put_float buf f = Buffer.add_int64_le buf (Int64.bits_of_float f)
+
+let put_string buf s =
+  put_int buf (String.length s);
+  Buffer.add_string buf s
+
+let payload_to_binary t =
+  let buf = Buffer.create (64 + (64 * Array.length t.members)) in
+  put_string buf t.name;
+  put_float buf t.occam;
+  put_int buf (Array.length t.members);
+  Array.iter
+    (fun m ->
+      put_string buf m.meta.Serving.Artifact.circuit;
+      put_string buf m.meta.Serving.Artifact.metric;
+      put_string buf m.meta.Serving.Artifact.scale;
+      put_int buf m.meta.Serving.Artifact.seed;
+      put_float buf m.log_prior;
+      put_float buf m.log_ev;
+      put_int buf m.count)
+    t.members;
+  Buffer.contents buf
+
+let to_binary_string t =
+  let payload = payload_to_binary t in
+  let buf = Buffer.create (String.length payload + 16) in
+  Buffer.add_string buf magic;
+  Buffer.add_int64_le buf (Serving.Artifact.fnv64 payload);
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+exception Short of string
+
+type reader = { data : string; mutable at : int }
+
+let take rd n =
+  if n < 0 || rd.at + n > String.length rd.data then
+    raise (Short "truncated payload");
+  let at = rd.at in
+  rd.at <- rd.at + n;
+  at
+
+let get_int rd = Int64.to_int (String.get_int64_le rd.data (take rd 8))
+
+let get_float rd = Int64.float_of_bits (String.get_int64_le rd.data (take rd 8))
+
+let get_string rd =
+  let n = get_int rd in
+  if n < 0 then raise (Short "negative length");
+  String.sub rd.data (take rd n) n
+
+let of_binary_string s =
+  if String.length s < String.length magic + 8 then
+    Error "ensemble: truncated file"
+  else if not (String.equal (String.sub s 0 (String.length magic)) magic) then
+    Error "ensemble: bad magic"
+  else begin
+    let stored = String.get_int64_le s (String.length magic) in
+    let payload_at = String.length magic + 8 in
+    let payload = String.sub s payload_at (String.length s - payload_at) in
+    if not (Int64.equal (Serving.Artifact.fnv64 payload) stored) then
+      Error "ensemble: checksum mismatch (corrupt file)"
+    else
+      try
+        let rd = { data = payload; at = 0 } in
+        let name = get_string rd in
+        let occam = get_float rd in
+        let n = get_int rd in
+        if n < 0 || n > String.length payload / 8 then
+          raise (Short "implausible member count");
+        let members =
+          Array.init n (fun _ ->
+              let circuit = get_string rd in
+              let metric = get_string rd in
+              let scale = get_string rd in
+              let seed = get_int rd in
+              let log_prior = get_float rd in
+              let log_ev = get_float rd in
+              let count = get_int rd in
+              {
+                meta = { Serving.Artifact.circuit; metric; scale; seed };
+                log_prior;
+                log_ev;
+                count;
+              })
+        in
+        if rd.at <> String.length payload then Error "ensemble: trailing bytes"
+        else validate { name; occam; members }
+      with Short msg -> Error ("ensemble: " ^ msg)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* JSON view (ensemble_stats, /health, repro ensemble show). [resolve]
+   optionally maps a member meta to its (rev, dim) — the serving side
+   resolves through its model cache, the offline CLI through the
+   store. Non-finite evidence follows the artifact codec's convention
+   of string-encoded specials. *)
+
+let jf f =
+  if Float.is_finite f then Serving.Json.Num f
+  else if Float.is_nan f then Serving.Json.Str "nan"
+  else if f > 0. then Serving.Json.Str "inf"
+  else Serving.Json.Str "-inf"
+
+let to_json ?(resolve = fun (_ : Serving.Artifact.meta) -> None) t =
+  let ws = weights t in
+  Serving.Json.Obj
+    [
+      ("name", Serving.Json.Str t.name);
+      ("occam", jf t.occam);
+      ( "members",
+        Serving.Json.Arr
+          (Array.to_list
+             (Array.mapi
+                (fun i m ->
+                  let base =
+                    [
+                      ("circuit", Serving.Json.Str m.meta.Serving.Artifact.circuit);
+                      ("metric", Serving.Json.Str m.meta.Serving.Artifact.metric);
+                      ("scale", Serving.Json.Str m.meta.Serving.Artifact.scale);
+                      ( "seed",
+                        Serving.Json.Num
+                          (float_of_int m.meta.Serving.Artifact.seed) );
+                      ("log_prior", jf m.log_prior);
+                      ("log_evidence", jf m.log_ev);
+                      ("points", Serving.Json.Num (float_of_int m.count));
+                      ("weight", jf ws.(i));
+                    ]
+                  in
+                  let extra =
+                    match resolve m.meta with
+                    | None -> []
+                    | Some (rev, dim) ->
+                        [
+                          ("rev", Serving.Json.Num (float_of_int rev));
+                          ("dim", Serving.Json.Num (float_of_int dim));
+                        ]
+                  in
+                  Serving.Json.Obj (base @ extra))
+                t.members)) );
+    ]

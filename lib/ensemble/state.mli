@@ -1,0 +1,64 @@
+(** Persistent ensemble state: member list, log priors, accumulated log
+    evidence and scored-point counts, with a checksummed binary codec
+    (the [.bmfe] payload).
+
+    Evidence resets on every membership change, so the log-evidence
+    differences that drive the weights are always likelihood ratios
+    over data every member was scored on — the invariant that makes
+    canarying by evidence well-defined. *)
+
+type member = {
+  meta : Serving.Artifact.meta;
+  log_prior : float;
+      (** 0. for the founding member, {!canary_log_prior} for members
+          added later. *)
+  log_ev : float;  (** Accumulated log predictive density. Never NaN. *)
+  count : int;  (** Scored points folded into [log_ev]. *)
+}
+
+type t = { name : string; occam : float; members : member array }
+
+val canary_log_prior : float
+(** [ln 1e-6] — the near-zero prior weight a canaried revision starts
+    from. *)
+
+val create : ?occam:float -> string -> t
+(** An empty ensemble. [occam] in [0, 1] is the Occam's-window ratio
+    (0., the default, disables the window).
+    @raise Invalid_argument on an empty/oversized name or bad occam. *)
+
+val mem : t -> Serving.Artifact.meta -> bool
+
+val find : t -> Serving.Artifact.meta -> member option
+
+val add : t -> Serving.Artifact.meta -> (t, string) result
+(** Appends a member — with log prior 0 when the ensemble was empty,
+    {!canary_log_prior} otherwise — and resets every member's evidence.
+    [Error] on a duplicate. *)
+
+val scores : t -> float array
+(** Per-member [log_prior + log_ev], aligned with [members]. *)
+
+val weights : t -> float array
+(** {!Weights.compute} over {!scores} with the state's window ratio. *)
+
+val record : t -> (float * int) array -> t
+(** [record t increments] folds one scored batch in: per-member
+    [(evidence delta, points)] aligned with [members]. A member that
+    could not be scored carries [(0., 0)].
+    @raise Invalid_argument on arity mismatch. *)
+
+val validate : t -> (t, string) result
+
+val to_binary_string : t -> string
+(** [magic "BMFENS01" | u64 fnv64 checksum | payload] — the [.bmfe]
+    bytes. *)
+
+val of_binary_string : string -> (t, string) result
+(** Verifies magic, checksum and {!validate}. *)
+
+val to_json :
+  ?resolve:(Serving.Artifact.meta -> (int * int) option) -> t -> Serving.Json.t
+(** The stats/health view: name, occam and per-member weight, log
+    prior, log evidence and point count. [resolve] optionally maps a
+    member meta to its (rev, dim), appended when available. *)

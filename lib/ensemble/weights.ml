@@ -1,0 +1,38 @@
+(* Posterior model weights: softmax over log evidence with Occam's
+   window.
+
+   w_i ∝ exp(s_i - max_j s_j), then members whose relative evidence
+   exp(s_i - max) falls below the window ratio [occam] are dropped
+   outright (classic Occam's window: a model this much worse than the
+   best gets no vote, however many mediocre siblings it has). The max
+   subtraction keeps every exp in [0, 1], so the weights can neither
+   overflow nor produce NaN from inf - inf. *)
+
+let compute ?(occam = 0.) scores =
+  let n = Array.length scores in
+  if n = 0 then [||]
+  else begin
+    let best =
+      Array.fold_left
+        (fun acc s -> if Float.is_finite s && s > acc then s else acc)
+        Float.neg_infinity scores
+    in
+    if not (Float.is_finite best) then
+      (* no member has finite evidence (all -inf, or NaN): no data to
+         discriminate on, fall back to the uniform prior *)
+      Array.make n (1. /. float_of_int n)
+    else begin
+      let cut = if occam > 0. then Float.log occam else Float.neg_infinity in
+      let raw =
+        Array.map
+          (fun s ->
+            if Float.is_finite s && s -. best >= cut then Float.exp (s -. best)
+            else 0.)
+          scores
+      in
+      (* the best member survives any window with raw weight 1, so the
+         normalizer is >= 1 and the division is always well-defined *)
+      let sum = Array.fold_left ( +. ) 0. raw in
+      Array.map (fun r -> r /. sum) raw
+    end
+  end

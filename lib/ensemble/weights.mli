@@ -1,0 +1,15 @@
+(** Softmax over log evidence with an Occam's-window cutoff. *)
+
+val compute : ?occam:float -> float array -> float array
+(** [compute ?occam scores] maps per-member scores (log prior + log
+    evidence) to normalized posterior weights:
+
+    - weights are never NaN and always sum to 1 (within 1e-12) for a
+      non-empty input; the empty input yields [[||]];
+    - a member with [neg_infinity] (or NaN) score gets weight 0;
+    - when {e no} member has a finite score the weights are uniform;
+    - [occam] in (0, 1] is the window ratio: members whose relative
+      evidence [exp (s_i - max_j s_j)] is below it are dropped (weight
+      exactly 0.). [occam = 0.] (the default) disables the window.
+
+    Deterministic: a pure function of the score array. *)

@@ -249,6 +249,21 @@ let stats t =
   | Ok _ -> unexpected ()
   | Error e -> Error e
 
+let predict_ensemble t ?deadline_ms ~name points =
+  match
+    roundtrip t ?deadline_ms (Wire.Predict_ensemble_req { name; points })
+  with
+  | Ok (Wire.Ensemble_predicted { means; within; between }) ->
+      Ok (means, within, between)
+  | Ok _ -> unexpected ()
+  | Error e -> Error e
+
+let ensemble_stats t ?(name = "") () =
+  match roundtrip t (Wire.Ensemble_stats_req { name }) with
+  | Ok (Wire.Ensemble_stats_payload { json }) -> Ok json
+  | Ok _ -> unexpected ()
+  | Error e -> Error e
+
 let events t =
   match roundtrip t Wire.Events_req with
   | Ok (Wire.Events_payload { json }) -> Ok json

@@ -72,6 +72,23 @@ val update :
 (** Folds new samples into the stored model; returns (new revision,
     new sample count K). *)
 
+val predict_ensemble :
+  t ->
+  ?deadline_ms:int ->
+  name:string ->
+  Linalg.Mat.t ->
+  (Linalg.Vec.t * Linalg.Vec.t * Linalg.Vec.t, Wire.error) result
+(** BMA-weighted prediction over the named ensemble: per query row the
+    weighted mean, within-model variance (Σᵢ wᵢσᵢ²) and between-model
+    variance (Σᵢ wᵢ(μᵢ − μ̄)²), bit-identical to
+    [Ensemble.Predictor.predict] on the same state and artifacts. *)
+
+val ensemble_stats : t -> ?name:string -> unit -> (string, Wire.error) result
+(** The daemon's ensemble weight/evidence state as JSON — one object
+    for [~name], an array of every loaded ensemble without it. Asking
+    also makes the daemon re-read ensemble definitions from disk, so a
+    freshly [repro ensemble add]ed canary is picked up live. *)
+
 val list_models : t -> (Wire.model_info list, Wire.error) result
 
 type server_stats = {

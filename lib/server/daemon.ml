@@ -146,6 +146,11 @@ let h_update =
   Obs.Metrics.histogram ~help:"update latency, admission to response (seconds)"
     "bmf_server_update_seconds"
 
+let h_ensemble =
+  Obs.Metrics.histogram
+    ~help:"predict_ensemble latency, admission to response (seconds)"
+    "bmf_server_predict_ensemble_seconds"
+
 let h_admin =
   Obs.Metrics.histogram
     ~help:"ping/list_models/stats handling latency (seconds)"
@@ -293,6 +298,7 @@ type work =
       xs : Linalg.Mat.t;
       f : Linalg.Vec.t;
     }
+  | Wensemble of { name : string; points : Linalg.Mat.t }
 
 type pending = {
   p_conn : conn;
@@ -407,6 +413,10 @@ type t = {
   mutable stopped_mono : float;  (* monotonic instant [stop] was first seen *)
   journal : Serving.Journal.t;
   recovery : Serving.Recovery.report;  (* what [create] found and replayed *)
+  ensembles : Ensemble.Manager.t;
+      (* BMA ensembles over the store; mutated by the writer only,
+         published through the manager's own atomic view so shards read
+         the identical state (and thus derive identical weights) *)
   (* --- sharding --- *)
   snapshot : Serving.Snapshot.t;
       (* immutable published model views; written by the writer domain
@@ -552,6 +562,12 @@ let create ?(config = default_config) ?follow ~root addr =
   let wake_r, wake_w = Unix.pipe ~cloexec:true () in
   Unix.set_nonblock wake_r;
   Unix.set_nonblock wake_w;
+  let ensembles = Ensemble.Manager.create ~root in
+  (match Ensemble.Manager.load_all ensembles with
+  | [] -> ()
+  | failed ->
+      Obs.Events.emit "ensemble_load_failed"
+        ~fields:[ ("files", Obs.Trace.Int (List.length failed)) ]);
   set_role_metric (match follow with None -> `Leader | Some _ -> `Follower);
   let shards =
     if config.shards <= 1 then [||]
@@ -596,6 +612,7 @@ let create ?(config = default_config) ?follow ~root addr =
     stopped_mono = nan;
     journal;
     recovery;
+    ensembles;
     snapshot = Serving.Snapshot.create ();
     writer_mbox = Mbox.create ();
     shards;
@@ -1119,6 +1136,32 @@ let on_link_frame t conn (frame : Wire.frame) =
         match Serving.Journal.decode_entry entry with
         | Error _ -> close_conn t conn
         | Ok e -> (
+            (* BMA evidence phase 1, follower side: score the shipped
+               batch under the *pre-apply* predictors — the same data
+               and the same pre-update models as on the leader, so the
+               accumulated evidence is identical on both sides.
+               Committed only if the entry actually applies. *)
+            let scored_ensembles =
+              match
+                Ensemble.Manager.containing t.ensembles e.Serving.Journal.meta
+              with
+              | [] -> []
+              | states ->
+                  let predictor_of m =
+                    match get_model t m with
+                    | Ok c -> Some c.predictor
+                    | Error _ -> None
+                  in
+                  List.filter_map
+                    (fun s ->
+                      match
+                        Ensemble.Manager.score ~predictor_of s
+                          ~xs:e.Serving.Journal.xs ~f:e.Serving.Journal.f
+                      with
+                      | s -> Some s
+                      | exception _ -> None)
+                    states
+            in
             let apply_t0 =
               if Obs.Trace.enabled () then Obs.Clock.now_us () else 0.
             in
@@ -1150,6 +1193,16 @@ let on_link_frame t conn (frame : Wire.frame) =
                     ~dur_us:(Obs.Clock.now_us () -. apply_t0)
                     "repl_apply";
                 refresh_model t e.Serving.Journal.meta art;
+                (* BMA evidence phase 2: the entry applied, so the
+                   scored states commit here too (a [Stale] replay must
+                   not double-count evidence) *)
+                List.iter
+                  (fun s ->
+                    try
+                      Ensemble.Manager.commit t.ensembles
+                        ~durability:t.config.durability s
+                    with _ -> ())
+                  scored_ensembles;
                 link_ack conn seq
             | Replication.Apply.Stale _ ->
                 if seq > Atomic.get t.commit_seq then Atomic.set t.commit_seq seq;
@@ -1185,6 +1238,35 @@ let drain_link t =
 
 (* ------------------------------------------------------------------ *)
 (* Request dispatch.                                                   *)
+
+(* Writer-only: answering an ensemble stats query re-reads the [.bmfe]
+   definitions from disk first, so a live daemon picks up
+   [repro ensemble create/add] run against its store directory — the
+   canary registration path. *)
+let ensemble_stats_payload t name : Wire.response =
+  let resolve meta =
+    match Serving.Store.load ~root:t.root meta with
+    | Ok a -> Some (a.Serving.Artifact.rev, a.Serving.Artifact.basis_dim)
+    | Error _ -> None
+  in
+  if name = "" then begin
+    ignore (Ensemble.Manager.load_all t.ensembles);
+    Wire.Ensemble_stats_payload
+      {
+        json =
+          Serving.Json.to_string
+            (Serving.Json.Arr
+               (List.map
+                  (Ensemble.State.to_json ~resolve)
+                  (Ensemble.Manager.list t.ensembles)));
+      }
+  end
+  else
+    match Ensemble.Manager.reload t.ensembles name with
+    | Ok state ->
+        Wire.Ensemble_stats_payload
+          { json = Serving.Json.to_string (Ensemble.State.to_json ~resolve state) }
+    | Error message -> Wire.Error { Wire.code = Wire.Model_not_found; message }
 
 let on_frame t conn (frame : Wire.frame) =
   Atomic.incr t.served;
@@ -1230,6 +1312,20 @@ let on_frame t conn (frame : Wire.frame) =
                     rows limit
                     (Wire.opcode_name (if with_std then Wire.Predict_var else Wire.Predict))))
           else admit t conn frame (Wpredict { meta; points; with_std })
+      | Wire.Predict_ensemble_req { name; points } ->
+          let rows = Linalg.Mat.rows points in
+          if rows > Wire.max_ensemble_rows then
+            reply t conn ~id:frame.Wire.frame_id
+              (bad_request
+                 (Printf.sprintf
+                    "batch of %d points exceeds the %d-point response \
+                     limit for predict_ensemble"
+                    rows Wire.max_ensemble_rows))
+          else admit t conn frame (Wensemble { name; points })
+      | Wire.Ensemble_stats_req { name } ->
+          Obs.Metrics.time h_admin (fun () ->
+              reply t conn ~id:frame.Wire.frame_id
+                (ensemble_stats_payload t name))
       | Wire.Update_req { meta; xs; f } ->
           if Atomic.get t.leader <> None then
             reply t conn ~id:frame.Wire.frame_id (not_leader_error t)
@@ -1328,6 +1424,11 @@ let is_ready t =
   | Some _ -> (not (stopping t)) && t.catch_up_done && t.link <> None
 
 let health_json t =
+  let ensembles =
+    List.map
+      (fun s -> Serving.Json.to_string (Ensemble.State.to_json s))
+      (Ensemble.Manager.list t.ensembles)
+  in
   let models =
     Hashtbl.fold
       (fun meta (seq, delay) acc ->
@@ -1347,7 +1448,7 @@ let health_json t =
      \"connections\":%d,\"commit_seq\":%d,\"leader_seq\":%d,\
      \"repl_lag_entries\":%d,\"repl_lag_seconds\":%s,\
      \"recovery\":{\"replayed\":%d,\"discarded\":%d,\"corrupt\":%d},\
-     \"models\":[%s]}"
+     \"ensembles\":[%s],\"models\":[%s]}"
     (match Atomic.get t.leader with None -> "leader" | Some _ -> "follower")
     (is_ready t)
     (json_num (now_s () -. t.started_mono))
@@ -1359,6 +1460,7 @@ let health_json t =
     (json_num t.last_apply_delay)
     t.recovery.Serving.Recovery.replayed t.recovery.Serving.Recovery.discarded
     (List.length t.recovery.Serving.Recovery.corrupt)
+    (String.concat "," ensembles)
     (String.concat "," models)
 
 let http_route t request_line =
@@ -1524,11 +1626,13 @@ let opcode_histogram = function
   | Wpredict { with_std = false; _ } -> h_predict
   | Wpredict { with_std = true; _ } -> h_predict_var
   | Wupdate _ -> h_update
+  | Wensemble _ -> h_ensemble
 
 let work_name = function
   | Wpredict { with_std = false; _ } -> "predict"
   | Wpredict { with_std = true; _ } -> "predict_var"
   | Wupdate _ -> "update"
+  | Wensemble _ -> "predict_ensemble"
 
 let finish t (p : pending) resp =
   let done_s = now_s () in
@@ -1681,6 +1785,174 @@ let run_predict_group t ~predictor_of ~fused meta with_std members =
           end)
         (batches [] [] 0 ok)
 
+(* One group = same ensemble. The weight vector and member set come
+   from the published state (identical on every shard), each
+   positive-weight member's kernel runs once over the requests' fused
+   rows, and the per-request re-split feeds
+   [Ensemble.Predictor.combine] — whose row-wise fold makes the result
+   bit-identical to a direct member-by-member computation at any shard
+   count or pool width. *)
+let run_ensemble_group t ~predictor_of ~fused name members =
+  match Ensemble.Manager.find t.ensembles name with
+  | None ->
+      let e =
+        {
+          Wire.code = Wire.Model_not_found;
+          message = Printf.sprintf "ensemble: no ensemble %S loaded" name;
+        }
+      in
+      List.iter (fun (p, _) -> finish t p (Wire.Error e)) members
+  | Some state ->
+      let n = Array.length state.Ensemble.State.members in
+      let weights = Ensemble.State.weights state in
+      let first_err = ref None in
+      (* resolve every positive-weight member's predictor up front; a
+         missing member fails the whole group (a partial ensemble would
+         answer with silently re-normalized weights) *)
+      let preds =
+        Array.init n (fun i ->
+            if weights.(i) > 0. && !first_err = None then
+              match
+                predictor_of state.Ensemble.State.members.(i).Ensemble.State.meta
+              with
+              | Ok p -> Some p
+              | Error e ->
+                  first_err := Some e;
+                  None
+            else None)
+      in
+      let dim =
+        let rec go i =
+          if i >= n then None
+          else
+            match preds.(i) with
+            | Some p ->
+                Some (Polybasis.Basis.dim (Serving.Predictor.basis p))
+            | None -> go (i + 1)
+        in
+        go 0
+      in
+      (match (!first_err, dim) with
+      | Some e, _ ->
+          List.iter (fun (p, _) -> finish t p (Wire.Error e)) members
+      | None, None ->
+          List.iter
+            (fun (p, _) ->
+              finish t p
+                (bad_request
+                   (Printf.sprintf "ensemble %S has no active member" name)))
+            members
+      | None, Some dim ->
+          let ok, bad =
+            List.partition
+              (fun (_, (points : Linalg.Mat.t)) ->
+                Linalg.Mat.cols points = dim)
+              members
+          in
+          List.iter
+            (fun (p, (points : Linalg.Mat.t)) ->
+              finish t p
+                (bad_request
+                   (Printf.sprintf
+                      "ensemble %S: query dimension mismatch: expected %d \
+                       variables, got %d"
+                      name dim (Linalg.Mat.cols points))))
+            bad;
+          let rec batches acc cur cur_rows = function
+            | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+            | ((_, points) as m) :: rest ->
+                let r = Linalg.Mat.rows points in
+                if cur <> [] && cur_rows + r > t.config.max_batch then
+                  batches (List.rev cur :: acc) [ m ] r rest
+                else batches acc (m :: cur) (cur_rows + r) rest
+          in
+          List.iter
+            (fun batch ->
+              let total =
+                List.fold_left
+                  (fun acc (_, p) -> acc + Linalg.Mat.rows p)
+                  0 batch
+              in
+              if total = 0 then
+                List.iter
+                  (fun (p, _) ->
+                    finish t p
+                      (Wire.Ensemble_predicted
+                         { means = [||]; within = [||]; between = [||] }))
+                  batch
+              else begin
+                let fused = fused_buffer fused total dim in
+                let at = ref 0 in
+                List.iter
+                  (fun (_, (points : Linalg.Mat.t)) ->
+                    let rows = Linalg.Mat.rows points in
+                    Array.blit points.Linalg.Mat.data 0 fused.Linalg.Mat.data
+                      (!at * dim) (rows * dim);
+                    at := !at + rows)
+                  batch;
+                Obs.Metrics.inc m_microbatches;
+                Obs.Metrics.set g_batch_points (float_of_int total);
+                let k0 =
+                  if Obs.Trace.enabled () then Obs.Clock.now_us () else 0.
+                in
+                match
+                  Array.map
+                    (function
+                      | None -> ([||], [||])
+                      | Some p ->
+                          Serving.Predictor.predict_with_std p fused)
+                    preds
+                with
+                | exception e ->
+                    List.iter
+                      (fun (p, _) -> finish t p (internal_error e))
+                      batch
+                | member_out ->
+                    (if Obs.Trace.enabled () then
+                       let k1 = Obs.Clock.now_us () in
+                       List.iter
+                         (fun (p, _) ->
+                           if p.p_req_span > 0 then
+                             Obs.Trace.complete ~cat:"server" ~trace:p.p_trace
+                               ~parent:p.p_req_span
+                               ~attrs:[ ("points", Obs.Trace.Int total) ]
+                               ~start_us:k0 ~dur_us:(k1 -. k0) "srv_kernel")
+                         batch);
+                    let at = ref 0 in
+                    List.iter
+                      (fun (p, (points : Linalg.Mat.t)) ->
+                        let rows = Linalg.Mat.rows points in
+                        let resp =
+                          match
+                            (* inactive members carry empty arrays and
+                               are never read by [combine] *)
+                            let means =
+                              Array.map
+                                (fun ((m : float array), _) ->
+                                  if Array.length m = 0 then [||]
+                                  else Array.sub m !at rows)
+                                member_out
+                            in
+                            let stds =
+                              Array.map
+                                (fun (_, (s : float array)) ->
+                                  if Array.length s = 0 then [||]
+                                  else Array.sub s !at rows)
+                                member_out
+                            in
+                            Ensemble.Predictor.combine ~weights ~means ~stds
+                          with
+                          | mu, within, between ->
+                              Wire.Ensemble_predicted
+                                { means = mu; within; between }
+                          | exception e -> internal_error e
+                        in
+                        finish t p resp;
+                        at := !at + rows)
+                      batch
+              end)
+            (batches [] [] 0 ok))
+
 (* The single-writer commit path, shared by updates admitted on the
    writer's own connections and updates forwarded from shards: journal
    append -> incremental fold -> durable save -> journal truncate ->
@@ -1717,6 +1989,27 @@ let commit_update t ~trace_id ~push_parent ~req_span meta xs f :
         if Obs.Metrics.enabled () then
           Serving.Calibration.record_update ~predictor:cached.predictor
             ~meta ~xs ~f;
+        (* BMA evidence, phase 1 (pure): every ensemble containing this
+           model scores the incoming batch under its members'
+           *pre-update* predictors — genuinely held-out density for the
+           member about to absorb these samples. Committed only after
+           the update itself commits. *)
+        let scored_ensembles =
+          match Ensemble.Manager.containing t.ensembles meta with
+          | [] -> []
+          | states ->
+              let predictor_of m =
+                match get_model t m with
+                | Ok c -> Some c.predictor
+                | Error _ -> None
+              in
+              List.filter_map
+                (fun s ->
+                  match Ensemble.Manager.score ~predictor_of s ~xs ~f with
+                  | s -> Some s
+                  | exception _ -> None)
+                states
+        in
         let k0 = if Obs.Trace.enabled () then Obs.Clock.now_us () else 0. in
         match
           (* write-ahead: journal + fsync the raw samples first, so a
@@ -1749,6 +2042,16 @@ let commit_update t ~trace_id ~push_parent ~req_span meta xs f :
                 ~dur_us:(Obs.Clock.now_us () -. k0)
                 "srv_kernel";
             refresh_model t meta updated;
+            (* BMA evidence, phase 2: the update committed, so the
+               scored ensemble states become durable and visible. A
+               failed ensemble save must not fail the acked update. *)
+            List.iter
+              (fun s ->
+                try
+                  Ensemble.Manager.commit t.ensembles
+                    ~durability:t.config.durability s
+                with _ -> ())
+              scored_ensembles;
             (* the commit is durable and published: ship it to
                subscribers before the acknowledgement is even queued.
                The push carries this update's trace context (the server
@@ -1817,8 +2120,10 @@ let process_window t q ~predictor_of ~fused ~on_update =
              ~dur_us:(Float.max 0. (wstart -. p.admitted_us))
              "srv_queue")
        live);
-  (* group predicts by (meta, with_std), first-seen order *)
+  (* group predicts by (meta, with_std) and ensemble calls by name,
+     first-seen order *)
   let groups = ref [] in
+  let egroups = ref [] in
   let updates = ref [] in
   List.iter
     (fun p ->
@@ -1828,7 +2133,11 @@ let process_window t q ~predictor_of ~fused ~on_update =
           let key = (meta, with_std) in
           match List.assoc_opt key !groups with
           | Some members -> members := (p, points) :: !members
-          | None -> groups := (key, ref [ (p, points) ]) :: !groups))
+          | None -> groups := (key, ref [ (p, points) ]) :: !groups)
+      | Wensemble { name; points } -> (
+          match List.assoc_opt name !egroups with
+          | Some members -> members := (p, points) :: !members
+          | None -> egroups := (name, ref [ (p, points) ]) :: !egroups))
     live;
   List.iter
     (fun ((meta, with_std), members) ->
@@ -1837,6 +2146,13 @@ let process_window t q ~predictor_of ~fused ~on_update =
       with e ->
         List.iter (fun (p, _) -> finish t p (internal_error e)) members)
     (List.rev !groups);
+  List.iter
+    (fun (name, members) ->
+      let members = List.rev !members in
+      try run_ensemble_group t ~predictor_of ~fused name members
+      with e ->
+        List.iter (fun (p, _) -> finish t p (internal_error e)) members)
+    (List.rev !egroups);
   List.iter
     (fun (p, meta, xs, f) ->
       try on_update p meta xs f
@@ -2068,14 +2384,18 @@ let shard_forward_update t shard conn (frame : Wire.frame) meta xs f =
          })
   end
 
-(* Worker-side dispatch. Returns [`Detach frame] for the replication
-   control plane (Subscribe/Promote), which only the writer may run —
-   the connection is handed across wholesale and the worker must stop
-   parsing it immediately. *)
+(* Worker-side dispatch. Returns [`Detach frame] for the frames only
+   the writer may run — the replication control plane
+   (Subscribe/Promote) and ensemble stats (whose disk reload mutates
+   writer-owned state) — the connection is handed across wholesale and
+   the worker must stop parsing it immediately. *)
 let shard_on_frame t shard conn (frame : Wire.frame) =
   let decoded = Wire.decode_request frame in
   match decoded with
-  | Ok (Wire.Subscribe_req _) | Ok Wire.Promote_req -> `Detach
+  | Ok (Wire.Subscribe_req _)
+  | Ok Wire.Promote_req
+  | Ok (Wire.Ensemble_stats_req _) ->
+      `Detach
   | _ ->
       Atomic.incr t.served;
       Obs.Metrics.inc m_requests;
@@ -2117,12 +2437,25 @@ let shard_on_frame t shard conn (frame : Wire.frame) =
               else
                 shard_admit t shard conn frame
                   (Wpredict { meta; points; with_std })
+          | Wire.Predict_ensemble_req { name; points } ->
+              let rows = Linalg.Mat.rows points in
+              if rows > Wire.max_ensemble_rows then
+                reply t conn ~id:frame.Wire.frame_id
+                  (bad_request
+                     (Printf.sprintf
+                        "batch of %d points exceeds the %d-point response \
+                         limit for predict_ensemble"
+                        rows Wire.max_ensemble_rows))
+              else
+                shard_admit t shard conn frame (Wensemble { name; points })
           | Wire.Update_req { meta; xs; f } ->
               if Atomic.get t.leader <> None then
                 reply t conn ~id:frame.Wire.frame_id (not_leader_error t)
               else shard_forward_update t shard conn frame meta xs f
           | Wire.Repl_ack_req _ -> () (* subscribers never live on shards *)
-          | Wire.Subscribe_req _ | Wire.Promote_req -> assert false));
+          | Wire.Subscribe_req _ | Wire.Promote_req
+          | Wire.Ensemble_stats_req _ ->
+              assert false));
       `Continue
 
 let shard_read t shard conn =

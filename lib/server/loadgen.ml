@@ -49,6 +49,7 @@ type worker_out = {
   w_predict : op_acc;
   w_update : op_acc;
   w_stats : op_acc;
+  w_ensemble : op_acc;
 }
 
 let discover_dim addr meta =
@@ -76,7 +77,7 @@ let discover_dim addr meta =
 let update_rows = 4
 
 let worker addr meta ~dim ~batch ~with_std ~deadline_ms ~update_every
-    ~stats_every ~seed ~until () =
+    ~stats_every ~ensemble ~seed ~until () =
   let rng = Stats.Rng.create seed in
   let points =
     Linalg.Mat.init batch dim (fun _ _ -> Stats.Rng.gaussian rng)
@@ -86,6 +87,7 @@ let worker addr meta ~dim ~batch ~with_std ~deadline_ms ~update_every
   let predict_acc = fresh_acc () in
   let update_acc = fresh_acc () in
   let stats_acc = fresh_acc () in
+  let ensemble_acc = fresh_acc () in
   let give_up = ref false in
   let iter = ref 0 in
   Fun.protect
@@ -116,6 +118,16 @@ let worker addr meta ~dim ~batch ~with_std ~deadline_ms ~update_every
              period divides the other *)
           else if stats_every > 0 && i > 0 && i mod stats_every = 0 then
             (stats_acc, fun () -> Result.map ignore (Client.stats client))
+          (* with --ensemble, every second predict slot goes through the
+             BMA path — deterministic, so runs are reproducible and the
+             single-model and ensemble mixes stay comparable *)
+          else if (match ensemble with Some _ -> true | None -> false)
+                  && i mod 2 = 1 then
+            ( ensemble_acc,
+              fun () ->
+                let name = Option.get ensemble in
+                Result.map ignore
+                  (Client.predict_ensemble client ?deadline_ms ~name points) )
           else
             ( predict_acc,
               fun () ->
@@ -148,6 +160,7 @@ let worker addr meta ~dim ~batch ~with_std ~deadline_ms ~update_every
     w_predict = predict_acc;
     w_update = update_acc;
     w_stats = stats_acc;
+    w_ensemble = ensemble_acc;
   }
 
 (* Linear interpolation between ranks (the "type 7" estimator most
@@ -197,7 +210,7 @@ let op_stats_of op accs =
 
 let run ?(connections = 4) ?(duration_s = 5.) ?(batch = 64)
     ?(with_std = false) ?deadline_ms ?(update_every = 0) ?(stats_every = 0)
-    ?(seed = 20130602) ~meta addrs =
+    ?ensemble ?(seed = 20130602) ~meta addrs =
   if connections < 1 then invalid_arg "Loadgen.run: connections < 1";
   if batch < 1 then invalid_arg "Loadgen.run: batch < 1";
   let addrs = Array.of_list addrs in
@@ -212,8 +225,8 @@ let run ?(connections = 4) ?(duration_s = 5.) ?(batch = 64)
     Array.init connections (fun i ->
         Domain.spawn
           (worker addrs.(i mod endpoints) meta ~dim ~batch ~with_std
-             ~deadline_ms ~update_every ~stats_every ~seed:(seed + (7919 * i))
-             ~until))
+             ~deadline_ms ~update_every ~stats_every ~ensemble
+             ~seed:(seed + (7919 * i)) ~until))
   in
   let outs = Array.map Domain.join domains in
   let wall = Unix.gettimeofday () -. t0 in
@@ -221,17 +234,23 @@ let run ?(connections = 4) ?(duration_s = 5.) ?(batch = 64)
   let predict_accs = List.map (fun w -> w.w_predict) outs in
   let update_accs = List.map (fun w -> w.w_update) outs in
   let stats_accs = List.map (fun w -> w.w_stats) outs in
-  let all_accs = predict_accs @ update_accs @ stats_accs in
+  let ensemble_accs = List.map (fun w -> w.w_ensemble) outs in
+  let all_accs = predict_accs @ update_accs @ stats_accs @ ensemble_accs in
   let requests = List.fold_left (fun n a -> n + a.a_ok) 0 all_accs in
   let busy = List.fold_left (fun n a -> n + a.a_busy) 0 all_accs in
   let errors = List.fold_left (fun n a -> n + a.a_errors) 0 all_accs in
   let reconnects = List.fold_left (fun n w -> n + w.w_reconnects) 0 outs in
-  let predict_ok = List.fold_left (fun n a -> n + a.a_ok) 0 predict_accs in
+  let predict_ok =
+    List.fold_left (fun n a -> n + a.a_ok) 0 (predict_accs @ ensemble_accs)
+  in
   let latencies = sorted_latencies all_accs in
   let predict_op = if with_std then "predict_var" else "predict" in
   let ops =
     op_stats_of predict_op predict_accs
-    :: (if update_every > 0 then [ op_stats_of "update" update_accs ] else [])
+    :: (if ensemble <> None then
+          [ op_stats_of "predict_ensemble" ensemble_accs ]
+        else [])
+    @ (if update_every > 0 then [ op_stats_of "update" update_accs ] else [])
     @ if stats_every > 0 then [ op_stats_of "stats" stats_accs ] else []
   in
   {

@@ -10,7 +10,9 @@
     run is reproducible against a fixed model. *)
 
 type op_stats = {
-  op : string;  (** ["predict"], ["predict_var"], ["update"], ["stats"]. *)
+  op : string;
+      (** ["predict"], ["predict_var"], ["predict_ensemble"], ["update"],
+          ["stats"]. *)
   ok : int;
   busy : int;
   op_errors : int;
@@ -64,6 +66,7 @@ val run :
   ?deadline_ms:int ->
   ?update_every:int ->
   ?stats_every:int ->
+  ?ensemble:string ->
   ?seed:int ->
   meta:Serving.Artifact.meta ->
   Daemon.address list ->
@@ -85,6 +88,11 @@ val run :
     [ops] field of the summary then breaks latency down per opcode.
     Both default to 0 (pure predict load, summary identical in shape
     and semantics to earlier releases apart from [ops]).
+
+    [ensemble = name] routes every second predict slot through
+    [predict_ensemble] against that ensemble (same points matrix), so
+    the report contrasts single-model and BMA serving latency under one
+    load; its breakdown appears as the ["predict_ensemble"] op.
     @raise Invalid_argument on an empty endpoint list;
     @raise Failure when the first endpoint does not serve [meta];
     @raise Client.Transport when the initial connections fail. *)

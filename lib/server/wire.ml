@@ -34,6 +34,13 @@ let max_predict_rows ~with_std =
   let fixed = header_len_v2 + 8 + 1 + if with_std then 8 else 0 in
   (max_frame_len - fixed) / per_row
 
+(* Same admission bound for [Ensemble_predicted]: three counted float
+   arrays (mean, within-variance, between-variance), 24 bytes per row. *)
+let max_ensemble_rows =
+  let per_row = 24 in
+  let fixed = header_len_v2 + (3 * 8) in
+  (max_frame_len - fixed) / per_row
+
 type opcode =
   | Ping
   | Predict
@@ -45,6 +52,8 @@ type opcode =
   | Repl_ack
   | Promote
   | Events
+  | Predict_ensemble
+  | Ensemble_stats
 
 let opcode_name = function
   | Ping -> "ping"
@@ -57,6 +66,8 @@ let opcode_name = function
   | Repl_ack -> "repl_ack"
   | Promote -> "promote"
   | Events -> "events"
+  | Predict_ensemble -> "predict_ensemble"
+  | Ensemble_stats -> "ensemble_stats"
 
 let opcode_byte = function
   | Ping -> 1
@@ -69,6 +80,8 @@ let opcode_byte = function
   | Repl_ack -> 8
   | Promote -> 9
   | Events -> 10
+  | Predict_ensemble -> 11
+  | Ensemble_stats -> 12
 
 let opcode_of_byte = function
   | 1 -> Some Ping
@@ -81,6 +94,8 @@ let opcode_of_byte = function
   | 8 -> Some Repl_ack
   | 9 -> Some Promote
   | 10 -> Some Events
+  | 11 -> Some Predict_ensemble
+  | 12 -> Some Ensemble_stats
   | _ -> None
 
 type request =
@@ -101,6 +116,8 @@ type request =
   | Repl_ack_req of { seq : int }
   | Promote_req
   | Events_req
+  | Predict_ensemble_req of { name : string; points : Linalg.Mat.t }
+  | Ensemble_stats_req of { name : string }
 
 let opcode_of_request = function
   | Ping_req -> Ping
@@ -112,6 +129,8 @@ let opcode_of_request = function
   | Repl_ack_req _ -> Repl_ack
   | Promote_req -> Promote
   | Events_req -> Events
+  | Predict_ensemble_req _ -> Predict_ensemble
+  | Ensemble_stats_req _ -> Ensemble_stats
 
 type error_code =
   | Busy
@@ -183,11 +202,17 @@ type response =
     }
   | Promoted of { was_follower : bool; journal_seq : int }
   | Events_payload of { json : string }
+  | Ensemble_predicted of {
+      means : Linalg.Vec.t;
+      within : Linalg.Vec.t;
+      between : Linalg.Vec.t;
+    }
+  | Ensemble_stats_payload of { json : string }
   | Error of error
 
 (* Pushes: unsolicited leader-to-subscriber frames on a replication
    link. Their kind bytes live in a disjoint space (32+) so a confused
-   peer can never mistake one for a response (0-15) or request (1-10). *)
+   peer can never mistake one for a response (0-15) or request (1-12). *)
 
 type push =
   | Snapshot_chunk of {
@@ -412,7 +437,11 @@ let encode_request ~id ?(deadline_ms = 0) ?trace req =
           put_meta buf m;
           put_int buf rev)
         vector
-  | Repl_ack_req { seq } -> put_int buf seq);
+  | Repl_ack_req { seq } -> put_int buf seq
+  | Predict_ensemble_req { name; points } ->
+      put_string buf name;
+      put_mat buf points
+  | Ensemble_stats_req { name } -> put_string buf name);
   frame ?trace
     ~kind:(opcode_byte (opcode_of_request req))
     ~id ~deadline_ms (Buffer.contents buf)
@@ -459,6 +488,15 @@ let decode_request f =
               Repl_ack_req { seq }
           | Promote -> Promote_req
           | Events -> Events_req
+          | Predict_ensemble ->
+              let name = get_string rd in
+              let points = get_mat rd "points" in
+              if String.length name = 0 then raise (Short "empty ensemble name");
+              Predict_ensemble_req { name; points }
+          | Ensemble_stats ->
+              (* an empty name means "every ensemble" *)
+              let name = get_string rd in
+              Ensemble_stats_req { name }
         in
         finished rd;
         Ok req
@@ -520,6 +558,14 @@ let encode_response ~id resp =
         put_int buf journal_seq;
         0
     | Events_payload { json } ->
+        put_string buf json;
+        0
+    | Ensemble_predicted { means; within; between } ->
+        put_floats buf means;
+        put_floats buf within;
+        put_floats buf between;
+        0
+    | Ensemble_stats_payload { json } ->
         put_string buf json;
         0
     | Error { code; message } ->
@@ -596,6 +642,18 @@ let decode_response ~expect f =
         | Events ->
             let json = get_string rd in
             Events_payload { json }
+        | Predict_ensemble ->
+            let means = get_floats rd "means" in
+            let within = get_floats rd "within" in
+            let between = get_floats rd "between" in
+            if
+              Array.length within <> Array.length means
+              || Array.length between <> Array.length means
+            then raise (Short "variance array length mismatch");
+            Ensemble_predicted { means; within; between }
+        | Ensemble_stats ->
+            let json = get_string rd in
+            Ensemble_stats_payload { json }
         | Subscribe | Repl_ack ->
             (* subscribe is answered by pushes on the same stream and
                repl_ack is fire-and-forget; only error frames (handled

@@ -45,6 +45,10 @@ val max_predict_rows : with_std:bool -> int
     frame. Servers refuse larger batches with [Bad_request] at admission
     so response encoding can never exceed {!max_frame_len}. *)
 
+val max_ensemble_rows : int
+(** Largest ensemble batch whose [Ensemble_predicted] response (three
+    float arrays per row) still fits in one frame. *)
+
 (** {2 Message types} *)
 
 type opcode =
@@ -58,6 +62,8 @@ type opcode =
   | Repl_ack  (** Follower ack of applied entries; no response. *)
   | Promote  (** Flip a follower to leader. *)
   | Events  (** Dump the daemon's structured event ring. *)
+  | Predict_ensemble  (** BMA-weighted prediction over a named ensemble. *)
+  | Ensemble_stats  (** Ensemble weight/evidence state as JSON. *)
 
 val opcode_name : opcode -> string
 
@@ -82,6 +88,12 @@ type request =
       (** Every entry up to leader-commit [seq] is durably applied. *)
   | Promote_req
   | Events_req
+  | Predict_ensemble_req of {
+      name : string;
+      points : Linalg.Mat.t;  (** rows = query points. *)
+    }
+  | Ensemble_stats_req of { name : string }
+      (** [""] asks for every loaded ensemble. *)
 
 val opcode_of_request : request -> opcode
 
@@ -135,13 +147,21 @@ type response =
   | Promoted of { was_follower : bool; journal_seq : int }
   | Events_payload of { json : string }
       (** The [Obs.Events] ring as JSON (see [Obs.Events.to_json]). *)
+  | Ensemble_predicted of {
+      means : Linalg.Vec.t;  (** BMA predictive mean per query point. *)
+      within : Linalg.Vec.t;  (** Σᵢ wᵢσᵢ² — within-model variance. *)
+      between : Linalg.Vec.t;  (** Σᵢ wᵢ(μᵢ − μ̄)² — model disagreement. *)
+    }
+  | Ensemble_stats_payload of { json : string }
+      (** One [Ensemble.State.to_json] object, or an array of them for
+          the all-ensembles query. *)
   | Error of error
 
 (** {2 Replication pushes}
 
     Unsolicited leader-to-subscriber frames on a replication stream,
     sent after a [Subscribe_req]. Kind bytes occupy a disjoint space
-    (32-35) from responses (0 or an error byte) and requests (1-10).
+    (32-35) from responses (0 or an error byte) and requests (1-12).
     The id and deadline header fields are 0. *)
 
 type push =

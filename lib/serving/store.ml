@@ -194,6 +194,14 @@ let load_file file =
   with
   | exception Sys_error msg ->
       Obs.Metrics.inc m_corrupt;
+      (* Sys_error text is not guaranteed to carry the path; prefix it
+         so a failed read is attributable to its store file *)
+      let msg =
+        if String.length msg >= String.length file
+           && String.sub msg 0 (String.length file) = file
+        then msg
+        else file ^ ": " ^ msg
+      in
       (Error ("artifact: " ^ msg), 0, 0.)
   | contents ->
       let bytes = String.length contents in
@@ -212,11 +220,16 @@ let load ~root meta =
       let status, _, _ = load_file file in
       status
   | None ->
+      (* name the directory that was searched AND the filename the key
+         resolves to — the sanitized key alone is useless when several
+         stores (or a mistyped --dir) are in play *)
       Error
         (Printf.sprintf
-           "store: no artifact for %s/%s scale=%s seed=%d under %s"
+           "store: no artifact for %s/%s scale=%s seed=%d under %s (expected \
+            %s)"
            meta.Artifact.circuit meta.Artifact.metric meta.Artifact.scale
-           meta.Artifact.seed root)
+           meta.Artifact.seed root
+           (filename meta Artifact.Binary))
 
 type entry = {
   file : string;

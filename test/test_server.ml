@@ -1247,6 +1247,252 @@ let test_sharded_update_snapshot_race () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Ensemble serving: wire codec, bit-identity against the offline BMA
+   reference at any shard/jobs count, evidence riding the update path,
+   and live pickup of out-of-band ensemble definitions.               *)
+
+let meta2 = { meta with Serving.Artifact.seed = 8 }
+
+let test_ensemble_wire_roundtrips () =
+  let s = make_synth ~k:10 ~r:6 () in
+  let points = queries s 5 in
+  (match
+     roundtrip_request ~deadline_ms:100
+       (Server.Wire.Predict_ensemble_req { name = "blue"; points })
+   with
+  | Server.Wire.Predict_ensemble_req p ->
+      check_string "name" "blue" p.name;
+      check_bool "points bit-identical" true (mats_equal points p.points)
+  | _ -> Alcotest.fail "predict_ensemble round-trip");
+  (match
+     roundtrip_request (Server.Wire.Ensemble_stats_req { name = "green" })
+   with
+  | Server.Wire.Ensemble_stats_req { name = "green" } -> ()
+  | _ -> Alcotest.fail "ensemble_stats round-trip");
+  (* the empty name means "every ensemble" for stats... *)
+  (match roundtrip_request (Server.Wire.Ensemble_stats_req { name = "" }) with
+  | Server.Wire.Ensemble_stats_req { name = "" } -> ()
+  | _ -> Alcotest.fail "ensemble_stats broadcast round-trip");
+  (* ...but is a framing error for predict *)
+  let bad =
+    frame_of
+      (Server.Wire.encode_request ~id:3
+         (Server.Wire.Predict_ensemble_req { name = ""; points }))
+  in
+  (match Server.Wire.decode_request bad with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty ensemble name accepted");
+  let v k = Array.init 7 (fun i -> ldexp (float_of_int ((k * 7) + i + 1)) (-3)) in
+  (match
+     roundtrip_response ~expect:Server.Wire.Predict_ensemble
+       (Server.Wire.Ensemble_predicted
+          { means = v 0; within = v 1; between = v 2 })
+   with
+  | Server.Wire.Ensemble_predicted { means; within; between } ->
+      check_bool "means bit-identical" true
+        (Array.for_all2 Float.equal (v 0) means);
+      check_bool "within bit-identical" true
+        (Array.for_all2 Float.equal (v 1) within);
+      check_bool "between bit-identical" true
+        (Array.for_all2 Float.equal (v 2) between)
+  | _ -> Alcotest.fail "ensemble_predicted round-trip");
+  match
+    roundtrip_response ~expect:Server.Wire.Ensemble_stats
+      (Server.Wire.Ensemble_stats_payload { json = "[{\"w\":0.5}]" })
+  with
+  | Server.Wire.Ensemble_stats_payload { json } ->
+      check_string "json payload" "[{\"w\":0.5}]" json
+  | _ -> Alcotest.fail "ensemble_stats payload round-trip"
+
+(* Two fitted members over the same linear basis plus a persisted
+   two-member ensemble named "pair"; returns the first synth (for
+   queries and update data) and the offline BMA reference closure. *)
+let ensemble_setup root =
+  let s1 = make_synth ~k:30 ~r:10 () in
+  let s2 = make_synth ~k:30 ~r:10 () in
+  let a1 = artifact_of s1 in
+  let a2 =
+    Serving.Artifact.of_fit ~meta:meta2 ~basis:s2.basis ~prior:s2.prior
+      ~hyper:s2.hyper ~g:s2.g ~f:s2.f ()
+  in
+  ignore (Serving.Store.save ~root a1);
+  ignore (Serving.Store.save ~root a2);
+  let st = Ensemble.State.create "pair" in
+  let st = Result.get_ok (Ensemble.State.add st meta) in
+  let st = Result.get_ok (Ensemble.State.add st meta2) in
+  ignore (Ensemble.Store.save ~root st);
+  let reference st q =
+    Ensemble.Predictor.predict st
+      [|
+        Some (Serving.Predictor.of_artifact a1);
+        Some (Serving.Predictor.of_artifact a2);
+      |]
+      q
+  in
+  (s1, st, reference)
+
+let ensemble_e2e ~shards ~jobs () =
+  Parallel.Pool.set_default_jobs jobs;
+  Fun.protect ~finally:(fun () -> Parallel.Pool.set_default_jobs 0)
+  @@ fun () ->
+  with_temp_root @@ fun root ->
+  let s1, st, reference = ensemble_setup root in
+  let q = queries s1 64 in
+  let dm, dw, db = reference st q in
+  let config = { Server.Daemon.default_config with Server.Daemon.shards } in
+  with_daemon ~config ~root @@ fun _t addr ->
+  (* one connection per shard: the acceptor deals them round-robin, so
+     every worker domain must reproduce the offline fold bit-for-bit *)
+  for conn = 1 to Stdlib.max 2 shards do
+    with_client addr @@ fun c ->
+    let m, w, b =
+      ok "predict_ensemble" (Server.Client.predict_ensemble c ~name:"pair" q)
+    in
+    check_bool
+      (Printf.sprintf "conn %d BMA means bit-identical" conn)
+      true
+      (Array.for_all2 Float.equal dm m);
+    check_bool
+      (Printf.sprintf "conn %d within-variance bit-identical" conn)
+      true
+      (Array.for_all2 Float.equal dw w);
+    check_bool
+      (Printf.sprintf "conn %d between-variance bit-identical" conn)
+      true
+      (Array.for_all2 Float.equal db b);
+    check_string "mean fingerprints agree"
+      (Serving.Artifact.fingerprint dm)
+      (Serving.Artifact.fingerprint m)
+  done
+
+let test_ensemble_e2e_s1_j1 = ensemble_e2e ~shards:1 ~jobs:1
+
+let test_ensemble_e2e_s1_j8 = ensemble_e2e ~shards:1 ~jobs:8
+
+let test_ensemble_e2e_s4_j1 = ensemble_e2e ~shards:4 ~jobs:1
+
+let test_ensemble_e2e_s4_j8 = ensemble_e2e ~shards:4 ~jobs:8
+
+let members_of_stats json =
+  match Serving.Json.of_string json with
+  | Error e -> Alcotest.failf "stats payload unparsable: %s" e
+  | Ok doc -> (
+      match Serving.Json.member "members" doc with
+      | Some (Serving.Json.Arr l) -> l
+      | _ -> Alcotest.failf "no members array in %s" json)
+
+let member_num key m =
+  match Serving.Json.member key m with
+  | Some (Serving.Json.Num v) -> v
+  | _ -> Alcotest.failf "member lacks %s" key
+
+let test_e2e_ensemble_evidence_moves () =
+  with_temp_root @@ fun root ->
+  let s1, st, reference = ensemble_setup root in
+  let q = queries s1 16 in
+  with_daemon ~root @@ fun _t addr ->
+  with_client addr @@ fun c ->
+  (* broadcast stats is a JSON array; named is one object *)
+  let all = ok "ensemble_stats" (Server.Client.ensemble_stats c ()) in
+  check_bool "broadcast payload is an array" true (all.[0] = '[');
+  let named =
+    ok "ensemble_stats" (Server.Client.ensemble_stats c ~name:"pair" ())
+  in
+  List.iter
+    (fun m -> check_bool "no evidence yet" true (member_num "points" m = 0.))
+    (members_of_stats named);
+  (* an update to member 1 scores BOTH members on the held-out batch
+     with their pre-update predictors, then commits the evidence *)
+  let k_new = 9 in
+  let r = Polybasis.Basis.dim s1.basis in
+  let xs = Stats.Sampling.monte_carlo rng ~k:k_new ~r in
+  let f =
+    Array.init k_new (fun i ->
+        Linalg.Vec.dot
+          (Polybasis.Basis.eval_row s1.basis (Linalg.Mat.row xs i))
+          s1.truth)
+  in
+  (* the reference: phase-1 scoring against the same pre-update state *)
+  let predictor_of m =
+    match Serving.Store.load ~root m with
+    | Ok a -> Some (Serving.Predictor.of_artifact a)
+    | Error _ -> None
+  in
+  let expected = Ensemble.Manager.score ~predictor_of st ~xs ~f in
+  ignore (ok "update" (Server.Client.update c meta ~xs ~f));
+  let after =
+    members_of_stats
+      (ok "ensemble_stats" (Server.Client.ensemble_stats c ~name:"pair" ()))
+  in
+  List.iteri
+    (fun i m ->
+      check_bool
+        (Printf.sprintf "member %d scored the whole batch" i)
+        true
+        (member_num "points" m = float_of_int k_new);
+      check_bool
+        (Printf.sprintf "member %d evidence matches offline scoring" i)
+        true
+        (Float.equal
+           expected.Ensemble.State.members.(i).Ensemble.State.log_ev
+           (member_num "log_evidence" m)))
+    after;
+  (* the advanced evidence was persisted, survives a daemon restart and
+     still drives a bit-identical BMA answer *)
+  (match Ensemble.Store.load ~root "pair" with
+  | Error e -> Alcotest.failf "bmfe reload: %s" e
+  | Ok disk -> check_bool "persisted state advanced" true (disk = expected));
+  (* the post-update reference predicts with the REFRESHED member
+     artifacts (member 1 advanced a revision) under the advanced
+     weights *)
+  ignore reference;
+  let dm, _, _ =
+    Ensemble.Predictor.predict expected
+      [| predictor_of meta; predictor_of meta2 |]
+      q
+  in
+  let m, _, _ =
+    ok "predict_ensemble" (Server.Client.predict_ensemble c ~name:"pair" q)
+  in
+  check_bool "post-evidence BMA means bit-identical" true
+    (Array.for_all2 Float.equal dm m);
+  (* unknown ensembles refuse cleanly *)
+  (match Server.Client.predict_ensemble c ~name:"ghost" q with
+  | Error e ->
+      check_bool "unknown ensemble is model_not_found" true
+        (e.Server.Wire.code = Server.Wire.Model_not_found)
+  | Ok _ -> Alcotest.fail "unknown ensemble served");
+  (* an out-of-band create (the canary-registration CLI against the
+     live store) is picked up by the next stats call *)
+  let solo = Result.get_ok (Ensemble.State.add (Ensemble.State.create "solo") meta) in
+  ignore (Ensemble.Store.save ~root solo);
+  let refreshed = ok "ensemble_stats" (Server.Client.ensemble_stats c ()) in
+  check_bool "live pickup of a new .bmfe" true
+    (let re = Str.regexp_string "\"solo\"" in
+     try
+       ignore (Str.search_forward re refreshed 0);
+       true
+     with Not_found -> false);
+  let m2, _, _ =
+    ok "predict_ensemble (picked up)"
+      (Server.Client.predict_ensemble c ~name:"solo" q)
+  in
+  check_int "new ensemble serves" 16 (Array.length m2)
+
+let test_e2e_ensemble_oversized_refused () =
+  with_temp_root @@ fun root ->
+  let _s1, _st, _reference = ensemble_setup root in
+  with_daemon ~root @@ fun _t addr ->
+  with_client addr @@ fun c ->
+  let rows = Server.Wire.max_ensemble_rows + 1 in
+  let q = Linalg.Mat.init rows 1 (fun _ _ -> 0.) in
+  match Server.Client.predict_ensemble c ~name:"pair" q with
+  | Error e ->
+      check_bool "oversized ensemble batch refused as bad_request" true
+        (e.Server.Wire.code = Server.Wire.Bad_request)
+  | Ok _ -> Alcotest.fail "oversized ensemble batch served"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "server"
@@ -1322,6 +1568,23 @@ let () =
             `Quick test_sharded_drain_in_flight;
           Alcotest.test_case "update/snapshot-swap race" `Quick
             test_sharded_update_snapshot_race;
+        ] );
+      ( "ensemble",
+        [
+          Alcotest.test_case "wire round-trips" `Quick
+            test_ensemble_wire_roundtrips;
+          Alcotest.test_case "BMA bit-identical shards 1 -j 1" `Quick
+            test_ensemble_e2e_s1_j1;
+          Alcotest.test_case "BMA bit-identical shards 1 -j 8" `Quick
+            test_ensemble_e2e_s1_j8;
+          Alcotest.test_case "BMA bit-identical shards 4 -j 1" `Quick
+            test_ensemble_e2e_s4_j1;
+          Alcotest.test_case "BMA bit-identical shards 4 -j 8" `Quick
+            test_ensemble_e2e_s4_j8;
+          Alcotest.test_case "evidence rides the update path" `Quick
+            test_e2e_ensemble_evidence_moves;
+          Alcotest.test_case "oversized batch refused" `Quick
+            test_e2e_ensemble_oversized_refused;
         ] );
       ( "loadgen",
         [
