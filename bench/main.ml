@@ -640,6 +640,111 @@ let durability_overhead (cfg : Experiments.Config.t) =
       Serving.Journal.close jd;
       durability_timings := List.rev !durability_timings)
 
+(* ------------------------------------------------------------------ *)
+(* Kernel plane: the allocating serving kernels vs their preallocated  *)
+(* [_into] twins (bit-identical outputs by construction), plus the     *)
+(* minor-heap words per query on the arena path — the number the CI    *)
+(* allocation gate bounds.                                             *)
+
+(* (name, value) pairs: *_ns_per_call timings and *_minor_words_per_query. *)
+let kernel_records : (string * float) list ref = ref []
+
+let kernel_plane_bench (cfg : Experiments.Config.t) =
+  let ro = Circuit.Ring_oscillator.create ~config:cfg.ro cfg.seed in
+  let tb = Circuit.Ring_oscillator.testbench ro in
+  let metric = Circuit.Ring_oscillator.frequency_index in
+  let prep = Experiments.Runner.prepare cfg tb ~metric in
+  let rng = Stats.Rng.create 2300 in
+  let xs, f =
+    Circuit.Testbench.draw_dataset tb ~stage:Circuit.Stage.Layout ~metric ~rng
+      ~k:100 ()
+  in
+  let g = Polybasis.Basis.design_matrix prep.late_basis xs in
+  let prior = Bmf.Prior.nonzero_mean prep.early in
+  let meta =
+    {
+      Serving.Artifact.circuit = "ro";
+      metric = "frequency";
+      scale = "bench-kernels";
+      seed = cfg.seed;
+    }
+  in
+  let artifact =
+    Serving.Artifact.of_fit ~meta ~basis:prep.late_basis ~prior ~hyper:1e-3 ~g
+      ~f ()
+  in
+  let pred = Serving.Predictor.of_artifact artifact in
+  let batch = 64 in
+  let r = Polybasis.Basis.dim prep.late_basis in
+  let q = Stats.Sampling.monte_carlo (Stats.Rng.create 2301) ~k:batch ~r in
+  let scratch = Serving.Predictor.Scratch.create ~capacity:batch pred in
+  let means = Array.make batch 0. and stds = Array.make batch 0. in
+  let record name v = kernel_records := (name, v) :: !kernel_records in
+  let time_per_call name f =
+    f ();
+    f ();
+    let iters = 200 in
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to iters do
+        f ()
+      done;
+      best :=
+        Float.min !best ((Unix.gettimeofday () -. t0) /. float_of_int iters)
+    done;
+    record (name ^ "_ns_per_call") (1e9 *. !best);
+    Printf.printf "  %-34s %10.2f us/call\n" name (1e6 *. !best)
+  in
+  (* batch-64 predict: allocating vs arena, means-only and mean+std *)
+  time_per_call "predict" (fun () -> ignore (Serving.Predictor.predict pred q));
+  time_per_call "predict_into" (fun () ->
+      Serving.Predictor.predict_into pred ~scratch q ~means);
+  time_per_call "predict_with_std" (fun () ->
+      ignore (Serving.Predictor.predict_with_std pred q));
+  time_per_call "predict_with_std_into" (fun () ->
+      Serving.Predictor.predict_with_std_into pred ~scratch q ~means ~stds);
+  (* raw gemv on the stored posterior core *)
+  let gm = artifact.Serving.Artifact.g in
+  let x = Array.make (Linalg.Mat.cols gm) 1.0 in
+  let y = Array.make (Linalg.Mat.rows gm) 0. in
+  time_per_call "gemv" (fun () -> ignore (Linalg.Mat.gemv gm x));
+  time_per_call "gemv_into" (fun () -> Linalg.Mat.gemv_into gm x y);
+  (* design-matrix assembly: blocked (allocating) vs arena *)
+  let dst = Linalg.Mat.create batch (Polybasis.Basis.size prep.late_basis) in
+  let bscratch = Polybasis.Basis.Scratch.create prep.late_basis in
+  time_per_call "design_matrix_blocked" (fun () ->
+      ignore (Polybasis.Basis.design_matrix_blocked prep.late_basis q));
+  time_per_call "design_matrix_into" (fun () ->
+      Polybasis.Basis.design_matrix_into prep.late_basis ~scratch:bscratch q
+        ~dst);
+  (* steady-state minor-heap traffic on the arena path *)
+  let words_per_query f =
+    for _ = 1 to 3 do
+      f ()
+    done;
+    let calls = 50 in
+    let w0 = Gc.minor_words () in
+    for _ = 1 to calls do
+      f ()
+    done;
+    (Gc.minor_words () -. w0) /. float_of_int (calls * batch)
+  in
+  let wp =
+    words_per_query (fun () ->
+        Serving.Predictor.predict_into pred ~scratch q ~means)
+  in
+  let wps =
+    words_per_query (fun () ->
+        Serving.Predictor.predict_with_std_into pred ~scratch q ~means ~stds)
+  in
+  record "predict_into_minor_words_per_query" wp;
+  record "predict_with_std_into_minor_words_per_query" wps;
+  Printf.printf
+    "  minor words/query: predict_into %.3f, predict_with_std_into %.3f\n" wp
+    wps;
+  kernel_records := List.rev !kernel_records
+
 let json_escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -940,6 +1045,14 @@ let summary_json ~total_seconds ~microbench =
         (Printf.sprintf "{\"op\":\"%s\",\"seconds_per_op\":%.6f}"
            (json_escape name) seconds))
     !durability_timings;
+  Buffer.add_string buf "],\"kernels\":[";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"name\":\"%s\",\"value\":%.6f}" (json_escape name)
+           v))
+    !kernel_records;
   Buffer.add_string buf "]";
   Buffer.add_string buf ",\"ensemble\":";
   (match !ensemble_record with
@@ -1030,6 +1143,9 @@ let () =
 
   section "Durability: Fast vs Durable saves and journal appends";
   ignore (timed "durability" (fun () -> durability_overhead cfg; ""));
+
+  section "Kernel plane: allocating kernels vs preallocated _into twins";
+  ignore (timed "kernels" (fun () -> kernel_plane_bench cfg; ""));
 
   section "Ensemble: BMA vs best single member (amp held-out accuracy)";
   ignore (timed "ensemble" (fun () -> ensemble_accuracy cfg; ""));

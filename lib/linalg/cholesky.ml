@@ -1,5 +1,7 @@
 exception Not_positive_definite of int
 
+module A = Bigarray.Array1
+
 type t = { l : Mat.t }
 
 (* Numerical-health metrics: registered once at module init, recorded
@@ -34,23 +36,22 @@ let factorize_impl a =
     let ibase = i * n in
     for j = 0 to i - 1 do
       let jbase = j * n in
-      let acc = ref (Array.unsafe_get ad (ibase + j)) in
+      let acc = ref (A.unsafe_get ad (ibase + j)) in
       for k = 0 to j - 1 do
         acc :=
           !acc
-          -. Array.unsafe_get ld (ibase + k) *. Array.unsafe_get ld (jbase + k)
+          -. A.unsafe_get ld (ibase + k) *. A.unsafe_get ld (jbase + k)
       done;
-      Array.unsafe_set ld (ibase + j)
-        (!acc /. Array.unsafe_get ld (jbase + j))
+      A.unsafe_set ld (ibase + j) (!acc /. A.unsafe_get ld (jbase + j))
     done;
-    let acc = ref (Array.unsafe_get ad (ibase + i)) in
+    let acc = ref (A.unsafe_get ad (ibase + i)) in
     for k = 0 to i - 1 do
-      let v = Array.unsafe_get ld (ibase + k) in
+      let v = A.unsafe_get ld (ibase + k) in
       acc := !acc -. (v *. v)
     done;
     if !acc <= 0. || not (Float.is_finite !acc) then
       raise (Not_positive_definite i);
-    Array.unsafe_set ld (ibase + i) (sqrt !acc)
+    A.unsafe_set ld (ibase + i) (sqrt !acc)
   done;
   { l }
 
@@ -103,29 +104,49 @@ let of_factor l =
   done;
   { l = copy }
 
+(* In-place solve against preallocated buffers ([y] holds the forward
+   intermediate, [dst] the solution; both length >= n). Allocation-free
+   and bit-identical to {!solve}, which it implements. *)
+let solve_into f b ~y ~dst =
+  let n = Mat.rows f.l in
+  if Array.length b <> n then
+    invalid_arg "Cholesky.solve_into: length mismatch";
+  if Array.length y < n || Array.length dst < n then
+    invalid_arg "Cholesky.solve_into: scratch too short";
+  let ld = (f.l : Mat.t).data in
+  (* accumulate in the destination cells (unboxed float-array traffic —
+     a [float ref] would box per iteration under vanilla ocamlopt);
+     same subtraction order as the ref formulation *)
+  (* forward: l y = b *)
+  for i = 0 to n - 1 do
+    let ibase = i * n in
+    Array.unsafe_set y i (Array.unsafe_get b i);
+    for k = 0 to i - 1 do
+      Array.unsafe_set y i
+        (Array.unsafe_get y i
+        -. (A.unsafe_get ld (ibase + k) *. Array.unsafe_get y k))
+    done;
+    Array.unsafe_set y i
+      (Array.unsafe_get y i /. A.unsafe_get ld (ibase + i))
+  done;
+  (* backward: l^T x = y *)
+  for i = n - 1 downto 0 do
+    Array.unsafe_set dst i (Array.unsafe_get y i);
+    for k = i + 1 to n - 1 do
+      Array.unsafe_set dst i
+        (Array.unsafe_get dst i
+        -. (A.unsafe_get ld ((k * n) + i) *. Array.unsafe_get dst k))
+    done;
+    Array.unsafe_set dst i
+      (Array.unsafe_get dst i /. A.unsafe_get ld ((i * n) + i))
+  done
+
 let solve f b =
   let n = Mat.rows f.l in
   if Array.length b <> n then invalid_arg "Cholesky.solve: length mismatch";
-  let ld = (f.l : Mat.t).data in
-  (* forward: l y = b *)
   let y = Array.make n 0. in
-  for i = 0 to n - 1 do
-    let ibase = i * n in
-    let acc = ref (Array.unsafe_get b i) in
-    for k = 0 to i - 1 do
-      acc := !acc -. (Array.unsafe_get ld (ibase + k) *. Array.unsafe_get y k)
-    done;
-    Array.unsafe_set y i (!acc /. Array.unsafe_get ld (ibase + i))
-  done;
-  (* backward: l^T x = y *)
   let x = Array.make n 0. in
-  for i = n - 1 downto 0 do
-    let acc = ref (Array.unsafe_get y i) in
-    for k = i + 1 to n - 1 do
-      acc := !acc -. (Array.unsafe_get ld ((k * n) + i) *. Array.unsafe_get x k)
-    done;
-    Array.unsafe_set x i (!acc /. Array.unsafe_get ld ((i * n) + i))
-  done;
+  solve_into f b ~y ~dst:x;
   x
 
 let solve_mat f b =

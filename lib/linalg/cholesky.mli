@@ -37,6 +37,12 @@ val of_factor : Mat.t -> t
 val solve : t -> Vec.t -> Vec.t
 (** [solve f b] solves [a * x = b] by forward and back substitution. *)
 
+val solve_into : t -> Vec.t -> y:Vec.t -> dst:Vec.t -> unit
+(** [solve_into f b ~y ~dst] is {!solve} into preallocated buffers:
+    [y] receives the forward-substitution intermediate and [dst] the
+    solution (both of length at least [n]; only the first [n] entries
+    are written). Allocation-free and bit-identical to {!solve}. *)
+
 val solve_mat : t -> Mat.t -> Mat.t
 (** Column-wise {!solve}: solves [a * x = b] for a matrix right-hand side. *)
 

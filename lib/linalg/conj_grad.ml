@@ -14,12 +14,19 @@ let solve ?max_iter ?(tol = 1e-10) ?(precondition = true) a b =
   let use_precond =
     precondition && Array.for_all (fun x -> x > 0. && Float.is_finite x) d
   in
+  (* one preconditioner scratch vector reused across iterations instead
+     of a fresh allocation per [apply_m_inv] call *)
+  let z = Array.make n 0. in
   let apply_m_inv r =
-    if use_precond then Vec.map2 (fun ri di -> ri /. di) r d else Vec.copy r
+    if use_precond then
+      for i = 0 to n - 1 do
+        Array.unsafe_set z i (Array.unsafe_get r i /. Array.unsafe_get d i)
+      done
+    else Vec.copy_into r z
   in
   let x = Array.make n 0. in
   let r = Vec.copy b in
-  let z = apply_m_inv r in
+  apply_m_inv r;
   let p = Vec.copy z in
   let rz = ref (Vec.dot r z) in
   let bnorm = Float.max 1e-300 (Vec.nrm2 b) in
@@ -37,14 +44,22 @@ let solve ?max_iter ?(tol = 1e-10) ?(precondition = true) a b =
       let alpha = !rz /. pap in
       Vec.axpy alpha p x;
       Vec.axpy (-.alpha) ap r;
-      let z = apply_m_inv r in
+      apply_m_inv r;
       let rz_new = Vec.dot r z in
-      let beta = rz_new /. !rz in
-      rz := rz_new;
-      for i = 0 to n - 1 do
-        p.(i) <- z.(i) +. (beta *. p.(i))
-      done;
-      rnorm := Vec.nrm2 r
+      (* Guard the direction update: if [rz] underflowed to exactly 0
+         (denormal preconditioner diagonal) while the residual is still
+         above tolerance, [beta = rz_new / rz] would go NaN and poison
+         [p]; treat it like the non-SPD bail-out instead. *)
+      if !rz = 0. || not (Float.is_finite (rz_new /. !rz)) then
+        iterations := max_iter
+      else begin
+        let beta = rz_new /. !rz in
+        rz := rz_new;
+        for i = 0 to n - 1 do
+          p.(i) <- z.(i) +. (beta *. p.(i))
+        done;
+        rnorm := Vec.nrm2 r
+      end
     end
   done;
   {

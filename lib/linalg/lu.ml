@@ -1,5 +1,7 @@
 exception Singular of int
 
+module A = Bigarray.Array1
+
 type t = { lu : Mat.t; perm : int array; sign : float }
 
 (* Doolittle with partial pivoting; l (unit diagonal) and u share [lu]. *)
@@ -12,9 +14,9 @@ let factorize a =
   let sign = ref 1. in
   for k = 0 to n - 1 do
     (* pivot search in column k *)
-    let piv = ref k and pmax = ref (Float.abs (Array.unsafe_get d ((k * n) + k))) in
+    let piv = ref k and pmax = ref (Float.abs (A.unsafe_get d ((k * n) + k))) in
     for i = k + 1 to n - 1 do
-      let v = Float.abs (Array.unsafe_get d ((i * n) + k)) in
+      let v = Float.abs (A.unsafe_get d ((i * n) + k)) in
       if v > !pmax then begin
         piv := i;
         pmax := v
@@ -28,15 +30,15 @@ let factorize a =
       perm.(!piv) <- t;
       sign := -. !sign
     end;
-    let pivot = Array.unsafe_get d ((k * n) + k) in
+    let pivot = A.unsafe_get d ((k * n) + k) in
     for i = k + 1 to n - 1 do
-      let f = Array.unsafe_get d ((i * n) + k) /. pivot in
-      Array.unsafe_set d ((i * n) + k) f;
+      let f = A.unsafe_get d ((i * n) + k) /. pivot in
+      A.unsafe_set d ((i * n) + k) f;
       if f <> 0. then
         for j = k + 1 to n - 1 do
-          Array.unsafe_set d ((i * n) + j)
-            (Array.unsafe_get d ((i * n) + j)
-            -. (f *. Array.unsafe_get d ((k * n) + j)))
+          A.unsafe_set d ((i * n) + j)
+            (A.unsafe_get d ((i * n) + j)
+            -. (f *. A.unsafe_get d ((k * n) + j)))
         done
     done
   done;
@@ -51,7 +53,7 @@ let solve f b =
   for i = 0 to n - 1 do
     let acc = ref b.(f.perm.(i)) in
     for k = 0 to i - 1 do
-      acc := !acc -. (Array.unsafe_get d ((i * n) + k) *. y.(k))
+      acc := !acc -. (A.unsafe_get d ((i * n) + k) *. y.(k))
     done;
     y.(i) <- !acc
   done;
@@ -60,9 +62,9 @@ let solve f b =
   for i = n - 1 downto 0 do
     let acc = ref y.(i) in
     for k = i + 1 to n - 1 do
-      acc := !acc -. (Array.unsafe_get d ((i * n) + k) *. x.(k))
+      acc := !acc -. (A.unsafe_get d ((i * n) + k) *. x.(k))
     done;
-    x.(i) <- !acc /. Array.unsafe_get d ((i * n) + i)
+    x.(i) <- !acc /. A.unsafe_get d ((i * n) + i)
   done;
   x
 

@@ -1,5 +1,7 @@
 exception Rank_deficient of int
 
+module A = Bigarray.Array1
+
 (* Compact Householder storage: the strict lower triangle of [h] plus
    [betas] hold the reflectors v (with v.(k) = 1 implicit); the upper
    triangle of [h] holds r. *)
@@ -16,17 +18,17 @@ let factorize a =
     (* Build the Householder vector for column k below the diagonal. *)
     let alpha = ref 0. in
     for i = k to m - 1 do
-      let x = Array.unsafe_get d ((i * n) + k) in
+      let x = A.unsafe_get d ((i * n) + k) in
       alpha := !alpha +. (x *. x)
     done;
     let alpha = sqrt !alpha in
-    let x0 = Array.unsafe_get d ((k * n) + k) in
+    let x0 = A.unsafe_get d ((k * n) + k) in
     if alpha = 0. then betas.(k) <- 0.
     else begin
       let alpha = if x0 > 0. then -.alpha else alpha in
       v.(k) <- x0 -. alpha;
       for i = k + 1 to m - 1 do
-        v.(i) <- Array.unsafe_get d ((i * n) + k)
+        v.(i) <- A.unsafe_get d ((i * n) + k)
       done;
       let vnorm2 = ref 0. in
       for i = k to m - 1 do
@@ -40,12 +42,12 @@ let factorize a =
         for j = k to n - 1 do
           let s = ref 0. in
           for i = k to m - 1 do
-            s := !s +. (v.(i) *. Array.unsafe_get d ((i * n) + j))
+            s := !s +. (v.(i) *. A.unsafe_get d ((i * n) + j))
           done;
           let s = beta *. !s in
           for i = k to m - 1 do
-            Array.unsafe_set d ((i * n) + j)
-              (Array.unsafe_get d ((i * n) + j) -. (s *. v.(i)))
+            A.unsafe_set d ((i * n) + j)
+              (A.unsafe_get d ((i * n) + j) -. (s *. v.(i)))
           done
         done;
         (* r_kk now holds alpha; store the reflector below the diagonal,
@@ -54,7 +56,7 @@ let factorize a =
         let v0 = v.(k) in
         if v0 <> 0. then begin
           for i = k + 1 to m - 1 do
-            Array.unsafe_set d ((i * n) + k) (v.(i) /. v0)
+            A.unsafe_set d ((i * n) + k) (v.(i) /. v0)
           done;
           betas.(k) <- beta *. v0 *. v0
         end
@@ -76,12 +78,12 @@ let apply_qt f b =
       (* v has implicit 1 at position k. *)
       let s = ref y.(k) in
       for i = k + 1 to f.m - 1 do
-        s := !s +. (Array.unsafe_get d ((i * n) + k) *. y.(i))
+        s := !s +. (A.unsafe_get d ((i * n) + k) *. y.(i))
       done;
       let s = beta *. !s in
       y.(k) <- y.(k) -. s;
       for i = k + 1 to f.m - 1 do
-        y.(i) <- y.(i) -. (s *. Array.unsafe_get d ((i * n) + k))
+        y.(i) <- y.(i) -. (s *. A.unsafe_get d ((i * n) + k))
       done
     end
   done;
@@ -100,12 +102,12 @@ let q_thin f =
       if beta <> 0. then begin
         let s = ref e.(k) in
         for i = k + 1 to f.m - 1 do
-          s := !s +. (Array.unsafe_get d ((i * n) + k) *. e.(i))
+          s := !s +. (A.unsafe_get d ((i * n) + k) *. e.(i))
         done;
         let s = beta *. !s in
         e.(k) <- e.(k) -. s;
         for i = k + 1 to f.m - 1 do
-          e.(i) <- e.(i) -. (s *. Array.unsafe_get d ((i * n) + k))
+          e.(i) <- e.(i) -. (s *. A.unsafe_get d ((i * n) + k))
         done
       end
     done;

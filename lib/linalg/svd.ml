@@ -45,23 +45,31 @@ let decompose ?(max_sweeps = 60) ?(tol = 1e-12) a =
       done
     done
   done;
-  (* extract singular values and normalize columns into u *)
-  let s = Array.init n (fun j -> Vec.nrm2 (Mat.col w j)) in
+  (* extract singular values with stride-aware column norms — no
+     intermediate column copy ([Mat.col_nrm2] runs the same two-pass
+     scaled algorithm as [Vec.nrm2], so values are bit-identical) *)
+  let s = Array.init n (fun j -> Mat.col_nrm2 w j) in
   (* sort descending, permuting u and v columns *)
   let order = Array.init n (fun i -> i) in
   Array.sort (fun i j -> Float.compare s.(j) s.(i)) order;
   let sorted_s = Array.map (fun i -> s.(i)) order in
   let u = Mat.create m n in
   let v_sorted = Mat.create n n in
+  (* normalize straight into [u] and permute straight into [v_sorted]:
+     entrywise [(1 / norm) *. w_kj], the same product [Vec.scale]
+     computed on the copied column *)
   Array.iteri
     (fun dst src ->
-      let col = Mat.col w src in
       let norm = s.(src) in
-      let col =
-        if norm > 0. then Vec.scale (1. /. norm) col else Vec.create m
-      in
-      Mat.set_col u dst col;
-      Mat.set_col v_sorted dst (Mat.col v src))
+      if norm > 0. then begin
+        let inv = 1. /. norm in
+        for k = 0 to m - 1 do
+          Mat.set u k dst (inv *. Mat.get w k src)
+        done
+      end;
+      for k = 0 to n - 1 do
+        Mat.set v_sorted k dst (Mat.get v k src)
+      done)
     order;
   { u; s = sorted_s; v = v_sorted }
 

@@ -92,6 +92,38 @@ let mul x y = map2 ( *. ) x y
 
 let div x y = map2 ( /. ) x y
 
+(* In-place twins with preallocated destinations; same element order as
+   the allocating versions, so results are bit-identical. [dst] may
+   alias either input. *)
+let check_into name x y dst =
+  check_same_dim name x y;
+  if Array.length dst <> Array.length x then
+    invalid_arg
+      (Printf.sprintf "Vec.%s: destination length mismatch (%d vs %d)" name
+         (Array.length dst) (Array.length x))
+
+let add_into x y dst =
+  check_into "add_into" x y dst;
+  for i = 0 to Array.length x - 1 do
+    Array.unsafe_set dst i (Array.unsafe_get x i +. Array.unsafe_get y i)
+  done
+
+let sub_into x y dst =
+  check_into "sub_into" x y dst;
+  for i = 0 to Array.length x - 1 do
+    Array.unsafe_set dst i (Array.unsafe_get x i -. Array.unsafe_get y i)
+  done
+
+let mul_into x y dst =
+  check_into "mul_into" x y dst;
+  for i = 0 to Array.length x - 1 do
+    Array.unsafe_set dst i (Array.unsafe_get x i *. Array.unsafe_get y i)
+  done
+
+let copy_into src dst =
+  check_same_dim "copy_into" src dst;
+  Array.blit src 0 dst 0 (Array.length src)
+
 let axpy a x y =
   check_same_dim "axpy" x y;
   for i = 0 to Array.length x - 1 do

@@ -62,6 +62,19 @@ val mul : t -> t -> t
 val div : t -> t -> t
 (** Elementwise quotient. *)
 
+val add_into : t -> t -> t -> unit
+(** [add_into x y dst] writes [x + y] into preallocated [dst] (which may
+    alias either input); allocation-free, bit-identical to {!add}. *)
+
+val sub_into : t -> t -> t -> unit
+(** In-place twin of {!sub}. *)
+
+val mul_into : t -> t -> t -> unit
+(** In-place twin of {!mul} (Hadamard product into [dst]). *)
+
+val copy_into : t -> t -> unit
+(** [copy_into src dst] blits [src] over equal-length [dst]. *)
+
 val axpy : float -> t -> t -> unit
 (** [axpy a x y] performs [y <- a*x + y] in place. *)
 

@@ -215,6 +215,103 @@ let design_matrix_blocked b xs =
   end;
   g
 
+(* Preallocated per-evaluator state for [design_matrix_into]: the
+   per-variable degree requirements and one Hermite table per variable
+   that needs degree >= 2. The tables are refilled row by row, so one
+   scratch serves any number of rows. *)
+module Scratch = struct
+  type basis = t
+
+  type t = {
+    basis : basis; (* physical identity guards against stale reuse *)
+    need : int array;
+    herm : float array option array;
+  }
+
+  let create b =
+    let need = Array.make b.dim 0 in
+    Array.iter
+      (fun term ->
+        Array.iter (fun (v, d) -> need.(v) <- Stdlib.max need.(v) d) term)
+      b.terms;
+    let herm =
+      Array.init b.dim (fun v ->
+          if need.(v) >= 2 then Some (Array.make (need.(v) + 1) 1.) else None)
+    in
+    { basis = b; need; herm }
+
+  let basis s = s.basis
+end
+
+(* Allocation-free twin of [design_matrix_blocked]: evaluates the basis
+   on [xs] straight into the preallocated [dst]. Runs sequentially in
+   the calling domain (the serving plane already shards across worker
+   domains) and refills the scratch Hermite tables per row; every term
+   is the same left-to-right product of the same table entries the
+   blocked evaluator computes, so the output is bit-identical. *)
+let design_matrix_into b ~scratch xs ~dst =
+  if not (scratch.Scratch.basis == b) then
+    invalid_arg "Basis.design_matrix_into: scratch built for another basis";
+  let k, r = Linalg.Mat.dims xs in
+  if r <> b.dim then
+    invalid_arg "Basis.design_matrix_into: dimension mismatch";
+  let m = size b in
+  let dk, dm = Linalg.Mat.dims dst in
+  if dk <> k || dm <> m then
+    invalid_arg "Basis.design_matrix_into: destination shape mismatch";
+  observed "design_matrix_into" b ~rows:k @@ fun () ->
+  (* Work straight on the Bigarray storage with unboxed loads/stores,
+     accumulating each term's product in its destination cell — under
+     vanilla ocamlopt a [float ref] accumulator (and any cross-module
+     get/set) would box a float per factor. Bounds were checked above;
+     the product order is exactly the blocked evaluator's. *)
+  let module A = Bigarray.Array1 in
+  let xd = Linalg.Mat.data xs in
+  let dd = Linalg.Mat.data dst in
+  if b.max_degree <= 1 then
+    for i = 0 to k - 1 do
+      let xbase = i * r and dbase = i * m in
+      for j = 0 to m - 1 do
+        let term = Array.unsafe_get b.terms j in
+        let nt = Array.length term in
+        A.unsafe_set dd (dbase + j) 1.;
+        for p = 0 to nt - 1 do
+          let v, _ = Array.unsafe_get term p in
+          A.unsafe_set dd (dbase + j)
+            (A.unsafe_get dd (dbase + j) *. A.unsafe_get xd (xbase + v))
+        done
+      done
+    done
+  else begin
+    let need = scratch.Scratch.need in
+    let herm = scratch.Scratch.herm in
+    for i = 0 to k - 1 do
+      let xbase = i * r and dbase = i * m in
+      for v = 0 to b.dim - 1 do
+        match Array.unsafe_get herm v with
+        | Some table ->
+            Hermite.normalized_upto_into need.(v)
+              (A.unsafe_get xd (xbase + v))
+              table
+        | None -> ()
+      done;
+      for j = 0 to m - 1 do
+        let term = Array.unsafe_get b.terms j in
+        let nt = Array.length term in
+        A.unsafe_set dd (dbase + j) 1.;
+        for p = 0 to nt - 1 do
+          let v, d = Array.unsafe_get term p in
+          let value =
+            match Array.unsafe_get herm v with
+            | Some table -> Array.unsafe_get table d
+            | None -> A.unsafe_get xd (xbase + v)
+          in
+          A.unsafe_set dd (dbase + j) (A.unsafe_get dd (dbase + j) *. value)
+        done
+      done
+    done
+  end
+
 let predict b ~coeffs x =
   if Array.length coeffs <> size b then
     invalid_arg "Basis.predict: coefficient length mismatch";

@@ -53,6 +53,31 @@ val design_matrix_blocked : t -> Linalg.Mat.t -> Linalg.Mat.t
     re-derived per row. Preferred on the batch-serving path where one
     basis is evaluated on many query points at once. *)
 
+(** Reusable evaluation state for {!design_matrix_into}: per-variable
+    degree requirements plus one Hermite table per variable needing
+    degree [>= 2]. Build once per (basis, evaluator) pair and reuse
+    across calls; a scratch is valid only for the exact basis value it
+    was created from. *)
+module Scratch : sig
+  type basis := t
+
+  type t
+
+  val create : basis -> t
+
+  val basis : t -> basis
+  (** The basis this scratch was built for. *)
+end
+
+val design_matrix_into : t -> scratch:Scratch.t -> Linalg.Mat.t -> dst:Linalg.Mat.t -> unit
+(** [design_matrix_into b ~scratch xs ~dst] evaluates the basis on the
+    [k] x [r] sample matrix [xs] into the preallocated [k] x [M]
+    destination. Output is bit-identical to {!design_matrix_blocked}
+    (same recurrences and product order), with zero float-array
+    allocation in steady state. Runs sequentially in the calling domain.
+    @raise Invalid_argument on shape mismatch or if [scratch] was built
+    for a different basis value. *)
+
 val predict : t -> coeffs:Linalg.Vec.t -> Linalg.Vec.t -> float
 (** [predict b ~coeffs x = sum_m coeffs.(m) * g_m(x)] (eq. 2). *)
 

@@ -21,9 +21,14 @@ let log_factorial n =
 
 let normalized n x = probabilists n x *. exp (-0.5 *. log_factorial n)
 
-let normalized_upto d x =
-  if d < 0 then invalid_arg "Hermite.normalized_upto: negative degree";
-  let out = Array.make (d + 1) 1. in
+(* In-place variant writing [He~_0 .. He~_d] into [out.(0 .. d)] (out
+   may be longer); the exact recurrence of [normalized_upto], so values
+   are bit-identical, with no per-call allocation. *)
+let normalized_upto_into d x out =
+  if d < 0 then invalid_arg "Hermite.normalized_upto_into: negative degree";
+  if Array.length out < d + 1 then
+    invalid_arg "Hermite.normalized_upto_into: output too short";
+  out.(0) <- 1.;
   if d >= 1 then begin
     (* carry He_k and the normalization sqrt(k!) together *)
     let prev = ref 1. and cur = ref x in
@@ -36,5 +41,10 @@ let normalized_upto d x =
       log_fact := !log_fact +. log (float_of_int (k + 1));
       out.(k + 1) <- next *. exp (-0.5 *. !log_fact)
     done
-  end;
+  end
+
+let normalized_upto d x =
+  if d < 0 then invalid_arg "Hermite.normalized_upto: negative degree";
+  let out = Array.make (d + 1) 1. in
+  normalized_upto_into d x out;
   out

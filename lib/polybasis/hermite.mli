@@ -19,5 +19,12 @@ val normalized_upto : int -> float -> float array
 (** [normalized_upto d x] is [| g_0 x; ...; g_d x |] computed in one
     recurrence sweep (cheaper than [d] separate calls). *)
 
+val normalized_upto_into : int -> float -> float array -> unit
+(** [normalized_upto_into d x out] writes [g_0 x .. g_d x] into
+    [out.(0 .. d)] ([out] may be longer; entries past [d] are untouched).
+    Runs the exact recurrence of {!normalized_upto}, so the values are
+    bit-identical — with no per-call allocation.
+    @raise Invalid_argument if [d < 0] or [out] is shorter than [d+1]. *)
+
 val log_factorial : int -> float
 (** [log n!], exact for the small degrees used here. *)

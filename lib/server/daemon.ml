@@ -372,13 +372,33 @@ type writer_msg =
     }
   | W_publish of Serving.Artifact.meta
 
+(* Per-model slice of an executor's serving arena: the predictor's
+   preallocated scratch plus growing output buffers for the fused
+   means/stds. Keyed by (model meta, ensemble slot) so two ensemble
+   members that happen to share a model never alias output storage. *)
+type model_arena = {
+  ma_scratch : Serving.Predictor.Scratch.t;
+  mutable ma_means : float array;
+  mutable ma_stds : float array;
+}
+
+(* One serving arena per executor domain (writer, each shard) — never
+   shared, so the steady-state predict path reuses the same storage
+   window after window with zero minor-heap float-array allocation. *)
+type arena = {
+  ar_fused : Linalg.Mat.t option ref;  (* fused-batch design buffer *)
+  ar_models : (Serving.Artifact.meta * int, model_arena) Hashtbl.t;
+}
+
+let arena_create () = { ar_fused = ref None; ar_models = Hashtbl.create 8 }
+
 type shard = {
   sid : int;
   s_mbox : shard_msg Mbox.t;
   mutable s_conns : conn list;
   s_pending : pending Queue.t;
   s_scratch : Bytes.t;  (* per-shard read buffer *)
-  s_fused : Linalg.Mat.t option ref;  (* per-shard fused-batch buffer *)
+  s_arena : arena;  (* per-shard fused buffer + predictor scratches *)
   mutable s_outstanding : int;  (* updates forwarded, reply not yet back *)
   mutable s_stopped_mono : float;  (* when this shard first saw stop *)
   s_requests : Obs.Metrics.counter;
@@ -407,7 +427,7 @@ type t = {
   served : int Atomic.t;  (* requests received, any outcome, any shard *)
   conn_count : int Atomic.t;  (* open connections across all domains *)
   scratch : Bytes.t;  (* per-instance read buffer *)
-  fused : Linalg.Mat.t option ref;  (* writer's fused-batch buffer *)
+  arena : arena;  (* writer's fused buffer + predictor scratches *)
   started_s : float;  (* wall clock, human-facing only *)
   started_mono : float;  (* monotonic, for uptime *)
   mutable stopped_mono : float;  (* monotonic instant [stop] was first seen *)
@@ -579,7 +599,7 @@ let create ?(config = default_config) ?follow ~root addr =
             s_conns = [];
             s_pending = Queue.create ();
             s_scratch = Bytes.create 65536;
-            s_fused = ref None;
+            s_arena = arena_create ();
             s_outstanding = 0;
             s_stopped_mono = nan;
             s_requests = shard_requests_counter sid;
@@ -606,7 +626,7 @@ let create ?(config = default_config) ?follow ~root addr =
     served = Atomic.make 0;
     conn_count = Atomic.make 0;
     scratch = Bytes.create 65536;
-    fused = ref None;
+    arena = arena_create ();
     started_s = Unix.gettimeofday ();
     started_mono = Obs.Clock.now_s ();
     stopped_mono = nan;
@@ -1678,13 +1698,50 @@ let fused_buffer slot total dim =
       slot := Some m;
       m
 
+(* The per-model arena slice for this executor: reused while the cached
+   scratch still belongs to the live predictor, rebuilt on model swap
+   (physical identity — a republished model always gets fresh state).
+   Output buffers grow geometrically and are handed to the re-split
+   code, which copies each member's slice out ([Array.sub]), so reuse
+   across windows cannot alias a response. *)
+let model_arena arena ~meta ~slot predictor total =
+  let key = (meta, slot) in
+  let ma =
+    match Hashtbl.find_opt arena.ar_models key with
+    | Some ma
+      when Serving.Predictor.Scratch.for_predictor ma.ma_scratch predictor ->
+        ma
+    | _ ->
+        let ma =
+          {
+            ma_scratch =
+              Serving.Predictor.Scratch.create
+                ~capacity:(Stdlib.max 64 total)
+                predictor;
+            ma_means = [||];
+            ma_stds = [||];
+          }
+        in
+        Hashtbl.replace arena.ar_models key ma;
+        ma
+  in
+  if Array.length ma.ma_means < total then begin
+    let n = ref (Stdlib.max 64 (Array.length ma.ma_means)) in
+    while !n < total do
+      n := 2 * !n
+    done;
+    ma.ma_means <- Array.make !n 0.;
+    ma.ma_stds <- Array.make !n 0.
+  end;
+  ma
+
 (* One group = same model, same opcode. Requests whose dimensionality
    does not match are answered individually; the rest fuse into blocked
    predictor calls of at most [max_batch] points (splitting only at
    request boundaries keeps the re-split trivial and the answers
    bit-identical). [predictor_of] is the executor's model lookup: the
    writer's LRU cache, or a shard's published snapshot. *)
-let run_predict_group t ~predictor_of ~fused meta with_std members =
+let run_predict_group t ~predictor_of ~arena meta with_std members =
   match (predictor_of meta : (Serving.Predictor.t, Wire.error) result) with
   | Error e ->
       List.iter (fun (p, _) -> finish t p (Wire.Error e)) members
@@ -1732,13 +1789,12 @@ let run_predict_group t ~predictor_of ~fused meta with_std members =
                      }))
               batch
           else begin
-            let fused = fused_buffer fused total dim in
+            let fused = fused_buffer arena.ar_fused total dim in
             let at = ref 0 in
             List.iter
               (fun (_, (points : Linalg.Mat.t)) ->
                 let rows = Linalg.Mat.rows points in
-                Array.blit points.Linalg.Mat.data 0 fused.Linalg.Mat.data
-                  (!at * dim) (rows * dim);
+                Linalg.Mat.blit_rows ~src:points ~dst:fused ~dst_row:!at;
                 at := !at + rows)
               batch;
             Obs.Metrics.inc m_microbatches;
@@ -1746,13 +1802,23 @@ let run_predict_group t ~predictor_of ~fused meta with_std members =
             let k0 =
               if Obs.Trace.enabled () then Obs.Clock.now_us () else 0.
             in
+            (* allocation-free kernels into this executor's arena; the
+               [_into] twins are bit-identical to the allocating calls
+               they replace, and the re-split below copies each
+               request's slice out before the buffers are reused *)
+            let ma = model_arena arena ~meta ~slot:0 predictor total in
             match
-              if with_std then
-                let means, stds =
-                  Serving.Predictor.predict_with_std predictor fused
-                in
-                (means, Some stds)
-              else (Serving.Predictor.predict predictor fused, None)
+              if with_std then begin
+                Serving.Predictor.predict_with_std_into predictor
+                  ~scratch:ma.ma_scratch fused ~means:ma.ma_means
+                  ~stds:ma.ma_stds;
+                (ma.ma_means, Some ma.ma_stds)
+              end
+              else begin
+                Serving.Predictor.predict_into predictor
+                  ~scratch:ma.ma_scratch fused ~means:ma.ma_means;
+                (ma.ma_means, None)
+              end
             with
             | exception e ->
                 List.iter (fun (p, _) -> finish t p (internal_error e)) batch
@@ -1792,7 +1858,7 @@ let run_predict_group t ~predictor_of ~fused meta with_std members =
    [Ensemble.Predictor.combine] — whose row-wise fold makes the result
    bit-identical to a direct member-by-member computation at any shard
    count or pool width. *)
-let run_ensemble_group t ~predictor_of ~fused name members =
+let run_ensemble_group t ~predictor_of ~arena name members =
   match Ensemble.Manager.find t.ensembles name with
   | None ->
       let e =
@@ -1881,13 +1947,12 @@ let run_ensemble_group t ~predictor_of ~fused name members =
                          { means = [||]; within = [||]; between = [||] }))
                   batch
               else begin
-                let fused = fused_buffer fused total dim in
+                let fused = fused_buffer arena.ar_fused total dim in
                 let at = ref 0 in
                 List.iter
                   (fun (_, (points : Linalg.Mat.t)) ->
                     let rows = Linalg.Mat.rows points in
-                    Array.blit points.Linalg.Mat.data 0 fused.Linalg.Mat.data
-                      (!at * dim) (rows * dim);
+                    Linalg.Mat.blit_rows ~src:points ~dst:fused ~dst_row:!at;
                     at := !at + rows)
                   batch;
                 Obs.Metrics.inc m_microbatches;
@@ -1896,11 +1961,24 @@ let run_ensemble_group t ~predictor_of ~fused name members =
                   if Obs.Trace.enabled () then Obs.Clock.now_us () else 0.
                 in
                 match
-                  Array.map
-                    (function
+                  (* each member slot gets its own arena slice
+                     ([slot = i + 1]) so members sharing a model can
+                     never alias output buffers *)
+                  Array.mapi
+                    (fun i -> function
                       | None -> ([||], [||])
                       | Some p ->
-                          Serving.Predictor.predict_with_std p fused)
+                          let meta =
+                            state.Ensemble.State.members.(i)
+                              .Ensemble.State.meta
+                          in
+                          let ma =
+                            model_arena arena ~meta ~slot:(i + 1) p total
+                          in
+                          Serving.Predictor.predict_with_std_into p
+                            ~scratch:ma.ma_scratch fused ~means:ma.ma_means
+                            ~stds:ma.ma_stds;
+                          (ma.ma_means, ma.ma_stds))
                     preds
                 with
                 | exception e ->
@@ -2104,7 +2182,7 @@ let window_due t q =
    window-start model state, then apply updates in arrival order.
    Shared by the writer ([on_update] commits locally) and the shards
    (whose queues never hold updates — those forward at admission). *)
-let process_window t q ~predictor_of ~fused ~on_update =
+let process_window t q ~predictor_of ~arena ~on_update =
   let window = Queue.fold (fun acc p -> p :: acc) [] q in
   Queue.clear q;
   let window = List.rev window in
@@ -2142,14 +2220,14 @@ let process_window t q ~predictor_of ~fused ~on_update =
   List.iter
     (fun ((meta, with_std), members) ->
       let members = List.rev !members in
-      try run_predict_group t ~predictor_of ~fused meta with_std members
+      try run_predict_group t ~predictor_of ~arena meta with_std members
       with e ->
         List.iter (fun (p, _) -> finish t p (internal_error e)) members)
     (List.rev !groups);
   List.iter
     (fun (name, members) ->
       let members = List.rev !members in
-      try run_ensemble_group t ~predictor_of ~fused name members
+      try run_ensemble_group t ~predictor_of ~arena name members
       with e ->
         List.iter (fun (p, _) -> finish t p (internal_error e)) members)
     (List.rev !egroups);
@@ -2170,7 +2248,7 @@ let process_pending t =
   if window_due t t.pending then
     process_window t t.pending
       ~predictor_of:(writer_predictor_of t)
-      ~fused:t.fused
+      ~arena:t.arena
       ~on_update:(fun p meta xs f -> run_update t p meta xs f);
   Obs.Metrics.set g_queue_depth (float_of_int (Queue.length t.pending))
 
@@ -2536,7 +2614,7 @@ let shard_loop t shard =
     let now = now_s () in
     refuse_expired t shard.s_pending ~now;
     if window_due t shard.s_pending then
-      process_window t shard.s_pending ~predictor_of ~fused:shard.s_fused
+      process_window t shard.s_pending ~predictor_of ~arena:shard.s_arena
         ~on_update:(fun p _ _ _ ->
           (* updates forward at admission; one can never be queued here *)
           finish t p

@@ -262,7 +262,10 @@ let put_meta buf (m : Serving.Artifact.meta) =
 let put_mat buf (m : Linalg.Mat.t) =
   put_int buf (Linalg.Mat.rows m);
   put_int buf (Linalg.Mat.cols m);
-  Array.iter (put_float buf) m.Linalg.Mat.data
+  let d = Linalg.Mat.data m in
+  for i = 0 to (Linalg.Mat.rows m * Linalg.Mat.cols m) - 1 do
+    put_float buf (Bigarray.Array1.unsafe_get d i)
+  done
 
 exception Short of string
 

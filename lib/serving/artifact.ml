@@ -30,8 +30,9 @@ let method_name a = Bmf.Prior.kind_name a.prior.Bmf.Prior.kind
 (* ------------------------------------------------------------------ *)
 (* Checksums: FNV-1a 64-bit over the serialized payload. *)
 
-(* Row-major flat view of a matrix (read-only; Mat rows are contiguous). *)
-let mat_flat (m : Linalg.Mat.t) = m.Linalg.Mat.data
+(* Row-major flat copy of a matrix (codec input; Mat storage is a
+   Bigarray off the OCaml heap). *)
+let mat_flat (m : Linalg.Mat.t) = Linalg.Mat.to_flat m
 
 let fnv64 s =
   let prime = 0x100000001b3L in

@@ -10,7 +10,14 @@
    O(K' (KM + K^2)) — versus O(K^2 M + K^3) for a cold refit — and
    never touches an M x M system. The result is exact: the same C gives
    the same posterior, so coefficients match a cold refit to roundoff
-   (test-enforced at 1e-8). *)
+   (test-enforced at 1e-8).
+
+   Storage lives in capacity-doubling Bigarray-backed matrices: [g]
+   holds the basis rows (cap x M) and [l] the growing Cholesky factor's
+   lower triangle (cap x cap); only the first [k] rows are live. The
+   bordering arithmetic reads them through the same row-major order the
+   ragged float-array representation used, so update trajectories are
+   bit-identical to it. *)
 
 type t = {
   meta : Artifact.meta;
@@ -21,10 +28,12 @@ type t = {
   hyper : float;
   w_inv : Linalg.Vec.t;
   mutable k : int;
-  mutable rows : float array array;  (* basis rows, length m each *)
-  mutable f : float array;  (* observed responses *)
-  mutable resid : float array;  (* f_i - g_i . mu *)
-  mutable lrows : float array array;  (* ragged Cholesky rows, row i: i+1 *)
+  mutable cap : int; (* row capacity of [g] and [l] *)
+  mutable g : Linalg.Mat.t; (* cap x M basis rows; first k live *)
+  mutable l : Linalg.Mat.t; (* cap x cap lower-triangular factor *)
+  mutable f : float array; (* observed responses *)
+  mutable resid : float array; (* f_i - g_i . mu *)
+  h_scratch : float array; (* length M: W^-1 row, reused per add_row *)
 }
 
 let num_samples t = t.k
@@ -50,11 +59,25 @@ let m_pivot_min =
 
 let of_artifact (a : Artifact.t) =
   let k = Artifact.num_samples a in
+  let m = Linalg.Mat.cols a.Artifact.g in
   let means = a.Artifact.prior.Bmf.Prior.means in
-  let rows = Array.init k (fun i -> Linalg.Mat.row a.Artifact.g i) in
+  let cap = Stdlib.max 8 k in
+  let g = Linalg.Mat.create cap m in
+  Linalg.Mat.blit_rows ~src:a.Artifact.g ~dst:g ~dst_row:0;
+  let l = Linalg.Mat.create cap cap in
+  for i = 0 to k - 1 do
+    for j = 0 to i do
+      Linalg.Mat.set l i j (Linalg.Mat.get a.Artifact.chol i j)
+    done
+  done;
   let resid =
-    Array.init k (fun i -> a.Artifact.f.(i) -. Linalg.Vec.dot rows.(i) means)
+    Array.init k (fun i ->
+        a.Artifact.f.(i) -. Linalg.Mat.row_dot a.Artifact.g i means)
   in
+  let f = Array.make cap 0. in
+  Array.blit a.Artifact.f 0 f 0 k;
+  let resid_buf = Array.make cap 0. in
+  Array.blit resid 0 resid_buf 0 k;
   {
     meta = a.Artifact.meta;
     rev = a.Artifact.rev;
@@ -64,55 +87,68 @@ let of_artifact (a : Artifact.t) =
     hyper = a.Artifact.hyper;
     w_inv = Array.map (fun w -> 1. /. w) a.Artifact.prior.Bmf.Prior.weights;
     k;
-    rows;
-    f = Linalg.Vec.copy a.Artifact.f;
-    resid;
-    lrows = Array.init k (fun i -> Array.init (i + 1) (Linalg.Mat.get a.Artifact.chol i));
+    cap;
+    g;
+    l;
+    f;
+    resid = resid_buf;
+    h_scratch = Array.make m 0.;
   }
 
-let grow arr len filler =
-  if Array.length arr > len then arr
-  else begin
-    let bigger = Array.make (Stdlib.max 8 (2 * (len + 1))) filler in
-    Array.blit arr 0 bigger 0 (Array.length arr);
-    bigger
-  end
+(* Double the row capacity, copying live rows (and for [l], the live
+   lower triangle) into the fresh storage. *)
+let grow t =
+  let m = num_terms t in
+  let cap = 2 * t.cap in
+  let g = Linalg.Mat.create cap m in
+  Linalg.Mat.blit_rows ~src:(Linalg.Mat.view_rows t.g t.k) ~dst:g ~dst_row:0;
+  let l = Linalg.Mat.create cap cap in
+  for i = 0 to t.k - 1 do
+    for j = 0 to i do
+      Linalg.Mat.set l i j (Linalg.Mat.get t.l i j)
+    done
+  done;
+  let f = Array.make cap 0. in
+  Array.blit t.f 0 f 0 t.k;
+  let resid = Array.make cap 0. in
+  Array.blit t.resid 0 resid 0 t.k;
+  t.cap <- cap;
+  t.g <- g;
+  t.l <- l;
+  t.f <- f;
+  t.resid <- resid
 
 let add_row t ~row ~value =
   let m = num_terms t in
   if Array.length row <> m then
     invalid_arg "Incremental.add_row: basis row length mismatch";
+  if t.k >= t.cap then grow t;
   let k = t.k in
   (* new bordering column of C: c_i = g_i . (W^-1 row), d = row . (W^-1 row) + hyper *)
-  let h = Linalg.Vec.mul t.w_inv row in
-  let c = Array.init k (fun i -> Linalg.Vec.dot t.rows.(i) h) in
+  let h = t.h_scratch in
+  Linalg.Vec.mul_into t.w_inv row h;
   let diag = Linalg.Vec.dot row h +. t.hyper in
-  (* forward solve L l = c against the ragged rows *)
-  let l = Array.make (k + 1) 0. in
+  (* forward solve L l_new = c straight into row k of the factor *)
+  let lmat = t.l in
   for i = 0 to k - 1 do
-    let li = t.lrows.(i) in
-    let acc = ref c.(i) in
+    let acc = ref (Linalg.Mat.row_dot t.g i h) in
     for j = 0 to i - 1 do
-      acc := !acc -. (li.(j) *. l.(j))
+      acc := !acc -. (Linalg.Mat.get lmat i j *. Linalg.Mat.get lmat k j)
     done;
-    l.(i) <- !acc /. li.(i)
+    Linalg.Mat.set lmat k i (!acc /. Linalg.Mat.get lmat i i)
   done;
   let d_sq = ref diag in
   for i = 0 to k - 1 do
-    d_sq := !d_sq -. (l.(i) *. l.(i))
+    let li = Linalg.Mat.get lmat k i in
+    d_sq := !d_sq -. (li *. li)
   done;
   let d_sq = !d_sq in
   if d_sq <= 0. || not (Float.is_finite d_sq) then
     failwith "Incremental.add_row: update lost positive definiteness";
-  l.(k) <- sqrt d_sq;
-  t.rows <- grow t.rows k [||];
-  t.f <- grow t.f k 0.;
-  t.resid <- grow t.resid k 0.;
-  t.lrows <- grow t.lrows k [||];
-  t.rows.(k) <- Linalg.Vec.copy row;
+  Linalg.Mat.set lmat k k (sqrt d_sq);
+  Linalg.Mat.set_row t.g k row;
   t.f.(k) <- value;
   t.resid.(k) <- value -. Linalg.Vec.dot row t.prior.Bmf.Prior.means;
-  t.lrows.(k) <- l;
   t.k <- k + 1
 
 let add_point t ~x ~value =
@@ -145,8 +181,7 @@ let add_batch t ~xs ~f =
        margin to losing positive definiteness *)
     let mn = ref infinity in
     for i = k0 to t.k - 1 do
-      let li = t.lrows.(i) in
-      let d = li.(i) in
+      let d = Linalg.Mat.get t.l i i in
       if d < !mn then mn := d
     done;
     if Float.is_finite !mn then begin
@@ -154,42 +189,46 @@ let add_batch t ~xs ~f =
       Obs.Trace.set_attr sp "pivot_min" (Obs.Trace.Float !mn)
     end
 
-(* Solve C v = resid through the ragged factor, then map back to the
+(* Solve C v = resid through the growing factor, then map back to the
    coefficient space: alpha = mu + W^-1 G^T v. *)
 let coeffs t =
   let k = t.k and m = num_terms t in
+  let lmat = t.l in
   let y = Array.make k 0. in
   for i = 0 to k - 1 do
-    let li = t.lrows.(i) in
     let acc = ref t.resid.(i) in
     for j = 0 to i - 1 do
-      acc := !acc -. (li.(j) *. y.(j))
+      acc := !acc -. (Linalg.Mat.get lmat i j *. y.(j))
     done;
-    y.(i) <- !acc /. li.(i)
+    y.(i) <- !acc /. Linalg.Mat.get lmat i i
   done;
   let v = Array.make k 0. in
   for i = k - 1 downto 0 do
     let acc = ref y.(i) in
     for j = i + 1 to k - 1 do
-      acc := !acc -. (t.lrows.(j).(i) *. v.(j))
+      acc := !acc -. (Linalg.Mat.get lmat j i *. v.(j))
     done;
-    v.(i) <- !acc /. t.lrows.(i).(i)
+    v.(i) <- !acc /. Linalg.Mat.get lmat i i
   done;
+  (* axpy accumulation row by row, in the axpy expression order *)
   let gtv = Array.make m 0. in
   for i = 0 to k - 1 do
-    Linalg.Vec.axpy v.(i) t.rows.(i) gtv
+    let vi = v.(i) in
+    for j = 0 to m - 1 do
+      gtv.(j) <- (vi *. Linalg.Mat.get t.g i j) +. gtv.(j)
+    done
   done;
   let means = t.prior.Bmf.Prior.means in
   Array.init m (fun j -> means.(j) +. (t.w_inv.(j) *. gtv.(j)))
 
 let to_artifact t =
-  let k = t.k and m = num_terms t in
-  let g = Linalg.Mat.init k m (fun i j -> t.rows.(i).(j)) in
+  let k = t.k in
+  let g = Linalg.Mat.copy (Linalg.Mat.view_rows t.g k) in
   let f = Array.sub t.f 0 k in
   let chol = Linalg.Mat.create k k in
   for i = 0 to k - 1 do
     for j = 0 to i do
-      Linalg.Mat.set chol i j t.lrows.(i).(j)
+      Linalg.Mat.set chol i j (Linalg.Mat.get t.l i j)
     done
   done;
   let coeffs = coeffs t in

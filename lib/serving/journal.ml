@@ -46,7 +46,7 @@ let encode_payload e =
   put_int buf e.base_rev;
   put_int buf (Linalg.Mat.rows e.xs);
   put_int buf (Linalg.Mat.cols e.xs);
-  put_floats buf e.xs.Linalg.Mat.data;
+  put_floats buf (Linalg.Mat.to_flat e.xs);
   put_floats buf e.f;
   Buffer.contents buf
 

@@ -118,3 +118,143 @@ let predict_with_std t xs =
 let predict_point_with_std t x =
   let row = Polybasis.Basis.eval_row t.basis x in
   (predict_row t row, sqrt (variance_row t row))
+
+(* Preallocated serving arena for the [_into] predict path. One scratch
+   belongs to one predictor value (physical identity): the design arena
+   is sized for that model's basis and posterior core, and the embedded
+   basis scratch is only valid for that exact basis. The daemon keeps
+   one per (executor, model) and rebuilds on model swap. *)
+module Scratch = struct
+  type pred = t
+
+  type t = {
+    pred : pred;
+    mutable capacity : int; (* rows the design arena can hold *)
+    mutable gq : Linalg.Mat.t; (* capacity x M design arena *)
+    bscratch : Polybasis.Basis.Scratch.t;
+    row : Linalg.Vec.t; (* length M: one design row *)
+    h : Linalg.Vec.t; (* length M: W^-1 g0 *)
+    u : Linalg.Vec.t; (* length K: G h *)
+    y : Linalg.Vec.t; (* length K: forward-solve intermediate *)
+    v : Linalg.Vec.t; (* length K: C^-1 u *)
+    acc : Linalg.Vec.t; (* 1 cell: unboxed dot accumulator *)
+  }
+
+  let create ?(capacity = 64) pred =
+    let m = Polybasis.Basis.size pred.basis in
+    let k_core = Linalg.Mat.rows pred.g in
+    let capacity = Stdlib.max 1 capacity in
+    {
+      pred;
+      capacity;
+      gq = Linalg.Mat.create capacity m;
+      bscratch = Polybasis.Basis.Scratch.create pred.basis;
+      row = Linalg.Vec.create m;
+      h = Linalg.Vec.create m;
+      u = Linalg.Vec.create k_core;
+      y = Linalg.Vec.create k_core;
+      v = Linalg.Vec.create k_core;
+      acc = Linalg.Vec.create 1;
+    }
+
+  let for_predictor s pred = s.pred == pred
+
+  (* Grow the design arena geometrically; steady state never hits this. *)
+  let ensure s rows =
+    if rows > s.capacity then begin
+      let cap = ref s.capacity in
+      while rows > !cap do
+        cap := !cap * 2
+      done;
+      s.capacity <- !cap;
+      s.gq <- Linalg.Mat.create !cap (Polybasis.Basis.size s.pred.basis)
+    end
+end
+
+let check_scratch t what (scratch : Scratch.t) =
+  if not (Scratch.for_predictor scratch t) then
+    invalid_arg
+      (Printf.sprintf
+         "Predictor.%s (model %s): scratch belongs to a different predictor"
+         what t.label)
+
+let check_dst t what name dst needed =
+  if Array.length dst < needed then
+    invalid_arg
+      (Printf.sprintf
+         "Predictor.%s (model %s): %s buffer too short: need %d, got %d" what
+         t.label name needed (Array.length dst))
+
+(* Allocation-free twin of [predict]: basis rows land in the scratch
+   design arena, the mean gemv writes into the caller's buffer. Output
+   values are bit-identical to [predict] (same basis recurrences, same
+   gemv summation order). *)
+let predict_into t ~scratch xs ~means =
+  check_batch t "predict_into" xs;
+  check_scratch t "predict_into" scratch;
+  let k = Linalg.Mat.rows xs in
+  check_dst t "predict_into" "means" means k;
+  observed "predict_into" ~batch:k ~with_std:false @@ fun () ->
+  Scratch.ensure scratch k;
+  let gq = Linalg.Mat.view_rows scratch.Scratch.gq k in
+  Polybasis.Basis.design_matrix_into t.basis ~scratch:scratch.Scratch.bscratch
+    xs ~dst:gq;
+  Linalg.Mat.gemv_into gq t.coeffs means
+
+(* Dot product through the scratch accumulator cell: float-array
+   traffic stays unboxed under vanilla ocamlopt, where both a [ref]
+   accumulator and [Vec.dot]'s boxed float return would allocate.
+   Summation order is [Vec.dot]'s. *)
+let dot_acc (s : Scratch.t) (x : Linalg.Vec.t) (y : Linalg.Vec.t) n =
+  let acc = s.Scratch.acc in
+  Array.unsafe_set acc 0 0.;
+  for i = 0 to n - 1 do
+    Array.unsafe_set acc 0
+      (Array.unsafe_get acc 0
+      +. (Array.unsafe_get x i *. Array.unsafe_get y i))
+  done
+
+(* [variance_row] against the scratch buffers, writing [sqrt var]
+   straight into [stds.(i)]: identical arithmetic in identical order,
+   zero per-query allocation. [if var > 0. then var else ...] is
+   [Float.max 0. var] spelled without the function call (bit-identical
+   for negative zero and NaN). *)
+let variance_into t (s : Scratch.t) gq i (stds : Linalg.Vec.t) =
+  Linalg.Mat.row_into gq i s.Scratch.row;
+  Linalg.Vec.mul_into t.w_inv s.Scratch.row s.Scratch.h;
+  let m = Array.length s.Scratch.row in
+  let k_core = Array.length s.Scratch.u in
+  dot_acc s s.Scratch.row s.Scratch.h m;
+  let q = Array.unsafe_get s.Scratch.acc 0 in
+  Linalg.Mat.gemv_into t.g s.Scratch.h s.Scratch.u;
+  Linalg.Cholesky.solve_into t.chol s.Scratch.u ~y:s.Scratch.y
+    ~dst:s.Scratch.v;
+  dot_acc s s.Scratch.u s.Scratch.v k_core;
+  let var =
+    t.sigma0_sq /. t.hyper
+    *. (q -. Array.unsafe_get s.Scratch.acc 0)
+    +. t.sigma0_sq
+  in
+  Array.unsafe_set stds i
+    (sqrt (if var > 0. then var else if var <> var then var else 0.))
+
+let predict_with_std_into t ~scratch xs ~means ~stds =
+  check_batch t "predict_with_std_into" xs;
+  check_scratch t "predict_with_std_into" scratch;
+  let k = Linalg.Mat.rows xs in
+  check_dst t "predict_with_std_into" "means" means k;
+  check_dst t "predict_with_std_into" "stds" stds k;
+  observed "predict_with_std_into" ~batch:k ~with_std:true @@ fun () ->
+  Scratch.ensure scratch k;
+  let gq = Linalg.Mat.view_rows scratch.Scratch.gq k in
+  Polybasis.Basis.design_matrix_into t.basis ~scratch:scratch.Scratch.bscratch
+    xs ~dst:gq;
+  Linalg.Mat.gemv_into gq t.coeffs means;
+  (* Sequential per-query variances: the daemon already shards queries
+     across worker domains, so the serving plane keeps its parallelism
+     while each domain's loop stays allocation-free. Values match
+     [predict_with_std] exactly — the sharded loop there is bit-identical
+     to sequential by construction. *)
+  for i = 0 to k - 1 do
+    variance_into t scratch gq i stds
+  done

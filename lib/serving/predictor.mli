@@ -35,3 +35,39 @@ val predict_point_with_std : t -> Linalg.Vec.t -> float * float
 val predict_row : t -> Linalg.Vec.t -> float
 (** Prediction from an already-evaluated basis row (length M).
     @raise Invalid_argument on a length mismatch. *)
+
+(** Preallocated serving arena for the allocation-free predict path: a
+    capacity x M design arena, the basis evaluation scratch, and the
+    per-query variance work vectors. A scratch belongs to one predictor
+    value (physical identity) — build a new one after a model swap. *)
+module Scratch : sig
+  type pred := t
+
+  type t
+
+  val create : ?capacity:int -> pred -> t
+  (** [create ?capacity pred] sizes the arena for batches of up to
+      [capacity] rows (default 64; grows geometrically if exceeded). *)
+
+  val for_predictor : t -> pred -> bool
+  (** Whether this scratch was built for exactly this predictor. *)
+end
+
+val predict_into : t -> scratch:Scratch.t -> Linalg.Mat.t -> means:Linalg.Vec.t -> unit
+(** Allocation-free twin of {!predict}: writes the first
+    [rows xs] entries of [means] (which may be longer). In steady state
+    (batch within scratch capacity) performs zero minor-heap float-array
+    allocation. Bit-identical to {!predict}.
+    @raise Invalid_argument on batch-width mismatch, a foreign scratch,
+    or a too-short output buffer. *)
+
+val predict_with_std_into :
+  t ->
+  scratch:Scratch.t ->
+  Linalg.Mat.t ->
+  means:Linalg.Vec.t ->
+  stds:Linalg.Vec.t ->
+  unit
+(** Allocation-free twin of {!predict_with_std}; same buffer contract as
+    {!predict_into}. Variances run sequentially in the calling domain
+    (the serving daemon shards queries across domains above this). *)

@@ -576,7 +576,140 @@ let qcheck_tests =
         let f = Cholesky.factorize a in
         ignore (Cholesky.factor f);
         true);
+    (* every [_into] kernel must be bitwise identical to its allocating
+       twin, writing only the contracted prefix of a longer buffer *)
+    Test.make ~name:"gemv_into-bitwise-gemv" ~count:100
+      (make Gen.(pair (vec_gen 4) (vec_gen 12)))
+      (fun (x, data) ->
+        let a = Mat.init 3 4 (fun i j -> data.((i * 4) + j)) in
+        let expect = Mat.gemv a x in
+        let y = Array.make 5 nan in
+        Mat.gemv_into a x y;
+        Array.for_all2 Float.equal expect (Array.sub y 0 3)
+        && Float.is_nan y.(3) && Float.is_nan y.(4));
+    Test.make ~name:"gemv_t_into-bitwise-gemv_t" ~count:100
+      (make Gen.(pair (vec_gen 3) (vec_gen 12)))
+      (fun (x, data) ->
+        let a = Mat.init 3 4 (fun i j -> data.((i * 4) + j)) in
+        let expect = Mat.gemv_t a x in
+        let y = Array.make 6 nan in
+        Mat.gemv_t_into a x y;
+        Array.for_all2 Float.equal expect (Array.sub y 0 4));
+    Test.make ~name:"gemm_into-bitwise-gemm" ~count:50
+      (make Gen.(pair (vec_gen 12) (vec_gen 8)))
+      (fun (da, db) ->
+        let a = Mat.init 3 4 (fun i j -> da.((i * 4) + j)) in
+        let b = Mat.init 4 2 (fun i j -> db.((i * 2) + j)) in
+        let c = Mat.create 3 2 in
+        Mat.gemm_into a b c;
+        Mat.equal (Mat.gemm a b) c);
+    Test.make ~name:"vec-into-twins-bitwise" ~count:100
+      (make Gen.(pair (vec_gen 6) (vec_gen 6)))
+      (fun (x, y) ->
+        let dst = Array.make 6 nan in
+        Vec.add_into x y dst;
+        let ok_add = Array.for_all2 Float.equal (Vec.add x y) dst in
+        Vec.sub_into x y dst;
+        let ok_sub = Array.for_all2 Float.equal (Vec.sub x y) dst in
+        Vec.mul_into x y dst;
+        let ok_mul = Array.for_all2 Float.equal (Vec.mul x y) dst in
+        (* aliasing the destination with an input is part of the
+           contract *)
+        let expect_alias = Vec.mul x y in
+        let x' = Vec.copy x in
+        Vec.mul_into x' y x';
+        ok_add && ok_sub && ok_mul
+        && Array.for_all2 Float.equal expect_alias x');
+    Test.make ~name:"cholesky-solve_into-bitwise-solve" ~count:50
+      (make Gen.(pair (vec_gen 4) (vec_gen 16)))
+      (fun (b, data) ->
+        let m = Mat.init 4 4 (fun i j -> data.((i * 4) + j)) in
+        let a = Mat.add_diag (Mat.gram m) (Array.make 4 1.) in
+        let f = Cholesky.factorize a in
+        let expect = Cholesky.solve f b in
+        let y = Array.make 6 nan and dst = Array.make 5 nan in
+        Cholesky.solve_into f b ~y ~dst;
+        Array.for_all2 Float.equal expect (Array.sub dst 0 4));
+    Test.make ~name:"row_dot-and-col_nrm2-bitwise" ~count:100
+      (make Gen.(pair (vec_gen 4) (vec_gen 12)))
+      (fun (x, data) ->
+        let a = Mat.init 3 4 (fun i j -> data.((i * 4) + j)) in
+        let rows_ok = ref true and cols_ok = ref true in
+        for i = 0 to 2 do
+          if not (Float.equal (Vec.dot (Mat.row a i) x) (Mat.row_dot a i x))
+          then rows_ok := false;
+          let dst = Array.make 4 nan in
+          Mat.row_into a i dst;
+          if not (Array.for_all2 Float.equal (Mat.row a i) dst) then
+            rows_ok := false
+        done;
+        for j = 0 to 3 do
+          if not (Float.equal (Vec.nrm2 (Mat.col a j)) (Mat.col_nrm2 a j))
+          then cols_ok := false
+        done;
+        !rows_ok && !cols_ok);
+    (* the unweighted gram fast paths must match the all-ones weighted
+       kernels bit for bit (1 * x is exactly x in IEEE) *)
+    Test.make ~name:"gram-fast-path-bitwise" ~count:50
+      (make (Gen.array_size (Gen.return 12) float_range))
+      (fun data ->
+        let a = Mat.init 3 4 (fun i j -> data.((i * 4) + j)) in
+        Mat.equal (Mat.gram a) (Mat.weighted_gram a (Array.make 3 1.))
+        && Mat.equal (Mat.outer_gram a)
+             (Mat.weighted_outer_gram a (Array.make 4 1.)));
   ]
+
+(* Regression for the conjugate-gradient direction update: when [r.z]
+   underflows to exactly zero while the residual is still above
+   tolerance, [beta = rz_new / rz] is NaN and, unguarded, poisons the
+   search direction and then the solution. The guard must bail out like
+   the non-SPD path instead. *)
+let test_cg_rz_underflow_guard () =
+  let n = 4 in
+  let a =
+    Sparse.of_triplets ~rows:n ~cols:n
+      (List.init n (fun i -> { Sparse.row = i; col = i; value = 1e300 }))
+  in
+  let b = Array.make n 1e-305 in
+  let r = Conj_grad.solve ~precondition:false a b in
+  check_bool "solution stays finite" true
+    (Array.for_all Float.is_finite r.Conj_grad.solution);
+  check_bool "reports non-convergence" false r.Conj_grad.converged
+
+(* Storage-plane invariants of the Bigarray-backed matrices: flat
+   round-trips, row blits, and capacity views that share storage. *)
+let test_mat_flat_roundtrip_and_views () =
+  let a = Mat.init 3 4 (fun i j -> float_of_int ((10 * i) + j)) in
+  let flat = Mat.to_flat a in
+  check_bool "to_flat/of_flat round-trip" true
+    (Mat.equal a (Mat.of_flat ~rows:3 ~cols:4 flat));
+  check_bool "of_flat rejects bad length" true
+    (try
+       ignore (Mat.of_flat ~rows:2 ~cols:4 flat);
+       false
+     with Invalid_argument _ -> true);
+  (* a view shares storage: writes through the view land in the arena *)
+  let arena = Mat.create 8 4 in
+  let view = Mat.view_rows arena 3 in
+  Mat.blit_rows ~src:a ~dst:view ~dst_row:0;
+  check_bool "view shares storage" true
+    (Float.equal (Mat.get arena 2 3) 23.);
+  check_bool "copy of a view is tight" true
+    (Mat.equal a (Mat.copy view));
+  check_bool "view_rows rejects over-capacity" true
+    (try
+       ignore (Mat.view_rows arena 9);
+       false
+     with Invalid_argument _ -> true);
+  (* blit_rows places rows at an offset and refuses overflow *)
+  Mat.blit_rows ~src:a ~dst:arena ~dst_row:5;
+  check_bool "blit at offset" true (Float.equal (Mat.get arena 5 0) 0.);
+  check_bool "blit at offset end" true (Float.equal (Mat.get arena 7 3) 23.);
+  check_bool "blit_rows rejects overflow" true
+    (try
+       Mat.blit_rows ~src:a ~dst:arena ~dst_row:6;
+       false
+     with Invalid_argument _ -> true)
 
 let () =
   Alcotest.run "linalg"
@@ -655,6 +788,13 @@ let () =
         [
           Alcotest.test_case "matches direct" `Quick test_cg_matches_direct;
           Alcotest.test_case "diagonal" `Quick test_cg_diagonal_one_step_family;
+          Alcotest.test_case "rz underflow guard" `Quick
+            test_cg_rz_underflow_guard;
+        ] );
+      ( "storage",
+        [
+          Alcotest.test_case "flat round-trips and views" `Quick
+            test_mat_flat_roundtrip_and_views;
         ] );
       ( "odds_and_ends",
         [

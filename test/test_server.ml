@@ -83,10 +83,7 @@ let frame_of s =
   | `Need n -> Alcotest.failf "incomplete frame: need %d more bytes" n
   | `Bad msg -> Alcotest.failf "bad frame: %s" msg
 
-let mats_equal a b =
-  Linalg.Mat.rows a = Linalg.Mat.rows b
-  && Linalg.Mat.cols a = Linalg.Mat.cols b
-  && Array.for_all2 Float.equal a.Linalg.Mat.data b.Linalg.Mat.data
+let mats_equal a b = Linalg.Mat.equal a b
 
 let roundtrip_request ?deadline_ms req =
   let s = Server.Wire.encode_request ~id:42 ?deadline_ms req in

@@ -476,8 +476,7 @@ let check_entry msg (a : Serving.Journal.entry) (b : Serving.Journal.entry) =
   check_int (msg ^ ": base_rev") a.base_rev b.base_rev;
   check_int (msg ^ ": rows") (Linalg.Mat.rows a.xs) (Linalg.Mat.rows b.xs);
   check_int (msg ^ ": cols") (Linalg.Mat.cols a.xs) (Linalg.Mat.cols b.xs);
-  check_bool (msg ^ ": xs bit-identical") true
-    (Array.for_all2 Float.equal a.xs.Linalg.Mat.data b.xs.Linalg.Mat.data);
+  check_bool (msg ^ ": xs bit-identical") true (Linalg.Mat.equal a.xs b.xs);
   check_bool (msg ^ ": f bit-identical") true (Array.for_all2 Float.equal a.f b.f)
 
 let test_journal_roundtrip () =
@@ -958,6 +957,203 @@ let test_calibration_degenerate_and_gating () =
      with Invalid_argument _ -> true)
 
 (* ------------------------------------------------------------------ *)
+(* The allocation-free predict path: the [_into] twins must be
+   bit-identical to the allocating calls, and steady-state serving must
+   not allocate per query.                                              *)
+
+let test_predict_into_matches () =
+  let s = make_synth ~k:30 ~r:12 () in
+  let p = Serving.Predictor.of_artifact (artifact_of s) in
+  let scratch = Serving.Predictor.Scratch.create ~capacity:8 p in
+  List.iter
+    (fun n ->
+      let q = queries s n in
+      let expect = Serving.Predictor.predict p q in
+      (* deliberately longer than the batch: only the first n entries
+         are the contract *)
+      let means = Array.make (n + 3) nan in
+      Serving.Predictor.predict_into p ~scratch q ~means;
+      for i = 0 to n - 1 do
+        if not (Float.equal expect.(i) means.(i)) then
+          Alcotest.failf "predict_into diverges at %d (batch %d)" i n
+      done)
+    (* 17 and 40 overflow the capacity-8 arena and exercise growth *)
+    [ 1; 5; 8; 17; 40 ]
+
+let test_predict_with_std_into_matches () =
+  let s = make_synth ~k:24 ~r:10 () in
+  let p = Serving.Predictor.of_artifact (artifact_of s) in
+  let scratch = Serving.Predictor.Scratch.create ~capacity:4 p in
+  List.iter
+    (fun n ->
+      let q = queries s n in
+      let em, es = Serving.Predictor.predict_with_std p q in
+      let means = Array.make n nan and stds = Array.make n nan in
+      Serving.Predictor.predict_with_std_into p ~scratch q ~means ~stds;
+      check_bool "means bit-identical" true (Array.for_all2 Float.equal em means);
+      check_bool "stds bit-identical" true (Array.for_all2 Float.equal es stds))
+    [ 1; 4; 11; 32 ]
+
+let test_scratch_misuse_rejected () =
+  let s = make_synth ~k:10 ~r:6 () in
+  let a = artifact_of s in
+  let p = Serving.Predictor.of_artifact a in
+  let other = Serving.Predictor.of_artifact a in
+  let scratch = Serving.Predictor.Scratch.create p in
+  let q = queries s 4 in
+  check_bool "foreign scratch refused" true
+    (try
+       Serving.Predictor.predict_into other ~scratch q
+         ~means:(Array.make 4 0.);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "short means buffer refused" true
+    (try
+       Serving.Predictor.predict_into p ~scratch q ~means:(Array.make 3 0.);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "short stds buffer refused" true
+    (try
+       Serving.Predictor.predict_with_std_into p ~scratch q
+         ~means:(Array.make 4 0.) ~stds:(Array.make 3 0.);
+       false
+     with Invalid_argument _ -> true)
+
+(* The allocation-regression gate: after warm-up, a steady-state
+   predict-with-std batch must run without any per-query minor-heap
+   allocation. The budget is a small per-CALL constant (closure shells
+   on the observability bracket), far below one boxed float per query —
+   so any reintroduced per-query or per-row allocation trips it. *)
+let test_predict_allocation_gate () =
+  let s = make_synth ~k:30 ~r:12 () in
+  let p = Serving.Predictor.of_artifact (artifact_of s) in
+  let batch = 64 in
+  let scratch = Serving.Predictor.Scratch.create ~capacity:batch p in
+  let q = queries s batch in
+  let means = Array.make batch 0. and stds = Array.make batch 0. in
+  (* warm-up: fault in any lazy state *)
+  for _ = 1 to 3 do
+    Serving.Predictor.predict_with_std_into p ~scratch q ~means ~stds
+  done;
+  let calls = 50 in
+  let before = Gc.minor_words () in
+  for _ = 1 to calls do
+    Serving.Predictor.predict_with_std_into p ~scratch q ~means ~stds
+  done;
+  let words = Gc.minor_words () -. before in
+  let per_call = words /. float_of_int calls in
+  if per_call > 64. then
+    Alcotest.failf
+      "predict allocates %.1f minor words per %d-point call (budget 64)"
+      per_call batch;
+  (* and the means-only path is at least as tight *)
+  let before = Gc.minor_words () in
+  for _ = 1 to calls do
+    Serving.Predictor.predict_into p ~scratch q ~means
+  done;
+  let words = Gc.minor_words () -. before in
+  let per_call = words /. float_of_int calls in
+  if per_call > 64. then
+    Alcotest.failf "predict_into allocates %.1f minor words per call" per_call
+
+(* ------------------------------------------------------------------ *)
+(* Golden fingerprints, captured from the seed float-array kernels
+   before the Bigarray storage port. These pin fit coefficients, the
+   serialized store bytes, a 64-query predict, and a 4-batch
+   incremental-update trajectory to the exact bit patterns the seed
+   produced: any change to summation order or storage layout that
+   perturbs a single bit anywhere in the fit/predict/update pipeline
+   fails here.                                                          *)
+
+let golden_fp = Serving.Artifact.fingerprint
+
+let test_golden_fingerprints () =
+  let rng = Stats.Rng.create 987654321 in
+  let r = 6 in
+  let basis = Polybasis.Basis.total_degree ~r ~d:2 in
+  let m = Polybasis.Basis.size basis in
+  let truth = Array.init m (fun i -> cos (float_of_int (i + 1))) in
+  let early =
+    Array.map
+      (fun c -> Some (c *. (1. +. (0.2 *. Stats.Rng.gaussian rng))))
+      truth
+  in
+  let k = 48 in
+  let xs = Stats.Sampling.monte_carlo rng ~k ~r in
+  let g = Polybasis.Basis.design_matrix basis xs in
+  let f =
+    Array.init k (fun i ->
+        Linalg.Vec.dot (Linalg.Mat.row g i) truth
+        +. (0.02 *. Stats.Rng.gaussian rng))
+  in
+  let prior = Bmf.Prior.nonzero_mean early in
+  let hyper, _ = Bmf.Hyper.select ~rng ~g ~f ~prior () in
+  let gmeta =
+    {
+      Serving.Artifact.circuit = "golden";
+      metric = "fp";
+      scale = "quick";
+      seed = 13;
+    }
+  in
+  let a =
+    Serving.Artifact.of_fit ~meta:gmeta ~basis ~prior ~hyper ~g ~f ()
+  in
+  check_string "fit coefficients" "715c141c3df234c1"
+    (golden_fp a.Serving.Artifact.coeffs);
+  check_string "binary store bytes" "63b4e116cb957761"
+    (Serving.Artifact.checksum_hex
+       (Serving.Artifact.to_string Serving.Artifact.Binary a));
+  let p = Serving.Predictor.of_artifact a in
+  let q =
+    Linalg.Mat.of_rows (List.init 64 (fun _ -> Stats.Rng.gaussian_vec rng r))
+  in
+  check_string "64-query predict" "4b2f341a8c3a237f"
+    (golden_fp (Serving.Predictor.predict p q));
+  let means, stds = Serving.Predictor.predict_with_std p q in
+  check_string "predict_with_std means" "4b2f341a8c3a237f" (golden_fp means);
+  check_string "predict_with_std stds" "a472e06c71b78662" (golden_fp stds);
+  (* the allocation-free twins must land on the same goldens *)
+  let scratch = Serving.Predictor.Scratch.create ~capacity:64 p in
+  let means' = Array.make 64 0. and stds' = Array.make 64 0. in
+  Serving.Predictor.predict_into p ~scratch q ~means:means';
+  check_string "predict_into golden" "4b2f341a8c3a237f" (golden_fp means');
+  Serving.Predictor.predict_with_std_into p ~scratch q ~means:means'
+    ~stds:stds';
+  check_string "predict_with_std_into means golden" "4b2f341a8c3a237f"
+    (golden_fp means');
+  check_string "predict_with_std_into stds golden" "a472e06c71b78662"
+    (golden_fp stds');
+  (* incremental trajectory: 4 batches of 8, then re-serialization *)
+  let inc = Serving.Incremental.of_artifact a in
+  let expected_steps =
+    [|
+      "c89d3ee9db84926c";
+      "223148002187a39c";
+      "348daa59116fd2fb";
+      "1152e9e731be3594";
+    |]
+  in
+  for b = 0 to 3 do
+    let xs = Stats.Sampling.monte_carlo rng ~k:8 ~r in
+    let gq = Polybasis.Basis.design_matrix basis xs in
+    let fb =
+      Array.init 8 (fun i ->
+          Linalg.Vec.dot (Linalg.Mat.row gq i) truth
+          +. (0.02 *. Stats.Rng.gaussian rng))
+    in
+    Serving.Incremental.add_batch inc ~xs ~f:fb;
+    check_string
+      (Printf.sprintf "incremental step %d coefficients" b)
+      expected_steps.(b)
+      (golden_fp (Serving.Incremental.coeffs inc))
+  done;
+  check_string "incremental store bytes" "9e953861794d2b2b"
+    (Serving.Artifact.checksum_hex
+       (Serving.Artifact.to_string Serving.Artifact.Binary
+          (Serving.Incremental.to_artifact inc)))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "serving"
@@ -1030,5 +1226,24 @@ let () =
             test_calibration_window_wrap;
           Alcotest.test_case "degenerate sigmas and gating" `Quick
             test_calibration_degenerate_and_gating;
+        ] );
+      ( "into-kernels",
+        [
+          Alcotest.test_case "predict_into = predict" `Quick
+            test_predict_into_matches;
+          Alcotest.test_case "predict_with_std_into = predict_with_std"
+            `Quick test_predict_with_std_into_matches;
+          Alcotest.test_case "scratch misuse rejected" `Quick
+            test_scratch_misuse_rejected;
+        ] );
+      ( "alloc-gate",
+        [
+          Alcotest.test_case "steady-state predict is allocation-free"
+            `Quick test_predict_allocation_gate;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "seed fingerprints" `Quick
+            test_golden_fingerprints;
         ] );
     ]
